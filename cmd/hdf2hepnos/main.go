@@ -1,0 +1,171 @@
+// Command hdf2hepnos is the Go analog of the paper's HDF2HEPnOS tool
+// (§III-B): it analyzes the structure of columnar event files, deduces the
+// stored class and its member variables, and ingests the files into a
+// HEPnOS dataset in parallel.
+//
+//	hdf2hepnos inspect FILE
+//	    Print the inferred schema and the equivalent Go type definition
+//	    (the analog of the generated C++ class).
+//
+//	hdf2hepnos ingest -group g.json -dataset fermilab/nova [-label slices]
+//	                  [-j 8] FILE...
+//	    Create the dataset and load every file's events and products.
+//	    Files holding the NovaSlice class are decoded into nova.Slice.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/hepnos"
+	"github.com/hep-on-hpc/hepnos-go/internal/dataloader"
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+	"github.com/hep-on-hpc/hepnos-go/internal/novaschema"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "inspect":
+		inspect(os.Args[2:])
+	case "ingest":
+		ingest(os.Args[2:])
+	case "export":
+		export(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: hdf2hepnos {inspect FILE | ingest -group G -dataset D FILE... | export -group G -dataset D -out DIR}")
+	os.Exit(2)
+}
+
+// export writes a dataset's slice products back to h5lite files, the
+// archival inverse of ingest.
+func export(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	groupPath := fs.String("group", "hepnos-group.json", "group file of the service")
+	dataset := fs.String("dataset", "fermilab/nova", "dataset to export")
+	label := fs.String("label", "slices", "product label")
+	out := fs.String("out", "export", "output directory")
+	fs.Parse(args)
+
+	group, err := hepnos.ReadGroupFile(*groupPath)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	ds, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: group})
+	if err != nil {
+		fatal(err)
+	}
+	defer ds.Close()
+	d, err := ds.OpenDataSet(ctx, *dataset)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	// The NovaSlice schema drives the column layout, as at ingest.
+	binding, err := dataloader.Bind(nova.Slice{}, novaschema.Slice())
+	if err != nil {
+		fatal(err)
+	}
+	exporter := &dataloader.Exporter{DS: ds, Label: *label}
+	paths, st, err := exporter.ExportDataSet(ctx, d, binding, *out, "export")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("exported %d files (%d events, %d rows) to %s\n", len(paths), st.Events, st.Rows, *out)
+}
+
+func inspect(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	schemas, err := dataloader.InspectFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	for _, cs := range schemas {
+		fmt.Printf("group %s: class %s, %d rows, %d member variables\n",
+			cs.Group, cs.Class, cs.Rows, len(cs.Members))
+		for _, m := range cs.Members {
+			fmt.Printf("  %-14s %s\n", m.Column, m.DType)
+		}
+		fmt.Println()
+		fmt.Println(dataloader.GenerateGoSource(cs))
+	}
+}
+
+func ingest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	groupPath := fs.String("group", "hepnos-group.json", "group file of the service")
+	dataset := fs.String("dataset", "fermilab/nova", "target dataset path")
+	label := fs.String("label", "slices", "product label")
+	parallel := fs.Int("j", 4, "concurrent file ingests")
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) == 0 {
+		usage()
+	}
+
+	group, err := hepnos.ReadGroupFile(*groupPath)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	ds, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: group})
+	if err != nil {
+		fatal(err)
+	}
+	defer ds.Close()
+
+	d, err := ds.CreateDataSet(ctx, *dataset)
+	if err != nil {
+		fatal(err)
+	}
+	schemas, err := dataloader.InspectFile(files[0])
+	if err != nil {
+		fatal(err)
+	}
+	var schema dataloader.ClassSchema
+	found := false
+	for _, cs := range schemas {
+		if cs.Class == nova.SliceClass {
+			schema, found = cs, true
+			break
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("no %s group in %s (only NovaSlice ingest is wired up)", nova.SliceClass, files[0]))
+	}
+	binding, err := dataloader.Bind(nova.Slice{}, schema)
+	if err != nil {
+		fatal(err)
+	}
+	loader := &dataloader.Loader{DS: ds, Label: *label, Parallelism: *parallel}
+	start := time.Now()
+	st, err := loader.IngestFiles(ctx, d, binding, files)
+	if err != nil {
+		fatal(err)
+	}
+	dur := time.Since(start)
+	fmt.Printf("ingested %d files: %d events, %d products, %d rows in %v (%.0f events/s)\n",
+		st.Files, st.Events, st.Products, st.Rows, dur.Round(time.Millisecond),
+		float64(st.Events)/dur.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hdf2hepnos:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command hepnos-server boots a HEPnOS service process.
+//
+// Two modes:
+//
+//	hepnos-server -config bedrock.json [-group out.json]
+//	    Boot one server from a Bedrock JSON document (the Mochi way).
+//
+//	hepnos-server -servers N [-backend map|lsm] [-path DIR] [-group out.json]
+//	    Deploy N servers in this process with the paper's §IV-D layout
+//	    (16 providers, 8 event + 8 product databases per server) over TCP.
+//
+// Either way the service description is written to the group file for
+// clients to connect with, and the process serves until interrupted.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "Bedrock JSON configuration file")
+		nServers   = flag.Int("servers", 1, "servers to deploy (ignored with -config)")
+		providers  = flag.Int("providers", 16, "providers per server")
+		eventDBs   = flag.Int("event-dbs", 8, "event databases per server")
+		productDBs = flag.Int("product-dbs", 8, "product databases per server")
+		backend    = flag.String("backend", "map", `backend: "map" or "lsm"`)
+		pathBase   = flag.String("path", "", "storage directory for the lsm backend")
+		groupOut   = flag.String("group", "hepnos-group.json", "group file to write")
+		xstreams   = flag.Int("rpc-xstreams", 16, "RPC execution streams per server")
+		pin        = flag.Bool("pin-providers", true, "pin each provider to its own execution stream (§IV-D)")
+		printCfg   = flag.Bool("print-config", false, "print the generated Bedrock JSON configs and exit")
+	)
+	flag.Parse()
+
+	if *printCfg {
+		configs, err := bedrock.BuildConfigs(bedrock.DeploySpec{
+			Servers:             *nServers,
+			Scheme:              "tcp",
+			ProvidersPerServer:  *providers,
+			EventDBsPerServer:   *eventDBs,
+			ProductDBsPerServer: *productDBs,
+			Backend:             *backend,
+			PathBase:            *pathBase,
+			RPCXStreams:         *xstreams,
+			PinProviders:        *pin,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out, err := json.MarshalIndent(configs, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	group := bedrock.GroupFile{Protocol: "tcp"}
+	var shutdown func()
+	var servers []*bedrock.Server
+
+	if *configPath != "" {
+		srv, err := bedrock.BootFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		group.Servers = append(group.Servers, srv.Descriptor())
+		servers = []*bedrock.Server{srv}
+		shutdown = srv.Shutdown
+	} else {
+		dep, err := bedrock.Deploy(bedrock.DeploySpec{
+			Servers:             *nServers,
+			Scheme:              "tcp",
+			ProvidersPerServer:  *providers,
+			EventDBsPerServer:   *eventDBs,
+			ProductDBsPerServer: *productDBs,
+			Backend:             *backend,
+			PathBase:            *pathBase,
+			RPCXStreams:         *xstreams,
+			PinProviders:        *pin,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		group = dep.Group
+		servers = dep.Servers
+		shutdown = dep.Shutdown
+	}
+
+	if err := bedrock.WriteGroupFile(*groupOut, group); err != nil {
+		shutdown()
+		fatal(err)
+	}
+	for _, s := range group.Servers {
+		fmt.Printf("serving %s (providers %v)\n", s.Address, s.Providers)
+	}
+	fmt.Printf("group file written to %s — Ctrl-C or hepnos-shutdown to stop\n", *groupOut)
+
+	// Stop on an OS signal or a remote shutdown RPC (hepnos-shutdown).
+	remote := make(chan struct{}, 1)
+	for _, srv := range servers {
+		go func(srv *bedrock.Server) {
+			<-srv.ShutdownRequested()
+			select {
+			case remote <- struct{}{}:
+			default:
+			}
+		}(srv)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("signal received, shutting down")
+	case <-remote:
+		fmt.Println("remote shutdown requested, shutting down")
+	}
+	shutdown()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hepnos-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command hepnos-shutdown remotely stops a running HEPnOS service — the
+// analog of the hepnos-shutdown utility in the real distribution. It sends
+// a shutdown RPC to every server listed in the group file.
+//
+//	hepnos-shutdown -group hepnos-group.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+)
+
+var seq atomic.Int64
+
+func main() {
+	groupPath := flag.String("group", "hepnos-group.json", "group file of the service")
+	ping := flag.Bool("ping", false, "only check liveness, do not shut down")
+	flag.Parse()
+
+	group, err := bedrock.ReadGroupFile(*groupPath)
+	if err != nil {
+		fatal(err)
+	}
+	addr := fabric.Address(fmt.Sprintf("inproc://hepnos-shutdown-%d", seq.Add(1)))
+	if group.Protocol == "tcp" {
+		addr = "tcp://127.0.0.1:0"
+	}
+	mi, err := margo.Init(margo.Config{Address: addr})
+	if err != nil {
+		fatal(err)
+	}
+	defer mi.Finalize()
+
+	ctx := context.Background()
+	if *ping {
+		for _, srv := range group.Servers {
+			if err := bedrock.Ping(ctx, mi, fabric.Address(srv.Address)); err != nil {
+				fmt.Printf("%-40s DOWN (%v)\n", srv.Address, err)
+			} else {
+				fmt.Printf("%-40s alive\n", srv.Address)
+			}
+		}
+		return
+	}
+	if err := bedrock.RemoteShutdown(ctx, mi, group); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("shutdown requested for %d servers\n", len(group.Servers))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hepnos-shutdown:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command hepnos-timeline performs the paper's offline timing analysis
+// (§IV-B: per-rank timestamp files "are analyzed offline to determine the
+// time taken to run each step of the process"). It reads the per-rank
+// files written by the HEPnOS workflow (TimelineDir: rank-*.txt) or the
+// per-process files written by the traditional harness (OutDir:
+// timing-*.txt) and reports makespan, throughput and utilization.
+//
+//	hepnos-timeline DIR
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/stats"
+)
+
+type rankRecord struct {
+	name       string
+	start, end float64
+	events     int
+	slices     int
+	accepted   int
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: hepnos-timeline DIR")
+		os.Exit(2)
+	}
+	dir := os.Args[1]
+	records, err := readRecords(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-timeline:", err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Fprintf(os.Stderr, "hepnos-timeline: no rank-*.txt or timing-*.txt files in %s\n", dir)
+		os.Exit(1)
+	}
+
+	tl := stats.NewTimeline()
+	totalEvents, totalSlices, totalAccepted := 0, 0, 0
+	var durations []float64
+	for _, r := range records {
+		tl.Record(r.name, r.start, r.end)
+		totalEvents += r.events
+		totalSlices += r.slices
+		totalAccepted += r.accepted
+		durations = append(durations, r.end-r.start)
+	}
+	start, end, _ := tl.Makespan()
+	makespan := end - start
+	fmt.Printf("ranks:      %d\n", len(records))
+	fmt.Printf("makespan:   %.3f s (first start %.3f, last end %.3f)\n", makespan, start, end)
+	if totalSlices > 0 && makespan > 0 {
+		fmt.Printf("throughput: %.0f slices/s (%d slices)\n", float64(totalSlices)/makespan, totalSlices)
+	}
+	if totalEvents > 0 && makespan > 0 {
+		fmt.Printf("            %.0f events/s (%d events)\n", float64(totalEvents)/makespan, totalEvents)
+	}
+	if totalAccepted > 0 {
+		fmt.Printf("accepted:   %d\n", totalAccepted)
+	}
+	fmt.Printf("utilization: %.1f%%\n", 100*tl.Utilization())
+	s := stats.Summarize(durations)
+	fmt.Printf("per-rank busy: mean %.3fs  min %.3fs  max %.3fs  p95 %.3fs\n",
+		s.Mean, s.Min, s.Max, s.P95)
+
+	// Straggler report: ranks finishing in the last 10% of the makespan.
+	sort.Slice(records, func(i, j int) bool { return records[i].end > records[j].end })
+	cutoff := end - 0.1*makespan
+	var stragglers []string
+	for _, r := range records {
+		if r.end >= cutoff && makespan > 0 {
+			stragglers = append(stragglers, r.name)
+		}
+	}
+	if len(stragglers) > 0 && len(stragglers) < len(records) {
+		fmt.Printf("stragglers (last 10%% of makespan): %s\n", strings.Join(stragglers, " "))
+	}
+}
+
+// readRecords parses both formats: rank-*.txt (workflow) and timing-*.txt
+// (file-based harness), which share the "key value" line structure.
+func readRecords(dir string) ([]rankRecord, error) {
+	var out []rankRecord
+	for _, pattern := range []string{"rank-*.txt", "timing-*.txt"} {
+		paths, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			rec, err := parseFile(p)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p, err)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+func parseFile(path string) (rankRecord, error) {
+	rec := rankRecord{name: strings.TrimSuffix(filepath.Base(path), ".txt")}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		val := fields[1]
+		switch fields[0] {
+		case "start":
+			rec.start, err = strconv.ParseFloat(val, 64)
+		case "end":
+			rec.end, err = strconv.ParseFloat(val, 64)
+		case "events":
+			rec.events, err = strconv.Atoi(val)
+		case "slices":
+			rec.slices, err = strconv.Atoi(val)
+		case "accepted":
+			rec.accepted, err = strconv.Atoi(val)
+		}
+		if err != nil {
+			return rec, fmt.Errorf("parse %q: %w", line, err)
+		}
+	}
+	if rec.end < rec.start {
+		return rec, fmt.Errorf("end %f before start %f", rec.end, rec.start)
+	}
+	return rec, nil
+}

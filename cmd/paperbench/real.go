@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/core"
+	"github.com/hep-on-hpc/hepnos-go/internal/dataloader"
+	"github.com/hep-on-hpc/hepnos-go/internal/filebased"
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+	"github.com/hep-on-hpc/hepnos-go/internal/workflow"
+)
+
+// runReal executes the full pipeline on the REAL system at laptop scale —
+// no simulation anywhere: synthetic files, actual ingest over RPC, the
+// actual file-based and HEPnOS workflows at increasing rank counts, and
+// the §IV correctness check at every point. The absolute numbers are
+// laptop numbers; the point is that the real code paths exhibit the
+// paper's qualitative behaviour (HEPnOS scales with ranks while file-based
+// parallelism is capped by the file count).
+func runReal(files int, rankList string, trials int, sliceWork time.Duration) error {
+	ranks, err := parseRanks(rankList)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "paperbench-real-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	gen := nova.NewGenerator(nova.GenParams{Seed: 4242, MeanEventsPerFile: 300, FilesPerSubRun: 2})
+	paths, err := nova.GenerateSample(dir, gen, files)
+	if err != nil {
+		return err
+	}
+	dep, err := bedrock.Deploy(bedrock.DeploySpec{
+		Servers:             2,
+		ProvidersPerServer:  4,
+		EventDBsPerServer:   8,
+		ProductDBsPerServer: 8,
+		NamePrefix:          "paperbench-real",
+	})
+	if err != nil {
+		return err
+	}
+	defer dep.Shutdown()
+	ctx := context.Background()
+	ds, err := core.Connect(ctx, core.ClientConfig{Group: dep.Group})
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+	dataset, err := ds.CreateDataSet(ctx, "real/nova")
+	if err != nil {
+		return err
+	}
+	schemas, err := dataloader.InspectFile(paths[0])
+	if err != nil {
+		return err
+	}
+	binding, err := dataloader.Bind(nova.Slice{}, schemas[0])
+	if err != nil {
+		return err
+	}
+	loader := &dataloader.Loader{DS: ds, Label: "slices", Parallelism: 8}
+	st, err := loader.IngestFiles(ctx, dataset, binding, paths)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Real system (no simulation): %d files, %d events, %d slices, %v/slice compute ==\n",
+		files, st.Events, st.Rows, sliceWork)
+
+	// Baseline reference for the correctness check.
+	fileRef, err := filebased.Run(filebased.Config{Files: paths, Processes: 4})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-8s %16s %16s  %s\n", "ranks", "hepnos slices/s", "file slices/s", "agree")
+	for _, r := range ranks {
+		var hepThr, fileThr float64
+		agree := true
+		for trial := 0; trial < trials; trial++ {
+			hres, err := workflow.Run(ctx, ds, workflow.Config{
+				Dataset: "real/nova", Label: "slices", Ranks: r, SliceWork: sliceWork,
+			})
+			if err != nil {
+				return err
+			}
+			hepThr += hres.Throughput
+			if len(hres.Selected) != len(fileRef.Selected) {
+				agree = false
+			}
+			fres, err := filebased.Run(filebased.Config{Files: paths, Processes: r, SliceWork: sliceWork})
+			if err != nil {
+				return err
+			}
+			fileThr += fres.Throughput
+		}
+		fmt.Printf("%-8d %16.0f %16.0f  %v\n",
+			r, hepThr/float64(trials), fileThr/float64(trials), agree)
+	}
+	return nil
+}
+
+func parseRanks(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad rank list %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+// Multipass: the paper's §I motivation for keeping data in a service —
+// "a common scenario in many HEP analyses is the iterative refinement or
+// tuning of the analysis process ... This requires multiple passes through
+// a given dataset. Having the data available in a distributed data service
+// not only makes this more convenient, but also spreads the cost of
+// loading the data over all iterations."
+//
+// This example ingests a synthetic sample once, then runs the candidate
+// selection three times with progressively tighter classifier cuts —
+// scanning cut thresholds the way an analyzer tunes a selection — without
+// touching a file after the first load. It prints per-pass timings: pass 1
+// pays the ingest; passes 2+ only pay the (fast, in-memory) reads.
+//
+//	go run ./examples/multipass
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/hepnos"
+	"github.com/hep-on-hpc/hepnos-go/internal/dataloader"
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+)
+
+const (
+	datasetPath = "fermilab/nova"
+	label       = "slices"
+	ranks       = 6
+)
+
+func main() {
+	ctx := context.Background()
+
+	dir, err := os.MkdirTemp("", "hepnos-multipass-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	gen := nova.NewGenerator(nova.GenParams{Seed: 21, MeanEventsPerFile: 300, FilesPerSubRun: 2})
+	files, err := nova.GenerateSample(dir, gen, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dep, err := hepnos.Deploy(hepnos.DeploySpec{Servers: 2, ProvidersPerServer: 4, NamePrefix: "multipass"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Shutdown()
+	ds, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: dep.Group})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+
+	// Pass 0: the one-time ingest (the only file-bound step).
+	start := time.Now()
+	dataset, err := ds.CreateDataSet(ctx, datasetPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schemas, err := dataloader.InspectFile(files[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	binding, err := dataloader.Bind(nova.Slice{}, schemas[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	loader := &dataloader.Loader{DS: ds, Label: label, Parallelism: 4}
+	st, err := loader.IngestFiles(ctx, dataset, binding, files)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingest: %d events / %d slices from %d files in %v\n",
+		st.Events, st.Rows, st.Files, time.Since(start).Round(time.Millisecond))
+
+	// Tuning scan: tighten the electron-classifier threshold each pass.
+	for pass, cvneCut := range []float32{0.75, 0.84, 0.92} {
+		passStart := time.Now()
+		accepted, slices := runSelection(ctx, ds, dataset, cvneCut)
+		fmt.Printf("pass %d (CVNe > %.2f): %7d slices scanned, %3d accepted, %v\n",
+			pass+1, cvneCut, slices, accepted, time.Since(passStart).Round(time.Millisecond))
+	}
+}
+
+// runSelection processes every event across MPI-style ranks with the given
+// classifier threshold, returning (accepted, slices examined).
+func runSelection(ctx context.Context, ds *hepnos.DataStore, dataset *hepnos.DataSet, cvneCut float32) (int, int) {
+	var mu sync.Mutex
+	accepted, slices := 0, 0
+	hepnos.NewWorld(ranks).Run(func(c *hepnos.Comm) {
+		localAcc, localSl := 0, 0
+		_, err := ds.ProcessEvents(ctx, c, dataset, hepnos.PEPOptions{
+			Prefetch: []hepnos.ProductSelector{hepnos.SelectorFor(label, []nova.Slice{})},
+		}, func(ev *hepnos.Event) error {
+			var ss []nova.Slice
+			if err := ev.Load(ctx, label, &ss); err != nil {
+				return err
+			}
+			localSl += len(ss)
+			for i := range ss {
+				// The tuned cut under study, on top of the standard
+				// selection.
+				if ss[i].CVNe > cvneCut && nova.SelectCandidate(&ss[i]) {
+					localAcc++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mu.Lock()
+		accepted += localAcc
+		slices += localSl
+		mu.Unlock()
+	})
+	return accepted, slices
+}

@@ -1,0 +1,184 @@
+// Parallel selection: the paper's §IV-B workflow shape on a synthetic
+// detector sample, entirely through the public API.
+//
+// An MPI-style world of ranks shares one dataset at event granularity: a
+// ParallelEventProcessor run fetches events (with product prefetching),
+// every rank applies a selection to its share, and the accepted IDs are
+// reduced to rank 0 — no files anywhere.
+//
+//	go run ./examples/parallel-selection
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"github.com/hep-on-hpc/hepnos-go/hepnos"
+)
+
+// CalorimeterHit is this example's event product.
+type CalorimeterHit struct {
+	Cell   int32
+	Energy float32 // GeV
+	Time   float32 // ns
+}
+
+const (
+	datasetPath = "example/beam"
+	label       = "hits"
+	ranks       = 6
+)
+
+func main() {
+	ctx := context.Background()
+	dep, err := hepnos.Deploy(hepnos.DeploySpec{
+		Servers:            2,
+		ProvidersPerServer: 4,
+		NamePrefix:         "parallel-selection",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Shutdown()
+	ds, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: dep.Group})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+
+	produced := ingest(ctx, ds)
+	fmt.Printf("ingested %d events\n", produced)
+
+	// The parallel phase: every rank processes a disjoint share of the
+	// events, prefetching the hits product in bulk.
+	var (
+		mu       sync.Mutex
+		accepted []hepnos.EventID
+		total    int64
+	)
+	dataset, err := ds.OpenDataSet(ctx, datasetPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hepnos.NewWorld(ranks).Run(func(c *hepnos.Comm) {
+		var local []hepnos.EventID
+		stats, err := ds.ProcessEvents(ctx, c, dataset, hepnos.PEPOptions{
+			WorkBatchSize: 8,
+			Prefetch:      []hepnos.ProductSelector{hepnos.SelectorFor(label, []CalorimeterHit{})},
+		}, func(ev *hepnos.Event) error {
+			var hits []CalorimeterHit
+			if err := ev.Load(ctx, label, &hits); err != nil {
+				return err
+			}
+			// Selection: total energy above threshold with an in-time
+			// leading hit.
+			var sum float32
+			var leadingTime float32
+			for _, h := range hits {
+				sum += h.Energy
+				if h.Energy > 0 && (leadingTime == 0 || h.Time < leadingTime) {
+					leadingTime = h.Time
+				}
+			}
+			if sum > 12 && leadingTime < 200 {
+				local = append(local, ev.ID())
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// "An MPI reduction is then used to send those slice IDs to rank 0."
+		mu.Lock()
+		accepted = append(accepted, local...)
+		mu.Unlock()
+		if c.Rank() == 0 {
+			mu.Lock()
+			total = stats.TotalEvents
+			mu.Unlock()
+			fmt.Printf("rank 0: world processed %d events at %.0f events/s\n",
+				stats.TotalEvents, stats.Throughput)
+		}
+	})
+
+	sort.Slice(accepted, func(i, j int) bool {
+		a, b := accepted[i], accepted[j]
+		if a.Run != b.Run {
+			return a.Run < b.Run
+		}
+		if a.SubRun != b.SubRun {
+			return a.SubRun < b.SubRun
+		}
+		return a.Event < b.Event
+	})
+	fmt.Printf("accepted %d of %d events:\n", len(accepted), total)
+	for i, id := range accepted {
+		if i == 10 {
+			fmt.Printf("  … %d more\n", len(accepted)-10)
+			break
+		}
+		fmt.Printf("  %s\n", id)
+	}
+}
+
+// ingest writes a deterministic synthetic sample with a WriteBatch.
+func ingest(ctx context.Context, ds *hepnos.DataStore) int {
+	dataset, err := ds.CreateDataSet(ctx, datasetPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wb := ds.NewWriteBatch()
+	wb.MaxPending = 1024
+	n := 0
+	for runNo := uint64(1); runNo <= 2; runNo++ {
+		run, err := wb.CreateRun(ctx, dataset, runNo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for srNo := uint64(0); srNo < 4; srNo++ {
+			sr, err := wb.CreateSubRun(ctx, run, srNo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for evNo := uint64(0); evNo < 50; evNo++ {
+				ev, err := wb.CreateEvent(ctx, sr, evNo)
+				if err != nil {
+					log.Fatal(err)
+				}
+				hits := makeHits(runNo, srNo, evNo)
+				if err := wb.Store(ctx, ev, label, hits); err != nil {
+					log.Fatal(err)
+				}
+				n++
+			}
+		}
+	}
+	if err := wb.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+	return n
+}
+
+// makeHits builds a deterministic pseudo-random hit pattern.
+func makeHits(run, sr, ev uint64) []CalorimeterHit {
+	x := run*1_000_003 + sr*10_007 + ev*101 + 17
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	nHits := int(next()%20) + 3
+	hits := make([]CalorimeterHit, nHits)
+	for i := range hits {
+		hits[i] = CalorimeterHit{
+			Cell:   int32(next() % 4096),
+			Energy: float32(next()%1000) / 350,
+			Time:   float32(next() % 500),
+		}
+	}
+	return hits
+}

@@ -1,0 +1,100 @@
+// Quickstart: the paper's Listing 1 translated to Go.
+//
+// It deploys a small in-process HEPnOS service, connects a client, builds
+// the dataset/run/subrun/event hierarchy, stores and loads a
+// vector-of-Particle product, and iterates the subruns of a run.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/hep-on-hpc/hepnos-go/hepnos"
+)
+
+// Particle mirrors the example struct from Listing 1 of the paper. Any Go
+// struct of numeric/string/slice/map fields serializes automatically — the
+// analog of providing a Boost serialize() function.
+type Particle struct {
+	X, Y, Z float32
+}
+
+func main() {
+	ctx := context.Background()
+
+	// Deploy a service: 2 servers, each with event and product databases.
+	// In production this is `hepnos-server` + a group file; in-process
+	// deployment keeps the example self-contained.
+	dep, err := hepnos.Deploy(hepnos.DeploySpec{
+		Servers:            2,
+		ProvidersPerServer: 4,
+		NamePrefix:         "quickstart",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Shutdown()
+
+	// auto datastore = hepnos::DataStore::connect("config.json");
+	ds, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: dep.Group})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+
+	// hepnos::DataSet ds = datastore["path/to/dataset"];
+	dataset, err := ds.CreateDataSet(ctx, "path/to/dataset")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// hepnos::Run run = ds[43];
+	run, err := dataset.CreateRun(ctx, 43)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// hepnos::SubRun subrun = run.createSubRun(56);
+	subrun, err := run.CreateSubRun(ctx, 56)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// hepnos::Event ev = subrun.createEvent(25);
+	ev, err := subrun.CreateEvent(ctx, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ev.store(vp1);
+	vp1 := []Particle{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	if err := ev.Store(ctx, "mylabel", vp1); err != nil {
+		log.Fatal(err)
+	}
+
+	// ev.load(vp2);
+	var vp2 []Particle
+	if err := ev.Load(ctx, "mylabel", &vp2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %d particles, loaded %d back: %v\n", len(vp1), len(vp2), vp2)
+
+	// for(auto& subrun : run) { std::cout << subrun.number() << std::endl; }
+	for n := uint64(50); n < 60; n += 3 {
+		if _, err := run.CreateSubRun(ctx, n); err != nil {
+			log.Fatal(err)
+		}
+	}
+	subruns, err := run.SubRuns(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("subruns of run 43:")
+	for _, n := range subruns {
+		fmt.Printf(" %d", n)
+	}
+	fmt.Println()
+}

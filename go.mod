@@ -1,0 +1,3 @@
+module github.com/hep-on-hpc/hepnos-go
+
+go 1.22

@@ -1,0 +1,119 @@
+package hepnos_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/hep-on-hpc/hepnos-go/hepnos"
+)
+
+// Example reproduces the paper's Listing 1: connect, build the hierarchy,
+// store and load a product, iterate.
+func Example() {
+	ctx := context.Background()
+	dep, err := hepnos.Deploy(hepnos.DeploySpec{Servers: 1, NamePrefix: "example-basic"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Shutdown()
+	ds, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: dep.Group})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+
+	type Particle struct{ X, Y, Z float32 }
+
+	dataset, _ := ds.CreateDataSet(ctx, "path/to/dataset")
+	run, _ := dataset.CreateRun(ctx, 43)
+	subrun, _ := run.CreateSubRun(ctx, 56)
+	ev, _ := subrun.CreateEvent(ctx, 25)
+
+	_ = ev.Store(ctx, "mylabel", []Particle{{1, 2, 3}})
+	var out []Particle
+	_ = ev.Load(ctx, "mylabel", &out)
+	fmt.Println(len(out), out[0].Z)
+
+	subruns, _ := run.SubRuns(ctx)
+	fmt.Println(subruns)
+	// Output:
+	// 1 3
+	// [56]
+}
+
+// ExampleDataStore_ProcessEvents shows the ParallelEventProcessor: MPI-
+// style ranks sharing a dataset at event granularity.
+func ExampleDataStore_ProcessEvents() {
+	ctx := context.Background()
+	dep, err := hepnos.Deploy(hepnos.DeploySpec{Servers: 1, NamePrefix: "example-pep"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Shutdown()
+	ds, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: dep.Group})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+
+	dataset, _ := ds.CreateDataSet(ctx, "beam")
+	wb := ds.NewWriteBatch()
+	run, _ := wb.CreateRun(ctx, dataset, 1)
+	sr, _ := wb.CreateSubRun(ctx, run, 0)
+	for e := uint64(0); e < 100; e++ {
+		if _, err := wb.CreateEvent(ctx, sr, e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := wb.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	hepnos.NewWorld(4).Run(func(c *hepnos.Comm) {
+		stats, err := ds.ProcessEvents(ctx, c, dataset, hepnos.PEPOptions{WorkBatchSize: 8},
+			func(ev *hepnos.Event) error { return nil })
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c.Rank() == 0 {
+			fmt.Println("events processed:", stats.TotalEvents)
+		}
+	})
+	// Output:
+	// events processed: 100
+}
+
+// ExampleDataSet_RunCursor streams runs page by page instead of loading
+// the whole listing.
+func ExampleDataSet_RunCursor() {
+	ctx := context.Background()
+	dep, err := hepnos.Deploy(hepnos.DeploySpec{Servers: 1, NamePrefix: "example-cursor"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Shutdown()
+	ds, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: dep.Group})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+
+	dataset, _ := ds.CreateDataSet(ctx, "cursored")
+	for _, n := range []uint64{30, 10, 20} {
+		if _, err := dataset.CreateRun(ctx, n); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cur := dataset.RunCursor(ctx, 2)
+	for cur.Next() {
+		fmt.Println(cur.Run().Number())
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// 10
+	// 20
+	// 30
+}

@@ -1,0 +1,124 @@
+// Package hepnos is the public API of hepnos-go, a Go reproduction of
+// HEPnOS — the High Energy Physics new Object Store (IPDPS 2023). It
+// re-exports the core client types so downstream users never import
+// internal packages.
+//
+// A HEPnOS service stores HEP data as a hierarchy of datasets, runs,
+// subruns and events; any container holds typed, labelled products
+// (serialized Go values). The Go translation of the paper's Listing 1:
+//
+//	ds, _ := hepnos.Connect(ctx, hepnos.ClientConfig{Group: group})
+//	defer ds.Close()
+//	d, _ := ds.CreateDataSet(ctx, "fermilab/nova")
+//	run, _ := d.CreateRun(ctx, 43)
+//	subrun, _ := run.CreateSubRun(ctx, 56)
+//	ev, _ := subrun.CreateEvent(ctx, 25)
+//	_ = ev.Store(ctx, "mylabel", particles)   // store a product
+//	var out []Particle
+//	_ = ev.Load(ctx, "mylabel", &out)          // load it back
+//	for _, sr := range mustV(run.SubRuns(ctx)) { ... }
+//
+// Services are deployed with the bedrock package (see cmd/hepnos-server)
+// and described to clients by a group file.
+package hepnos
+
+import (
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/core"
+	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
+)
+
+// Client-side types.
+type (
+	// DataStore is a client handle to a HEPnOS service.
+	DataStore = core.DataStore
+	// ClientConfig configures Connect.
+	ClientConfig = core.ClientConfig
+	// DataSet is a named container of runs and datasets.
+	DataSet = core.DataSet
+	// Run is a numbered container of subruns.
+	Run = core.Run
+	// SubRun is a numbered container of events.
+	SubRun = core.SubRun
+	// Event is the natural atomic unit of HEP data.
+	Event = core.Event
+	// EventID is the (run, subrun, event) coordinate triple.
+	EventID = core.EventID
+	// WriteBatch groups updates by target database (§II-D).
+	WriteBatch = core.WriteBatch
+	// AsynchronousWriteBatch flushes batches from background workers.
+	AsynchronousWriteBatch = core.AsynchronousWriteBatch
+	// PEPOptions tunes ProcessEvents (the ParallelEventProcessor).
+	PEPOptions = core.PEPOptions
+	// PEPStats reports a ProcessEvents execution.
+	PEPStats = core.PEPStats
+	// ProductSelector names a product to prefetch with events.
+	ProductSelector = core.ProductSelector
+	// RunCursor, SubRunCursor and EventCursor stream container children
+	// page by page; EventCursor can prefetch products (the Prefetcher
+	// pattern).
+	RunCursor    = core.RunCursor
+	SubRunCursor = core.SubRunCursor
+	EventCursor  = core.EventCursor
+	// Placement selects the key-to-database mapping strategy.
+	Placement = core.Placement
+	// RescaleStats reports a storage-rescaling migration.
+	RescaleStats = core.RescaleStats
+)
+
+// Placement strategies (see core.Placement).
+const (
+	PlacementModulo = core.PlacementModulo
+	PlacementJump   = core.PlacementJump
+)
+
+// Deployment types (server side).
+type (
+	// DeploySpec sizes a service deployment.
+	DeploySpec = bedrock.DeploySpec
+	// Deployment is a set of running servers.
+	Deployment = bedrock.Deployment
+	// GroupFile describes a deployed service to clients.
+	GroupFile = bedrock.GroupFile
+	// ProcessConfig is one server's Bedrock JSON configuration.
+	ProcessConfig = bedrock.ProcessConfig
+)
+
+// Comm is the MPI-like communicator used by parallel client applications.
+type Comm = mpi.Comm
+
+// Errors re-exported from the core package.
+var (
+	ErrNoSuchDataSet   = core.ErrNoSuchDataSet
+	ErrNoSuchContainer = core.ErrNoSuchContainer
+	ErrNoSuchProduct   = core.ErrNoSuchProduct
+	ErrBadPath         = core.ErrBadPath
+	ErrClosed          = core.ErrClosed
+)
+
+// Connect discovers a service's databases and returns a client handle —
+// the analog of hepnos::DataStore::connect("config.json").
+var Connect = core.Connect
+
+// SelectorFor builds a ProductSelector from a label and an example value.
+var SelectorFor = core.SelectorFor
+
+// Rescale migrates all data from one datastore view to another whose
+// database sets differ — the storage-rescaling extension the paper cites
+// as future work (§V, Pufferscale). Requires write quiescence.
+var Rescale = core.Rescale
+
+// Deploy boots a full service in this process (servers as goroutines).
+var Deploy = bedrock.Deploy
+
+// BootFile boots one server process from a Bedrock JSON file.
+var BootFile = bedrock.BootFile
+
+// ReadGroupFile and WriteGroupFile exchange service descriptors with disk.
+var (
+	ReadGroupFile  = bedrock.ReadGroupFile
+	WriteGroupFile = bedrock.WriteGroupFile
+)
+
+// NewWorld creates an in-process MPI-like world for parallel applications.
+var NewWorld = mpi.NewWorld

@@ -1,0 +1,227 @@
+package hepnos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/hepnos"
+)
+
+var seq atomic.Int64
+
+func deploy(t *testing.T, spec hepnos.DeploySpec) (*hepnos.DataStore, *hepnos.Deployment) {
+	t.Helper()
+	if spec.NamePrefix == "" {
+		spec.NamePrefix = fmt.Sprintf("pub-%d", seq.Add(1))
+	}
+	if spec.ProvidersPerServer == 0 {
+		spec.ProvidersPerServer = 2
+	}
+	if spec.EventDBsPerServer == 0 {
+		spec.EventDBsPerServer = 4
+	}
+	if spec.ProductDBsPerServer == 0 {
+		spec.ProductDBsPerServer = 4
+	}
+	dep, err := hepnos.Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dep.Shutdown)
+	ds, err := hepnos.Connect(context.Background(), hepnos.ClientConfig{Group: dep.Group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ds.Close)
+	return ds, dep
+}
+
+type particle struct{ X, Y, Z float32 }
+
+// TestPublicAPIListing1 exercises the complete Listing-1 flow through the
+// exported facade only.
+func TestPublicAPIListing1(t *testing.T) {
+	ds, _ := deploy(t, hepnos.DeploySpec{Servers: 2})
+	ctx := context.Background()
+
+	d, err := ds.CreateDataSet(ctx, "fermilab/nova")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := d.CreateRun(ctx, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := run.CreateSubRun(ctx, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sr.CreateEvent(ctx, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []particle{{1, 2, 3}}
+	if err := ev.Store(ctx, "mylabel", in); err != nil {
+		t.Fatal(err)
+	}
+	var out []particle
+	if err := ev.Load(ctx, "mylabel", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %v vs %v", in, out)
+	}
+	if !errors.Is(func() error { _, err := ds.OpenDataSet(ctx, "missing"); return err }(),
+		hepnos.ErrNoSuchDataSet) {
+		t.Fatal("exported sentinel errors must match")
+	}
+}
+
+// TestPublicAPIOverTCP runs the facade against a real TCP deployment.
+func TestPublicAPIOverTCP(t *testing.T) {
+	ds, _ := deploy(t, hepnos.DeploySpec{Servers: 1, Scheme: "tcp"})
+	ctx := context.Background()
+	d, err := ds.CreateDataSet(ctx, "tcp/check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, _ := d.CreateRun(ctx, 1)
+	sr, _ := run.CreateSubRun(ctx, 1)
+	for i := uint64(0); i < 20; i++ {
+		if _, err := sr.CreateEvent(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := sr.Events(ctx)
+	if err != nil || len(events) != 20 {
+		t.Fatalf("events = %d %v", len(events), err)
+	}
+}
+
+// TestPublicAPIParallelProcessing uses the exported world + PEP symbols.
+func TestPublicAPIParallelProcessing(t *testing.T) {
+	ds, _ := deploy(t, hepnos.DeploySpec{Servers: 2})
+	ctx := context.Background()
+	d, _ := ds.CreateDataSet(ctx, "pep/pub")
+	wb := ds.NewWriteBatch()
+	run, _ := wb.CreateRun(ctx, d, 1)
+	for s := uint64(0); s < 6; s++ {
+		sr, _ := wb.CreateSubRun(ctx, run, s)
+		for e := uint64(0); e < 30; e++ {
+			ev, err := wb.CreateEvent(ctx, sr, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wb.Store(ctx, ev, "p", particle{X: float32(e)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := wb.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []hepnos.EventID
+	hepnos.NewWorld(4).Run(func(c *hepnos.Comm) {
+		stats, err := ds.ProcessEvents(ctx, c, d, hepnos.PEPOptions{
+			WorkBatchSize: 8,
+			Prefetch:      []hepnos.ProductSelector{hepnos.SelectorFor("p", particle{})},
+		}, func(ev *hepnos.Event) error {
+			var p particle
+			if err := ev.Load(ctx, "p", &p); err != nil {
+				return err
+			}
+			if p.X != float32(ev.ID().Event) {
+				return fmt.Errorf("event %v has wrong product %v", ev.ID(), p)
+			}
+			mu.Lock()
+			got = append(got, ev.ID())
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		if c.Rank() == 0 && stats.TotalEvents != 180 {
+			t.Errorf("total = %d", stats.TotalEvents)
+		}
+	})
+	if len(got) != 180 {
+		t.Fatalf("processed %d events", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].SubRun != got[j].SubRun {
+			return got[i].SubRun < got[j].SubRun
+		}
+		return got[i].Event < got[j].Event
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("duplicate event %v", got[i])
+		}
+	}
+}
+
+// TestGroupFileRoundTripThroughFacade writes/reads a group file with the
+// exported helpers and reconnects through it.
+func TestGroupFileRoundTripThroughFacade(t *testing.T) {
+	ds, dep := deploy(t, hepnos.DeploySpec{Servers: 1})
+	ctx := context.Background()
+	if _, err := ds.CreateDataSet(ctx, "persisted"); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/group.json"
+	if err := hepnos.WriteGroupFile(path, dep.Group); err != nil {
+		t.Fatal(err)
+	}
+	group, err := hepnos.ReadGroupFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	if _, err := ds2.OpenDataSet(ctx, "persisted"); err != nil {
+		t.Fatal("second client cannot see first client's dataset:", err)
+	}
+}
+
+// TestServerShutdownSurfacesErrors verifies failure propagation: after the
+// service dies, client operations return errors rather than hanging.
+func TestServerShutdownSurfacesErrors(t *testing.T) {
+	spec := hepnos.DeploySpec{
+		Servers: 1, ProvidersPerServer: 2,
+		EventDBsPerServer: 4, ProductDBsPerServer: 4,
+		NamePrefix: fmt.Sprintf("pub-kill-%d", seq.Add(1)),
+	}
+	dep, err := hepnos.Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ds, err := hepnos.Connect(ctx, hepnos.ClientConfig{Group: dep.Group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	d, err := ds.CreateDataSet(ctx, "doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Shutdown()
+	if _, err := d.CreateRun(ctx, 1); err == nil {
+		t.Fatal("operation against a dead service should fail")
+	}
+	if _, err := ds.OpenDataSet(ctx, "doomed"); err == nil {
+		t.Fatal("open against a dead service should fail")
+	}
+}

@@ -1,0 +1,81 @@
+package bedrock
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+)
+
+// The admin provider gives operators remote control of a server process —
+// the role of the hepnos-shutdown utility in the real HEPnOS distribution.
+// It is registered at Boot on provider id 65535 under the "admin" service.
+const (
+	adminService         = "admin"
+	adminProviderID      = margo.ProviderID(65535)
+	adminShutdownRPC     = "shutdown"
+	adminPingRPC         = "ping"
+	adminShutdownTimeout = "bye"
+)
+
+// registerAdmin installs the admin RPCs on a booted server.
+func (s *Server) registerAdmin() error {
+	handlers := map[string]fabric.Handler{
+		adminPingRPC: func(context.Context, *fabric.Request) ([]byte, error) {
+			return []byte("pong"), nil
+		},
+		adminShutdownRPC: func(context.Context, *fabric.Request) ([]byte, error) {
+			// Acknowledge first; the actual teardown runs asynchronously
+			// so the RPC response can leave the process.
+			select {
+			case s.shutdownCh <- struct{}{}:
+			default: // already requested
+			}
+			return []byte(adminShutdownTimeout), nil
+		},
+	}
+	_, err := s.mi.RegisterProvider(adminService, adminProviderID, nil, handlers)
+	return err
+}
+
+// ShutdownRequested returns a channel that receives one value when a
+// remote shutdown RPC arrives. Server owners (cmd/hepnos-server) select on
+// it alongside OS signals.
+func (s *Server) ShutdownRequested() <-chan struct{} { return s.shutdownCh }
+
+// RemoteShutdown asks every server in the group to shut down, using the
+// given margo instance as the client endpoint. It is best-effort: servers
+// co-located in one process stop together when the first acknowledges, so
+// later sends may find their peers already gone. An error is returned only
+// when no server acknowledged at all.
+func RemoteShutdown(ctx context.Context, mi *margo.Instance, group GroupFile) error {
+	var firstErr error
+	acked := 0
+	for _, srv := range group.Servers {
+		_, err := mi.Forward(ctx, fabric.Address(srv.Address), adminService, adminProviderID, adminShutdownRPC, nil)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("bedrock: shutdown %s: %w", srv.Address, err)
+			}
+			continue
+		}
+		acked++
+	}
+	if acked > 0 {
+		return nil
+	}
+	return firstErr
+}
+
+// Ping checks that a server's admin provider is alive.
+func Ping(ctx context.Context, mi *margo.Instance, addr fabric.Address) error {
+	resp, err := mi.Forward(ctx, addr, adminService, adminProviderID, adminPingRPC, nil)
+	if err != nil {
+		return err
+	}
+	if string(resp) != "pong" {
+		return fmt.Errorf("bedrock: unexpected ping response %q from %s", resp, addr)
+	}
+	return nil
+}

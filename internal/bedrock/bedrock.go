@@ -1,0 +1,231 @@
+// Package bedrock is the Go analog of the Mochi Bedrock component: it
+// bootstraps a server process from a JSON configuration describing the
+// Argobots resources (pools, execution streams), the Mercury/Margo setup
+// (address, rpc execution streams) and the list of providers with their
+// databases (§II-B of the paper).
+//
+// The "high degree of configurability" the paper credits for HEPnOS tuning
+// is preserved: every knob the evaluation sweeps (providers per process,
+// databases per provider, backend type, xstream counts) is a field here.
+package bedrock
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/argo"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// ProcessConfig is the root of a Bedrock JSON document for one server
+// process.
+type ProcessConfig struct {
+	Margo     MargoConfig      `json:"margo"`
+	Providers []ProviderConfig `json:"providers"`
+}
+
+// MargoConfig configures the communication and threading layers.
+type MargoConfig struct {
+	// Address to listen on, e.g. "inproc://server0" or "tcp://0.0.0.0:0".
+	Address string `json:"address"`
+	// RPCXStreams sets the size of the default round-robin xstream set
+	// when Argobots is not given explicitly. The paper uses 16.
+	RPCXStreams int `json:"rpc_xstreams"`
+	// Argobots optionally spells out pools and xstreams in full.
+	Argobots argo.Config `json:"argobots"`
+	// NetSim optionally attaches a network cost model (testing only; not
+	// part of the original Bedrock schema).
+	NetSim *NetSimConfig `json:"netsim,omitempty"`
+}
+
+// NetSimConfig is the JSON form of a fabric.NetSim.
+type NetSimConfig struct {
+	LatencyUS         int64   `json:"latency_us"`
+	BandwidthBps      float64 `json:"bandwidth_bps"`
+	InjectionBps      float64 `json:"injection_bps"`
+	InjectionHardFail bool    `json:"injection_hard_fail"`
+}
+
+// ProviderConfig declares one provider.
+type ProviderConfig struct {
+	// Type must be "yokan" (the only provider type HEPnOS uses).
+	Type string `json:"type"`
+	// Name is informational.
+	Name string `json:"name"`
+	// ProviderID distinguishes providers on the same endpoint.
+	ProviderID uint16 `json:"provider_id"`
+	// Pool names the Argobots pool this provider's RPCs execute in;
+	// empty selects the primary pool.
+	Pool string `json:"pool"`
+	// Config holds provider-type-specific settings.
+	Config ProviderSpec `json:"config"`
+}
+
+// ProviderSpec is the "config" object of a yokan provider.
+type ProviderSpec struct {
+	Databases []yokan.DBConfig `json:"databases"`
+}
+
+// Validate performs structural checks before boot.
+func (c *ProcessConfig) Validate() error {
+	if c.Margo.Address == "" {
+		return fmt.Errorf("bedrock: margo.address is required")
+	}
+	if len(c.Providers) == 0 {
+		return fmt.Errorf("bedrock: at least one provider is required")
+	}
+	seen := make(map[uint16]bool)
+	for i, p := range c.Providers {
+		if p.Type != "yokan" {
+			return fmt.Errorf("bedrock: provider %d has unsupported type %q", i, p.Type)
+		}
+		if seen[p.ProviderID] {
+			return fmt.Errorf("bedrock: duplicate provider_id %d", p.ProviderID)
+		}
+		seen[p.ProviderID] = true
+		if len(p.Config.Databases) == 0 {
+			return fmt.Errorf("bedrock: provider %d has no databases", i)
+		}
+	}
+	return nil
+}
+
+// Server is a booted process: a margo instance plus its providers.
+type Server struct {
+	mi         *margo.Instance
+	providers  []*yokan.Provider
+	cfg        ProcessConfig
+	shutdownCh chan struct{}
+	janitorCh  chan struct{}
+}
+
+// Boot starts a server from the configuration.
+func Boot(cfg ProcessConfig) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var sim *fabric.NetSim
+	if ns := cfg.Margo.NetSim; ns != nil {
+		sim = &fabric.NetSim{
+			Latency:           time.Duration(ns.LatencyUS) * time.Microsecond,
+			BandwidthBps:      ns.BandwidthBps,
+			InjectionBps:      ns.InjectionBps,
+			InjectionHardFail: ns.InjectionHardFail,
+		}
+	}
+	mi, err := margo.Init(margo.Config{
+		Address:     fabric.Address(cfg.Margo.Address),
+		Argobots:    cfg.Margo.Argobots,
+		RPCXStreams: cfg.Margo.RPCXStreams,
+		NetSim:      sim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{
+		mi:         mi,
+		cfg:        cfg,
+		shutdownCh: make(chan struct{}, 1),
+		janitorCh:  make(chan struct{}),
+	}
+	if err := srv.registerAdmin(); err != nil {
+		srv.Shutdown()
+		return nil, err
+	}
+	for _, pc := range cfg.Providers {
+		var pool *argo.Pool
+		if pc.Pool != "" {
+			pool = mi.Runtime().Pool(pc.Pool)
+			if pool == nil {
+				srv.Shutdown()
+				return nil, fmt.Errorf("bedrock: provider %q references unknown pool %q", pc.Name, pc.Pool)
+			}
+		}
+		p, err := yokan.NewProvider(mi, margo.ProviderID(pc.ProviderID), pool, pc.Config.Databases)
+		if err != nil {
+			srv.Shutdown()
+			return nil, fmt.Errorf("bedrock: provider %q: %w", pc.Name, err)
+		}
+		srv.providers = append(srv.providers, p)
+	}
+	// Bulk-region janitor: reclaim regions abandoned by dead clients
+	// (exposed for a get_multi bulk response but never bulk_freed).
+	go srv.bulkJanitor()
+	return srv, nil
+}
+
+// bulkJanitorInterval and bulkRegionMaxAge bound server memory held for
+// clients that disappeared mid-transfer.
+const (
+	bulkJanitorInterval = 30 * time.Second
+	bulkRegionMaxAge    = 2 * time.Minute
+)
+
+func (s *Server) bulkJanitor() {
+	t := time.NewTicker(bulkJanitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mi.Endpoint().SweepBulk(bulkRegionMaxAge)
+		case <-s.janitorCh:
+			return
+		}
+	}
+}
+
+// BootJSON parses a JSON document and boots from it.
+func BootJSON(data []byte) (*Server, error) {
+	var cfg ProcessConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("bedrock: parse config: %w", err)
+	}
+	return Boot(cfg)
+}
+
+// BootFile reads a JSON configuration file and boots from it.
+func BootFile(path string) (*Server, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bedrock: read config: %w", err)
+	}
+	return BootJSON(data)
+}
+
+// Addr returns the server's reachable address.
+func (s *Server) Addr() fabric.Address { return s.mi.Addr() }
+
+// Margo exposes the underlying margo instance.
+func (s *Server) Margo() *margo.Instance { return s.mi }
+
+// Providers returns the booted Yokan providers.
+func (s *Server) Providers() []*yokan.Provider {
+	return append([]*yokan.Provider(nil), s.providers...)
+}
+
+// Descriptor summarizes this server for a group file.
+func (s *Server) Descriptor() ServerDescriptor {
+	d := ServerDescriptor{Address: string(s.Addr())}
+	for _, p := range s.providers {
+		d.Providers = append(d.Providers, uint16(p.ID()))
+	}
+	return d
+}
+
+// Shutdown stops the server: providers close their databases, then the
+// margo instance finalizes. It is safe to call once.
+func (s *Server) Shutdown() {
+	select {
+	case <-s.janitorCh:
+	default:
+		close(s.janitorCh)
+	}
+	for _, p := range s.providers {
+		p.Close()
+	}
+	s.mi.Finalize()
+}

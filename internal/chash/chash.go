@@ -1,0 +1,171 @@
+// Package chash provides the hashing and consistent-hashing machinery used
+// by HEPnOS to place container and product keys onto database instances
+// (§II-C3 of the paper).
+//
+// The location of a container key is selected by hashing its parent's key;
+// the location of a product key by hashing its container key. This keeps all
+// direct children of a container in one database so that listing them is a
+// single-iterator prefix scan, and it batches product reads for one
+// container onto one server.
+package chash
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hash64 computes a 64-bit hash of the key. It is an XXH64-style mix: FNV-1a
+// over the bytes followed by a SplitMix64 finalizer to improve avalanche
+// behaviour of short keys (container keys differ only in a few bytes).
+func Hash64(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	// SplitMix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Hash64Seed computes a seeded variant of Hash64 for callers that need a
+// family of independent hash functions (e.g. bloom filters).
+func Hash64Seed(key []byte, seed uint64) uint64 {
+	h := Hash64(key)
+	h ^= seed + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h ^= h >> 29
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 32
+	return h
+}
+
+// Placer selects one of n targets for a key. HEPnOS uses it to pick a
+// database index from a key; implementations must be deterministic.
+type Placer interface {
+	// Place returns a target index in [0, Targets()).
+	Place(key []byte) int
+	// Targets returns the number of configured targets.
+	Targets() int
+}
+
+// Modulo is the simplest placer: hash mod n. It is cheap and perfectly
+// balanced but remaps nearly all keys when n changes; HEPnOS's database
+// count is fixed for the lifetime of a datastore, so this is the default.
+type Modulo struct{ N int }
+
+// Place implements Placer.
+func (m Modulo) Place(key []byte) int {
+	if m.N <= 0 {
+		panic("chash: Modulo with no targets")
+	}
+	return int(Hash64(key) % uint64(m.N))
+}
+
+// Targets implements Placer.
+func (m Modulo) Targets() int { return m.N }
+
+// Jump implements Lamping & Veach's jump consistent hash. It moves only
+// ~1/(n+1) of keys when growing from n to n+1 targets, with no memory cost.
+// Used by the storage-rescaling ablation (the paper cites Pufferscale as
+// future work on elastic HEPnOS deployments).
+type Jump struct{ N int }
+
+// Place implements Placer.
+func (j Jump) Place(key []byte) int {
+	if j.N <= 0 {
+		panic("chash: Jump with no targets")
+	}
+	k := Hash64(key)
+	var b, next int64 = -1, 0
+	for next < int64(j.N) {
+		b = next
+		k = k*2862933555777941757 + 1
+		next = int64(float64(b+1) * (float64(int64(1)<<31) / float64((k>>33)+1)))
+	}
+	return int(b)
+}
+
+// Targets implements Placer.
+func (j Jump) Targets() int { return j.N }
+
+// Ring is a classic consistent-hash ring with virtual nodes. Members are
+// named (e.g. "server3/db5"); Lookup maps a key to a member. The ring is
+// immutable after construction; build a new one to add or remove members.
+type Ring struct {
+	points  []ringPoint
+	members []string
+	index   map[string]int
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+// NewRing builds a ring with the given members, each replicated at vnodes
+// positions. It returns an error for an empty member list, duplicate names,
+// or vnodes < 1.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("chash: ring needs at least one member")
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("chash: vnodes must be >= 1, got %d", vnodes)
+	}
+	r := &Ring{
+		members: append([]string(nil), members...),
+		index:   make(map[string]int, len(members)),
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+	}
+	for i, m := range r.members {
+		if _, dup := r.index[m]; dup {
+			return nil, fmt.Errorf("chash: duplicate ring member %q", m)
+		}
+		r.index[m] = i
+		for v := 0; v < vnodes; v++ {
+			h := Hash64([]byte(fmt.Sprintf("%s#%d", m, v)))
+			r.points = append(r.points, ringPoint{hash: h, member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		return pa.member < pb.member
+	})
+	return r, nil
+}
+
+// Lookup returns the member owning the key.
+func (r *Ring) Lookup(key []byte) string {
+	return r.members[r.LookupIndex(key)]
+}
+
+// LookupIndex returns the index (into the construction member list) of the
+// member owning the key.
+func (r *Ring) LookupIndex(key []byte) int {
+	h := Hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the ring's member names in construction order.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Place implements Placer using the ring's member indices.
+func (r *Ring) Place(key []byte) int { return r.LookupIndex(key) }
+
+// Targets implements Placer.
+func (r *Ring) Targets() int { return len(r.members) }

@@ -1,0 +1,220 @@
+package chash
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	f := func(b []byte) bool { return Hash64(b) == Hash64(append([]byte(nil), b...)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one bit of a short key should flip roughly half the output
+	// bits on average. Accept a generous band; this guards against
+	// accidentally weakening the finalizer.
+	key := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	base := Hash64(key)
+	total := 0
+	n := 0
+	for i := range key {
+		for bit := 0; bit < 8; bit++ {
+			mod := append([]byte(nil), key...)
+			mod[i] ^= 1 << bit
+			diff := base ^ Hash64(mod)
+			total += popcount64(diff)
+			n++
+		}
+	}
+	avg := float64(total) / float64(n)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("average flipped bits = %.1f, want ~32", avg)
+	}
+}
+
+func popcount64(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func TestModuloBalance(t *testing.T) {
+	const n, keys = 8, 40000
+	m := Modulo{N: n}
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[m.Place([]byte(fmt.Sprintf("key-%d", i)))]++
+	}
+	assertBalanced(t, counts, keys, 0.10)
+}
+
+func TestJumpBalance(t *testing.T) {
+	const n, keys = 8, 40000
+	j := Jump{N: n}
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[j.Place([]byte(fmt.Sprintf("key-%d", i)))]++
+	}
+	assertBalanced(t, counts, keys, 0.10)
+}
+
+func TestJumpMonotoneStability(t *testing.T) {
+	// Jump hash guarantee: growing targets moves keys only to the new
+	// target, never between existing ones.
+	const keys = 5000
+	for n := 1; n < 12; n++ {
+		a, b := Jump{N: n}, Jump{N: n + 1}
+		for i := 0; i < keys; i++ {
+			k := []byte(fmt.Sprintf("k%d", i))
+			pa, pb := a.Place(k), b.Place(k)
+			if pa != pb && pb != n {
+				t.Fatalf("n=%d key %s moved %d -> %d (not the new target)", n, k, pa, pb)
+			}
+		}
+	}
+}
+
+func assertBalanced(t *testing.T, counts []int, keys int, tol float64) {
+	t.Helper()
+	expect := float64(keys) / float64(len(counts))
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > tol*expect {
+			t.Fatalf("target %d has %d keys, expected %.0f ± %.0f%%: %v",
+				i, c, expect, tol*100, counts)
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 32); err == nil {
+		t.Error("empty members should error")
+	}
+	if _, err := NewRing([]string{"a"}, 0); err == nil {
+		t.Error("zero vnodes should error")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 4); err == nil {
+		t.Error("duplicate members should error")
+	}
+}
+
+func TestRingDeterministicLookup(t *testing.T) {
+	r1, err := NewRing([]string{"s0", "s1", "s2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing([]string{"s0", "s1", "s2"}, 64)
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key%d", i))
+		if r1.Lookup(k) != r2.Lookup(k) {
+			t.Fatalf("rings disagree on %s", k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := make([]string, 8)
+	for i := range members {
+		members[i] = fmt.Sprintf("server%d", i)
+	}
+	r, err := NewRing(members, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(members))
+	const keys = 40000
+	for i := 0; i < keys; i++ {
+		counts[r.LookupIndex([]byte(fmt.Sprintf("key-%d", i)))]++
+	}
+	// Rings with 128 vnodes are balanced within ~±30%.
+	assertBalanced(t, counts, keys, 0.35)
+}
+
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	// Adding one member should move roughly 1/(n+1) of the keys.
+	base := []string{"s0", "s1", "s2", "s3"}
+	r1, _ := NewRing(base, 128)
+	r2, _ := NewRing(append(append([]string(nil), base...), "s4"), 128)
+	const keys = 20000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if r1.Lookup(k) != r2.Lookup(k) {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 0.35 {
+		t.Fatalf("growth moved %.0f%% of keys, want ~20%%", frac*100)
+	}
+	if frac == 0 {
+		t.Fatal("growth moved no keys at all")
+	}
+}
+
+func TestRingPlacerInterface(t *testing.T) {
+	r, _ := NewRing([]string{"a", "b"}, 16)
+	var p Placer = r
+	if p.Targets() != 2 {
+		t.Fatalf("Targets = %d", p.Targets())
+	}
+	if got := p.Place([]byte("x")); got < 0 || got > 1 {
+		t.Fatalf("Place out of range: %d", got)
+	}
+}
+
+func TestHash64SeedFamilies(t *testing.T) {
+	// Different seeds produce independent hash functions (used by bloom
+	// filters): same key, different seeds → mostly different values, and
+	// the same seed is deterministic.
+	key := []byte("bloom-key")
+	if Hash64Seed(key, 1) != Hash64Seed(key, 1) {
+		t.Fatal("seeded hash not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for s := uint64(0); s < 64; s++ {
+		seen[Hash64Seed(key, s)] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("seed family collides too much: %d distinct of 64", len(seen))
+	}
+}
+
+func TestPlacerTargets(t *testing.T) {
+	if (Modulo{N: 5}).Targets() != 5 || (Jump{N: 7}).Targets() != 7 {
+		t.Fatal("Targets wrong")
+	}
+	r, _ := NewRing([]string{"a", "b", "c"}, 8)
+	if got := r.Members(); len(got) != 3 || got[0] != "a" {
+		t.Fatalf("Members = %v", got)
+	}
+	// Mutating the returned slice must not affect the ring.
+	got := r.Members()
+	got[0] = "mutated"
+	if r.Members()[0] != "a" {
+		t.Fatal("Members returned internal storage")
+	}
+}
+
+func TestPlacePanicsOnEmpty(t *testing.T) {
+	for _, f := range []func(){
+		func() { Modulo{}.Place([]byte("k")) },
+		func() { Jump{}.Place([]byte("k")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic for zero targets")
+				}
+			}()
+			f()
+		}()
+	}
+}

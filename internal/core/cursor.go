@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// Cursors stream a container's children page by page instead of
+// materializing the whole listing (the Runs/SubRuns/Events accessors).
+// They are the analog of HEPnOS's C++ iterators; EventCursor additionally
+// plays the role of the hepnos::Prefetcher, shipping selected products
+// with each page so the per-event Load is a local cache hit.
+//
+// Cursor usage:
+//
+//	cur := dataset.RunCursor(ctx, 1024)
+//	for cur.Next() {
+//	    run := cur.Run()
+//	    ...
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// Cursors are not safe for concurrent use.
+
+// numberCursor pages numbered child keys out of one database.
+type numberCursor struct {
+	ctx      context.Context
+	ds       *DataStore
+	db       yokan.DBHandle
+	parent   keys.ContainerKey
+	pageSize int
+
+	page    []keys.ContainerKey
+	pos     int
+	from    []byte
+	done    bool
+	err     error
+	current keys.ContainerKey
+}
+
+func newNumberCursor(ctx context.Context, ds *DataStore, db yokan.DBHandle, parent keys.ContainerKey, pageSize int) *numberCursor {
+	if pageSize <= 0 {
+		pageSize = listPageSize
+	}
+	return &numberCursor{ctx: ctx, ds: ds, db: db, parent: parent, pageSize: pageSize}
+}
+
+// next advances to the next child key.
+func (c *numberCursor) next() bool {
+	if c.err != nil {
+		return false
+	}
+	for {
+		if c.pos < len(c.page) {
+			c.current = c.page[c.pos]
+			c.pos++
+			return true
+		}
+		if c.done {
+			return false
+		}
+		if c.ds.closed.Load() {
+			c.err = ErrClosed
+			return false
+		}
+		raw, err := c.ds.yc.ListKeys(c.ctx, c.db, c.from, c.parent.Bytes(), c.pageSize)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		if len(raw) == 0 {
+			c.done = true
+			return false
+		}
+		c.from = raw[len(raw)-1]
+		if len(raw) < c.pageSize {
+			c.done = true
+		}
+		c.page = c.page[:0]
+		c.pos = 0
+		for _, k := range raw {
+			ck, err := keys.ParseContainerKey(k)
+			if err == nil && ck.Level() == c.parent.Level()+1 {
+				c.page = append(c.page, ck)
+			}
+		}
+	}
+}
+
+// RunCursor streams the dataset's runs in ascending order.
+type RunCursor struct {
+	nc *numberCursor
+	d  *DataSet
+}
+
+// RunCursor creates a cursor over the dataset's runs with the given page
+// size (0 uses the default).
+func (d *DataSet) RunCursor(ctx context.Context, pageSize int) *RunCursor {
+	return &RunCursor{
+		nc: newNumberCursor(ctx, d.ds, d.ds.runDBForDataset(d.key), d.key, pageSize),
+		d:  d,
+	}
+}
+
+// Next advances the cursor; it returns false at the end or on error.
+func (c *RunCursor) Next() bool { return c.nc.next() }
+
+// Run returns the current run handle.
+func (c *RunCursor) Run() *Run {
+	return &Run{container: container{ds: c.nc.ds, key: c.nc.current}, dataset: c.d}
+}
+
+// Err reports a cursor failure (nil at a clean end).
+func (c *RunCursor) Err() error { return c.nc.err }
+
+// SubRunCursor streams a run's subruns in ascending order.
+type SubRunCursor struct {
+	nc *numberCursor
+	r  *Run
+}
+
+// SubRunCursor creates a cursor over the run's subruns.
+func (r *Run) SubRunCursor(ctx context.Context, pageSize int) *SubRunCursor {
+	return &SubRunCursor{
+		nc: newNumberCursor(ctx, r.ds, r.ds.subrunDBForRun(r.key), r.key, pageSize),
+		r:  r,
+	}
+}
+
+// Next advances the cursor; it returns false at the end or on error.
+func (c *SubRunCursor) Next() bool { return c.nc.next() }
+
+// SubRun returns the current subrun handle.
+func (c *SubRunCursor) SubRun() *SubRun {
+	return &SubRun{container: container{ds: c.nc.ds, key: c.nc.current}, run: c.r}
+}
+
+// Err reports a cursor failure (nil at a clean end).
+func (c *SubRunCursor) Err() error { return c.nc.err }
+
+// EventCursor streams a subrun's events, optionally prefetching selected
+// products page by page (the hepnos::Prefetcher pattern).
+type EventCursor struct {
+	nc       *numberCursor
+	s        *SubRun
+	selector []ProductSelector
+	// prefetched maps the page position to label#type -> bytes.
+	prefetched map[string]map[string][]byte
+}
+
+// EventCursor creates a cursor over the subrun's events. Selectors, if
+// any, are bulk-fetched alongside each page so Event.Load serves them
+// locally.
+func (s *SubRun) EventCursor(ctx context.Context, pageSize int, selectors ...ProductSelector) *EventCursor {
+	return &EventCursor{
+		nc:       newNumberCursor(ctx, s.ds, s.ds.eventDBForSubRun(s.key), s.key, pageSize),
+		s:        s,
+		selector: selectors,
+	}
+}
+
+// Next advances the cursor; it returns false at the end or on error.
+func (c *EventCursor) Next() bool {
+	hadPage := c.nc.pos < len(c.nc.page)
+	if !c.nc.next() {
+		return false
+	}
+	// A page boundary was crossed: prefetch for the new page.
+	if len(c.selector) > 0 && (!hadPage || c.nc.pos == 1) {
+		c.prefetchPage()
+	}
+	return true
+}
+
+// prefetchPage bulk-loads the selected products for the current page.
+func (c *EventCursor) prefetchPage() {
+	c.prefetched = make(map[string]map[string][]byte, len(c.nc.page))
+	raw := make([][]byte, 0, len(c.nc.page))
+	for _, ck := range c.nc.page {
+		raw = append(raw, ck.Bytes())
+	}
+	entries := c.nc.ds.pepPrefetch(c.nc.ctx, raw, c.selector)
+	for _, e := range entries {
+		ck := string(raw[e.EventIdx])
+		m := c.prefetched[ck]
+		if m == nil {
+			m = make(map[string][]byte)
+			c.prefetched[ck] = m
+		}
+		m[e.LabelType] = e.Data
+	}
+}
+
+// Event returns the current event handle (with any prefetched products).
+func (c *EventCursor) Event() *Event {
+	var pref map[string][]byte
+	if c.prefetched != nil {
+		pref = c.prefetched[string(c.nc.current.Bytes())]
+	}
+	return &Event{
+		container: container{ds: c.nc.ds, key: c.nc.current, prefetched: pref},
+		subrun:    c.s,
+	}
+}
+
+// Err reports a cursor failure (nil at a clean end).
+func (c *EventCursor) Err() error { return c.nc.err }

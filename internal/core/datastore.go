@@ -1,0 +1,462 @@
+// Package core implements HEPnOS itself: the hierarchical object store for
+// High Energy Physics data described in §II of the paper. Data is organized
+// as named datasets containing numbered runs, subruns and events; any
+// container can hold typed, labelled products (serialized Go values). The
+// store is distributed over Yokan databases served by one or more server
+// processes; placement follows the paper's §II-C design:
+//
+//   - dataset full paths map to UUIDs in dataset databases,
+//   - a container key's database is chosen by consistent-hashing its
+//     *parent's* key, so the children of one container are co-located and
+//     iterable with a single database iterator, in order,
+//   - a product's database is chosen by hashing its container key, so the
+//     products of one container batch onto one server.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/chash"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+	"github.com/hep-on-hpc/hepnos-go/internal/uuid"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// Errors returned by datastore operations.
+var (
+	ErrNoSuchDataSet   = errors.New("hepnos: no such dataset")
+	ErrNoSuchContainer = errors.New("hepnos: no such container")
+	ErrNoSuchProduct   = errors.New("hepnos: no such product")
+	ErrBadPath         = errors.New("hepnos: invalid dataset path")
+	ErrClosed          = errors.New("hepnos: datastore is closed")
+)
+
+// Placement selects the key-to-database mapping strategy.
+type Placement string
+
+// Placement strategies. PlacementModulo is HEPnOS's default (the database
+// count is fixed for a datastore's lifetime). PlacementJump uses jump
+// consistent hashing so that *growing* the database set relocates only
+// ~1/(n+1) of the keys — the property the storage-rescaling extension
+// (Pufferscale, §V of the paper) relies on. All clients of one service
+// must use the same strategy.
+const (
+	PlacementModulo Placement = "modulo"
+	PlacementJump   Placement = "jump"
+)
+
+func (p Placement) placer(n int) chash.Placer {
+	if p == PlacementJump {
+		return chash.Jump{N: n}
+	}
+	return chash.Modulo{N: n}
+}
+
+// ClientConfig configures Connect.
+type ClientConfig struct {
+	// Group describes the service (addresses and provider ids), typically
+	// loaded from a group file written at deployment.
+	Group bedrock.GroupFile
+	// Address is this client's own endpoint address. Empty picks an
+	// automatic inproc name (or tcp://127.0.0.1:0 for tcp groups).
+	Address fabric.Address
+	// EagerLimit overrides the RPC-inline threshold for batch transfers.
+	EagerLimit int
+	// Placement selects the key placement strategy (default modulo).
+	Placement Placement
+	// NetSim optionally attaches a network cost model to the client's
+	// endpoint (latency/bandwidth injection for tests and ablations).
+	NetSim *fabric.NetSim
+}
+
+var clientSeq atomic.Int64
+
+// DataStore is a client handle to a deployed HEPnOS service. It is safe for
+// concurrent use by multiple goroutines.
+type DataStore struct {
+	mi *margo.Instance
+	yc *yokan.Client
+
+	// Databases by role, in deterministic (server, provider, name) order.
+	datasetDBs []yokan.DBHandle
+	runDBs     []yokan.DBHandle
+	subrunDBs  []yokan.DBHandle
+	eventDBs   []yokan.DBHandle
+	productDBs []yokan.DBHandle
+
+	placement Placement
+	group     bedrock.GroupFile
+	closed    atomic.Bool
+}
+
+// Connect discovers the service's databases and returns a ready DataStore,
+// the analog of hepnos::DataStore::connect("config.json").
+func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
+	if len(cfg.Group.Servers) == 0 {
+		return nil, fmt.Errorf("hepnos: connect: group lists no servers")
+	}
+	addr := cfg.Address
+	if addr == "" {
+		if cfg.Group.Protocol == "tcp" {
+			addr = "tcp://127.0.0.1:0"
+		} else {
+			addr = fabric.Address(fmt.Sprintf("inproc://hepnos-client-%d", clientSeq.Add(1)))
+		}
+	}
+	mi, err := margo.Init(margo.Config{Address: addr, NetSim: cfg.NetSim})
+	if err != nil {
+		return nil, err
+	}
+	placement := cfg.Placement
+	if placement == "" {
+		placement = PlacementModulo
+	}
+	ds := &DataStore{mi: mi, yc: yokan.NewClient(mi), placement: placement, group: cfg.Group}
+	if cfg.EagerLimit > 0 {
+		ds.yc.EagerLimit = cfg.EagerLimit
+	}
+
+	type dbEntry struct {
+		handle yokan.DBHandle
+		index  int
+	}
+	byRole := map[string][]dbEntry{}
+	for _, srv := range cfg.Group.Servers {
+		for _, pid := range srv.Providers {
+			names, _, err := ds.yc.ListDatabases(ctx, fabric.Address(srv.Address), margo.ProviderID(pid))
+			if err != nil {
+				mi.Finalize()
+				return nil, fmt.Errorf("hepnos: connect: query %s provider %d: %w", srv.Address, pid, err)
+			}
+			for _, name := range names {
+				role, idx, ok := parseDBName(name)
+				if !ok {
+					continue // not a HEPnOS database; ignore
+				}
+				byRole[role] = append(byRole[role], dbEntry{
+					handle: yokan.DBHandle{
+						Addr:     fabric.Address(srv.Address),
+						Provider: margo.ProviderID(pid),
+						Name:     name,
+					},
+					index: idx,
+				})
+			}
+		}
+	}
+	// Order each role set by the database index embedded in its name, so
+	// every client agrees on placement regardless of discovery order.
+	var dupErr error
+	assign := func(role string) []yokan.DBHandle {
+		entries := byRole[role]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].index < entries[j].index })
+		out := make([]yokan.DBHandle, len(entries))
+		for i, e := range entries {
+			// Two databases with the same name (e.g. two deployments
+			// accidentally merged into one group) would make placement
+			// ambiguous; refuse to connect.
+			if i > 0 && entries[i-1].index == e.index && dupErr == nil {
+				dupErr = fmt.Errorf("hepnos: connect: duplicate database %q in group", e.handle.Name)
+			}
+			out[i] = e.handle
+		}
+		return out
+	}
+	ds.datasetDBs = assign(bedrock.RoleDatasets)
+	ds.runDBs = assign(bedrock.RoleRuns)
+	ds.subrunDBs = assign(bedrock.RoleSubruns)
+	ds.eventDBs = assign(bedrock.RoleEvents)
+	ds.productDBs = assign(bedrock.RoleProducts)
+	if dupErr != nil {
+		mi.Finalize()
+		return nil, dupErr
+	}
+	for role, dbs := range map[string][]yokan.DBHandle{
+		"dataset": ds.datasetDBs, "run": ds.runDBs, "subrun": ds.subrunDBs,
+		"event": ds.eventDBs, "product": ds.productDBs,
+	} {
+		if len(dbs) == 0 {
+			mi.Finalize()
+			return nil, fmt.Errorf("hepnos: connect: service has no %s databases", role)
+		}
+	}
+	return ds, nil
+}
+
+// parseDBName splits "<role>_<index>".
+func parseDBName(name string) (role string, index int, ok bool) {
+	i := strings.LastIndexByte(name, '_')
+	if i <= 0 {
+		return "", 0, false
+	}
+	role = name[:i]
+	switch role {
+	case bedrock.RoleDatasets, bedrock.RoleRuns, bedrock.RoleSubruns,
+		bedrock.RoleEvents, bedrock.RoleProducts:
+	default:
+		return "", 0, false
+	}
+	var idx int
+	if _, err := fmt.Sscanf(name[i+1:], "%d", &idx); err != nil {
+		return "", 0, false
+	}
+	return role, idx, true
+}
+
+// Close releases the client's endpoint. The service keeps running.
+func (ds *DataStore) Close() {
+	if ds.closed.CompareAndSwap(false, true) {
+		ds.mi.Finalize()
+	}
+}
+
+// NumEventDatabases returns how many event databases the service has; the
+// ParallelEventProcessor sizes its reader set from this (§II-D).
+func (ds *DataStore) NumEventDatabases() int { return len(ds.eventDBs) }
+
+// NumProductDatabases returns how many product databases the service has.
+func (ds *DataStore) NumProductDatabases() int { return len(ds.productDBs) }
+
+// dbFor picks the database holding keys whose *parent* is parentKey among
+// the role's databases, per the paper's placement rule.
+func (ds *DataStore) dbFor(dbs []yokan.DBHandle, parentKey []byte) yokan.DBHandle {
+	return dbs[ds.placement.placer(len(dbs)).Place(parentKey)]
+}
+
+// datasetDBForPath places a dataset path entry by its parent path.
+func (ds *DataStore) datasetDBForPath(path string) yokan.DBHandle {
+	return ds.dbFor(ds.datasetDBs, []byte(parentPath(path)))
+}
+
+// runDBForDataset places a dataset's runs.
+func (ds *DataStore) runDBForDataset(dsKey keys.ContainerKey) yokan.DBHandle {
+	return ds.dbFor(ds.runDBs, dsKey.Bytes())
+}
+
+// subrunDBForRun places a run's subruns.
+func (ds *DataStore) subrunDBForRun(runKey keys.ContainerKey) yokan.DBHandle {
+	return ds.dbFor(ds.subrunDBs, runKey.Bytes())
+}
+
+// eventDBForSubRun places a subrun's events.
+func (ds *DataStore) eventDBForSubRun(srKey keys.ContainerKey) yokan.DBHandle {
+	return ds.dbFor(ds.eventDBs, srKey.Bytes())
+}
+
+// productDBForContainer places a container's products by the container's
+// own key (batched product reads hit one database, §II-C3).
+func (ds *DataStore) productDBForContainer(ck keys.ContainerKey) yokan.DBHandle {
+	return ds.dbFor(ds.productDBs, ck.Bytes())
+}
+
+// pathSep separates dataset path components.
+const pathSep = "/"
+
+// normalizePath validates and canonicalizes "a/b/c" (no empty components).
+func normalizePath(path string) (string, error) {
+	path = strings.Trim(path, pathSep)
+	if path == "" {
+		return "", fmt.Errorf("%w: empty path", ErrBadPath)
+	}
+	parts := strings.Split(path, pathSep)
+	for _, p := range parts {
+		if p == "" {
+			return "", fmt.Errorf("%w: %q has empty component", ErrBadPath, path)
+		}
+	}
+	return strings.Join(parts, pathSep), nil
+}
+
+// parentPath returns the path of the enclosing dataset ("" for top level).
+func parentPath(path string) string {
+	if i := strings.LastIndex(path, pathSep); i >= 0 {
+		return path[:i]
+	}
+	return ""
+}
+
+// CreateDataSet creates the dataset at path, creating missing parents like
+// mkdir -p. It is idempotent and returns the dataset handle.
+func (ds *DataStore) CreateDataSet(ctx context.Context, path string) (*DataSet, error) {
+	if ds.closed.Load() {
+		return nil, ErrClosed
+	}
+	norm, err := normalizePath(path)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Split(norm, pathSep)
+	var cur string
+	var last *DataSet
+	for _, p := range parts {
+		if cur == "" {
+			cur = p
+		} else {
+			cur = cur + pathSep + p
+		}
+		last, err = ds.createOneDataSet(ctx, cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+func (ds *DataStore) createOneDataSet(ctx context.Context, path string) (*DataSet, error) {
+	// Atomic get-or-put: concurrent creators race on the server, and
+	// everyone proceeds with the single winning UUID. (A plain get/put
+	// pair would let a loser build its hierarchy under an orphaned UUID.)
+	db := ds.datasetDBForPath(path)
+	candidate := uuid.New()
+	winner, _, err := ds.yc.PutIfAbsent(ctx, db, []byte(path), candidate[:])
+	if err != nil {
+		return nil, err
+	}
+	id, err := uuid.FromBytes(winner)
+	if err != nil {
+		return nil, fmt.Errorf("hepnos: dataset %q has corrupt UUID: %w", path, err)
+	}
+	return ds.datasetHandle(path, id), nil
+}
+
+// OpenDataSet returns a handle to an existing dataset, or ErrNoSuchDataSet.
+// This is the ds = datastore["path/to/dataset"] accessor from Listing 1.
+func (ds *DataStore) OpenDataSet(ctx context.Context, path string) (*DataSet, error) {
+	if ds.closed.Load() {
+		return nil, ErrClosed
+	}
+	norm, err := normalizePath(path)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := ds.yc.Get(ctx, ds.datasetDBForPath(norm), []byte(norm))
+	if errors.Is(err, yokan.ErrKeyNotFound) {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDataSet, norm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	id, err := uuid.FromBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("hepnos: dataset %q has corrupt UUID: %w", norm, err)
+	}
+	return ds.datasetHandle(norm, id), nil
+}
+
+func (ds *DataStore) datasetHandle(path string, id uuid.UUID) *DataSet {
+	return &DataSet{
+		container: container{ds: ds, key: keys.ForDataSet(id)},
+		path:      path,
+	}
+}
+
+// ListDataSets returns the names (not full paths) of the datasets directly
+// inside parent ("" for the top level), in lexicographic order.
+func (ds *DataStore) ListDataSets(ctx context.Context, parent string) ([]string, error) {
+	if ds.closed.Load() {
+		return nil, ErrClosed
+	}
+	prefix := ""
+	norm := ""
+	if parent != "" {
+		var err error
+		if norm, err = normalizePath(parent); err != nil {
+			return nil, err
+		}
+		prefix = norm + pathSep
+	}
+	// All children of one parent live in one database (placement is by
+	// parent path), so one paginated scan suffices.
+	db := ds.dbFor(ds.datasetDBs, []byte(norm))
+	var names []string
+	var from []byte
+	for {
+		page, err := ds.yc.ListKeys(ctx, db, from, []byte(prefix), listPageSize)
+		if err != nil {
+			return nil, err
+		}
+		if len(page) == 0 {
+			break
+		}
+		for _, k := range page {
+			rest := strings.TrimPrefix(string(k), prefix)
+			if rest == "" || strings.Contains(rest, pathSep) {
+				continue // grandchildren live here only if their parent hashes alike; skip
+			}
+			names = append(names, rest)
+		}
+		from = page[len(page)-1]
+	}
+	return names, nil
+}
+
+// listPageSize is the pagination unit for iteration RPCs.
+const listPageSize = 1024
+
+// decodeProduct deserializes stored bytes into ptr.
+func decodeProduct(data []byte, ptr any) error {
+	if err := serde.Unmarshal(data, ptr); err != nil {
+		return fmt.Errorf("hepnos: deserialize product: %w", err)
+	}
+	return nil
+}
+
+// EventDatabases returns the handles of the service's event databases, in
+// placement order. Exposed for tooling and ablation benchmarks; normal
+// applications never need it.
+func (ds *DataStore) EventDatabases() []yokan.DBHandle {
+	return append([]yokan.DBHandle(nil), ds.eventDBs...)
+}
+
+// Yokan returns the underlying key-value client. Exposed for tooling and
+// ablation benchmarks; normal applications never need it.
+func (ds *DataStore) Yokan() *yokan.Client { return ds.yc }
+
+// ServiceStats aggregates operation counters and per-database key counts
+// across every provider of the service — the client side of the
+// monitoring hook (§V of the paper cites Symbiomon for this role).
+type ServiceStats struct {
+	Providers int
+	Puts      int64
+	Gets      int64
+	Lists     int64
+	Erases    int64
+	BulkOps   int64
+	// DBCounts maps database name to live key count.
+	DBCounts map[string]uint64
+}
+
+// ServiceStats scrapes all providers.
+func (ds *DataStore) ServiceStats(ctx context.Context) (ServiceStats, error) {
+	if ds.closed.Load() {
+		return ServiceStats{}, ErrClosed
+	}
+	agg := ServiceStats{DBCounts: map[string]uint64{}}
+	for _, srv := range ds.group.Servers {
+		for _, pid := range srv.Providers {
+			rs, err := ds.yc.Stats(ctx, fabric.Address(srv.Address), margo.ProviderID(pid))
+			if err != nil {
+				return agg, fmt.Errorf("hepnos: stats from %s provider %d: %w", srv.Address, pid, err)
+			}
+			agg.Providers++
+			agg.Puts += rs.Puts
+			agg.Gets += rs.Gets
+			agg.Lists += rs.Lists
+			agg.Erases += rs.Erases
+			agg.BulkOps += rs.BulkOps
+			for name, n := range rs.DBCounts {
+				agg.DBCounts[name] += n
+			}
+		}
+	}
+	return agg, nil
+}

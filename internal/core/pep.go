@@ -1,0 +1,314 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// PEP MPI tags (user tag space; applications should avoid this range while
+// a ParallelEventProcessor is active).
+const (
+	tagPEPWorkReq  = 1 << 20
+	tagPEPWorkResp = 1<<20 + 1
+)
+
+// ProductSelector names a product to prefetch alongside events.
+type ProductSelector struct {
+	Label string
+	Type  string
+}
+
+// SelectorFor builds a selector from a label and an example value of the
+// product's type.
+func SelectorFor(label string, example any) ProductSelector {
+	return ProductSelector{Label: label, Type: serde.TypeName(example)}
+}
+
+// key returns the prefetch cache key.
+func (s ProductSelector) key() string { return s.Label + "#" + s.Type }
+
+// PEPOptions tunes the ParallelEventProcessor. Defaults follow §IV-D of
+// the paper: events are loaded from HEPnOS by a subset of processes in
+// batches of 16384 (few RPCs, large payloads), then shared among processes
+// in batches of 64 (fine-grain load balancing).
+type PEPOptions struct {
+	// LoadBatchSize is the number of events fetched from a database per
+	// RPC by a reader.
+	LoadBatchSize int
+	// WorkBatchSize is the number of events handed to a worker at a time.
+	WorkBatchSize int
+	// Readers is the number of ranks designated as readers; 0 means
+	// min(number of event databases, communicator size), the paper's
+	// "typically as many readers as databases to read from".
+	Readers int
+	// Prefetch lists products to fetch in bulk with the events and ship
+	// inside work batches.
+	Prefetch []ProductSelector
+}
+
+func (o *PEPOptions) applyDefaults(ds *DataStore, commSize int) {
+	if o.LoadBatchSize <= 0 {
+		o.LoadBatchSize = 16384
+	}
+	if o.WorkBatchSize <= 0 {
+		o.WorkBatchSize = 64
+	}
+	if o.Readers <= 0 {
+		o.Readers = ds.NumEventDatabases()
+	}
+	if o.Readers > commSize {
+		o.Readers = commSize
+	}
+}
+
+// PEPStats reports what one ProcessEvents call did. Totals are identical
+// on every rank (computed with allreduce); Local fields are per rank.
+type PEPStats struct {
+	LocalEvents int
+	LocalStart  float64 // MPI Wtime at first processed batch
+	LocalEnd    float64 // MPI Wtime after last processed batch
+	TotalEvents int64
+	// Makespan is (max end − min start) across ranks — the paper's
+	// throughput denominator.
+	Makespan   float64
+	Throughput float64 // events per second over the makespan
+}
+
+// pep wire messages (sent over the mpi layer, serde-encoded).
+type pepWorkMsg struct {
+	Done bool
+	Keys [][]byte
+	Pref []pepPrefEntry
+}
+
+type pepPrefEntry struct {
+	EventIdx  uint32
+	LabelType string
+	Data      []byte
+}
+
+// ProcessEvents iterates over all events of the dataset in parallel across
+// the communicator's ranks, invoking fn on each event exactly once
+// service-wide. It implements the ParallelEventProcessor of §II-D: the
+// first Readers ranks run background loaders that page event keys out of
+// their assigned event databases and feed a queue; every rank (readers
+// included) pulls work batches from the readers round-robin.
+func (ds *DataStore) ProcessEvents(ctx context.Context, comm *mpi.Comm, dataset *DataSet, opts PEPOptions, fn func(*Event) error) (PEPStats, error) {
+	if ds.closed.Load() {
+		return PEPStats{}, ErrClosed
+	}
+	opts.applyDefaults(ds, comm.Size())
+
+	var readerWG sync.WaitGroup
+	if comm.Rank() < opts.Readers {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			ds.pepReader(ctx, comm, dataset, opts)
+		}()
+	}
+
+	stats, err := ds.pepWorker(ctx, comm, opts, fn)
+	readerWG.Wait()
+
+	// Aggregate: every rank learns the totals.
+	stats.TotalEvents = comm.AllreduceInt64(int64(stats.LocalEvents), mpi.OpSum)
+	start := comm.AllreduceFloat64(stats.LocalStart, mpi.OpMin)
+	end := comm.AllreduceFloat64(stats.LocalEnd, mpi.OpMax)
+	stats.Makespan = end - start
+	if stats.Makespan > 0 {
+		stats.Throughput = float64(stats.TotalEvents) / stats.Makespan
+	}
+	return stats, err
+}
+
+// pepReader loads event keys from this reader's share of the event
+// databases and serves work batches to requesting ranks.
+func (ds *DataStore) pepReader(ctx context.Context, comm *mpi.Comm, dataset *DataSet, opts PEPOptions) {
+	rank := comm.Rank()
+	batches := make(chan pepWorkMsg, 64)
+
+	// Background loader: page event keys out of the assigned databases in
+	// LoadBatchSize pages, prefetch products, chop into work batches.
+	var loadWG sync.WaitGroup
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		defer close(batches)
+		prefix := dataset.key.Bytes()
+		for dbi := rank; dbi < len(ds.eventDBs); dbi += opts.Readers {
+			db := ds.eventDBs[dbi]
+			var from []byte
+			for {
+				page, err := ds.yc.ListKeys(ctx, db, from, prefix, opts.LoadBatchSize)
+				if err != nil || len(page) == 0 {
+					break // a failed database simply contributes no events
+				}
+				from = page[len(page)-1]
+				// Keep only event-level keys of this dataset.
+				var evKeys [][]byte
+				for _, k := range page {
+					ck, err := keys.ParseContainerKey(k)
+					if err == nil && ck.Level() == keys.LevelEvent {
+						evKeys = append(evKeys, k)
+					}
+				}
+				for off := 0; off < len(evKeys); off += opts.WorkBatchSize {
+					hi := off + opts.WorkBatchSize
+					if hi > len(evKeys) {
+						hi = len(evKeys)
+					}
+					msg := pepWorkMsg{Keys: evKeys[off:hi]}
+					if len(opts.Prefetch) > 0 {
+						msg.Pref = ds.pepPrefetch(ctx, msg.Keys, opts.Prefetch)
+					}
+					batches <- msg
+				}
+			}
+		}
+	}()
+
+	// Server loop: answer work requests until every rank has been told
+	// this reader is exhausted.
+	doneSent := 0
+	for doneSent < comm.Size() {
+		data, src := comm.Recv(mpi.AnySource, tagPEPWorkReq)
+		_ = data
+		msg, ok := <-batches
+		if !ok {
+			msg = pepWorkMsg{Done: true}
+			doneSent++
+		}
+		payload, err := serde.Marshal(msg)
+		if err != nil {
+			// Serialization of our own message types cannot fail; treat
+			// as fatal for this reader by reporting done.
+			payload, _ = serde.Marshal(pepWorkMsg{Done: true})
+			doneSent++
+		}
+		comm.Send(src, tagPEPWorkResp, payload)
+	}
+	loadWG.Wait()
+}
+
+// pepPrefetch bulk-loads the selected products for a work batch, grouped
+// by product database so each group is one (bulk) RPC.
+func (ds *DataStore) pepPrefetch(ctx context.Context, evKeys [][]byte, sel []ProductSelector) []pepPrefEntry {
+	type slot struct {
+		eventIdx  int
+		labelType string
+	}
+	groups := make(map[yokan.DBHandle][][]byte)
+	slots := make(map[yokan.DBHandle][]slot)
+	for i, raw := range evKeys {
+		ck, err := keys.ParseContainerKey(raw)
+		if err != nil {
+			continue
+		}
+		db := ds.productDBForContainer(ck)
+		for _, s := range sel {
+			id := keys.ProductID{Container: ck, Label: s.Label, Type: s.Type}
+			groups[db] = append(groups[db], id.Encode())
+			slots[db] = append(slots[db], slot{eventIdx: i, labelType: s.key()})
+		}
+	}
+	var out []pepPrefEntry
+	for db, ks := range groups {
+		// Small groups go inline; large ones take the bulk (RDMA) path,
+		// mirroring Mercury's eager/rendezvous split.
+		bulk := len(ks) >= 32
+		vals, found, err := ds.yc.GetMulti(ctx, db, ks, bulk)
+		if err != nil {
+			continue // missing prefetch degrades to on-demand loads
+		}
+		for j := range ks {
+			if !found[j] {
+				continue
+			}
+			out = append(out, pepPrefEntry{
+				EventIdx:  uint32(slots[db][j].eventIdx),
+				LabelType: slots[db][j].labelType,
+				Data:      vals[j],
+			})
+		}
+	}
+	return out
+}
+
+// pepWorker pulls work batches from the readers round-robin and processes
+// them. Every rank, reader or not, runs this.
+func (ds *DataStore) pepWorker(ctx context.Context, comm *mpi.Comm, opts PEPOptions, fn func(*Event) error) (PEPStats, error) {
+	var stats PEPStats
+	var firstErr error
+	alive := make([]int, 0, opts.Readers)
+	for r := 0; r < opts.Readers; r++ {
+		alive = append(alive, r)
+	}
+	started := false
+	next := comm.Rank() % len(alive) // spread initial requests over readers
+	for len(alive) > 0 {
+		reader := alive[next%len(alive)]
+		comm.Send(reader, tagPEPWorkReq, nil)
+		payload, _ := comm.Recv(reader, tagPEPWorkResp)
+		var msg pepWorkMsg
+		if err := serde.Unmarshal(payload, &msg); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hepnos: corrupt work batch: %w", err)
+			}
+			msg.Done = true
+		}
+		if msg.Done {
+			// Remove this reader from the rotation.
+			for i, r := range alive {
+				if r == reader {
+					alive = append(alive[:i], alive[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		if !started {
+			stats.LocalStart = comm.Wtime()
+			started = true
+		}
+		// Rebuild per-event prefetch maps.
+		var pref map[int]map[string][]byte
+		if len(msg.Pref) > 0 {
+			pref = make(map[int]map[string][]byte)
+			for _, e := range msg.Pref {
+				m := pref[int(e.EventIdx)]
+				if m == nil {
+					m = make(map[string][]byte)
+					pref[int(e.EventIdx)] = m
+				}
+				m[e.LabelType] = e.Data
+			}
+		}
+		for i, raw := range msg.Keys {
+			ck, err := keys.ParseContainerKey(raw)
+			if err != nil {
+				continue
+			}
+			ev := ds.eventFromKey(ck, pref[i])
+			if firstErr == nil {
+				if err := fn(ev); err != nil {
+					firstErr = err // keep draining so readers terminate
+				}
+			}
+			stats.LocalEvents++
+		}
+		stats.LocalEnd = comm.Wtime()
+		next++
+	}
+	if !started {
+		now := comm.Wtime()
+		stats.LocalStart, stats.LocalEnd = now, now
+	}
+	return stats, firstErr
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
+)
+
+// buildEventSample fills a dataset with events spread over runs/subruns and
+// attaches a payload product to each. Returns the set of expected IDs.
+func buildEventSample(t testing.TB, ds *DataStore, path string, runs, subruns, events int) map[EventID]bool {
+	t.Helper()
+	ctx := context.Background()
+	d, err := ds.CreateDataSet(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := ds.NewWriteBatch()
+	wb.MaxPending = 4096
+	want := make(map[EventID]bool)
+	for r := 1; r <= runs; r++ {
+		run, err := wb.CreateRun(ctx, d, uint64(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < subruns; s++ {
+			sr, err := wb.CreateSubRun(ctx, run, uint64(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for e := 0; e < events; e++ {
+				ev, err := wb.CreateEvent(ctx, sr, uint64(e))
+				if err != nil {
+					t.Fatal(err)
+				}
+				payload := []particle{{X: float32(r), Y: float32(s), Z: float32(e)}}
+				if err := wb.Store(ctx, ev, "parts", payload); err != nil {
+					t.Fatal(err)
+				}
+				want[EventID{Run: uint64(r), SubRun: uint64(s), Event: uint64(e)}] = true
+			}
+		}
+	}
+	if err := wb.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func TestProcessEventsCoversEveryEventExactlyOnce(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{Servers: 2})
+	want := buildEventSample(t, ds, "pep", 3, 8, 20) // 480 events
+	d, _ := ds.OpenDataSet(context.Background(), "pep")
+
+	var mu sync.Mutex
+	seen := make(map[EventID]int)
+	const ranks = 6
+	var statsByRank [ranks]PEPStats
+	var errByRank [ranks]error
+
+	mpi.NewWorld(ranks).Run(func(c *mpi.Comm) {
+		stats, err := ds.ProcessEvents(context.Background(), c, d, PEPOptions{
+			LoadBatchSize: 64,
+			WorkBatchSize: 8,
+		}, func(ev *Event) error {
+			mu.Lock()
+			seen[ev.ID()]++
+			mu.Unlock()
+			return nil
+		})
+		statsByRank[c.Rank()] = stats
+		errByRank[c.Rank()] = err
+	})
+
+	for r, err := range errByRank {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %d distinct events, want %d", len(seen), len(want))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("event %v processed %d times", id, n)
+		}
+		if !want[id] {
+			t.Fatalf("unexpected event %v", id)
+		}
+	}
+	var total int64
+	local := 0
+	for _, st := range statsByRank {
+		local += st.LocalEvents
+		total = st.TotalEvents
+	}
+	if local != len(want) || total != int64(len(want)) {
+		t.Fatalf("stats: local sum %d, total %d, want %d", local, total, len(want))
+	}
+	if statsByRank[0].Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+}
+
+func TestProcessEventsLoadIsShared(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{Servers: 1})
+	buildEventSample(t, ds, "balance", 2, 16, 30) // 960 events
+	d, _ := ds.OpenDataSet(context.Background(), "balance")
+
+	const ranks = 4
+	var counts [ranks]int
+	mpi.NewWorld(ranks).Run(func(c *mpi.Comm) {
+		stats, err := ds.ProcessEvents(context.Background(), c, d, PEPOptions{
+			LoadBatchSize: 128,
+			WorkBatchSize: 8,
+		}, func(*Event) error { return nil })
+		if err != nil {
+			t.Error(err)
+		}
+		counts[c.Rank()] = stats.LocalEvents
+	})
+	// Fine-grained batches should spread work: no rank should get
+	// everything, every rank should get something.
+	for r, n := range counts {
+		if n == 0 {
+			t.Fatalf("rank %d processed nothing: %v", r, counts)
+		}
+		if n == 960 {
+			t.Fatalf("rank %d processed everything: %v", r, counts)
+		}
+	}
+}
+
+func TestProcessEventsWithProducts(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{Servers: 2})
+	buildEventSample(t, ds, "prods", 2, 4, 10)
+	d, _ := ds.OpenDataSet(context.Background(), "prods")
+
+	var mu sync.Mutex
+	bad := 0
+	mpi.NewWorld(3).Run(func(c *mpi.Comm) {
+		_, err := ds.ProcessEvents(context.Background(), c, d, PEPOptions{
+			WorkBatchSize: 4,
+		}, func(ev *Event) error {
+			var ps []particle
+			if err := ev.Load(context.Background(), "parts", &ps); err != nil {
+				return err
+			}
+			id := ev.ID()
+			if len(ps) != 1 || ps[0].X != float32(id.Run) || ps[0].Z != float32(id.Event) {
+				mu.Lock()
+				bad++
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d events had mismatched products", bad)
+	}
+}
+
+func TestProcessEventsPrefetch(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{Servers: 2})
+	buildEventSample(t, ds, "prefetch", 2, 4, 25)
+	d, _ := ds.OpenDataSet(context.Background(), "prefetch")
+
+	// With prefetch, loads must be served from the shipped cache — verify
+	// by checking correctness and that it works with a canceled-later ctx.
+	var mu sync.Mutex
+	loaded := 0
+	mpi.NewWorld(4).Run(func(c *mpi.Comm) {
+		_, err := ds.ProcessEvents(context.Background(), c, d, PEPOptions{
+			WorkBatchSize: 8,
+			Prefetch:      []ProductSelector{SelectorFor("parts", []particle{})},
+		}, func(ev *Event) error {
+			var ps []particle
+			if err := ev.Load(context.Background(), "parts", &ps); err != nil {
+				return err
+			}
+			if len(ps) != 1 {
+				return fmt.Errorf("event %v: %d particles", ev.ID(), len(ps))
+			}
+			mu.Lock()
+			loaded++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if loaded != 200 {
+		t.Fatalf("loaded %d products, want 200", loaded)
+	}
+}
+
+func TestProcessEventsSingleRank(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{Servers: 1})
+	want := buildEventSample(t, ds, "solo", 1, 4, 10)
+	d, _ := ds.OpenDataSet(context.Background(), "solo")
+	n := 0
+	mpi.NewWorld(1).Run(func(c *mpi.Comm) {
+		stats, err := ds.ProcessEvents(context.Background(), c, d, PEPOptions{}, func(*Event) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		if stats.TotalEvents != int64(len(want)) {
+			t.Errorf("total = %d", stats.TotalEvents)
+		}
+	})
+	if n != len(want) {
+		t.Fatalf("processed %d, want %d", n, len(want))
+	}
+}
+
+func TestProcessEventsEmptyDataset(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{Servers: 1})
+	d, _ := ds.CreateDataSet(context.Background(), "empty")
+	mpi.NewWorld(3).Run(func(c *mpi.Comm) {
+		stats, err := ds.ProcessEvents(context.Background(), c, d, PEPOptions{}, func(*Event) error {
+			t.Error("callback invoked on empty dataset")
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		if stats.TotalEvents != 0 {
+			t.Errorf("total = %d", stats.TotalEvents)
+		}
+	})
+}
+
+func TestProcessEventsCallbackError(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{Servers: 1})
+	buildEventSample(t, ds, "failing", 1, 2, 50)
+	d, _ := ds.OpenDataSet(context.Background(), "failing")
+	boom := errors.New("detector on fire")
+	gotErr := 0
+	var mu sync.Mutex
+	mpi.NewWorld(3).Run(func(c *mpi.Comm) {
+		_, err := ds.ProcessEvents(context.Background(), c, d, PEPOptions{WorkBatchSize: 4}, func(ev *Event) error {
+			return boom
+		})
+		// Ranks that processed at least one batch must report the error;
+		// crucially, nobody deadlocks.
+		if errors.Is(err, boom) {
+			mu.Lock()
+			gotErr++
+			mu.Unlock()
+		}
+	})
+	if gotErr == 0 {
+		t.Fatal("no rank reported the callback error")
+	}
+}
+
+func TestProcessEventsMoreReadersThanRanks(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{Servers: 2}) // 8 event DBs
+	want := buildEventSample(t, ds, "fewranks", 2, 6, 10)
+	d, _ := ds.OpenDataSet(context.Background(), "fewranks")
+	var mu sync.Mutex
+	n := 0
+	mpi.NewWorld(2).Run(func(c *mpi.Comm) { // fewer ranks than event DBs
+		_, err := ds.ProcessEvents(context.Background(), c, d, PEPOptions{WorkBatchSize: 8}, func(*Event) error {
+			mu.Lock()
+			n++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if n != len(want) {
+		t.Fatalf("processed %d, want %d", n, len(want))
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// This file implements storage rescaling — the extension the paper points
+// to as future work (§V, citing Pufferscale): adding storage resources to
+// a running HEPnOS service and migrating the keys whose placement changed.
+//
+// Rescale walks every database of the old datastore view, recomputes each
+// key's home under the new view's (larger or smaller) database sets, and
+// moves the keys that changed home with batched multi-puts. With
+// PlacementModulo nearly all keys move when the set grows; with
+// PlacementJump only ~1/(n+1) do — the trade Pufferscale exploits. Both
+// are measured in BenchmarkRescalePlacement.
+
+// RescaleStats reports a migration.
+type RescaleStats struct {
+	// Scanned and Moved count keys per role.
+	Scanned map[string]int
+	Moved   map[string]int
+}
+
+// total sums a per-role map.
+func total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// TotalScanned returns all keys examined.
+func (s RescaleStats) TotalScanned() int { return total(s.Scanned) }
+
+// TotalMoved returns all keys migrated.
+func (s RescaleStats) TotalMoved() int { return total(s.Moved) }
+
+// rescaleBatch bounds the per-RPC move batch.
+const rescaleBatch = 1024
+
+// Rescale migrates all data reachable through old so that it is correctly
+// placed under the new datastore view. The two views must use the same
+// placement strategy; new's database sets typically extend old's (scale-
+// out), but any overlapping configuration works. Writes go through new;
+// keys whose home is unchanged are not touched.
+//
+// Rescale requires quiescence: no concurrent writers during migration
+// (Pufferscale's online protocol is out of scope).
+func Rescale(ctx context.Context, old, new *DataStore) (RescaleStats, error) {
+	st := RescaleStats{Scanned: map[string]int{}, Moved: map[string]int{}}
+	if old.placement != new.placement {
+		return st, fmt.Errorf("hepnos: rescale: placement strategies differ (%q vs %q)",
+			old.placement, new.placement)
+	}
+	type role struct {
+		name string
+		from []yokan.DBHandle
+		to   []yokan.DBHandle
+		// home computes the new database index for a raw key.
+		home func(key []byte) (int, bool)
+	}
+	placeParent := func(dbs []yokan.DBHandle, parent []byte) int {
+		return new.placement.placer(len(dbs)).Place(parent)
+	}
+	containerHome := func(dbs []yokan.DBHandle) func(key []byte) (int, bool) {
+		return func(key []byte) (int, bool) {
+			ck, err := keys.ParseContainerKey(key)
+			if err != nil {
+				return 0, false
+			}
+			parent, ok := ck.Parent()
+			if !ok {
+				return 0, false
+			}
+			return placeParent(dbs, parent.Bytes()), true
+		}
+	}
+	roles := []role{
+		{
+			name: "datasets", from: old.datasetDBs, to: new.datasetDBs,
+			home: func(key []byte) (int, bool) {
+				return placeParent(new.datasetDBs, []byte(parentPath(string(key)))), true
+			},
+		},
+		{name: "runs", from: old.runDBs, to: new.runDBs, home: containerHome(new.runDBs)},
+		{name: "subruns", from: old.subrunDBs, to: new.subrunDBs, home: containerHome(new.subrunDBs)},
+		{name: "events", from: old.eventDBs, to: new.eventDBs, home: containerHome(new.eventDBs)},
+		{
+			name: "products", from: old.productDBs, to: new.productDBs,
+			home: nil, // products need the per-key container-length probe below
+		},
+	}
+
+	for _, r := range roles {
+		for fromIdx, db := range r.from {
+			var from []byte
+			for {
+				kvs, err := old.yc.ListKeyVals(ctx, db, from, nil, rescaleBatch)
+				if err != nil {
+					return st, fmt.Errorf("hepnos: rescale scan %s: %w", db, err)
+				}
+				if len(kvs) == 0 {
+					break
+				}
+				var moveKeys, moveVals [][]byte
+				var targets []int
+				for _, kv := range kvs {
+					st.Scanned[r.name]++
+					var cands []int
+					if r.home != nil {
+						if target, ok := r.home(kv.Key); ok {
+							cands = []int{target}
+						}
+					} else {
+						cands = productHomes(old, new, fromIdx, kv.Key)
+					}
+					for _, target := range cands {
+						if r.to[target] == db {
+							continue // home unchanged
+						}
+						moveKeys = append(moveKeys, kv.Key)
+						moveVals = append(moveVals, kv.Val)
+						targets = append(targets, target)
+					}
+				}
+				// Group moves by destination database.
+				byTarget := map[int][]int{}
+				for i, t := range targets {
+					byTarget[t] = append(byTarget[t], i)
+				}
+				for t, idxs := range byTarget {
+					ks := make([][]byte, len(idxs))
+					vs := make([][]byte, len(idxs))
+					for j, i := range idxs {
+						ks[j] = moveKeys[i]
+						vs[j] = moveVals[i]
+					}
+					if err := new.yc.PutMulti(ctx, r.to[t], ks, vs); err != nil {
+						return st, fmt.Errorf("hepnos: rescale move to %s: %w", r.to[t], err)
+					}
+				}
+				if len(moveKeys) > 0 {
+					// Keys whose candidate set includes the current
+					// database were copied, not moved; only erase keys
+					// with no remaining claim here.
+					var erase [][]byte
+					claimed := map[string]bool{}
+					for i, target := range targets {
+						if r.to[target] == db {
+							claimed[string(moveKeys[i])] = true
+						}
+					}
+					seen := map[string]bool{}
+					for _, k := range moveKeys {
+						if !claimed[string(k)] && !seen[string(k)] {
+							seen[string(k)] = true
+							erase = append(erase, k)
+						}
+					}
+					if len(erase) > 0 {
+						if _, err := old.yc.Erase(ctx, db, erase); err != nil {
+							return st, fmt.Errorf("hepnos: rescale erase from %s: %w", db, err)
+						}
+					}
+					st.Moved[r.name] += len(erase)
+				}
+				from = kvs[len(kvs)-1].Key
+			}
+		}
+	}
+	return st, nil
+}
+
+// productHomes recovers a product key's possible container prefixes and
+// computes the new homes. The container length is not self-describing
+// (labels vary), so every valid length whose old placement explains the
+// key's current database is a candidate; the key is replicated to all
+// candidate homes so that readers — who compute the home from the *true*
+// container — always find it. False-positive copies are unreachable
+// garbage (bounded by the probe count) and are the price of keeping the
+// paper's key format unchanged.
+func productHomes(old, new *DataStore, currentIdx int, key []byte) []int {
+	oldPlacer := old.placement.placer(len(old.productDBs))
+	newPlacer := new.placement.placer(len(new.productDBs))
+	lengths := []int{
+		keys.UUIDLen,
+		keys.UUIDLen + 1*keys.NumLen,
+		keys.UUIDLen + 2*keys.NumLen,
+		keys.UUIDLen + 3*keys.NumLen,
+	}
+	var out []int
+	seen := map[int]bool{}
+	for _, l := range lengths {
+		if len(key) <= l {
+			continue
+		}
+		ck := key[:l]
+		if oldPlacer.Place(ck) == currentIdx {
+			t := newPlacer.Place(ck)
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}

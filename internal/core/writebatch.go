@@ -1,0 +1,231 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// WriteBatch accumulates container creations and product stores in a local
+// buffer, groups them by target database (since not all updates target the
+// same database), and sends grouped multi-put RPCs on Flush — §II-D of the
+// paper. A WriteBatch is not safe for concurrent use; each goroutine should
+// own one (AsynchronousWriteBatch adds the concurrency).
+type WriteBatch struct {
+	ds      *DataStore
+	pending map[yokan.DBHandle]*dbBatch
+	queued  int
+	// MaxPending flushes automatically once this many updates accumulate
+	// (0 means only explicit Flush).
+	MaxPending int
+}
+
+type dbBatch struct {
+	keys [][]byte
+	vals [][]byte
+}
+
+// NewWriteBatch creates an empty batch bound to the datastore.
+func (ds *DataStore) NewWriteBatch() *WriteBatch {
+	return &WriteBatch{ds: ds, pending: make(map[yokan.DBHandle]*dbBatch)}
+}
+
+// Pending returns the number of queued updates.
+func (w *WriteBatch) Pending() int { return w.queued }
+
+func (w *WriteBatch) add(db yokan.DBHandle, key, val []byte) {
+	b := w.pending[db]
+	if b == nil {
+		b = &dbBatch{}
+		w.pending[db] = b
+	}
+	b.keys = append(b.keys, key)
+	b.vals = append(b.vals, val)
+	w.queued++
+}
+
+// maybeAutoFlush honors MaxPending.
+func (w *WriteBatch) maybeAutoFlush(ctx context.Context) error {
+	if w.MaxPending > 0 && w.queued >= w.MaxPending {
+		return w.Flush(ctx)
+	}
+	return nil
+}
+
+// CreateRun queues creation of a run and returns its handle immediately.
+func (w *WriteBatch) CreateRun(ctx context.Context, d *DataSet, n uint64) (*Run, error) {
+	runKey := d.key.Child(n)
+	w.add(w.ds.runDBForDataset(d.key), runKey.Bytes(), nil)
+	if err := w.maybeAutoFlush(ctx); err != nil {
+		return nil, err
+	}
+	return &Run{container: container{ds: w.ds, key: runKey}, dataset: d}, nil
+}
+
+// CreateSubRun queues creation of a subrun.
+func (w *WriteBatch) CreateSubRun(ctx context.Context, r *Run, n uint64) (*SubRun, error) {
+	srKey := r.key.Child(n)
+	w.add(w.ds.subrunDBForRun(r.key), srKey.Bytes(), nil)
+	if err := w.maybeAutoFlush(ctx); err != nil {
+		return nil, err
+	}
+	return &SubRun{container: container{ds: w.ds, key: srKey}, run: r}, nil
+}
+
+// CreateEvent queues creation of an event.
+func (w *WriteBatch) CreateEvent(ctx context.Context, s *SubRun, n uint64) (*Event, error) {
+	evKey := s.key.Child(n)
+	w.add(w.ds.eventDBForSubRun(s.key), evKey.Bytes(), nil)
+	if err := w.maybeAutoFlush(ctx); err != nil {
+		return nil, err
+	}
+	return &Event{container: container{ds: w.ds, key: evKey}, subrun: s}, nil
+}
+
+// Store queues a product store on any container handle (DataSet, Run,
+// SubRun or Event all embed container).
+func (w *WriteBatch) Store(ctx context.Context, c interface{ Key() keys.ContainerKey }, label string, value any) error {
+	return w.storeOn(ctx, c.Key(), label, value)
+}
+
+func (w *WriteBatch) storeOn(ctx context.Context, ck keys.ContainerKey, label string, value any) error {
+	id, err := productIDFor(ck, label, value)
+	if err != nil {
+		return err
+	}
+	data, err := serde.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("hepnos: serialize product %s: %w", id, err)
+	}
+	w.add(w.ds.productDBForContainer(ck), id.Encode(), data)
+	return w.maybeAutoFlush(ctx)
+}
+
+// Flush sends all queued updates, one multi-put per target database, and
+// empties the batch. On error the batch keeps the unsent groups.
+func (w *WriteBatch) Flush(ctx context.Context) error {
+	var errs []error
+	for db, b := range w.pending {
+		if err := w.ds.yc.PutMulti(ctx, db, b.keys, b.vals); err != nil {
+			errs = append(errs, fmt.Errorf("flush to %s: %w", db, err))
+			continue
+		}
+		w.queued -= len(b.keys)
+		delete(w.pending, db)
+	}
+	return errors.Join(errs...)
+}
+
+// AsynchronousWriteBatch issues flushes from background workers so that
+// event processing overlaps storage traffic; its Close (the analog of the
+// destructor in §II-D) ensures all updates are completed.
+type AsynchronousWriteBatch struct {
+	ds   *DataStore
+	ch   chan asyncItem
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+	// batchSize is how many updates are coalesced per background flush.
+	batchSize int
+	closed    bool
+}
+
+type asyncItem struct {
+	db       yokan.DBHandle
+	key, val []byte
+}
+
+// NewAsynchronousWriteBatch starts workers background flushers coalescing
+// batchSize updates each (defaults: 2 workers, 1024 updates).
+func (ds *DataStore) NewAsynchronousWriteBatch(workers, batchSize int) *AsynchronousWriteBatch {
+	if workers <= 0 {
+		workers = 2
+	}
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	a := &AsynchronousWriteBatch{
+		ds:        ds,
+		ch:        make(chan asyncItem, 4*batchSize),
+		batchSize: batchSize,
+	}
+	for i := 0; i < workers; i++ {
+		a.wg.Add(1)
+		go a.worker()
+	}
+	return a
+}
+
+func (a *AsynchronousWriteBatch) worker() {
+	defer a.wg.Done()
+	ctx := context.Background()
+	group := make(map[yokan.DBHandle]*dbBatch)
+	n := 0
+	flush := func() {
+		for db, b := range group {
+			if err := a.ds.yc.PutMulti(ctx, db, b.keys, b.vals); err != nil {
+				a.mu.Lock()
+				a.errs = append(a.errs, err)
+				a.mu.Unlock()
+			}
+		}
+		group = make(map[yokan.DBHandle]*dbBatch)
+		n = 0
+	}
+	for item := range a.ch {
+		b := group[item.db]
+		if b == nil {
+			b = &dbBatch{}
+			group[item.db] = b
+		}
+		b.keys = append(b.keys, item.key)
+		b.vals = append(b.vals, item.val)
+		n++
+		if n >= a.batchSize {
+			flush()
+		}
+	}
+	flush()
+}
+
+// CreateEvent queues an asynchronous event creation.
+func (a *AsynchronousWriteBatch) CreateEvent(s *SubRun, n uint64) *Event {
+	evKey := s.key.Child(n)
+	a.ch <- asyncItem{db: a.ds.eventDBForSubRun(s.key), key: evKey.Bytes()}
+	return &Event{container: container{ds: a.ds, key: evKey}, subrun: s}
+}
+
+// Store queues an asynchronous product store.
+func (a *AsynchronousWriteBatch) Store(c interface{ Key() keys.ContainerKey }, label string, value any) error {
+	ck := c.Key()
+	id, err := productIDFor(ck, label, value)
+	if err != nil {
+		return err
+	}
+	data, err := serde.Marshal(value)
+	if err != nil {
+		return err
+	}
+	a.ch <- asyncItem{db: a.ds.productDBForContainer(ck), key: id.Encode(), val: data}
+	return nil
+}
+
+// Close waits for all pending updates to land and returns any accumulated
+// errors. It must be called exactly once.
+func (a *AsynchronousWriteBatch) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return errors.New("hepnos: AsynchronousWriteBatch closed twice")
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.ch)
+	a.wg.Wait()
+	return errors.Join(a.errs...)
+}

@@ -1,0 +1,287 @@
+package dataloader
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/core"
+	"github.com/hep-on-hpc/hepnos-go/internal/h5lite"
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+)
+
+var seq atomic.Int64
+
+func newStore(t *testing.T) *core.DataStore {
+	t.Helper()
+	d, err := bedrock.Deploy(bedrock.DeploySpec{
+		Servers:             2,
+		ProvidersPerServer:  2,
+		EventDBsPerServer:   4,
+		ProductDBsPerServer: 4,
+		NamePrefix:          fmt.Sprintf("loader-%d", seq.Add(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Shutdown)
+	ds, err := core.Connect(context.Background(), core.ClientConfig{Group: d.Group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ds.Close)
+	return ds
+}
+
+func sampleFiles(t *testing.T, n int) []string {
+	t.Helper()
+	gen := nova.NewGenerator(nova.GenParams{Seed: 11, MeanEventsPerFile: 40, FilesPerSubRun: 2})
+	paths, err := nova.GenerateSample(t.TempDir(), gen, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestInspectFile(t *testing.T) {
+	paths := sampleFiles(t, 1)
+	schemas, err := InspectFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas) != 1 {
+		t.Fatalf("schemas = %d", len(schemas))
+	}
+	cs := schemas[0]
+	if cs.Class != nova.SliceClass || cs.Group != nova.SliceGroup {
+		t.Fatalf("class = %q group = %q", cs.Class, cs.Group)
+	}
+	// 18 columns minus run/subrun/evt = 15 member variables.
+	if len(cs.Members) != 15 {
+		t.Fatalf("members = %d: %v", len(cs.Members), cs.Members)
+	}
+	for _, m := range cs.Members {
+		if coordColumns[m.Column] {
+			t.Fatalf("coordinate column %q leaked into members", m.Column)
+		}
+	}
+}
+
+func TestGenerateGoSource(t *testing.T) {
+	paths := sampleFiles(t, 1)
+	schemas, _ := InspectFile(paths[0])
+	src := GenerateGoSource(schemas[0])
+	for _, want := range []string{"type NovaSlice struct {", "CalE float32", "NHit int32", "SliceIdx uint32"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	paths := sampleFiles(t, 1)
+	schemas, _ := InspectFile(paths[0])
+	if _, err := Bind(42, schemas[0]); err == nil {
+		t.Error("non-struct example should fail")
+	}
+	type missing struct{ CalE float32 }
+	if _, err := Bind(missing{}, schemas[0]); err == nil {
+		t.Error("struct missing columns should fail")
+	}
+	type badType struct {
+		nova.Slice
+		// shadow a column with a non-numeric field
+	}
+	_ = badType{}
+	type wrongKind struct {
+		CalE string
+	}
+	cs := schemas[0]
+	cs.Members = []Member{{Column: "calE"}}
+	if _, err := Bind(wrongKind{}, cs); err == nil {
+		t.Error("non-numeric field should fail")
+	}
+}
+
+func TestBindAndReadEvents(t *testing.T) {
+	paths := sampleFiles(t, 1)
+	schemas, _ := InspectFile(paths[0])
+	b, err := Bind(nova.Slice{}, schemas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := h5lite.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := b.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must agree with nova.ReadFile.
+	want, err := nova.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("events = %d, want %d", len(evs), len(want))
+	}
+	for i := range want {
+		rows := evs[i].Rows.([]nova.Slice)
+		if len(rows) != len(want[i].Slices) {
+			t.Fatalf("event %d rows = %d, want %d", i, len(rows), len(want[i].Slices))
+		}
+		for j := range rows {
+			if rows[j] != want[i].Slices[j] {
+				t.Fatalf("event %d row %d: %+v != %+v", i, j, rows[j], want[i].Slices[j])
+			}
+		}
+	}
+}
+
+func TestIngestEndToEnd(t *testing.T) {
+	ds := newStore(t)
+	ctx := context.Background()
+	paths := sampleFiles(t, 6)
+	dataset, err := ds.CreateDataSet(ctx, "fermilab/nova")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas, err := InspectFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(nova.Slice{}, schemas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &Loader{DS: ds, Label: "slices", Parallelism: 3}
+	st, err := loader.IngestFiles(ctx, dataset, b, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 6 || st.Events == 0 || st.Rows == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Every file event is now in HEPnOS with its product.
+	wantEvents := 0
+	for _, p := range paths {
+		evs, _ := nova.ReadFile(p)
+		wantEvents += len(evs)
+		for _, ev := range evs {
+			run, err := dataset.Run(ctx, ev.Run)
+			if err != nil {
+				t.Fatalf("run %d: %v", ev.Run, err)
+			}
+			sr, err := run.SubRun(ctx, ev.SubRun)
+			if err != nil {
+				t.Fatalf("subrun %d: %v", ev.SubRun, err)
+			}
+			hev, err := sr.Event(ctx, ev.Event)
+			if err != nil {
+				t.Fatalf("event %d: %v", ev.Event, err)
+			}
+			var slices []nova.Slice
+			if err := hev.Load(ctx, "slices", &slices); err != nil {
+				t.Fatalf("load product: %v", err)
+			}
+			if len(slices) != len(ev.Slices) {
+				t.Fatalf("event %v: %d slices, want %d", ev.Event, len(slices), len(ev.Slices))
+			}
+		}
+	}
+	if st.Events != wantEvents {
+		t.Fatalf("ingested %d events, files hold %d", st.Events, wantEvents)
+	}
+}
+
+func TestIngestBadFile(t *testing.T) {
+	ds := newStore(t)
+	ctx := context.Background()
+	dataset, _ := ds.CreateDataSet(ctx, "bad")
+	schemas, _ := InspectFile(sampleFiles(t, 1)[0])
+	b, _ := Bind(nova.Slice{}, schemas[0])
+	loader := &Loader{DS: ds}
+	if _, err := loader.IngestFiles(ctx, dataset, b, []string{"/does/not/exist"}); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+// TestExportRoundTrip: ingest files, export the dataset back to h5lite,
+// and verify the exported files reproduce the identical selection result —
+// the archival inverse of HDF2HEPnOS.
+func TestExportRoundTrip(t *testing.T) {
+	ds := newStore(t)
+	ctx := context.Background()
+	paths := sampleFiles(t, 4)
+	dataset, err := ds.CreateDataSet(ctx, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas, err := InspectFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding, err := Bind(nova.Slice{}, schemas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &Loader{DS: ds, Label: "slices", Parallelism: 2}
+	inStats, err := loader.IngestFiles(ctx, dataset, binding, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outDir := t.TempDir()
+	exporter := &Exporter{DS: ds, Label: "slices"}
+	outPaths, exStats, err := exporter.ExportDataSet(ctx, dataset, binding, outDir, "export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exStats.Events != inStats.Events || exStats.Rows != inStats.Rows {
+		t.Fatalf("export stats %+v != ingest stats %+v", exStats, inStats)
+	}
+	if len(outPaths) == 0 {
+		t.Fatal("no files exported")
+	}
+
+	// The exported files carry the same schema...
+	outSchemas, err := InspectFile(outPaths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outSchemas) != 1 || len(outSchemas[0].Members) != len(schemas[0].Members) {
+		t.Fatalf("export schema mismatch: %+v", outSchemas)
+	}
+	// ...and the same physics: selection over original and exported files
+	// must agree slice for slice.
+	select_ := func(files []string) map[string]bool {
+		out := map[string]bool{}
+		for _, p := range files {
+			events, err := nova.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range events {
+				for _, ref := range nova.SelectEvent(&events[i]) {
+					out[ref.String()] = true
+				}
+			}
+		}
+		return out
+	}
+	orig, exported := select_(paths), select_(outPaths)
+	if len(orig) != len(exported) {
+		t.Fatalf("selection differs: %d vs %d accepted", len(orig), len(exported))
+	}
+	for ref := range orig {
+		if !exported[ref] {
+			t.Fatalf("accepted slice %s missing after round trip", ref)
+		}
+	}
+}

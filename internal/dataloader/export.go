@@ -1,0 +1,202 @@
+package dataloader
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/core"
+	"github.com/hep-on-hpc/hepnos-go/internal/h5lite"
+)
+
+// Export is the DataLoader's inverse: it walks a HEPnOS dataset and writes
+// its events' products back into h5lite files, one file per (run, subrun) —
+// the archival step a production workflow needs once an analysis pass has
+// produced new products (§VI anticipates workflows writing results back
+// into the store).
+//
+// The binding's struct fields become the member columns, exactly the
+// layout InspectFile infers, so export → ingest round-trips.
+type Exporter struct {
+	DS *core.DataStore
+	// Label is the product label to export.
+	Label string
+	// PageSize tunes the event cursor (0 = default).
+	PageSize int
+}
+
+// ExportStats summarizes an export.
+type ExportStats struct {
+	Files  int
+	Events int
+	Rows   int
+}
+
+// ExportDataSet writes every subrun of every run into dir as
+// "<prefix>-<run>-<subrun>.h5l" and returns the written paths.
+func (e *Exporter) ExportDataSet(ctx context.Context, dataset *core.DataSet, b *Binding, dir, prefix string) ([]string, ExportStats, error) {
+	var (
+		paths []string
+		st    ExportStats
+	)
+	label := e.Label
+	if label == "" {
+		label = "h5"
+	}
+	runs, err := dataset.Runs(ctx)
+	if err != nil {
+		return nil, st, err
+	}
+	for _, rn := range runs {
+		run, err := dataset.Run(ctx, rn)
+		if err != nil {
+			return nil, st, err
+		}
+		subs, err := run.SubRuns(ctx)
+		if err != nil {
+			return nil, st, err
+		}
+		for _, sn := range subs {
+			sr, err := run.SubRun(ctx, sn)
+			if err != nil {
+				return nil, st, err
+			}
+			path := filepath.Join(dir, fmt.Sprintf("%s-%06d-%04d.h5l", prefix, rn, sn))
+			n, rows, err := e.exportSubRun(ctx, sr, b, label, path)
+			if err != nil {
+				return nil, st, fmt.Errorf("dataloader: export run %d subrun %d: %w", rn, sn, err)
+			}
+			if n == 0 {
+				continue // no rows: no file
+			}
+			paths = append(paths, path)
+			st.Files++
+			st.Events += n
+			st.Rows += rows
+		}
+	}
+	return paths, st, nil
+}
+
+// exportSubRun streams one subrun's events through the cursor (with
+// product prefetching) into column builders.
+func (e *Exporter) exportSubRun(ctx context.Context, sr *core.SubRun, b *Binding, label, path string) (events, rows int, err error) {
+	sel := core.ProductSelector{Label: label, Type: "vector<" + b.typ.Name() + ">"}
+	cur := sr.EventCursor(ctx, e.PageSize, sel)
+
+	var (
+		runCol, subCol, evCol []uint64
+		members               = make([][]float64, len(b.Schema.Members))
+	)
+	slicePtr := reflect.New(reflect.SliceOf(b.typ))
+	for cur.Next() {
+		ev := cur.Event()
+		slicePtr.Elem().SetZero()
+		if err := ev.Load(ctx, label, slicePtr.Interface()); err != nil {
+			// An event without the product contributes no rows.
+			continue
+		}
+		items := slicePtr.Elem()
+		if items.Len() == 0 {
+			continue
+		}
+		id := ev.ID()
+		events++
+		for i := 0; i < items.Len(); i++ {
+			rows++
+			runCol = append(runCol, id.Run)
+			subCol = append(subCol, id.SubRun)
+			evCol = append(evCol, id.Event)
+			item := items.Index(i)
+			for mi := range b.Schema.Members {
+				f := item.Field(b.fieldIdx[mi])
+				var v float64
+				switch f.Kind() {
+				case reflect.Float32, reflect.Float64:
+					v = f.Float()
+				case reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64, reflect.Int:
+					v = float64(f.Int())
+				default:
+					v = float64(f.Uint())
+				}
+				members[mi] = append(members[mi], v)
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		return 0, 0, err
+	}
+	if rows == 0 {
+		return 0, 0, nil
+	}
+
+	w := h5lite.NewWriter()
+	group := "export/" + b.typ.Name()
+	if b.Schema.Group != "" {
+		group = b.Schema.Group
+	}
+	if err := w.AddColumn(group, "run", runCol); err != nil {
+		return 0, 0, err
+	}
+	if err := w.AddColumn(group, "subrun", subCol); err != nil {
+		return 0, 0, err
+	}
+	if err := w.AddColumn(group, "evt", evCol); err != nil {
+		return 0, 0, err
+	}
+	for mi, m := range b.Schema.Members {
+		col, err := narrowColumn(m.DType, members[mi])
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := w.AddColumn(group, m.Column, col); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := w.WriteFile(path); err != nil {
+		return 0, 0, err
+	}
+	return events, rows, nil
+}
+
+// narrowColumn converts the float64 staging column back to the schema's
+// column type.
+func narrowColumn(dt h5lite.DType, vals []float64) (any, error) {
+	switch dt {
+	case h5lite.Float32:
+		out := make([]float32, len(vals))
+		for i, v := range vals {
+			out[i] = float32(v)
+		}
+		return out, nil
+	case h5lite.Float64:
+		return append([]float64(nil), vals...), nil
+	case h5lite.Int32:
+		out := make([]int32, len(vals))
+		for i, v := range vals {
+			out[i] = int32(v)
+		}
+		return out, nil
+	case h5lite.Int64:
+		out := make([]int64, len(vals))
+		for i, v := range vals {
+			out[i] = int64(v)
+		}
+		return out, nil
+	case h5lite.Uint32:
+		out := make([]uint32, len(vals))
+		for i, v := range vals {
+			out[i] = uint32(v)
+		}
+		return out, nil
+	case h5lite.Uint64:
+		out := make([]uint64, len(vals))
+		for i, v := range vals {
+			out[i] = uint64(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("dataloader: cannot export column type %q", dt)
+	}
+}

@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BulkHandle describes a region of memory exposed by an endpoint for remote
+// transfer, the analog of an hg_bulk_t. Handles are plain data and travel
+// inside RPC payloads.
+type BulkHandle struct {
+	ID   uint64
+	Size uint64
+}
+
+// Encode appends the handle's wire form (16 bytes) to dst.
+func (h BulkHandle) Encode(dst []byte) []byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:], h.ID)
+	binary.LittleEndian.PutUint64(b[8:], h.Size)
+	return append(dst, b[:]...)
+}
+
+// DecodeBulkHandle parses a handle from the front of src and returns the
+// remaining bytes.
+func DecodeBulkHandle(src []byte) (BulkHandle, []byte, error) {
+	if len(src) < 16 {
+		return BulkHandle{}, nil, fmt.Errorf("fabric: truncated bulk handle")
+	}
+	h := BulkHandle{
+		ID:   binary.LittleEndian.Uint64(src[0:]),
+		Size: binary.LittleEndian.Uint64(src[8:]),
+	}
+	return h, src[16:], nil
+}
+
+// bulkTable tracks exposed regions by id, with expose timestamps so
+// abandoned regions (a client that died between get_multi and bulk_free)
+// can be swept.
+type bulkRegion struct {
+	data []byte
+	at   time.Time
+}
+
+type bulkTable struct {
+	mu      sync.Mutex
+	next    uint64
+	regions map[uint64]bulkRegion
+}
+
+func (t *bulkTable) init() {
+	t.regions = make(map[uint64]bulkRegion)
+}
+
+// ExposeBulk registers data for remote pull and returns its handle. The
+// caller must keep the data unchanged until FreeBulk.
+func (e *Endpoint) ExposeBulk(data []byte) BulkHandle {
+	t := &e.bulk
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	t.regions[t.next] = bulkRegion{data: data, at: time.Now()}
+	return BulkHandle{ID: t.next, Size: uint64(len(data))}
+}
+
+// SweepBulk frees every exposed region older than maxAge and returns how
+// many were reclaimed. Servers run it periodically so that clients that
+// died between receiving a bulk handle and releasing it cannot leak server
+// memory.
+func (e *Endpoint) SweepBulk(maxAge time.Duration) int {
+	t := &e.bulk
+	cutoff := time.Now().Add(-maxAge)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, r := range t.regions {
+		if r.at.Before(cutoff) || maxAge <= 0 {
+			delete(t.regions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// BulkRegions returns how many regions are currently exposed.
+func (e *Endpoint) BulkRegions() int {
+	e.bulk.mu.Lock()
+	defer e.bulk.mu.Unlock()
+	return len(e.bulk.regions)
+}
+
+// FreeBulk releases an exposed region. Freeing an unknown handle is a
+// no-op, matching HG_Bulk_free being safe after transfer completion.
+func (e *Endpoint) FreeBulk(h BulkHandle) {
+	e.bulk.mu.Lock()
+	delete(e.bulk.regions, h.ID)
+	e.bulk.mu.Unlock()
+}
+
+// lookupBulk returns the exposed bytes for a handle.
+func (e *Endpoint) lookupBulk(h BulkHandle) ([]byte, error) {
+	e.bulk.mu.Lock()
+	defer e.bulk.mu.Unlock()
+	r, ok := e.bulk.regions[h.ID]
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown bulk handle %d at %s", h.ID, e.addr)
+	}
+	if uint64(len(r.data)) != h.Size {
+		return nil, fmt.Errorf("fabric: bulk handle %d size mismatch: exposed %d, handle %d",
+			h.ID, len(r.data), h.Size)
+	}
+	return r.data, nil
+}
+
+// bulkPullRPC is the internal RPC every endpoint serves so that peers can
+// pull exposed regions. It is registered at Listen time.
+const bulkPullRPC = "__fabric_bulk_pull__"
+
+func (e *Endpoint) registerBulkService() {
+	e.Register(bulkPullRPC, func(_ context.Context, req *Request) ([]byte, error) {
+		h, _, err := DecodeBulkHandle(req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return e.lookupBulk(h)
+	})
+}
+
+// PullBulkFrom fetches the bytes behind a handle exposed at the remote
+// address. It is the initiator-side transfer used when a server exposes a
+// large response for the client to pull.
+func (e *Endpoint) PullBulkFrom(ctx context.Context, from Address, h BulkHandle) ([]byte, error) {
+	return e.pullBulk(ctx, from, h)
+}
+
+// pullBulk fetches the bytes behind a handle exposed at the remote address.
+func (e *Endpoint) pullBulk(ctx context.Context, from Address, h BulkHandle) ([]byte, error) {
+	if e.sim != nil {
+		// Bulk transfers pay bandwidth on the puller's model too; this is
+		// the RDMA read path.
+		if err := e.sim.beforeSend(ctx, from, bulkPullRPC, int(h.Size)); err != nil {
+			return nil, err
+		}
+	}
+	data, err := e.trans.call(ctx, from, bulkPullRPC, h.Encode(nil))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(data)) != h.Size {
+		return nil, fmt.Errorf("fabric: bulk pull returned %d bytes, handle says %d", len(data), h.Size)
+	}
+	e.stats.bulkPulls.Add(1)
+	e.stats.bulkBytes.Add(int64(len(data)))
+	return data, nil
+}

@@ -1,0 +1,287 @@
+// Package fabric is the Go analog of the Mercury RPC library that HEPnOS
+// uses for communication (§II-B of the paper), with the transport fidelity
+// caveats documented in DESIGN.md: no OS-bypass RDMA exists in Go, so the
+// package reproduces Mercury's *programming model* — registered RPCs,
+// handler dispatch, explicit bulk handles for large transfers — over two
+// transports:
+//
+//   - "inproc": endpoints inside one process, connected through an in-memory
+//     registry. This is the analog of Mercury's na+sm and is what tests,
+//     examples and benchmarks use. An optional cost model (NetSim) imposes
+//     latency, bandwidth and NIC injection limits so contention phenomena
+//     remain observable.
+//   - "tcp": length-prefixed frames over real sockets, so a service can be
+//     deployed across actual processes and machines.
+//
+// Addresses are URIs: "inproc://name" or "tcp://host:port".
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Address identifies an endpoint, e.g. "inproc://server0" or
+// "tcp://127.0.0.1:9999".
+type Address string
+
+// Scheme returns the transport scheme of the address.
+func (a Address) Scheme() string {
+	if i := strings.Index(string(a), "://"); i >= 0 {
+		return string(a)[:i]
+	}
+	return ""
+}
+
+// Errors returned by fabric operations.
+var (
+	ErrUnreachable = errors.New("fabric: address unreachable")
+	ErrNoSuchRPC   = errors.New("fabric: no such RPC registered")
+	ErrClosed      = errors.New("fabric: endpoint closed")
+)
+
+// RemoteError wraps an error string produced by a remote handler so callers
+// can distinguish transport failures from application failures.
+type RemoteError struct {
+	RPC string
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("fabric: remote %s failed: %s", e.RPC, e.Msg)
+}
+
+// Request is what a handler receives.
+type Request struct {
+	RPC     string
+	Payload []byte
+	From    Address // the caller's address (reply path for bulk pulls)
+
+	ep *Endpoint
+}
+
+// PullBulk transfers the remote region described by h from the requester's
+// exposed memory into a fresh buffer — the analog of HG_Bulk_transfer with
+// HG_BULK_PULL, which Yokan uses for large values and batches.
+func (r *Request) PullBulk(ctx context.Context, h BulkHandle) ([]byte, error) {
+	if r.From == "" {
+		return nil, errors.New("fabric: request has no reply address for bulk pull")
+	}
+	return r.ep.pullBulk(ctx, r.From, h)
+}
+
+// Handler processes one RPC and returns the response payload.
+type Handler func(ctx context.Context, req *Request) ([]byte, error)
+
+// Stats counts endpoint activity.
+type Stats struct {
+	CallsSent     int64
+	CallsServed   int64
+	BytesSent     int64
+	BytesReceived int64
+	BulkPulls     int64
+	BulkBytes     int64
+	Errors        int64
+}
+
+type statsCollector struct {
+	callsSent     atomic.Int64
+	callsServed   atomic.Int64
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+	bulkPulls     atomic.Int64
+	bulkBytes     atomic.Int64
+	errors        atomic.Int64
+}
+
+func (s *statsCollector) snapshot() Stats {
+	return Stats{
+		CallsSent:     s.callsSent.Load(),
+		CallsServed:   s.callsServed.Load(),
+		BytesSent:     s.bytesSent.Load(),
+		BytesReceived: s.bytesReceived.Load(),
+		BulkPulls:     s.bulkPulls.Load(),
+		BulkBytes:     s.bulkBytes.Load(),
+		Errors:        s.errors.Load(),
+	}
+}
+
+// Dispatcher decides where handler invocations run. The default runs each
+// handler on its own goroutine; Margo installs a dispatcher that pushes the
+// invocation into an Argobots pool instead.
+type Dispatcher func(run func())
+
+// Endpoint is a communication endpoint: it serves registered RPCs and
+// issues calls to other endpoints.
+type Endpoint struct {
+	addr  Address
+	trans transport
+	sim   *NetSim // nil means free, instant network
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	dispatch Dispatcher
+	closed   bool
+
+	bulk  bulkTable
+	stats statsCollector
+	prof  profiler
+}
+
+// Option configures an endpoint at Listen time.
+type Option func(*Endpoint)
+
+// WithNetSim attaches a network cost model to the endpoint. All of the
+// endpoint's sends pay the model's latency/bandwidth/injection costs.
+func WithNetSim(sim *NetSim) Option {
+	return func(e *Endpoint) { e.sim = sim }
+}
+
+// WithDispatcher sets how incoming handler invocations are scheduled.
+func WithDispatcher(d Dispatcher) Option {
+	return func(e *Endpoint) { e.dispatch = d }
+}
+
+// Listen creates an endpoint on the given address. Supported schemes are
+// "inproc" and "tcp". For "tcp", a port of 0 picks a free port; the actual
+// address is available from Addr.
+func Listen(addr Address, opts ...Option) (*Endpoint, error) {
+	e := &Endpoint{
+		handlers: make(map[string]Handler),
+		dispatch: func(run func()) { go run() },
+	}
+	e.bulk.init()
+	for _, o := range opts {
+		o(e)
+	}
+	switch addr.Scheme() {
+	case "inproc":
+		t, actual, err := listenInproc(e, addr)
+		if err != nil {
+			return nil, err
+		}
+		e.trans, e.addr = t, actual
+	case "tcp":
+		t, actual, err := listenTCP(e, addr)
+		if err != nil {
+			return nil, err
+		}
+		e.trans, e.addr = t, actual
+	default:
+		return nil, fmt.Errorf("fabric: unsupported scheme in %q", addr)
+	}
+	e.registerBulkService()
+	return e, nil
+}
+
+// Addr returns the endpoint's reachable address.
+func (e *Endpoint) Addr() Address { return e.addr }
+
+// Stats returns a snapshot of the endpoint's activity counters.
+func (e *Endpoint) Stats() Stats { return e.stats.snapshot() }
+
+// Register installs a handler for the named RPC. Registering twice replaces
+// the handler, matching HG_Register semantics.
+func (e *Endpoint) Register(rpc string, h Handler) {
+	if h == nil {
+		panic("fabric: nil handler for " + rpc)
+	}
+	e.mu.Lock()
+	e.handlers[rpc] = h
+	e.mu.Unlock()
+}
+
+// SetDispatcher replaces the handler dispatcher (used by Margo after the
+// endpoint is created).
+func (e *Endpoint) SetDispatcher(d Dispatcher) {
+	if d == nil {
+		panic("fabric: nil dispatcher")
+	}
+	e.mu.Lock()
+	e.dispatch = d
+	e.mu.Unlock()
+}
+
+// Call sends an RPC to the target and waits for its response.
+func (e *Endpoint) Call(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error) {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if e.sim != nil {
+		if err := e.sim.beforeSend(ctx, target, rpc, len(payload)); err != nil {
+			e.stats.errors.Add(1)
+			return nil, err
+		}
+	}
+	e.stats.callsSent.Add(1)
+	e.stats.bytesSent.Add(int64(len(payload)))
+	start := time.Now()
+	resp, err := e.trans.call(ctx, target, rpc, payload)
+	e.prof.record(rpc, time.Since(start), err != nil)
+	if err != nil {
+		e.stats.errors.Add(1)
+		return nil, err
+	}
+	e.stats.bytesReceived.Add(int64(len(resp)))
+	return resp, nil
+}
+
+// Close shuts the endpoint down. In-flight calls may fail with ErrClosed.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	return e.trans.close()
+}
+
+// serve runs the handler for an incoming request and returns the response
+// payload or an error to be sent back. It is invoked by transports.
+func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload []byte) ([]byte, error) {
+	e.mu.RLock()
+	h, ok := e.handlers[rpc]
+	closed := e.closed
+	dispatch := e.dispatch
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q at %s", ErrNoSuchRPC, rpc, e.addr)
+	}
+	e.stats.callsServed.Add(1)
+
+	type result struct {
+		resp []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	dispatch(func() {
+		resp, err := h(ctx, &Request{RPC: rpc, Payload: payload, From: from, ep: e})
+		done <- result{resp, err}
+	})
+	select {
+	case r := <-done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// transport is the wire-level half of an endpoint.
+type transport interface {
+	call(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error)
+	close() error
+}

@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// inprocRegistry maps inproc addresses to live endpoints within the
+// process, playing the role Mercury's shared-memory NA plugin plays between
+// co-located processes.
+var inprocRegistry = struct {
+	sync.RWMutex
+	eps map[Address]*Endpoint
+}{eps: make(map[Address]*Endpoint)}
+
+type inprocTransport struct {
+	self *Endpoint
+	addr Address
+}
+
+func listenInproc(e *Endpoint, addr Address) (transport, Address, error) {
+	name := string(addr)
+	if name == "inproc://" || addr.Scheme() != "inproc" {
+		return nil, "", fmt.Errorf("fabric: bad inproc address %q", addr)
+	}
+	inprocRegistry.Lock()
+	defer inprocRegistry.Unlock()
+	if _, exists := inprocRegistry.eps[addr]; exists {
+		return nil, "", fmt.Errorf("fabric: inproc address %q already in use", addr)
+	}
+	inprocRegistry.eps[addr] = e
+	return &inprocTransport{self: e, addr: addr}, addr, nil
+}
+
+func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error) {
+	inprocRegistry.RLock()
+	dst, ok := inprocRegistry.eps[target]
+	inprocRegistry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, target)
+	}
+	// Copy the payload so caller and handler never alias memory, the same
+	// isolation a real wire provides.
+	var in []byte
+	if payload != nil {
+		in = append([]byte(nil), payload...)
+	}
+	resp, err := dst.serve(ctx, t.addr, rpc, in)
+	if err != nil {
+		// Application errors cross the "wire" as RemoteError, like a
+		// serialized Mercury response with an error code.
+		if _, isRemote := err.(*RemoteError); !isRemote && ctx.Err() == nil {
+			err = &RemoteError{RPC: rpc, Msg: err.Error()}
+		}
+		return nil, err
+	}
+	if resp == nil {
+		return nil, nil
+	}
+	return append([]byte(nil), resp...), nil
+}
+
+func (t *inprocTransport) close() error {
+	inprocRegistry.Lock()
+	delete(inprocRegistry.eps, t.addr)
+	inprocRegistry.Unlock()
+	return nil
+}

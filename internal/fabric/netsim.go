@@ -1,0 +1,111 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// NetSim is an optional cost and fault model applied to an endpoint's
+// outgoing traffic. It lets in-process deployments exhibit the network
+// behaviours the paper's evaluation depends on: per-message latency,
+// finite link bandwidth and — crucially for §IV-E, where runs crashed by
+// "oversaturation of the injection bandwidth of the Aries NIC" — a hard
+// injection budget that fails sends once exceeded.
+//
+// The zero value costs nothing and never fails. All fields are read after
+// construction; mutate them only before the endpoint starts sending.
+type NetSim struct {
+	// Latency is added to every send.
+	Latency time.Duration
+	// BandwidthBps spreads payload bytes over time. Zero means infinite.
+	BandwidthBps float64
+	// InjectionBps caps sustained outgoing byte rate with a token bucket.
+	// Zero means uncapped.
+	InjectionBps float64
+	// InjectionBurst is the token bucket capacity in bytes. Defaults to
+	// one second of InjectionBps when zero.
+	InjectionBurst float64
+	// InjectionHardFail makes the endpoint fail sends with
+	// ErrInjectionOverload instead of throttling when the bucket is empty,
+	// reproducing the Aries NIC crash mode.
+	InjectionHardFail bool
+	// Fault, when non-nil, is consulted before each send and may return an
+	// error to inject a failure (drop) for that message.
+	Fault func(target Address, rpc string, size int) error
+
+	mu       sync.Mutex
+	tokens   float64
+	lastFill time.Time
+}
+
+// ErrInjectionOverload reports that the injection bandwidth budget was
+// exhausted in hard-fail mode.
+var ErrInjectionOverload = errors.New("fabric: NIC injection bandwidth exceeded")
+
+// beforeSend applies the cost model; it blocks for simulated transfer time
+// and returns an error for injected faults.
+func (s *NetSim) beforeSend(ctx context.Context, target Address, rpc string, size int) error {
+	if s == nil {
+		return nil
+	}
+	if s.Fault != nil {
+		if err := s.Fault(target, rpc, size); err != nil {
+			return err
+		}
+	}
+	delay := s.Latency
+	if s.BandwidthBps > 0 {
+		delay += time.Duration(float64(size) / s.BandwidthBps * float64(time.Second))
+	}
+	if s.InjectionBps > 0 {
+		wait, err := s.takeTokens(float64(size))
+		if err != nil {
+			return err
+		}
+		delay += wait
+	}
+	if delay <= 0 {
+		return nil
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// takeTokens debits size bytes from the bucket, returning how long the
+// caller must wait for the debit to be covered (throttle mode) or
+// ErrInjectionOverload (hard-fail mode).
+func (s *NetSim) takeTokens(size float64) (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	burst := s.InjectionBurst
+	if burst <= 0 {
+		burst = s.InjectionBps
+	}
+	now := time.Now()
+	if s.lastFill.IsZero() {
+		s.tokens = burst
+	} else {
+		s.tokens += now.Sub(s.lastFill).Seconds() * s.InjectionBps
+		if s.tokens > burst {
+			s.tokens = burst
+		}
+	}
+	s.lastFill = now
+	s.tokens -= size
+	if s.tokens >= 0 {
+		return 0, nil
+	}
+	if s.InjectionHardFail {
+		s.tokens += size // roll back; the message was not sent
+		return 0, ErrInjectionOverload
+	}
+	return time.Duration(-s.tokens / s.InjectionBps * float64(time.Second)), nil
+}

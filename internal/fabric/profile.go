@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RPC breadcrumb profiling, the analog of Margo's breadcrumb profiles: the
+// endpoint records per-RPC-name call counts and latency aggregates on the
+// origin side. The Mochi papers use exactly this data to diagnose HEPnOS
+// performance (the §V-cited monitoring work); hepnos-go exposes it through
+// Endpoint.Profile.
+
+// RPCProfile aggregates one RPC name's origin-side latencies.
+type RPCProfile struct {
+	RPC   string
+	Calls int64
+	// Total, Max and Min are cumulative/worst/best round-trip latencies.
+	Total time.Duration
+	Max   time.Duration
+	Min   time.Duration
+	// Errors counts failed calls (not included in the latency figures).
+	Errors int64
+}
+
+// Mean returns the average round-trip latency.
+func (p RPCProfile) Mean() time.Duration {
+	if p.Calls == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Calls)
+}
+
+type profiler struct {
+	mu sync.Mutex
+	m  map[string]*RPCProfile
+}
+
+func (pr *profiler) record(rpc string, d time.Duration, failed bool) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.m == nil {
+		pr.m = make(map[string]*RPCProfile)
+	}
+	p := pr.m[rpc]
+	if p == nil {
+		p = &RPCProfile{RPC: rpc, Min: d}
+		pr.m[rpc] = p
+	}
+	if failed {
+		p.Errors++
+		return
+	}
+	p.Calls++
+	p.Total += d
+	if d > p.Max {
+		p.Max = d
+	}
+	if p.Calls == 1 || d < p.Min {
+		p.Min = d
+	}
+}
+
+// Profile returns a snapshot of the endpoint's origin-side RPC breadcrumbs,
+// sorted by cumulative time (hottest first).
+func (e *Endpoint) Profile() []RPCProfile {
+	e.prof.mu.Lock()
+	defer e.prof.mu.Unlock()
+	out := make([]RPCProfile, 0, len(e.prof.m))
+	for _, p := range e.prof.m {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}

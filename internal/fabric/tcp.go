@@ -1,0 +1,345 @@
+package fabric
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Wire format (all integers little-endian):
+//
+//	frame   = u32 length, body
+//	request = 'Q', u64 reqID, u16 rpcLen, rpc, u16 fromLen, from, payload
+//	reply   = 'R', u64 reqID, u8 status, payload-or-error-message
+//
+// status 0 is success; 1 is an application error whose message follows.
+const (
+	frameRequest = 'Q'
+	frameReply   = 'R'
+
+	statusOK  = 0
+	statusErr = 1
+
+	maxFrame = 1 << 30 // sanity cap: 1 GiB per message
+)
+
+type tcpTransport struct {
+	self *Endpoint
+	ln   net.Listener
+	addr Address
+
+	mu    sync.Mutex
+	conns map[Address]*tcpConn // outgoing connection pool
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func listenTCP(e *Endpoint, addr Address) (transport, Address, error) {
+	hostport := strings.TrimPrefix(string(addr), "tcp://")
+	ln, err := net.Listen("tcp", hostport)
+	if err != nil {
+		return nil, "", fmt.Errorf("fabric: listen %s: %w", addr, err)
+	}
+	t := &tcpTransport{
+		self:  e,
+		ln:    ln,
+		addr:  Address("tcp://" + ln.Addr().String()),
+		conns: make(map[Address]*tcpConn),
+		done:  make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, t.addr, nil
+}
+
+func (t *tcpTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(c)
+		}()
+	}
+}
+
+// serveConn handles inbound frames from one peer connection. Requests are
+// dispatched concurrently; replies are matched to pending outgoing calls
+// (the same connection carries both directions, so bulk pulls from a server
+// back to a client reuse the client's dialed connection).
+func (t *tcpTransport) serveConn(nc net.Conn) {
+	c := &tcpConn{nc: nc, pending: make(map[uint64]chan tcpReply)}
+	t.connLoop(c)
+}
+
+func (t *tcpTransport) connLoop(c *tcpConn) {
+	defer c.nc.Close()
+	for {
+		body, err := readFrame(c.nc)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if len(body) == 0 {
+			c.failAll(fmt.Errorf("fabric: empty frame"))
+			return
+		}
+		switch body[0] {
+		case frameRequest:
+			reqID, rpc, from, payload, err := parseRequest(body)
+			if err != nil {
+				c.failAll(err)
+				return
+			}
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				resp, herr := t.self.serve(context.Background(), from, rpc, payload)
+				var frame []byte
+				if herr != nil {
+					frame = buildReply(reqID, statusErr, []byte(herr.Error()))
+				} else {
+					frame = buildReply(reqID, statusOK, resp)
+				}
+				c.write(frame)
+			}()
+		case frameReply:
+			if len(body) < 10 {
+				c.failAll(fmt.Errorf("fabric: short reply frame"))
+				return
+			}
+			reqID := binary.LittleEndian.Uint64(body[1:9])
+			status := body[9]
+			c.deliver(reqID, tcpReply{status: status, payload: append([]byte(nil), body[10:]...)})
+		default:
+			c.failAll(fmt.Errorf("fabric: unknown frame kind %q", body[0]))
+			return
+		}
+	}
+}
+
+func (t *tcpTransport) call(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error) {
+	c, err := t.getConn(target)
+	if err != nil {
+		return nil, err
+	}
+	reqID, ch := c.newPending()
+	frame := buildRequest(reqID, rpc, t.addr, payload)
+	if err := c.write(frame); err != nil {
+		c.cancelPending(reqID)
+		t.dropConn(target, c)
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, target, err)
+	}
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("%w: %s: connection lost", ErrUnreachable, target)
+		}
+		if r.status == statusErr {
+			return nil, &RemoteError{RPC: rpc, Msg: string(r.payload)}
+		}
+		return r.payload, nil
+	case <-ctx.Done():
+		c.cancelPending(reqID)
+		return nil, ctx.Err()
+	}
+}
+
+func (t *tcpTransport) getConn(target Address) (*tcpConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[target]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	hostport := strings.TrimPrefix(string(target), "tcp://")
+	nc, err := net.Dial("tcp", hostport)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, target, err)
+	}
+	c := &tcpConn{nc: nc, pending: make(map[uint64]chan tcpReply)}
+
+	t.mu.Lock()
+	if existing, ok := t.conns[target]; ok {
+		t.mu.Unlock()
+		nc.Close()
+		return existing, nil
+	}
+	t.conns[target] = c
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.connLoop(c)
+		t.dropConn(target, c)
+	}()
+	return c, nil
+}
+
+func (t *tcpTransport) dropConn(target Address, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[target] == c {
+		delete(t.conns, target)
+	}
+	t.mu.Unlock()
+	c.failAll(fmt.Errorf("connection dropped"))
+	c.nc.Close()
+}
+
+func (t *tcpTransport) close() error {
+	close(t.done)
+	err := t.ln.Close()
+	t.mu.Lock()
+	for a, c := range t.conns {
+		c.nc.Close()
+		delete(t.conns, a)
+	}
+	t.mu.Unlock()
+	// Do not wait for handler goroutines: a handler may be blocked on a
+	// call to another endpoint that is also closing.
+	return err
+}
+
+type tcpReply struct {
+	status  byte
+	payload []byte
+}
+
+// tcpConn wraps one socket with request/reply correlation state.
+type tcpConn struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan tcpReply
+	dead    bool
+}
+
+func (c *tcpConn) newPending() (uint64, chan tcpReply) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	c.nextID++
+	ch := make(chan tcpReply, 1)
+	c.pending[c.nextID] = ch
+	return c.nextID, ch
+}
+
+func (c *tcpConn) cancelPending(id uint64) {
+	c.pmu.Lock()
+	delete(c.pending, id)
+	c.pmu.Unlock()
+}
+
+func (c *tcpConn) deliver(id uint64, r tcpReply) {
+	c.pmu.Lock()
+	ch, ok := c.pending[id]
+	delete(c.pending, id)
+	c.pmu.Unlock()
+	if ok {
+		ch <- r
+	}
+}
+
+// failAll closes every pending reply channel; waiting callers observe a
+// lost connection.
+func (c *tcpConn) failAll(error) {
+	c.pmu.Lock()
+	if c.dead {
+		c.pmu.Unlock()
+		return
+	}
+	c.dead = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.pmu.Unlock()
+}
+
+func (c *tcpConn) write(frame []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.nc.Write(frame)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func buildRequest(reqID uint64, rpc string, from Address, payload []byte) []byte {
+	body := 1 + 8 + 2 + len(rpc) + 2 + len(from) + len(payload)
+	frame := make([]byte, 4+body)
+	binary.LittleEndian.PutUint32(frame[0:], uint32(body))
+	b := frame[4:]
+	b[0] = frameRequest
+	binary.LittleEndian.PutUint64(b[1:], reqID)
+	binary.LittleEndian.PutUint16(b[9:], uint16(len(rpc)))
+	copy(b[11:], rpc)
+	off := 11 + len(rpc)
+	binary.LittleEndian.PutUint16(b[off:], uint16(len(from)))
+	copy(b[off+2:], from)
+	copy(b[off+2+len(from):], payload)
+	return frame
+}
+
+func parseRequest(body []byte) (reqID uint64, rpc string, from Address, payload []byte, err error) {
+	if len(body) < 11 {
+		return 0, "", "", nil, fmt.Errorf("fabric: short request frame")
+	}
+	reqID = binary.LittleEndian.Uint64(body[1:9])
+	rpcLen := int(binary.LittleEndian.Uint16(body[9:11]))
+	if len(body) < 11+rpcLen+2 {
+		return 0, "", "", nil, fmt.Errorf("fabric: truncated rpc name")
+	}
+	rpc = string(body[11 : 11+rpcLen])
+	off := 11 + rpcLen
+	fromLen := int(binary.LittleEndian.Uint16(body[off : off+2]))
+	if len(body) < off+2+fromLen {
+		return 0, "", "", nil, fmt.Errorf("fabric: truncated from address")
+	}
+	from = Address(body[off+2 : off+2+fromLen])
+	payload = append([]byte(nil), body[off+2+fromLen:]...)
+	return reqID, rpc, from, payload, nil
+}
+
+func buildReply(reqID uint64, status byte, payload []byte) []byte {
+	body := 1 + 8 + 1 + len(payload)
+	frame := make([]byte, 4+body)
+	binary.LittleEndian.PutUint32(frame[0:], uint32(body))
+	b := frame[4:]
+	b[0] = frameReply
+	binary.LittleEndian.PutUint64(b[1:], reqID)
+	b[9] = status
+	copy(b[10:], payload)
+	return frame
+}

@@ -1,0 +1,284 @@
+// Package filebased implements the traditional file-based HEP workflow the
+// paper compares against (§IV-A): the list of input files is written to a
+// text file; work is decomposed into blocks of files (or pipelined from a
+// shared queue); independent processes run the candidate selection
+// sequentially over their files and write the accepted slice IDs and their
+// elapsed time to per-process text files.
+//
+// In the paper this is a Python-multiprocessing harness spawning CAFAna
+// routines on grid-style processes; here processes are goroutines running
+// the same nova.SelectEvent the HEPnOS workflow uses, so the two workflows'
+// outputs are directly comparable.
+package filebased
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+	"github.com/hep-on-hpc/hepnos-go/internal/stats"
+)
+
+// Mode selects the work-decomposition strategy.
+type Mode string
+
+// Decomposition modes.
+const (
+	// ModePipelined hands files out from a shared queue as processes
+	// finish — "when a process is finished processing one file it
+	// requests the next file" (§I).
+	ModePipelined Mode = "pipelined"
+	// ModeStatic splits the file list into equal contiguous blocks up
+	// front, like the start/end line-number ranges in the paper's Python
+	// harness. It exposes the load imbalance pipelining hides.
+	ModeStatic Mode = "static"
+)
+
+// Config describes one workflow execution.
+type Config struct {
+	// Files is the input file list, in text-file order.
+	Files []string
+	// Processes is the number of concurrent worker processes (the grid
+	// allocation: nodes × processes-per-node).
+	Processes int
+	// Mode defaults to ModePipelined.
+	Mode Mode
+	// OutDir, when set, receives per-process selected-ID and timing text
+	// files, mirroring the paper's harness output.
+	OutDir string
+	// SliceWork emulates per-slice analysis compute (see
+	// workflow.Config.SliceWork); zero adds nothing.
+	SliceWork time.Duration
+}
+
+// ProcStats is one process's accounting.
+type ProcStats struct {
+	Process int
+	Files   int
+	Events  int
+	Slices  int
+	// Selected is how many slices the process accepted.
+	Selected int
+	// Start and End are seconds since the workflow began.
+	Start, End float64
+}
+
+// Result is the workflow outcome.
+type Result struct {
+	// Selected is the union of accepted slice IDs, sorted.
+	Selected []nova.SliceRef
+	// PerProcess has one entry per worker process.
+	PerProcess []ProcStats
+	// TotalEvents and TotalSlices count everything examined.
+	TotalEvents int
+	TotalSlices int
+	// Makespan is first-start to last-end in seconds; Throughput is
+	// slices per second over it — the paper's metric.
+	Makespan   float64
+	Throughput float64
+	// Utilization is the mean busy fraction of the processes.
+	Utilization float64
+}
+
+// Run executes the workflow.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Files) == 0 {
+		return Result{}, fmt.Errorf("filebased: no input files")
+	}
+	procs := cfg.Processes
+	if procs <= 0 {
+		procs = 1
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModePipelined
+	}
+
+	assignments, err := buildAssignments(cfg.Mode, len(cfg.Files), procs)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var (
+		mu       sync.Mutex
+		selected []nova.SliceRef
+		per      = make([]ProcStats, procs)
+		firstErr error
+	)
+	epoch := time.Now()
+
+	// In pipelined mode all processes share one queue; in static mode
+	// each drains its own pre-assigned block.
+	queue := make(chan int, len(cfg.Files))
+	if cfg.Mode == ModePipelined {
+		for i := range cfg.Files {
+			queue <- i
+		}
+		close(queue)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			st := ProcStats{Process: p, Start: time.Since(epoch).Seconds()}
+			var local []nova.SliceRef
+			process := func(fileIdx int) {
+				events, err := nova.ReadFile(cfg.Files[fileIdx])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("filebased: %s: %w", cfg.Files[fileIdx], err)
+					}
+					mu.Unlock()
+					return
+				}
+				st.Files++
+				for i := range events {
+					st.Events++
+					st.Slices += len(events[i].Slices)
+					local = append(local, nova.SelectEvent(&events[i])...)
+					if cfg.SliceWork > 0 {
+						time.Sleep(time.Duration(len(events[i].Slices)) * cfg.SliceWork)
+					}
+				}
+			}
+			if cfg.Mode == ModePipelined {
+				for idx := range queue {
+					process(idx)
+				}
+			} else {
+				for _, idx := range assignments[p] {
+					process(idx)
+				}
+			}
+			st.End = time.Since(epoch).Seconds()
+			st.Selected = len(local)
+			mu.Lock()
+			per[p] = st
+			selected = append(selected, local...)
+			mu.Unlock()
+			if cfg.OutDir != "" {
+				writeProcessFiles(cfg.OutDir, p, local, st)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+
+	SortRefs(selected)
+	res := Result{Selected: selected, PerProcess: per}
+	tl := stats.NewTimeline()
+	for _, st := range per {
+		res.TotalEvents += st.Events
+		res.TotalSlices += st.Slices
+		tl.Record(fmt.Sprintf("proc%d", st.Process), st.Start, st.End)
+	}
+	start, end, ok := tl.Makespan()
+	if ok {
+		res.Makespan = end - start
+		if res.Makespan > 0 {
+			res.Throughput = float64(res.TotalSlices) / res.Makespan
+		}
+		res.Utilization = tl.Utilization()
+	}
+	return res, nil
+}
+
+// buildAssignments computes the static block decomposition (unused in
+// pipelined mode but validated for both).
+func buildAssignments(mode Mode, files, procs int) ([][]int, error) {
+	switch mode {
+	case ModePipelined, ModeStatic:
+	default:
+		return nil, fmt.Errorf("filebased: unknown mode %q", mode)
+	}
+	out := make([][]int, procs)
+	// Contiguous blocks, remainder spread over the first processes —
+	// exactly a start/end line-number split of the file list.
+	base := files / procs
+	rem := files % procs
+	idx := 0
+	for p := 0; p < procs; p++ {
+		n := base
+		if p < rem {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			out[p] = append(out[p], idx)
+			idx++
+		}
+	}
+	return out, nil
+}
+
+// SortRefs orders slice references by (run, subrun, event, slice).
+func SortRefs(refs []nova.SliceRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.Run != b.Run {
+			return a.Run < b.Run
+		}
+		if a.SubRun != b.SubRun {
+			return a.SubRun < b.SubRun
+		}
+		if a.Event != b.Event {
+			return a.Event < b.Event
+		}
+		return a.Slice < b.Slice
+	})
+}
+
+// writeProcessFiles mirrors the paper's harness: per-process text files
+// with selected IDs and elapsed time.
+func writeProcessFiles(dir string, proc int, refs []nova.SliceRef, st ProcStats) {
+	_ = os.MkdirAll(dir, 0o755)
+	sel, err := os.Create(filepath.Join(dir, fmt.Sprintf("selected-%04d.txt", proc)))
+	if err == nil {
+		w := bufio.NewWriter(sel)
+		for _, r := range refs {
+			fmt.Fprintln(w, r)
+		}
+		w.Flush()
+		sel.Close()
+	}
+	timing, err := os.Create(filepath.Join(dir, fmt.Sprintf("timing-%04d.txt", proc)))
+	if err == nil {
+		fmt.Fprintf(timing, "start %f\nend %f\nfiles %d\nevents %d\nslices %d\n",
+			st.Start, st.End, st.Files, st.Events, st.Slices)
+		timing.Close()
+	}
+}
+
+// WriteFileList writes the input list text file the harness consumes.
+func WriteFileList(path string, files []string) error {
+	return os.WriteFile(path, []byte(strings.Join(files, "\n")+"\n"), 0o644)
+}
+
+// ReadFileList parses a file list, ignoring blank lines and # comments.
+func ReadFileList(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("filebased: %s lists no files", path)
+	}
+	return out, nil
+}

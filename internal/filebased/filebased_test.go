@@ -1,0 +1,154 @@
+package filebased
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+)
+
+func sample(t *testing.T, files int) []string {
+	t.Helper()
+	gen := nova.NewGenerator(nova.GenParams{Seed: 99, MeanEventsPerFile: 60, FilesPerSubRun: 2})
+	paths, err := nova.GenerateSample(t.TempDir(), gen, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// serialTruth computes the expected selection single-threaded.
+func serialTruth(t *testing.T, files []string) ([]nova.SliceRef, int) {
+	t.Helper()
+	var refs []nova.SliceRef
+	slices := 0
+	for _, p := range files {
+		events, err := nova.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range events {
+			slices += len(events[i].Slices)
+			refs = append(refs, nova.SelectEvent(&events[i])...)
+		}
+	}
+	SortRefs(refs)
+	return refs, slices
+}
+
+func TestPipelinedMatchesSerial(t *testing.T) {
+	files := sample(t, 8)
+	want, slices := serialTruth(t, files)
+	res, err := Run(Config{Files: files, Processes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Selected, want) {
+		t.Fatalf("pipelined selection differs: %d vs %d refs", len(res.Selected), len(want))
+	}
+	if res.TotalSlices != slices {
+		t.Fatalf("slices = %d, want %d", res.TotalSlices, slices)
+	}
+	if res.Throughput <= 0 || res.Makespan <= 0 {
+		t.Fatalf("metrics not computed: %+v", res)
+	}
+}
+
+func TestStaticMatchesPipelined(t *testing.T) {
+	files := sample(t, 7)
+	a, err := Run(Config{Files: files, Processes: 3, Mode: ModeStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Files: files, Processes: 5, Mode: ModePipelined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Selected, b.Selected) {
+		t.Fatal("decomposition mode changed the physics result")
+	}
+}
+
+func TestMoreProcessesThanFiles(t *testing.T) {
+	files := sample(t, 3)
+	res, err := Run(Config{Files: files, Processes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, st := range res.PerProcess {
+		if st.Files > 0 {
+			busy++
+		}
+	}
+	// Only as many processes as files can be busy — the §IV-E starvation.
+	if busy > 3 {
+		t.Fatalf("%d processes had files, only 3 files exist", busy)
+	}
+	if res.Utilization >= 1 {
+		t.Fatalf("utilization should reflect idle processes: %v", res.Utilization)
+	}
+}
+
+func TestBlockDecomposition(t *testing.T) {
+	blocks, err := buildAssignments(ModeStatic, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7}, {8, 9}}
+	if !reflect.DeepEqual(blocks, want) {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	if _, err := buildAssignments("bogus", 5, 2); err == nil {
+		t.Fatal("bad mode should fail")
+	}
+}
+
+func TestOutputFiles(t *testing.T) {
+	files := sample(t, 2)
+	out := t.TempDir()
+	if _, err := Run(Config{Files: files, Processes: 2, OutDir: out}); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		for _, name := range []string{"selected-%04d.txt", "timing-%04d.txt"} {
+			path := filepath.Join(out, fmt.Sprintf(name, p))
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("missing %s: %v", path, err)
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty file list should fail")
+	}
+	if _, err := Run(Config{Files: []string{"/missing"}, Processes: 1}); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestFileListRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "list.txt")
+	files := []string{"/a/b.h5l", "/c/d.h5l"}
+	if err := WriteFileList(path, files); err != nil {
+		t.Fatal(err)
+	}
+	// Inject comments and blanks.
+	data, _ := os.ReadFile(path)
+	data = append([]byte("# comment\n\n"), data...)
+	os.WriteFile(path, data, 0o644)
+	got, err := ReadFileList(path)
+	if err != nil || !reflect.DeepEqual(got, files) {
+		t.Fatalf("list = %v %v", got, err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	os.WriteFile(empty, []byte("\n# nothing\n"), 0o644)
+	if _, err := ReadFileList(empty); err == nil {
+		t.Fatal("empty list should fail")
+	}
+}

@@ -1,0 +1,421 @@
+// Package h5lite is a small columnar container format standing in for HDF5
+// (DESIGN.md substitution #4). It reproduces exactly the structure that the
+// paper's HDF2HEPnOS tool introspects (§III-B): a hierarchy of named
+// groups, where each *leaf* group is named after the class it stores and
+// holds a set of 1-dimensional typed columns of identical length. Three of
+// the columns are the run, subrun and event numbers; the rest are the
+// values of the class's member variables, one row per stored instance.
+//
+// On-disk layout:
+//
+//	magic "H5LITE1\n"
+//	u32 headerLen | header JSON (groups -> columns -> dtype/offset/rows)
+//	column blobs (little-endian fixed-width values, in header order)
+package h5lite
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Magic identifies an h5lite file.
+const Magic = "H5LITE1\n"
+
+// DType enumerates column element types.
+type DType string
+
+// Supported column types.
+const (
+	Float32 DType = "f4"
+	Float64 DType = "f8"
+	Int32   DType = "i4"
+	Int64   DType = "i8"
+	Uint32  DType = "u4"
+	Uint64  DType = "u8"
+)
+
+// Size returns the element width in bytes, or 0 for an invalid type.
+func (d DType) Size() int {
+	switch d {
+	case Float32, Int32, Uint32:
+		return 4
+	case Float64, Int64, Uint64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Column is one 1-D table inside a group.
+type Column struct {
+	Name   string `json:"name"`
+	DType  DType  `json:"dtype"`
+	Rows   int    `json:"rows"`
+	Offset int64  `json:"offset"` // byte offset of the blob in the file
+}
+
+// Group is a leaf group: a class name plus its columns.
+type Group struct {
+	// Path is the full group path, e.g. "rec/slc/NovaSlice". The last
+	// component is the class name.
+	Path    string   `json:"path"`
+	Columns []Column `json:"columns"`
+}
+
+// ClassName returns the last path component (the stored class).
+func (g *Group) ClassName() string {
+	if i := strings.LastIndex(g.Path, "/"); i >= 0 {
+		return g.Path[i+1:]
+	}
+	return g.Path
+}
+
+// Rows returns the common column length.
+func (g *Group) Rows() int {
+	if len(g.Columns) == 0 {
+		return 0
+	}
+	return g.Columns[0].Rows
+}
+
+// Column looks a column up by name (nil if absent).
+func (g *Group) Column(name string) *Column {
+	for i := range g.Columns {
+		if g.Columns[i].Name == name {
+			return &g.Columns[i]
+		}
+	}
+	return nil
+}
+
+type header struct {
+	Groups []Group `json:"groups"`
+}
+
+// Writer accumulates groups and columns in memory, then writes a file.
+// Typical HEP files are O(100MB); the generator writes much smaller ones.
+type Writer struct {
+	groups map[string]*writerGroup
+	order  []string
+}
+
+type writerGroup struct {
+	path  string
+	cols  []writerCol
+	byOrd map[string]int
+}
+
+type writerCol struct {
+	name  string
+	dtype DType
+	data  []byte
+	rows  int
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer {
+	return &Writer{groups: make(map[string]*writerGroup)}
+}
+
+// AddColumn appends a column to a (possibly new) group. data must be a
+// []float32, []float64, []int32, []int64, []uint32 or []uint64 matching a
+// supported dtype; all columns of one group must have equal length.
+func (w *Writer) AddColumn(groupPath, name string, data any) error {
+	if groupPath == "" || name == "" {
+		return errors.New("h5lite: empty group path or column name")
+	}
+	var (
+		dt   DType
+		blob []byte
+		rows int
+	)
+	switch v := data.(type) {
+	case []float32:
+		dt, rows = Float32, len(v)
+		blob = make([]byte, 4*len(v))
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(blob[4*i:], math.Float32bits(x))
+		}
+	case []float64:
+		dt, rows = Float64, len(v)
+		blob = make([]byte, 8*len(v))
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(blob[8*i:], math.Float64bits(x))
+		}
+	case []int32:
+		dt, rows = Int32, len(v)
+		blob = make([]byte, 4*len(v))
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(blob[4*i:], uint32(x))
+		}
+	case []int64:
+		dt, rows = Int64, len(v)
+		blob = make([]byte, 8*len(v))
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(blob[8*i:], uint64(x))
+		}
+	case []uint32:
+		dt, rows = Uint32, len(v)
+		blob = make([]byte, 4*len(v))
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(blob[4*i:], x)
+		}
+	case []uint64:
+		dt, rows = Uint64, len(v)
+		blob = make([]byte, 8*len(v))
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(blob[8*i:], x)
+		}
+	default:
+		return fmt.Errorf("h5lite: unsupported column type %T", data)
+	}
+	g := w.groups[groupPath]
+	if g == nil {
+		g = &writerGroup{path: groupPath, byOrd: make(map[string]int)}
+		w.groups[groupPath] = g
+		w.order = append(w.order, groupPath)
+	}
+	if _, dup := g.byOrd[name]; dup {
+		return fmt.Errorf("h5lite: duplicate column %q in group %q", name, groupPath)
+	}
+	if len(g.cols) > 0 && g.cols[0].rows != rows {
+		return fmt.Errorf("h5lite: column %q has %d rows, group %q has %d",
+			name, rows, groupPath, g.cols[0].rows)
+	}
+	g.byOrd[name] = len(g.cols)
+	g.cols = append(g.cols, writerCol{name: name, dtype: dt, data: blob, rows: rows})
+	return nil
+}
+
+// WriteTo serializes the file.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	var hdr header
+	// Compute blob offsets: they start right after magic+len+header, but
+	// the header length depends on the offsets. Do a two-pass layout:
+	// first with zero offsets to get the header size, then fill offsets.
+	build := func(base int64) ([]byte, error) {
+		hdr.Groups = hdr.Groups[:0]
+		off := base
+		for _, path := range w.order {
+			g := w.groups[path]
+			grp := Group{Path: path}
+			for _, c := range g.cols {
+				grp.Columns = append(grp.Columns, Column{
+					Name: c.name, DType: c.dtype, Rows: c.rows, Offset: off,
+				})
+				off += int64(len(c.data))
+			}
+			hdr.Groups = append(hdr.Groups, grp)
+		}
+		return json.Marshal(hdr)
+	}
+	probe, err := build(0)
+	if err != nil {
+		return 0, err
+	}
+	base := int64(len(Magic)) + 4 + int64(len(probe))
+	hjson, err := build(base)
+	if err != nil {
+		return 0, err
+	}
+	if len(hjson) != len(probe) {
+		// Offsets changed the JSON length (digit growth); rebuild once
+		// more with the new base. JSON offset digits grow monotonically,
+		// so this converges in a couple of rounds.
+		for i := 0; i < 4 && len(hjson) != len(probe); i++ {
+			probe = hjson
+			base = int64(len(Magic)) + 4 + int64(len(probe))
+			if hjson, err = build(base); err != nil {
+				return 0, err
+			}
+		}
+		if len(hjson) != len(probe) {
+			return 0, errors.New("h5lite: header layout did not converge")
+		}
+	}
+	var n int64
+	write := func(b []byte) error {
+		m, err := out.Write(b)
+		n += int64(m)
+		return err
+	}
+	if err := write([]byte(Magic)); err != nil {
+		return n, err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(hjson)))
+	if err := write(lenBuf[:]); err != nil {
+		return n, err
+	}
+	if err := write(hjson); err != nil {
+		return n, err
+	}
+	for _, path := range w.order {
+		for _, c := range w.groups[path].cols {
+			if err := write(c.data); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// WriteFile writes the file to path.
+func (w *Writer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// File is an opened h5lite file.
+type File struct {
+	f      *os.File
+	groups []Group
+	byPath map[string]int
+}
+
+// Open reads the header of an h5lite file.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != Magic {
+		f.Close()
+		return nil, fmt.Errorf("h5lite: %s is not an h5lite file", path)
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	hlen := binary.LittleEndian.Uint32(lenBuf[:])
+	if hlen > 1<<26 {
+		f.Close()
+		return nil, fmt.Errorf("h5lite: header of %d bytes is implausible", hlen)
+	}
+	hjson := make([]byte, hlen)
+	if _, err := io.ReadFull(f, hjson); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var hdr header
+	if err := json.Unmarshal(hjson, &hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("h5lite: corrupt header: %w", err)
+	}
+	file := &File{f: f, groups: hdr.Groups, byPath: make(map[string]int, len(hdr.Groups))}
+	for i, g := range hdr.Groups {
+		file.byPath[g.Path] = i
+	}
+	return file, nil
+}
+
+// Close releases the file handle.
+func (f *File) Close() error { return f.f.Close() }
+
+// Groups returns the group metadata, sorted by path.
+func (f *File) Groups() []Group {
+	out := append([]Group(nil), f.groups...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Group returns one group's metadata, or an error if absent.
+func (f *File) Group(path string) (*Group, error) {
+	i, ok := f.byPath[path]
+	if !ok {
+		return nil, fmt.Errorf("h5lite: no group %q", path)
+	}
+	return &f.groups[i], nil
+}
+
+// readBlob loads a column's raw bytes.
+func (f *File) readBlob(c *Column) ([]byte, error) {
+	blob := make([]byte, c.Rows*c.DType.Size())
+	if _, err := f.f.ReadAt(blob, c.Offset); err != nil {
+		return nil, fmt.Errorf("h5lite: read column %q: %w", c.Name, err)
+	}
+	return blob, nil
+}
+
+// ReadFloat64 reads any numeric column, widening to float64. This is the
+// generic accessor the schema-inference tooling uses.
+func (f *File) ReadFloat64(groupPath, column string) ([]float64, error) {
+	g, err := f.Group(groupPath)
+	if err != nil {
+		return nil, err
+	}
+	c := g.Column(column)
+	if c == nil {
+		return nil, fmt.Errorf("h5lite: no column %q in %q", column, groupPath)
+	}
+	blob, err := f.readBlob(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, c.Rows)
+	for i := range out {
+		switch c.DType {
+		case Float32:
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(blob[4*i:])))
+		case Float64:
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[8*i:]))
+		case Int32:
+			out[i] = float64(int32(binary.LittleEndian.Uint32(blob[4*i:])))
+		case Int64:
+			out[i] = float64(int64(binary.LittleEndian.Uint64(blob[8*i:])))
+		case Uint32:
+			out[i] = float64(binary.LittleEndian.Uint32(blob[4*i:]))
+		case Uint64:
+			out[i] = float64(binary.LittleEndian.Uint64(blob[8*i:]))
+		default:
+			return nil, fmt.Errorf("h5lite: column %q has bad dtype %q", column, c.DType)
+		}
+	}
+	return out, nil
+}
+
+// ReadUint64 reads an integer column as uint64 (run/subrun/event columns).
+func (f *File) ReadUint64(groupPath, column string) ([]uint64, error) {
+	g, err := f.Group(groupPath)
+	if err != nil {
+		return nil, err
+	}
+	c := g.Column(column)
+	if c == nil {
+		return nil, fmt.Errorf("h5lite: no column %q in %q", column, groupPath)
+	}
+	blob, err := f.readBlob(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, c.Rows)
+	for i := range out {
+		switch c.DType {
+		case Int32:
+			out[i] = uint64(int32(binary.LittleEndian.Uint32(blob[4*i:])))
+		case Int64, Uint64:
+			out[i] = binary.LittleEndian.Uint64(blob[8*i:])
+		case Uint32:
+			out[i] = uint64(binary.LittleEndian.Uint32(blob[4*i:]))
+		default:
+			return nil, fmt.Errorf("h5lite: column %q is not integer-typed", column)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package h5lite
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	w := NewWriter()
+	if err := w.AddColumn("rec/slc/NovaSlice", "run", []uint64{1, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddColumn("rec/slc/NovaSlice", "subrun", []uint64{5, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddColumn("rec/slc/NovaSlice", "evt", []uint64{10, 11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddColumn("rec/slc/NovaSlice", "calE", []float32{1.5, 2.5, -3.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddColumn("rec/slc/NovaSlice", "nhit", []int32{100, -2, 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddColumn("spill/Spill", "run", []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddColumn("spill/Spill", "pot", []float64{3.14159}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample.h5l")
+	if err := w.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := Open(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	groups := f.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	g, err := f.Group("rec/slc/NovaSlice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ClassName() != "NovaSlice" || g.Rows() != 3 || len(g.Columns) != 5 {
+		t.Fatalf("group meta: class=%q rows=%d cols=%d", g.ClassName(), g.Rows(), len(g.Columns))
+	}
+
+	runs, err := f.ReadUint64("rec/slc/NovaSlice", "run")
+	if err != nil || !reflect.DeepEqual(runs, []uint64{1, 1, 2}) {
+		t.Fatalf("runs = %v %v", runs, err)
+	}
+	cale, err := f.ReadFloat64("rec/slc/NovaSlice", "calE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2.5, -3.5}
+	for i := range want {
+		if math.Abs(cale[i]-want[i]) > 1e-6 {
+			t.Fatalf("calE = %v", cale)
+		}
+	}
+	nhit, err := f.ReadFloat64("rec/slc/NovaSlice", "nhit")
+	if err != nil || nhit[1] != -2 {
+		t.Fatalf("nhit = %v %v", nhit, err)
+	}
+	pot, err := f.ReadFloat64("spill/Spill", "pot")
+	if err != nil || pot[0] != 3.14159 {
+		t.Fatalf("pot = %v %v", pot, err)
+	}
+}
+
+func TestSchemaIntrospection(t *testing.T) {
+	// The HDF2HEPnOS pattern: discover class names and member variables
+	// without prior knowledge.
+	f, err := Open(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, g := range f.Groups() {
+		if g.Column("run") == nil {
+			t.Fatalf("group %q lacks the run column", g.Path)
+		}
+		members := 0
+		for _, c := range g.Columns {
+			switch c.Name {
+			case "run", "subrun", "evt":
+			default:
+				members++
+			}
+		}
+		if g.Path == "rec/slc/NovaSlice" && members != 2 {
+			t.Fatalf("NovaSlice members = %d", members)
+		}
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	w := NewWriter()
+	if err := w.AddColumn("", "x", []float32{1}); err == nil {
+		t.Error("empty group should fail")
+	}
+	if err := w.AddColumn("g", "", []float32{1}); err == nil {
+		t.Error("empty column should fail")
+	}
+	if err := w.AddColumn("g", "x", []string{"no"}); err == nil {
+		t.Error("unsupported type should fail")
+	}
+	if err := w.AddColumn("g", "x", []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddColumn("g", "x", []float32{9}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if err := w.AddColumn("g", "y", []float32{1, 2, 3}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := writeBytes(bad, []byte("definitely not h5lite")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestMissingLookups(t *testing.T) {
+	f, err := Open(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Group("nope"); err == nil {
+		t.Error("missing group should fail")
+	}
+	if _, err := f.ReadFloat64("spill/Spill", "nope"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := f.ReadUint64("spill/Spill", "pot"); err == nil {
+		t.Error("float column as uint should fail")
+	}
+}
+
+func TestLargeColumnLayout(t *testing.T) {
+	// Enough data that header offsets grow extra digits, exercising the
+	// two-pass layout convergence.
+	w := NewWriter()
+	big := make([]float64, 200000)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	for _, g := range []string{"a/A", "b/B", "c/C"} {
+		if err := w.AddColumn(g, "v", big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "big.h5l")
+	if err := w.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	v, err := f.ReadFloat64("c/C", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[199999] != 199999 {
+		t.Fatalf("tail value = %v", v[199999])
+	}
+}
+
+func writeBytes(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+
+// TestQuickRoundTripRandomColumns round-trips arbitrary column data.
+func TestQuickRoundTripRandomColumns(t *testing.T) {
+	f := func(f32 []float32, i64 []int64, u32 []uint32) bool {
+		// Equal lengths are required within a group; give each its own.
+		w := NewWriter()
+		if err := w.AddColumn("g/F32", "v", f32); err != nil {
+			return false
+		}
+		if err := w.AddColumn("g/I64", "v", i64); err != nil {
+			return false
+		}
+		if err := w.AddColumn("g/U32", "v", u32); err != nil {
+			return false
+		}
+		path := filepath.Join(t.TempDir(), "q.h5l")
+		if err := w.WriteFile(path); err != nil {
+			return false
+		}
+		file, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer file.Close()
+		gotF, err := file.ReadFloat64("g/F32", "v")
+		if err != nil || len(gotF) != len(f32) {
+			return false
+		}
+		for i := range f32 {
+			// NaN round-trips as NaN.
+			if math.IsNaN(float64(f32[i])) != math.IsNaN(gotF[i]) {
+				return false
+			}
+			if !math.IsNaN(gotF[i]) && gotF[i] != float64(f32[i]) {
+				return false
+			}
+		}
+		gotI, err := file.ReadUint64("g/I64", "v")
+		if err != nil || len(gotI) != len(i64) {
+			return false
+		}
+		for i := range i64 {
+			if int64(gotI[i]) != i64[i] {
+				return false
+			}
+		}
+		gotU, err := file.ReadUint64("g/U32", "v")
+		if err != nil || len(gotU) != len(u32) {
+			return false
+		}
+		for i := range u32 {
+			if gotU[i] != uint64(u32[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

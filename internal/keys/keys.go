@@ -1,0 +1,263 @@
+// Package keys implements the binary key encoding used by HEPnOS to map its
+// dataset/run/subrun/event hierarchy onto flat, lexicographically ordered
+// key-value namespaces.
+//
+// The encoding follows §II-C of the paper:
+//
+//   - A dataset is identified by a 16-byte UUID (its full path is resolved to
+//     the UUID in a separate database).
+//   - A run key is <dataset UUID><run number>, the number encoded as a
+//     big-endian uint64 so that lexicographic byte order equals numeric
+//     order.
+//   - Subrun and event keys append further big-endian numbers.
+//   - A product key is <container key><label>#<type>.
+//
+// Because backends keep keys sorted, iterating the children of a container is
+// a prefix scan over one database, and children come back in ascending
+// numeric order.
+package keys
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// UUIDLen is the length in bytes of a dataset UUID prefix.
+const UUIDLen = 16
+
+// NumLen is the length in bytes of an encoded container number.
+const NumLen = 8
+
+// Level identifies the depth of a container key in the HEPnOS hierarchy.
+type Level int
+
+// Hierarchy levels, outermost first.
+const (
+	LevelDataSet Level = iota
+	LevelRun
+	LevelSubRun
+	LevelEvent
+)
+
+// String returns the lowercase name of the level.
+func (l Level) String() string {
+	switch l {
+	case LevelDataSet:
+		return "dataset"
+	case LevelRun:
+		return "run"
+	case LevelSubRun:
+		return "subrun"
+	case LevelEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ErrBadKey reports a malformed container or product key.
+var ErrBadKey = errors.New("keys: malformed key")
+
+// InvalidNumber is a sentinel for "no number at this level".
+const InvalidNumber = ^uint64(0)
+
+// ContainerKey is the encoded identity of a dataset, run, subrun or event.
+// The zero value is invalid; build keys with ForDataSet and the Child
+// methods.
+type ContainerKey struct {
+	raw []byte
+}
+
+// ForDataSet returns the container key of the dataset with the given UUID.
+func ForDataSet(uuid [UUIDLen]byte) ContainerKey {
+	raw := make([]byte, UUIDLen)
+	copy(raw, uuid[:])
+	return ContainerKey{raw: raw}
+}
+
+// Child returns the key of the numbered child container (run of a dataset,
+// subrun of a run, event of a subrun). It panics if called on an event key,
+// since events have no numbered children.
+func (k ContainerKey) Child(number uint64) ContainerKey {
+	if k.Level() >= LevelEvent {
+		panic("keys: events have no child containers")
+	}
+	raw := make([]byte, len(k.raw)+NumLen)
+	copy(raw, k.raw)
+	binary.BigEndian.PutUint64(raw[len(k.raw):], number)
+	return ContainerKey{raw: raw}
+}
+
+// Parent returns the key of the enclosing container and true, or the zero
+// key and false when called on a dataset key (whose parent is the dataset
+// name database, not a container).
+func (k ContainerKey) Parent() (ContainerKey, bool) {
+	if k.Level() == LevelDataSet {
+		return ContainerKey{}, false
+	}
+	raw := make([]byte, len(k.raw)-NumLen)
+	copy(raw, k.raw)
+	return ContainerKey{raw: raw}, true
+}
+
+// Level reports the hierarchy depth encoded in the key length.
+func (k ContainerKey) Level() Level {
+	return Level((len(k.raw) - UUIDLen) / NumLen)
+}
+
+// Valid reports whether the key has a well-formed length.
+func (k ContainerKey) Valid() bool {
+	n := len(k.raw)
+	if n < UUIDLen {
+		return false
+	}
+	rest := n - UUIDLen
+	return rest%NumLen == 0 && rest/NumLen <= int(LevelEvent)
+}
+
+// Number returns the container's own number (run, subrun or event number).
+// Dataset keys have no number; Number returns InvalidNumber for them.
+func (k ContainerKey) Number() uint64 {
+	if k.Level() == LevelDataSet {
+		return InvalidNumber
+	}
+	return binary.BigEndian.Uint64(k.raw[len(k.raw)-NumLen:])
+}
+
+// UUID returns the dataset UUID prefix of the key.
+func (k ContainerKey) UUID() [UUIDLen]byte {
+	var u [UUIDLen]byte
+	copy(u[:], k.raw[:UUIDLen])
+	return u
+}
+
+// Bytes returns the encoded key. The returned slice must not be modified.
+func (k ContainerKey) Bytes() []byte { return k.raw }
+
+// IsZero reports whether k is the zero (invalid) key.
+func (k ContainerKey) IsZero() bool { return len(k.raw) == 0 }
+
+// Equal reports whether two keys are byte-identical.
+func (k ContainerKey) Equal(o ContainerKey) bool {
+	return string(k.raw) == string(o.raw)
+}
+
+// String renders the key for diagnostics, e.g.
+// "ds:0102…0f10/run:3/subrun:1/event:42".
+func (k ContainerKey) String() string {
+	if !k.Valid() {
+		return fmt.Sprintf("invalid-key(%x)", k.raw)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ds:%x", k.raw[:UUIDLen])
+	names := []string{"run", "subrun", "event"}
+	for i, off := 0, UUIDLen; off < len(k.raw); i, off = i+1, off+NumLen {
+		fmt.Fprintf(&b, "/%s:%d", names[i], binary.BigEndian.Uint64(k.raw[off:]))
+	}
+	return b.String()
+}
+
+// ParseContainerKey decodes raw bytes previously produced by
+// ContainerKey.Bytes.
+func ParseContainerKey(raw []byte) (ContainerKey, error) {
+	k := ContainerKey{raw: append([]byte(nil), raw...)}
+	if !k.Valid() {
+		return ContainerKey{}, fmt.Errorf("%w: length %d", ErrBadKey, len(raw))
+	}
+	return k, nil
+}
+
+// productSep separates the label from the type in a product key, as in the
+// paper's "<container key>label#Type".
+const productSep = '#'
+
+// ProductID identifies a product by its container, label and type name.
+type ProductID struct {
+	Container ContainerKey
+	Label     string
+	Type      string
+}
+
+// Validate checks that the label and type are usable in a product key.
+func (p ProductID) Validate() error {
+	if p.Container.IsZero() || !p.Container.Valid() {
+		return fmt.Errorf("%w: invalid container", ErrBadKey)
+	}
+	if p.Label == "" {
+		return fmt.Errorf("%w: empty product label", ErrBadKey)
+	}
+	if p.Type == "" {
+		return fmt.Errorf("%w: empty product type", ErrBadKey)
+	}
+	if strings.ContainsRune(p.Label, productSep) {
+		return fmt.Errorf("%w: label %q contains %q", ErrBadKey, p.Label, productSep)
+	}
+	return nil
+}
+
+// Encode builds the product key: container bytes, then label, '#', type.
+func (p ProductID) Encode() []byte {
+	ck := p.Container.Bytes()
+	out := make([]byte, 0, len(ck)+len(p.Label)+1+len(p.Type))
+	out = append(out, ck...)
+	out = append(out, p.Label...)
+	out = append(out, productSep)
+	out = append(out, p.Type...)
+	return out
+}
+
+// String renders the product key for diagnostics.
+func (p ProductID) String() string {
+	return fmt.Sprintf("%s/%s#%s", p.Container, p.Label, p.Type)
+}
+
+// DecodeProductID parses a product key produced by Encode. The container
+// level cannot be recovered from the bytes alone (labels have variable
+// length), so the caller supplies it.
+func DecodeProductID(raw []byte, level Level) (ProductID, error) {
+	ckLen := UUIDLen + int(level)*NumLen
+	if len(raw) < ckLen {
+		return ProductID{}, fmt.Errorf("%w: product key shorter than container", ErrBadKey)
+	}
+	ck, err := ParseContainerKey(raw[:ckLen])
+	if err != nil {
+		return ProductID{}, err
+	}
+	rest := raw[ckLen:]
+	sep := -1
+	for i, c := range rest {
+		if c == productSep {
+			sep = i
+			break
+		}
+	}
+	if sep < 0 {
+		return ProductID{}, fmt.Errorf("%w: product key missing %q", ErrBadKey, productSep)
+	}
+	id := ProductID{
+		Container: ck,
+		Label:     string(rest[:sep]),
+		Type:      string(rest[sep+1:]),
+	}
+	if err := id.Validate(); err != nil {
+		return ProductID{}, err
+	}
+	return id, nil
+}
+
+// PrefixUpperBound returns the smallest byte string greater than every key
+// having the given prefix, or nil when no such bound exists (prefix is all
+// 0xff). Backends use it to terminate prefix scans.
+func PrefixUpperBound(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			ub := make([]byte, i+1)
+			copy(ub, prefix[:i+1])
+			ub[i]++
+			return ub
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func uuidOf(b byte) [UUIDLen]byte {
+	var u [UUIDLen]byte
+	for i := range u {
+		u[i] = b
+	}
+	return u
+}
+
+func TestLevels(t *testing.T) {
+	ds := ForDataSet(uuidOf(1))
+	run := ds.Child(7)
+	sub := run.Child(8)
+	ev := sub.Child(9)
+	cases := []struct {
+		key   ContainerKey
+		level Level
+		num   uint64
+	}{
+		{ds, LevelDataSet, InvalidNumber},
+		{run, LevelRun, 7},
+		{sub, LevelSubRun, 8},
+		{ev, LevelEvent, 9},
+	}
+	for _, c := range cases {
+		if got := c.key.Level(); got != c.level {
+			t.Errorf("%s: level = %v, want %v", c.key, got, c.level)
+		}
+		if got := c.key.Number(); got != c.num {
+			t.Errorf("%s: number = %d, want %d", c.key, got, c.num)
+		}
+		if !c.key.Valid() {
+			t.Errorf("%s: not valid", c.key)
+		}
+	}
+}
+
+func TestParentChain(t *testing.T) {
+	ds := ForDataSet(uuidOf(2))
+	ev := ds.Child(1).Child(2).Child(3)
+	sub, ok := ev.Parent()
+	if !ok || sub.Level() != LevelSubRun || sub.Number() != 2 {
+		t.Fatalf("event parent = %v ok=%v", sub, ok)
+	}
+	run, ok := sub.Parent()
+	if !ok || run.Level() != LevelRun || run.Number() != 1 {
+		t.Fatalf("subrun parent = %v ok=%v", run, ok)
+	}
+	top, ok := run.Parent()
+	if !ok || !top.Equal(ds) {
+		t.Fatalf("run parent = %v ok=%v, want dataset", top, ok)
+	}
+	if _, ok := ds.Parent(); ok {
+		t.Fatal("dataset should have no container parent")
+	}
+}
+
+func TestChildOfEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ForDataSet(uuidOf(0)).Child(1).Child(2).Child(3).Child(4)
+}
+
+func TestKeyOrderMatchesNumericOrder(t *testing.T) {
+	// The whole point of big-endian encoding: byte order == numeric order.
+	f := func(a, b uint64) bool {
+		ds := ForDataSet(uuidOf(3))
+		ka, kb := ds.Child(a).Bytes(), ds.Child(b).Bytes()
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(run, sub, ev uint64) bool {
+		k := ForDataSet(uuidOf(4)).Child(run).Child(sub).Child(ev)
+		got, err := ParseContainerKey(k.Bytes())
+		return err == nil && got.Equal(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, 1, UUIDLen - 1, UUIDLen + 1, UUIDLen + NumLen + 3, UUIDLen + 4*NumLen} {
+		if _, err := ParseContainerKey(make([]byte, n)); err == nil {
+			t.Errorf("length %d: expected error", n)
+		}
+	}
+}
+
+func TestProductIDRoundTrip(t *testing.T) {
+	ev := ForDataSet(uuidOf(5)).Child(1).Child(1).Child(4)
+	id := ProductID{Container: ev, Label: "mylabel", Type: "Particle"}
+	if err := id.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	raw := id.Encode()
+	got, err := DecodeProductID(raw, LevelEvent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "mylabel" || got.Type != "Particle" || !got.Container.Equal(ev) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestProductIDValidate(t *testing.T) {
+	ev := ForDataSet(uuidOf(6)).Child(1)
+	bad := []ProductID{
+		{Container: ContainerKey{}, Label: "l", Type: "T"},
+		{Container: ev, Label: "", Type: "T"},
+		{Container: ev, Label: "l", Type: ""},
+		{Container: ev, Label: "a#b", Type: "T"},
+	}
+	for i, id := range bad {
+		if err := id.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	// '#' in the type is fine — the first separator wins when decoding.
+	ok := ProductID{Container: ev, Label: "l", Type: "vector<int>#x"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("type with #: %v", err)
+	}
+}
+
+func TestProductKeySharesContainerPrefix(t *testing.T) {
+	ev := ForDataSet(uuidOf(7)).Child(1).Child(2).Child(3)
+	id := ProductID{Container: ev, Label: "hits", Type: "Hit"}
+	if !bytes.HasPrefix(id.Encode(), ev.Bytes()) {
+		t.Fatal("product key must extend its container key")
+	}
+}
+
+func TestPrefixUpperBound(t *testing.T) {
+	cases := []struct {
+		prefix, want []byte
+	}{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xff}, []byte{0x02}},
+		{[]byte{0xff, 0xff}, nil},
+		{[]byte{0xab, 0x00}, []byte{0xab, 0x01}},
+	}
+	for _, c := range cases {
+		if got := PrefixUpperBound(c.prefix); !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixUpperBound(%x) = %x, want %x", c.prefix, got, c.want)
+		}
+	}
+}
+
+func TestPrefixUpperBoundProperty(t *testing.T) {
+	f := func(prefix []byte, suffix []byte) bool {
+		ub := PrefixUpperBound(prefix)
+		if ub == nil {
+			return true
+		}
+		key := append(append([]byte(nil), prefix...), suffix...)
+		// Every key with the prefix sorts strictly below the bound.
+		return bytes.Compare(key, ub) < 0 && bytes.Compare(prefix, ub) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	ds := ForDataSet(uuidOf(8))
+	ev := ds.Child(10).Child(20).Child(30)
+	s := ev.String()
+	for _, want := range []string{"run:10", "subrun:20", "event:30"} {
+		if !containsStr(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if (ContainerKey{}).String() == "" {
+		t.Error("zero key should still render")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return bytes.Contains([]byte(s), []byte(sub))
+}
+
+func TestUUIDAccessor(t *testing.T) {
+	u := uuidOf(0xAB)
+	k := ForDataSet(u).Child(1).Child(2)
+	if k.UUID() != u {
+		t.Fatalf("UUID() = %x", k.UUID())
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	cases := map[Level]string{
+		LevelDataSet: "dataset",
+		LevelRun:     "run",
+		LevelSubRun:  "subrun",
+		LevelEvent:   "event",
+		Level(9):     "level(9)",
+	}
+	for l, want := range cases {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func TestProductIDString(t *testing.T) {
+	id := ProductID{Container: ForDataSet(uuidOf(1)).Child(2), Label: "l", Type: "T"}
+	s := id.String()
+	if !containsStr(s, "l#T") || !containsStr(s, "run:2") {
+		t.Fatalf("ProductID.String() = %q", s)
+	}
+}

@@ -1,0 +1,188 @@
+// Package margo combines the fabric (Mercury analog) and argo (Argobots
+// analog) layers into the simple programming model HEPnOS builds on,
+// mirroring the role of the Margo library in the Mochi stack (§II-B).
+//
+// A margo Instance owns one fabric endpoint and one argo runtime. Services
+// attach *providers* to it: named objects answering a set of RPCs, each
+// mapped to an Argobots pool. As in Mochi, the provider is the mechanism by
+// which the execution resources used to run an RPC (a pool drained by some
+// execution streams) are decoupled from the resources the RPC acts on (for
+// Yokan, a set of databases).
+package margo
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/argo"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+)
+
+// ProviderID distinguishes multiple providers of the same service on one
+// endpoint, like Mercury provider ids.
+type ProviderID uint16
+
+// rpcName builds the namespaced RPC name for a provider-scoped RPC.
+func rpcName(service string, id ProviderID, rpc string) string {
+	return fmt.Sprintf("%s:%d#%s", service, id, rpc)
+}
+
+// Instance is a running Margo context: endpoint + threading runtime.
+type Instance struct {
+	ep  *fabric.Endpoint
+	rt  *argo.Runtime
+	sim *fabric.NetSim
+
+	mu        sync.Mutex
+	providers map[string]*Provider
+	closed    bool
+}
+
+// Config configures an Instance.
+type Config struct {
+	// Address to listen on ("inproc://name" or "tcp://host:port").
+	Address fabric.Address
+	// Argobots describes pools and execution streams. If empty, a default
+	// with one pool and RPCXStreams streams is used.
+	Argobots argo.Config
+	// RPCXStreams is the stream count for the default Argobots config
+	// (ignored when Argobots is set). The paper's deployments use 16.
+	RPCXStreams int
+	// NetSim optionally attaches a network cost model to the endpoint.
+	NetSim *fabric.NetSim
+}
+
+// Init starts a margo instance.
+func Init(cfg Config) (*Instance, error) {
+	acfg := cfg.Argobots
+	if len(acfg.Pools) == 0 {
+		n := cfg.RPCXStreams
+		if n <= 0 {
+			n = 1
+		}
+		acfg = argo.DefaultConfig(n)
+	}
+	rt, err := argo.NewRuntime(acfg)
+	if err != nil {
+		return nil, err
+	}
+	var opts []fabric.Option
+	if cfg.NetSim != nil {
+		opts = append(opts, fabric.WithNetSim(cfg.NetSim))
+	}
+	ep, err := fabric.Listen(cfg.Address, opts...)
+	if err != nil {
+		rt.Shutdown()
+		return nil, err
+	}
+	return &Instance{ep: ep, rt: rt, sim: cfg.NetSim, providers: make(map[string]*Provider)}, nil
+}
+
+// Addr returns the instance's reachable address.
+func (m *Instance) Addr() fabric.Address { return m.ep.Addr() }
+
+// Endpoint exposes the underlying fabric endpoint (for bulk operations).
+func (m *Instance) Endpoint() *fabric.Endpoint { return m.ep }
+
+// Runtime exposes the underlying argo runtime.
+func (m *Instance) Runtime() *argo.Runtime { return m.rt }
+
+// Provider is a registered service instance.
+type Provider struct {
+	Service string
+	ID      ProviderID
+	Pool    *argo.Pool
+
+	rpcs []string
+}
+
+// RPCs returns the provider's registered RPC names (unmangled), sorted.
+func (p *Provider) RPCs() []string {
+	out := append([]string(nil), p.rpcs...)
+	sort.Strings(out)
+	return out
+}
+
+// RegisterProvider attaches a provider. Its handlers execute in the given
+// pool (nil selects the runtime's first pool). Handler map keys are bare
+// RPC names; they are namespaced with the service name and provider id on
+// the wire.
+func (m *Instance) RegisterProvider(service string, id ProviderID, pool *argo.Pool, handlers map[string]fabric.Handler) (*Provider, error) {
+	if service == "" {
+		return nil, fmt.Errorf("margo: empty service name")
+	}
+	if len(handlers) == 0 {
+		return nil, fmt.Errorf("margo: provider %s:%d has no handlers", service, id)
+	}
+	if pool == nil {
+		pool = m.rt.Pools()[0]
+	}
+	key := fmt.Sprintf("%s:%d", service, id)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("margo: instance is finalized")
+	}
+	if _, dup := m.providers[key]; dup {
+		return nil, fmt.Errorf("margo: provider %s already registered", key)
+	}
+	p := &Provider{Service: service, ID: id, Pool: pool}
+	for name, h := range handlers {
+		h := h
+		p.rpcs = append(p.rpcs, name)
+		m.ep.Register(rpcName(service, id, name), func(ctx context.Context, req *fabric.Request) ([]byte, error) {
+			// Route execution into the provider's pool; the fabric
+			// goroutine blocks on the eventual, which is exactly a
+			// Margo handler blocking on an ABT_eventual.
+			ev := argo.NewEventual[[]byte]()
+			if err := pool.Push(func() {
+				resp, err := h(ctx, req)
+				ev.Set(resp, err)
+			}); err != nil {
+				return nil, err
+			}
+			return ev.Wait()
+		})
+	}
+	m.providers[key] = p
+	return p, nil
+}
+
+// Providers lists registered providers sorted by service name then id.
+func (m *Instance) Providers() []*Provider {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Provider, 0, len(m.providers))
+	for _, p := range m.providers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Forward calls a provider-scoped RPC on a remote instance, the analog of
+// margo_provider_forward.
+func (m *Instance) Forward(ctx context.Context, target fabric.Address, service string, id ProviderID, rpc string, payload []byte) ([]byte, error) {
+	return m.ep.Call(ctx, target, rpcName(service, id, rpc), payload)
+}
+
+// Finalize shuts the instance down: endpoint first (no new RPCs), then the
+// threading runtime (drain queued handlers).
+func (m *Instance) Finalize() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.ep.Close()
+	m.rt.Shutdown()
+}

@@ -1,0 +1,26 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func encodeInt64(v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+func decodeInt64(b []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func encodeFloat64(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func decodeFloat64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

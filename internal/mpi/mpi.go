@@ -1,0 +1,361 @@
+// Package mpi is a small in-process message-passing layer with MPI-shaped
+// semantics. The paper's HEPnOS client applications are "embarrassingly-
+// parallel MPI programs" (§II-A): ranks load products, process events, and
+// reduce selected-slice IDs to rank 0. This package lets the reproduction
+// keep exactly that structure, with ranks as goroutines inside one process.
+//
+// Supported subset: point-to-point Send/Recv with tag matching (including
+// AnySource/AnyTag), Barrier, Bcast, Gather, Allgather, Reduce and
+// Allreduce over int64/float64 with sum/min/max, and Wtime.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Internal collective tags live below this bound; user tags must be >= 0.
+// Each collective call gets a unique tag derived from a per-rank sequence
+// number, so back-to-back collectives cannot steal each other's messages.
+// This relies on the MPI rule that all ranks invoke collectives in the same
+// order.
+const collTagBase = -1000
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+type message struct {
+	from, tag int
+	data      []byte
+}
+
+// mailbox holds undelivered messages for one rank.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (from, tag) is available and removes
+// it (FIFO among matches, preserving MPI's non-overtaking order per pair).
+func (m *mailbox) take(from, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if (from == AnySource || msg.from == from) && (tag == AnyTag || msg.tag == tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is a set of ranks that can communicate.
+type World struct {
+	size    int
+	boxes   []*mailbox
+	start   time.Time
+	barrier *cyclicBarrier
+}
+
+// NewWorld creates a world of the given size. It panics if size < 1.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	w := &World{size: size, start: time.Now(), barrier: newCyclicBarrier(size)}
+	for i := 0; i < size; i++ {
+		w.boxes = append(w.boxes, newMailbox())
+	}
+	return w
+}
+
+// Run launches f once per rank on its own goroutine and waits for all of
+// them to return — the moral equivalent of mpirun.
+func (w *World) Run(f func(c *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			f(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's handle into the world.
+type Comm struct {
+	world *World
+	rank  int
+	coll  int // collective sequence number
+}
+
+// nextCollTag returns the internal tag for the next collective operation.
+func (c *Comm) nextCollTag() int {
+	c.coll++
+	return collTagBase - c.coll
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Wtime returns seconds since the world was created (MPI_Wtime analog).
+func (c *Comm) Wtime() float64 { return time.Since(c.world.start).Seconds() }
+
+// Send delivers data to the destination rank with a tag. It never blocks
+// (buffered semantics). The data is copied.
+func (c *Comm) Send(to, tag int, data []byte) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", to))
+	}
+	if tag < 0 {
+		panic("mpi: user tags must be >= 0")
+	}
+	c.send(to, tag, data)
+}
+
+func (c *Comm) send(to, tag int, data []byte) {
+	var cp []byte
+	if data != nil {
+		cp = append([]byte(nil), data...)
+	}
+	c.world.boxes[to].put(message{from: c.rank, tag: tag, data: cp})
+}
+
+// Recv blocks until a message matching the source and tag arrives and
+// returns its payload and actual source.
+func (c *Comm) Recv(from, tag int) (data []byte, source int) {
+	if tag < 0 && tag != AnyTag {
+		panic("mpi: user tags must be >= 0 or AnyTag")
+	}
+	msg := c.world.boxes[c.rank].take(from, tag)
+	return msg.data, msg.from
+}
+
+func (c *Comm) recvInternal(from, tag int) []byte {
+	return c.world.boxes[c.rank].take(from, tag).data
+}
+
+// Barrier blocks until every rank reaches it. The barrier is reusable.
+func (c *Comm) Barrier() { c.world.barrier.await() }
+
+// Bcast distributes root's data to every rank and returns it (every rank
+// passes its own data argument; only root's matters).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	tag := c.nextCollTag()
+	if c.world.size == 1 {
+		return append([]byte(nil), data...)
+	}
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.send(r, tag, data)
+			}
+		}
+		return append([]byte(nil), data...)
+	}
+	return c.world.boxes[c.rank].take(root, tag).data
+}
+
+// Gather collects each rank's data at root, indexed by rank. Non-root ranks
+// receive nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	tag := c.nextCollTag()
+	if c.rank != root {
+		c.send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, c.world.size)
+	out[root] = append([]byte(nil), data...)
+	for i := 0; i < c.world.size-1; i++ {
+		msg := c.world.boxes[c.rank].take(AnySource, tag)
+		out[msg.from] = msg.data
+	}
+	return out
+}
+
+// Allgather is Gather to rank 0 followed by a broadcast of the result.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	parts := c.Gather(0, data)
+	if c.rank == 0 {
+		// Flatten with length prefixes for the broadcast.
+		var flat []byte
+		for _, p := range parts {
+			flat = appendUvarint(flat, uint64(len(p)))
+			flat = append(flat, p...)
+		}
+		c.Bcast(0, flat)
+		return parts
+	}
+	flat := c.Bcast(0, nil)
+	out := make([][]byte, 0, c.world.size)
+	for len(flat) > 0 {
+		n, adv := takeUvarint(flat)
+		flat = flat[adv:]
+		out = append(out, append([]byte(nil), flat[:n]...))
+		flat = flat[n:]
+	}
+	return out
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func takeUvarint(b []byte) (uint64, int) {
+	var v uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return v | uint64(c)<<s, i + 1
+		}
+		v |= uint64(c&0x7f) << s
+		s += 7
+	}
+	panic("mpi: truncated uvarint")
+}
+
+// ReduceInt64 folds one int64 per rank with op; root gets the result,
+// other ranks get 0.
+func (c *Comm) ReduceInt64(root int, val int64, op Op) int64 {
+	parts := c.Gather(root, encodeInt64(val))
+	if c.rank != root {
+		return 0
+	}
+	acc := decodeInt64(parts[0])
+	for _, p := range parts[1:] {
+		acc = foldInt64(acc, decodeInt64(p), op)
+	}
+	return acc
+}
+
+// AllreduceInt64 is ReduceInt64 followed by a broadcast.
+func (c *Comm) AllreduceInt64(val int64, op Op) int64 {
+	red := c.ReduceInt64(0, val, op)
+	return decodeInt64(c.Bcast(0, encodeInt64(red)))
+}
+
+// ReduceFloat64 folds one float64 per rank with op at root.
+func (c *Comm) ReduceFloat64(root int, val float64, op Op) float64 {
+	parts := c.Gather(root, encodeFloat64(val))
+	if c.rank != root {
+		return 0
+	}
+	acc := decodeFloat64(parts[0])
+	for _, p := range parts[1:] {
+		acc = foldFloat64(acc, decodeFloat64(p), op)
+	}
+	return acc
+}
+
+// AllreduceFloat64 is ReduceFloat64 followed by a broadcast.
+func (c *Comm) AllreduceFloat64(val float64, op Op) float64 {
+	red := c.ReduceFloat64(0, val, op)
+	return decodeFloat64(c.Bcast(0, encodeFloat64(red)))
+}
+
+func foldInt64(a, b int64, op Op) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", op))
+	}
+}
+
+func foldFloat64(a, b float64, op Op) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", op))
+	}
+}
+
+// cyclicBarrier is a reusable generation-counting barrier.
+type cyclicBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+func newCyclicBarrier(parties int) *cyclicBarrier {
+	b := &cyclicBarrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *cyclicBarrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

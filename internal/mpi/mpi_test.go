@@ -1,0 +1,242 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	NewWorld(2).Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, []byte("hello"))
+		case 1:
+			data, src := c.Recv(0, 7)
+			if string(data) != "hello" || src != 0 {
+				t.Errorf("recv = %q from %d", data, src)
+			}
+		}
+	})
+}
+
+func TestRecvTagMatching(t *testing.T) {
+	NewWorld(2).Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, []byte("one"))
+			c.Send(1, 2, []byte("two"))
+		case 1:
+			// Receive out of send order by tag.
+			data, _ := c.Recv(0, 2)
+			if string(data) != "two" {
+				t.Errorf("tag 2 = %q", data)
+			}
+			data, _ = c.Recv(0, 1)
+			if string(data) != "one" {
+				t.Errorf("tag 1 = %q", data)
+			}
+		}
+	})
+}
+
+func TestRecvAnySource(t *testing.T) {
+	const n = 5
+	NewWorld(n).Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < n-1; i++ {
+				data, src := c.Recv(AnySource, 3)
+				if string(data) != fmt.Sprintf("from%d", src) {
+					t.Errorf("payload/source mismatch: %q from %d", data, src)
+				}
+				seen[src] = true
+			}
+			if len(seen) != n-1 {
+				t.Errorf("sources = %v", seen)
+			}
+		} else {
+			c.Send(0, 3, []byte(fmt.Sprintf("from%d", c.Rank())))
+		}
+	})
+}
+
+func TestNonOvertakingPerPair(t *testing.T) {
+	NewWorld(2).Run(func(c *Comm) {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 5, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				data, _ := c.Recv(0, 5)
+				if data[0] != byte(i) {
+					t.Errorf("message %d overtaken: got %d", i, data[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 8
+	var phase atomic.Int32
+	NewWorld(n).Run(func(c *Comm) {
+		for round := int32(1); round <= 3; round++ {
+			phase.Store(round)
+			c.Barrier()
+			if got := phase.Load(); got != round {
+				// After the barrier everyone must have stored this round.
+				t.Errorf("rank %d saw phase %d in round %d", c.Rank(), got, round)
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	const n = 6
+	NewWorld(n).Run(func(c *Comm) {
+		var data []byte
+		if c.Rank() == 2 {
+			data = []byte("broadcast payload")
+		}
+		got := c.Bcast(2, data)
+		if string(got) != "broadcast payload" {
+			t.Errorf("rank %d got %q", c.Rank(), got)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	const n = 7
+	NewWorld(n).Run(func(c *Comm) {
+		data := []byte(fmt.Sprintf("rank%d", c.Rank()))
+		parts := c.Gather(3, data)
+		if c.Rank() != 3 {
+			if parts != nil {
+				t.Errorf("non-root got %v", parts)
+			}
+			return
+		}
+		for r := 0; r < n; r++ {
+			if string(parts[r]) != fmt.Sprintf("rank%d", r) {
+				t.Errorf("slot %d = %q", r, parts[r])
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 5
+	NewWorld(n).Run(func(c *Comm) {
+		parts := c.Allgather([]byte{byte(c.Rank() * 10)})
+		if len(parts) != n {
+			t.Errorf("rank %d got %d parts", c.Rank(), len(parts))
+			return
+		}
+		for r := 0; r < n; r++ {
+			if parts[r][0] != byte(r*10) {
+				t.Errorf("rank %d slot %d = %d", c.Rank(), r, parts[r][0])
+			}
+		}
+	})
+}
+
+func TestReduceOps(t *testing.T) {
+	const n = 9
+	NewWorld(n).Run(func(c *Comm) {
+		v := int64(c.Rank() + 1)
+		sum := c.ReduceInt64(0, v, OpSum)
+		if c.Rank() == 0 && sum != 45 {
+			t.Errorf("sum = %d", sum)
+		}
+		mn := c.AllreduceInt64(v, OpMin)
+		mx := c.AllreduceInt64(v, OpMax)
+		if mn != 1 || mx != 9 {
+			t.Errorf("rank %d: min=%d max=%d", c.Rank(), mn, mx)
+		}
+		f := c.AllreduceFloat64(float64(c.Rank()), OpSum)
+		if f != 36 {
+			t.Errorf("rank %d: fsum=%v", c.Rank(), f)
+		}
+	})
+}
+
+func TestSingleRankWorld(t *testing.T) {
+	NewWorld(1).Run(func(c *Comm) {
+		if c.Size() != 1 || c.Rank() != 0 {
+			t.Errorf("size=%d rank=%d", c.Size(), c.Rank())
+		}
+		c.Barrier()
+		if got := c.Bcast(0, []byte("solo")); string(got) != "solo" {
+			t.Errorf("bcast = %q", got)
+		}
+		if got := c.AllreduceInt64(42, OpSum); got != 42 {
+			t.Errorf("allreduce = %d", got)
+		}
+	})
+}
+
+func TestWtimeMonotone(t *testing.T) {
+	NewWorld(2).Run(func(c *Comm) {
+		a := c.Wtime()
+		c.Barrier()
+		b := c.Wtime()
+		if b < a {
+			t.Errorf("Wtime went backwards: %v -> %v", a, b)
+		}
+	})
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for world size 0")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestSendValidation(t *testing.T) {
+	NewWorld(1).Run(func(c *Comm) {
+		for _, f := range []func(){
+			func() { c.Send(5, 0, nil) },
+			func() { c.Send(0, -3, nil) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("want panic")
+					}
+				}()
+				f()
+			}()
+		}
+	})
+}
+
+func TestAllreduceAgreesWithSerialFold(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 || len(vals) > 16 {
+			return true
+		}
+		var want int64
+		for _, v := range vals {
+			want += v
+		}
+		ok := true
+		NewWorld(len(vals)).Run(func(c *Comm) {
+			if got := c.AllreduceInt64(vals[c.Rank()], OpSum); got != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package nova
+
+import "math"
+
+// mathLog is the single math dependency of the generator.
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// SelectCandidate is the CAFAna-style electron-neutrino candidate
+// selection: a deterministic conjunction of quality, containment, timing
+// and classifier cuts over one slice, standing in for the published NOvA
+// selection routine the paper calls into. The file-based and HEPnOS
+// workflows both call exactly this function, so their accepted-ID sets are
+// comparable bit-for-bit.
+func SelectCandidate(s *Slice) bool {
+	// Data-quality cuts.
+	if s.NHit < 30 || s.NPlanes < 8 {
+		return false
+	}
+	if s.EPerHit <= 0 || s.EPerHit > 0.08 {
+		return false
+	}
+	// Fiducial containment: inside the detector envelope, away from edges.
+	if math.Abs(float64(s.VtxX)) > 700 || math.Abs(float64(s.VtxY)) > 700 {
+		return false
+	}
+	if s.VtxZ < 50 || s.VtxZ > 5800 {
+		return false
+	}
+	// Beam timing: the NuMI spill window.
+	if s.TimeMean < 217 || s.TimeMean > 232 {
+		return false
+	}
+	// Cosmic rejection.
+	if s.CosmicScore > 0.5 {
+		return false
+	}
+	if s.DirZ < 0.2 {
+		return false
+	}
+	// Energy window of the oscillation analysis.
+	if s.CalE < 1.0 || s.CalE > 4.0 {
+		return false
+	}
+	// Classifier cuts: electron-like, not muon-like.
+	if s.CVNe < 0.84 {
+		return false
+	}
+	if s.CVNm > 0.5 {
+		return false
+	}
+	if s.RemID > 0.6 {
+		return false
+	}
+	return true
+}
+
+// SelectEvent applies SelectCandidate to every slice of an event and
+// returns the accepted slice references. This mirrors the per-event lambda
+// of the HEPnOS-based application (§IV-B).
+func SelectEvent(ev *Event) []SliceRef {
+	var out []SliceRef
+	for i := range ev.Slices {
+		if SelectCandidate(&ev.Slices[i]) {
+			out = append(out, SliceRef{
+				Run: ev.Run, SubRun: ev.SubRun, Event: ev.Event,
+				Slice: ev.Slices[i].SliceIdx,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package nova
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/h5lite"
+)
+
+// SliceGroup is the leaf group storing NovaSlice instances, one row per
+// slice, mirroring the layout HDF2HEPnOS inspects: run/subrun/evt columns
+// plus one column per member variable.
+const SliceGroup = "rec/slc/NovaSlice"
+
+// SliceClass is the class name encoded in the group path.
+const SliceClass = "NovaSlice"
+
+// WriteFile serializes a FileData to an h5lite file at path.
+func WriteFile(path string, fd *FileData) error {
+	n := fd.NumSlices()
+	var (
+		runs     = make([]uint64, 0, n)
+		subruns  = make([]uint64, 0, n)
+		events   = make([]uint64, 0, n)
+		sliceIdx = make([]uint32, 0, n)
+		nhit     = make([]int32, 0, n)
+		nplanes  = make([]int32, 0, n)
+		calE     = make([]float32, 0, n)
+		remID    = make([]float32, 0, n)
+		cvne     = make([]float32, 0, n)
+		cvnm     = make([]float32, 0, n)
+		cosmic   = make([]float32, 0, n)
+		vtxx     = make([]float32, 0, n)
+		vtxy     = make([]float32, 0, n)
+		vtxz     = make([]float32, 0, n)
+		dirz     = make([]float32, 0, n)
+		timeMean = make([]float32, 0, n)
+		ePerHit  = make([]float32, 0, n)
+		prongLen = make([]float32, 0, n)
+	)
+	for i := range fd.Events {
+		ev := &fd.Events[i]
+		for j := range ev.Slices {
+			s := &ev.Slices[j]
+			runs = append(runs, ev.Run)
+			subruns = append(subruns, ev.SubRun)
+			events = append(events, ev.Event)
+			sliceIdx = append(sliceIdx, s.SliceIdx)
+			nhit = append(nhit, s.NHit)
+			nplanes = append(nplanes, s.NPlanes)
+			calE = append(calE, s.CalE)
+			remID = append(remID, s.RemID)
+			cvne = append(cvne, s.CVNe)
+			cvnm = append(cvnm, s.CVNm)
+			cosmic = append(cosmic, s.CosmicScore)
+			vtxx = append(vtxx, s.VtxX)
+			vtxy = append(vtxy, s.VtxY)
+			vtxz = append(vtxz, s.VtxZ)
+			dirz = append(dirz, s.DirZ)
+			timeMean = append(timeMean, s.TimeMean)
+			ePerHit = append(ePerHit, s.EPerHit)
+			prongLen = append(prongLen, s.ProngLen)
+		}
+	}
+	w := h5lite.NewWriter()
+	cols := []struct {
+		name string
+		data any
+	}{
+		{"run", runs}, {"subrun", subruns}, {"evt", events},
+		{"sliceIdx", sliceIdx},
+		{"nHit", nhit}, {"nPlanes", nplanes},
+		{"calE", calE}, {"remID", remID}, {"cvnE", cvne}, {"cvnM", cvnm},
+		{"cosmicScore", cosmic},
+		{"vtxX", vtxx}, {"vtxY", vtxy}, {"vtxZ", vtxz},
+		{"dirZ", dirz}, {"timeMean", timeMean},
+		{"ePerHit", ePerHit}, {"prongLen", prongLen},
+	}
+	for _, c := range cols {
+		if err := w.AddColumn(SliceGroup, c.name, c.data); err != nil {
+			return err
+		}
+	}
+	return w.WriteFile(path)
+}
+
+// ReadFile loads an h5lite NOvA file back into events, grouping rows by
+// (run, subrun, event) in row order — the file-based workflow's reader.
+func ReadFile(path string) ([]Event, error) {
+	f, err := h5lite.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	u64 := func(col string) []uint64 {
+		v, e := f.ReadUint64(SliceGroup, col)
+		if e != nil && err == nil {
+			err = e
+		}
+		return v
+	}
+	f64 := func(col string) []float64 {
+		v, e := f.ReadFloat64(SliceGroup, col)
+		if e != nil && err == nil {
+			err = e
+		}
+		return v
+	}
+	runs, subruns, events := u64("run"), u64("subrun"), u64("evt")
+	sliceIdx := f64("sliceIdx")
+	nhit, nplanes := f64("nHit"), f64("nPlanes")
+	calE, remID, cvne, cvnm := f64("calE"), f64("remID"), f64("cvnE"), f64("cvnM")
+	cosmic := f64("cosmicScore")
+	vtxx, vtxy, vtxz := f64("vtxX"), f64("vtxY"), f64("vtxZ")
+	dirz, timeMean := f64("dirZ"), f64("timeMean")
+	ePerHit, prongLen := f64("ePerHit"), f64("prongLen")
+	if err != nil {
+		return nil, fmt.Errorf("nova: read %s: %w", filepath.Base(path), err)
+	}
+
+	var out []Event
+	var cur *Event
+	for i := range runs {
+		if cur == nil || cur.Run != runs[i] || cur.SubRun != subruns[i] || cur.Event != events[i] {
+			out = append(out, Event{Run: runs[i], SubRun: subruns[i], Event: events[i]})
+			cur = &out[len(out)-1]
+		}
+		cur.Slices = append(cur.Slices, Slice{
+			SliceIdx:    uint32(sliceIdx[i]),
+			NHit:        int32(nhit[i]),
+			NPlanes:     int32(nplanes[i]),
+			CalE:        float32(calE[i]),
+			RemID:       float32(remID[i]),
+			CVNe:        float32(cvne[i]),
+			CVNm:        float32(cvnm[i]),
+			CosmicScore: float32(cosmic[i]),
+			VtxX:        float32(vtxx[i]),
+			VtxY:        float32(vtxy[i]),
+			VtxZ:        float32(vtxz[i]),
+			DirZ:        float32(dirz[i]),
+			TimeMean:    float32(timeMean[i]),
+			EPerHit:     float32(ePerHit[i]),
+			ProngLen:    float32(prongLen[i]),
+		})
+	}
+	return out, nil
+}
+
+// GenerateSample writes nFiles synthetic files into dir, returning their
+// paths in index order — the novagen tool's engine.
+func GenerateSample(dir string, gen *Generator, nFiles int) ([]string, error) {
+	paths := make([]string, nFiles)
+	for i := 0; i < nFiles; i++ {
+		fd := gen.File(i)
+		p := filepath.Join(dir, fmt.Sprintf("nova-%05d.h5l", i))
+		if err := WriteFile(p, fd); err != nil {
+			return nil, fmt.Errorf("nova: write file %d: %w", i, err)
+		}
+		paths[i] = p
+	}
+	return paths, nil
+}

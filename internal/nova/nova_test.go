@@ -1,0 +1,248 @@
+package nova
+
+import (
+	"path/filepath"
+
+	"reflect"
+	"testing"
+)
+
+func smallGen() *Generator {
+	return NewGenerator(GenParams{
+		Seed:              42,
+		MeanEventsPerFile: 50,
+		FilesPerSubRun:    2,
+		SubRunsPerRun:     4,
+	})
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, g2 := smallGen(), smallGen()
+	a, b := g1.File(3), g2.File(3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed and index must produce identical files")
+	}
+	// Order independence: generating file 0 first must not change file 3.
+	g3 := smallGen()
+	g3.File(0)
+	g3.File(1)
+	c := g3.File(3)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("file content depends on generation order")
+	}
+	// Different seeds differ.
+	g4 := NewGenerator(GenParams{Seed: 43, MeanEventsPerFile: 50})
+	if reflect.DeepEqual(a.Events, g4.File(3).Events) {
+		t.Fatal("different seeds produced identical files")
+	}
+}
+
+func TestGeneratorStatisticalShape(t *testing.T) {
+	g := NewGenerator(GenParams{Seed: 7, MeanEventsPerFile: 200})
+	const files = 50
+	totalEvents, totalSlices := 0, 0
+	minEv, maxEv := 1<<30, 0
+	for i := 0; i < files; i++ {
+		fd := g.File(i)
+		totalEvents += len(fd.Events)
+		totalSlices += fd.NumSlices()
+		if len(fd.Events) < minEv {
+			minEv = len(fd.Events)
+		}
+		if len(fd.Events) > maxEv {
+			maxEv = len(fd.Events)
+		}
+	}
+	meanEv := float64(totalEvents) / files
+	if meanEv < 150 || meanEv > 260 {
+		t.Fatalf("mean events/file = %v, want ~200", meanEv)
+	}
+	slicesPerEvent := float64(totalSlices) / float64(totalEvents)
+	if slicesPerEvent < 3.7 || slicesPerEvent > 4.5 {
+		t.Fatalf("slices/event = %v, want ~4.1 (paper §III-B)", slicesPerEvent)
+	}
+	// Heavy tail: spread between smallest and largest file should be real.
+	if maxEv < 2*minEv {
+		t.Fatalf("file sizes too uniform: min %d max %d", minEv, maxEv)
+	}
+}
+
+func TestRunSubrunMapping(t *testing.T) {
+	g := smallGen() // 2 files per subrun, 4 subruns per run
+	f0, f1, f2, f8 := g.File(0), g.File(1), g.File(2), g.File(8)
+	if f0.Run != f1.Run || f0.SubRun != f1.SubRun {
+		t.Fatal("files 0 and 1 should share a subrun")
+	}
+	if f2.SubRun == f0.SubRun {
+		t.Fatal("file 2 should start a new subrun")
+	}
+	if f8.Run == f0.Run {
+		t.Fatal("file 8 should be in a new run")
+	}
+	// Event numbers within a subrun must not collide across files.
+	seen := map[uint64]bool{}
+	for _, fd := range []*FileData{f0, f1} {
+		for _, ev := range fd.Events {
+			if seen[ev.Event] {
+				t.Fatalf("event number %d repeated within subrun", ev.Event)
+			}
+			seen[ev.Event] = true
+		}
+	}
+}
+
+func TestSelectionRejectsMostAcceptsSome(t *testing.T) {
+	g := NewGenerator(GenParams{Seed: 1, MeanEventsPerFile: 2000})
+	accepted, total := 0, 0
+	for i := 0; i < 10; i++ {
+		fd := g.File(i)
+		for j := range fd.Events {
+			refs := SelectEvent(&fd.Events[j])
+			accepted += len(refs)
+			total += len(fd.Events[j].Slices)
+			for _, r := range refs {
+				if r.Run != fd.Events[j].Run || r.Event != fd.Events[j].Event {
+					t.Fatal("SliceRef coordinates wrong")
+				}
+			}
+		}
+	}
+	if total < 50000 {
+		t.Fatalf("sample too small: %d slices", total)
+	}
+	if accepted == 0 {
+		t.Fatal("selection accepted nothing; cuts are too tight to validate workflows")
+	}
+	rate := float64(accepted) / float64(total)
+	if rate > 5e-3 {
+		t.Fatalf("acceptance rate %v too high for a candidate selection", rate)
+	}
+}
+
+func TestSelectionIsDeterministicPerSlice(t *testing.T) {
+	g := smallGen()
+	fd := g.File(0)
+	for i := range fd.Events {
+		for j := range fd.Events[i].Slices {
+			s := fd.Events[i].Slices[j]
+			a := SelectCandidate(&s)
+			b := SelectCandidate(&s)
+			if a != b {
+				t.Fatal("selection is not deterministic")
+			}
+		}
+	}
+}
+
+func TestSelectionCutsActuallyCut(t *testing.T) {
+	// A hand-built signal slice passes; breaking any single cut fails it.
+	good := Slice{
+		NHit: 100, NPlanes: 20, CalE: 2.0, EPerHit: 0.02,
+		VtxX: 10, VtxY: -20, VtxZ: 3000, TimeMean: 225,
+		CosmicScore: 0.1, DirZ: 0.9, CVNe: 0.95, CVNm: 0.1, RemID: 0.2,
+	}
+	if !SelectCandidate(&good) {
+		t.Fatal("reference signal slice rejected")
+	}
+	breakers := []func(*Slice){
+		func(s *Slice) { s.NHit = 5 },
+		func(s *Slice) { s.NPlanes = 2 },
+		func(s *Slice) { s.EPerHit = 0.5 },
+		func(s *Slice) { s.VtxX = 900 },
+		func(s *Slice) { s.VtxZ = 5950 },
+		func(s *Slice) { s.TimeMean = 100 },
+		func(s *Slice) { s.CosmicScore = 0.9 },
+		func(s *Slice) { s.DirZ = -0.5 },
+		func(s *Slice) { s.CalE = 8 },
+		func(s *Slice) { s.CVNe = 0.2 },
+		func(s *Slice) { s.CVNm = 0.9 },
+		func(s *Slice) { s.RemID = 0.95 },
+	}
+	for i, brk := range breakers {
+		s := good
+		brk(&s)
+		if SelectCandidate(&s) {
+			t.Errorf("cut %d did not reject", i)
+		}
+	}
+}
+
+func TestH5RoundTrip(t *testing.T) {
+	g := smallGen()
+	fd := g.File(5)
+	path := filepath.Join(t.TempDir(), "f.h5l")
+	if err := WriteFile(path, fd); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events with zero slices contribute no rows and are legitimately
+	// absent after the round trip; compare the slice-bearing ones.
+	var want []Event
+	for _, ev := range fd.Events {
+		if len(ev.Slices) > 0 {
+			want = append(want, ev)
+		}
+	}
+	if len(events) != len(want) {
+		t.Fatalf("round trip: %d events, want %d", len(events), len(want))
+	}
+	for i := range want {
+		if events[i].Run != want[i].Run || events[i].Event != want[i].Event {
+			t.Fatalf("event %d coordinates differ", i)
+		}
+		if !reflect.DeepEqual(events[i].Slices, want[i].Slices) {
+			t.Fatalf("event %d slices differ", i)
+		}
+	}
+	// Selection through the file equals selection in memory — the
+	// workflows' shared ground truth.
+	var a, b []SliceRef
+	for i := range want {
+		a = append(a, SelectEvent(&want[i])...)
+	}
+	for i := range events {
+		b = append(b, SelectEvent(&events[i])...)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("selection differs after file round trip")
+	}
+}
+
+func TestGenerateSample(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := GenerateSample(dir, smallGen(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		evs, err := ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("file %s is empty", p)
+		}
+	}
+}
+
+func BenchmarkSelectCandidate(b *testing.B) {
+	g := NewGenerator(GenParams{Seed: 2, MeanEventsPerFile: 100})
+	fd := g.File(0)
+	var slices []Slice
+	for i := range fd.Events {
+		slices = append(slices, fd.Events[i].Slices...)
+	}
+	if len(slices) == 0 {
+		b.Fatal("no slices")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectCandidate(&slices[i%len(slices)])
+	}
+}

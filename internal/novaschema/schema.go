@@ -1,0 +1,43 @@
+// Package novaschema declares the NovaSlice class schema as data, bridging
+// the nova workload (which owns the column layout) and the dataloader
+// (which consumes schemas). It exists as its own package so that neither
+// side needs to import the other.
+package novaschema
+
+import (
+	"github.com/hep-on-hpc/hepnos-go/internal/dataloader"
+	"github.com/hep-on-hpc/hepnos-go/internal/h5lite"
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+)
+
+// Slice returns the class schema of the NovaSlice group exactly as
+// nova.WriteFile lays it out (and dataloader.InspectFile infers it).
+// Tools that need the schema without a sample file on hand — e.g.
+// hdf2hepnos export — use it as the single source of truth;
+// TestSchemaMatchesWrittenFiles pins it against the writer.
+func Slice() dataloader.ClassSchema {
+	f4 := func(name string) dataloader.Member {
+		return dataloader.Member{Column: name, DType: h5lite.Float32}
+	}
+	return dataloader.ClassSchema{
+		Group: nova.SliceGroup,
+		Class: nova.SliceClass,
+		Members: []dataloader.Member{
+			f4("calE"),
+			f4("cosmicScore"),
+			f4("cvnE"),
+			f4("cvnM"),
+			f4("dirZ"),
+			f4("ePerHit"),
+			{Column: "nHit", DType: h5lite.Int32},
+			{Column: "nPlanes", DType: h5lite.Int32},
+			f4("prongLen"),
+			f4("remID"),
+			{Column: "sliceIdx", DType: h5lite.Uint32},
+			f4("timeMean"),
+			f4("vtxX"),
+			f4("vtxY"),
+			f4("vtxZ"),
+		},
+	}
+}

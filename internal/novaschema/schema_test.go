@@ -1,0 +1,35 @@
+package novaschema
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/dataloader"
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+)
+
+// TestSchemaMatchesWrittenFiles pins the hand-maintained schema to the
+// actual writer layout; drift here would desynchronize hdf2hepnos export
+// from ingest.
+func TestSchemaMatchesWrittenFiles(t *testing.T) {
+	gen := nova.NewGenerator(nova.GenParams{Seed: 42, MeanEventsPerFile: 30})
+	paths, err := nova.GenerateSample(t.TempDir(), gen, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := dataloader.InspectFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Slice()
+	if !reflect.DeepEqual(got.Members, inferred[0].Members) {
+		t.Fatalf("schema drift:\n declared: %+v\n inferred: %+v", got.Members, inferred[0].Members)
+	}
+	if got.Group != inferred[0].Group || got.Class != inferred[0].Class {
+		t.Fatal("group/class drift")
+	}
+	// The schema binds to the Go struct.
+	if _, err := dataloader.Bind(nova.Slice{}, got); err != nil {
+		t.Fatal(err)
+	}
+}

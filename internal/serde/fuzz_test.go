@@ -1,0 +1,89 @@
+package serde
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanicsOnGarbage feeds random bytes to Unmarshal for a
+// spread of target shapes. Stored products travel over the network, so the
+// decoder must fail cleanly — never panic, never allocate absurdly — on
+// any input.
+func TestUnmarshalNeverPanicsOnGarbage(t *testing.T) {
+	type nested struct {
+		A []int32
+		B map[string][]float64
+		C *nested
+		D string
+	}
+	targets := []func() any{
+		func() any { return new(int64) },
+		func() any { return new(string) },
+		func() any { return new([]byte) },
+		func() any { return new([]particle) },
+		func() any { return new(map[string]int) },
+		func() any { return new(nested) },
+		func() any { return new([4][2]uint16) },
+		func() any { return new(*float64) },
+	}
+	f := func(data []byte, which uint8) bool {
+		target := targets[int(which)%len(targets)]()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %x into %T: %v", data, target, r)
+			}
+		}()
+		_ = Unmarshal(data, target) // error or success, never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncationAlwaysErrors verifies the self-delimiting property: any
+// strict prefix of a valid encoding fails to decode (or decodes with
+// trailing-byte detection catching the inverse direction).
+func TestTruncationAlwaysErrors(t *testing.T) {
+	in := everything{
+		B: true, I64: -5, U64: 99, F64: 2.5, S: "truncate me",
+		Raw: []byte{1, 2, 3}, Ints: []int{4, 5}, Arr: [3]uint16{7, 8, 9},
+		M: map[string]int32{"k": 1}, Ptr: &particle{X: 1}, Nest: particle{Y: 2},
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		var out everything
+		if err := Unmarshal(data[:cut], &out); err == nil {
+			t.Fatalf("prefix of length %d/%d decoded without error", cut, len(data))
+		}
+	}
+}
+
+// TestMutatedBytesNeverPanic flips each byte of a valid encoding and
+// decodes; corruption may decode to different values or error, but must
+// not panic.
+func TestMutatedBytesNeverPanic(t *testing.T) {
+	in := everything{S: "mutate", Ints: []int{1, 2, 3}, M: map[string]int32{"a": 1}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i++ {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= flip
+			var out everything
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic with byte %d flipped by %#x: %v", i, flip, r)
+					}
+				}()
+				_ = Unmarshal(mut, &out)
+			}()
+		}
+	}
+}

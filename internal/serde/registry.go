@@ -1,0 +1,101 @@
+package serde
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+)
+
+// TypeName returns the canonical product type name for a Go value, the
+// analog of the demangled C++ class name HEPnOS embeds in product keys
+// (e.g. "Particle" or "vector<Particle>"). Package qualifiers are stripped
+// so the name is stable across refactorings of the import path; slices map
+// to the C++-flavoured "vector<...>" spelling to match the paper's examples.
+func TypeName(v any) string {
+	return typeNameOf(reflect.TypeOf(v))
+}
+
+func typeNameOf(t reflect.Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind() {
+	case reflect.Pointer:
+		return typeNameOf(t.Elem())
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return "bytes"
+		}
+		return "vector<" + typeNameOf(t.Elem()) + ">"
+	case reflect.Array:
+		return fmt.Sprintf("array<%s,%d>", typeNameOf(t.Elem()), t.Len())
+	case reflect.Map:
+		return "map<" + typeNameOf(t.Key()) + "," + typeNameOf(t.Elem()) + ">"
+	default:
+		name := t.String()
+		if i := strings.LastIndex(name, "."); i >= 0 {
+			name = name[i+1:]
+		}
+		return name
+	}
+}
+
+// Registry maps product type names to Go types so that generic tools (the
+// data loader, hepnos-ls) can materialize products without compile-time
+// knowledge of their type. The zero value is ready to use.
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]reflect.Type
+}
+
+// DefaultRegistry is the process-wide registry used by RegisterType.
+var DefaultRegistry Registry
+
+// Register associates the value's TypeName with its concrete type.
+// Registering the same name twice with a different type is a programming
+// error and panics.
+func (r *Registry) Register(example any) string {
+	t := reflect.TypeOf(example)
+	for t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t == nil {
+		panic("serde: Register(nil)")
+	}
+	name := typeNameOf(t)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.types == nil {
+		r.types = make(map[string]reflect.Type)
+	}
+	if prev, ok := r.types[name]; ok && prev != t {
+		panic(fmt.Sprintf("serde: type name %q registered for both %v and %v", name, prev, t))
+	}
+	r.types[name] = t
+	return name
+}
+
+// New returns a pointer to a fresh zero value of the named type, or an
+// error if the name is unknown.
+func (r *Registry) New(name string) (any, error) {
+	r.mu.RLock()
+	t, ok := r.types[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serde: unknown product type %q", name)
+	}
+	return reflect.New(t).Interface(), nil
+}
+
+// Known reports whether the name is registered.
+func (r *Registry) Known(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.types[name]
+	return ok
+}
+
+// RegisterType registers the example's type in the default registry and
+// returns its canonical name.
+func RegisterType(example any) string { return DefaultRegistry.Register(example) }

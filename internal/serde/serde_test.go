@@ -1,0 +1,352 @@
+package serde
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// particle mirrors the Particle struct from Listing 1 of the paper.
+type particle struct {
+	X, Y, Z float32
+}
+
+type everything struct {
+	B    bool
+	I8   int8
+	I16  int16
+	I32  int32
+	I64  int64
+	U8   uint8
+	U16  uint16
+	U32  uint32
+	U64  uint64
+	F32  float32
+	F64  float64
+	S    string
+	Raw  []byte
+	Ints []int
+	Arr  [3]uint16
+	M    map[string]int32
+	Ptr  *particle
+	Nest particle
+}
+
+func roundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if err := Unmarshal(data, out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+}
+
+func TestRoundTripEverything(t *testing.T) {
+	in := everything{
+		B: true, I8: -8, I16: -1600, I32: -320000, I64: -64,
+		U8: 8, U16: 1600, U32: 320000, U64: math.MaxUint64,
+		F32: 3.14, F64: -2.71828,
+		S:    "hello, HEPnOS",
+		Raw:  []byte{0, 1, 2, 255},
+		Ints: []int{-1, 0, 1 << 40},
+		Arr:  [3]uint16{1, 2, 3},
+		M:    map[string]int32{"a": 1, "b": -2},
+		Ptr:  &particle{X: 1, Y: 2, Z: 3},
+		Nest: particle{X: 4, Y: 5, Z: 6},
+	}
+	var out everything
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestNilPointerAndEmptyContainers(t *testing.T) {
+	type s struct {
+		P  *particle
+		Sl []int
+		M  map[int]int
+	}
+	var out s
+	roundTrip(t, s{}, &out)
+	if out.P != nil {
+		t.Error("nil pointer not preserved")
+	}
+	if len(out.Sl) != 0 || len(out.M) != 0 {
+		t.Errorf("empty containers: %+v", out)
+	}
+}
+
+func TestVectorOfParticles(t *testing.T) {
+	// The paper's canonical example: std::vector<Particle>.
+	in := []particle{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	var out []particle
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("vector<Particle> mismatch: %v vs %v", in, out)
+	}
+}
+
+func TestDeterministicMaps(t *testing.T) {
+	m := map[string]int{"z": 26, "a": 1, "m": 13, "q": 17}
+	a, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatal("map encoding is not deterministic")
+		}
+	}
+}
+
+func TestUnexportedAndTaggedFieldsSkipped(t *testing.T) {
+	type s struct {
+		Kept    int
+		hidden  int
+		Ignored string `serde:"-"`
+	}
+	in := s{Kept: 7, hidden: 9, Ignored: "drop me"}
+	var out s
+	roundTrip(t, in, &out)
+	if out.Kept != 7 || out.hidden != 0 || out.Ignored != "" {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+type versionedBlob struct {
+	A, B uint32
+}
+
+// Serialize gives versionedBlob a custom wire format (B first, then A).
+func (v *versionedBlob) Serialize(ar *Archive) error {
+	b := uint64(v.B)
+	if err := ar.Uint64(&b); err != nil {
+		return err
+	}
+	a := uint64(v.A)
+	if err := ar.Uint64(&a); err != nil {
+		return err
+	}
+	if !ar.Saving {
+		v.A, v.B = uint32(a), uint32(b)
+	}
+	return nil
+}
+
+func TestCustomSerializer(t *testing.T) {
+	in := versionedBlob{A: 1, B: 2}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Custom order: B (2) then A (1), both single-byte varints.
+	if len(data) != 2 || data[0] != 2 || data[1] != 1 {
+		t.Fatalf("custom serializer not used: % x", data)
+	}
+	var out versionedBlob
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v", out)
+	}
+	// Custom types nested in other values must also use it.
+	var outs []versionedBlob
+	roundTrip(t, []versionedBlob{{3, 4}, {5, 6}}, &outs)
+	if !reflect.DeepEqual(outs, []versionedBlob{{3, 4}, {5, 6}}) {
+		t.Fatalf("nested custom: %+v", outs)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Marshal(make(chan int)); err == nil {
+		t.Error("chan should be unsupported")
+	}
+	var i int
+	if err := Unmarshal([]byte{1, 2, 3}, i); err == nil {
+		t.Error("non-pointer target should error")
+	}
+	if err := Unmarshal(nil, (*int)(nil)); err == nil {
+		t.Error("nil pointer target should error")
+	}
+	var s []int
+	// Length prefix claims 2^60 elements on 1 byte of input.
+	if err := Unmarshal([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10}, &s); err == nil {
+		t.Error("absurd slice length should error, not allocate")
+	}
+	var p particle
+	good, _ := Marshal(particle{1, 2, 3})
+	if err := Unmarshal(good[:len(good)-1], &p); err == nil {
+		t.Error("truncated input should error")
+	}
+	if err := Unmarshal(append(good, 0), &p); err == nil {
+		t.Error("trailing bytes should error")
+	}
+}
+
+func TestQuickRoundTripPrimitives(t *testing.T) {
+	f := func(b bool, i int64, u uint64, f64 float64, s string, raw []byte) bool {
+		type prim struct {
+			B   bool
+			I   int64
+			U   uint64
+			F   float64
+			S   string
+			Raw []byte
+		}
+		in := prim{b, i, u, f64, s, raw}
+		data, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out prim
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		if math.IsNaN(f64) {
+			return math.IsNaN(out.F)
+		}
+		if len(in.Raw) == 0 && len(out.Raw) == 0 {
+			in.Raw, out.Raw = nil, nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripNested(t *testing.T) {
+	type inner struct {
+		Name string
+		Vals []float32
+	}
+	type outer struct {
+		Items map[uint32]inner
+		Tags  []string
+	}
+	f := func(keys []uint32, names []string) bool {
+		in := outer{Items: map[uint32]inner{}, Tags: names}
+		for i, k := range keys {
+			nm := "n"
+			if i < len(names) {
+				nm = names[i]
+			}
+			in.Items[k] = inner{Name: nm, Vals: []float32{float32(i), float32(k)}}
+		}
+		data, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out outer
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		if len(in.Tags) == 0 && len(out.Tags) == 0 {
+			in.Tags, out.Tags = nil, nil
+		}
+		if len(in.Items) == 0 && len(out.Items) == 0 {
+			in.Items, out.Items = nil, nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	cases := []struct {
+		v    any
+		want string
+	}{
+		{particle{}, "particle"},
+		{&particle{}, "particle"},
+		{[]particle{}, "vector<particle>"},
+		{[]byte{}, "bytes"},
+		{map[string]particle{}, "map<string,particle>"},
+		{[4]int{}, "array<int,4>"},
+		{3.5, "float64"},
+		{"s", "string"},
+	}
+	for _, c := range cases {
+		if got := TypeName(c.v); got != c.want {
+			t.Errorf("TypeName(%T) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry
+	name := r.Register(particle{})
+	if name != "particle" {
+		t.Fatalf("name = %q", name)
+	}
+	if !r.Known("particle") || r.Known("nope") {
+		t.Fatal("Known is wrong")
+	}
+	v, err := r.New("particle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.(*particle); !ok {
+		t.Fatalf("New returned %T", v)
+	}
+	if _, err := r.New("nope"); err == nil {
+		t.Fatal("unknown type should error")
+	}
+	// Re-registering the same type is fine.
+	r.Register(&particle{})
+	// A different type under the same short name panics. Two local types
+	// declared in different function scopes share the short name.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting registration should panic")
+		}
+	}()
+	registerConflictingParticle(&r)
+}
+
+func registerConflictingParticle(r *Registry) {
+	type particle struct{ Q int }
+	r.Register(particle{})
+}
+
+func BenchmarkMarshalParticleVector(b *testing.B) {
+	vec := make([]particle, 1000)
+	for i := range vec {
+		vec[i] = particle{float32(i), float32(i * 2), float32(i * 3)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalParticleVector(b *testing.B) {
+	vec := make([]particle, 1000)
+	for i := range vec {
+		vec[i] = particle{float32(i), float32(i * 2), float32(i * 3)}
+	}
+	data, err := Marshal(vec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var out []particle
+		if err := Unmarshal(data, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package simexp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() {
+		order = append(order, 2)
+		// Events scheduled during the run still fire in order.
+		e.After(0.5, func() { order = append(order, 25) })
+	})
+	e.Run()
+	want := []int{1, 2, 25, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestEngineClockMonotone(t *testing.T) {
+	var e Engine
+	last := -1.0
+	for i := 0; i < 100; i++ {
+		tt := float64((i * 37) % 50)
+		e.At(tt, func() {
+			if e.Now() < last {
+				t.Fatal("clock went backwards")
+			}
+			last = e.Now()
+		})
+	}
+	e.Run()
+	// Scheduling in the past clamps to now.
+	e.At(-5, func() {
+		if e.Now() < last {
+			t.Fatal("past event ran before now")
+		}
+	})
+	e.Run()
+}
+
+func TestEngineDeterministicTieBreak(t *testing.T) {
+	run := func() []int {
+		var e Engine
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			e.At(1.0, func() { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie-break is not deterministic")
+		}
+		if a[i] != i {
+			t.Fatal("same-time events must run in scheduling order")
+		}
+	}
+}
+
+func TestPipeSerializes(t *testing.T) {
+	p := &Pipe{Rate: 100}
+	// Two 100-byte transfers arriving together: second waits.
+	end1 := p.Transfer(0, 100)
+	end2 := p.Transfer(0, 100)
+	if end1 != 1 || end2 != 2 {
+		t.Fatalf("ends = %v %v", end1, end2)
+	}
+	// A transfer arriving after the pipe is free starts immediately.
+	end3 := p.Transfer(10, 50)
+	if end3 != 10.5 {
+		t.Fatalf("end3 = %v", end3)
+	}
+	if math.Abs(p.BusySeconds()-2.5) > 1e-12 {
+		t.Fatalf("busy = %v", p.BusySeconds())
+	}
+	// Zero-rate pipe is free.
+	free := &Pipe{}
+	if free.Transfer(5, 1e9) != 5 {
+		t.Fatal("zero-rate pipe should be instantaneous")
+	}
+}
+
+func TestOpGate(t *testing.T) {
+	g := &OpGate{OpsPerSec: 2}
+	if got := g.Acquire(0); got != 0.5 {
+		t.Fatalf("first = %v", got)
+	}
+	if got := g.Acquire(0); got != 1.0 {
+		t.Fatalf("second = %v", got)
+	}
+	if got := g.Acquire(10); got != 10.5 {
+		t.Fatalf("late = %v", got)
+	}
+	free := &OpGate{}
+	if free.Acquire(3) != 3 {
+		t.Fatal("zero-rate gate should be free")
+	}
+}
+
+func TestSlotPool(t *testing.T) {
+	p := NewSlotPool(2)
+	s1, e1 := p.Schedule(0, 10)
+	s2, e2 := p.Schedule(0, 10)
+	s3, e3 := p.Schedule(0, 10)
+	if s1 != 0 || s2 != 0 || e1 != 10 || e2 != 10 {
+		t.Fatalf("first two: %v-%v %v-%v", s1, e1, s2, e2)
+	}
+	// Third waits for a slot.
+	if s3 != 10 || e3 != 20 {
+		t.Fatalf("third: %v-%v", s3, e3)
+	}
+	// Ready time after slot-free time wins.
+	s4, _ := p.Schedule(100, 1)
+	if s4 != 100 {
+		t.Fatalf("s4 = %v", s4)
+	}
+	if p.Completed() != 4 || p.Slots() != 2 {
+		t.Fatalf("completed=%d slots=%d", p.Completed(), p.Slots())
+	}
+	if p.BusySeconds() != 31 {
+		t.Fatalf("busy = %v", p.BusySeconds())
+	}
+	// Degenerate pool size clamps to 1.
+	if NewSlotPool(0).Slots() != 1 {
+		t.Fatal("zero slots should clamp to 1")
+	}
+}

@@ -1,0 +1,249 @@
+package simexp
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/stats"
+)
+
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// HEPnOSParams tunes the HEPnOS workflow model; defaults are the paper's
+// §IV-D configuration.
+type HEPnOSParams struct {
+	Backend Backend
+	// LoadBatch is the events-per-RPC load batch (paper: 16384).
+	LoadBatch int
+	// WorkBatch is the events-per-work-item batch (paper: 64).
+	WorkBatch int
+	// Prefetch ships products with the load batches (paper: yes).
+	Prefetch bool
+}
+
+// DefaultHEPnOSParams returns the paper's configuration for a backend.
+func DefaultHEPnOSParams(b Backend) HEPnOSParams {
+	return HEPnOSParams{Backend: b, LoadBatch: 16384, WorkBatch: 64, Prefetch: true}
+}
+
+// chainState is one event database's loading pipeline (one request
+// outstanding, like the ParallelEventProcessor's background loader). The
+// heap is keyed on the *arrival* time of the in-flight batch at the shared
+// NIC, so FIFO pipes see time-ordered arrivals.
+type chainState struct {
+	db        int
+	arrival   float64 // when the in-flight batch reaches the wire
+	batch     int     // events in the in-flight batch
+	remaining int     // events not yet requested
+}
+
+type chainHeap []*chainState
+
+func (h chainHeap) Len() int           { return len(h) }
+func (h chainHeap) Less(i, j int) bool { return h[i].arrival < h[j].arrival }
+func (h chainHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *chainHeap) Push(x any)        { *h = append(*h, x.(*chainState)) }
+func (h *chainHeap) Pop() (out any)    { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// SimulateHEPnOS runs the HEPnOS workflow model at a given allocation.
+//
+// Deployment (§IV-D): one of every ServerRatio nodes runs servers; each
+// server holds 8 event and 8 product databases. One reader per event
+// database pages event keys out in LoadBatch-sized requests and (with
+// Prefetch) pulls the corresponding products in bulk; each database chain
+// keeps one request outstanding. Chains advance in virtual-time order so
+// that shared resources (server NICs) interleave fairly. Delivered batches
+// are chopped into WorkBatch work items drained by a work-conserving pool
+// of client cores — the distributed queue.
+//
+// The per-batch backend service time is drawn lognormally around the
+// backend's base cost: the in-memory backend is fast and tight; the LSM
+// backend is slower with a heavy tail (block decodes, read amplification,
+// compaction interference). Two emergent consequences reproduce §IV-E:
+// with many batches per database (small allocations) the tails average out
+// and both backends track the CPU bound; with few batches per database
+// (large allocations) the slowest chain gates the run, and the heavy-
+// tailed backend's slowest chain degrades faster.
+func SimulateHEPnOS(m ClusterModel, nodes int, w Workload, p HEPnOSParams, seed uint64) SimResult {
+	if p.LoadBatch <= 0 {
+		p.LoadBatch = 16384
+	}
+	if p.WorkBatch <= 0 {
+		p.WorkBatch = 64
+	}
+	servers := nodes / m.ServerRatio
+	if servers < 1 {
+		servers = 1
+	}
+	clientNodes := nodes - servers
+	if clientNodes < 1 {
+		clientNodes = 1
+	}
+	rng := stats.NewRNG(seed)
+
+	eventDBs := servers * m.EventDBsPerServer
+	bytesPerEvent := m.SlicesPerEvent * m.SliceBytes
+
+	// Backend cost model.
+	var baseRate, opCost, jitterSigma, readAmp float64
+	switch p.Backend {
+	case BackendLSM:
+		// Effective read rate mixes page-cache hits with SSD misses and
+		// carries heavy-tailed per-request latencies.
+		baseRate = 3 * m.LSMBackendBandwidth
+		opCost = m.LSMBackendOpSeconds
+		jitterSigma = 1.0
+		readAmp = m.LSMReadAmplification
+	default:
+		baseRate = m.MemBackendBandwidth
+		opCost = m.MemBackendOpSeconds
+		jitterSigma = 0.15
+		readAmp = 1
+	}
+
+	// Server NICs; batches round-robin over servers (hash placement).
+	nics := make([]*Pipe, servers)
+	for i := range nics {
+		nics[i] = &Pipe{Rate: m.NICBandwidth}
+	}
+
+	// drawService computes one batch's pre-wire service time: the
+	// key-listing RPC plus (with prefetch) the jittered backend read.
+	drawService := func(n int) float64 {
+		svc := m.RPCLatencySeconds + m.RPCServerCPUSeconds
+		svc += float64(n) * m.EventKeyBytes / baseRate
+		if p.Prefetch {
+			base := float64(n)*bytesPerEvent*readAmp/baseRate + opCost
+			j := rng.LogNormal(-jitterSigma*jitterSigma/2, jitterSigma)
+			svc += base * j
+		}
+		return svc
+	}
+
+	// Distribute events over databases (hash placement is near-uniform)
+	// and launch each chain's first request at t=0.
+	chains := make(chainHeap, 0, eventDBs)
+	per := w.Events / eventDBs
+	extra := w.Events % eventDBs
+	for db := 0; db < eventDBs; db++ {
+		n := per
+		if db < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		batch := p.LoadBatch
+		if batch > n {
+			batch = n
+		}
+		chains = append(chains, &chainState{
+			db:        db,
+			arrival:   drawService(batch),
+			batch:     batch,
+			remaining: n - batch,
+		})
+	}
+	heap.Init(&chains)
+
+	type delivered struct {
+		at     float64
+		events int
+	}
+	var batches []delivered
+	nicIdx := 0
+	var slowestChain float64
+
+	// Advance chains in wire-arrival order so the FIFO NIC pipes see
+	// time-ordered traffic.
+	for chains.Len() > 0 {
+		c := heap.Pop(&chains).(*chainState)
+		t := c.arrival
+		if p.Prefetch {
+			nic := nics[nicIdx%servers]
+			nicIdx++
+			t = nic.Transfer(t, float64(c.batch)*bytesPerEvent)
+		}
+		batches = append(batches, delivered{at: t, events: c.batch})
+		if t > slowestChain {
+			slowestChain = t
+		}
+		if c.remaining > 0 {
+			n := p.LoadBatch
+			if n > c.remaining {
+				n = c.remaining
+			}
+			c.remaining -= n
+			c.batch = n
+			c.arrival = t + drawService(n)
+			heap.Push(&chains, c)
+		}
+	}
+
+	// Work distribution: chop batches into work items and drain them with
+	// the client cores, earliest-ready first (the distributed queue).
+	sort.Slice(batches, func(i, j int) bool { return batches[i].at < batches[j].at })
+	workers := NewSlotPool(clientNodes * m.CoresPerNode)
+	// Without prefetching, each work item synchronously fetches its
+	// products before computing, blocking the worker for the round trips.
+	fetchCost := func(events int) float64 {
+		if p.Prefetch {
+			return 0
+		}
+		j := rng.LogNormal(-jitterSigma*jitterSigma/2, jitterSigma)
+		return float64(events)*(2*m.RPCLatencySeconds+bytesPerEvent*readAmp/baseRate)*j +
+			opCost/16
+	}
+	firstStart := math.Inf(1)
+	var lastEnd float64
+	for _, b := range batches {
+		for remaining := b.events; remaining > 0; {
+			n := p.WorkBatch
+			if n > remaining {
+				n = remaining
+			}
+			remaining -= n
+			dur := float64(n)*m.SlicesPerEvent*m.SliceCPUSeconds +
+				m.WorkItemOverheadSeconds + fetchCost(n)
+			start, end := workers.Schedule(b.at, dur)
+			if start < firstStart {
+				firstStart = start
+			}
+			if end > lastEnd {
+				lastEnd = end
+			}
+		}
+	}
+
+	res := SimResult{
+		Workflow: "hepnos",
+		Backend:  p.Backend,
+		Nodes:    nodes,
+		Workload: w,
+		Detail: map[string]float64{
+			"servers":       float64(servers),
+			"client_nodes":  float64(clientNodes),
+			"event_dbs":     float64(eventDBs),
+			"batches_perdb": math.Ceil(float64(w.Events) / float64(eventDBs) / float64(p.LoadBatch)),
+			"slowest_chain": slowestChain,
+		},
+	}
+	if math.IsInf(firstStart, 1) {
+		return res
+	}
+	// Termination protocol drain: every rank polls every reader for its
+	// "done"; the polls at one reader serialize.
+	ranks := float64(clientNodes * m.CoresPerNode)
+	lastEnd += ranks * m.TermPollSeconds
+
+	// The paper measures from the first rank's processing start to the
+	// last rank's processing end.
+	res.MakespanSeconds = lastEnd - firstStart
+	if res.MakespanSeconds > 0 {
+		res.Throughput = m.Slices(w) / res.MakespanSeconds
+		res.CoreUtilization = workers.BusySeconds() /
+			(float64(workers.Slots()) * res.MakespanSeconds)
+	}
+	return res
+}

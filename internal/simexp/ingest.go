@@ -1,0 +1,112 @@
+package simexp
+
+import (
+	"container/heap"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/stats"
+)
+
+// SimulateIngest models the DataLoader phase (§III-B): parallel loader
+// ranks each take whole files from a shared queue, read them from the
+// parallel file system, decode the columns and write events and products
+// into HEPnOS with batched multi-puts. Because the unit of work is the
+// file, this is "the first step of an HEP workflow, and the only step
+// whose scalability is constrained by the number of files" — the model
+// makes that constraint visible: beyond #files loader ranks, extra
+// allocation buys nothing, and the PFS caps the read rate regardless.
+func SimulateIngest(m ClusterModel, nodes int, w Workload, seed uint64) SimResult {
+	if nodes < 1 || w.Files < 1 {
+		return SimResult{Workflow: "ingest", Nodes: nodes, Workload: w}
+	}
+	servers := nodes / m.ServerRatio
+	if servers < 1 {
+		servers = 1
+	}
+	clientNodes := nodes - servers
+	if clientNodes < 1 {
+		clientNodes = 1
+	}
+	loaders := clientNodes * m.CoresPerNode
+	rng := stats.NewRNG(seed)
+
+	// Per-file statistics (same distributions as the traditional model).
+	totalSlices := m.Slices(w)
+	mu := logMu(m.MeanFileBytes, m.FileSpreadSigma)
+	sizes := make([]float64, w.Files)
+	var sizeSum float64
+	for i := range sizes {
+		sizes[i] = rng.LogNormal(mu, m.FileSpreadSigma)
+		sizeSum += sizes[i]
+	}
+	scale := float64(w.Files) * m.MeanFileBytes / sizeSum
+	slicesPerByte := totalSlices / (float64(w.Files) * m.MeanFileBytes)
+
+	pfs := &Pipe{Rate: m.PFSBandwidth}
+	md := &OpGate{OpsPerSec: m.PFSMetadataOps}
+	// Each server ingests through its NIC and memory-backend write path.
+	nics := make([]*Pipe, servers)
+	for i := range nics {
+		nics[i] = &Pipe{Rate: m.NICBandwidth}
+	}
+	// Decode cost per slice (column gather + struct fill); cheaper than
+	// the selection since it is branch-free column copying.
+	decodePerSlice := m.SliceCPUSeconds / 4
+
+	active := loaders
+	if w.Files < active {
+		active = w.Files
+	}
+	free := make(slotHeap, active)
+	heap.Init(&free)
+	var lastEnd, busy float64
+	nicIdx := 0
+	for i := 0; i < w.Files; i++ {
+		size := sizes[i] * scale
+		slices := size * slicesPerByte
+		storedBytes := slices * m.SliceBytes
+
+		t := heap.Pop(&free).(float64)
+		start := t
+		t = md.Acquire(t)            // open
+		t = pfs.Transfer(t, size)    // read the file
+		t += slices * decodePerSlice // decode columns into structs
+		// WriteBatch flushes stream to the servers round-robin.
+		nic := nics[nicIdx%servers]
+		nicIdx++
+		t = nic.Transfer(t, storedBytes)
+		heap.Push(&free, t)
+		busy += t - start
+		if t > lastEnd {
+			lastEnd = t
+		}
+	}
+
+	res := SimResult{
+		Workflow:        "ingest",
+		Nodes:           nodes,
+		Workload:        w,
+		MakespanSeconds: lastEnd,
+		Detail: map[string]float64{
+			"loaders":      float64(loaders),
+			"busy_loaders": float64(active),
+		},
+	}
+	if lastEnd > 0 {
+		res.Throughput = float64(w.Events) / lastEnd // events/s for ingest
+		res.CoreUtilization = busy / (float64(loaders) * lastEnd)
+	}
+	return res
+}
+
+// IngestScaling produces the ingest-phase series over the Fig2 node range.
+func IngestScaling(m ClusterModel, trials int) Series {
+	w := PaperWorkloads()[2]
+	s := Series{Label: "ingest (events/s)"}
+	for _, n := range Fig2Nodes {
+		n := n
+		s.Points = append(s.Points, runTrials(trials, float64(n), func(seed uint64) SimResult {
+			return SimulateIngest(m, n, w, seed)
+		}))
+	}
+	return s
+}

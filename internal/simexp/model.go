@@ -1,0 +1,163 @@
+package simexp
+
+// ClusterModel holds the calibrated constants describing the §IV testbed
+// (Theta, a Cray XC40: 64-core KNL nodes, Aries dragonfly, Lustre) and the
+// workload cost model. Each constant states its rationale; none is fitted
+// to the paper's absolute numbers (which the paper does not print) — they
+// are plausible hardware figures chosen once, after which the *shapes* in
+// Figures 2 and 3 are emergent.
+type ClusterModel struct {
+	// CoresPerNode is 64 on Theta's Xeon Phi 7230.
+	CoresPerNode int
+	// SliceCPUSeconds is the candidate-selection cost per slice. KNL
+	// cores are slow and the CAFAna cut sequence touches many fields;
+	// ~0.3 ms/slice makes the 71.5M-slice sample a few-minute job on a
+	// small allocation, consistent with a grid-style workload.
+	SliceCPUSeconds float64
+	// SliceBytes is the stored size of one slice's quantities. Roughly
+	// 600 quantities × 4 bytes in the real CAF record; our reproduction
+	// stores a subset, the paper's products are "tens of bytes to a few
+	// megabytes". 2.4 KB/slice makes the 1x sample ~43 GB.
+	SliceBytes float64
+	// SlicesPerEvent is the paper's 4.10.
+	SlicesPerEvent float64
+	// EventKeyBytes is the size of an event key (16B UUID + 3×8B).
+	EventKeyBytes float64
+
+	// --- file-based workflow ---
+
+	// PFSBandwidth is the *effective* aggregate Lustre read bandwidth
+	// available to one job. Theta's file system peaked around 200 GB/s;
+	// a single job contending with the machine sees far less.
+	PFSBandwidth float64
+	// PFSMetadataOps is the metadata service rate (file opens/sec).
+	PFSMetadataOps float64
+	// FileOverheadSeconds is the per-file framework cost (ROOT/CAFAna
+	// initialization and per-file bookkeeping in the Python harness).
+	FileOverheadSeconds float64
+	// MeanFileBytes is the average input file size; NOvA's archive
+	// averages ~115 MB/file (1.94 PB over 16.8M files, §III-A).
+	MeanFileBytes float64
+	// FileSpreadSigma is the lognormal sigma of file sizes ("wide
+	// variation in the size of files", §I).
+	FileSpreadSigma float64
+
+	// --- HEPnOS workflow ---
+
+	// ServerRatio is the paper's 1 server node per 8 allocated nodes.
+	ServerRatio int
+	// EventDBsPerServer and ProductDBsPerServer are the paper's 8 + 8.
+	EventDBsPerServer   int
+	ProductDBsPerServer int
+	// RPCLatencySeconds is a one-way small-RPC latency on Aries via
+	// Mercury/uGNI (~15 µs round trip measured in the Mercury paper's
+	// class of systems).
+	RPCLatencySeconds float64
+	// RPCServerCPUSeconds is the per-RPC handler cost on the server.
+	RPCServerCPUSeconds float64
+	// NICBandwidth is a server NIC's injection bandwidth (Aries ~10 GB/s
+	// unidirectional peak; we use an effective 8 GB/s).
+	NICBandwidth float64
+	// MemBackendBandwidth is the in-memory backend's read bandwidth per
+	// server (memcpy-bound across 64 cores).
+	MemBackendBandwidth float64
+	// MemBackendOpSeconds is the fixed per-batch-read cost (map lookup
+	// and iteration) of the in-memory backend.
+	MemBackendOpSeconds float64
+	// LSMBackendBandwidth is the node-local SSD read bandwidth (Theta's
+	// local SSDs were ~500 MB/s class devices).
+	LSMBackendBandwidth float64
+	// LSMBackendOpSeconds is the fixed per-batch-read cost of the LSM
+	// backend: index walks, block decodes and bloom checks across the
+	// read amplification of a leveled store.
+	LSMBackendOpSeconds float64
+	// LSMReadAmplification multiplies bytes actually read from the SSD.
+	LSMReadAmplification float64
+	// SetupSeconds is the client-side connect/bootstrap cost per run.
+	SetupSeconds float64
+	// WorkItemOverheadSeconds is the queue/dispatch cost per work batch.
+	WorkItemOverheadSeconds float64
+	// TermPollSeconds is the cost of one end-of-run "reader done" poll:
+	// every rank polls every reader once at termination, and the polls of
+	// one reader serialize, so the drain tail grows with the rank count
+	// (visible in the real ParallelEventProcessor protocol too).
+	TermPollSeconds float64
+}
+
+// Theta returns the calibrated model of the paper's testbed.
+func Theta() ClusterModel {
+	return ClusterModel{
+		CoresPerNode:    64,
+		SliceCPUSeconds: 300e-6,
+		SliceBytes:      2400,
+		SlicesPerEvent:  4.101,
+		EventKeyBytes:   40,
+
+		PFSBandwidth:        90e9,
+		PFSMetadataOps:      2000,
+		FileOverheadSeconds: 3.0,
+		MeanFileBytes:       115e6,
+		FileSpreadSigma:     0.35,
+
+		ServerRatio:             8,
+		EventDBsPerServer:       8,
+		ProductDBsPerServer:     8,
+		RPCLatencySeconds:       15e-6,
+		RPCServerCPUSeconds:     10e-6,
+		NICBandwidth:            8e9,
+		MemBackendBandwidth:     6e9,
+		MemBackendOpSeconds:     2e-3,
+		LSMBackendBandwidth:     500e6,
+		LSMBackendOpSeconds:     30e-3,
+		LSMReadAmplification:    1.6,
+		SetupSeconds:            2.0,
+		WorkItemOverheadSeconds: 20e-6,
+		TermPollSeconds:         55e-6,
+	}
+}
+
+// Backend selects the Yokan backend for the HEPnOS model.
+type Backend string
+
+// Evaluated backends (§IV-D/E).
+const (
+	BackendMap Backend = "map" // in-memory std::map analog
+	BackendLSM Backend = "lsm" // RocksDB analog on node-local SSD
+)
+
+// Workload describes a dataset scale.
+type Workload struct {
+	Files  int
+	Events int
+}
+
+// Slices returns the total slice count of the workload under the model.
+func (m *ClusterModel) Slices(w Workload) float64 {
+	return float64(w.Events) * m.SlicesPerEvent
+}
+
+// PaperWorkloads returns the three dataset sizes of §IV-D: the 1929-file
+// base sample and its 2x and 4x replications.
+func PaperWorkloads() []Workload {
+	return []Workload{
+		{Files: 1929, Events: 4359414},
+		{Files: 3858, Events: 8718828},
+		{Files: 7716, Events: 17437656},
+	}
+}
+
+// SimResult is the outcome of one simulated run.
+type SimResult struct {
+	Workflow string
+	Backend  Backend
+	Nodes    int
+	Workload Workload
+	// MakespanSeconds is first-start to last-end.
+	MakespanSeconds float64
+	// Throughput is slices processed per second (the paper's y-axis).
+	Throughput float64
+	// CoreUtilization is the busy fraction of allocated worker cores.
+	CoreUtilization float64
+	// Detail carries workflow-specific diagnostics.
+	Detail map[string]float64
+}

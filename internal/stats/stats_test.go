@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Std-want) > 1e-9 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary: %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 10 || xs[3] != 40 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(5, 2)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-5) > 0.05 || math.Abs(std-2) > 0.05 {
+		t.Fatalf("normal moments: mean=%v std=%v", mean, std)
+	}
+}
+
+func TestRNGPoissonMean(t *testing.T) {
+	r := NewRNG(9)
+	for _, lambda := range []float64{0.5, 4, 60} {
+		const n = 50000
+		total := 0
+		for i := 0; i < n; i++ {
+			total += r.Poisson(lambda)
+		}
+		mean := float64(total) / n
+		if math.Abs(mean-lambda) > 0.1*lambda+0.05 {
+			t.Fatalf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("non-positive lambda should give 0")
+	}
+}
+
+func TestRNGExponentialMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(3)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.1 {
+		t.Fatalf("exponential mean = %v", mean)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline()
+	if _, _, ok := tl.Makespan(); ok {
+		t.Fatal("empty timeline should have no makespan")
+	}
+	if tl.Throughput(100) != 0 {
+		t.Fatal("empty timeline throughput should be 0")
+	}
+	tl.Record("rank0", 0, 10)
+	tl.Record("rank1", 2, 8)
+	start, end, ok := tl.Makespan()
+	if !ok || start != 0 || end != 10 {
+		t.Fatalf("makespan = %v..%v ok=%v", start, end, ok)
+	}
+	if got := tl.Throughput(50); got != 5 {
+		t.Fatalf("throughput = %v, want 5", got)
+	}
+	// rank0 busy 10/10, rank1 busy 6/10 -> utilization 0.8
+	if got := tl.Utilization(); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.8", got)
+	}
+	if tl.Ranks() != 2 {
+		t.Fatalf("ranks = %d", tl.Ranks())
+	}
+}
+
+func TestTimelineBadSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewTimeline().Record("r", 5, 4)
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 10000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("lognormal must be positive")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package uuid provides RFC 4122 version-4 UUIDs using only the standard
+// library. HEPnOS maps dataset full paths to UUIDs (§II-C of the paper) so
+// that container keys have a fixed-size prefix.
+package uuid
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Size is the length of a UUID in bytes.
+const Size = 16
+
+// UUID is a 128-bit universally unique identifier.
+type UUID [Size]byte
+
+// Nil is the all-zero UUID.
+var Nil UUID
+
+// New returns a fresh random (version 4) UUID. It panics only if the
+// system's entropy source fails, which is unrecoverable.
+func New() UUID {
+	var u UUID
+	if _, err := rand.Read(u[:]); err != nil {
+		panic(fmt.Sprintf("uuid: entropy source failed: %v", err))
+	}
+	u[6] = (u[6] & 0x0f) | 0x40 // version 4
+	u[8] = (u[8] & 0x3f) | 0x80 // RFC 4122 variant
+	return u
+}
+
+// FromBytes copies a 16-byte slice into a UUID.
+func FromBytes(b []byte) (UUID, error) {
+	var u UUID
+	if len(b) != Size {
+		return Nil, fmt.Errorf("uuid: need %d bytes, got %d", Size, len(b))
+	}
+	copy(u[:], b)
+	return u, nil
+}
+
+// String renders the canonical 8-4-4-4-12 form.
+func (u UUID) String() string {
+	var buf [36]byte
+	hex.Encode(buf[0:8], u[0:4])
+	buf[8] = '-'
+	hex.Encode(buf[9:13], u[4:6])
+	buf[13] = '-'
+	hex.Encode(buf[14:18], u[6:8])
+	buf[18] = '-'
+	hex.Encode(buf[19:23], u[8:10])
+	buf[23] = '-'
+	hex.Encode(buf[24:36], u[10:16])
+	return string(buf[:])
+}
+
+// IsNil reports whether u is the zero UUID.
+func (u UUID) IsNil() bool { return u == Nil }
+
+// ErrParse reports a malformed UUID string.
+var ErrParse = errors.New("uuid: invalid format")
+
+// Parse accepts the canonical 36-character form produced by String.
+func Parse(s string) (UUID, error) {
+	var u UUID
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return Nil, fmt.Errorf("%w: %q", ErrParse, s)
+	}
+	hexParts := s[0:8] + s[9:13] + s[14:18] + s[19:23] + s[24:36]
+	b, err := hex.DecodeString(hexParts)
+	if err != nil {
+		return Nil, fmt.Errorf("%w: %q", ErrParse, s)
+	}
+	copy(u[:], b)
+	return u, nil
+}

@@ -1,0 +1,75 @@
+package uuid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewIsV4(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		u := New()
+		if u.IsNil() {
+			t.Fatal("New returned nil UUID")
+		}
+		if v := u[6] >> 4; v != 4 {
+			t.Fatalf("version = %d, want 4", v)
+		}
+		if variant := u[8] >> 6; variant != 2 {
+			t.Fatalf("variant bits = %b, want 10", variant)
+		}
+	}
+}
+
+func TestUniqueness(t *testing.T) {
+	seen := make(map[UUID]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		u := New()
+		if seen[u] {
+			t.Fatalf("duplicate UUID %s", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		u := New()
+		s := u.String()
+		if len(s) != 36 || strings.Count(s, "-") != 4 {
+			t.Fatalf("bad canonical form %q", s)
+		}
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != u {
+			t.Fatalf("round trip: got %s want %s", got, u)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-uuid",
+		"00000000000000000000000000000000",     // no dashes
+		"zzzzzzzz-zzzz-zzzz-zzzz-zzzzzzzzzzzz", // not hex
+		"00000000-0000-0000-0000-00000000000",  // short
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	u := New()
+	got, err := FromBytes(u[:])
+	if err != nil || got != u {
+		t.Fatalf("FromBytes: %v %v", got, err)
+	}
+	if _, err := FromBytes(u[:10]); err == nil {
+		t.Fatal("short slice should error")
+	}
+}

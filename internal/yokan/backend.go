@@ -1,0 +1,106 @@
+// Package yokan is the Go analog of the Yokan component of the Mochi suite:
+// a remotely-accessible, single-node key-value storage service (§II-B of
+// the paper). A Yokan provider manages one or more named databases, each
+// backed by a pluggable backend, and serves put/get/exists/erase/list RPCs
+// over the fabric, using bulk transfer for large values and batches.
+//
+// Three backends are provided, covering the paper's evaluated
+// configurations plus a second in-memory structure:
+//
+//   - "map": an in-memory ordered store (the paper's std::map backend),
+//     implemented with a skip list.
+//   - "btree": a second in-memory ordered store, a classic B-tree (the
+//     role BerkeleyDB's B-tree plays among Yokan's disk backends).
+//   - "lsm": a persistent log-structured merge tree standing in for
+//     RocksDB: write-ahead log, skip-list memtable, sorted-block SSTables
+//     with bloom filters, and size-tiered compaction.
+package yokan
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors shared by backends and clients.
+var (
+	ErrKeyNotFound = errors.New("yokan: key not found")
+	ErrDBClosed    = errors.New("yokan: database is closed")
+	ErrNoSuchDB    = errors.New("yokan: no such database")
+)
+
+// KV is one key-value pair.
+type KV struct {
+	Key []byte
+	Val []byte
+}
+
+// Backend is a single ordered key-value database. Implementations must be
+// safe for concurrent use; iteration order is ascending lexicographic byte
+// order (HEPnOS's key design depends on it).
+type Backend interface {
+	// Name returns the database name.
+	Name() string
+	// Type returns the backend type ("map" or "lsm").
+	Type() string
+	// Put stores a key-value pair, replacing any existing value.
+	Put(key, val []byte) error
+	// GetOrPut atomically returns the existing value for key, or stores
+	// val if the key is absent. It reports the winning value and whether
+	// the insert happened. HEPnOS uses it for dataset-UUID agreement
+	// between concurrent creators.
+	GetOrPut(key, val []byte) (winner []byte, inserted bool, err error)
+	// Get returns the value for key, or ErrKeyNotFound.
+	Get(key []byte) ([]byte, error)
+	// Exists reports whether the key is present.
+	Exists(key []byte) (bool, error)
+	// Erase removes the key; removing an absent key is not an error and
+	// reports false.
+	Erase(key []byte) (bool, error)
+	// ListKeys returns up to max keys strictly greater than from (or all
+	// keys from the start when from is empty) that begin with prefix.
+	ListKeys(from, prefix []byte, max int) ([][]byte, error)
+	// ListKeyVals is ListKeys returning the values too.
+	ListKeyVals(from, prefix []byte, max int) ([]KV, error)
+	// Count returns the number of live keys.
+	Count() (int, error)
+	// Close releases resources. Operations after Close return ErrDBClosed.
+	Close() error
+}
+
+// DBConfig describes one database in a provider configuration (the shape
+// embedded in Bedrock JSON).
+type DBConfig struct {
+	Name string `json:"name"`
+	// Type selects the backend: "map" (default) or "lsm".
+	Type string `json:"type"`
+	// Path is the storage directory for persistent backends.
+	Path string `json:"path"`
+}
+
+// OpenBackend constructs the backend described by cfg.
+func OpenBackend(cfg DBConfig) (Backend, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("yokan: database with empty name")
+	}
+	switch cfg.Type {
+	case "", "map":
+		return newMapDB(cfg.Name), nil
+	case "btree":
+		return newBTreeDB(cfg.Name), nil
+	case "lsm":
+		if cfg.Path == "" {
+			return nil, fmt.Errorf("yokan: lsm database %q needs a path", cfg.Name)
+		}
+		return openLSM(cfg.Name, cfg.Path, DefaultLSMOptions())
+	default:
+		return nil, fmt.Errorf("yokan: unknown backend type %q", cfg.Type)
+	}
+}
+
+// clone returns a private copy of b (nil stays nil).
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

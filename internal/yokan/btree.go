@@ -1,0 +1,392 @@
+package yokan
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// btreeDB is a second in-memory backend, a classic B-tree (the real Yokan
+// similarly offers several in-memory structures — std::map, unordered
+// maps; and BerkeleyDB's B-tree on disk). Compared to the skip list it
+// trades pointer chasing for cache-friendly fanout; the conformance suite
+// and benchmarks compare the two.
+//
+// Degree t: every node except the root holds between t-1 and 2t-1 keys.
+const btreeDegree = 32
+
+type btreeNode struct {
+	keys     [][]byte
+	vals     [][]byte
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// find returns the index of the first key >= k and whether it equals k.
+func (n *btreeNode) find(k []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && bytes.Equal(n.keys[lo], k)
+}
+
+type btreeDB struct {
+	name   string
+	mu     sync.RWMutex
+	root   *btreeNode
+	size   int
+	closed atomic.Bool
+}
+
+func newBTreeDB(name string) *btreeDB {
+	return &btreeDB{name: name, root: &btreeNode{}}
+}
+
+func (b *btreeDB) Name() string { return b.name }
+func (b *btreeDB) Type() string { return "btree" }
+
+func (b *btreeDB) Put(key, val []byte) error {
+	if b.closed.Load() {
+		return ErrDBClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.root.keys) == 2*btreeDegree-1 {
+		old := b.root
+		b.root = &btreeNode{children: []*btreeNode{old}}
+		b.splitChild(b.root, 0)
+	}
+	if b.insertNonFull(b.root, clone(key), clone(val)) {
+		b.size++
+	}
+	return nil
+}
+
+// splitChild splits parent.children[i] (which is full) in place.
+func (b *btreeDB) splitChild(parent *btreeNode, i int) {
+	child := parent.children[i]
+	t := btreeDegree
+	right := &btreeNode{
+		keys: append([][]byte(nil), child.keys[t:]...),
+		vals: append([][]byte(nil), child.vals[t:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[t:]...)
+		child.children = child.children[:t]
+	}
+	midKey, midVal := child.keys[t-1], child.vals[t-1]
+	child.keys = child.keys[:t-1]
+	child.vals = child.vals[:t-1]
+
+	parent.keys = append(parent.keys, nil)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	parent.keys[i] = midKey
+	parent.vals = append(parent.vals, nil)
+	copy(parent.vals[i+1:], parent.vals[i:])
+	parent.vals[i] = midVal
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+// insertNonFull inserts into a non-full subtree; reports whether a new key
+// was added (false for overwrite).
+func (b *btreeDB) insertNonFull(n *btreeNode, key, val []byte) bool {
+	i, eq := n.find(key)
+	if eq {
+		n.vals[i] = val
+		return false
+	}
+	if n.leaf() {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return true
+	}
+	if len(n.children[i].keys) == 2*btreeDegree-1 {
+		b.splitChild(n, i)
+		switch bytes.Compare(key, n.keys[i]) {
+		case 0:
+			n.vals[i] = val
+			return false
+		case 1:
+			i++
+		}
+	}
+	return b.insertNonFull(n.children[i], key, val)
+}
+
+func (b *btreeDB) GetOrPut(key, val []byte) ([]byte, bool, error) {
+	if b.closed.Load() {
+		return nil, false, ErrDBClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Lookup under the write lock for atomicity with the insert.
+	n := b.root
+	for {
+		i, eq := n.find(key)
+		if eq {
+			return clone(n.vals[i]), false, nil
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	if len(b.root.keys) == 2*btreeDegree-1 {
+		old := b.root
+		b.root = &btreeNode{children: []*btreeNode{old}}
+		b.splitChild(b.root, 0)
+	}
+	if b.insertNonFull(b.root, clone(key), clone(val)) {
+		b.size++
+	}
+	return clone(val), true, nil
+}
+
+func (b *btreeDB) Get(key []byte) ([]byte, error) {
+	if b.closed.Load() {
+		return nil, ErrDBClosed
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := b.root
+	for {
+		i, eq := n.find(key)
+		if eq {
+			return clone(n.vals[i]), nil
+		}
+		if n.leaf() {
+			return nil, ErrKeyNotFound
+		}
+		n = n.children[i]
+	}
+}
+
+func (b *btreeDB) Exists(key []byte) (bool, error) {
+	_, err := b.Get(key)
+	switch err {
+	case nil:
+		return true, nil
+	case ErrKeyNotFound:
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+func (b *btreeDB) Erase(key []byte) (bool, error) {
+	if b.closed.Load() {
+		return false, ErrDBClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	removed := b.remove(b.root, key)
+	if removed {
+		b.size--
+	}
+	// Shrink the root if it became an empty internal node.
+	if len(b.root.keys) == 0 && !b.root.leaf() {
+		b.root = b.root.children[0]
+	}
+	return removed, nil
+}
+
+// remove deletes key from the subtree rooted at n, maintaining the B-tree
+// invariant that every visited child has at least t keys before descent.
+func (b *btreeDB) remove(n *btreeNode, key []byte) bool {
+	t := btreeDegree
+	i, eq := n.find(key)
+	if n.leaf() {
+		if !eq {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	if eq {
+		// Replace with predecessor or successor, or merge.
+		if len(n.children[i].keys) >= t {
+			pk, pv := maxKV(n.children[i])
+			n.keys[i], n.vals[i] = pk, pv
+			return b.remove(n.children[i], pk)
+		}
+		if len(n.children[i+1].keys) >= t {
+			sk, sv := minKV(n.children[i+1])
+			n.keys[i], n.vals[i] = sk, sv
+			return b.remove(n.children[i+1], sk)
+		}
+		b.mergeChildren(n, i)
+		return b.remove(n.children[i], key)
+	}
+	// Descend, topping the child up to >= t keys first.
+	child := n.children[i]
+	if len(child.keys) == t-1 {
+		switch {
+		case i > 0 && len(n.children[i-1].keys) >= t:
+			b.borrowFromLeft(n, i)
+		case i < len(n.children)-1 && len(n.children[i+1].keys) >= t:
+			b.borrowFromRight(n, i)
+		default:
+			if i == len(n.children)-1 {
+				i--
+			}
+			b.mergeChildren(n, i)
+		}
+		child = n.children[i]
+		// The key may have moved into the merged child.
+		return b.remove(n, key)
+	}
+	return b.remove(child, key)
+}
+
+func maxKV(n *btreeNode) ([]byte, []byte) {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+}
+
+func minKV(n *btreeNode) ([]byte, []byte) {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+// borrowFromLeft rotates a key from children[i-1] through the parent.
+func (b *btreeDB) borrowFromLeft(n *btreeNode, i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.keys = append([][]byte{n.keys[i-1]}, child.keys...)
+	child.vals = append([][]byte{n.vals[i-1]}, child.vals...)
+	n.keys[i-1] = left.keys[len(left.keys)-1]
+	n.vals[i-1] = left.vals[len(left.vals)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	left.vals = left.vals[:len(left.vals)-1]
+	if !child.leaf() {
+		child.children = append([]*btreeNode{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+// borrowFromRight rotates a key from children[i+1] through the parent.
+func (b *btreeDB) borrowFromRight(n *btreeNode, i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	n.keys[i] = right.keys[0]
+	n.vals[i] = right.vals[0]
+	right.keys = right.keys[1:]
+	right.vals = right.vals[1:]
+	if !child.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = right.children[1:]
+	}
+}
+
+// mergeChildren merges children[i], keys[i] and children[i+1].
+func (b *btreeDB) mergeChildren(n *btreeNode, i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.vals = append(left.vals, n.vals[i])
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, right.vals...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// scan walks keys > from (or all) with prefix, in order, until fn returns
+// false.
+func (b *btreeDB) scan(n *btreeNode, from, prefix []byte, fn func(k, v []byte) bool) bool {
+	start := 0
+	if from != nil {
+		start, _ = n.find(from)
+		// find gives first >= from; we need strictly greater keys, but
+		// children to the left of that key can still hold greater keys
+		// only at start's child, so begin descent there.
+	}
+	for i := start; i <= len(n.keys); i++ {
+		if !n.leaf() {
+			if !b.scan(n.children[i], from, prefix, fn) {
+				return false
+			}
+		}
+		if i == len(n.keys) {
+			break
+		}
+		k := n.keys[i]
+		if from != nil && bytes.Compare(k, from) <= 0 {
+			continue
+		}
+		if len(prefix) > 0 {
+			if !bytes.HasPrefix(k, prefix) {
+				if bytes.Compare(k, prefix) > 0 {
+					return false // past the prefix window
+				}
+				continue
+			}
+		}
+		if !fn(k, n.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *btreeDB) ListKeys(from, prefix []byte, max int) ([][]byte, error) {
+	if b.closed.Load() {
+		return nil, ErrDBClosed
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out [][]byte
+	b.scan(b.root, from, prefix, func(k, _ []byte) bool {
+		out = append(out, clone(k))
+		return max <= 0 || len(out) < max
+	})
+	return out, nil
+}
+
+func (b *btreeDB) ListKeyVals(from, prefix []byte, max int) ([]KV, error) {
+	if b.closed.Load() {
+		return nil, ErrDBClosed
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []KV
+	b.scan(b.root, from, prefix, func(k, v []byte) bool {
+		out = append(out, KV{Key: clone(k), Val: clone(v)})
+		return max <= 0 || len(out) < max
+	})
+	return out, nil
+}
+
+func (b *btreeDB) Count() (int, error) {
+	if b.closed.Load() {
+		return 0, ErrDBClosed
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.size, nil
+}
+
+func (b *btreeDB) Close() error {
+	b.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,97 @@
+package yokan
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/stats"
+)
+
+// TestBTreeDeepStructure forces multiple levels of splits and then deletes
+// everything, exercising borrow-from-left/right and merge paths.
+func TestBTreeDeepStructure(t *testing.T) {
+	db := newBTreeDB("deep")
+	defer db.Close()
+	const n = 20000
+	// Insert in an order that mixes ascending and descending runs.
+	for i := 0; i < n; i++ {
+		k := i
+		if i%2 == 1 {
+			k = n - i
+		}
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", k)), []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c, _ := db.Count(); c != n {
+		t.Fatalf("count = %d", c)
+	}
+	if !(!db.root.leaf()) {
+		t.Fatal("tree should have internal nodes at this size")
+	}
+	// Spot-check ordering across the whole range.
+	keys, err := db.ListKeys(nil, nil, 0)
+	if err != nil || len(keys) != n {
+		t.Fatalf("scan = %d %v", len(keys), err)
+	}
+	// Delete every key in a shuffled order; the tree must stay consistent
+	// throughout.
+	rng := stats.NewRNG(5)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for step, idx := range order {
+		key := []byte(fmt.Sprintf("k%06d", idx))
+		ok, err := db.Erase(key)
+		if err != nil || !ok {
+			t.Fatalf("step %d: erase %s = %v %v", step, key, ok, err)
+		}
+		if step%4096 == 0 {
+			if c, _ := db.Count(); c != n-step-1 {
+				t.Fatalf("step %d: count = %d, want %d", step, c, n-step-1)
+			}
+		}
+	}
+	if c, _ := db.Count(); c != 0 {
+		t.Fatalf("final count = %d", c)
+	}
+	if !db.root.leaf() || len(db.root.keys) != 0 {
+		t.Fatal("empty tree should collapse to an empty leaf root")
+	}
+}
+
+// TestBTreeEraseMissingBetweenSplits erases absent keys at every tree
+// shape without corrupting the structure.
+func TestBTreeEraseMissing(t *testing.T) {
+	db := newBTreeDB("miss")
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i*2)), []byte("v"))
+		// Erase the odd (absent) neighbor.
+		ok, err := db.Erase([]byte(fmt.Sprintf("k%04d", i*2+1)))
+		if err != nil || ok {
+			t.Fatalf("phantom erase: %v %v", ok, err)
+		}
+	}
+	if c, _ := db.Count(); c != 500 {
+		t.Fatalf("count = %d", c)
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	db := newBTreeDB("bench")
+	defer db.Close()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%010d", i)), []byte("v"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%010d", i%n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package yokan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+)
+
+// DefaultEagerLimit is the payload size above which batch operations switch
+// from inline RPC payloads to bulk (RDMA-style) transfer, mirroring
+// Mercury's eager/rendezvous threshold.
+const DefaultEagerLimit = 8 << 10
+
+// DBHandle names one database served by one provider at one address; it is
+// the client-side unit of placement in HEPnOS.
+type DBHandle struct {
+	Addr     fabric.Address
+	Provider margo.ProviderID
+	Name     string
+}
+
+// String renders the handle for diagnostics and ring membership.
+func (h DBHandle) String() string {
+	return fmt.Sprintf("%s/%d/%s", h.Addr, h.Provider, h.Name)
+}
+
+// Client issues Yokan operations from a margo instance.
+type Client struct {
+	mi *margo.Instance
+	// EagerLimit is the inline-payload threshold for batch ops.
+	EagerLimit int
+	// Retries is how many times transport-level failures are retried
+	// (application errors returned by the server are never retried).
+	// Zero disables retrying.
+	Retries int
+	// RetryBackoff is the initial backoff, doubled per attempt.
+	RetryBackoff time.Duration
+}
+
+// NewClient wraps a margo instance.
+func NewClient(mi *margo.Instance) *Client {
+	return &Client{mi: mi, EagerLimit: DefaultEagerLimit, RetryBackoff: time.Millisecond}
+}
+
+// call forwards one RPC with the retry policy. Only transport failures
+// (unreachable target, injected drops) are retried: a *fabric.RemoteError
+// means the server executed the handler, and blind re-execution is not
+// generally safe.
+func (c *Client) call(ctx context.Context, db DBHandle, rpc string, payload []byte) ([]byte, error) {
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		out, err := c.mi.Forward(ctx, db.Addr, ServiceName, db.Provider, rpc, payload)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		var remote *fabric.RemoteError
+		if errors.As(err, &remote) || attempt >= c.Retries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, lastErr
+		}
+		backoff *= 2
+	}
+}
+
+func (c *Client) forward(ctx context.Context, db DBHandle, rpc string, req any, resp any) error {
+	payload, err := serde.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("yokan: encode %s: %w", rpc, err)
+	}
+	out, err := c.call(ctx, db, rpc, payload)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := serde.Unmarshal(out, resp); err != nil {
+		return fmt.Errorf("yokan: decode %s response: %w", rpc, err)
+	}
+	return nil
+}
+
+// Put stores one key-value pair.
+func (c *Client) Put(ctx context.Context, db DBHandle, key, val []byte) error {
+	return c.forward(ctx, db, "put", putReq{DB: db.Name, Key: key, Val: val}, nil)
+}
+
+// PutMulti stores a batch of pairs, using bulk transfer when the encoded
+// batch exceeds the eager limit.
+func (c *Client) PutMulti(ctx context.Context, db DBHandle, keys, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("yokan: PutMulti with %d keys but %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	req := putMultiReq{DB: db.Name, Keys: keys, Vals: vals}
+	payload, err := serde.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("yokan: encode put_multi: %w", err)
+	}
+	if len(payload) <= c.EagerLimit {
+		_, err := c.call(ctx, db, "put_multi", payload)
+		return err
+	}
+	// Bulk path: expose the encoded batch, send only the handle.
+	h := c.mi.Endpoint().ExposeBulk(payload)
+	defer c.mi.Endpoint().FreeBulk(h)
+	breq, err := serde.Marshal(putMultiBulkReq{Handle: h.Encode(nil)})
+	if err != nil {
+		return err
+	}
+	_, err = c.call(ctx, db, "put_multi_bulk", breq)
+	return err
+}
+
+// PutIfAbsent atomically stores val under key unless the key already
+// exists, returning the winning value and whether this call inserted it.
+func (c *Client) PutIfAbsent(ctx context.Context, db DBHandle, key, val []byte) (winner []byte, inserted bool, err error) {
+	var resp putNewResp
+	if err := c.forward(ctx, db, "put_new", putReq{DB: db.Name, Key: key, Val: val}, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Winner, resp.Inserted, nil
+}
+
+// Get fetches one value; ErrKeyNotFound if absent.
+func (c *Client) Get(ctx context.Context, db DBHandle, key []byte) ([]byte, error) {
+	var resp getResp
+	if err := c.forward(ctx, db, "get", getReq{DB: db.Name, Key: key}, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.Found {
+		return nil, ErrKeyNotFound
+	}
+	return resp.Val, nil
+}
+
+// GetMulti fetches a batch. The returned slices are parallel to keys; absent
+// keys have found[i] == false. Large result sets are pulled via bulk when
+// bulk is true.
+func (c *Client) GetMulti(ctx context.Context, db DBHandle, keys [][]byte, bulk bool) (vals [][]byte, found []bool, err error) {
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	req := getMultiReq{DB: db.Name, Keys: keys, Bulk: bulk}
+	if !bulk {
+		var resp getMultiResp
+		if err := c.forward(ctx, db, "get_multi", req, &resp); err != nil {
+			return nil, nil, err
+		}
+		return resp.Vals, resp.Found, nil
+	}
+	var bresp getMultiBulkResp
+	if err := c.forward(ctx, db, "get_multi", req, &bresp); err != nil {
+		return nil, nil, err
+	}
+	h, _, err := fabric.DecodeBulkHandle(bresp.Handle)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := c.mi.Endpoint().PullBulkFrom(ctx, db.Addr, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Release the server-side region regardless of decode success.
+	freq, _ := serde.Marshal(bulkFreeReq{Handle: bresp.Handle})
+	if _, ferr := c.call(ctx, db, "bulk_free", freq); ferr != nil && err == nil {
+		err = ferr
+	}
+	var resp getMultiResp
+	if derr := serde.Unmarshal(data, &resp); derr != nil {
+		return nil, nil, fmt.Errorf("yokan: decode bulk get_multi: %w", derr)
+	}
+	return resp.Vals, resp.Found, err
+}
+
+// Exists checks a batch of keys.
+func (c *Client) Exists(ctx context.Context, db DBHandle, keys [][]byte) ([]bool, error) {
+	var resp existsResp
+	if err := c.forward(ctx, db, "exists", existsReq{DB: db.Name, Keys: keys}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Found, nil
+}
+
+// Erase removes a batch of keys, returning how many existed.
+func (c *Client) Erase(ctx context.Context, db DBHandle, keys [][]byte) (int, error) {
+	var resp eraseResp
+	if err := c.forward(ctx, db, "erase", eraseReq{DB: db.Name, Keys: keys}, &resp); err != nil {
+		return 0, err
+	}
+	return int(resp.Erased), nil
+}
+
+// ListKeys returns up to max keys greater than from with the given prefix.
+func (c *Client) ListKeys(ctx context.Context, db DBHandle, from, prefix []byte, max int) ([][]byte, error) {
+	var resp listResp
+	req := listReq{DB: db.Name, From: from, Prefix: prefix, Max: uint32(max)}
+	if err := c.forward(ctx, db, "list_keys", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Keys, nil
+}
+
+// ListKeyVals returns up to max key-value pairs greater than from with the
+// given prefix.
+func (c *Client) ListKeyVals(ctx context.Context, db DBHandle, from, prefix []byte, max int) ([]KV, error) {
+	var resp listResp
+	req := listReq{DB: db.Name, From: from, Prefix: prefix, Max: uint32(max), Vals: true}
+	if err := c.forward(ctx, db, "list_keys", req, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]KV, len(resp.Keys))
+	for i := range resp.Keys {
+		out[i] = KV{Key: resp.Keys[i], Val: resp.Vals[i]}
+	}
+	return out, nil
+}
+
+// Count returns the number of keys in the database.
+func (c *Client) Count(ctx context.Context, db DBHandle) (int, error) {
+	var resp countResp
+	if err := c.forward(ctx, db, "count", countReq{DB: db.Name}, &resp); err != nil {
+		return 0, err
+	}
+	return int(resp.Count), nil
+}
+
+// RemoteStats is a provider's operation counters and per-database sizes.
+type RemoteStats struct {
+	ProviderStats
+	// CallsServed and BulkBytes are transport-level counters of the
+	// serving process's endpoint.
+	CallsServed int64
+	BulkBytes   int64
+	// DBCounts maps database name to live key count.
+	DBCounts map[string]uint64
+}
+
+// Stats scrapes a provider's counters — the monitoring hook (§V cites
+// Symbiomon as the Mochi monitoring companion service).
+func (c *Client) Stats(ctx context.Context, addr fabric.Address, id margo.ProviderID) (RemoteStats, error) {
+	out, err := c.mi.Forward(ctx, addr, ServiceName, id, "stats", nil)
+	if err != nil {
+		return RemoteStats{}, err
+	}
+	var resp statsResp
+	if err := serde.Unmarshal(out, &resp); err != nil {
+		return RemoteStats{}, err
+	}
+	rs := RemoteStats{
+		ProviderStats: ProviderStats{
+			Puts: resp.Puts, Gets: resp.Gets, Lists: resp.Lists,
+			Erases: resp.Erases, BulkOps: resp.BulkOps,
+		},
+		CallsServed: resp.CallsServed,
+		BulkBytes:   resp.BulkBytes,
+		DBCounts:    make(map[string]uint64, len(resp.Names)),
+	}
+	for i, name := range resp.Names {
+		rs.DBCounts[name] = resp.Counts[i]
+	}
+	return rs, nil
+}
+
+// ListDatabases asks a provider which databases it serves.
+func (c *Client) ListDatabases(ctx context.Context, addr fabric.Address, id margo.ProviderID) (names, types []string, err error) {
+	out, err := c.mi.Forward(ctx, addr, ServiceName, id, "db_list", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	var resp dbListResp
+	if err := serde.Unmarshal(out, &resp); err != nil {
+		return nil, nil, err
+	}
+	return resp.Names, resp.Types, nil
+}

@@ -1,0 +1,148 @@
+package yokan
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/stats"
+)
+
+// lsmOp is one step of a recorded workload for crash-consistency checks.
+type lsmOp struct {
+	del bool
+	key string
+	val string
+}
+
+// applyOps replays a prefix of the workload into a model map.
+func applyOps(ops []lsmOp, n int) map[string]string {
+	m := map[string]string{}
+	for _, op := range ops[:n] {
+		if op.del {
+			delete(m, op.key)
+		} else {
+			m[op.key] = op.val
+		}
+	}
+	return m
+}
+
+// TestLSMCrashPointRecovery is the crash-consistency property: truncating
+// the WAL at *any* byte boundary and reopening must yield exactly the
+// state after some prefix of the applied operations — never a torn or
+// reordered state. The recovered prefix length is read back by counting
+// intact WAL records.
+func TestLSMCrashPointRecovery(t *testing.T) {
+	rng := stats.NewRNG(314)
+	const nOps = 120
+	ops := make([]lsmOp, nOps)
+	for i := range ops {
+		ops[i] = lsmOp{
+			del: rng.Intn(5) == 0,
+			key: fmt.Sprintf("k%02d", rng.Intn(30)),
+			val: fmt.Sprintf("v%d", i),
+		}
+	}
+
+	// Write the full workload once to learn the WAL length.
+	master := t.TempDir()
+	db, err := openLSM("t", master, LSMOptions{MemtableBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if op.del {
+			if _, err := db.Erase([]byte(op.key)); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := db.Put([]byte(op.key), []byte(op.val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+	full, err := os.ReadFile(filepath.Join(master, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash at a spread of byte offsets (every ~97 bytes plus edges).
+	cuts := []int{0, 1, 7, len(full) - 1, len(full)}
+	for off := 50; off < len(full); off += 97 {
+		cuts = append(cuts, off)
+	}
+	for _, cut := range cuts {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal.log"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Count intact records the recovery will see.
+		recovered := 0
+		if err := replayWAL(filepath.Join(dir, "wal.log"), func(byte, []byte, []byte) error {
+			recovered++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := applyOps(ops, recovered)
+
+		re, err := openLSM("t", dir, DefaultLSMOptions())
+		if err != nil {
+			t.Fatalf("cut=%d: reopen failed: %v", cut, err)
+		}
+		n, err := re.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(want) {
+			t.Fatalf("cut=%d: recovered %d keys, want %d (prefix %d)", cut, n, len(want), recovered)
+		}
+		for k, v := range want {
+			got, err := re.Get([]byte(k))
+			if err != nil || string(got) != v {
+				t.Fatalf("cut=%d key %q: got %q %v, want %q", cut, k, got, err, v)
+			}
+		}
+		re.Close()
+	}
+}
+
+// TestLSMCrashAfterFlushKeepsTables verifies that a WAL crash cannot lose
+// data that already reached an SSTable.
+func TestLSMCrashAfterFlushKeepsTables(t *testing.T) {
+	dir := t.TempDir()
+	db, err := openLSM("t", dir, LSMOptions{MemtableBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("stable-%03d", i)), []byte("flushed"))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("volatile-%03d", i)), []byte("wal-only"))
+	}
+	db.Close()
+
+	// Obliterate the WAL entirely — worst-case crash.
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := openLSM("t", dir, DefaultLSMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := re.Get([]byte(fmt.Sprintf("stable-%03d", i))); err != nil {
+			t.Fatalf("flushed key lost: %v", err)
+		}
+	}
+	if _, err := re.Get([]byte("volatile-000")); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatal("unflushed key should be gone with the WAL")
+	}
+}

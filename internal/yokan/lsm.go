@@ -1,0 +1,498 @@
+package yokan
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LSMOptions tunes the lsm backend.
+type LSMOptions struct {
+	// MemtableBytes is the flush threshold for the in-memory write buffer.
+	MemtableBytes int64
+	// CompactAt triggers a full merge when the table count reaches it.
+	CompactAt int
+	// IndexEvery is the sparse-index stride inside SSTables.
+	IndexEvery int
+	// BloomBitsPerKey sizes the per-table bloom filters.
+	BloomBitsPerKey int
+	// SyncWrites fsyncs the WAL on every write.
+	SyncWrites bool
+}
+
+// DefaultLSMOptions returns production-ish defaults scaled for tests and
+// single-node benchmarks.
+func DefaultLSMOptions() LSMOptions {
+	return LSMOptions{
+		MemtableBytes:   4 << 20,
+		CompactAt:       6,
+		IndexEvery:      16,
+		BloomBitsPerKey: 10,
+		SyncWrites:      false,
+	}
+}
+
+// lsmDB is the persistent backend standing in for RocksDB: writes go to a
+// WAL and a skip-list memtable; full memtables flush to immutable sorted
+// tables; reads consult memtable then tables newest-first; a size-tiered
+// full merge bounds the table count and drops tombstones.
+type lsmDB struct {
+	name string
+	dir  string
+	opts LSMOptions
+
+	mu     sync.RWMutex
+	mem    *skipList
+	wal    *wal
+	tables []*sstable // newest first
+	seq    int        // next sstable sequence number
+	closed bool
+
+	// FlushCount and CompactCount are exposed for tests and benchmarks.
+	flushCount   int
+	compactCount int
+}
+
+func openLSM(name, dir string, opts LSMOptions) (*lsmDB, error) {
+	if opts.MemtableBytes <= 0 {
+		opts.MemtableBytes = DefaultLSMOptions().MemtableBytes
+	}
+	if opts.CompactAt < 2 {
+		opts.CompactAt = DefaultLSMOptions().CompactAt
+	}
+	if opts.IndexEvery < 1 {
+		opts.IndexEvery = DefaultLSMOptions().IndexEvery
+	}
+	if opts.BloomBitsPerKey < 1 {
+		opts.BloomBitsPerKey = DefaultLSMOptions().BloomBitsPerKey
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("yokan: create lsm dir: %w", err)
+	}
+	db := &lsmDB{
+		name: name,
+		dir:  dir,
+		opts: opts,
+		mem:  newSkipList(0x15a1),
+	}
+
+	// Recover existing tables (ascending sequence = oldest first on disk;
+	// we keep newest first in memory).
+	names, err := filepath.Glob(filepath.Join(dir, "sst-*.sst"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		t, err := openSSTable(p)
+		if err != nil {
+			return nil, fmt.Errorf("yokan: recover %s: %w", p, err)
+		}
+		db.tables = append([]*sstable{t}, db.tables...)
+		base := strings.TrimSuffix(filepath.Base(p), ".sst")
+		if n, err := strconv.Atoi(strings.TrimPrefix(base, "sst-")); err == nil && n >= db.seq {
+			db.seq = n + 1
+		}
+	}
+
+	// Replay the WAL into the memtable.
+	walPath := filepath.Join(dir, "wal.log")
+	err = replayWAL(walPath, func(op byte, key, val []byte) error {
+		if op == walOpDel {
+			db.mem.set(clone(key), nil, true)
+		} else {
+			db.mem.set(clone(key), clone(val), false)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.wal, err = openWAL(walPath, opts.SyncWrites)
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *lsmDB) Name() string { return db.name }
+func (db *lsmDB) Type() string { return "lsm" }
+
+func (db *lsmDB) Put(key, val []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrDBClosed
+	}
+	if err := db.wal.append(walOpPut, key, val); err != nil {
+		return err
+	}
+	db.mem.set(clone(key), clone(val), false)
+	return db.maybeFlushLocked()
+}
+
+func (db *lsmDB) GetOrPut(key, val []byte) ([]byte, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, ErrDBClosed
+	}
+	if v, live, present := db.mem.get(key); present {
+		if live {
+			return clone(v), false, nil
+		}
+		// tombstoned: fall through to insert
+	} else {
+		for _, t := range db.tables {
+			if e, present := t.get(key); present {
+				if !e.tomb {
+					return e.val, false, nil
+				}
+				break
+			}
+		}
+	}
+	if err := db.wal.append(walOpPut, key, val); err != nil {
+		return nil, false, err
+	}
+	db.mem.set(clone(key), clone(val), false)
+	if err := db.maybeFlushLocked(); err != nil {
+		return nil, false, err
+	}
+	return clone(val), true, nil
+}
+
+func (db *lsmDB) Erase(key []byte) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false, ErrDBClosed
+	}
+	existed, err := db.existsLocked(key)
+	if err != nil {
+		return false, err
+	}
+	if err := db.wal.append(walOpDel, key, nil); err != nil {
+		return false, err
+	}
+	db.mem.set(clone(key), nil, true)
+	if err := db.maybeFlushLocked(); err != nil {
+		return false, err
+	}
+	return existed, nil
+}
+
+func (db *lsmDB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrDBClosed
+	}
+	if val, live, present := db.mem.get(key); present {
+		if !live {
+			return nil, ErrKeyNotFound
+		}
+		return clone(val), nil
+	}
+	for _, t := range db.tables {
+		if e, present := t.get(key); present {
+			if e.tomb {
+				return nil, ErrKeyNotFound
+			}
+			return e.val, nil
+		}
+	}
+	return nil, ErrKeyNotFound
+}
+
+func (db *lsmDB) Exists(key []byte) (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return false, ErrDBClosed
+	}
+	return db.existsLocked(key)
+}
+
+func (db *lsmDB) existsLocked(key []byte) (bool, error) {
+	if _, live, present := db.mem.get(key); present {
+		return live, nil
+	}
+	for _, t := range db.tables {
+		if e, present := t.get(key); present {
+			return !e.tomb, nil
+		}
+	}
+	return false, nil
+}
+
+// mergeScan is the common engine behind ListKeys/ListKeyVals/Count: a k-way
+// merge of the memtable and all tables, newest source wins per key, with
+// tombstones suppressing older entries.
+func (db *lsmDB) mergeScan(from, prefix []byte, fn func(key, val []byte) bool) {
+	type source struct {
+		entries []entry
+		pos     int
+	}
+	// Materialize per-source ordered slices over the requested range. The
+	// range is bounded by the prefix, keeping memory proportional to the
+	// result for prefix scans (HEPnOS's only scan pattern).
+	var sources []*source
+	collect := func(scan func(fn func(e entry) bool)) {
+		s := &source{}
+		scan(func(e entry) bool {
+			s.entries = append(s.entries, entry{key: clone(e.key), val: clone(e.val), tomb: e.tomb})
+			return true
+		})
+		sources = append(sources, s)
+	}
+	collect(func(f func(e entry) bool) {
+		db.mem.scan(from, false, prefix, f)
+	})
+	upper := prefixUpper(prefix)
+	for _, t := range db.tables {
+		t := t
+		collect(func(f func(e entry) bool) {
+			var start []byte
+			if len(from) > 0 {
+				start = from
+			} else if len(prefix) > 0 {
+				start = prefix
+			}
+			t.scanFrom(start, func(e entry) bool {
+				if len(from) > 0 && bytes.Compare(e.key, from) <= 0 {
+					return true
+				}
+				if len(prefix) > 0 {
+					if !bytes.HasPrefix(e.key, prefix) {
+						if upper != nil && bytes.Compare(e.key, upper) >= 0 {
+							return false
+						}
+						return true
+					}
+				}
+				return f(e)
+			})
+		})
+	}
+
+	// K-way merge, newest source (lowest index) wins on ties.
+	for {
+		best := -1
+		for i, s := range sources {
+			if s.pos >= len(s.entries) {
+				continue
+			}
+			if best == -1 || bytes.Compare(s.entries[s.pos].key, sources[best].entries[sources[best].pos].key) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		winner := sources[best].entries[sources[best].pos]
+		// Advance every source past this key.
+		for _, s := range sources {
+			for s.pos < len(s.entries) && bytes.Equal(s.entries[s.pos].key, winner.key) {
+				s.pos++
+			}
+		}
+		if winner.tomb {
+			continue
+		}
+		if !fn(winner.key, winner.val) {
+			return
+		}
+	}
+}
+
+func prefixUpper(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			ub := make([]byte, i+1)
+			copy(ub, prefix[:i+1])
+			ub[i]++
+			return ub
+		}
+	}
+	return nil
+}
+
+func (db *lsmDB) ListKeys(from, prefix []byte, max int) ([][]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrDBClosed
+	}
+	var out [][]byte
+	db.mergeScan(from, prefix, func(key, _ []byte) bool {
+		out = append(out, key)
+		return max <= 0 || len(out) < max
+	})
+	return out, nil
+}
+
+func (db *lsmDB) ListKeyVals(from, prefix []byte, max int) ([]KV, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrDBClosed
+	}
+	var out []KV
+	db.mergeScan(from, prefix, func(key, val []byte) bool {
+		out = append(out, KV{Key: key, Val: val})
+		return max <= 0 || len(out) < max
+	})
+	return out, nil
+}
+
+func (db *lsmDB) Count() (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0, ErrDBClosed
+	}
+	n := 0
+	db.mergeScan(nil, nil, func(_, _ []byte) bool {
+		n++
+		return true
+	})
+	return n, nil
+}
+
+// maybeFlushLocked flushes the memtable once it exceeds the threshold and
+// compacts when too many tables accumulate. Caller holds the write lock.
+func (db *lsmDB) maybeFlushLocked() error {
+	if db.mem.approxBytes() < db.opts.MemtableBytes {
+		return nil
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	if len(db.tables) >= db.opts.CompactAt {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// Flush forces the memtable to disk (exposed for tests/benchmarks).
+func (db *lsmDB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrDBClosed
+	}
+	return db.flushLocked()
+}
+
+func (db *lsmDB) flushLocked() error {
+	var ents []entry
+	db.mem.scan(nil, true, nil, func(e entry) bool {
+		ents = append(ents, e)
+		return true
+	})
+	if len(ents) == 0 {
+		return nil
+	}
+	path := filepath.Join(db.dir, fmt.Sprintf("sst-%08d.sst", db.seq))
+	if err := writeSSTable(path, ents, db.opts.IndexEvery, db.opts.BloomBitsPerKey); err != nil {
+		return err
+	}
+	t, err := openSSTable(path)
+	if err != nil {
+		return err
+	}
+	db.seq++
+	db.tables = append([]*sstable{t}, db.tables...)
+	db.mem = newSkipList(0x15a1 + uint64(db.seq))
+	db.flushCount++
+	return db.wal.reset()
+}
+
+// Compact merges all tables into one, dropping tombstones and shadowed
+// versions (exposed for tests/benchmarks).
+func (db *lsmDB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrDBClosed
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	return db.compactLocked()
+}
+
+func (db *lsmDB) compactLocked() error {
+	if len(db.tables) <= 1 {
+		return nil
+	}
+	// The merge scan over tables only (memtable is empty right after a
+	// flush; if not, its entries are newest and must participate).
+	var merged []entry
+	db.mergeScan(nil, nil, func(key, val []byte) bool {
+		merged = append(merged, entry{key: key, val: val})
+		return true
+	})
+	path := filepath.Join(db.dir, fmt.Sprintf("sst-%08d.sst", db.seq))
+	if len(merged) > 0 {
+		if err := writeSSTable(path, merged, db.opts.IndexEvery, db.opts.BloomBitsPerKey); err != nil {
+			return err
+		}
+	}
+	old := db.tables
+	db.tables = nil
+	if len(merged) > 0 {
+		t, err := openSSTable(path)
+		if err != nil {
+			return err
+		}
+		db.tables = []*sstable{t}
+	}
+	db.seq++
+	for _, t := range old {
+		t.close()
+		os.Remove(t.path)
+	}
+	// The memtable may have contributed entries; it is now fully
+	// represented in the merged table.
+	db.mem = newSkipList(0xc0de + uint64(db.seq))
+	if err := db.wal.reset(); err != nil {
+		return err
+	}
+	db.compactCount++
+	return nil
+}
+
+// TableCount returns the number of on-disk tables (for tests).
+func (db *lsmDB) TableCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.tables)
+}
+
+// Counters returns (flushes, compactions) performed so far.
+func (db *lsmDB) Counters() (int, int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.flushCount, db.compactCount
+}
+
+func (db *lsmDB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	err := db.wal.close()
+	for _, t := range db.tables {
+		t.close()
+	}
+	return err
+}

@@ -1,0 +1,99 @@
+package yokan
+
+import (
+	"sync/atomic"
+)
+
+// mapDB is the in-memory backend, the analog of Yokan's std::map backend
+// that the paper's best-performing configuration uses. It keeps all data in
+// a skip list; persistence is none, speed is maximal.
+type mapDB struct {
+	name   string
+	list   *skipList
+	closed atomic.Bool
+}
+
+func newMapDB(name string) *mapDB {
+	return &mapDB{name: name, list: newSkipList(0x5eed + uint64(len(name)))}
+}
+
+func (m *mapDB) Name() string { return m.name }
+func (m *mapDB) Type() string { return "map" }
+
+func (m *mapDB) Put(key, val []byte) error {
+	if m.closed.Load() {
+		return ErrDBClosed
+	}
+	m.list.set(clone(key), clone(val), false)
+	return nil
+}
+
+func (m *mapDB) GetOrPut(key, val []byte) ([]byte, bool, error) {
+	if m.closed.Load() {
+		return nil, false, ErrDBClosed
+	}
+	winner, inserted := m.list.getOrSet(clone(key), clone(val))
+	return clone(winner), inserted, nil
+}
+
+func (m *mapDB) Get(key []byte) ([]byte, error) {
+	if m.closed.Load() {
+		return nil, ErrDBClosed
+	}
+	val, live, _ := m.list.get(key)
+	if !live {
+		return nil, ErrKeyNotFound
+	}
+	return clone(val), nil
+}
+
+func (m *mapDB) Exists(key []byte) (bool, error) {
+	if m.closed.Load() {
+		return false, ErrDBClosed
+	}
+	_, live, _ := m.list.get(key)
+	return live, nil
+}
+
+func (m *mapDB) Erase(key []byte) (bool, error) {
+	if m.closed.Load() {
+		return false, ErrDBClosed
+	}
+	return m.list.remove(key), nil
+}
+
+func (m *mapDB) ListKeys(from, prefix []byte, max int) ([][]byte, error) {
+	if m.closed.Load() {
+		return nil, ErrDBClosed
+	}
+	var out [][]byte
+	m.list.scan(from, false, prefix, func(e entry) bool {
+		out = append(out, clone(e.key))
+		return max <= 0 || len(out) < max
+	})
+	return out, nil
+}
+
+func (m *mapDB) ListKeyVals(from, prefix []byte, max int) ([]KV, error) {
+	if m.closed.Load() {
+		return nil, ErrDBClosed
+	}
+	var out []KV
+	m.list.scan(from, false, prefix, func(e entry) bool {
+		out = append(out, KV{Key: clone(e.key), Val: clone(e.val)})
+		return max <= 0 || len(out) < max
+	})
+	return out, nil
+}
+
+func (m *mapDB) Count() (int, error) {
+	if m.closed.Load() {
+		return 0, ErrDBClosed
+	}
+	return m.list.len(), nil
+}
+
+func (m *mapDB) Close() error {
+	m.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,510 @@
+package yokan
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/argo"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+)
+
+// ServiceName is the provider service name on the wire.
+const ServiceName = "yokan"
+
+// Wire messages. All requests name the target database; a provider serves
+// several databases, decoupling RPC execution resources from data (§II-B).
+type (
+	putReq struct {
+		DB       string
+		Key, Val []byte
+	}
+	putMultiReq struct {
+		DB   string
+		Keys [][]byte
+		Vals [][]byte
+	}
+	// putMultiBulkReq carries a bulk handle to a serde-encoded
+	// putMultiReq exposed by the client — the RDMA path for batches.
+	putMultiBulkReq struct {
+		Handle []byte // encoded fabric.BulkHandle
+	}
+	getReq struct {
+		DB  string
+		Key []byte
+	}
+	putNewResp struct {
+		Inserted bool
+		Winner   []byte
+	}
+	getResp struct {
+		Found bool
+		Val   []byte
+	}
+	getMultiReq struct {
+		DB   string
+		Keys [][]byte
+		// Bulk asks the server to expose the response for RDMA pull
+		// instead of returning it inline.
+		Bulk bool
+	}
+	getMultiResp struct {
+		Found []bool
+		Vals  [][]byte
+	}
+	getMultiBulkResp struct {
+		Handle []byte // encoded fabric.BulkHandle over a serde getMultiResp
+	}
+	existsReq struct {
+		DB   string
+		Keys [][]byte
+	}
+	existsResp struct {
+		Found []bool
+	}
+	eraseReq struct {
+		DB   string
+		Keys [][]byte
+	}
+	eraseResp struct {
+		Erased uint64
+	}
+	listReq struct {
+		DB     string
+		From   []byte
+		Prefix []byte
+		Max    uint32
+		Vals   bool // also return values
+	}
+	listResp struct {
+		Keys [][]byte
+		Vals [][]byte // empty unless requested
+	}
+	countReq struct {
+		DB string
+	}
+	countResp struct {
+		Count uint64
+	}
+	dbListResp struct {
+		Names []string
+		Types []string
+	}
+	statsResp struct {
+		Puts    int64
+		Gets    int64
+		Lists   int64
+		Erases  int64
+		BulkOps int64
+		// Endpoint-level transport counters of the serving process.
+		CallsServed int64
+		BulkBytes   int64
+		// Counts holds per-database live key counts, parallel to Names.
+		Names  []string
+		Counts []uint64
+	}
+	bulkFreeReq struct {
+		Handle []byte
+	}
+)
+
+// ProviderStats counts served operations.
+type ProviderStats struct {
+	Puts    int64
+	Gets    int64
+	Lists   int64
+	Erases  int64
+	BulkOps int64
+}
+
+// Provider serves a set of databases over a margo instance.
+type Provider struct {
+	id  margo.ProviderID
+	dbs map[string]Backend
+	mi  *margo.Instance
+
+	puts    atomic.Int64
+	gets    atomic.Int64
+	lists   atomic.Int64
+	erases  atomic.Int64
+	bulkOps atomic.Int64
+}
+
+// NewProvider opens the configured databases and registers the Yokan RPCs
+// on the margo instance under the given provider id, executing in pool.
+func NewProvider(mi *margo.Instance, id margo.ProviderID, pool *argo.Pool, dbs []DBConfig) (*Provider, error) {
+	if len(dbs) == 0 {
+		return nil, fmt.Errorf("yokan: provider %d has no databases", id)
+	}
+	p := &Provider{id: id, dbs: make(map[string]Backend, len(dbs)), mi: mi}
+	for _, cfg := range dbs {
+		if _, dup := p.dbs[cfg.Name]; dup {
+			p.closeAll()
+			return nil, fmt.Errorf("yokan: duplicate database %q", cfg.Name)
+		}
+		b, err := OpenBackend(cfg)
+		if err != nil {
+			p.closeAll()
+			return nil, err
+		}
+		p.dbs[cfg.Name] = b
+	}
+	handlers := map[string]fabric.Handler{
+		"put":            p.handlePut,
+		"put_new":        p.handlePutNew,
+		"put_multi":      p.handlePutMulti,
+		"put_multi_bulk": p.handlePutMultiBulk,
+		"get":            p.handleGet,
+		"get_multi":      p.handleGetMulti,
+		"exists":         p.handleExists,
+		"erase":          p.handleErase,
+		"list_keys":      p.handleList,
+		"count":          p.handleCount,
+		"db_list":        p.handleDBList,
+		"bulk_free":      p.handleBulkFree,
+		"stats":          p.handleStats,
+	}
+	if _, err := mi.RegisterProvider(ServiceName, id, pool, handlers); err != nil {
+		p.closeAll()
+		return nil, err
+	}
+	return p, nil
+}
+
+// ID returns the provider id.
+func (p *Provider) ID() margo.ProviderID { return p.id }
+
+// Databases returns the names of the served databases, sorted.
+func (p *Provider) Databases() []string {
+	out := make([]string, 0, len(p.dbs))
+	for name := range p.dbs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DB exposes a served backend by name (nil if absent); used by tests and
+// local tools.
+func (p *Provider) DB(name string) Backend { return p.dbs[name] }
+
+// Stats returns a snapshot of operation counters.
+func (p *Provider) Stats() ProviderStats {
+	return ProviderStats{
+		Puts:    p.puts.Load(),
+		Gets:    p.gets.Load(),
+		Lists:   p.lists.Load(),
+		Erases:  p.erases.Load(),
+		BulkOps: p.bulkOps.Load(),
+	}
+}
+
+// Close closes all databases. The margo instance keeps the RPCs registered
+// but they will fail with ErrDBClosed.
+func (p *Provider) Close() error {
+	return p.closeAll()
+}
+
+func (p *Provider) closeAll() error {
+	var first error
+	for _, b := range p.dbs {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (p *Provider) lookup(name string) (Backend, error) {
+	b, ok := p.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDB, name)
+	}
+	return b, nil
+}
+
+func decodeReq[T any](payload []byte, req *T) error {
+	if err := serde.Unmarshal(payload, req); err != nil {
+		return fmt.Errorf("yokan: bad request: %w", err)
+	}
+	return nil
+}
+
+func encodeResp(resp any) ([]byte, error) {
+	out, err := serde.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("yokan: encode response: %w", err)
+	}
+	return out, nil
+}
+
+func (p *Provider) handlePut(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req putReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	db, err := p.lookup(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	p.puts.Add(1)
+	return nil, db.Put(req.Key, req.Val)
+}
+
+// handlePutNew is the atomic get-or-put used for dataset-UUID agreement.
+func (p *Provider) handlePutNew(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req putReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	db, err := p.lookup(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	p.puts.Add(1)
+	winner, inserted, err := db.GetOrPut(req.Key, req.Val)
+	if err != nil {
+		return nil, err
+	}
+	return encodeResp(putNewResp{Inserted: inserted, Winner: winner})
+}
+
+func (p *Provider) applyPutMulti(req *putMultiReq) error {
+	if len(req.Keys) != len(req.Vals) {
+		return fmt.Errorf("yokan: put_multi with %d keys but %d values", len(req.Keys), len(req.Vals))
+	}
+	db, err := p.lookup(req.DB)
+	if err != nil {
+		return err
+	}
+	for i := range req.Keys {
+		if err := db.Put(req.Keys[i], req.Vals[i]); err != nil {
+			return fmt.Errorf("yokan: put_multi item %d: %w", i, err)
+		}
+	}
+	p.puts.Add(int64(len(req.Keys)))
+	return nil
+}
+
+func (p *Provider) handlePutMulti(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req putMultiReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	return nil, p.applyPutMulti(&req)
+}
+
+func (p *Provider) handlePutMultiBulk(ctx context.Context, r *fabric.Request) ([]byte, error) {
+	var breq putMultiBulkReq
+	if err := decodeReq(r.Payload, &breq); err != nil {
+		return nil, err
+	}
+	h, _, err := fabric.DecodeBulkHandle(breq.Handle)
+	if err != nil {
+		return nil, err
+	}
+	data, err := r.PullBulk(ctx, h)
+	if err != nil {
+		return nil, fmt.Errorf("yokan: bulk pull: %w", err)
+	}
+	p.bulkOps.Add(1)
+	var req putMultiReq
+	if err := decodeReq(data, &req); err != nil {
+		return nil, err
+	}
+	return nil, p.applyPutMulti(&req)
+}
+
+func (p *Provider) handleGet(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req getReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	db, err := p.lookup(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	p.gets.Add(1)
+	val, err := db.Get(req.Key)
+	switch err {
+	case nil:
+		return encodeResp(getResp{Found: true, Val: val})
+	case ErrKeyNotFound:
+		return encodeResp(getResp{Found: false})
+	default:
+		return nil, err
+	}
+}
+
+func (p *Provider) handleGetMulti(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req getMultiReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	db, err := p.lookup(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	resp := getMultiResp{
+		Found: make([]bool, len(req.Keys)),
+		Vals:  make([][]byte, len(req.Keys)),
+	}
+	for i, k := range req.Keys {
+		val, err := db.Get(k)
+		switch err {
+		case nil:
+			resp.Found[i] = true
+			resp.Vals[i] = val
+		case ErrKeyNotFound:
+		default:
+			return nil, err
+		}
+	}
+	p.gets.Add(int64(len(req.Keys)))
+	if !req.Bulk {
+		return encodeResp(resp)
+	}
+	// RDMA path: expose the encoded response; the client pulls it and then
+	// releases the region with bulk_free.
+	data, err := encodeResp(resp)
+	if err != nil {
+		return nil, err
+	}
+	p.bulkOps.Add(1)
+	h := p.mi.Endpoint().ExposeBulk(data)
+	return encodeResp(getMultiBulkResp{Handle: h.Encode(nil)})
+}
+
+func (p *Provider) handleBulkFree(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req bulkFreeReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	h, _, err := fabric.DecodeBulkHandle(req.Handle)
+	if err != nil {
+		return nil, err
+	}
+	p.mi.Endpoint().FreeBulk(h)
+	return nil, nil
+}
+
+func (p *Provider) handleExists(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req existsReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	db, err := p.lookup(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	resp := existsResp{Found: make([]bool, len(req.Keys))}
+	for i, k := range req.Keys {
+		found, err := db.Exists(k)
+		if err != nil {
+			return nil, err
+		}
+		resp.Found[i] = found
+	}
+	return encodeResp(resp)
+}
+
+func (p *Provider) handleErase(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req eraseReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	db, err := p.lookup(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	var erased uint64
+	for _, k := range req.Keys {
+		ok, err := db.Erase(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			erased++
+		}
+	}
+	p.erases.Add(int64(len(req.Keys)))
+	return encodeResp(eraseResp{Erased: erased})
+}
+
+func (p *Provider) handleList(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req listReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	db, err := p.lookup(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	p.lists.Add(1)
+	if req.Vals {
+		kvs, err := db.ListKeyVals(req.From, req.Prefix, int(req.Max))
+		if err != nil {
+			return nil, err
+		}
+		resp := listResp{}
+		for _, kv := range kvs {
+			resp.Keys = append(resp.Keys, kv.Key)
+			resp.Vals = append(resp.Vals, kv.Val)
+		}
+		return encodeResp(resp)
+	}
+	ks, err := db.ListKeys(req.From, req.Prefix, int(req.Max))
+	if err != nil {
+		return nil, err
+	}
+	return encodeResp(listResp{Keys: ks})
+}
+
+func (p *Provider) handleCount(_ context.Context, r *fabric.Request) ([]byte, error) {
+	var req countReq
+	if err := decodeReq(r.Payload, &req); err != nil {
+		return nil, err
+	}
+	db, err := p.lookup(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	n, err := db.Count()
+	if err != nil {
+		return nil, err
+	}
+	return encodeResp(countResp{Count: uint64(n)})
+}
+
+// handleStats serves operation counters and per-database key counts — the
+// hook a monitoring service (the paper cites Symbiomon, §V) would scrape.
+func (p *Provider) handleStats(_ context.Context, _ *fabric.Request) ([]byte, error) {
+	st := p.Stats()
+	ep := p.mi.Endpoint().Stats()
+	resp := statsResp{
+		Puts: st.Puts, Gets: st.Gets, Lists: st.Lists,
+		Erases: st.Erases, BulkOps: st.BulkOps,
+		CallsServed: ep.CallsServed, BulkBytes: ep.BulkBytes,
+	}
+	for _, name := range p.Databases() {
+		n, err := p.dbs[name].Count()
+		if err != nil {
+			return nil, err
+		}
+		resp.Names = append(resp.Names, name)
+		resp.Counts = append(resp.Counts, uint64(n))
+	}
+	return encodeResp(resp)
+}
+
+func (p *Provider) handleDBList(_ context.Context, _ *fabric.Request) ([]byte, error) {
+	resp := dbListResp{}
+	for _, name := range p.Databases() {
+		resp.Names = append(resp.Names, name)
+		resp.Types = append(resp.Types, p.dbs[name].Type())
+	}
+	return encodeResp(resp)
+}

@@ -1,0 +1,238 @@
+package yokan
+
+import (
+	"bytes"
+	"sync"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/stats"
+)
+
+// skipList is an ordered in-memory map from byte keys to byte values. It
+// backs both the "map" backend (the paper's std::map-backed Yokan databases)
+// and the LSM backend's memtable. Readers and writers are synchronized with
+// a RWMutex; the structure itself is a classic Pugh skip list.
+const skipMaxLevel = 20 // ~1M entries at p=0.5
+
+type skipNode struct {
+	key, val []byte
+	tomb     bool // tombstone (used by the LSM memtable)
+	next     [skipMaxLevel]*skipNode
+}
+
+type skipList struct {
+	mu    sync.RWMutex
+	head  *skipNode
+	level int
+	size  int   // live (non-tombstone) entries
+	bytes int64 // approximate memory footprint of keys+values
+	rng   *stats.RNG
+}
+
+func newSkipList(seed uint64) *skipList {
+	return &skipList{
+		head:  &skipNode{},
+		level: 1,
+		rng:   stats.NewRNG(seed),
+	}
+}
+
+func (s *skipList) randomLevel() int {
+	lvl := 1
+	for lvl < skipMaxLevel && s.rng.Uint64()&1 == 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// findGreaterOrEqual returns the first node with key >= target, also filling
+// prev with the rightmost node before the target at each level.
+func (s *skipList) findGreaterOrEqual(target []byte, prev *[skipMaxLevel]*skipNode) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, target) < 0 {
+			x = x.next[i]
+		}
+		if prev != nil {
+			prev[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+// set inserts or replaces; tomb marks a deletion (LSM semantics). For the
+// plain map backend, deletion goes through remove instead.
+func (s *skipList) set(key, val []byte, tomb bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var prev [skipMaxLevel]*skipNode
+	for i := range prev {
+		prev[i] = s.head
+	}
+	n := s.findGreaterOrEqual(key, &prev)
+	if n != nil && bytes.Equal(n.key, key) {
+		if !n.tomb {
+			s.size--
+			s.bytes -= int64(len(n.val))
+		}
+		n.val = val
+		n.tomb = tomb
+		if !tomb {
+			s.size++
+			s.bytes += int64(len(val))
+		}
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			prev[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: append([]byte(nil), key...), val: val, tomb: tomb}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = prev[i].next[i]
+		prev[i].next[i] = node
+	}
+	if !tomb {
+		s.size++
+		s.bytes += int64(len(key) + len(val))
+	} else {
+		s.bytes += int64(len(key))
+	}
+}
+
+// getOrSet atomically returns the live value for key or inserts val.
+func (s *skipList) getOrSet(key, val []byte) (winner []byte, inserted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var prev [skipMaxLevel]*skipNode
+	for i := range prev {
+		prev[i] = s.head
+	}
+	n := s.findGreaterOrEqual(key, &prev)
+	if n != nil && bytes.Equal(n.key, key) && !n.tomb {
+		return n.val, false
+	}
+	if n != nil && bytes.Equal(n.key, key) {
+		// Tombstoned: revive in place.
+		n.val = val
+		n.tomb = false
+		s.size++
+		s.bytes += int64(len(val))
+		return val, true
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			prev[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: append([]byte(nil), key...), val: val}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = prev[i].next[i]
+		prev[i].next[i] = node
+	}
+	s.size++
+	s.bytes += int64(len(key) + len(val))
+	return val, true
+}
+
+// get returns the value and whether the key is live. For tombstoned keys it
+// returns (nil, false, true): not live, but the tombstone exists.
+func (s *skipList) get(key []byte) (val []byte, live bool, present bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.findGreaterOrEqual(key, nil)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return nil, false, false
+	}
+	if n.tomb {
+		return nil, false, true
+	}
+	return n.val, true, true
+}
+
+// remove physically unlinks a key (map-backend deletion). It reports
+// whether a live entry was removed.
+func (s *skipList) remove(key []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var prev [skipMaxLevel]*skipNode
+	for i := range prev {
+		prev[i] = s.head
+	}
+	n := s.findGreaterOrEqual(key, &prev)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if prev[i].next[i] == n {
+			prev[i].next[i] = n.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	wasLive := !n.tomb
+	if wasLive {
+		s.size--
+		s.bytes -= int64(len(n.key) + len(n.val))
+	} else {
+		s.bytes -= int64(len(n.key))
+	}
+	return wasLive
+}
+
+// entry is a key/value/tombstone triple yielded by scans.
+type entry struct {
+	key, val []byte
+	tomb     bool
+}
+
+// scan visits entries with key > from (or >= from when inclusive) that have
+// the prefix, in order, until fn returns false. Tombstones are visited too;
+// callers filter.
+func (s *skipList) scan(from []byte, inclusive bool, prefix []byte, fn func(e entry) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var start []byte
+	if len(from) > 0 {
+		start = from
+	} else {
+		start = prefix
+	}
+	n := s.findGreaterOrEqual(start, nil)
+	for n != nil {
+		if !inclusive && len(from) > 0 && bytes.Equal(n.key, from) {
+			n = n.next[0]
+			continue
+		}
+		if len(prefix) > 0 && !bytes.HasPrefix(n.key, prefix) {
+			if bytes.Compare(n.key, prefix) > 0 {
+				return // past the prefix range
+			}
+			n = n.next[0]
+			continue
+		}
+		if !fn(entry{key: n.key, val: n.val, tomb: n.tomb}) {
+			return
+		}
+		n = n.next[0]
+	}
+}
+
+// len returns the number of live entries.
+func (s *skipList) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// approxBytes returns the approximate footprint of stored keys and values.
+func (s *skipList) approxBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}

@@ -1,0 +1,166 @@
+package yokan
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/stats"
+)
+
+func TestSkipListBasics(t *testing.T) {
+	s := newSkipList(1)
+	s.set([]byte("b"), []byte("2"), false)
+	s.set([]byte("a"), []byte("1"), false)
+	s.set([]byte("c"), []byte("3"), false)
+	if s.len() != 3 {
+		t.Fatalf("len = %d", s.len())
+	}
+	val, live, present := s.get([]byte("b"))
+	if !live || !present || string(val) != "2" {
+		t.Fatalf("get b = %q %v %v", val, live, present)
+	}
+	// Overwrite.
+	s.set([]byte("b"), []byte("2b"), false)
+	val, _, _ = s.get([]byte("b"))
+	if string(val) != "2b" || s.len() != 3 {
+		t.Fatalf("overwrite: %q len=%d", val, s.len())
+	}
+	// Tombstone.
+	s.set([]byte("b"), nil, true)
+	_, live, present = s.get([]byte("b"))
+	if live || !present {
+		t.Fatalf("tombstone: live=%v present=%v", live, present)
+	}
+	if s.len() != 2 {
+		t.Fatalf("len after tombstone = %d", s.len())
+	}
+	// Physical removal.
+	if !s.remove([]byte("a")) {
+		t.Fatal("remove a = false")
+	}
+	if s.remove([]byte("a")) {
+		t.Fatal("double remove = true")
+	}
+	if _, _, present := s.get([]byte("a")); present {
+		t.Fatal("removed key still present")
+	}
+}
+
+func TestSkipListOrderProperty(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		s := newSkipList(7)
+		uniq := make(map[string]bool)
+		for _, k := range keys {
+			s.set(k, []byte("v"), false)
+			uniq[string(k)] = true
+		}
+		var want []string
+		for k := range uniq {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		s.scan(nil, true, nil, func(e entry) bool {
+			got = append(got, string(e.key))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListScanWindow(t *testing.T) {
+	s := newSkipList(3)
+	for i := 0; i < 100; i++ {
+		s.set([]byte(fmt.Sprintf("p/%03d", i)), nil, false)
+		s.set([]byte(fmt.Sprintf("q/%03d", i)), nil, false)
+	}
+	// Prefix limits the window.
+	n := 0
+	s.scan(nil, true, []byte("p/"), func(e entry) bool {
+		if !bytes.HasPrefix(e.key, []byte("p/")) {
+			t.Fatalf("leaked key %q", e.key)
+		}
+		n++
+		return true
+	})
+	if n != 100 {
+		t.Fatalf("prefix scan visited %d", n)
+	}
+	// Exclusive from.
+	var first []byte
+	s.scan([]byte("p/050"), false, []byte("p/"), func(e entry) bool {
+		first = e.key
+		return false
+	})
+	if string(first) != "p/051" {
+		t.Fatalf("exclusive from: first = %q", first)
+	}
+	// Inclusive from.
+	s.scan([]byte("p/050"), true, []byte("p/"), func(e entry) bool {
+		first = e.key
+		return false
+	})
+	if string(first) != "p/050" {
+		t.Fatalf("inclusive from: first = %q", first)
+	}
+}
+
+func TestSkipListApproxBytes(t *testing.T) {
+	s := newSkipList(9)
+	if s.approxBytes() != 0 {
+		t.Fatal("fresh list should have zero bytes")
+	}
+	s.set([]byte("abc"), []byte("defgh"), false)
+	if got := s.approxBytes(); got != 8 {
+		t.Fatalf("bytes = %d, want 8", got)
+	}
+	s.set([]byte("abc"), []byte("x"), false)
+	if got := s.approxBytes(); got != 4 {
+		t.Fatalf("bytes after overwrite = %d, want 4", got)
+	}
+	s.remove([]byte("abc"))
+	if got := s.approxBytes(); got != 0 {
+		t.Fatalf("bytes after remove = %d, want 0", got)
+	}
+}
+
+func TestSkipListRandomizedAgainstModel(t *testing.T) {
+	rng := stats.NewRNG(77)
+	s := newSkipList(77)
+	model := map[string]string{}
+	for op := 0; op < 20000; op++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(500))
+		switch rng.Intn(4) {
+		case 0:
+			s.remove([]byte(k))
+			delete(model, k)
+		default:
+			v := fmt.Sprintf("v%d", op)
+			s.set([]byte(k), []byte(v), false)
+			model[k] = v
+		}
+	}
+	if s.len() != len(model) {
+		t.Fatalf("len = %d, model = %d", s.len(), len(model))
+	}
+	for k, v := range model {
+		got, live, _ := s.get([]byte(k))
+		if !live || string(got) != v {
+			t.Fatalf("key %q: got %q live=%v want %q", k, got, live, v)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package yokan
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/chash"
+)
+
+// SSTable layout:
+//
+//	magic "YKSST1\n"
+//	entries: repeated { flag byte ('P'/'D') | uvarint klen | key | uvarint vlen | val }
+//	sparse index: repeated { uvarint klen | key | uvarint offset } (every indexEvery-th entry)
+//	bloom filter: uvarint nbits | bits
+//	footer (fixed 36 bytes):
+//	  u64 indexOff | u64 bloomOff | u64 entryCount | u32 crc(entries region) | magic "YKF1"
+//
+// The sparse index and bloom filter are loaded into memory at open; lookups
+// are bloom check → index binary search → short forward scan.
+const (
+	sstMagic       = "YKSST1\n"
+	sstFooterMagic = "YKF1"
+	sstFooterSize  = 8 + 8 + 8 + 4 + 4
+)
+
+// bloom is a simple split bloom filter using two chash seeds (Kirsch-
+// Mitzenmacher double hashing).
+type bloom struct {
+	bits  []byte
+	nbits uint64
+	k     int
+}
+
+func newBloom(n int, bitsPerKey int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	nbits := uint64(n * bitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := int(float64(bitsPerKey) * 0.69) // ln2 * bits/key
+	if k < 1 {
+		k = 1
+	}
+	if k > 12 {
+		k = 12
+	}
+	return &bloom{bits: make([]byte, (nbits+7)/8), nbits: nbits, k: k}
+}
+
+func (b *bloom) add(key []byte) {
+	h1 := chash.Hash64(key)
+	h2 := chash.Hash64Seed(key, 0xb100f)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+func (b *bloom) mayContain(key []byte) bool {
+	h1 := chash.Hash64(key)
+	h2 := chash.Hash64Seed(key, 0xb100f)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type sstIndexEntry struct {
+	key    []byte
+	offset uint64
+}
+
+// sstable is an immutable sorted table on disk.
+type sstable struct {
+	path    string
+	f       *os.File
+	index   []sstIndexEntry
+	filter  *bloom
+	entries uint64
+	dataEnd uint64 // offset where entries stop (== index start)
+	minKey  []byte
+	maxKey  []byte
+	size    int64
+}
+
+// writeSSTable writes sorted entries (including tombstones) to path. The
+// iterator must yield entries in strictly ascending key order.
+func writeSSTable(path string, ents []entry, indexEvery int, bloomBitsPerKey int) error {
+	if indexEvery < 1 {
+		indexEvery = 16
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(w, crc)
+
+	if _, err := out.Write([]byte(sstMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	off := uint64(len(sstMagic))
+	filter := newBloom(len(ents), bloomBitsPerKey)
+	var index []sstIndexEntry
+	var prev []byte
+	var buf []byte
+	for i, e := range ents {
+		if prev != nil && bytes.Compare(prev, e.key) >= 0 {
+			f.Close()
+			os.Remove(path)
+			return fmt.Errorf("yokan: sstable entries out of order at %d", i)
+		}
+		prev = e.key
+		filter.add(e.key)
+		if i%indexEvery == 0 {
+			index = append(index, sstIndexEntry{key: append([]byte(nil), e.key...), offset: off})
+		}
+		buf = buf[:0]
+		if e.tomb {
+			buf = append(buf, walOpDel)
+		} else {
+			buf = append(buf, walOpPut)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		buf = append(buf, e.key...)
+		buf = binary.AppendUvarint(buf, uint64(len(e.val)))
+		buf = append(buf, e.val...)
+		if _, err := out.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+		off += uint64(len(buf))
+	}
+	dataCRC := crc.Sum32()
+	indexOff := off
+
+	// Index section (not part of the data CRC).
+	var ibuf []byte
+	for _, ie := range index {
+		ibuf = ibuf[:0]
+		ibuf = binary.AppendUvarint(ibuf, uint64(len(ie.key)))
+		ibuf = append(ibuf, ie.key...)
+		ibuf = binary.AppendUvarint(ibuf, ie.offset)
+		if _, err := w.Write(ibuf); err != nil {
+			f.Close()
+			return err
+		}
+		off += uint64(len(ibuf))
+	}
+	bloomOff := off
+	ibuf = ibuf[:0]
+	ibuf = binary.AppendUvarint(ibuf, filter.nbits)
+	ibuf = append(ibuf, byte(filter.k))
+	ibuf = append(ibuf, filter.bits...)
+	if _, err := w.Write(ibuf); err != nil {
+		f.Close()
+		return err
+	}
+
+	var footer [sstFooterSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], indexOff)
+	binary.LittleEndian.PutUint64(footer[8:], bloomOff)
+	binary.LittleEndian.PutUint64(footer[16:], uint64(len(ents)))
+	binary.LittleEndian.PutUint32(footer[24:], dataCRC)
+	copy(footer[28:], sstFooterMagic)
+	if _, err := w.Write(footer[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// openSSTable maps the table for reading and loads index + bloom filter.
+func openSSTable(path string) (*sstable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(sstMagic)+sstFooterSize) {
+		f.Close()
+		return nil, fmt.Errorf("yokan: sstable %s too small", path)
+	}
+	var footer [sstFooterSize]byte
+	if _, err := f.ReadAt(footer[:], size-sstFooterSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(footer[28:32]) != sstFooterMagic {
+		f.Close()
+		return nil, fmt.Errorf("yokan: sstable %s has bad footer", path)
+	}
+	t := &sstable{
+		path:    path,
+		f:       f,
+		entries: binary.LittleEndian.Uint64(footer[16:]),
+		dataEnd: binary.LittleEndian.Uint64(footer[0:]),
+		size:    size,
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:]))
+	bloomOff := int64(binary.LittleEndian.Uint64(footer[8:]))
+	if indexOff > size || bloomOff > size || indexOff > bloomOff {
+		f.Close()
+		return nil, fmt.Errorf("yokan: sstable %s has corrupt section offsets", path)
+	}
+
+	// Verify magic.
+	magic := make([]byte, len(sstMagic))
+	if _, err := f.ReadAt(magic, 0); err != nil || string(magic) != sstMagic {
+		f.Close()
+		return nil, fmt.Errorf("yokan: sstable %s has bad magic", path)
+	}
+
+	// Load index.
+	idxBytes := make([]byte, bloomOff-indexOff)
+	if _, err := f.ReadAt(idxBytes, indexOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	for len(idxBytes) > 0 {
+		klen, n := binary.Uvarint(idxBytes)
+		if n <= 0 || uint64(len(idxBytes)-n) < klen {
+			f.Close()
+			return nil, fmt.Errorf("yokan: sstable %s has corrupt index", path)
+		}
+		key := append([]byte(nil), idxBytes[n:n+int(klen)]...)
+		idxBytes = idxBytes[n+int(klen):]
+		offv, n2 := binary.Uvarint(idxBytes)
+		if n2 <= 0 {
+			f.Close()
+			return nil, fmt.Errorf("yokan: sstable %s has corrupt index offset", path)
+		}
+		idxBytes = idxBytes[n2:]
+		t.index = append(t.index, sstIndexEntry{key: key, offset: offv})
+	}
+
+	// Load bloom.
+	bloomBytes := make([]byte, size-sstFooterSize-bloomOff)
+	if _, err := f.ReadAt(bloomBytes, bloomOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	nbits, n := binary.Uvarint(bloomBytes)
+	if n <= 0 || len(bloomBytes) < n+1 {
+		f.Close()
+		return nil, fmt.Errorf("yokan: sstable %s has corrupt bloom filter", path)
+	}
+	k := int(bloomBytes[n])
+	bits := bloomBytes[n+1:]
+	if uint64(len(bits)) != (nbits+7)/8 {
+		f.Close()
+		return nil, fmt.Errorf("yokan: sstable %s bloom size mismatch", path)
+	}
+	t.filter = &bloom{bits: bits, nbits: nbits, k: k}
+
+	// Record min/max keys for scan pruning.
+	if t.entries > 0 {
+		it := t.iterAt(uint64(len(sstMagic)))
+		if e, ok := it.next(); ok {
+			t.minKey = e.key
+		}
+		if len(t.index) > 0 {
+			it = t.iterAt(t.index[len(t.index)-1].offset)
+			for {
+				e, ok := it.next()
+				if !ok {
+					break
+				}
+				t.maxKey = e.key
+			}
+		}
+	}
+	return t, nil
+}
+
+func (t *sstable) close() error { return t.f.Close() }
+
+// sstIter streams entries from a file offset.
+type sstIter struct {
+	t   *sstable
+	r   *bufio.Reader
+	off uint64
+}
+
+func (t *sstable) iterAt(off uint64) *sstIter {
+	sr := io.NewSectionReader(t.f, int64(off), int64(t.dataEnd-off))
+	return &sstIter{t: t, r: bufio.NewReaderSize(sr, 1<<15), off: off}
+}
+
+// next returns the next entry, or ok=false at the end of the data section.
+func (it *sstIter) next() (entry, bool) {
+	if it.off >= it.t.dataEnd {
+		return entry{}, false
+	}
+	flag, err := it.r.ReadByte()
+	if err != nil {
+		return entry{}, false
+	}
+	klen, err := binary.ReadUvarint(it.r)
+	if err != nil {
+		return entry{}, false
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(it.r, key); err != nil {
+		return entry{}, false
+	}
+	vlen, err := binary.ReadUvarint(it.r)
+	if err != nil {
+		return entry{}, false
+	}
+	val := make([]byte, vlen)
+	if _, err := io.ReadFull(it.r, val); err != nil {
+		return entry{}, false
+	}
+	it.off += 1 + uint64(uvarintLen(klen)) + klen + uint64(uvarintLen(vlen)) + vlen
+	return entry{key: key, val: val, tomb: flag == walOpDel}, true
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// seekOffset returns the file offset of the greatest sparse-index point
+// with key <= target (or the data start if the target precedes the index).
+func (t *sstable) seekOffset(target []byte) uint64 {
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, target) > 0
+	})
+	if i == 0 {
+		return uint64(len(sstMagic))
+	}
+	return t.index[i-1].offset
+}
+
+// get looks up a key; present reports whether the table holds the key at
+// all (live or tombstone).
+func (t *sstable) get(key []byte) (e entry, present bool) {
+	if t.entries == 0 || !t.filter.mayContain(key) {
+		return entry{}, false
+	}
+	if t.minKey != nil && bytes.Compare(key, t.minKey) < 0 {
+		return entry{}, false
+	}
+	if t.maxKey != nil && bytes.Compare(key, t.maxKey) > 0 {
+		return entry{}, false
+	}
+	it := t.iterAt(t.seekOffset(key))
+	for {
+		cur, ok := it.next()
+		if !ok {
+			return entry{}, false
+		}
+		switch bytes.Compare(cur.key, key) {
+		case 0:
+			return cur, true
+		case 1:
+			return entry{}, false
+		}
+	}
+}
+
+// scanFrom iterates entries with key >= start (nil means from the
+// beginning), calling fn until it returns false.
+func (t *sstable) scanFrom(start []byte, fn func(e entry) bool) {
+	var it *sstIter
+	if start == nil {
+		it = t.iterAt(uint64(len(sstMagic)))
+	} else {
+		it = t.iterAt(t.seekOffset(start))
+	}
+	for {
+		e, ok := it.next()
+		if !ok {
+			return
+		}
+		if start != nil && bytes.Compare(e.key, start) < 0 {
+			continue
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package yokan
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log for the LSM backend. Each record is:
+//
+//	u32 crc32(body) | u32 len(body) | body
+//	body = op byte ('P' put, 'D' delete) | uvarint klen | key | uvarint vlen | val
+//
+// Deletes carry no value. Replay stops cleanly at the first torn record,
+// which is the correct crash-recovery behaviour: everything before it was
+// acknowledged only if the sync policy says so.
+const (
+	walOpPut = 'P'
+	walOpDel = 'D'
+)
+
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	len int64
+	// sync forces an fsync after every append (durable but slow); the
+	// paper's workloads are ingest-once read-many, so default is false.
+	sync bool
+}
+
+func openWAL(path string, sync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("yokan: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), len: st.Size(), sync: sync}, nil
+}
+
+func (w *wal) append(op byte, key, val []byte) error {
+	body := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(val))
+	body = append(body, op)
+	body = binary.AppendUvarint(body, uint64(len(key)))
+	body = append(body, key...)
+	if op == walOpPut {
+		body = binary.AppendUvarint(body, uint64(len(val)))
+		body = append(body, val...)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(body); err != nil {
+		return err
+	}
+	w.len += int64(len(hdr) + len(body))
+	if w.sync {
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *wal) flush() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// reset truncates the log after a successful memtable flush.
+func (w *wal) reset() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.len = 0
+	w.w.Reset(w.f)
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL feeds every intact record to fn. It tolerates a truncated or
+// corrupt tail (crash mid-append) by stopping there.
+func replayWAL(path string, fn func(op byte, key, val []byte) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: stop
+		}
+		crc := binary.LittleEndian.Uint32(hdr[0:])
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		if n > maxWALRecord {
+			return nil // corrupt length: stop
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil // torn record: stop
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return nil // corrupt record: stop
+		}
+		op := body[0]
+		rest := body[1:]
+		klen, m := binary.Uvarint(rest)
+		if m <= 0 || uint64(len(rest)-m) < klen {
+			return nil
+		}
+		key := rest[m : m+int(klen)]
+		var val []byte
+		if op == walOpPut {
+			rest = rest[m+int(klen):]
+			vlen, m2 := binary.Uvarint(rest)
+			if m2 <= 0 || uint64(len(rest)-m2) < vlen {
+				return nil
+			}
+			val = rest[m2 : m2+int(vlen)]
+		}
+		if err := fn(op, key, val); err != nil {
+			return err
+		}
+	}
+}
+
+const maxWALRecord = 1 << 28 // 256 MiB sanity cap per record
