@@ -26,6 +26,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
 	"github.com/hep-on-hpc/hepnos-go/internal/core"
 	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
+	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
 
 // Client-side types.
@@ -86,6 +87,26 @@ type (
 
 // Comm is the MPI-like communicator used by parallel client applications.
 type Comm = mpi.Comm
+
+// Resilience types: the shared failure-handling policy attachable to a
+// client via ClientConfig.Resilience (retry budget, exponential backoff
+// with seeded jitter, per-attempt deadlines, per-target circuit breakers
+// with half-open probing).
+type (
+	// ResiliencePolicy bundles retry/backoff/breaker behaviour.
+	ResiliencePolicy = resilience.Policy
+	// RetryBudget bounds a process's total retry volume.
+	RetryBudget = resilience.Budget
+	// BreakerConfig parameterizes per-target circuit breakers.
+	BreakerConfig = resilience.BreakerConfig
+)
+
+// DefaultResilience returns the stack's standard policy; NewRetryBudget
+// builds a custom shared retry budget.
+var (
+	DefaultResilience = resilience.Default
+	NewRetryBudget    = resilience.NewBudget
+)
 
 // Errors re-exported from the core package.
 var (

@@ -18,6 +18,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/argo"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
@@ -40,6 +41,9 @@ type MargoConfig struct {
 	// NetSim optionally attaches a network cost model (testing only; not
 	// part of the original Bedrock schema).
 	NetSim *NetSimConfig `json:"netsim,omitempty"`
+	// Resilience optionally attaches a retry/backoff/circuit-breaker
+	// policy to the server's outgoing calls (bulk pulls back to clients).
+	Resilience *ResilienceConfig `json:"resilience,omitempty"`
 }
 
 // NetSimConfig is the JSON form of a fabric.NetSim.
@@ -48,6 +52,43 @@ type NetSimConfig struct {
 	BandwidthBps      float64 `json:"bandwidth_bps"`
 	InjectionBps      float64 `json:"injection_bps"`
 	InjectionHardFail bool    `json:"injection_hard_fail"`
+}
+
+// ResilienceConfig is the JSON form of a resilience.Policy. Zero fields
+// fall back to the resilience package defaults.
+type ResilienceConfig struct {
+	MaxRetries        int     `json:"max_retries"`
+	InitialBackoffUS  int64   `json:"initial_backoff_us"`
+	MaxBackoffUS      int64   `json:"max_backoff_us"`
+	Jitter            float64 `json:"jitter"`
+	PerTryTimeoutUS   int64   `json:"per_try_timeout_us"`
+	RetryBudget       float64 `json:"retry_budget"`
+	BreakerThreshold  int     `json:"breaker_threshold"`
+	BreakerCooldownUS int64   `json:"breaker_cooldown_us"`
+}
+
+// Policy materializes the config into a live policy.
+func (rc *ResilienceConfig) Policy() *resilience.Policy {
+	if rc == nil {
+		return nil
+	}
+	p := &resilience.Policy{
+		MaxRetries:     rc.MaxRetries,
+		InitialBackoff: time.Duration(rc.InitialBackoffUS) * time.Microsecond,
+		MaxBackoff:     time.Duration(rc.MaxBackoffUS) * time.Microsecond,
+		Jitter:         rc.Jitter,
+		PerTryTimeout:  time.Duration(rc.PerTryTimeoutUS) * time.Microsecond,
+	}
+	if rc.RetryBudget > 0 {
+		p.Budget = resilience.NewBudget(rc.RetryBudget, 0.1)
+	}
+	if rc.BreakerThreshold > 0 {
+		p.Breaker = &resilience.BreakerConfig{
+			FailureThreshold: rc.BreakerThreshold,
+			Cooldown:         time.Duration(rc.BreakerCooldownUS) * time.Microsecond,
+		}
+	}
+	return p
 }
 
 // ProviderConfig declares one provider.
@@ -122,6 +163,7 @@ func Boot(cfg ProcessConfig) (*Server, error) {
 		Argobots:    cfg.Margo.Argobots,
 		RPCXStreams: cfg.Margo.RPCXStreams,
 		NetSim:      sim,
+		Resilience:  cfg.Margo.Resilience.Policy(),
 	})
 	if err != nil {
 		return nil, err

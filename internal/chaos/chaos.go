@@ -1,0 +1,230 @@
+// Package chaos is a deterministic, seedable fault-injection framework
+// for the whole stack. The paper's evaluation depends on failure
+// behaviour under load — §IV-E reports runs crashing from
+// "oversaturation of the injection bandwidth of the Aries NIC" — and a
+// production service must survive exactly those conditions. This package
+// turns ad-hoc fault hooks into named, reproducible *scenarios*:
+//
+//   - client-side, an Injector adapts to the fabric.NetSim.Fault hook
+//     (attach with ClientFault), observing every outgoing message;
+//   - server-side, it adapts to fabric.Endpoint.SetServeFault (attach
+//     with ServeFault), observing every incoming request before
+//     dispatch.
+//
+// All probabilistic decisions come from one PRNG seeded at construction,
+// and every decision is appended to an ordered trace — so for a
+// deterministic workload, the same seed reproduces the exact same fault
+// sequence, byte for byte. Failing chaos tests print their seed; setting
+// CHAOS_SEED replays the run.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+)
+
+// Verdict is a scenario's decision about one message.
+type Verdict struct {
+	// Drop, when non-nil, fails the message with this error.
+	Drop error
+	// Delay imposes extra latency before the message proceeds (applied
+	// whether or not the message is dropped).
+	Delay time.Duration
+}
+
+// Msg describes one observed message.
+type Msg struct {
+	// Peer is the target address (client side) or the caller's address
+	// (server side).
+	Peer fabric.Address
+	// RPC is the wire-level RPC name (service-namespaced under margo,
+	// e.g. "yokan:0#put_multi").
+	RPC string
+	// Size is the payload length in bytes.
+	Size int
+	// N is the 1-based observation index within the injector.
+	N int
+	// ServerSide is true for messages observed by the serve-side hook.
+	ServerSide bool
+}
+
+// Scenario decides the fate of each observed message. Decide runs under
+// the injector's lock with the injector's seeded PRNG, so stateful
+// scenarios need no synchronization of their own — but a Scenario value
+// must not be shared between Injectors.
+type Scenario interface {
+	// Name identifies the scenario in traces and test output.
+	Name() string
+	// Decide returns the verdict for message m.
+	Decide(rng *rand.Rand, m Msg) Verdict
+}
+
+// Injector drives one scenario from a seeded PRNG, recording every
+// decision. Its hook adapters are safe for concurrent use; decisions are
+// serialized, so with a sequential workload the trace — and therefore
+// the whole fault schedule — is a pure function of the seed.
+type Injector struct {
+	seed     int64
+	scenario Scenario
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	n      int
+	drops  int
+	trace  []string
+	healed bool
+}
+
+// New creates an injector for the scenario, seeded with seed.
+func New(seed int64, sc Scenario) *Injector {
+	return &Injector{seed: seed, scenario: sc, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the injector's seed (for failure reports).
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Scenario returns the scenario under injection.
+func (in *Injector) Scenario() Scenario { return in.scenario }
+
+// Heal permanently disables injection: all subsequent messages pass
+// untouched and unrecorded, as if the fault condition cleared.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	in.healed = true
+	in.mu.Unlock()
+}
+
+// Healed reports whether Heal was called.
+func (in *Injector) Healed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.healed
+}
+
+// decide is the common observation path for both hook adapters.
+func (in *Injector) decide(m Msg) error {
+	in.mu.Lock()
+	if in.healed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.n++
+	m.N = in.n
+	v := in.scenario.Decide(in.rng, m)
+	if v.Drop != nil {
+		in.drops++
+	}
+	in.trace = append(in.trace, renderEvent(m, v))
+	in.mu.Unlock()
+	if v.Delay > 0 {
+		time.Sleep(v.Delay)
+	}
+	return v.Drop
+}
+
+// ClientFault adapts the injector to the fabric.NetSim.Fault hook:
+//
+//	sim := &fabric.NetSim{Fault: injector.ClientFault()}
+func (in *Injector) ClientFault() func(target fabric.Address, rpc string, size int) error {
+	return func(target fabric.Address, rpc string, size int) error {
+		return in.decide(Msg{Peer: target, RPC: rpc, Size: size})
+	}
+}
+
+// ServeFault adapts the injector to fabric.Endpoint.SetServeFault, the
+// server-side injection point.
+func (in *Injector) ServeFault() fabric.FaultHook {
+	return func(peer fabric.Address, rpc string, size int) error {
+		return in.decide(Msg{Peer: peer, RPC: rpc, Size: size, ServerSide: true})
+	}
+}
+
+// Trace returns the ordered decision log. Two runs of a deterministic
+// workload under the same seed produce identical traces.
+func (in *Injector) Trace() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.trace...)
+}
+
+// Observed reports how many messages the injector has decided on.
+func (in *Injector) Observed() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.n
+}
+
+// Drops counts how many messages the injector has failed so far.
+func (in *Injector) Drops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.drops
+}
+
+func renderEvent(m Msg, v Verdict) string {
+	side := "send"
+	if m.ServerSide {
+		side = "serve"
+	}
+	s := fmt.Sprintf("#%d %s %s %s %dB", m.N, side, m.RPC, m.Peer, m.Size)
+	if v.Delay > 0 {
+		s += fmt.Sprintf(" delay=%s", v.Delay)
+	}
+	if v.Drop != nil {
+		s += fmt.Sprintf(" drop(%v)", v.Drop)
+	} else {
+		s += " pass"
+	}
+	return s
+}
+
+// SeedEnv is the environment variable that replays a chaos seed.
+const SeedEnv = "CHAOS_SEED"
+
+// SeedFromEnv returns the seed from CHAOS_SEED, or def when the variable
+// is unset or unparseable — so any red chaos run can be replayed
+// byte-for-byte with e.g. `CHAOS_SEED=4242 go test -run TestChaos...`.
+func SeedFromEnv(def int64) int64 {
+	if v := os.Getenv(SeedEnv); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return s
+		}
+	}
+	return def
+}
+
+// TB is the slice of testing.TB the chaos helpers need (kept as an
+// interface so importing chaos does not drag package testing into
+// non-test binaries).
+type TB interface {
+	Cleanup(func())
+	Failed() bool
+	Logf(format string, args ...any)
+	Name() string
+}
+
+// Report arranges for the injector's seed and scenario to be printed if
+// the test fails, with the CHAOS_SEED incantation that reproduces it.
+func Report(t TB, in *Injector) {
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("chaos: scenario %q failed with seed %d; replay with %s=%d go test -run '%s'",
+				in.Scenario().Name(), in.Seed(), SeedEnv, in.Seed(), t.Name())
+			trace := in.Trace()
+			max := len(trace)
+			if max > 40 {
+				t.Logf("chaos: last 40 of %d decisions:", max)
+				trace = trace[max-40:]
+			}
+			for _, e := range trace {
+				t.Logf("chaos:   %s", e)
+			}
+		}
+	})
+}

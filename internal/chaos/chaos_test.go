@@ -1,0 +1,248 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+)
+
+func TestDropNThenHeal(t *testing.T) {
+	in := New(1, &DropN{N: 3})
+	fault := in.ClientFault()
+	for i := 0; i < 3; i++ {
+		if err := fault("inproc://a", "put", 10); !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("message %d should drop, got %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := fault("inproc://a", "put", 10); err != nil {
+			t.Fatalf("message %d after heal: %v", i, err)
+		}
+	}
+	if in.Drops() != 3 || in.Observed() != 8 {
+		t.Fatalf("drops=%d observed=%d", in.Drops(), in.Observed())
+	}
+}
+
+func TestDropWindowOffsets(t *testing.T) {
+	in := New(1, &DropWindow{Skip: 2, N: 2})
+	fault := in.ClientFault()
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, fault("inproc://a", "put", 1) != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drop pattern %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameSeedSameTrace(t *testing.T) {
+	run := func(seed int64) []string {
+		in := New(seed, &Compose{Scenarios: []Scenario{
+			&Flaky{P: 0.3},
+			&LatencySpike{Every: 7, Delay: time.Microsecond},
+		}})
+		fault := in.ClientFault()
+		serve := in.ServeFault()
+		for i := 0; i < 100; i++ {
+			fault(fabric.Address(fmt.Sprintf("inproc://s%d", i%3)), "get", i)
+			if i%4 == 0 {
+				serve("inproc://cli", "yokan:0#put_multi", i)
+			}
+		}
+		return in.Trace()
+	}
+	a, b := run(99), run(99)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	c := run(100)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestPartitionByTarget(t *testing.T) {
+	bad := fabric.Address("inproc://victim")
+	in := New(1, &Partition{Peers: []fabric.Address{bad}})
+	fault := in.ClientFault()
+	if err := fault("inproc://healthy", "get", 1); err != nil {
+		t.Fatalf("healthy peer dropped: %v", err)
+	}
+	if err := fault(bad, "get", 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("victim not partitioned: %v", err)
+	}
+	in.Heal()
+	if err := fault(bad, "get", 1); err != nil {
+		t.Fatalf("heal did not lift the partition: %v", err)
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	bad := fabric.Address("inproc://victim")
+	in := New(1, &Partition{Peers: []fabric.Address{bad}, From: 3, For: 2})
+	fault := in.ClientFault()
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, fault(bad, "get", 1) != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("partition pattern %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOverloadStormInjectsOverloadErrors(t *testing.T) {
+	in := New(7, &OverloadStorm{Period: 10, Len: 5, P: 1})
+	fault := in.ClientFault()
+	for i := 0; i < 30; i++ {
+		err := fault("inproc://s", "put", 100)
+		inStorm := i%10 < 5
+		if inStorm && !errors.Is(err, fabric.ErrInjectionOverload) {
+			t.Fatalf("message %d: want overload, got %v", i, err)
+		}
+		if !inStorm && err != nil {
+			t.Fatalf("message %d outside storm dropped: %v", i, err)
+		}
+	}
+}
+
+func TestCrashAfterWritesIgnoresReadsThenKillsAll(t *testing.T) {
+	in := New(1, &CrashAfterWrites{K: 2})
+	serve := in.ServeFault()
+	// Reads never advance the crash counter.
+	for i := 0; i < 5; i++ {
+		if err := serve("inproc://cli", "yokan:0#get", 1); err != nil {
+			t.Fatalf("read %d dropped: %v", i, err)
+		}
+	}
+	if err := serve("inproc://cli", "yokan:0#put", 1); err != nil {
+		t.Fatalf("first write should land: %v", err)
+	}
+	// The Kth write crashes the server; everything after is lost.
+	if err := serve("inproc://cli", "yokan:0#put_multi", 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second write should crash: %v", err)
+	}
+	if err := serve("inproc://cli", "yokan:0#get", 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash should fail: %v", err)
+	}
+	in.Heal()
+	if err := serve("inproc://cli", "yokan:0#get", 1); err != nil {
+		t.Fatalf("restarted server still failing: %v", err)
+	}
+}
+
+func TestIsWriteRPC(t *testing.T) {
+	for rpc, want := range map[string]bool{
+		"put":                   true,
+		"put_multi":             true,
+		"put_multi_bulk":        true,
+		"yokan:3#put_new":       true,
+		"yokan:0#erase":         true,
+		"get":                   false,
+		"yokan:0#get_multi":     false,
+		"yokan:0#list_keys":     false,
+		"admin:0#ping":          false,
+		"computation_reputable": false,
+	} {
+		if IsWriteRPC(rpc) != want {
+			t.Fatalf("IsWriteRPC(%q) != %v", rpc, want)
+		}
+	}
+}
+
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv(SeedEnv, "")
+	if got := SeedFromEnv(42); got != 42 {
+		t.Fatalf("unset: %d", got)
+	}
+	t.Setenv(SeedEnv, "1234")
+	if got := SeedFromEnv(42); got != 1234 {
+		t.Fatalf("set: %d", got)
+	}
+	t.Setenv(SeedEnv, "not-a-number")
+	if got := SeedFromEnv(42); got != 42 {
+		t.Fatalf("garbage: %d", got)
+	}
+}
+
+// TestInjectorOnLiveEndpoints wires an injector into a real fabric
+// endpoint pair: client-side drops surface to the caller, server-side
+// drops cross as transport (InjectedFault) failures — not RemoteError —
+// so retry policies treat them as resendable.
+func TestInjectorOnLiveEndpoints(t *testing.T) {
+	in := New(1, &DropN{N: 1})
+	sim := &fabric.NetSim{Fault: in.ClientFault()}
+	cli, err := fabric.Listen("inproc://chaos-cli", fabric.WithNetSim(sim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv, err := fabric.Listen("inproc://chaos-srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var served atomic.Int32
+	srv.Register("echo", func(_ context.Context, req *fabric.Request) ([]byte, error) {
+		served.Add(1)
+		return req.Payload, nil
+	})
+	ctx := context.Background()
+
+	// First call: dropped client-side, handler never runs.
+	if _, err := cli.Call(ctx, srv.Addr(), "echo", []byte("x")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("want injected drop, got %v", err)
+	}
+	if served.Load() != 0 {
+		t.Fatal("dropped message reached the handler")
+	}
+	// Healed: traffic flows.
+	if out, err := cli.Call(ctx, srv.Addr(), "echo", []byte("x")); err != nil || string(out) != "x" {
+		t.Fatalf("after heal: %q %v", out, err)
+	}
+
+	// Server-side injection: the caller sees a transport-class failure.
+	sin := New(2, &DropN{N: 1})
+	srv.SetServeFault(sin.ServeFault())
+	_, err = cli.Call(ctx, srv.Addr(), "echo", []byte("y"))
+	var inj *fabric.InjectedFault
+	if !errors.As(err, &inj) || !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("want InjectedFault wrapping the drop, got %v", err)
+	}
+	var remote *fabric.RemoteError
+	if errors.As(err, &remote) {
+		t.Fatal("server-side drop crossed as RemoteError; retries would be unsafe to classify")
+	}
+	if fabric.RetryableError(err) != true {
+		t.Fatal("server-side drop must be retryable")
+	}
+	srv.SetServeFault(nil)
+	if _, err := cli.Call(ctx, srv.Addr(), "echo", []byte("z")); err != nil {
+		t.Fatalf("after removing serve fault: %v", err)
+	}
+}

@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+)
+
+// Errors injected by the built-in scenarios when none is supplied.
+var (
+	// ErrInjectedDrop is the default message-loss error.
+	ErrInjectedDrop = errors.New("chaos: injected drop")
+	// ErrCrashed simulates a dead server: every message to it is lost.
+	ErrCrashed = errors.New("chaos: server crashed")
+	// ErrPartitioned simulates a network partition between two peers.
+	ErrPartitioned = errors.New("chaos: network partition")
+)
+
+// DropN fails the first N observed messages, then heals — the classic
+// "drop-N-then-heal" scenario: a retrying client must complete with zero
+// loss once the network recovers.
+type DropN struct {
+	N   int
+	Err error // default ErrInjectedDrop
+}
+
+// Name implements Scenario.
+func (s *DropN) Name() string { return fmt.Sprintf("drop-%d-then-heal", s.N) }
+
+// Decide implements Scenario.
+func (s *DropN) Decide(_ *rand.Rand, m Msg) Verdict {
+	if m.N <= s.N {
+		return Verdict{Drop: orDefault(s.Err)}
+	}
+	return Verdict{}
+}
+
+// DropWindow passes the first Skip messages, fails the next N, then
+// heals — it places a transient outage at a precise offset into a
+// workload (used by the flush-under-failure property tests).
+type DropWindow struct {
+	Skip, N int
+	Err     error // default ErrInjectedDrop
+}
+
+// Name implements Scenario.
+func (s *DropWindow) Name() string { return fmt.Sprintf("drop-%d-after-%d", s.N, s.Skip) }
+
+// Decide implements Scenario.
+func (s *DropWindow) Decide(_ *rand.Rand, m Msg) Verdict {
+	if m.N > s.Skip && m.N <= s.Skip+s.N {
+		return Verdict{Drop: orDefault(s.Err)}
+	}
+	return Verdict{}
+}
+
+// Flaky drops each message independently with probability P, drawn from
+// the injector's seeded PRNG — same seed, same observation order, same
+// drops.
+type Flaky struct {
+	P   float64
+	Err error // default ErrInjectedDrop
+}
+
+// Name implements Scenario.
+func (s *Flaky) Name() string { return fmt.Sprintf("flaky-p%.2f", s.P) }
+
+// Decide implements Scenario.
+func (s *Flaky) Decide(rng *rand.Rand, _ Msg) Verdict {
+	if rng.Float64() < s.P {
+		return Verdict{Drop: orDefault(s.Err)}
+	}
+	return Verdict{}
+}
+
+// Partition drops every message to or from the named peers, starting at
+// observation From (1-based; 0 means from the start) and lasting For
+// further observations (0 means until Heal is called) — the
+// partition-by-target scenario.
+type Partition struct {
+	Peers     []fabric.Address
+	From, For int
+}
+
+// Name implements Scenario.
+func (s *Partition) Name() string { return fmt.Sprintf("partition-%d-peers", len(s.Peers)) }
+
+// Decide implements Scenario.
+func (s *Partition) Decide(_ *rand.Rand, m Msg) Verdict {
+	if m.N < s.From {
+		return Verdict{}
+	}
+	if s.For > 0 && m.N >= s.From+s.For {
+		return Verdict{}
+	}
+	for _, p := range s.Peers {
+		if p == m.Peer {
+			return Verdict{Drop: fmt.Errorf("%w: %s", ErrPartitioned, p)}
+		}
+	}
+	return Verdict{}
+}
+
+// LatencySpike delays every Every-th message by Delay — tail-latency
+// injection without message loss.
+type LatencySpike struct {
+	Every int
+	Delay time.Duration
+}
+
+// Name implements Scenario.
+func (s *LatencySpike) Name() string { return fmt.Sprintf("latency-spike-every-%d", s.Every) }
+
+// Decide implements Scenario.
+func (s *LatencySpike) Decide(_ *rand.Rand, m Msg) Verdict {
+	every := s.Every
+	if every <= 0 {
+		every = 10
+	}
+	if m.N%every == 0 {
+		return Verdict{Delay: s.Delay}
+	}
+	return Verdict{}
+}
+
+// OverloadStorm reproduces the §IV-E failure mode: in repeating windows,
+// messages fail with fabric.ErrInjectionOverload (the NIC injection-
+// bandwidth budget error) with probability P. Out of every Period
+// observations the first Len are the storm.
+type OverloadStorm struct {
+	Period int     // window length in observations (default 100)
+	Len    int     // storm prefix of each window (default Period/2)
+	P      float64 // drop probability inside the storm (default 1)
+}
+
+// Name implements Scenario.
+func (s *OverloadStorm) Name() string { return "injection-overload-storm" }
+
+// Decide implements Scenario.
+func (s *OverloadStorm) Decide(rng *rand.Rand, m Msg) Verdict {
+	period := s.Period
+	if period <= 0 {
+		period = 100
+	}
+	length := s.Len
+	if length <= 0 {
+		length = period / 2
+	}
+	p := s.P
+	if p <= 0 {
+		p = 1
+	}
+	if (m.N-1)%period < length && rng.Float64() < p {
+		return Verdict{Drop: fabric.ErrInjectionOverload}
+	}
+	return Verdict{}
+}
+
+// CrashAfterWrites simulates a server crash on the K-th write: once K
+// write RPCs (put/erase families) have been observed, *every* subsequent
+// message is lost until Heal — the crash-on-Kth-write scenario. Meant
+// for the server-side hook, where it sees the service's true write
+// stream.
+type CrashAfterWrites struct {
+	K int
+
+	writes  int
+	crashed bool
+}
+
+// Name implements Scenario.
+func (s *CrashAfterWrites) Name() string { return fmt.Sprintf("crash-after-%d-writes", s.K) }
+
+// Decide implements Scenario.
+func (s *CrashAfterWrites) Decide(_ *rand.Rand, m Msg) Verdict {
+	if s.crashed {
+		return Verdict{Drop: ErrCrashed}
+	}
+	if IsWriteRPC(m.RPC) {
+		s.writes++
+		if s.writes >= s.K {
+			s.crashed = true
+			return Verdict{Drop: ErrCrashed}
+		}
+	}
+	return Verdict{}
+}
+
+// Compose chains scenarios: the first non-pass verdict wins, and delays
+// accumulate across members.
+type Compose struct {
+	Scenarios []Scenario
+}
+
+// Name implements Scenario.
+func (s *Compose) Name() string {
+	names := make([]string, len(s.Scenarios))
+	for i, sc := range s.Scenarios {
+		names[i] = sc.Name()
+	}
+	return "compose(" + strings.Join(names, "+") + ")"
+}
+
+// Decide implements Scenario.
+func (s *Compose) Decide(rng *rand.Rand, m Msg) Verdict {
+	var out Verdict
+	for _, sc := range s.Scenarios {
+		v := sc.Decide(rng, m)
+		out.Delay += v.Delay
+		if out.Drop == nil {
+			out.Drop = v.Drop
+		}
+	}
+	return out
+}
+
+// IsWriteRPC classifies a wire-level RPC name (possibly provider-
+// namespaced, e.g. "yokan:0#put_multi") as a state-mutating operation.
+func IsWriteRPC(rpc string) bool {
+	if i := strings.LastIndexByte(rpc, '#'); i >= 0 {
+		rpc = rpc[i+1:]
+	}
+	return strings.HasPrefix(rpc, "put") || strings.HasPrefix(rpc, "erase")
+}
+
+func orDefault(err error) error {
+	if err != nil {
+		return err
+	}
+	return ErrInjectedDrop
+}

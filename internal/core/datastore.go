@@ -26,6 +26,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/uuid"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
@@ -76,6 +77,13 @@ type ClientConfig struct {
 	// NetSim optionally attaches a network cost model to the client's
 	// endpoint (latency/bandwidth injection for tests and ablations).
 	NetSim *fabric.NetSim
+	// Resilience optionally attaches a shared retry/backoff/circuit-
+	// breaker policy to every RPC the client issues (discovery, puts,
+	// gets, iteration). Transient transport faults — injected drops,
+	// injection-bandwidth overload (§IV-E), crashed-and-restarted
+	// servers — are then absorbed instead of surfacing to the
+	// application. resilience.Default() is a good starting point.
+	Resilience *resilience.Policy
 }
 
 var clientSeq atomic.Int64
@@ -112,7 +120,7 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 			addr = fabric.Address(fmt.Sprintf("inproc://hepnos-client-%d", clientSeq.Add(1)))
 		}
 	}
-	mi, err := margo.Init(margo.Config{Address: addr, NetSim: cfg.NetSim})
+	mi, err := margo.Init(margo.Config{Address: addr, NetSim: cfg.NetSim, Resilience: cfg.Resilience})
 	if err != nil {
 		return nil, err
 	}

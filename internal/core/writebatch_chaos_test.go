@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/chaos"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
+)
+
+// TestWriteBatchFlushUnderFailure is the property-style check from the
+// ISSUE: for random batch sizes and random fault placements, a
+// WriteBatch.Flush driven through a resilient client must deliver every
+// queued update exactly once — no loss (all events and products present,
+// values intact) and no duplication (the event list holds each number
+// once) — even when a transient outage lands anywhere in the RPC stream,
+// including connect-time discovery. CHAOS_SEED replays a failing sweep.
+func TestWriteBatchFlushUnderFailure(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	master := chaos.SeedFromEnv(20260805)
+	mrand := rand.New(rand.NewSource(master))
+	t.Logf("property sweep: %d trials under master seed %d (override with %s)",
+		trials, master, chaos.SeedEnv)
+
+	dep, err := bedrock.Deploy(bedrock.DeploySpec{
+		Servers:             2,
+		ProvidersPerServer:  2,
+		EventDBsPerServer:   2,
+		ProductDBsPerServer: 2,
+		NamePrefix:          "wb-chaos",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dep.Shutdown)
+
+	for trial := 0; trial < trials; trial++ {
+		batch := 5 + mrand.Intn(56)        // 5..60 queued updates
+		faults := 1 + mrand.Intn(4)        // 1..4 consecutive drops
+		offset := mrand.Intn(2*batch + 10) // anywhere in the RPC stream
+		seed := mrand.Int63()
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			ctx := context.Background()
+			in := chaos.New(seed, &chaos.DropWindow{Skip: offset, N: faults})
+			chaos.Report(t, in)
+			t.Logf("batch=%d faults=%d at offset %d (seed %d)", batch, faults, offset, seed)
+
+			pol := &resilience.Policy{
+				MaxRetries:     6,
+				InitialBackoff: 50 * time.Microsecond,
+				MaxBackoff:     time.Millisecond,
+				Retryable:      fabric.RetryableError,
+			}
+			ds, err := Connect(ctx, ClientConfig{
+				Group:      dep.Group,
+				NetSim:     &fabric.NetSim{Fault: in.ClientFault()},
+				Resilience: pol,
+			})
+			if err != nil {
+				t.Fatalf("connect under faults: %v", err)
+			}
+			defer ds.Close()
+
+			d, err := ds.CreateDataSet(ctx, fmt.Sprintf("wbchaos/trial%d", trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb := ds.NewWriteBatch()
+			r, err := wb.CreateRun(ctx, d, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr, err := wb.CreateSubRun(ctx, r, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= batch; i++ {
+				ev, err := wb.CreateEvent(ctx, sr, uint64(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := wb.Store(ctx, ev, "payload", []int32{int32(trial), int32(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Flush keeps unsent groups on error; with the resilience
+			// layer underneath, a bounded number of re-drives must land
+			// everything.
+			var flushErr error
+			for attempt := 0; attempt < 4; attempt++ {
+				if flushErr = wb.Flush(ctx); flushErr == nil {
+					break
+				}
+			}
+			if flushErr != nil {
+				t.Fatalf("flush never completed: %v", flushErr)
+			}
+			if wb.Pending() != 0 {
+				t.Fatalf("flush left %d updates pending", wb.Pending())
+			}
+
+			// Audit: every event exactly once, every product intact.
+			nums, err := sr.Events(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(nums) != batch {
+				t.Fatalf("event count %d, want %d (loss or duplication)", len(nums), batch)
+			}
+			for i, n := range nums {
+				if n != uint64(i+1) {
+					t.Fatalf("event numbers corrupted: %v", nums)
+				}
+				ev, err := sr.Event(ctx, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []int32
+				if err := ev.Load(ctx, "payload", &got); err != nil {
+					t.Fatalf("event %d lost its product: %v", n, err)
+				}
+				if len(got) != 2 || got[0] != int32(trial) || got[1] != int32(n) {
+					t.Fatalf("event %d product corrupted: %v", n, got)
+				}
+			}
+		})
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
 
 // Address identifies an endpoint, e.g. "inproc://server0" or
@@ -56,6 +58,46 @@ type RemoteError struct {
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("fabric: remote %s failed: %s", e.RPC, e.Msg)
 }
+
+// InjectedFault marks an error produced by a fault hook (NetSim.Fault or
+// a serve-side hook). Transports propagate it as a message *loss* — a
+// transport-level failure — rather than converting it to a RemoteError,
+// because an injected drop means the handler never ran and re-sending is
+// safe. Unwrap exposes the scenario's error for errors.Is tests.
+type InjectedFault struct{ Err error }
+
+// Error implements the error interface.
+func (f *InjectedFault) Error() string { return "fabric: injected fault: " + f.Err.Error() }
+
+// Unwrap exposes the injected cause.
+func (f *InjectedFault) Unwrap() error { return f.Err }
+
+// RetryableError is the fabric's retry classifier for resilience
+// policies: it reports whether err is a transport-level failure — the
+// request cannot have been executed by a remote handler, so re-sending
+// is safe. Application errors (RemoteError) and local terminal states
+// are never retryable.
+func RetryableError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return false
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrNoSuchRPC) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// FaultHook is a server-side fault injection point: it observes each
+// incoming request before dispatch and may return an error to drop it.
+// peer is the caller's address, size the payload length.
+type FaultHook func(peer Address, rpc string, size int) error
 
 // Request is what a handler receives.
 type Request struct {
@@ -122,12 +164,14 @@ type Dispatcher func(run func())
 type Endpoint struct {
 	addr  Address
 	trans transport
-	sim   *NetSim // nil means free, instant network
+	sim   *NetSim            // nil means free, instant network
+	res   *resilience.Policy // nil means single-shot calls
 
-	mu       sync.RWMutex
-	handlers map[string]Handler
-	dispatch Dispatcher
-	closed   bool
+	mu         sync.RWMutex
+	handlers   map[string]Handler
+	dispatch   Dispatcher
+	serveFault FaultHook
+	closed     bool
 
 	bulk  bulkTable
 	stats statsCollector
@@ -146,6 +190,21 @@ func WithNetSim(sim *NetSim) Option {
 // WithDispatcher sets how incoming handler invocations are scheduled.
 func WithDispatcher(d Dispatcher) Option {
 	return func(e *Endpoint) { e.dispatch = d }
+}
+
+// WithResilience attaches a retry/backoff/circuit-breaker policy to the
+// endpoint's outgoing calls. If the policy has no classifier, the
+// fabric's RetryableError is installed so application (RemoteError)
+// failures are never re-sent. The policy should be shared by everything
+// talking through this endpoint so its retry budget and breakers see the
+// whole traffic.
+func WithResilience(p *resilience.Policy) Option {
+	return func(e *Endpoint) {
+		if p != nil && p.Retryable == nil {
+			p.Retryable = RetryableError
+		}
+		e.res = p
+	}
 }
 
 // Listen creates an endpoint on the given address. Supported schemes are
@@ -208,8 +267,33 @@ func (e *Endpoint) SetDispatcher(d Dispatcher) {
 	e.mu.Unlock()
 }
 
-// Call sends an RPC to the target and waits for its response.
+// SetServeFault installs (or, with nil, removes) a server-side fault
+// hook consulted before dispatching each incoming request. A non-nil
+// error from the hook drops the request: the caller observes a
+// transport-level failure (InjectedFault), never a RemoteError, because
+// the handler was never run. Safe to call while the endpoint is serving
+// — chaos scenarios install and heal hooks on live deployments.
+func (e *Endpoint) SetServeFault(h FaultHook) {
+	e.mu.Lock()
+	e.serveFault = h
+	e.mu.Unlock()
+}
+
+// Call sends an RPC to the target and waits for its response. With a
+// resilience policy attached (WithResilience), transport-level failures
+// are retried under that policy — each attempt is a fresh send paying
+// the NetSim cost model again.
 func (e *Endpoint) Call(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error) {
+	if e.res == nil {
+		return e.callOnce(ctx, target, rpc, payload)
+	}
+	return resilience.Do(ctx, e.res, string(target), func(ctx context.Context) ([]byte, error) {
+		return e.callOnce(ctx, target, rpc, payload)
+	})
+}
+
+// callOnce is a single unretried send attempt.
+func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error) {
 	e.mu.RLock()
 	closed := e.closed
 	e.mu.RUnlock()
@@ -254,9 +338,16 @@ func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload 
 	h, ok := e.handlers[rpc]
 	closed := e.closed
 	dispatch := e.dispatch
+	fault := e.serveFault
 	e.mu.RUnlock()
 	if closed {
 		return nil, ErrClosed
+	}
+	if fault != nil {
+		if err := fault(from, rpc, len(payload)); err != nil {
+			e.stats.errors.Add(1)
+			return nil, &InjectedFault{Err: err}
+		}
 	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %q at %s", ErrNoSuchRPC, rpc, e.addr)

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -48,6 +49,12 @@ func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, 
 	}
 	resp, err := dst.serve(ctx, t.addr, rpc, in)
 	if err != nil {
+		// Injected server-side faults are message losses: they cross as
+		// transport failures, since the handler never executed.
+		var inj *InjectedFault
+		if errors.As(err, &inj) {
+			return nil, err
+		}
 		// Application errors cross the "wire" as RemoteError, like a
 		// serialized Mercury response with an error code.
 		if _, isRemote := err.(*RemoteError); !isRemote && ctx.Err() == nil {

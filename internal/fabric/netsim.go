@@ -34,10 +34,22 @@ type NetSim struct {
 	// Fault, when non-nil, is consulted before each send and may return an
 	// error to inject a failure (drop) for that message.
 	Fault func(target Address, rpc string, size int) error
+	// Now supplies the token bucket's clock; nil means time.Now. Chaos
+	// tests inject a fake clock here so injection-budget behaviour is
+	// deterministic instead of sleep-calibrated.
+	Now func() time.Time
 
 	mu       sync.Mutex
 	tokens   float64
 	lastFill time.Time
+}
+
+// now returns the simulation clock.
+func (s *NetSim) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
 }
 
 // ErrInjectionOverload reports that the injection bandwidth budget was
@@ -89,7 +101,7 @@ func (s *NetSim) takeTokens(size float64) (time.Duration, error) {
 	if burst <= 0 {
 		burst = s.InjectionBps
 	}
-	now := time.Now()
+	now := s.now()
 	if s.lastFill.IsZero() {
 		s.tokens = burst
 	} else {

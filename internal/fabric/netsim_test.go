@@ -1,0 +1,87 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable time source for deterministic token-bucket
+// tests — no sleeping, no wall-clock sensitivity.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+// TestTokenBucketHardFailDeterministic drives the injection token bucket
+// with a fake clock: the budget empties exactly at the configured burst,
+// refills at exactly InjectionBps, and hard-fail mode rolls the debit
+// back so a failed send does not consume budget.
+func TestTokenBucketHardFailDeterministic(t *testing.T) {
+	clock := newFakeClock()
+	sim := &NetSim{
+		InjectionBps:      1000,
+		InjectionBurst:    500,
+		InjectionHardFail: true,
+		Now:               clock.now,
+	}
+
+	// The bucket starts full at burst: 500 bytes pass.
+	if _, err := sim.takeTokens(500); err != nil {
+		t.Fatalf("first 500B: %v", err)
+	}
+	// Empty bucket: the very next byte overloads.
+	if _, err := sim.takeTokens(1); !errors.Is(err, ErrInjectionOverload) {
+		t.Fatalf("want overload, got %v", err)
+	}
+	// The failed send must not have consumed budget: after exactly 250ms
+	// the bucket holds 250 tokens — 250 pass, 251 would not.
+	clock.advance(250 * time.Millisecond)
+	if _, err := sim.takeTokens(250); err != nil {
+		t.Fatalf("250B after 250ms refill: %v", err)
+	}
+	if _, err := sim.takeTokens(1); !errors.Is(err, ErrInjectionOverload) {
+		t.Fatalf("bucket should be empty again, got %v", err)
+	}
+	// Refill never exceeds the burst capacity.
+	clock.advance(time.Hour)
+	if _, err := sim.takeTokens(500); err != nil {
+		t.Fatalf("full burst after long idle: %v", err)
+	}
+	if _, err := sim.takeTokens(1); !errors.Is(err, ErrInjectionOverload) {
+		t.Fatalf("burst cap not enforced: %v", err)
+	}
+}
+
+// TestTokenBucketThrottleWaitIsExact checks throttle mode's computed
+// wait: overdrawing by N bytes at R bytes/s must ask for exactly N/R.
+func TestTokenBucketThrottleWaitIsExact(t *testing.T) {
+	clock := newFakeClock()
+	sim := &NetSim{
+		InjectionBps:   1000,
+		InjectionBurst: 100,
+		Now:            clock.now,
+	}
+	if wait, err := sim.takeTokens(100); err != nil || wait != 0 {
+		t.Fatalf("within burst: wait=%v err=%v", wait, err)
+	}
+	// 500 bytes over an empty bucket at 1000 B/s ⇒ 500ms.
+	wait, err := sim.takeTokens(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("wait=%v, want 500ms", wait)
+	}
+	// The deficit is real: after 500ms the bucket is at zero, so another
+	// 100B costs exactly 100ms more.
+	clock.advance(500 * time.Millisecond)
+	wait, err = sim.takeTokens(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait != 100*time.Millisecond {
+		t.Fatalf("wait=%v, want 100ms", wait)
+	}
+}

@@ -3,6 +3,7 @@ package fabric
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -16,13 +17,16 @@ import (
 //	request = 'Q', u64 reqID, u16 rpcLen, rpc, u16 fromLen, from, payload
 //	reply   = 'R', u64 reqID, u8 status, payload-or-error-message
 //
-// status 0 is success; 1 is an application error whose message follows.
+// status 0 is success; 1 is an application error whose message follows;
+// 2 is an injected server-side fault (chaos testing) that the caller
+// must treat as a transport-level loss, not an application error.
 const (
 	frameRequest = 'Q'
 	frameReply   = 'R'
 
-	statusOK  = 0
-	statusErr = 1
+	statusOK    = 0
+	statusErr   = 1
+	statusFault = 2
 
 	maxFrame = 1 << 30 // sanity cap: 1 GiB per message
 )
@@ -110,7 +114,12 @@ func (t *tcpTransport) connLoop(c *tcpConn) {
 				resp, herr := t.self.serve(context.Background(), from, rpc, payload)
 				var frame []byte
 				if herr != nil {
-					frame = buildReply(reqID, statusErr, []byte(herr.Error()))
+					status := byte(statusErr)
+					var inj *InjectedFault
+					if errors.As(herr, &inj) {
+						status = statusFault
+					}
+					frame = buildReply(reqID, status, []byte(herr.Error()))
 				} else {
 					frame = buildReply(reqID, statusOK, resp)
 				}
@@ -147,6 +156,9 @@ func (t *tcpTransport) call(ctx context.Context, target Address, rpc string, pay
 	case r, ok := <-ch:
 		if !ok {
 			return nil, fmt.Errorf("%w: %s: connection lost", ErrUnreachable, target)
+		}
+		if r.status == statusFault {
+			return nil, &InjectedFault{Err: fmt.Errorf("%w: %s dropped %s: %s", ErrUnreachable, target, rpc, r.payload)}
 		}
 		if r.status == statusErr {
 			return nil, &RemoteError{RPC: rpc, Msg: string(r.payload)}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/hep-on-hpc/hepnos-go/internal/argo"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
 
 // ProviderID distinguishes multiple providers of the same service on one
@@ -52,6 +53,11 @@ type Config struct {
 	RPCXStreams int
 	// NetSim optionally attaches a network cost model to the endpoint.
 	NetSim *fabric.NetSim
+	// Resilience optionally attaches a shared retry/backoff/circuit-
+	// breaker policy to the endpoint's outgoing calls (see
+	// internal/resilience). All forwards issued through this instance are
+	// executed under the policy.
+	Resilience *resilience.Policy
 }
 
 // Init starts a margo instance.
@@ -71,6 +77,9 @@ func Init(cfg Config) (*Instance, error) {
 	var opts []fabric.Option
 	if cfg.NetSim != nil {
 		opts = append(opts, fabric.WithNetSim(cfg.NetSim))
+	}
+	if cfg.Resilience != nil {
+		opts = append(opts, fabric.WithResilience(cfg.Resilience))
 	}
 	ep, err := fabric.Listen(cfg.Address, opts...)
 	if err != nil {

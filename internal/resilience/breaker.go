@@ -1,0 +1,166 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states. Closed passes traffic; Open refuses it; HalfOpen lets
+// a single probe through to test whether the target recovered.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String renders the state for diagnostics.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a circuit breaker. The zero value uses the
+// defaults noted on each field.
+type BreakerConfig struct {
+	// FailureThreshold is how many *consecutive* transport failures trip
+	// the breaker open (default 8).
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses traffic before moving
+	// to half-open (default 100ms).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close a
+	// half-open breaker (default 1). Any probe failure reopens it.
+	HalfOpenProbes int
+	// Now is the clock, injectable for deterministic tests (default
+	// time.Now).
+	Now func() time.Time
+}
+
+func (c *BreakerConfig) applyDefaults() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Breaker is one target's circuit breaker: it trips open after a run of
+// consecutive transport failures, fails calls fast while open, and after
+// a cooldown admits a single probe at a time (half-open) to decide
+// between closing and reopening. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	probing   bool
+	openedAt  time.Time
+}
+
+func newBreaker(cfg BreakerConfig) *Breaker {
+	cfg.applyDefaults()
+	return &Breaker{cfg: cfg}
+}
+
+// NewBreaker creates a standalone breaker (Policy manages its own set;
+// this is for direct use and tests).
+func NewBreaker(cfg BreakerConfig) *Breaker { return newBreaker(cfg) }
+
+// State reports the breaker's current position, accounting for cooldown
+// expiry.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a call may proceed: nil, or ErrCircuitOpen when
+// the breaker is open (or half-open with a probe already in flight).
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = HalfOpen
+		b.successes = 0
+		b.probing = true
+		return nil
+	default: // HalfOpen: one probe at a time
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// RecordSuccess notes a successful (or application-level, i.e.
+// target-is-alive) outcome.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		b.probing = false
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.state = Closed
+			b.failures = 0
+		}
+	}
+}
+
+// RecordFailure notes a transport-level failure.
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		// The probe failed: straight back to open for a fresh cooldown.
+		b.probing = false
+		b.trip()
+	case Open:
+		// A call admitted just before the trip finished late; stay open.
+	}
+}
+
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.successes = 0
+}

@@ -1,0 +1,319 @@
+// Package resilience is the shared failure-handling policy for every
+// client-facing layer of the stack (fabric calls, margo forwards, the
+// Yokan client, the HEPnOS datastore). The paper's evaluation (§IV-E)
+// shows what happens without one: runs crashed outright from
+// "oversaturation of the injection bandwidth of the Aries NIC". A single
+// Policy value bundles the mitigations a production service needs so that
+// transient transport failure degrades throughput instead of correctness:
+//
+//   - bounded retries with exponential backoff and seeded jitter,
+//   - a retry *budget* (token bucket) so that an overload storm cannot be
+//     amplified by a retry storm,
+//   - per-attempt deadlines so one stuck RPC cannot wedge a caller,
+//   - per-target circuit breakers with half-open probing so a crashed or
+//     partitioned server fails fast instead of absorbing full timeouts.
+//
+// All randomness (jitter) comes from a PRNG seeded by Policy.Seed, so a
+// failure schedule observed under fault injection reproduces exactly.
+// A Policy is safe for concurrent use and is meant to be shared: the
+// budget and the breakers only do their jobs when every caller in a
+// process consults the same instance.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Errors reported by the executor itself (as opposed to errors returned
+// by the attempted operation, which are passed through or wrapped).
+var (
+	// ErrCircuitOpen means the target's circuit breaker is open and the
+	// call was refused without touching the wire.
+	ErrCircuitOpen = errors.New("resilience: circuit open")
+	// ErrBudgetExhausted means a retry was warranted but the shared retry
+	// budget had no tokens left (retry-storm protection).
+	ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+)
+
+// Defaults used when the corresponding Policy field is zero.
+const (
+	DefaultInitialBackoff = time.Millisecond
+	DefaultMaxBackoff     = 250 * time.Millisecond
+	DefaultMultiplier     = 2.0
+)
+
+// Policy describes how operations against remote targets are executed.
+// Fields are read-only once the policy is in use; internal state (PRNG,
+// breakers) is synchronized.
+type Policy struct {
+	// MaxRetries is how many times a failed attempt is retried (so the
+	// worst case is 1+MaxRetries attempts). Zero disables retrying.
+	MaxRetries int
+	// InitialBackoff is the delay before the first retry
+	// (default 1ms). It grows by Multiplier per retry up to MaxBackoff.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the backoff growth (default 250ms).
+	MaxBackoff time.Duration
+	// Multiplier is the backoff growth factor (default 2).
+	Multiplier float64
+	// Jitter spreads each backoff uniformly over ±Jitter fraction of its
+	// nominal value (0 disables; 0.2 is a good production value). Jitter
+	// is drawn from the policy's seeded PRNG, so it is reproducible.
+	Jitter float64
+	// PerTryTimeout bounds each individual attempt (0 = unbounded).
+	// An attempt that exceeds it is treated as a transport failure and
+	// retried; the parent context's deadline still bounds the whole call.
+	PerTryTimeout time.Duration
+	// Retryable classifies errors: true means the failure is
+	// transport-level and the request cannot have been executed remotely,
+	// so re-sending is safe. Nil retries everything except context errors.
+	Retryable func(error) bool
+	// Budget, when non-nil, is the shared retry budget. Each retry spends
+	// one token; each first-attempt success deposits Budget.Ratio tokens.
+	Budget *Budget
+	// Breaker, when non-nil, enables one circuit breaker per target.
+	Breaker *BreakerConfig
+	// Seed seeds the jitter PRNG. The zero seed is itself deterministic
+	// (there is deliberately no "random seed" mode).
+	Seed int64
+	// Sleep is the backoff waiter, injectable for deterministic tests.
+	// Nil uses a real timer honouring ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	initOnce sync.Once
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+	breakers sync.Map // target string -> *Breaker
+}
+
+// Default returns the stack's standard policy: 4 retries, 1ms→250ms
+// exponential backoff with 20% jitter, a 2s per-attempt deadline, a
+// shared retry budget and per-target circuit breakers.
+func Default() *Policy {
+	return &Policy{
+		MaxRetries:     4,
+		InitialBackoff: DefaultInitialBackoff,
+		MaxBackoff:     DefaultMaxBackoff,
+		Multiplier:     DefaultMultiplier,
+		Jitter:         0.2,
+		PerTryTimeout:  2 * time.Second,
+		Budget:         NewBudget(100, 0.1),
+		Breaker:        &BreakerConfig{},
+	}
+}
+
+func (p *Policy) init() {
+	p.initOnce.Do(func() {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	})
+}
+
+// BreakerFor returns the target's circuit breaker, creating it on first
+// use; nil if the policy has breakers disabled.
+func (p *Policy) BreakerFor(target string) *Breaker {
+	if p.Breaker == nil {
+		return nil
+	}
+	if b, ok := p.breakers.Load(target); ok {
+		return b.(*Breaker)
+	}
+	b, _ := p.breakers.LoadOrStore(target, newBreaker(*p.Breaker))
+	return b.(*Breaker)
+}
+
+// backoffFor computes the jittered delay before retry number `retry`
+// (0-based).
+func (p *Policy) backoffFor(retry int) time.Duration {
+	base := p.InitialBackoff
+	if base <= 0 {
+		base = DefaultInitialBackoff
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = DefaultMaxBackoff
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = DefaultMultiplier
+	}
+	d := float64(base)
+	for i := 0; i < retry; i++ {
+		d *= mult
+		if d >= float64(maxB) {
+			d = float64(maxB)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		p.rngMu.Lock()
+		u := p.rng.Float64()
+		p.rngMu.Unlock()
+		d *= 1 + p.Jitter*(2*u-1)
+	}
+	if d > float64(maxB) {
+		d = float64(maxB)
+	}
+	return time.Duration(d)
+}
+
+func (p *Policy) retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if p.Retryable == nil {
+		return true
+	}
+	return p.Retryable(err)
+}
+
+func (p *Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do executes op against target under the policy. A nil policy runs op
+// once, unmodified. Retries happen only for failures the classifier
+// calls transport-level, and only while the parent context is live; the
+// final error wraps the last attempt's error, so errors.Is/As still see
+// the underlying cause.
+func Do[T any](ctx context.Context, p *Policy, target string, op func(context.Context) (T, error)) (T, error) {
+	var zero T
+	if p == nil {
+		return op(ctx)
+	}
+	p.init()
+	br := p.BreakerFor(target)
+	var lastErr error
+	for retry := 0; ; retry++ {
+		if br != nil {
+			if err := br.Allow(); err != nil {
+				if lastErr != nil {
+					return zero, fmt.Errorf("%w for %s (last attempt: %v)", ErrCircuitOpen, target, lastErr)
+				}
+				return zero, fmt.Errorf("%w for %s", ErrCircuitOpen, target)
+			}
+		}
+		tctx, cancel := ctx, context.CancelFunc(nil)
+		if p.PerTryTimeout > 0 {
+			tctx, cancel = context.WithTimeout(ctx, p.PerTryTimeout)
+		}
+		out, err := op(tctx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			if br != nil {
+				br.RecordSuccess()
+			}
+			if p.Budget != nil && retry == 0 {
+				p.Budget.Deposit()
+			}
+			return out, nil
+		}
+		lastErr = err
+		// A per-attempt timeout is a transport failure (the attempt never
+		// produced a reply) unless the parent context itself expired.
+		perTryExpired := p.PerTryTimeout > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
+		retryable := perTryExpired || p.retryable(err)
+		if br != nil {
+			if retryable {
+				br.RecordFailure()
+			} else {
+				// The target answered (application error): it is alive.
+				br.RecordSuccess()
+			}
+		}
+		if !retryable || ctx.Err() != nil {
+			return zero, lastErr
+		}
+		if retry >= p.MaxRetries {
+			if retry > 0 {
+				return zero, fmt.Errorf("resilience: %d attempts to %s failed: %w", retry+1, target, lastErr)
+			}
+			return zero, lastErr
+		}
+		if p.Budget != nil && !p.Budget.Spend() {
+			return zero, fmt.Errorf("%w (after %d attempts to %s): %w",
+				ErrBudgetExhausted, retry+1, target, lastErr)
+		}
+		if err := p.sleep(ctx, p.backoffFor(retry)); err != nil {
+			return zero, lastErr
+		}
+	}
+}
+
+// Run is the result-free convenience form of Do.
+func (p *Policy) Run(ctx context.Context, target string, op func(context.Context) error) error {
+	_, err := Do(ctx, p, target, func(ctx context.Context) (struct{}, error) {
+		return struct{}{}, op(ctx)
+	})
+	return err
+}
+
+// Budget is a token bucket bounding the *total* retry volume a process
+// may generate, independent of per-call retry limits — the defence
+// against turning an injection-overload storm (§IV-E) into a
+// self-amplifying retry storm. Each retry spends one token; each
+// successful first attempt deposits Ratio tokens, so a mostly-healthy
+// system regains retry capacity and a mostly-failing one stops retrying.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+// NewBudget creates a full budget of max tokens that refills at ratio
+// tokens per successful call.
+func NewBudget(max, ratio float64) *Budget {
+	if max <= 0 {
+		max = 100
+	}
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	return &Budget{tokens: max, max: max, ratio: ratio}
+}
+
+// Spend withdraws one token; false means the budget is exhausted and the
+// retry must not happen.
+func (b *Budget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Deposit credits the budget after a successful call.
+func (b *Budget) Deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Tokens reports the current balance (for tests and monitoring).
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

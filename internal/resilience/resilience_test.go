@@ -1,0 +1,326 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// fakeSleep records requested backoffs without actually waiting.
+type fakeSleep struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.durs = append(f.durs, d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+func TestNilPolicyRunsOnce(t *testing.T) {
+	calls := 0
+	_, err := Do(context.Background(), nil, "t", func(context.Context) (int, error) {
+		calls++
+		return 0, errBoom
+	})
+	if !errors.Is(err, errBoom) || calls != 1 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetriesThenSucceeds(t *testing.T) {
+	fs := &fakeSleep{}
+	p := &Policy{MaxRetries: 3, Sleep: fs.sleep}
+	calls := 0
+	out, err := Do(context.Background(), p, "t", func(context.Context) (string, error) {
+		calls++
+		if calls < 3 {
+			return "", errBoom
+		}
+		return "ok", nil
+	})
+	if err != nil || out != "ok" || calls != 3 {
+		t.Fatalf("out=%q calls=%d err=%v", out, calls, err)
+	}
+	if len(fs.durs) != 2 {
+		t.Fatalf("slept %d times, want 2", len(fs.durs))
+	}
+}
+
+func TestExponentialBackoffSequence(t *testing.T) {
+	fs := &fakeSleep{}
+	p := &Policy{
+		MaxRetries:     4,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     4 * time.Millisecond,
+		Multiplier:     2,
+		Sleep:          fs.sleep,
+	}
+	_, err := Do(context.Background(), p, "t", func(context.Context) (int, error) {
+		return 0, errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err=%v", err)
+	}
+	want := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}
+	if len(fs.durs) != len(want) {
+		t.Fatalf("backoffs=%v want %v", fs.durs, want)
+	}
+	for i := range want {
+		if fs.durs[i] != want[i] {
+			t.Fatalf("backoffs=%v want %v", fs.durs, want)
+		}
+	}
+}
+
+func TestJitterIsSeededAndReproducible(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		fs := &fakeSleep{}
+		p := &Policy{MaxRetries: 5, Jitter: 0.5, Seed: seed, Sleep: fs.sleep}
+		Do(context.Background(), p, "t", func(context.Context) (int, error) { return 0, errBoom })
+		return fs.durs
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical jitter: %v", a)
+	}
+}
+
+func TestNonRetryableReturnsImmediately(t *testing.T) {
+	app := errors.New("application says no")
+	p := &Policy{
+		MaxRetries: 5,
+		Retryable:  func(err error) bool { return !errors.Is(err, app) },
+		Sleep:      (&fakeSleep{}).sleep,
+	}
+	calls := 0
+	_, err := Do(context.Background(), p, "t", func(context.Context) (int, error) {
+		calls++
+		return 0, app
+	})
+	if !errors.Is(err, app) || calls != 1 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestBudgetExhaustionStopsRetrying(t *testing.T) {
+	p := &Policy{
+		MaxRetries: 10,
+		Budget:     NewBudget(2, 0.1),
+		Sleep:      (&fakeSleep{}).sleep,
+	}
+	calls := 0
+	_, err := Do(context.Background(), p, "t", func(context.Context) (int, error) {
+		calls++
+		return 0, errBoom
+	})
+	if !errors.Is(err, ErrBudgetExhausted) || !errors.Is(err, errBoom) {
+		t.Fatalf("err=%v", err)
+	}
+	if calls != 3 { // first attempt + 2 budgeted retries
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+}
+
+func TestBudgetRefillsOnSuccess(t *testing.T) {
+	b := NewBudget(2, 1)
+	if !b.Spend() || !b.Spend() || b.Spend() {
+		t.Fatal("budget accounting broken")
+	}
+	b.Deposit()
+	if !b.Spend() {
+		t.Fatal("deposit did not refill")
+	}
+	for i := 0; i < 10; i++ {
+		b.Deposit()
+	}
+	if b.Tokens() != 2 {
+		t.Fatalf("tokens=%v, want capped at 2", b.Tokens())
+	}
+}
+
+func TestPerTryTimeoutRetriesStuckAttempt(t *testing.T) {
+	p := &Policy{
+		MaxRetries:    2,
+		PerTryTimeout: 10 * time.Millisecond,
+		Sleep:         (&fakeSleep{}).sleep,
+	}
+	var calls atomic.Int32
+	out, err := Do(context.Background(), p, "t", func(ctx context.Context) (int, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // first attempt wedges until the per-try deadline
+			return 0, ctx.Err()
+		}
+		return 7, nil
+	})
+	if err != nil || out != 7 || calls.Load() != 2 {
+		t.Fatalf("out=%d calls=%d err=%v", out, calls.Load(), err)
+	}
+}
+
+func TestParentContextCancelStopsRetrying(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Policy{MaxRetries: 100, Sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() }}
+	calls := 0
+	_, err := Do(ctx, p, "t", func(context.Context) (int, error) {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return 0, errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err=%v", err)
+	}
+	if calls > 3 {
+		t.Fatalf("kept retrying after cancel: %d calls", calls)
+	}
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second, Now: clock})
+
+	if b.State() != Closed {
+		t.Fatal("new breaker should be closed")
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.RecordFailure()
+	}
+	if b.State() != Open {
+		t.Fatalf("state=%v after threshold failures", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker refused the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe succeeds: breaker closes.
+	b.RecordSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state=%v after successful probe", b.State())
+	}
+
+	// Trip again; a failing probe reopens for a fresh cooldown.
+	for i := 0; i < 3; i++ {
+		b.RecordFailure()
+	}
+	now = now.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal("probe refused")
+	}
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatalf("state=%v after failed probe", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("reopened breaker admitted a call before cooldown")
+	}
+}
+
+func TestConsecutiveFailuresResetBySuccess(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3})
+	b.RecordFailure()
+	b.RecordFailure()
+	b.RecordSuccess()
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures must not trip the breaker")
+	}
+}
+
+func TestDoWithBreakerFailsFastPerTarget(t *testing.T) {
+	now := time.Unix(0, 0)
+	p := &Policy{
+		MaxRetries: 0,
+		Breaker:    &BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour, Now: func() time.Time { return now }},
+		Sleep:      (&fakeSleep{}).sleep,
+	}
+	var wire atomic.Int32
+	op := func(context.Context) (int, error) {
+		wire.Add(1)
+		return 0, errBoom
+	}
+	for i := 0; i < 2; i++ {
+		Do(context.Background(), p, "bad", op)
+	}
+	if _, err := Do(context.Background(), p, "bad", op); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err=%v, want circuit open", err)
+	}
+	if wire.Load() != 2 {
+		t.Fatalf("wire calls=%d, want 2 (fail-fast)", wire.Load())
+	}
+	// Other targets are unaffected.
+	if _, err := Do(context.Background(), p, "good", func(context.Context) (int, error) { return 1, nil }); err != nil {
+		t.Fatalf("healthy target affected: %v", err)
+	}
+}
+
+func TestApplicationErrorsDoNotTripBreaker(t *testing.T) {
+	app := errors.New("remote application error")
+	p := &Policy{
+		Retryable: func(err error) bool { return !errors.Is(err, app) },
+		Breaker:   &BreakerConfig{FailureThreshold: 2},
+		Sleep:     (&fakeSleep{}).sleep,
+	}
+	for i := 0; i < 10; i++ {
+		Do(context.Background(), p, "t", func(context.Context) (int, error) { return 0, app })
+	}
+	if _, err := Do(context.Background(), p, "t", func(context.Context) (int, error) { return 0, app }); errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("application errors tripped the breaker")
+	}
+}
+
+func TestRunConcurrentSafety(t *testing.T) {
+	p := Default()
+	p.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fail := (g+i)%3 == 0
+				p.Run(context.Background(), "shared", func(context.Context) error {
+					if fail {
+						return errBoom
+					}
+					return nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+}

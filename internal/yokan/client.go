@@ -2,12 +2,13 @@ package yokan
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 )
 
@@ -36,10 +37,21 @@ type Client struct {
 	EagerLimit int
 	// Retries is how many times transport-level failures are retried
 	// (application errors returned by the server are never retried).
-	// Zero disables retrying.
+	// Zero disables retrying. Retries and RetryBackoff are shorthand for
+	// a basic resilience.Policy; set Policy for the full feature set.
 	Retries int
-	// RetryBackoff is the initial backoff, doubled per attempt.
+	// RetryBackoff is the initial backoff, doubled per attempt up to the
+	// resilience package's default cap.
 	RetryBackoff time.Duration
+	// Policy, when non-nil, overrides Retries/RetryBackoff with a full
+	// resilience policy (budget, breakers, per-try deadlines, jitter).
+	// Share one policy across clients so its budget sees all traffic.
+	Policy *resilience.Policy
+
+	polMu      sync.Mutex
+	pol        *resilience.Policy
+	polRetries int
+	polBackoff time.Duration
 }
 
 // NewClient wraps a margo instance.
@@ -47,35 +59,41 @@ func NewClient(mi *margo.Instance) *Client {
 	return &Client{mi: mi, EagerLimit: DefaultEagerLimit, RetryBackoff: time.Millisecond}
 }
 
-// call forwards one RPC with the retry policy. Only transport failures
-// (unreachable target, injected drops) are retried: a *fabric.RemoteError
-// means the server executed the handler, and blind re-execution is not
-// generally safe.
+// policy resolves the effective resilience policy: the explicit Policy,
+// or one synthesized (and cached) from the legacy Retries/RetryBackoff
+// knobs, or nil when retrying is disabled.
+func (c *Client) policy() *resilience.Policy {
+	if c.Policy != nil {
+		return c.Policy
+	}
+	if c.Retries <= 0 {
+		return nil
+	}
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	if c.pol == nil || c.polRetries != c.Retries || c.polBackoff != c.RetryBackoff {
+		backoff := c.RetryBackoff
+		if backoff <= 0 {
+			backoff = time.Millisecond
+		}
+		c.pol = &resilience.Policy{
+			MaxRetries:     c.Retries,
+			InitialBackoff: backoff,
+			Retryable:      fabric.RetryableError,
+		}
+		c.polRetries, c.polBackoff = c.Retries, c.RetryBackoff
+	}
+	return c.pol
+}
+
+// call forwards one RPC under the client's resilience policy. Only
+// transport failures (unreachable target, injected drops) are retried: a
+// *fabric.RemoteError means the server executed the handler, and blind
+// re-execution is not generally safe.
 func (c *Client) call(ctx context.Context, db DBHandle, rpc string, payload []byte) ([]byte, error) {
-	backoff := c.RetryBackoff
-	if backoff <= 0 {
-		backoff = time.Millisecond
-	}
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		out, err := c.mi.Forward(ctx, db.Addr, ServiceName, db.Provider, rpc, payload)
-		if err == nil {
-			return out, nil
-		}
-		lastErr = err
-		var remote *fabric.RemoteError
-		if errors.As(err, &remote) || attempt >= c.Retries || ctx.Err() != nil {
-			return nil, lastErr
-		}
-		t := time.NewTimer(backoff)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return nil, lastErr
-		}
-		backoff *= 2
-	}
+	return resilience.Do(ctx, c.policy(), string(db.Addr), func(ctx context.Context) ([]byte, error) {
+		return c.mi.Forward(ctx, db.Addr, ServiceName, db.Provider, rpc, payload)
+	})
 }
 
 func (c *Client) forward(ctx context.Context, db DBHandle, rpc string, req any, resp any) error {
