@@ -25,6 +25,7 @@ type rankRecord struct {
 	events     int
 	slices     int
 	accepted   int
+	degraded   int
 }
 
 func main() {
@@ -44,13 +45,14 @@ func main() {
 	}
 
 	tl := stats.NewTimeline()
-	totalEvents, totalSlices, totalAccepted := 0, 0, 0
+	totalEvents, totalSlices, totalAccepted, totalDegraded := 0, 0, 0, 0
 	var durations []float64
 	for _, r := range records {
 		tl.Record(r.name, r.start, r.end)
 		totalEvents += r.events
 		totalSlices += r.slices
 		totalAccepted += r.accepted
+		totalDegraded += r.degraded
 		durations = append(durations, r.end-r.start)
 	}
 	start, end, _ := tl.Makespan()
@@ -65,6 +67,11 @@ func main() {
 	}
 	if totalAccepted > 0 {
 		fmt.Printf("accepted:   %d\n", totalAccepted)
+	}
+	if totalDegraded > 0 {
+		// Prefetch groups that failed and fell back to per-product RPCs:
+		// the batching of §II-D was partially lost on these loads.
+		fmt.Printf("degraded prefetch loads: %d\n", totalDegraded)
 	}
 	fmt.Printf("utilization: %.1f%%\n", 100*tl.Utilization())
 	s := stats.Summarize(durations)
@@ -129,6 +136,8 @@ func parseFile(path string) (rankRecord, error) {
 			rec.slices, err = strconv.Atoi(val)
 		case "accepted":
 			rec.accepted, err = strconv.Atoi(val)
+		case "degraded":
+			rec.degraded, err = strconv.Atoi(val)
 		}
 		if err != nil {
 			return rec, fmt.Errorf("parse %q: %w", line, err)

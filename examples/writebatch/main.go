@@ -1,9 +1,9 @@
 // Writebatch: the §II-D batching patterns, measured.
 //
 // Stores the same 4,000 products three ways — one RPC per store, a
-// WriteBatch grouped by target database, and an AsynchronousWriteBatch
-// flushing from background workers — and prints the throughput of each, to
-// show why HEPnOS batches small-object traffic.
+// WriteBatch grouped by target database, and an asynchronous WriteBatch
+// flushing on the client's AsyncEngine — and prints the throughput of
+// each, to show why HEPnOS batches small-object traffic.
 //
 //	go run ./examples/writebatch
 package main
@@ -77,22 +77,25 @@ func main() {
 	}
 	report("WriteBatch (grouped multi-put)", start)
 
-	// Variant 3: AsynchronousWriteBatch — background flushers overlap
-	// event production with storage traffic.
+	// Variant 3: asynchronous WriteBatch — flushes run on the client's
+	// AsyncEngine, overlapping event production with storage traffic.
 	run3, _ := dataset.CreateRun(ctx, 3)
 	sr3, _ := run3.CreateSubRun(ctx, 0)
 	start = time.Now()
-	awb := ds.NewAsynchronousWriteBatch(4, 512)
+	awb := ds.NewAsyncWriteBatch(512)
 	for i := uint64(0); i < perRun; i++ {
-		ev := awb.CreateEvent(sr3, i)
-		if err := awb.Store(ev, "digest", Digest{NHits: uint32(i)}); err != nil {
+		ev, err := awb.CreateEvent(ctx, sr3, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := awb.Store(ctx, ev, "digest", Digest{NHits: uint32(i)}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := awb.Close(); err != nil {
+	if err := awb.Close(ctx); err != nil {
 		log.Fatal(err)
 	}
-	report("AsynchronousWriteBatch", start)
+	report("async WriteBatch (engine)", start)
 
 	// Verify all three runs landed completely.
 	for _, r := range []uint64{1, 2, 3} {

@@ -23,8 +23,10 @@
 package hepnos
 
 import (
+	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
 	"github.com/hep-on-hpc/hepnos-go/internal/core"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
@@ -45,10 +47,13 @@ type (
 	Event = core.Event
 	// EventID is the (run, subrun, event) coordinate triple.
 	EventID = core.EventID
-	// WriteBatch groups updates by target database (§II-D).
+	// WriteBatch groups updates by target database (§II-D). It flushes
+	// synchronously from NewWriteBatch, asynchronously on the client's
+	// AsyncEngine from NewAsyncWriteBatch.
 	WriteBatch = core.WriteBatch
-	// AsynchronousWriteBatch flushes batches from background workers.
-	AsynchronousWriteBatch = core.AsynchronousWriteBatch
+	// Prefetcher bulk-loads selected products for event-key batches,
+	// fanning per-database groups out on the AsyncEngine.
+	Prefetcher = core.Prefetcher
 	// PEPOptions tunes ProcessEvents (the ParallelEventProcessor).
 	PEPOptions = core.PEPOptions
 	// PEPStats reports a ProcessEvents execution.
@@ -65,7 +70,26 @@ type (
 	Placement = core.Placement
 	// RescaleStats reports a storage-rescaling migration.
 	RescaleStats = core.RescaleStats
+	// AsyncEngine is the client-side asynchrony layer of §II-D: the one
+	// set of argo pools under asynchronous write batches, the prefetcher,
+	// cursor lookahead, PEP readers and the data loader. Obtain it with
+	// DataStore.Engine; configure it via ClientConfig.Async.
+	AsyncEngine = asyncengine.Engine
+	// AsyncConfig sizes the AsyncEngine's pools.
+	AsyncConfig = asyncengine.Config
+	// AsyncPoolSpec sizes one engine pool (xstreams, max in-flight ops).
+	AsyncPoolSpec = asyncengine.PoolSpec
 )
+
+// Standard AsyncEngine pool names.
+const (
+	AsyncPoolRPC      = asyncengine.PoolRPC
+	AsyncPoolPrefetch = asyncengine.PoolPrefetch
+	AsyncPoolIngest   = asyncengine.PoolIngest
+)
+
+// DefaultAsyncConfig returns the default AsyncEngine pool sizing.
+var DefaultAsyncConfig = asyncengine.DefaultConfig
 
 // Placement strategies (see core.Placement).
 const (
@@ -83,6 +107,9 @@ type (
 	GroupFile = bedrock.GroupFile
 	// ProcessConfig is one server's Bedrock JSON configuration.
 	ProcessConfig = bedrock.ProcessConfig
+	// ClientProcessConfig is the client-side JSON configuration (group
+	// file location, async pool sizing, resilience policy).
+	ClientProcessConfig = bedrock.ClientProcessConfig
 )
 
 // Comm is the MPI-like communicator used by parallel client applications.
@@ -115,11 +142,42 @@ var (
 	ErrNoSuchProduct   = core.ErrNoSuchProduct
 	ErrBadPath         = core.ErrBadPath
 	ErrClosed          = core.ErrClosed
+	// ErrBatchClosed is returned by WriteBatch operations after Close.
+	ErrBatchClosed = core.ErrBatchClosed
 )
 
 // Connect discovers a service's databases and returns a client handle —
 // the analog of hepnos::DataStore::connect("config.json").
 var Connect = core.Connect
+
+// LoadClientConfig builds a ClientConfig from a client-side JSON document
+// (see ClientProcessConfig): it reads the config, loads the group file it
+// points at, and materializes the resilience policy and async pool sizing.
+// Together with Connect this is the full connect("config.json") flow.
+func LoadClientConfig(path string) (ClientConfig, error) {
+	cpc, err := bedrock.ReadClientConfig(path)
+	if err != nil {
+		return ClientConfig{}, err
+	}
+	return ClientConfigFrom(cpc)
+}
+
+// ClientConfigFrom materializes a parsed ClientProcessConfig, loading the
+// group file it references.
+func ClientConfigFrom(cpc ClientProcessConfig) (ClientConfig, error) {
+	group, err := bedrock.ReadGroupFile(cpc.GroupFile)
+	if err != nil {
+		return ClientConfig{}, err
+	}
+	return ClientConfig{
+		Group:      group,
+		Address:    fabric.Address(cpc.Address),
+		EagerLimit: cpc.EagerLimit,
+		Placement:  Placement(cpc.Placement),
+		Resilience: cpc.Resilience.Policy(),
+		Async:      cpc.Async,
+	}, nil
+}
 
 // SelectorFor builds a ProductSelector from a label and an example value.
 var SelectorFor = core.SelectorFor

@@ -1,0 +1,418 @@
+package asyncengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil {
+		t.Fatal("New returned nil engine for enabled config")
+	}
+	t.Cleanup(e.Shutdown)
+	return e
+}
+
+func TestRunDeliversValuesAndErrors(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig())
+	ctx := context.Background()
+
+	ev := Run(e, ctx, PoolRPC, func(context.Context) (int, error) { return 42, nil })
+	v, err := ev.Wait(ctx)
+	if err != nil || v != 42 {
+		t.Fatalf("Wait = (%d, %v), want (42, nil)", v, err)
+	}
+	if !ev.Ready() {
+		t.Fatal("resolved eventual not Ready")
+	}
+
+	boom := errors.New("boom")
+	_, err = Run(e, ctx, PoolRPC, func(context.Context) (int, error) { return 0, boom }).Wait(ctx)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not delivered through eventual: %v", err)
+	}
+
+	_, err = Run(e, ctx, "no-such-pool", func(context.Context) (int, error) { return 0, nil }).Wait(ctx)
+	if err == nil {
+		t.Fatal("unknown pool accepted")
+	}
+}
+
+func TestNilEngineRunsInline(t *testing.T) {
+	var e *Engine
+	ran := false
+	v, err := Run(e, context.Background(), PoolRPC, func(context.Context) (string, error) {
+		ran = true
+		return "sync", nil
+	}).Wait(context.Background())
+	if !ran || v != "sync" || err != nil {
+		t.Fatalf("nil engine inline run: ran=%v v=%q err=%v", ran, v, err)
+	}
+	e.Shutdown() // must not panic
+	if e.Metrics() != nil || e.PoolNames() != nil {
+		t.Fatal("nil engine metrics/names not nil")
+	}
+}
+
+// TestBackpressureBoundsInflight fills a 1-xstream, MaxQueue=2 pool and
+// checks (a) no more than MaxQueue tasks are ever in flight, and (b) the
+// third submission blocks until a slot frees.
+func TestBackpressureBoundsInflight(t *testing.T) {
+	e := newTestEngine(t, Config{Pools: []PoolSpec{{Name: "p", XStreams: 1, MaxQueue: 2}}})
+	ctx := context.Background()
+
+	var inflight, peak atomic.Int64
+	gate := make(chan struct{})
+	task := func(context.Context) (Void, error) {
+		n := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-gate
+		inflight.Add(-1)
+		return Void{}, nil
+	}
+
+	ev1 := Run(e, ctx, "p", task)
+	ev2 := Run(e, ctx, "p", task)
+
+	third := make(chan *Eventual[Void])
+	go func() { third <- Run(e, ctx, "p", task) }()
+	select {
+	case <-third:
+		t.Fatal("third submission did not block at MaxQueue=2")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate)
+	ev3 := <-third
+	for _, ev := range []*Eventual[Void]{ev1, ev2, ev3} {
+		if _, err := ev.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak in-flight %d exceeds MaxQueue 2", p)
+	}
+	m := e.Metrics()["p"]
+	if m.Submitted != 3 || m.Completed != 3 || m.Failed != 0 {
+		t.Fatalf("metrics %+v, want 3 submitted / 3 completed / 0 failed", m)
+	}
+	if m.MaxDepth > 2 {
+		t.Fatalf("MaxDepth %d exceeds MaxQueue 2", m.MaxDepth)
+	}
+}
+
+// TestSubmitterCancellationWhileBlocked cancels the caller context while a
+// submission is waiting for a pool slot: the submission must abort with
+// ctx.Err() and count as rejected, without running the task.
+func TestSubmitterCancellationWhileBlocked(t *testing.T) {
+	e := newTestEngine(t, Config{Pools: []PoolSpec{{Name: "p", XStreams: 1, MaxQueue: 1}}})
+	gate := make(chan struct{})
+	defer close(gate)
+	Run(e, context.Background(), "p", func(context.Context) (Void, error) {
+		<-gate
+		return Void{}, nil
+	})
+
+	cctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := Run(e, cctx, "p", func(context.Context) (Void, error) {
+			t.Error("task ran despite canceled submission")
+			return Void{}, nil
+		}).Wait(context.Background())
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the submitter block on the slot
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked submission resolved with %v, want context.Canceled", err)
+	}
+	if m := e.Metrics()["p"]; m.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", m.Rejected)
+	}
+}
+
+// TestTaskContextCanceledByCaller: a queued-but-not-started task whose
+// caller cancels must resolve with the cancellation error without running.
+func TestTaskContextCanceledByCaller(t *testing.T) {
+	e := newTestEngine(t, Config{Pools: []PoolSpec{{Name: "p", XStreams: 1, MaxQueue: 4}}})
+	gate := make(chan struct{})
+	Run(e, context.Background(), "p", func(context.Context) (Void, error) {
+		<-gate
+		return Void{}, nil
+	})
+
+	cctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	ev := Run(e, cctx, "p", func(context.Context) (Void, error) {
+		ran = true
+		return Void{}, nil
+	})
+	cancel()
+	close(gate)
+	if _, err := ev.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued task resolved with %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("canceled queued task body ran")
+	}
+}
+
+// TestRunningTaskSeesCancellation: an in-flight task's context must fire
+// when the caller cancels.
+func TestRunningTaskSeesCancellation(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig())
+	cctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	ev := Run(e, cctx, PoolRPC, func(tctx context.Context) (Void, error) {
+		close(started)
+		select {
+		case <-tctx.Done():
+			return Void{}, tctx.Err()
+		case <-time.After(5 * time.Second):
+			return Void{}, errors.New("cancellation never reached the task")
+		}
+	})
+	<-started
+	cancel()
+	if _, err := ev.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("task saw %v, want context.Canceled", err)
+	}
+}
+
+// TestWaitWithContext: Wait with an expired context returns ctx.Err() but
+// leaves the eventual usable; the task still resolves it.
+func TestWaitWithContext(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig())
+	gate := make(chan struct{})
+	ev := Run(e, context.Background(), PoolRPC, func(context.Context) (int, error) {
+		<-gate
+		return 7, nil
+	})
+	wctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := ev.Wait(wctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under expired ctx = %v, want deadline exceeded", err)
+	}
+	close(gate)
+	if v, err := ev.Wait(context.Background()); v != 7 || err != nil {
+		t.Fatalf("second Wait = (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+func TestShutdownRejectsAndDrains(t *testing.T) {
+	e := newTestEngine(t, Config{Pools: []PoolSpec{{Name: "p", XStreams: 2, MaxQueue: 32}}})
+	ctx := context.Background()
+	var done atomic.Int64
+	evs := make([]*Eventual[Void], 0, 16)
+	for i := 0; i < 16; i++ {
+		evs = append(evs, Run(e, ctx, "p", func(context.Context) (Void, error) {
+			done.Add(1)
+			return Void{}, nil
+		}))
+	}
+	e.Shutdown()
+	e.Shutdown() // idempotent
+	for _, ev := range evs {
+		if !ev.Ready() {
+			t.Fatal("Shutdown returned with unresolved eventual")
+		}
+	}
+	_, err := Run(e, ctx, "p", func(context.Context) (Void, error) { return Void{}, nil }).Wait(ctx)
+	if !errors.Is(err, ErrEngineClosed) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-shutdown submission resolved with %v, want ErrEngineClosed", err)
+	}
+}
+
+func TestGoTrackedGoroutine(t *testing.T) {
+	e := newTestEngine(t, DefaultConfig())
+	stopped := make(chan struct{})
+	e.Go(context.Background(), func(ctx context.Context) {
+		<-ctx.Done() // long-running loop; must be released by Shutdown
+		close(stopped)
+	})
+	go e.Shutdown()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not cancel/await the detached goroutine")
+	}
+
+	var nilEng *Engine
+	ran := make(chan struct{})
+	nilEng.Go(context.Background(), func(context.Context) { close(ran) })
+	<-ran
+}
+
+func TestGroupLimitsAndCollectsFirstError(t *testing.T) {
+	e := newTestEngine(t, Config{Pools: []PoolSpec{{Name: "p", XStreams: 4, MaxQueue: 16}}})
+	g := e.NewGroup(context.Background(), "p", 2)
+	var inflight, peak atomic.Int64
+	boom := errors.New("file 3 is corrupt")
+	var launched atomic.Int64
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(func(ctx context.Context) error {
+			launched.Add(1)
+			n := inflight.Add(1)
+			defer inflight.Add(-1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want the first task error", err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("group peak concurrency %d exceeds limit 2", p)
+	}
+	if launched.Load() == 8 {
+		// Cancellation should usually stop some of the trailing tasks,
+		// but with only 8 fast tasks all may slip in; just ensure no task
+		// runs after Wait returned.
+		t.Log("all tasks ran before cancellation propagated (acceptable)")
+	}
+	// Post-Wait Go is a no-op.
+	g.Go(func(context.Context) error {
+		t.Error("task ran after group Wait")
+		return nil
+	})
+}
+
+func TestGroupOnNilEngineRunsSequentially(t *testing.T) {
+	var e *Engine
+	g := e.NewGroup(context.Background(), PoolIngest, 4)
+	order := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Go(func(context.Context) error {
+			order = append(order, i) // safe: inline execution is sequential
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline group ran out of order: %v", order)
+		}
+	}
+
+	// First error cancels the remaining inline tasks too.
+	g2 := e.NewGroup(context.Background(), PoolIngest, 1)
+	boom := errors.New("boom")
+	ran := 0
+	for i := 0; i < 4; i++ {
+		g2.Go(func(context.Context) error {
+			ran++
+			return boom
+		})
+	}
+	if err := g2.Wait(); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("inline group ran %d tasks after first error, want 1", ran)
+	}
+}
+
+// TestConcurrentSubmitters hammers one pool from many goroutines under the
+// race detector.
+func TestConcurrentSubmitters(t *testing.T) {
+	e := newTestEngine(t, Config{Pools: []PoolSpec{{Name: "p", XStreams: 4, MaxQueue: 8}}})
+	ctx := context.Background()
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	var sum atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v, err := Run(e, ctx, "p", func(context.Context) (int, error) {
+					return 1, nil
+				}).Wait(ctx)
+				if err != nil {
+					t.Errorf("submitter %d op %d: %v", g, i, err)
+					return
+				}
+				sum.Add(int64(v))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if sum.Load() != goroutines*perG {
+		t.Fatalf("sum %d, want %d", sum.Load(), goroutines*perG)
+	}
+	m := e.Metrics()["p"]
+	if m.Submitted != goroutines*perG || m.Completed != m.Submitted || m.Depth != 0 {
+		t.Fatalf("metrics %+v inconsistent after drain", m)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Pools: []PoolSpec{{Name: ""}}}); err == nil {
+		t.Fatal("empty pool name accepted")
+	}
+	if _, err := New(Config{Pools: []PoolSpec{{Name: "a"}, {Name: "a"}}}); err == nil {
+		t.Fatal("duplicate pool accepted")
+	}
+	e, err := New(Config{Disabled: true})
+	if err != nil || e != nil {
+		t.Fatalf("disabled config = (%v, %v), want (nil, nil)", e, err)
+	}
+	e2 := newTestEngine(t, Config{}) // empty → defaults
+	names := e2.PoolNames()
+	if len(names) != 3 {
+		t.Fatalf("default pools %v, want rpc/prefetch/ingest", names)
+	}
+	for i, want := range []string{PoolRPC, PoolPrefetch, PoolIngest} {
+		if names[i] != want {
+			t.Fatalf("default pools %v, want rpc/prefetch/ingest", names)
+		}
+	}
+}
+
+func TestMetricsCountFailures(t *testing.T) {
+	e := newTestEngine(t, Config{Pools: []PoolSpec{{Name: "p", XStreams: 1, MaxQueue: 4}}})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		i := i
+		ev := Run(e, ctx, "p", func(context.Context) (Void, error) {
+			if i%2 == 1 {
+				return Void{}, fmt.Errorf("op %d failed", i)
+			}
+			return Void{}, nil
+		})
+		ev.Wait(ctx)
+	}
+	m := e.Metrics()["p"]
+	if m.Submitted != 5 || m.Completed != 5 || m.Failed != 2 {
+		t.Fatalf("metrics %+v, want 5/5/2", m)
+	}
+}

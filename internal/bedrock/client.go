@@ -1,0 +1,63 @@
+package bedrock
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
+)
+
+// ClientProcessConfig is the client-side counterpart of ProcessConfig: the
+// JSON document a client application loads to connect to a service —
+// the "config.json" of hepnos::DataStore::connect. It carries the group
+// file location plus the client's tuning knobs, including the AsyncEngine
+// pool sizing of §II-D, so async concurrency is deployment configuration
+// rather than code.
+//
+//	{
+//	  "group_file": "hepnos.group.json",
+//	  "async": {"pools": [
+//	    {"name": "rpc", "xstreams": 8, "max_queue": 128},
+//	    {"name": "prefetch", "xstreams": 2, "max_queue": 16},
+//	    {"name": "ingest", "xstreams": 4, "max_queue": 8}
+//	  ]},
+//	  "resilience": {"max_retries": 6}
+//	}
+type ClientProcessConfig struct {
+	// GroupFile locates the service descriptor written at deployment.
+	GroupFile string `json:"group_file,omitempty"`
+	// Address is the client's own endpoint address (empty: automatic).
+	Address string `json:"address,omitempty"`
+	// EagerLimit overrides the RPC-inline threshold for batch transfers.
+	EagerLimit int `json:"eager_limit,omitempty"`
+	// Placement names the key placement strategy ("modulo" or "jump").
+	Placement string `json:"placement,omitempty"`
+	// Async sizes the client's AsyncEngine pools; nil uses the defaults,
+	// {"disabled": true} forces every layer synchronous.
+	Async *asyncengine.Config `json:"async,omitempty"`
+	// Resilience attaches a retry/backoff/breaker policy to client RPCs.
+	Resilience *ResilienceConfig `json:"resilience,omitempty"`
+}
+
+// ParseClientConfig decodes a client JSON document, rejecting unknown
+// fields so typos fail loudly.
+func ParseClientConfig(data []byte) (ClientProcessConfig, error) {
+	var c ClientProcessConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return ClientProcessConfig{}, fmt.Errorf("bedrock: parse client config: %w", err)
+	}
+	return c, nil
+}
+
+// ReadClientConfig loads a client JSON document from disk.
+func ReadClientConfig(path string) (ClientProcessConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ClientProcessConfig{}, fmt.Errorf("bedrock: read client config: %w", err)
+	}
+	return ParseClientConfig(data)
+}

@@ -388,22 +388,25 @@ func TestWriteBatch(t *testing.T) {
 	}
 }
 
-func TestAsynchronousWriteBatch(t *testing.T) {
+func TestAsyncWriteBatch(t *testing.T) {
 	ds := newTestStore(t, bedrock.DeploySpec{Servers: 2})
 	ctx := context.Background()
 	d, _ := ds.CreateDataSet(ctx, "async")
 	run, _ := d.CreateRun(ctx, 1)
 	sr, _ := run.CreateSubRun(ctx, 1)
 
-	awb := ds.NewAsynchronousWriteBatch(3, 64)
+	awb := ds.NewAsyncWriteBatch(64)
 	const n = 1000
 	for e := uint64(0); e < n; e++ {
-		ev := awb.CreateEvent(sr, e)
-		if err := awb.Store(ev, "p", particle{X: float32(e)}); err != nil {
+		ev, err := awb.CreateEvent(ctx, sr, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := awb.Store(ctx, ev, "p", particle{X: float32(e)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := awb.Close(); err != nil {
+	if err := awb.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
 	evs, err := sr.Events(ctx)
@@ -418,8 +421,135 @@ func TestAsynchronousWriteBatch(t *testing.T) {
 	if err := ev.Load(ctx, "p", &p); err != nil || p.X != 777 {
 		t.Fatalf("product = %v %v", p, err)
 	}
-	if err := awb.Close(); err == nil {
-		t.Fatal("double close should error")
+	if err := awb.Close(ctx); !errors.Is(err, ErrBatchClosed) {
+		t.Fatalf("double close = %v, want ErrBatchClosed", err)
+	}
+}
+
+// TestWriteBatchClosedSentinel is the regression test for the old
+// AsynchronousWriteBatch panicking (send on closed channel) when used
+// after Close: every mutating operation must instead return ErrBatchClosed.
+func TestWriteBatchClosedSentinel(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{})
+	ctx := context.Background()
+	d, _ := ds.CreateDataSet(ctx, "closed")
+	run, _ := d.CreateRun(ctx, 1)
+	sr, _ := run.CreateSubRun(ctx, 1)
+
+	for name, wb := range map[string]*WriteBatch{
+		"sync":  ds.NewWriteBatch(),
+		"async": ds.NewAsyncWriteBatch(16),
+	} {
+		ev, err := wb.CreateEvent(ctx, sr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wb.Close(ctx); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		if _, err := wb.CreateEvent(ctx, sr, 2); !errors.Is(err, ErrBatchClosed) {
+			t.Fatalf("%s: CreateEvent after close = %v, want ErrBatchClosed", name, err)
+		}
+		if _, err := wb.CreateRun(ctx, d, 9); !errors.Is(err, ErrBatchClosed) {
+			t.Fatalf("%s: CreateRun after close = %v, want ErrBatchClosed", name, err)
+		}
+		if _, err := wb.CreateSubRun(ctx, run, 9); !errors.Is(err, ErrBatchClosed) {
+			t.Fatalf("%s: CreateSubRun after close = %v, want ErrBatchClosed", name, err)
+		}
+		if err := wb.Store(ctx, ev, "p", particle{}); !errors.Is(err, ErrBatchClosed) {
+			t.Fatalf("%s: Store after close = %v, want ErrBatchClosed", name, err)
+		}
+		if err := wb.Flush(ctx); !errors.Is(err, ErrBatchClosed) {
+			t.Fatalf("%s: Flush after close = %v, want ErrBatchClosed", name, err)
+		}
+	}
+}
+
+// TestAsyncWriteBatchCancellation covers the old bug where async flush
+// workers ran under context.Background(), ignoring caller cancellation: a
+// flush submitted with a canceled context must not land and must surface
+// the cancellation error, with the updates re-queued rather than lost.
+func TestAsyncWriteBatchCancellation(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{})
+	ctx := context.Background()
+	d, _ := ds.CreateDataSet(ctx, "cancel")
+	run, _ := d.CreateRun(ctx, 1)
+	sr, _ := run.CreateSubRun(ctx, 1)
+
+	wb := ds.NewAsyncWriteBatch(0)
+	for e := uint64(0); e < 50; e++ {
+		ev, err := wb.CreateEvent(ctx, sr, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wb.Store(ctx, ev, "p", particle{X: float32(e)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel() // canceled before the flush is even submitted
+	if err := wb.Flush(cctx); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	err := wb.Wait(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait after canceled flush = %v, want context.Canceled", err)
+	}
+	if wb.Pending() == 0 {
+		t.Fatal("canceled flush lost its updates instead of re-queueing them")
+	}
+	// The store must be untouched by the canceled flush.
+	if evs, _ := sr.Events(ctx); len(evs) != 0 {
+		t.Fatalf("canceled flush landed %d events", len(evs))
+	}
+	// A live context drains the batch completely.
+	if err := wb.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := sr.Events(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 50 {
+		t.Fatalf("after close: %d events, want 50", len(evs))
+	}
+}
+
+// TestAsyncWriteBatchErrorsSurfaceBeforeClose: a failing asynchronous
+// flush must report on a later Store/Flush, not only at Close.
+func TestAsyncWriteBatchErrorsSurfaceBeforeClose(t *testing.T) {
+	ds := newTestStore(t, bedrock.DeploySpec{})
+	ctx := context.Background()
+	d, _ := ds.CreateDataSet(ctx, "surface")
+	run, _ := d.CreateRun(ctx, 1)
+	sr, _ := run.CreateSubRun(ctx, 1)
+
+	wb := ds.NewAsyncWriteBatch(0)
+	ev, err := wb.CreateEvent(ctx, sr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Store(ctx, ev, "p", particle{X: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := wb.Flush(cctx); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	if err := wb.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	// Wait already reported the failure; later calls start clean and the
+	// re-queued updates land on the next live flush.
+	if err := wb.Flush(ctx); err != nil {
+		t.Fatalf("second flush reported a stale error: %v", err)
+	}
+	if err := wb.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if evs, _ := sr.Events(ctx); len(evs) != 1 {
+		t.Fatalf("re-queued update did not land: %d events", len(evs))
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
@@ -12,6 +13,11 @@ import (
 // They are the analog of HEPnOS's C++ iterators; EventCursor additionally
 // plays the role of the hepnos::Prefetcher, shipping selected products
 // with each page so the per-event Load is a local cache hit.
+//
+// When the datastore has an AsyncEngine, cursors double-buffer: while the
+// caller iterates page N, a lookahead task on the engine's prefetch pool
+// fetches page N+1 (keys and, for EventCursor, its products), so crossing
+// a page boundary usually costs no RPC round-trip.
 //
 // Cursor usage:
 //
@@ -24,6 +30,19 @@ import (
 //
 // Cursors are not safe for concurrent use.
 
+// pageData is one fetched page: the child keys, the continuation state,
+// and (when a prefetch hook is set) the page's prefetched products.
+type pageData struct {
+	cks  []keys.ContainerKey
+	from []byte // continuation key after this page
+	done bool   // no further pages
+	err  error
+
+	raw      [][]byte // cks re-encoded, parallel to cks (prefetch only)
+	pref     []pepPrefEntry
+	degraded int
+}
+
 // numberCursor pages numbered child keys out of one database.
 type numberCursor struct {
 	ctx      context.Context
@@ -32,12 +51,25 @@ type numberCursor struct {
 	parent   keys.ContainerKey
 	pageSize int
 
+	// prefetch, when set, bulk-loads products for a fetched page (raw
+	// event keys in, entries + degraded count out). It runs inside the
+	// page fetch so lookahead overlaps product I/O too.
+	prefetch func(context.Context, [][]byte) ([]pepPrefEntry, int)
+
+	// la is the in-flight lookahead for the next page, scheduled on the
+	// engine's prefetch pool when the current page was installed.
+	la *asyncengine.Eventual[pageData]
+
 	page    []keys.ContainerKey
 	pos     int
 	from    []byte
 	done    bool
 	err     error
 	current keys.ContainerKey
+
+	curRaw   [][]byte
+	curPref  []pepPrefEntry
+	degraded int // total loads degraded to on-demand so far
 }
 
 func newNumberCursor(ctx context.Context, ds *DataStore, db yokan.DBHandle, parent keys.ContainerKey, pageSize int) *numberCursor {
@@ -47,7 +79,52 @@ func newNumberCursor(ctx context.Context, ds *DataStore, db yokan.DBHandle, pare
 	return &numberCursor{ctx: ctx, ds: ds, db: db, parent: parent, pageSize: pageSize}
 }
 
-// next advances to the next child key.
+// fetchPage lists child keys starting after from, skipping over raw pages
+// that contain no direct children, and runs the prefetch hook on the
+// result. It only reads immutable cursor fields, so a lookahead task can
+// run it concurrently with iteration of the previous page.
+func (c *numberCursor) fetchPage(ctx context.Context, from []byte) pageData {
+	pd := pageData{from: from}
+	for {
+		if c.ds.closed.Load() {
+			pd.err = ErrClosed
+			return pd
+		}
+		raw, err := c.ds.yc.ListKeys(ctx, c.db, pd.from, c.parent.Bytes(), c.pageSize)
+		if err != nil {
+			pd.err = err
+			return pd
+		}
+		if len(raw) == 0 {
+			pd.done = true
+			return pd
+		}
+		pd.from = raw[len(raw)-1]
+		if len(raw) < c.pageSize {
+			pd.done = true
+		}
+		for _, k := range raw {
+			ck, err := keys.ParseContainerKey(k)
+			if err == nil && ck.Level() == c.parent.Level()+1 {
+				pd.cks = append(pd.cks, ck)
+			}
+		}
+		if len(pd.cks) > 0 || pd.done {
+			break
+		}
+	}
+	if len(pd.cks) > 0 && c.prefetch != nil {
+		pd.raw = make([][]byte, len(pd.cks))
+		for i, ck := range pd.cks {
+			pd.raw[i] = ck.Bytes()
+		}
+		pd.pref, pd.degraded = c.prefetch(ctx, pd.raw)
+	}
+	return pd
+}
+
+// next advances to the next child key, installing pages as they run out:
+// from the lookahead eventual when one is in flight, inline otherwise.
 func (c *numberCursor) next() bool {
 	if c.err != nil {
 		return false
@@ -61,30 +138,44 @@ func (c *numberCursor) next() bool {
 		if c.done {
 			return false
 		}
-		if c.ds.closed.Load() {
-			c.err = ErrClosed
-			return false
-		}
-		raw, err := c.ds.yc.ListKeys(c.ctx, c.db, c.from, c.parent.Bytes(), c.pageSize)
-		if err != nil {
-			c.err = err
-			return false
-		}
-		if len(raw) == 0 {
-			c.done = true
-			return false
-		}
-		c.from = raw[len(raw)-1]
-		if len(raw) < c.pageSize {
-			c.done = true
-		}
-		c.page = c.page[:0]
-		c.pos = 0
-		for _, k := range raw {
-			ck, err := keys.ParseContainerKey(k)
-			if err == nil && ck.Level() == c.parent.Level()+1 {
-				c.page = append(c.page, ck)
+		var pd pageData
+		if c.la != nil {
+			var werr error
+			pd, werr = c.la.Wait(c.ctx)
+			c.la = nil
+			if werr != nil {
+				c.err = werr
+				return false
 			}
+		} else {
+			if c.ds.closed.Load() {
+				c.err = ErrClosed
+				return false
+			}
+			pd = c.fetchPage(c.ctx, c.from)
+		}
+		if pd.err != nil {
+			c.err = pd.err
+			return false
+		}
+		c.page, c.pos = pd.cks, 0
+		c.from, c.done = pd.from, pd.done
+		c.curRaw, c.curPref = pd.raw, pd.pref
+		c.degraded += pd.degraded
+		if !c.done {
+			// Double-buffer: fetch the next page while the caller works
+			// through this one. With a nil engine Run executes inline, so
+			// lookahead is only scheduled when an engine exists.
+			if eng := c.ds.engine; eng != nil {
+				from := c.from
+				c.la = asyncengine.Run(eng, c.ctx, asyncengine.PoolPrefetch,
+					func(tctx context.Context) (pageData, error) {
+						return c.fetchPage(tctx, from), nil
+					})
+			}
+		}
+		if len(c.page) == 0 {
+			return false
 		}
 	}
 }
@@ -141,12 +232,15 @@ func (c *SubRunCursor) SubRun() *SubRun {
 func (c *SubRunCursor) Err() error { return c.nc.err }
 
 // EventCursor streams a subrun's events, optionally prefetching selected
-// products page by page (the hepnos::Prefetcher pattern).
+// products page by page (the hepnos::Prefetcher pattern). With an engine,
+// the next page's keys and products are fetched while the current page is
+// being consumed.
 type EventCursor struct {
 	nc       *numberCursor
 	s        *SubRun
 	selector []ProductSelector
-	// prefetched maps the page position to label#type -> bytes.
+	// prefetched maps a raw event key to label#type -> bytes for the
+	// current page.
 	prefetched map[string]map[string][]byte
 }
 
@@ -154,36 +248,35 @@ type EventCursor struct {
 // any, are bulk-fetched alongside each page so Event.Load serves them
 // locally.
 func (s *SubRun) EventCursor(ctx context.Context, pageSize int, selectors ...ProductSelector) *EventCursor {
-	return &EventCursor{
+	c := &EventCursor{
 		nc:       newNumberCursor(ctx, s.ds, s.ds.eventDBForSubRun(s.key), s.key, pageSize),
 		s:        s,
 		selector: selectors,
 	}
+	if len(selectors) > 0 {
+		pf := s.ds.NewPrefetcher(selectors...)
+		c.nc.prefetch = pf.Fetch
+	}
+	return c
 }
 
 // Next advances the cursor; it returns false at the end or on error.
 func (c *EventCursor) Next() bool {
-	hadPage := c.nc.pos < len(c.nc.page)
 	if !c.nc.next() {
 		return false
 	}
-	// A page boundary was crossed: prefetch for the new page.
-	if len(c.selector) > 0 && (!hadPage || c.nc.pos == 1) {
-		c.prefetchPage()
+	// pos == 1 exactly when a new page was installed: rebuild its cache.
+	if len(c.selector) > 0 && c.nc.pos == 1 {
+		c.buildPageCache()
 	}
 	return true
 }
 
-// prefetchPage bulk-loads the selected products for the current page.
-func (c *EventCursor) prefetchPage() {
+// buildPageCache indexes the installed page's prefetch entries by raw key.
+func (c *EventCursor) buildPageCache() {
 	c.prefetched = make(map[string]map[string][]byte, len(c.nc.page))
-	raw := make([][]byte, 0, len(c.nc.page))
-	for _, ck := range c.nc.page {
-		raw = append(raw, ck.Bytes())
-	}
-	entries := c.nc.ds.pepPrefetch(c.nc.ctx, raw, c.selector)
-	for _, e := range entries {
-		ck := string(raw[e.EventIdx])
+	for _, e := range c.nc.curPref {
+		ck := string(c.nc.curRaw[e.EventIdx])
 		m := c.prefetched[ck]
 		if m == nil {
 			m = make(map[string][]byte)
@@ -204,6 +297,10 @@ func (c *EventCursor) Event() *Event {
 		subrun:    c.s,
 	}
 }
+
+// Degraded returns how many product loads fell back to on-demand because
+// a prefetch group's RPC failed.
+func (c *EventCursor) Degraded() int { return c.nc.degraded }
 
 // Err reports a cursor failure (nil at a clean end).
 func (c *EventCursor) Err() error { return c.nc.err }

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
 	"github.com/hep-on-hpc/hepnos-go/internal/chash"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
@@ -84,6 +85,11 @@ type ClientConfig struct {
 	// servers — are then absorbed instead of surfacing to the
 	// application. resilience.Default() is a good starting point.
 	Resilience *resilience.Policy
+	// Async sizes the client-side AsyncEngine (§II-D) that WriteBatch,
+	// the Prefetcher, EventCursor lookahead, PEP and the data loader all
+	// share. Nil means asyncengine.DefaultConfig(); set Disabled to force
+	// every layer onto its synchronous path.
+	Async *asyncengine.Config
 }
 
 var clientSeq atomic.Int64
@@ -91,8 +97,9 @@ var clientSeq atomic.Int64
 // DataStore is a client handle to a deployed HEPnOS service. It is safe for
 // concurrent use by multiple goroutines.
 type DataStore struct {
-	mi *margo.Instance
-	yc *yokan.Client
+	mi     *margo.Instance
+	yc     *yokan.Client
+	engine *asyncengine.Engine // nil when async is disabled
 
 	// Databases by role, in deterministic (server, provider, name) order.
 	datasetDBs []yokan.DBHandle
@@ -197,6 +204,16 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 			return nil, fmt.Errorf("hepnos: connect: service has no %s databases", role)
 		}
 	}
+	acfg := asyncengine.DefaultConfig()
+	if cfg.Async != nil {
+		acfg = *cfg.Async
+	}
+	eng, err := asyncengine.New(acfg)
+	if err != nil {
+		mi.Finalize()
+		return nil, fmt.Errorf("hepnos: connect: async engine: %w", err)
+	}
+	ds.engine = eng
 	return ds, nil
 }
 
@@ -220,12 +237,19 @@ func parseDBName(name string) (role string, index int, ok bool) {
 	return role, idx, true
 }
 
-// Close releases the client's endpoint. The service keeps running.
+// Close shuts down the async engine (canceling any in-flight background
+// work) and releases the client's endpoint. The service keeps running.
 func (ds *DataStore) Close() {
 	if ds.closed.CompareAndSwap(false, true) {
+		ds.engine.Shutdown()
 		ds.mi.Finalize()
 	}
 }
+
+// Engine returns the client's AsyncEngine, or nil when async was disabled.
+// All client-side background work (asynchronous flushes, prefetch fan-out,
+// cursor lookahead, PEP readers, parallel ingest) runs on its pools.
+func (ds *DataStore) Engine() *asyncengine.Engine { return ds.engine }
 
 // NumEventDatabases returns how many event databases the service has; the
 // ParallelEventProcessor sizes its reader set from this (§II-D).

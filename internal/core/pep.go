@@ -8,7 +8,6 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
-	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
 // PEP MPI tags (user tag space; applications should avoid this range while
@@ -71,9 +70,15 @@ func (o *PEPOptions) applyDefaults(ds *DataStore, commSize int) {
 // on every rank (computed with allreduce); Local fields are per rank.
 type PEPStats struct {
 	LocalEvents int
-	LocalStart  float64 // MPI Wtime at first processed batch
-	LocalEnd    float64 // MPI Wtime after last processed batch
-	TotalEvents int64
+	// LocalDegraded counts product loads in this rank's work batches that
+	// fell back to on-demand RPCs because a prefetch group failed.
+	LocalDegraded int
+	LocalStart    float64 // MPI Wtime at first processed batch
+	LocalEnd      float64 // MPI Wtime after last processed batch
+	TotalEvents   int64
+	// TotalDegraded sums LocalDegraded across ranks: how much of the
+	// prefetch batching was lost service-wide.
+	TotalDegraded int64
 	// Makespan is (max end − min start) across ranks — the paper's
 	// throughput denominator.
 	Makespan   float64
@@ -85,6 +90,9 @@ type pepWorkMsg struct {
 	Done bool
 	Keys [][]byte
 	Pref []pepPrefEntry
+	// Degraded is how many of this batch's prefetch loads failed over to
+	// on-demand (the reader counts them; workers aggregate into stats).
+	Degraded uint32
 }
 
 type pepPrefEntry struct {
@@ -105,13 +113,16 @@ func (ds *DataStore) ProcessEvents(ctx context.Context, comm *mpi.Comm, dataset 
 	}
 	opts.applyDefaults(ds, comm.Size())
 
+	// Readers are long-running loops, so they get dedicated tracked
+	// goroutines from the engine (the analog of dynamically created
+	// execution streams) rather than occupying a fixed pool stream.
 	var readerWG sync.WaitGroup
 	if comm.Rank() < opts.Readers {
 		readerWG.Add(1)
-		go func() {
+		ds.engine.Go(ctx, func(tctx context.Context) {
 			defer readerWG.Done()
-			ds.pepReader(ctx, comm, dataset, opts)
-		}()
+			ds.pepReader(tctx, comm, dataset, opts)
+		})
 	}
 
 	stats, err := ds.pepWorker(ctx, comm, opts, fn)
@@ -119,6 +130,7 @@ func (ds *DataStore) ProcessEvents(ctx context.Context, comm *mpi.Comm, dataset 
 
 	// Aggregate: every rank learns the totals.
 	stats.TotalEvents = comm.AllreduceInt64(int64(stats.LocalEvents), mpi.OpSum)
+	stats.TotalDegraded = comm.AllreduceInt64(int64(stats.LocalDegraded), mpi.OpSum)
 	start := comm.AllreduceFloat64(stats.LocalStart, mpi.OpMin)
 	end := comm.AllreduceFloat64(stats.LocalEnd, mpi.OpMax)
 	stats.Makespan = end - start
@@ -135,10 +147,14 @@ func (ds *DataStore) pepReader(ctx context.Context, comm *mpi.Comm, dataset *Dat
 	batches := make(chan pepWorkMsg, 64)
 
 	// Background loader: page event keys out of the assigned databases in
-	// LoadBatchSize pages, prefetch products, chop into work batches.
+	// LoadBatchSize pages, prefetch products, chop into work batches. Like
+	// the reader it is a long-running loop, so it runs on a dedicated
+	// engine goroutine; its per-database GetMulti groups fan out on the
+	// engine's RPC pool through the Prefetcher.
+	pf := ds.NewPrefetcher(opts.Prefetch...)
 	var loadWG sync.WaitGroup
 	loadWG.Add(1)
-	go func() {
+	ds.engine.Go(ctx, func(tctx context.Context) {
 		defer loadWG.Done()
 		defer close(batches)
 		prefix := dataset.key.Bytes()
@@ -146,7 +162,7 @@ func (ds *DataStore) pepReader(ctx context.Context, comm *mpi.Comm, dataset *Dat
 			db := ds.eventDBs[dbi]
 			var from []byte
 			for {
-				page, err := ds.yc.ListKeys(ctx, db, from, prefix, opts.LoadBatchSize)
+				page, err := ds.yc.ListKeys(tctx, db, from, prefix, opts.LoadBatchSize)
 				if err != nil || len(page) == 0 {
 					break // a failed database simply contributes no events
 				}
@@ -166,13 +182,15 @@ func (ds *DataStore) pepReader(ctx context.Context, comm *mpi.Comm, dataset *Dat
 					}
 					msg := pepWorkMsg{Keys: evKeys[off:hi]}
 					if len(opts.Prefetch) > 0 {
-						msg.Pref = ds.pepPrefetch(ctx, msg.Keys, opts.Prefetch)
+						pref, degraded := pf.Fetch(tctx, msg.Keys)
+						msg.Pref = pref
+						msg.Degraded = uint32(degraded)
 					}
 					batches <- msg
 				}
 			}
 		}
-	}()
+	})
 
 	// Server loop: answer work requests until every rank has been told
 	// this reader is exhausted.
@@ -195,50 +213,6 @@ func (ds *DataStore) pepReader(ctx context.Context, comm *mpi.Comm, dataset *Dat
 		comm.Send(src, tagPEPWorkResp, payload)
 	}
 	loadWG.Wait()
-}
-
-// pepPrefetch bulk-loads the selected products for a work batch, grouped
-// by product database so each group is one (bulk) RPC.
-func (ds *DataStore) pepPrefetch(ctx context.Context, evKeys [][]byte, sel []ProductSelector) []pepPrefEntry {
-	type slot struct {
-		eventIdx  int
-		labelType string
-	}
-	groups := make(map[yokan.DBHandle][][]byte)
-	slots := make(map[yokan.DBHandle][]slot)
-	for i, raw := range evKeys {
-		ck, err := keys.ParseContainerKey(raw)
-		if err != nil {
-			continue
-		}
-		db := ds.productDBForContainer(ck)
-		for _, s := range sel {
-			id := keys.ProductID{Container: ck, Label: s.Label, Type: s.Type}
-			groups[db] = append(groups[db], id.Encode())
-			slots[db] = append(slots[db], slot{eventIdx: i, labelType: s.key()})
-		}
-	}
-	var out []pepPrefEntry
-	for db, ks := range groups {
-		// Small groups go inline; large ones take the bulk (RDMA) path,
-		// mirroring Mercury's eager/rendezvous split.
-		bulk := len(ks) >= 32
-		vals, found, err := ds.yc.GetMulti(ctx, db, ks, bulk)
-		if err != nil {
-			continue // missing prefetch degrades to on-demand loads
-		}
-		for j := range ks {
-			if !found[j] {
-				continue
-			}
-			out = append(out, pepPrefEntry{
-				EventIdx:  uint32(slots[db][j].eventIdx),
-				LabelType: slots[db][j].labelType,
-				Data:      vals[j],
-			})
-		}
-	}
-	return out
 }
 
 // pepWorker pulls work batches from the readers round-robin and processes
@@ -277,6 +251,7 @@ func (ds *DataStore) pepWorker(ctx context.Context, comm *mpi.Comm, opts PEPOpti
 			stats.LocalStart = comm.Wtime()
 			started = true
 		}
+		stats.LocalDegraded += int(msg.Degraded)
 		// Rebuild per-event prefetch maps.
 		var pref map[int]map[string][]byte
 		if len(msg.Pref) > 0 {

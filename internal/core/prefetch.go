@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
+	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// Prefetcher bulk-loads selected products for batches of event keys — the
+// hepnos::Prefetcher of §II-D. Requests are grouped by product database
+// (placement guarantees one container's products share a database, §II-C3)
+// and the per-database GetMulti groups are fanned out in parallel on the
+// AsyncEngine's RPC pool; with a disabled engine the groups run serially.
+//
+// A failed group is not an error for the caller: those products simply are
+// not in the prefetch cache and Event.Load falls back to an on-demand RPC.
+// Fetch reports how many product loads were degraded that way so the loss
+// of batching is observable (PEPStats.LocalDegraded, hepnos-timeline)
+// instead of silent.
+type Prefetcher struct {
+	ds  *DataStore
+	sel []ProductSelector
+}
+
+// NewPrefetcher creates a Prefetcher for the given product selectors.
+func (ds *DataStore) NewPrefetcher(sel ...ProductSelector) *Prefetcher {
+	return &Prefetcher{ds: ds, sel: sel}
+}
+
+// prefetchGroup is one per-database GetMulti batch.
+type prefetchGroup struct {
+	db    yokan.DBHandle
+	keys  [][]byte
+	slots []prefetchSlot
+}
+
+type prefetchSlot struct {
+	eventIdx  int
+	labelType string
+}
+
+// Fetch bulk-loads the selected products for evKeys (raw event container
+// keys). It returns the entries found and the number of product loads that
+// degraded to on-demand because their group's RPC failed.
+func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry, int) {
+	if len(p.sel) == 0 || len(evKeys) == 0 {
+		return nil, 0
+	}
+	byDB := make(map[yokan.DBHandle]*prefetchGroup)
+	var groups []*prefetchGroup
+	for i, raw := range evKeys {
+		ck, err := keys.ParseContainerKey(raw)
+		if err != nil {
+			continue
+		}
+		db := p.ds.productDBForContainer(ck)
+		g := byDB[db]
+		if g == nil {
+			g = &prefetchGroup{db: db}
+			byDB[db] = g
+			groups = append(groups, g)
+		}
+		for _, s := range p.sel {
+			id := keys.ProductID{Container: ck, Label: s.Label, Type: s.Type}
+			g.keys = append(g.keys, id.Encode())
+			g.slots = append(g.slots, prefetchSlot{eventIdx: i, labelType: s.key()})
+		}
+	}
+	// Submit every group, then collect: with an engine the groups overlap
+	// on the RPC pool; with a nil engine GetMultiAsync runs inline and
+	// this degenerates to the serial loop.
+	evs := make([]*asyncengine.Eventual[yokan.GetMultiResult], len(groups))
+	for i, g := range groups {
+		// Small groups go inline; large ones take the bulk (RDMA) path,
+		// mirroring Mercury's eager/rendezvous split.
+		bulk := len(g.keys) >= 32
+		evs[i] = p.ds.yc.GetMultiAsync(ctx, p.ds.engine, g.db, g.keys, bulk)
+	}
+	var out []pepPrefEntry
+	degraded := 0
+	for i, g := range groups {
+		res, err := evs[i].Wait(ctx)
+		if err != nil {
+			degraded += len(g.keys)
+			continue
+		}
+		for j := range g.keys {
+			if !res.Found[j] {
+				continue
+			}
+			out = append(out, pepPrefEntry{
+				EventIdx:  uint32(g.slots[j].eventIdx),
+				LabelType: g.slots[j].labelType,
+				Data:      res.Vals[j],
+			})
+		}
+	}
+	return out, degraded
+}

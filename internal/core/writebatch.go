@@ -6,20 +6,46 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
+// ErrBatchClosed is returned by every mutating WriteBatch operation after
+// Close, and by a second Close.
+var ErrBatchClosed = errors.New("hepnos: write batch is closed")
+
 // WriteBatch accumulates container creations and product stores in a local
 // buffer, groups them by target database (since not all updates target the
 // same database), and sends grouped multi-put RPCs on Flush — §II-D of the
-// paper. A WriteBatch is not safe for concurrent use; each goroutine should
-// own one (AsynchronousWriteBatch adds the concurrency).
+// paper.
+//
+// A batch from NewWriteBatch flushes synchronously. A batch from
+// NewAsyncWriteBatch flushes through the datastore's AsyncEngine: Flush
+// submits one multi-put per target database to the engine's RPC pool and
+// returns immediately; errors from those background flushes surface on the
+// *next* Store/Flush call (and the failed groups are re-queued, so no
+// update is silently lost), with Close as the final barrier that waits for
+// everything in flight — the destructor semantics of §II-D. Asynchronous
+// flushes run under the context of the call that triggered them, so caller
+// cancellation stops in-flight flushes.
+//
+// A WriteBatch is safe for concurrent use.
 type WriteBatch struct {
-	ds      *DataStore
+	ds  *DataStore
+	eng *asyncengine.Engine // nil: flushes run inline
+
+	mu      sync.Mutex
 	pending map[yokan.DBHandle]*dbBatch
 	queued  int
+	closed  bool
+
+	// flushWG covers the submission window between extracting groups and
+	// registering their eventuals, so Wait cannot miss a flush in flight.
+	flushWG  sync.WaitGroup
+	inflight []inflightFlush
+
 	// MaxPending flushes automatically once this many updates accumulate
 	// (0 means only explicit Flush).
 	MaxPending int
@@ -30,15 +56,55 @@ type dbBatch struct {
 	vals [][]byte
 }
 
-// NewWriteBatch creates an empty batch bound to the datastore.
+// inflightFlush pairs an asynchronous flush with the group it carries, so
+// the reaper can put the group back on any failure — including tasks the
+// engine canceled before they ever ran.
+type inflightFlush struct {
+	ev *asyncengine.Eventual[asyncengine.Void]
+	db yokan.DBHandle
+	b  *dbBatch
+}
+
+// NewWriteBatch creates an empty batch bound to the datastore, flushing
+// synchronously.
 func (ds *DataStore) NewWriteBatch() *WriteBatch {
 	return &WriteBatch{ds: ds, pending: make(map[yokan.DBHandle]*dbBatch)}
 }
 
-// Pending returns the number of queued updates.
-func (w *WriteBatch) Pending() int { return w.queued }
+// NewAsyncWriteBatch creates a batch whose flushes run on the datastore's
+// AsyncEngine, auto-flushing every batchSize updates (default 1024). When
+// the engine is disabled the batch degrades to synchronous flushes.
+func (ds *DataStore) NewAsyncWriteBatch(batchSize int) *WriteBatch {
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	w := ds.NewWriteBatch()
+	w.eng = ds.engine
+	w.MaxPending = batchSize
+	return w
+}
 
-func (w *WriteBatch) add(db yokan.DBHandle, key, val []byte) {
+// Pending returns the number of queued (not yet flushed) updates.
+func (w *WriteBatch) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.queued
+}
+
+// InFlight returns how many asynchronous flush RPCs have not completed.
+func (w *WriteBatch) InFlight() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, f := range w.inflight {
+		if !f.ev.Ready() {
+			n++
+		}
+	}
+	return n
+}
+
+func (w *WriteBatch) addLocked(db yokan.DBHandle, key, val []byte) {
 	b := w.pending[db]
 	if b == nil {
 		b = &dbBatch{}
@@ -49,10 +115,53 @@ func (w *WriteBatch) add(db yokan.DBHandle, key, val []byte) {
 	w.queued++
 }
 
-// maybeAutoFlush honors MaxPending.
-func (w *WriteBatch) maybeAutoFlush(ctx context.Context) error {
-	if w.MaxPending > 0 && w.queued >= w.MaxPending {
-		return w.Flush(ctx)
+// reapLocked collects resolved asynchronous flushes, keeping unresolved
+// ones. A failed flush — whether its RPC errored or the engine canceled it
+// before it ran — puts its group back in the pending buffer, so no update
+// is lost; each error is reported exactly once.
+func (w *WriteBatch) reapLocked() error {
+	kept := w.inflight[:0]
+	var errs []error
+	for _, f := range w.inflight {
+		if !f.ev.Ready() {
+			kept = append(kept, f)
+			continue
+		}
+		if _, err := f.ev.Wait(nil); err != nil {
+			for i := range f.b.keys {
+				w.addLocked(f.db, f.b.keys[i], f.b.vals[i])
+			}
+			errs = append(errs, fmt.Errorf("async flush to %s: %w", f.db, err))
+		}
+	}
+	// Drop reaped entries so their groups can be collected.
+	for i := len(kept); i < len(w.inflight); i++ {
+		w.inflight[i] = inflightFlush{}
+	}
+	w.inflight = kept
+	return errors.Join(errs...)
+}
+
+// queue is the shared path of every mutating operation: it fails after
+// Close, surfaces any pending asynchronous flush error, queues the update,
+// and honors MaxPending.
+func (w *WriteBatch) queue(ctx context.Context, db yokan.DBHandle, key, val []byte) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrBatchClosed
+	}
+	err := w.reapLocked()
+	w.addLocked(db, key, val)
+	doFlush := w.MaxPending > 0 && w.queued >= w.MaxPending
+	w.mu.Unlock()
+	if err != nil {
+		// A previous asynchronous flush failed; its updates are back in
+		// the pending buffer (the one just queued included). Report once.
+		return err
+	}
+	if doFlush {
+		return w.flush(ctx)
 	}
 	return nil
 }
@@ -60,8 +169,7 @@ func (w *WriteBatch) maybeAutoFlush(ctx context.Context) error {
 // CreateRun queues creation of a run and returns its handle immediately.
 func (w *WriteBatch) CreateRun(ctx context.Context, d *DataSet, n uint64) (*Run, error) {
 	runKey := d.key.Child(n)
-	w.add(w.ds.runDBForDataset(d.key), runKey.Bytes(), nil)
-	if err := w.maybeAutoFlush(ctx); err != nil {
+	if err := w.queue(ctx, w.ds.runDBForDataset(d.key), runKey.Bytes(), nil); err != nil {
 		return nil, err
 	}
 	return &Run{container: container{ds: w.ds, key: runKey}, dataset: d}, nil
@@ -70,8 +178,7 @@ func (w *WriteBatch) CreateRun(ctx context.Context, d *DataSet, n uint64) (*Run,
 // CreateSubRun queues creation of a subrun.
 func (w *WriteBatch) CreateSubRun(ctx context.Context, r *Run, n uint64) (*SubRun, error) {
 	srKey := r.key.Child(n)
-	w.add(w.ds.subrunDBForRun(r.key), srKey.Bytes(), nil)
-	if err := w.maybeAutoFlush(ctx); err != nil {
+	if err := w.queue(ctx, w.ds.subrunDBForRun(r.key), srKey.Bytes(), nil); err != nil {
 		return nil, err
 	}
 	return &SubRun{container: container{ds: w.ds, key: srKey}, run: r}, nil
@@ -80,8 +187,7 @@ func (w *WriteBatch) CreateSubRun(ctx context.Context, r *Run, n uint64) (*SubRu
 // CreateEvent queues creation of an event.
 func (w *WriteBatch) CreateEvent(ctx context.Context, s *SubRun, n uint64) (*Event, error) {
 	evKey := s.key.Child(n)
-	w.add(w.ds.eventDBForSubRun(s.key), evKey.Bytes(), nil)
-	if err := w.maybeAutoFlush(ctx); err != nil {
+	if err := w.queue(ctx, w.ds.eventDBForSubRun(s.key), evKey.Bytes(), nil); err != nil {
 		return nil, err
 	}
 	return &Event{container: container{ds: w.ds, key: evKey}, subrun: s}, nil
@@ -102,13 +208,57 @@ func (w *WriteBatch) storeOn(ctx context.Context, ck keys.ContainerKey, label st
 	if err != nil {
 		return fmt.Errorf("hepnos: serialize product %s: %w", id, err)
 	}
-	w.add(w.ds.productDBForContainer(ck), id.Encode(), data)
-	return w.maybeAutoFlush(ctx)
+	return w.queue(ctx, w.ds.productDBForContainer(ck), id.Encode(), data)
 }
 
-// Flush sends all queued updates, one multi-put per target database, and
-// empties the batch. On error the batch keeps the unsent groups.
+// Flush sends all queued updates, one multi-put per target database.
+//
+// Synchronous batches block until every group lands; on error the batch
+// keeps the unsent groups, so Flush can be re-driven. Asynchronous batches
+// submit the groups to the engine and return immediately; a flush error
+// re-queues its group and surfaces on the next Store/Flush (or at Close).
+// Flush also reports any error from previously submitted flushes.
 func (w *WriteBatch) Flush(ctx context.Context) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrBatchClosed
+	}
+	err := w.reapLocked()
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.flush(ctx)
+}
+
+// flush runs regardless of the closed flag (Close uses it for the final
+// drain).
+func (w *WriteBatch) flush(ctx context.Context) error {
+	if w.eng == nil {
+		return w.flushSync(ctx)
+	}
+	w.mu.Lock()
+	groups := w.pending
+	w.pending = make(map[yokan.DBHandle]*dbBatch)
+	w.queued = 0
+	w.flushWG.Add(1)
+	w.mu.Unlock()
+	defer w.flushWG.Done()
+	// Submit outside the lock: submission blocks under backpressure and
+	// must not stall Pending/reap on other goroutines.
+	for db, b := range groups {
+		ev := w.ds.yc.PutMultiAsync(ctx, w.eng, db, b.keys, b.vals)
+		w.mu.Lock()
+		w.inflight = append(w.inflight, inflightFlush{ev: ev, db: db, b: b})
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+func (w *WriteBatch) flushSync(ctx context.Context) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	var errs []error
 	for db, b := range w.pending {
 		if err := w.ds.yc.PutMulti(ctx, db, b.keys, b.vals); err != nil {
@@ -121,111 +271,39 @@ func (w *WriteBatch) Flush(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// AsynchronousWriteBatch issues flushes from background workers so that
-// event processing overlaps storage traffic; its Close (the analog of the
-// destructor in §II-D) ensures all updates are completed.
-type AsynchronousWriteBatch struct {
-	ds   *DataStore
-	ch   chan asyncItem
-	wg   sync.WaitGroup
-	mu   sync.Mutex
-	errs []error
-	// batchSize is how many updates are coalesced per background flush.
-	batchSize int
-	closed    bool
-}
-
-type asyncItem struct {
-	db       yokan.DBHandle
-	key, val []byte
-}
-
-// NewAsynchronousWriteBatch starts workers background flushers coalescing
-// batchSize updates each (defaults: 2 workers, 1024 updates).
-func (ds *DataStore) NewAsynchronousWriteBatch(workers, batchSize int) *AsynchronousWriteBatch {
-	if workers <= 0 {
-		workers = 2
-	}
-	if batchSize <= 0 {
-		batchSize = 1024
-	}
-	a := &AsynchronousWriteBatch{
-		ds:        ds,
-		ch:        make(chan asyncItem, 4*batchSize),
-		batchSize: batchSize,
-	}
-	for i := 0; i < workers; i++ {
-		a.wg.Add(1)
-		go a.worker()
-	}
-	return a
-}
-
-func (a *AsynchronousWriteBatch) worker() {
-	defer a.wg.Done()
-	ctx := context.Background()
-	group := make(map[yokan.DBHandle]*dbBatch)
-	n := 0
-	flush := func() {
-		for db, b := range group {
-			if err := a.ds.yc.PutMulti(ctx, db, b.keys, b.vals); err != nil {
-				a.mu.Lock()
-				a.errs = append(a.errs, err)
-				a.mu.Unlock()
-			}
-		}
-		group = make(map[yokan.DBHandle]*dbBatch)
-		n = 0
-	}
-	for item := range a.ch {
-		b := group[item.db]
-		if b == nil {
-			b = &dbBatch{}
-			group[item.db] = b
-		}
-		b.keys = append(b.keys, item.key)
-		b.vals = append(b.vals, item.val)
-		n++
-		if n >= a.batchSize {
-			flush()
+// Wait blocks until every asynchronous flush submitted so far completes
+// (or ctx is done) and returns their joined errors. Failed groups are back
+// in the pending buffer and can be re-flushed.
+func (w *WriteBatch) Wait(ctx context.Context) error {
+	w.flushWG.Wait()
+	w.mu.Lock()
+	flushes := append([]inflightFlush(nil), w.inflight...)
+	w.mu.Unlock()
+	for _, f := range flushes {
+		// Task errors are collected (and their groups re-queued) by the
+		// reap below; only a Wait aborted by ctx itself returns early.
+		if _, err := f.ev.Wait(ctx); err != nil && ctx != nil && ctx.Err() != nil {
+			return err
 		}
 	}
-	flush()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reapLocked()
 }
 
-// CreateEvent queues an asynchronous event creation.
-func (a *AsynchronousWriteBatch) CreateEvent(s *SubRun, n uint64) *Event {
-	evKey := s.key.Child(n)
-	a.ch <- asyncItem{db: a.ds.eventDBForSubRun(s.key), key: evKey.Bytes()}
-	return &Event{container: container{ds: a.ds, key: evKey}, subrun: s}
-}
-
-// Store queues an asynchronous product store.
-func (a *AsynchronousWriteBatch) Store(c interface{ Key() keys.ContainerKey }, label string, value any) error {
-	ck := c.Key()
-	id, err := productIDFor(ck, label, value)
-	if err != nil {
-		return err
+// Close flushes the remaining updates, waits for every in-flight flush to
+// land, and marks the batch closed: all later mutating calls (and a second
+// Close) return ErrBatchClosed. The returned error joins every unreported
+// flush failure; on error, Pending reports how many updates did not land.
+func (w *WriteBatch) Close(ctx context.Context) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrBatchClosed
 	}
-	data, err := serde.Marshal(value)
-	if err != nil {
-		return err
-	}
-	a.ch <- asyncItem{db: a.ds.productDBForContainer(ck), key: id.Encode(), val: data}
-	return nil
-}
-
-// Close waits for all pending updates to land and returns any accumulated
-// errors. It must be called exactly once.
-func (a *AsynchronousWriteBatch) Close() error {
-	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
-		return errors.New("hepnos: AsynchronousWriteBatch closed twice")
-	}
-	a.closed = true
-	a.mu.Unlock()
-	close(a.ch)
-	a.wg.Wait()
-	return errors.Join(a.errs...)
+	w.closed = true
+	w.mu.Unlock()
+	errFlush := w.flush(ctx)
+	errWait := w.Wait(ctx)
+	return errors.Join(errFlush, errWait)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -12,6 +13,249 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
+
+// TestAsyncWriteBatchUnderFailure drives the engine-backed WriteBatch
+// through the same fault fabric: with the resilience layer underneath,
+// independently-flaky RPCs must be absorbed by retries inside the
+// asynchronous flush tasks, so Close (the §II-D barrier) returns nil and
+// every queued update lands exactly once.
+func TestAsyncWriteBatchUnderFailure(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	master := chaos.SeedFromEnv(20260805)
+	mrand := rand.New(rand.NewSource(master))
+	t.Logf("async sweep: %d trials under master seed %d (override with %s)",
+		trials, master, chaos.SeedEnv)
+
+	dep, err := bedrock.Deploy(bedrock.DeploySpec{
+		Servers:             2,
+		ProvidersPerServer:  2,
+		EventDBsPerServer:   2,
+		ProductDBsPerServer: 2,
+		NamePrefix:          "awb-chaos",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dep.Shutdown)
+
+	for trial := 0; trial < trials; trial++ {
+		batch := 20 + mrand.Intn(81) // 20..100 queued updates
+		seed := mrand.Int63()
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			ctx := context.Background()
+			// Each RPC flaky with p=0.2; with 8 retries per op the chance
+			// any op exhausts its budget is ~0.2^9 — the sweep proves the
+			// retries happen inside the engine's flush tasks.
+			in := chaos.New(seed, &chaos.Flaky{P: 0.2})
+			chaos.Report(t, in)
+			t.Logf("batch=%d (seed %d)", batch, seed)
+
+			pol := &resilience.Policy{
+				MaxRetries:     8,
+				InitialBackoff: 50 * time.Microsecond,
+				MaxBackoff:     time.Millisecond,
+				Retryable:      fabric.RetryableError,
+			}
+			ds, err := Connect(ctx, ClientConfig{
+				Group:      dep.Group,
+				NetSim:     &fabric.NetSim{Fault: in.ClientFault()},
+				Resilience: pol,
+			})
+			if err != nil {
+				t.Fatalf("connect under faults: %v", err)
+			}
+			defer ds.Close()
+
+			d, err := ds.CreateDataSet(ctx, fmt.Sprintf("awbchaos/trial%d", trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A small auto-flush threshold keeps asynchronous flushes in
+			// flight throughout the fill loop, under faults.
+			wb := ds.NewAsyncWriteBatch(8)
+			r, err := wb.CreateRun(ctx, d, uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr, err := wb.CreateSubRun(ctx, r, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= batch; i++ {
+				ev, err := wb.CreateEvent(ctx, sr, uint64(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := wb.Store(ctx, ev, "payload", []int32{int32(trial), int32(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := wb.Close(ctx); err != nil {
+				t.Fatalf("async close under faults: %v", err)
+			}
+			if wb.Pending() != 0 || wb.InFlight() != 0 {
+				t.Fatalf("close left %d pending / %d in flight", wb.Pending(), wb.InFlight())
+			}
+
+			nums, err := sr.Events(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(nums) != batch {
+				t.Fatalf("event count %d, want %d (loss or duplication)", len(nums), batch)
+			}
+			for i, n := range nums {
+				if n != uint64(i+1) {
+					t.Fatalf("event numbers corrupted: %v", nums)
+				}
+				ev, err := sr.Event(ctx, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []int32
+				if err := ev.Load(ctx, "payload", &got); err != nil {
+					t.Fatalf("event %d lost its product: %v", n, err)
+				}
+				if len(got) != 2 || got[0] != int32(trial) || got[1] != int32(n) {
+					t.Fatalf("event %d product corrupted: %v", n, got)
+				}
+			}
+			if in.Drops() == 0 {
+				t.Logf("note: seed %d injected no drops this trial", seed)
+			}
+		})
+	}
+}
+
+// TestAsyncWriteBatchDeterministicErrors replays the same fault schedule
+// twice against a non-resilient client and requires both runs to observe
+// the identical outcome: the asynchronous flush fails with the injected
+// error (surfaced at Wait, before Close), the same number of RPCs is
+// dropped, every update is re-queued rather than lost, and a second flush
+// after the outage window lands the full batch — so Close returns nil and
+// the audit matches. Determinism is what makes CHAOS_SEED a replay knob
+// for the asynchronous path too.
+func TestAsyncWriteBatchDeterministicErrors(t *testing.T) {
+	seed := chaos.SeedFromEnv(424242)
+	const batch = 30
+
+	dep, err := bedrock.Deploy(bedrock.DeploySpec{
+		Servers:             2,
+		ProvidersPerServer:  2,
+		EventDBsPerServer:   2,
+		ProductDBsPerServer: 2,
+		NamePrefix:          "awb-det",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dep.Shutdown)
+
+	// Probe run: count the RPCs a client issues before the first flush
+	// (connect-time discovery plus one dataset create). The workload is
+	// deterministic, so the real runs reach the flush at exactly this
+	// observation index and a window starting there covers every flush RPC
+	// regardless of the order the engine's xstreams issue them.
+	probe := chaos.New(seed, &chaos.DropWindow{Skip: 1 << 30})
+	ctx := context.Background()
+	pds, err := Connect(ctx, ClientConfig{
+		Group:  dep.Group,
+		NetSim: &fabric.NetSim{Fault: probe.ClientFault()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pds.CreateDataSet(ctx, "awbdet/probe"); err != nil {
+		t.Fatal(err)
+	}
+	pds.Close()
+	setupOps := probe.Observed()
+	t.Logf("setup issues %d RPCs before the first flush", setupOps)
+
+	type outcome struct {
+		failed   bool
+		injected bool
+		drops    int
+		requeued int
+		landed   int
+	}
+	runOnce := func(t *testing.T, name string) outcome {
+		// Total outage after setup: every flush RPC drops, whatever order
+		// the engine's xstreams issue them, until the network "recovers"
+		// (Heal below).
+		in := chaos.New(seed, &chaos.DropWindow{Skip: setupOps, N: 1 << 30})
+		chaos.Report(t, in)
+		ds, err := Connect(ctx, ClientConfig{
+			Group:  dep.Group,
+			NetSim: &fabric.NetSim{Fault: in.ClientFault()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ds.Close()
+		d, err := ds.CreateDataSet(ctx, "awbdet/"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb := ds.NewAsyncWriteBatch(0) // flush only on demand
+		r, err := wb.CreateRun(ctx, d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := wb.CreateSubRun(ctx, r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= batch; i++ {
+			ev, err := wb.CreateEvent(ctx, sr, uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wb.Store(ctx, ev, "payload", []int32{int32(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		queued := wb.Pending()
+		if err := wb.Flush(ctx); err != nil {
+			t.Fatalf("flush submission failed synchronously: %v", err)
+		}
+		werr := wb.Wait(ctx) // the error surfaces here, not at Close
+		var o outcome
+		o.failed = werr != nil
+		o.injected = errors.Is(werr, chaos.ErrInjectedDrop)
+		o.drops = in.Drops()
+		o.requeued = wb.Pending()
+		if o.requeued != queued {
+			t.Fatalf("failed flush lost updates: %d re-queued of %d queued", o.requeued, queued)
+		}
+		// The network recovers; the barrier drains cleanly.
+		in.Heal()
+		if err := wb.Close(ctx); err != nil {
+			t.Fatalf("close after outage: %v", err)
+		}
+		nums, err := sr.Events(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.landed = len(nums)
+		return o
+	}
+
+	first := runOnce(t, "run0")
+	second := runOnce(t, "run1")
+	if !first.failed || !first.injected {
+		t.Fatalf("flush error not surfaced: failed=%v injected=%v", first.failed, first.injected)
+	}
+	if first != second {
+		t.Fatalf("same seed, different outcome:\n first: %+v\nsecond: %+v", first, second)
+	}
+	if first.landed != batch {
+		t.Fatalf("landed %d events after close, want %d", first.landed, batch)
+	}
+}
 
 // TestWriteBatchFlushUnderFailure is the property-style check from the
 // ISSUE: for random batch sizes and random fault placements, a

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/core"
 	"github.com/hep-on-hpc/hepnos-go/internal/h5lite"
 )
@@ -251,11 +252,13 @@ func (l *Loader) IngestFile(ctx context.Context, dataset *core.DataSet, b *Bindi
 	if err != nil {
 		return st, err
 	}
-	wb := l.DS.NewWriteBatch()
-	wb.MaxPending = l.BatchSize
-	if wb.MaxPending <= 0 {
-		wb.MaxPending = 4096
+	// Async batch: flushes overlap with decoding the next events, and
+	// degrade to synchronous flushes when the engine is disabled.
+	batch := l.BatchSize
+	if batch <= 0 {
+		batch = 4096
 	}
+	wb := l.DS.NewAsyncWriteBatch(batch)
 	label := l.Label
 	if label == "" {
 		label = "h5"
@@ -291,15 +294,19 @@ func (l *Loader) IngestFile(ctx context.Context, dataset *core.DataSet, b *Bindi
 		st.Products++
 		st.Rows += er.Count
 	}
-	if err := wb.Flush(ctx); err != nil {
+	// Close is the §II-D barrier: it drains every asynchronous flush and
+	// surfaces their errors.
+	if err := wb.Close(ctx); err != nil {
 		return st, err
 	}
 	st.Files = 1
 	return st, nil
 }
 
-// IngestFiles ingests many files concurrently (Parallelism workers) and
-// accumulates statistics. The first error aborts remaining files.
+// IngestFiles ingests many files concurrently — one engine task per file
+// on the AsyncEngine's ingest pool, at most Parallelism in flight — and
+// accumulates statistics. The first error cancels the remaining files.
+// With a disabled engine the files are ingested sequentially.
 func (l *Loader) IngestFiles(ctx context.Context, dataset *core.DataSet, b *Binding, paths []string) (IngestStats, error) {
 	workers := l.Parallelism
 	if workers <= 0 {
@@ -311,38 +318,23 @@ func (l *Loader) IngestFiles(ctx context.Context, dataset *core.DataSet, b *Bind
 	var (
 		mu    sync.Mutex
 		total IngestStats
-		first error
 	)
-	work := make(chan string)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for path := range work {
-				st, err := l.IngestFile(ctx, dataset, b, path)
-				mu.Lock()
-				if err != nil && first == nil {
-					first = fmt.Errorf("dataloader: ingest %s: %w", path, err)
-				}
-				total.Files += st.Files
-				total.Events += st.Events
-				total.Products += st.Products
-				total.Rows += st.Rows
-				mu.Unlock()
-			}
-		}()
-	}
+	g := l.DS.Engine().NewGroup(ctx, asyncengine.PoolIngest, workers)
 	for _, p := range paths {
-		mu.Lock()
-		abort := first != nil
-		mu.Unlock()
-		if abort {
-			break
-		}
-		work <- p
+		path := p
+		g.Go(func(tctx context.Context) error {
+			st, err := l.IngestFile(tctx, dataset, b, path)
+			mu.Lock()
+			total.Files += st.Files
+			total.Events += st.Events
+			total.Products += st.Products
+			total.Rows += st.Rows
+			mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("dataloader: ingest %s: %w", path, err)
+			}
+			return nil
+		})
 	}
-	close(work)
-	wg.Wait()
-	return total, first
+	return total, g.Wait()
 }

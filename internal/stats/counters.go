@@ -1,0 +1,72 @@
+package stats
+
+import "sync/atomic"
+
+// OpCounters is a lock-free counter set for one operation stream (an async
+// pool, a queue, a worker group). It tracks cumulative submissions and
+// completions plus an instantaneous in-flight depth with a high-water mark,
+// the per-pool metrics the client AsyncEngine exports (the role §V of the
+// paper assigns to the Symbiomon monitoring companion).
+//
+// The zero value is ready to use.
+type OpCounters struct {
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	depth     atomic.Int64
+	maxDepth  atomic.Int64
+}
+
+// OpSnapshot is a point-in-time copy of an OpCounters.
+type OpSnapshot struct {
+	// Submitted counts operations accepted into the stream.
+	Submitted int64
+	// Completed counts operations that finished, successfully or not.
+	Completed int64
+	// Failed counts completed operations that returned an error.
+	Failed int64
+	// Rejected counts operations refused at submission (closed stream,
+	// canceled context while waiting for capacity).
+	Rejected int64
+	// Depth is the current number of in-flight (queued or running)
+	// operations; MaxDepth is its high-water mark.
+	Depth    int64
+	MaxDepth int64
+}
+
+// Submitted records one accepted operation, raising the depth gauge.
+func (c *OpCounters) Submitted() {
+	c.submitted.Add(1)
+	d := c.depth.Add(1)
+	for {
+		max := c.maxDepth.Load()
+		if d <= max || c.maxDepth.CompareAndSwap(max, d) {
+			return
+		}
+	}
+}
+
+// Completed records one finished operation, lowering the depth gauge.
+func (c *OpCounters) Completed(err error) {
+	c.completed.Add(1)
+	if err != nil {
+		c.failed.Add(1)
+	}
+	c.depth.Add(-1)
+}
+
+// Rejected records one operation refused at submission.
+func (c *OpCounters) Rejected() { c.rejected.Add(1) }
+
+// Snapshot returns a point-in-time copy of the counters.
+func (c *OpCounters) Snapshot() OpSnapshot {
+	return OpSnapshot{
+		Submitted: c.submitted.Load(),
+		Completed: c.completed.Load(),
+		Failed:    c.failed.Load(),
+		Rejected:  c.rejected.Load(),
+		Depth:     c.depth.Load(),
+		MaxDepth:  c.maxDepth.Load(),
+	}
+}

@@ -160,8 +160,8 @@ func writeRankTimeline(dir string, rank int, stats core.PEPStats, slices, accept
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(f, "rank %d\nstart %f\nend %f\nevents %d\nslices %d\naccepted %d\n",
-		rank, stats.LocalStart, stats.LocalEnd, stats.LocalEvents, slices, accepted)
+	fmt.Fprintf(f, "rank %d\nstart %f\nend %f\nevents %d\nslices %d\naccepted %d\ndegraded %d\n",
+		rank, stats.LocalStart, stats.LocalEnd, stats.LocalEvents, slices, accepted, stats.LocalDegraded)
 	return f.Close()
 }
 
