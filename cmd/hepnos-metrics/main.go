@@ -1,0 +1,79 @@
+// Command hepnos-metrics scrapes a running HEPnOS service and renders a
+// hot-path observability report — the collection role §V of the paper
+// assigns to Symbiomon, over the same fabric the data path uses. For each
+// server in the group file it pulls the metric families and the span ring
+// through the admin provider, then prints the hottest RPCs, per-database
+// service time, async pool saturation, resilience activity and the
+// client→server span linkage summary.
+//
+//	hepnos-metrics -group hepnos-group.json
+//	hepnos-metrics -group hepnos-group.json -prom   # raw Prometheus text
+//	hepnos-metrics -group hepnos-group.json -json   # raw JSON sources
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
+
+var seq atomic.Int64
+
+func main() {
+	groupPath := flag.String("group", "hepnos-group.json", "group file of the service")
+	prom := flag.Bool("prom", false, "dump raw Prometheus text exposition per server")
+	asJSON := flag.Bool("json", false, "dump scraped sources as JSON")
+	flag.Parse()
+
+	group, err := bedrock.ReadGroupFile(*groupPath)
+	if err != nil {
+		fatal(err)
+	}
+	addr := fabric.Address(fmt.Sprintf("inproc://hepnos-metrics-%d", seq.Add(1)))
+	if group.Protocol == "tcp" {
+		addr = "tcp://127.0.0.1:0"
+	}
+	mi, err := margo.Init(margo.Config{Address: addr})
+	if err != nil {
+		fatal(err)
+	}
+	defer mi.Finalize()
+
+	ctx := context.Background()
+	if *prom {
+		for _, srv := range group.Servers {
+			text, err := bedrock.ScrapeProm(ctx, mi, fabric.Address(srv.Address))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# server %s\n%s", srv.Address, text)
+		}
+		return
+	}
+	sources, err := bedrock.ScrapeGroup(ctx, mi, group)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sources); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(obs.RenderReport(sources))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hepnos-metrics:", err)
+	os.Exit(1)
+}

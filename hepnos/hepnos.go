@@ -28,6 +28,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/core"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
 
@@ -135,6 +136,32 @@ var (
 	NewRetryBudget    = resilience.NewBudget
 )
 
+// Observability types (§V monitoring): a client created with
+// ClientConfig.Tracer records linked client/server spans; every client
+// exposes a metrics Registry through DataStore.Registry. Server-side
+// counterparts are scraped remotely — see cmd/hepnos-metrics.
+type (
+	// Tracer records finished spans into a bounded ring buffer.
+	Tracer = obs.Tracer
+	// Span is one finished measurement, linkable across processes.
+	Span = obs.Span
+	// MetricsRegistry is a process's set of named instruments.
+	MetricsRegistry = obs.Registry
+	// MetricFamily is one instrument with all its labelled samples.
+	MetricFamily = obs.Family
+	// ObsSource is one scraped process in an observability report.
+	ObsSource = obs.Source
+)
+
+// NewTracer creates a span tracer; PromText renders metric families in
+// Prometheus text exposition; RenderObsReport turns scraped sources into
+// the hot-path text report of cmd/hepnos-metrics.
+var (
+	NewTracer       = obs.NewTracer
+	PromText        = obs.PromText
+	RenderObsReport = obs.RenderReport
+)
+
 // Errors re-exported from the core package.
 var (
 	ErrNoSuchDataSet   = core.ErrNoSuchDataSet
@@ -176,6 +203,7 @@ func ClientConfigFrom(cpc ClientProcessConfig) (ClientConfig, error) {
 		Placement:  Placement(cpc.Placement),
 		Resilience: cpc.Resilience.Policy(),
 		Async:      cpc.Async,
+		Tracer:     cpc.Obs.NewTracer(),
 	}, nil
 }
 

@@ -1,0 +1,193 @@
+package asyncengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/chaos"
+)
+
+// These tests audit the Submitted/Completed pairing of the engine's
+// counters under hostile schedules: every accepted task must complete
+// exactly once (whether it ran, failed, was canceled in the queue, or was
+// caught by a mid-queue shutdown), so the depth gauge returns to zero and
+// Submitted == Completed once the engine drains. A leak here would make
+// the exported hepnos_async_pool_depth metric drift upward forever.
+
+// floodOutcome is what one flood task does, decided by a seeded PRNG so a
+// failing run replays with CHAOS_SEED.
+const (
+	outcomeOK = iota
+	outcomeFail
+	outcomeSleep
+	outcomeBlockUntilCanceled
+	outcomeCount
+)
+
+var errChaosTask = errors.New("asyncengine chaos: injected task failure")
+
+// TestChaosDepthReturnsToZero floods a small engine from many goroutines
+// with a seeded mix of succeeding, failing, sleeping and canceled tasks,
+// cancels a batch of submitter contexts mid-flood, and checks that after
+// the flood drains every pool's books balance: Depth == 0,
+// Submitted == Completed, and failures were counted.
+func TestChaosDepthReturnsToZero(t *testing.T) {
+	seed := chaos.SeedFromEnv(20260805)
+	t.Logf("chaos: seed %d (replay with %s=%d)", seed, chaos.SeedEnv, seed)
+
+	e := newTestEngine(t, Config{Pools: []PoolSpec{
+		{Name: PoolRPC, XStreams: 2, MaxQueue: 4},
+		{Name: PoolPrefetch, XStreams: 1, MaxQueue: 2},
+	}})
+
+	const submitters = 8
+	const perSubmitter = 50
+	cancelable, cancelFlood := context.WithCancel(context.Background())
+	defer cancelFlood()
+
+	var wg sync.WaitGroup
+	var evs sync.Map // index -> *Eventual[int]
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(s)))
+			for i := 0; i < perSubmitter; i++ {
+				pool := PoolRPC
+				if rng.Intn(3) == 0 {
+					pool = PoolPrefetch
+				}
+				outcome := rng.Intn(outcomeCount)
+				// Drawn here, not in the task: the task runs on a pool
+				// stream and must not share the submitter's PRNG.
+				nap := time.Duration(rng.Intn(200)) * time.Microsecond
+				ctx := context.Background()
+				if outcome == outcomeBlockUntilCanceled {
+					ctx = cancelable
+				}
+				ev := Run(e, ctx, pool, func(tctx context.Context) (int, error) {
+					switch outcome {
+					case outcomeFail:
+						return 0, errChaosTask
+					case outcomeSleep:
+						time.Sleep(nap)
+					case outcomeBlockUntilCanceled:
+						<-tctx.Done()
+						return 0, tctx.Err()
+					}
+					return 1, nil
+				})
+				evs.Store(fmt.Sprintf("%d/%d", s, i), ev)
+			}
+		}(s)
+	}
+
+	// Mid-flood, release every blocked task; the flood keeps submitting.
+	time.Sleep(2 * time.Millisecond)
+	cancelFlood()
+	wg.Wait()
+
+	// Wait on every eventual: accepted or rejected, each must resolve.
+	evs.Range(func(_, v any) bool {
+		v.(*Eventual[int]).Wait(context.Background())
+		return true
+	})
+
+	// Tasks resolve their eventuals before releasing the pool slot, so
+	// give the bookkeeping tail a bounded moment to finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for name, m := range e.Metrics() {
+		for m.Depth != 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+			m = e.Metrics()[name]
+		}
+		if m.Depth != 0 {
+			t.Errorf("pool %s: depth %d after flood drained, want 0", name, m.Depth)
+		}
+		if m.Submitted != m.Completed {
+			t.Errorf("pool %s: submitted %d != completed %d", name, m.Submitted, m.Completed)
+		}
+		if m.MaxDepth > int64(cap(e.pools[name].slots)) {
+			t.Errorf("pool %s: max depth %d exceeds MaxQueue %d", name, m.MaxDepth, cap(e.pools[name].slots))
+		}
+	}
+}
+
+// TestChaosShutdownMidQueueBalancesBooks fills a one-stream pool so tasks
+// are waiting in the queue, shuts the engine down mid-queue, and checks
+// that queued-but-never-run tasks still resolve and count as completed:
+// the invariant that makes depth a trustworthy saturation gauge.
+func TestChaosShutdownMidQueueBalancesBooks(t *testing.T) {
+	seed := chaos.SeedFromEnv(20260806)
+	t.Logf("chaos: seed %d (replay with %s=%d)", seed, chaos.SeedEnv, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	e := newTestEngine(t, Config{Pools: []PoolSpec{
+		{Name: PoolRPC, XStreams: 1, MaxQueue: 8},
+	}})
+
+	release := make(chan struct{})
+	var evs []*Eventual[int]
+	// First task occupies the single stream until released; the rest queue.
+	evs = append(evs, Run(e, context.Background(), PoolRPC, func(context.Context) (int, error) {
+		<-release
+		return 0, nil
+	}))
+	for i := 0; i < 7; i++ {
+		fail := rng.Intn(2) == 0
+		evs = append(evs, Run(e, context.Background(), PoolRPC, func(context.Context) (int, error) {
+			if fail {
+				return 0, errChaosTask
+			}
+			return 1, nil
+		}))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Shutdown()
+	}()
+	// Shutdown cancels the occupying task's context but the task ignores
+	// it until released — the mid-queue window under test.
+	time.Sleep(time.Millisecond)
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not drain")
+	}
+
+	for _, ev := range evs {
+		if !ev.Ready() {
+			t.Fatal("eventual unresolved after Shutdown")
+		}
+	}
+	m := e.Metrics()[PoolRPC]
+	if m.Depth != 0 {
+		t.Errorf("depth %d after shutdown, want 0", m.Depth)
+	}
+	if m.Submitted != m.Completed {
+		t.Errorf("submitted %d != completed %d after shutdown", m.Submitted, m.Completed)
+	}
+	if m.Submitted != int64(len(evs)) {
+		t.Errorf("submitted %d, want %d (all tasks were accepted)", m.Submitted, len(evs))
+	}
+
+	// After shutdown, submissions are rejected — and rejections must not
+	// touch the depth gauge.
+	if _, err := Run(e, context.Background(), PoolRPC, func(context.Context) (int, error) {
+		return 0, nil
+	}).Wait(context.Background()); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("post-shutdown submit error = %v, want ErrEngineClosed", err)
+	}
+	m = e.Metrics()[PoolRPC]
+	if m.Rejected != 1 || m.Depth != 0 {
+		t.Errorf("post-shutdown rejection: rejected=%d depth=%d, want 1, 0", m.Rejected, m.Depth)
+	}
+}

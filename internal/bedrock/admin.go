@@ -2,10 +2,12 @@ package bedrock
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 )
 
 // The admin provider gives operators remote control of a server process —
@@ -16,6 +18,9 @@ const (
 	adminProviderID      = margo.ProviderID(65535)
 	adminShutdownRPC     = "shutdown"
 	adminPingRPC         = "ping"
+	adminMetricsJSONRPC  = "metrics_json"
+	adminMetricsPromRPC  = "metrics_prom"
+	adminSpansRPC        = "spans"
 	adminShutdownTimeout = "bye"
 )
 
@@ -33,6 +38,18 @@ func (s *Server) registerAdmin() error {
 			default: // already requested
 			}
 			return []byte(adminShutdownTimeout), nil
+		},
+		// The monitoring endpoints of §V: a structured snapshot for tools,
+		// the Prometheus text exposition for standard scrapers, and the
+		// tracer's span ring for cross-process linkage analysis.
+		adminMetricsJSONRPC: func(context.Context, *fabric.Request) ([]byte, error) {
+			return json.Marshal(s.registry.Snapshot())
+		},
+		adminMetricsPromRPC: func(context.Context, *fabric.Request) ([]byte, error) {
+			return []byte(obs.PromText(s.registry.Snapshot())), nil
+		},
+		adminSpansRPC: func(context.Context, *fabric.Request) ([]byte, error) {
+			return json.Marshal(s.tracer.Snapshot())
 		},
 	}
 	_, err := s.mi.RegisterProvider(adminService, adminProviderID, nil, handlers)

@@ -18,6 +18,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/argo"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
@@ -44,6 +45,34 @@ type MargoConfig struct {
 	// Resilience optionally attaches a retry/backoff/circuit-breaker
 	// policy to the server's outgoing calls (bulk pulls back to clients).
 	Resilience *ResilienceConfig `json:"resilience,omitempty"`
+	// Obs tunes the observability layer (§V monitoring). Nil keeps the
+	// defaults: tracing on with the default span buffer, metrics on.
+	Obs *ObsConfig `json:"obs,omitempty"`
+}
+
+// ObsConfig is the JSON form of the process's observability setup. The
+// metrics registry is pull-model — it costs nothing until scraped — so it
+// is always on; only tracing (which keeps a ring of finished spans) has
+// an off switch.
+type ObsConfig struct {
+	// DisableTracing turns span recording off. Metrics stay on.
+	DisableTracing bool `json:"disable_tracing,omitempty"`
+	// SpanBuffer is the tracer's ring capacity in spans
+	// (0: obs.DefaultSpanBuffer).
+	SpanBuffer int `json:"span_buffer,omitempty"`
+}
+
+// NewTracer materializes the config into a live tracer (nil when tracing
+// is disabled). A nil *ObsConfig yields the default tracer.
+func (oc *ObsConfig) NewTracer() *obs.Tracer {
+	if oc != nil && oc.DisableTracing {
+		return nil
+	}
+	size := 0
+	if oc != nil {
+		size = oc.SpanBuffer
+	}
+	return obs.NewTracer(size)
 }
 
 // NetSimConfig is the JSON form of a fabric.NetSim.
@@ -140,6 +169,8 @@ type Server struct {
 	mi         *margo.Instance
 	providers  []*yokan.Provider
 	cfg        ProcessConfig
+	registry   *obs.Registry
+	tracer     *obs.Tracer
 	shutdownCh chan struct{}
 	janitorCh  chan struct{}
 }
@@ -158,12 +189,15 @@ func Boot(cfg ProcessConfig) (*Server, error) {
 			InjectionHardFail: ns.InjectionHardFail,
 		}
 	}
+	policy := cfg.Margo.Resilience.Policy()
+	tracer := cfg.Margo.Obs.NewTracer()
 	mi, err := margo.Init(margo.Config{
 		Address:     fabric.Address(cfg.Margo.Address),
 		Argobots:    cfg.Margo.Argobots,
 		RPCXStreams: cfg.Margo.RPCXStreams,
 		NetSim:      sim,
-		Resilience:  cfg.Margo.Resilience.Policy(),
+		Resilience:  policy,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -171,8 +205,17 @@ func Boot(cfg ProcessConfig) (*Server, error) {
 	srv := &Server{
 		mi:         mi,
 		cfg:        cfg,
+		registry:   obs.NewRegistry(),
+		tracer:     tracer,
 		shutdownCh: make(chan struct{}, 1),
 		janitorCh:  make(chan struct{}),
+	}
+	mi.Endpoint().RegisterMetrics(srv.registry)
+	if policy != nil {
+		policy.RegisterMetrics(srv.registry)
+	}
+	if tracer != nil {
+		obs.RegisterTracerMetrics(srv.registry, tracer)
 	}
 	if err := srv.registerAdmin(); err != nil {
 		srv.Shutdown()
@@ -192,6 +235,7 @@ func Boot(cfg ProcessConfig) (*Server, error) {
 			srv.Shutdown()
 			return nil, fmt.Errorf("bedrock: provider %q: %w", pc.Name, err)
 		}
+		p.RegisterMetrics(srv.registry)
 		srv.providers = append(srv.providers, p)
 	}
 	// Bulk-region janitor: reclaim regions abandoned by dead clients
@@ -243,6 +287,13 @@ func (s *Server) Addr() fabric.Address { return s.mi.Addr() }
 
 // Margo exposes the underlying margo instance.
 func (s *Server) Margo() *margo.Instance { return s.mi }
+
+// Registry returns the server's metrics registry: fabric breadcrumbs,
+// per-provider Yokan aggregates, resilience counters. Never nil.
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// Tracer returns the server's span tracer (nil when tracing is off).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Providers returns the booted Yokan providers.
 func (s *Server) Providers() []*yokan.Provider {

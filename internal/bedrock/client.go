@@ -39,6 +39,9 @@ type ClientProcessConfig struct {
 	Async *asyncengine.Config `json:"async,omitempty"`
 	// Resilience attaches a retry/backoff/breaker policy to client RPCs.
 	Resilience *ResilienceConfig `json:"resilience,omitempty"`
+	// Obs tunes the client's observability layer; nil keeps the defaults
+	// (tracing on, default span buffer).
+	Obs *ObsConfig `json:"obs,omitempty"`
 }
 
 // ParseClientConfig decodes a client JSON document, rejecting unknown

@@ -1,0 +1,80 @@
+package bedrock
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
+
+// The scrape helpers are the client half of the admin monitoring RPCs:
+// cmd/hepnos-metrics (and tests) use them to pull a live server's metric
+// families, Prometheus text and span ring — the Symbiomon role of §V,
+// collection over the same fabric the data path uses.
+
+// ScrapeMetrics fetches a server's metric families.
+func ScrapeMetrics(ctx context.Context, mi *margo.Instance, addr fabric.Address) ([]obs.Family, error) {
+	resp, err := mi.Forward(ctx, addr, adminService, adminProviderID, adminMetricsJSONRPC, nil)
+	if err != nil {
+		return nil, fmt.Errorf("bedrock: scrape metrics from %s: %w", addr, err)
+	}
+	var fams []obs.Family
+	if err := json.Unmarshal(resp, &fams); err != nil {
+		return nil, fmt.Errorf("bedrock: decode metrics from %s: %w", addr, err)
+	}
+	return fams, nil
+}
+
+// ScrapeProm fetches a server's metrics in Prometheus text exposition.
+func ScrapeProm(ctx context.Context, mi *margo.Instance, addr fabric.Address) (string, error) {
+	resp, err := mi.Forward(ctx, addr, adminService, adminProviderID, adminMetricsPromRPC, nil)
+	if err != nil {
+		return "", fmt.Errorf("bedrock: scrape prom from %s: %w", addr, err)
+	}
+	return string(resp), nil
+}
+
+// ScrapeSpans fetches a server's buffered finished spans, oldest first.
+// Servers with tracing disabled return an empty slice.
+func ScrapeSpans(ctx context.Context, mi *margo.Instance, addr fabric.Address) ([]obs.Span, error) {
+	resp, err := mi.Forward(ctx, addr, adminService, adminProviderID, adminSpansRPC, nil)
+	if err != nil {
+		return nil, fmt.Errorf("bedrock: scrape spans from %s: %w", addr, err)
+	}
+	var spans []obs.Span
+	if err := json.Unmarshal(resp, &spans); err != nil {
+		return nil, fmt.Errorf("bedrock: decode spans from %s: %w", addr, err)
+	}
+	return spans, nil
+}
+
+// ScrapeSource fetches one server's metrics and spans as a report source.
+func ScrapeSource(ctx context.Context, mi *margo.Instance, addr fabric.Address) (obs.Source, error) {
+	fams, err := ScrapeMetrics(ctx, mi, addr)
+	if err != nil {
+		return obs.Source{}, err
+	}
+	spans, err := ScrapeSpans(ctx, mi, addr)
+	if err != nil {
+		return obs.Source{}, err
+	}
+	return obs.Source{Name: string(addr), Families: fams, Spans: spans}, nil
+}
+
+// ScrapeGroup fetches every server of a deployment. Unreachable servers
+// fail the scrape — a monitoring tool that silently skips a server would
+// mis-report the service.
+func ScrapeGroup(ctx context.Context, mi *margo.Instance, group GroupFile) ([]obs.Source, error) {
+	var out []obs.Source
+	for _, srv := range group.Servers {
+		src, err := ScrapeSource(ctx, mi, fabric.Address(srv.Address))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, src)
+	}
+	return out, nil
+}

@@ -27,6 +27,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/uuid"
@@ -90,6 +91,11 @@ type ClientConfig struct {
 	// share. Nil means asyncengine.DefaultConfig(); set Disabled to force
 	// every layer onto its synchronous path.
 	Async *asyncengine.Config
+	// Tracer optionally records trace spans for every RPC the client
+	// issues and every core-layer stage (batch flushes, prefetch fan-out,
+	// PEP runs). The span context crosses the wire, so a traced client
+	// against a traced service yields linked client/server span pairs.
+	Tracer *obs.Tracer
 }
 
 var clientSeq atomic.Int64
@@ -111,6 +117,18 @@ type DataStore struct {
 	placement Placement
 	group     bedrock.GroupFile
 	closed    atomic.Bool
+
+	// Client-side observability: one registry covering the endpoint's
+	// breadcrumbs, the resilience policy, the async pools and the core
+	// counters below; tracer is the (optional) span recorder shared with
+	// the endpoint.
+	registry *obs.Registry
+	tracer   *obs.Tracer
+
+	pepEvents        atomic.Int64 // events processed by PEP workers
+	pepBatches       atomic.Int64 // work batches processed by PEP workers
+	prefetchLoads    atomic.Int64 // product loads requested by the Prefetcher
+	prefetchDegraded atomic.Int64 // loads degraded to on-demand by failed groups
 }
 
 // Connect discovers the service's databases and returns a ready DataStore,
@@ -127,7 +145,7 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 			addr = fabric.Address(fmt.Sprintf("inproc://hepnos-client-%d", clientSeq.Add(1)))
 		}
 	}
-	mi, err := margo.Init(margo.Config{Address: addr, NetSim: cfg.NetSim, Resilience: cfg.Resilience})
+	mi, err := margo.Init(margo.Config{Address: addr, NetSim: cfg.NetSim, Resilience: cfg.Resilience, Tracer: cfg.Tracer})
 	if err != nil {
 		return nil, err
 	}
@@ -214,6 +232,20 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 		return nil, fmt.Errorf("hepnos: connect: async engine: %w", err)
 	}
 	ds.engine = eng
+
+	// One registry for everything this client measures. Collectors close
+	// over live counters, so building it here costs nothing per operation.
+	ds.tracer = cfg.Tracer
+	ds.registry = obs.NewRegistry()
+	mi.Endpoint().RegisterMetrics(ds.registry)
+	if cfg.Resilience != nil {
+		cfg.Resilience.RegisterMetrics(ds.registry)
+	}
+	eng.RegisterMetrics(ds.registry)
+	if cfg.Tracer != nil {
+		obs.RegisterTracerMetrics(ds.registry, cfg.Tracer)
+	}
+	ds.registerCoreMetrics()
 	return ds, nil
 }
 

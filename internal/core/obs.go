@@ -1,0 +1,36 @@
+package core
+
+import "github.com/hep-on-hpc/hepnos-go/internal/obs"
+
+// Registry returns the client's metrics registry: fabric breadcrumbs,
+// resilience activity, async pool counters and the core-layer counters,
+// all collected on demand. Never nil after Connect.
+func (ds *DataStore) Registry() *obs.Registry { return ds.registry }
+
+// Tracer returns the client's span tracer (nil when tracing is off).
+func (ds *DataStore) Tracer() *obs.Tracer { return ds.tracer }
+
+// registerCoreMetrics wires the datastore's own cumulative counters into
+// the client registry.
+func (ds *DataStore) registerCoreMetrics() {
+	ds.registry.MustRegister(obs.MetricPEPEvents,
+		"Events processed by this rank's ParallelEventProcessor workers.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.pepEvents.Load()))
+		})
+	ds.registry.MustRegister(obs.MetricPEPBatches,
+		"Work batches processed by this rank's ParallelEventProcessor workers.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.pepBatches.Load()))
+		})
+	ds.registry.MustRegister(obs.MetricPrefetchLoads,
+		"Product loads requested by the Prefetcher.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.prefetchLoads.Load()))
+		})
+	ds.registry.MustRegister(obs.MetricPrefetchDegrade,
+		"Prefetch product loads degraded to on-demand RPCs by failed groups.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.prefetchDegraded.Load()))
+		})
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 )
 
@@ -113,6 +114,11 @@ func (ds *DataStore) ProcessEvents(ctx context.Context, comm *mpi.Comm, dataset 
 	}
 	opts.applyDefaults(ds, comm.Size())
 
+	// The whole run is one span; every RPC the readers and workers issue
+	// parents under it through ctx.
+	sp := ds.tracer.Start("core:pep", obs.KindInternal, obs.SpanFromContext(ctx), "")
+	ctx = obs.ContextWithSpan(ctx, sp.Context())
+
 	// Readers are long-running loops, so they get dedicated tracked
 	// goroutines from the engine (the analog of dynamically created
 	// execution streams) rather than occupying a fixed pool stream.
@@ -137,6 +143,7 @@ func (ds *DataStore) ProcessEvents(ctx context.Context, comm *mpi.Comm, dataset 
 	if stats.Makespan > 0 {
 		stats.Throughput = float64(stats.TotalEvents) / stats.Makespan
 	}
+	sp.End(err)
 	return stats, err
 }
 
@@ -252,6 +259,7 @@ func (ds *DataStore) pepWorker(ctx context.Context, comm *mpi.Comm, opts PEPOpti
 			started = true
 		}
 		stats.LocalDegraded += int(msg.Degraded)
+		ds.pepBatches.Add(1)
 		// Rebuild per-event prefetch maps.
 		var pref map[int]map[string][]byte
 		if len(msg.Pref) > 0 {
@@ -277,6 +285,7 @@ func (ds *DataStore) pepWorker(ctx context.Context, comm *mpi.Comm, opts PEPOpti
 				}
 			}
 			stats.LocalEvents++
+			ds.pepEvents.Add(1)
 		}
 		stats.LocalEnd = comm.Wtime()
 		next++

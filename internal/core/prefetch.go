@@ -5,6 +5,7 @@ import (
 
 	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
@@ -48,6 +49,11 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 	if len(p.sel) == 0 || len(evKeys) == 0 {
 		return nil, 0
 	}
+	// One span covers the whole fan-out; the per-group GetMulti client
+	// spans become its children through ctx.
+	sp := p.ds.tracer.Start("core:prefetch", obs.KindInternal, obs.SpanFromContext(ctx), "")
+	ctx = obs.ContextWithSpan(ctx, sp.Context())
+	defer sp.End(nil)
 	byDB := make(map[yokan.DBHandle]*prefetchGroup)
 	var groups []*prefetchGroup
 	for i, raw := range evKeys {
@@ -81,6 +87,7 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 	var out []pepPrefEntry
 	degraded := 0
 	for i, g := range groups {
+		p.ds.prefetchLoads.Add(int64(len(g.keys)))
 		res, err := evs[i].Wait(ctx)
 		if err != nil {
 			degraded += len(g.keys)
@@ -97,5 +104,6 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 			})
 		}
 	}
+	p.ds.prefetchDegraded.Add(int64(degraded))
 	return out, degraded
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
@@ -235,9 +236,16 @@ func (w *WriteBatch) Flush(ctx context.Context) error {
 // flush runs regardless of the closed flag (Close uses it for the final
 // drain).
 func (w *WriteBatch) flush(ctx context.Context) error {
+	// The flush span covers group submission (async) or the whole send
+	// (sync); the per-database put_multi client spans parent under it.
+	sp := w.ds.tracer.Start("core:flush", obs.KindInternal, obs.SpanFromContext(ctx), "")
+	ctx = obs.ContextWithSpan(ctx, sp.Context())
 	if w.eng == nil {
-		return w.flushSync(ctx)
+		err := w.flushSync(ctx)
+		sp.End(err)
+		return err
 	}
+	defer sp.End(nil)
 	w.mu.Lock()
 	groups := w.pending
 	w.pending = make(map[yokan.DBHandle]*dbBatch)

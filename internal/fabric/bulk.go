@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 )
 
 // BulkHandle describes a region of memory exposed by an endpoint for remote
@@ -145,7 +147,9 @@ func (e *Endpoint) pullBulk(ctx context.Context, from Address, h BulkHandle) ([]
 			return nil, err
 		}
 	}
-	data, err := e.trans.call(ctx, from, bulkPullRPC, h.Encode(nil))
+	// Bulk pulls propagate the active span so the transfer's server-side
+	// span links into the trace that initiated it.
+	data, err := e.trans.call(ctx, from, bulkPullRPC, h.Encode(nil), obs.SpanFromContext(ctx))
 	if err != nil {
 		return nil, err
 	}

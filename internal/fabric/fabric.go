@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
 
@@ -173,9 +174,10 @@ type Endpoint struct {
 	serveFault FaultHook
 	closed     bool
 
-	bulk  bulkTable
-	stats statsCollector
-	prof  profiler
+	bulk   bulkTable
+	stats  statsCollector
+	prof   profiler
+	tracer *obs.Tracer // nil disables span recording
 }
 
 // Option configures an endpoint at Listen time.
@@ -205,6 +207,15 @@ func WithResilience(p *resilience.Policy) Option {
 		}
 		e.res = p
 	}
+}
+
+// WithTracer attaches a span tracer to the endpoint. Every outgoing call
+// records a client span carrying the caller's active span (from the
+// context) as parent, and its span context travels in the RPC envelope;
+// every served request records a server span parented by the incoming
+// context — the linked two-sided view of each RPC.
+func WithTracer(t *obs.Tracer) Option {
+	return func(e *Endpoint) { e.tracer = t }
 }
 
 // Listen creates an endpoint on the given address. Supported schemes are
@@ -241,6 +252,9 @@ func Listen(addr Address, opts ...Option) (*Endpoint, error) {
 
 // Addr returns the endpoint's reachable address.
 func (e *Endpoint) Addr() Address { return e.addr }
+
+// Tracer returns the endpoint's span tracer (nil when tracing is off).
+func (e *Endpoint) Tracer() *obs.Tracer { return e.tracer }
 
 // Stats returns a snapshot of the endpoint's activity counters.
 func (e *Endpoint) Stats() Stats { return e.stats.snapshot() }
@@ -300,17 +314,32 @@ func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, pay
 	if closed {
 		return nil, ErrClosed
 	}
+	// Each attempt is its own client span: under a retrying policy the
+	// trace shows every send, not just the one that succeeded. The span and
+	// the breadcrumb profile open before the NetSim gate so a simulated
+	// message loss is still a visible failed attempt.
+	parent := obs.SpanFromContext(ctx)
+	sp := e.tracer.Start(rpc, obs.KindClient, parent, string(target))
+	wire := sp.Context()
+	if !wire.Valid() {
+		// No local tracer: still forward the caller's context so traces
+		// survive an uninstrumented hop.
+		wire = parent
+	}
+	start := time.Now()
 	if e.sim != nil {
 		if err := e.sim.beforeSend(ctx, target, rpc, len(payload)); err != nil {
 			e.stats.errors.Add(1)
+			e.prof.record(rpc, time.Since(start), true)
+			sp.End(err)
 			return nil, err
 		}
 	}
 	e.stats.callsSent.Add(1)
 	e.stats.bytesSent.Add(int64(len(payload)))
-	start := time.Now()
-	resp, err := e.trans.call(ctx, target, rpc, payload)
+	resp, err := e.trans.call(ctx, target, rpc, payload, wire)
 	e.prof.record(rpc, time.Since(start), err != nil)
+	sp.End(err)
 	if err != nil {
 		e.stats.errors.Add(1)
 		return nil, err
@@ -332,8 +361,10 @@ func (e *Endpoint) Close() error {
 }
 
 // serve runs the handler for an incoming request and returns the response
-// payload or an error to be sent back. It is invoked by transports.
-func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload []byte) ([]byte, error) {
+// payload or an error to be sent back. It is invoked by transports; sc is
+// the caller's span context from the envelope (zero when the caller did
+// not trace).
+func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, error) {
 	e.mu.RLock()
 	h, ok := e.handlers[rpc]
 	closed := e.closed
@@ -354,25 +385,38 @@ func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload 
 	}
 	e.stats.callsServed.Add(1)
 
+	// The server span opens before dispatch, so it measures queue wait
+	// plus execution — the difference against the handler's own internal
+	// span (opened after the pool picks the work up) is pure queue wait.
+	srv := e.tracer.Start(rpc, obs.KindServer, sc, string(from))
+	active := srv.Context()
+	if !active.Valid() {
+		active = sc // untraced hop: keep forwarding the caller's context
+	}
+	hctx := obs.ContextWithSpan(ctx, active)
+
 	type result struct {
 		resp []byte
 		err  error
 	}
 	done := make(chan result, 1)
 	dispatch(func() {
-		resp, err := h(ctx, &Request{RPC: rpc, Payload: payload, From: from, ep: e})
+		resp, err := h(hctx, &Request{RPC: rpc, Payload: payload, From: from, ep: e})
 		done <- result{resp, err}
 	})
 	select {
 	case r := <-done:
+		srv.End(r.err)
 		return r.resp, r.err
 	case <-ctx.Done():
+		srv.End(ctx.Err())
 		return nil, ctx.Err()
 	}
 }
 
-// transport is the wire-level half of an endpoint.
+// transport is the wire-level half of an endpoint. sc travels in the
+// request envelope so the target can link its server span to the caller.
 type transport interface {
-	call(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error)
+	call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, error)
 	close() error
 }

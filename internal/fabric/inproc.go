@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 )
 
 // inprocRegistry maps inproc addresses to live endpoints within the
@@ -34,7 +36,7 @@ func listenInproc(e *Endpoint, addr Address) (transport, Address, error) {
 	return &inprocTransport{self: e, addr: addr}, addr, nil
 }
 
-func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error) {
+func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, error) {
 	inprocRegistry.RLock()
 	dst, ok := inprocRegistry.eps[target]
 	inprocRegistry.RUnlock()
@@ -47,7 +49,7 @@ func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, 
 	if payload != nil {
 		in = append([]byte(nil), payload...)
 	}
-	resp, err := dst.serve(ctx, t.addr, rpc, in)
+	resp, err := dst.serve(ctx, t.addr, rpc, in, sc)
 	if err != nil {
 		// Injected server-side faults are message losses: they cross as
 		// transport failures, since the handler never executed.

@@ -1,0 +1,41 @@
+package fabric
+
+import "github.com/hep-on-hpc/hepnos-go/internal/obs"
+
+// RegisterMetrics exposes the endpoint's breadcrumb profiles and byte
+// counters as instruments in reg. Collectors snapshot the live profiler
+// at scrape time; nothing is added to the call hot path.
+func (e *Endpoint) RegisterMetrics(reg *obs.Registry) {
+	perRPC := func(value func(RPCProfile) float64) obs.Collector {
+		return func() []obs.Sample {
+			profs := e.Profile()
+			out := make([]obs.Sample, 0, len(profs))
+			for _, p := range profs {
+				out = append(out, obs.OneSample(value(p), "rpc", p.RPC))
+			}
+			return out
+		}
+	}
+	reg.MustRegister(obs.MetricRPCCalls,
+		"Successful origin-side RPC calls by name.", obs.TypeCounter,
+		perRPC(func(p RPCProfile) float64 { return float64(p.Calls) }))
+	reg.MustRegister(obs.MetricRPCErrors,
+		"Failed origin-side RPC calls by name.", obs.TypeCounter,
+		perRPC(func(p RPCProfile) float64 { return float64(p.Errors) }))
+	reg.MustRegister(obs.MetricRPCSeconds,
+		"Cumulative origin-side round-trip time by RPC name.", obs.TypeCounter,
+		perRPC(func(p RPCProfile) float64 { return p.Total.Seconds() }))
+
+	reg.MustRegister("hepnos_fabric_bytes_sent_total",
+		"Request payload bytes sent by this endpoint.", obs.TypeCounter,
+		func() []obs.Sample { return obs.GaugeSample(float64(e.Stats().BytesSent)) })
+	reg.MustRegister("hepnos_fabric_bytes_received_total",
+		"Response payload bytes received by this endpoint.", obs.TypeCounter,
+		func() []obs.Sample { return obs.GaugeSample(float64(e.Stats().BytesReceived)) })
+	reg.MustRegister("hepnos_fabric_bulk_pulls_total",
+		"Bulk transfers pulled by this endpoint.", obs.TypeCounter,
+		func() []obs.Sample { return obs.GaugeSample(float64(e.Stats().BulkPulls)) })
+	reg.MustRegister("hepnos_fabric_calls_served_total",
+		"Requests dispatched to handlers by this endpoint.", obs.TypeCounter,
+		func() []obs.Sample { return obs.GaugeSample(float64(e.Stats().CallsServed)) })
+}

@@ -45,7 +45,10 @@ func (pr *profiler) record(rpc string, d time.Duration, failed bool) {
 	}
 	p := pr.m[rpc]
 	if p == nil {
-		p = &RPCProfile{RPC: rpc, Min: d}
+		// Min is seeded by the first *successful* call (the Calls == 1
+		// branch below), never here: a failed first call must not leak
+		// its latency into the error-excluded figures.
+		p = &RPCProfile{RPC: rpc}
 		pr.m[rpc] = p
 	}
 	if failed {

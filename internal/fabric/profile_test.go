@@ -1,0 +1,54 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProfileFirstCallFails is the regression test for the failed-first-
+// call Min bug: record used to seed a freshly created profile with the
+// failed call's latency as Min before taking the error branch, so a
+// snapshot taken before any success reported a failure's latency despite
+// the documented promise that errors are excluded from latency figures.
+func TestProfileFirstCallFails(t *testing.T) {
+	var pr profiler
+	pr.record("get", 7*time.Second, true)
+
+	p := snapshotOne(t, &pr, "get")
+	if p.Errors != 1 || p.Calls != 0 {
+		t.Fatalf("after failed first call: %+v", p)
+	}
+	if p.Min != 0 || p.Max != 0 || p.Total != 0 {
+		t.Fatalf("failed call leaked into latency figures: %+v", p)
+	}
+
+	// The first success seeds Min/Max/Total, unaffected by the earlier
+	// failure's (larger) latency.
+	pr.record("get", 5*time.Millisecond, false)
+	p = snapshotOne(t, &pr, "get")
+	if p.Calls != 1 || p.Min != 5*time.Millisecond || p.Max != 5*time.Millisecond {
+		t.Fatalf("after first success: %+v", p)
+	}
+
+	// Later successes keep the usual min/max behaviour.
+	pr.record("get", 2*time.Millisecond, false)
+	pr.record("get", 9*time.Millisecond, false)
+	p = snapshotOne(t, &pr, "get")
+	if p.Min != 2*time.Millisecond || p.Max != 9*time.Millisecond || p.Calls != 3 {
+		t.Fatalf("after more successes: %+v", p)
+	}
+	if p.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", p.Errors)
+	}
+}
+
+func snapshotOne(t *testing.T, pr *profiler, rpc string) RPCProfile {
+	t.Helper()
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	p := pr.m[rpc]
+	if p == nil {
+		t.Fatalf("no profile for %q", rpc)
+	}
+	return *p
+}

@@ -9,13 +9,19 @@ import (
 	"net"
 	"strings"
 	"sync"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 )
 
 // Wire format (all integers little-endian):
 //
 //	frame   = u32 length, body
-//	request = 'Q', u64 reqID, u16 rpcLen, rpc, u16 fromLen, from, payload
+//	request = 'Q', u64 reqID, u16 rpcLen, rpc, u16 fromLen, from,
+//	          u64 trace, u64 span, payload
 //	reply   = 'R', u64 reqID, u8 status, payload-or-error-message
+//
+// trace/span carry the caller's span context (zero when untraced), the
+// 16-byte envelope cost of cross-tier trace linkage.
 //
 // status 0 is success; 1 is an application error whose message follows;
 // 2 is an injected server-side fault (chaos testing) that the caller
@@ -103,7 +109,7 @@ func (t *tcpTransport) connLoop(c *tcpConn) {
 		}
 		switch body[0] {
 		case frameRequest:
-			reqID, rpc, from, payload, err := parseRequest(body)
+			reqID, rpc, from, sc, payload, err := parseRequest(body)
 			if err != nil {
 				c.failAll(err)
 				return
@@ -111,7 +117,7 @@ func (t *tcpTransport) connLoop(c *tcpConn) {
 			t.wg.Add(1)
 			go func() {
 				defer t.wg.Done()
-				resp, herr := t.self.serve(context.Background(), from, rpc, payload)
+				resp, herr := t.self.serve(context.Background(), from, rpc, payload, sc)
 				var frame []byte
 				if herr != nil {
 					status := byte(statusErr)
@@ -140,13 +146,13 @@ func (t *tcpTransport) connLoop(c *tcpConn) {
 	}
 }
 
-func (t *tcpTransport) call(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error) {
+func (t *tcpTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, error) {
 	c, err := t.getConn(target)
 	if err != nil {
 		return nil, err
 	}
 	reqID, ch := c.newPending()
-	frame := buildRequest(reqID, rpc, t.addr, payload)
+	frame := buildRequest(reqID, rpc, t.addr, sc, payload)
 	if err := c.write(frame); err != nil {
 		c.cancelPending(reqID)
 		t.dropConn(target, c)
@@ -308,8 +314,8 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return body, nil
 }
 
-func buildRequest(reqID uint64, rpc string, from Address, payload []byte) []byte {
-	body := 1 + 8 + 2 + len(rpc) + 2 + len(from) + len(payload)
+func buildRequest(reqID uint64, rpc string, from Address, sc obs.SpanContext, payload []byte) []byte {
+	body := 1 + 8 + 2 + len(rpc) + 2 + len(from) + 16 + len(payload)
 	frame := make([]byte, 4+body)
 	binary.LittleEndian.PutUint32(frame[0:], uint32(body))
 	b := frame[4:]
@@ -320,28 +326,37 @@ func buildRequest(reqID uint64, rpc string, from Address, payload []byte) []byte
 	off := 11 + len(rpc)
 	binary.LittleEndian.PutUint16(b[off:], uint16(len(from)))
 	copy(b[off+2:], from)
-	copy(b[off+2+len(from):], payload)
+	off += 2 + len(from)
+	binary.LittleEndian.PutUint64(b[off:], sc.Trace)
+	binary.LittleEndian.PutUint64(b[off+8:], sc.Span)
+	copy(b[off+16:], payload)
 	return frame
 }
 
-func parseRequest(body []byte) (reqID uint64, rpc string, from Address, payload []byte, err error) {
+func parseRequest(body []byte) (reqID uint64, rpc string, from Address, sc obs.SpanContext, payload []byte, err error) {
+	fail := func(msg string) (uint64, string, Address, obs.SpanContext, []byte, error) {
+		return 0, "", "", obs.SpanContext{}, nil, errors.New("fabric: " + msg)
+	}
 	if len(body) < 11 {
-		return 0, "", "", nil, fmt.Errorf("fabric: short request frame")
+		return fail("short request frame")
 	}
 	reqID = binary.LittleEndian.Uint64(body[1:9])
 	rpcLen := int(binary.LittleEndian.Uint16(body[9:11]))
 	if len(body) < 11+rpcLen+2 {
-		return 0, "", "", nil, fmt.Errorf("fabric: truncated rpc name")
+		return fail("truncated rpc name")
 	}
 	rpc = string(body[11 : 11+rpcLen])
 	off := 11 + rpcLen
 	fromLen := int(binary.LittleEndian.Uint16(body[off : off+2]))
-	if len(body) < off+2+fromLen {
-		return 0, "", "", nil, fmt.Errorf("fabric: truncated from address")
+	if len(body) < off+2+fromLen+16 {
+		return fail("truncated from address or span context")
 	}
 	from = Address(body[off+2 : off+2+fromLen])
-	payload = append([]byte(nil), body[off+2+fromLen:]...)
-	return reqID, rpc, from, payload, nil
+	off += 2 + fromLen
+	sc.Trace = binary.LittleEndian.Uint64(body[off : off+8])
+	sc.Span = binary.LittleEndian.Uint64(body[off+8 : off+16])
+	payload = append([]byte(nil), body[off+16:]...)
+	return reqID, rpc, from, sc, payload, nil
 }
 
 func buildReply(reqID uint64, status byte, payload []byte) []byte {

@@ -18,6 +18,7 @@ import (
 
 	"github.com/hep-on-hpc/hepnos-go/internal/argo"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
 
@@ -32,9 +33,10 @@ func rpcName(service string, id ProviderID, rpc string) string {
 
 // Instance is a running Margo context: endpoint + threading runtime.
 type Instance struct {
-	ep  *fabric.Endpoint
-	rt  *argo.Runtime
-	sim *fabric.NetSim
+	ep     *fabric.Endpoint
+	rt     *argo.Runtime
+	sim    *fabric.NetSim
+	tracer *obs.Tracer
 
 	mu        sync.Mutex
 	providers map[string]*Provider
@@ -58,6 +60,11 @@ type Config struct {
 	// internal/resilience). All forwards issued through this instance are
 	// executed under the policy.
 	Resilience *resilience.Policy
+	// Tracer optionally attaches a span tracer to the endpoint. Provider
+	// handlers additionally record an exec span measuring time inside the
+	// Argobots pool, so queue wait (server span minus exec span) becomes
+	// visible per RPC.
+	Tracer *obs.Tracer
 }
 
 // Init starts a margo instance.
@@ -81,12 +88,15 @@ func Init(cfg Config) (*Instance, error) {
 	if cfg.Resilience != nil {
 		opts = append(opts, fabric.WithResilience(cfg.Resilience))
 	}
+	if cfg.Tracer != nil {
+		opts = append(opts, fabric.WithTracer(cfg.Tracer))
+	}
 	ep, err := fabric.Listen(cfg.Address, opts...)
 	if err != nil {
 		rt.Shutdown()
 		return nil, err
 	}
-	return &Instance{ep: ep, rt: rt, sim: cfg.NetSim, providers: make(map[string]*Provider)}, nil
+	return &Instance{ep: ep, rt: rt, sim: cfg.NetSim, tracer: cfg.Tracer, providers: make(map[string]*Provider)}, nil
 }
 
 // Addr returns the instance's reachable address.
@@ -97,6 +107,9 @@ func (m *Instance) Endpoint() *fabric.Endpoint { return m.ep }
 
 // Runtime exposes the underlying argo runtime.
 func (m *Instance) Runtime() *argo.Runtime { return m.rt }
+
+// Tracer returns the instance's span tracer (nil when tracing is off).
+func (m *Instance) Tracer() *obs.Tracer { return m.tracer }
 
 // Provider is a registered service instance.
 type Provider struct {
@@ -141,13 +154,19 @@ func (m *Instance) RegisterProvider(service string, id ProviderID, pool *argo.Po
 	for name, h := range handlers {
 		h := h
 		p.rpcs = append(p.rpcs, name)
-		m.ep.Register(rpcName(service, id, name), func(ctx context.Context, req *fabric.Request) ([]byte, error) {
+		wire := rpcName(service, id, name)
+		m.ep.Register(wire, func(ctx context.Context, req *fabric.Request) ([]byte, error) {
 			// Route execution into the provider's pool; the fabric
 			// goroutine blocks on the eventual, which is exactly a
 			// Margo handler blocking on an ABT_eventual.
 			ev := argo.NewEventual[[]byte]()
 			if err := pool.Push(func() {
-				resp, err := h(ctx, req)
+				// The exec span opens once the pool picks the work up;
+				// the enclosing server span opened before the push, so
+				// server minus exec is the RPC's queue wait.
+				exec := m.tracer.Start("exec:"+wire, obs.KindInternal, obs.SpanFromContext(ctx), "")
+				resp, err := h(obs.ContextWithSpan(ctx, exec.Context()), req)
+				exec.End(err)
 				ev.Set(resp, err)
 			}); err != nil {
 				return nil, err

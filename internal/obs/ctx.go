@@ -1,0 +1,26 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying sc as the active span, so
+// downstream layers parent their spans correctly. The fabric installs
+// the server span's context before dispatching a handler; client-side
+// layers install theirs before fanning out RPCs.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext returns the active span context, or the zero context
+// when none is set (start a new trace in that case).
+func SpanFromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// PromText renders families in the Prometheus text exposition format
+// (version 0.0.4). Families arrive already sorted from Registry.Snapshot,
+// so the output is deterministic — scrapes diff cleanly and the golden
+// test can compare byte-for-byte.
+func PromText(families []Family) string {
+	var b strings.Builder
+	for _, f := range families {
+		if f.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(helpEscape(f.Help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(string(f.Type))
+		b.WriteByte('\n')
+		for _, s := range f.Samples {
+			b.WriteString(f.Name)
+			writeLabels(&b, s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func writeLabels(b *strings.Builder, labels map[string]string) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	b.WriteString(labelFingerprint(labels))
+	b.WriteByte('}')
+}
+
+// promEscape quotes one label value per the exposition format (backslash,
+// double quote and newline escaped).
+func promEscape(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// helpEscape escapes a HELP line (backslash and newline only; quotes are
+// legal there).
+func helpEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

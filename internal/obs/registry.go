@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricType distinguishes cumulative counters from point-in-time gauges
+// in the exposition formats.
+type MetricType string
+
+// Metric types.
+const (
+	TypeCounter MetricType = "counter"
+	TypeGauge   MetricType = "gauge"
+)
+
+// Sample is one labelled value of an instrument.
+type Sample struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Family is one named instrument with all its labelled samples — the
+// unit of both the JSON snapshot and the Prometheus exposition.
+type Family struct {
+	Name    string     `json:"name"`
+	Help    string     `json:"help,omitempty"`
+	Type    MetricType `json:"type"`
+	Samples []Sample   `json:"samples"`
+}
+
+// Collector produces the current samples of one instrument. Collectors
+// run at snapshot time (pull model), closing over the live counters the
+// layers already maintain, so registration costs nothing on hot paths.
+type Collector func() []Sample
+
+// Registry is the single place a process's instruments live. Layers
+// register named collectors (several collectors may share one family
+// name — e.g. one per provider — and their samples merge); Snapshot and
+// PromText render a deterministic view. A nil *Registry is valid: every
+// method is a no-op, so instrumentation can be compiled in unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*familyReg
+	names    []string
+}
+
+type familyReg struct {
+	help       string
+	typ        MetricType
+	collectors []Collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*familyReg)}
+}
+
+// Register adds a collector under name. Registering an existing name
+// with a different type or help is an error; registering the same name
+// again (same metadata) appends a collector whose samples merge into the
+// family — how per-provider and per-pool sources share one instrument.
+func (r *Registry) Register(name, help string, typ MetricType, c Collector) error {
+	if r == nil {
+		return nil
+	}
+	if name == "" || c == nil {
+		return fmt.Errorf("obs: register needs a name and a collector")
+	}
+	if typ != TypeCounter && typ != TypeGauge {
+		return fmt.Errorf("obs: metric %q has unknown type %q", name, typ)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &familyReg{help: help, typ: typ}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	} else if f.typ != typ || f.help != help {
+		return fmt.Errorf("obs: metric %q re-registered with different metadata", name)
+	}
+	f.collectors = append(f.collectors, c)
+	return nil
+}
+
+// MustRegister is Register, panicking on error — for init-time wiring
+// where a failure is a programming bug.
+func (r *Registry) MustRegister(name, help string, typ MetricType, c Collector) {
+	if err := r.Register(name, help, typ, c); err != nil {
+		panic(err)
+	}
+}
+
+// Snapshot collects every instrument. Families are sorted by name and
+// samples by label fingerprint, so two snapshots of identical state
+// render identically — what the golden-file test and diffable scrapes
+// rely on.
+func (r *Registry) Snapshot() []Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	regs := make([]*familyReg, len(names))
+	colls := make([][]Collector, len(names))
+	for i, n := range names {
+		regs[i] = r.families[n]
+		colls[i] = append([]Collector(nil), r.families[n].collectors...)
+	}
+	r.mu.Unlock()
+
+	out := make([]Family, 0, len(names))
+	for i, n := range names {
+		fam := Family{Name: n, Help: regs[i].help, Type: regs[i].typ}
+		for _, c := range colls[i] {
+			fam.Samples = append(fam.Samples, c()...)
+		}
+		sort.SliceStable(fam.Samples, func(a, b int) bool {
+			return labelFingerprint(fam.Samples[a].Labels) < labelFingerprint(fam.Samples[b].Labels)
+		})
+		out = append(out, fam)
+	}
+	return out
+}
+
+// labelFingerprint renders labels in sorted-key order for deterministic
+// ordering and Prometheus label sets.
+func labelFingerprint(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(promEscape(labels[k]))
+	}
+	return b.String()
+}
+
+// RegisterTracerMetrics exposes a tracer's own accounting (spans finished
+// and spans the ring overwrote) in reg. Call it once per tracer — the
+// owner of the tracer registers, so shared tracers are not double-counted.
+func RegisterTracerMetrics(reg *Registry, t *Tracer) {
+	reg.MustRegister(MetricSpansRecorded,
+		"Spans finished by this process's tracer, including overwritten ones.",
+		TypeCounter, func() []Sample {
+			total, _ := t.Recorded()
+			return GaugeSample(float64(total))
+		})
+	reg.MustRegister(MetricSpansDropped,
+		"Spans overwritten after the tracer's ring buffer filled.",
+		TypeCounter, func() []Sample {
+			_, dropped := t.Recorded()
+			return GaugeSample(float64(dropped))
+		})
+}
+
+// --- convenience constructors -------------------------------------------
+
+// GaugeSample wraps a single unlabelled value.
+func GaugeSample(v float64) []Sample { return []Sample{{Value: v}} }
+
+// OneSample builds a single labelled sample; labels must be given as
+// alternating key, value pairs.
+func OneSample(v float64, kv ...string) Sample {
+	if len(kv)%2 != 0 {
+		panic("obs: OneSample needs key/value pairs")
+	}
+	var labels map[string]string
+	if len(kv) > 0 {
+		labels = make(map[string]string, len(kv)/2)
+		for i := 0; i < len(kv); i += 2 {
+			labels[kv[i]] = kv[i+1]
+		}
+	}
+	return Sample{Labels: labels, Value: v}
+}

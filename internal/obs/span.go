@@ -1,0 +1,204 @@
+// Package obs is the unified observability layer of the stack — the Go
+// analog of the Mochi monitoring story the paper's §V attributes HEPnOS's
+// tuning to: Margo breadcrumb profiles (per-RPC latency aggregates on the
+// origin side) and the Symbiomon companion service (metric collection and
+// aggregation across the deployment). Every number the paper reports comes
+// from instrumentation the service itself exports; this package is the
+// substrate that makes hepnos-go measurable the same way.
+//
+// It has two halves:
+//
+//   - Trace spans: a lightweight span context (trace ID, span ID) carried
+//     across RPC boundaries in the fabric envelope, so one client call
+//     produces a *linked* pair of origin and target spans — client
+//     round-trip vs server-side service time, queue wait vs execution —
+//     the two-sided view Margo breadcrumbs alone cannot give.
+//   - A metrics registry: named instruments collected lazily (pull model:
+//     collectors are closures over the live counters the layers already
+//     maintain), exported as a deterministic JSON snapshot and as
+//     Prometheus text exposition.
+//
+// The package sits below every other layer (it imports only the standard
+// library), so fabric, margo, yokan, resilience, asyncengine, core and
+// bedrock can all register into one registry and one tracer.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies one span within one trace. It is the only part
+// of a span that crosses the wire: 16 bytes in the fabric envelope. The
+// zero value means "no active span".
+type SpanContext struct {
+	Trace uint64 `json:"trace"`
+	Span  uint64 `json:"span"`
+}
+
+// Valid reports whether the context identifies a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 && sc.Span != 0 }
+
+// SpanKind classifies which side of an operation a span observed.
+type SpanKind string
+
+// Span kinds. A Client span measures an origin-side round trip; a Server
+// span measures target-side handling (queue wait + execution); an
+// Internal span measures a local stage (a batch flush, a prefetch
+// fan-out, a handler's execution after queue wait).
+const (
+	KindClient   SpanKind = "client"
+	KindServer   SpanKind = "server"
+	KindInternal SpanKind = "internal"
+)
+
+// Span is one finished measurement. Parent is the span ID this span was
+// started under — for a Server span, the Client span ID carried in the
+// envelope, which is what links the two sides of one RPC.
+type Span struct {
+	Name   string   `json:"name"`
+	Kind   SpanKind `json:"kind"`
+	Trace  uint64   `json:"trace"`
+	ID     uint64   `json:"id"`
+	Parent uint64   `json:"parent,omitempty"`
+	// Peer is the remote address (target for client spans, caller for
+	// server spans); empty for internal spans.
+	Peer  string        `json:"peer,omitempty"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur"`
+	Err   bool          `json:"err,omitempty"`
+}
+
+// idState generates process-unique span and trace IDs: a SplitMix64 walk
+// from a time-seeded origin, so concurrent processes are overwhelmingly
+// unlikely to collide and IDs are never zero.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano()) | 1) }
+
+func nextID() uint64 {
+	z := idState.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Tracer records finished spans into a bounded ring buffer. A nil
+// *Tracer is valid and disables tracing at (almost) zero cost: Start
+// returns a nil *ActiveSpan whose End is a no-op, so call sites need no
+// branches. Safe for concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	count uint64 // total spans recorded (including overwritten)
+	drops uint64 // spans overwritten after the ring filled
+}
+
+// DefaultSpanBuffer is the ring capacity used when none is configured.
+const DefaultSpanBuffer = 4096
+
+// NewTracer creates a tracer keeping the last capacity finished spans
+// (DefaultSpanBuffer when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanBuffer
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// ActiveSpan is a started, not yet finished span. End finishes it and
+// records it with the tracer. A nil *ActiveSpan (from a nil tracer) is
+// valid: Context returns the parent context unchanged-to-zero and End
+// does nothing.
+type ActiveSpan struct {
+	tr   *Tracer
+	span Span
+}
+
+// Start opens a span. parent links it into an existing trace; a zero
+// parent starts a new trace rooted at this span.
+func (t *Tracer) Start(name string, kind SpanKind, parent SpanContext, peer string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	s := Span{
+		Name:  name,
+		Kind:  kind,
+		ID:    nextID(),
+		Peer:  peer,
+		Start: time.Now(),
+	}
+	if parent.Valid() {
+		s.Trace = parent.Trace
+		s.Parent = parent.Span
+	} else {
+		s.Trace = nextID()
+	}
+	return &ActiveSpan{tr: t, span: s}
+}
+
+// Context returns the span's context, for propagation to children and
+// across the wire. On a nil span it returns the zero context.
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: a.span.Trace, Span: a.span.ID}
+}
+
+// End finishes the span, marking it failed when err is non-nil, and
+// records it. Calling End twice records the span twice; don't.
+func (a *ActiveSpan) End(err error) {
+	if a == nil {
+		return
+	}
+	a.span.Dur = time.Since(a.span.Start)
+	a.span.Err = err != nil
+	a.tr.record(a.span)
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.drops++
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.count++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the buffered finished spans, oldest first.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		return append([]Span(nil), t.ring...)
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Recorded returns how many spans have finished (including ones the ring
+// has since overwritten) and how many were overwritten.
+func (t *Tracer) Recorded() (total, overwritten uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count, t.drops
+}

@@ -74,6 +74,7 @@ type Breaker struct {
 	successes int // consecutive probe successes while half-open
 	probing   bool
 	openedAt  time.Time
+	trips     int64 // times the breaker moved to Open
 }
 
 func newBreaker(cfg BreakerConfig) *Breaker {
@@ -163,4 +164,12 @@ func (b *Breaker) trip() {
 	b.openedAt = b.cfg.Now()
 	b.failures = 0
 	b.successes = 0
+	b.trips++
+}
+
+// Trips reports how many times the breaker has tripped open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
 }

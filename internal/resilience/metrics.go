@@ -1,0 +1,55 @@
+package resilience
+
+import (
+	"sort"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
+
+// RegisterMetrics exposes the policy's activity counters and per-target
+// breaker state in reg. Breaker state encodes as 0=closed, 1=half-open,
+// 2=open (matching the report's legend). Register a shared policy once
+// per process — the point of sharing it is that these numbers then cover
+// all of the process's traffic.
+func (p *Policy) RegisterMetrics(reg *obs.Registry) {
+	reg.MustRegister(obs.MetricRetries,
+		"Retries issued by the resilience policy.", obs.TypeCounter,
+		func() []obs.Sample { return obs.GaugeSample(float64(p.Counters().Retries)) })
+	reg.MustRegister(obs.MetricBudgetExhausted,
+		"Retries refused because the shared retry budget was empty.", obs.TypeCounter,
+		func() []obs.Sample { return obs.GaugeSample(float64(p.Counters().BudgetExhausted)) })
+	reg.MustRegister(obs.MetricCircuitOpen,
+		"Calls rejected by an open circuit without touching the wire.", obs.TypeCounter,
+		func() []obs.Sample { return obs.GaugeSample(float64(p.Counters().CircuitRejected)) })
+	reg.MustRegister(obs.MetricBreakerTrips,
+		"Circuit breaker trips to the open state, by target.", obs.TypeCounter,
+		func() []obs.Sample { return p.perBreaker(func(b *Breaker) float64 { return float64(b.Trips()) }) })
+	reg.MustRegister(obs.MetricBreakerState,
+		"Circuit breaker position by target: 0 closed, 1 half-open, 2 open.", obs.TypeGauge,
+		func() []obs.Sample { return p.perBreaker(func(b *Breaker) float64 { return stateValue(b.State()) }) })
+	if p.Budget != nil {
+		reg.MustRegister("hepnos_resilience_budget_tokens",
+			"Remaining tokens in the shared retry budget.", obs.TypeGauge,
+			func() []obs.Sample { return obs.GaugeSample(p.Budget.Tokens()) })
+	}
+}
+
+func (p *Policy) perBreaker(value func(*Breaker) float64) []obs.Sample {
+	var out []obs.Sample
+	p.Breakers(func(target string, b *Breaker) {
+		out = append(out, obs.OneSample(value(b), "target", target))
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels["target"] < out[j].Labels["target"] })
+	return out
+}
+
+func stateValue(s BreakerState) float64 {
+	switch s {
+	case HalfOpen:
+		return 1
+	case Open:
+		return 2
+	default:
+		return 0
+	}
+}

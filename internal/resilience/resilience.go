@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -89,6 +90,38 @@ type Policy struct {
 	rng      *rand.Rand
 	rngMu    sync.Mutex
 	breakers sync.Map // target string -> *Breaker
+
+	// Activity counters (see Counters / RegisterMetrics).
+	retries         atomic.Int64
+	budgetExhausted atomic.Int64
+	circuitRejected atomic.Int64
+}
+
+// Counters is a snapshot of a policy's activity: how many retries it
+// issued, how many retries the shared budget refused, and how many calls
+// open circuits rejected without touching the wire.
+type Counters struct {
+	Retries         int64
+	BudgetExhausted int64
+	CircuitRejected int64
+}
+
+// Counters returns a snapshot of the policy's activity counters.
+func (p *Policy) Counters() Counters {
+	return Counters{
+		Retries:         p.retries.Load(),
+		BudgetExhausted: p.budgetExhausted.Load(),
+		CircuitRejected: p.circuitRejected.Load(),
+	}
+}
+
+// Breakers calls fn for each target with a live breaker, in unspecified
+// order.
+func (p *Policy) Breakers(fn func(target string, b *Breaker)) {
+	p.breakers.Range(func(k, v any) bool {
+		fn(k.(string), v.(*Breaker))
+		return true
+	})
 }
 
 // Default returns the stack's standard policy: 4 retries, 1ms→250ms
@@ -201,6 +234,7 @@ func Do[T any](ctx context.Context, p *Policy, target string, op func(context.Co
 	for retry := 0; ; retry++ {
 		if br != nil {
 			if err := br.Allow(); err != nil {
+				p.circuitRejected.Add(1)
 				if lastErr != nil {
 					return zero, fmt.Errorf("%w for %s (last attempt: %v)", ErrCircuitOpen, target, lastErr)
 				}
@@ -247,9 +281,11 @@ func Do[T any](ctx context.Context, p *Policy, target string, op func(context.Co
 			return zero, lastErr
 		}
 		if p.Budget != nil && !p.Budget.Spend() {
+			p.budgetExhausted.Add(1)
 			return zero, fmt.Errorf("%w (after %d attempts to %s): %w",
 				ErrBudgetExhausted, retry+1, target, lastErr)
 		}
+		p.retries.Add(1)
 		if err := p.sleep(ctx, p.backoffFor(retry)); err != nil {
 			return zero, lastErr
 		}

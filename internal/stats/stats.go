@@ -25,39 +25,61 @@ type Summary struct {
 
 // Summarize computes a Summary of xs. It returns a zero Summary for an
 // empty sample.
+//
+// The standard deviation uses the two-pass formula (mean first, then
+// squared deviations from it). The one-pass sumSq/n − mean² identity
+// cancels catastrophically for large-magnitude samples — ns-scale
+// timestamps with µs-scale spread lose every significant digit of the
+// variance in float64 — which is exactly the shape of latency data the
+// observability layer feeds through here.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
-	var sum, sumSq float64
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{N: len(xs), Min: sorted[0], Max: sorted[len(sorted)-1]}
+	var sum float64
 	for _, x := range xs {
 		sum += x
-		sumSq += x * x
-		s.Min = math.Min(s.Min, x)
-		s.Max = math.Max(s.Max, x)
 	}
 	n := float64(len(xs))
 	s.Mean = sum / n
-	variance := sumSq/n - s.Mean*s.Mean
-	if variance < 0 {
-		variance = 0 // numerical noise
+	var sumSqDev float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sumSqDev += d * d
 	}
-	s.Std = math.Sqrt(variance)
-	s.Median = Percentile(xs, 50)
-	s.P05 = Percentile(xs, 5)
-	s.P95 = Percentile(xs, 95)
+	s.Std = math.Sqrt(sumSqDev / n)
+	s.Median = percentileSorted(sorted, 50)
+	s.P05 = percentileSorted(sorted, 5)
+	s.P95 = percentileSorted(sorted, 95)
 	return s
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between order statistics. It panics on an empty sample.
+// Callers reading several order statistics from one sample should sort
+// once and use PercentileSorted instead of paying the copy+sort per call.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: percentile of empty sample")
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over an already-sorted sample; it does
+// not copy or sort. It panics on an empty sample.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -19,6 +19,66 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeLargeOffset is the regression test for the catastrophic
+// cancellation in the one-pass variance formula: samples at a large
+// offset (ns-scale timestamps) with a small spread. The old
+// sumSq/n − mean² computation loses all significant digits of the
+// variance in float64 (and was clamped to 0 when it went negative); the
+// two-pass formula recovers the exact Std.
+func TestSummarizeLargeOffset(t *testing.T) {
+	const offset = 1e15 // ~ns timestamp magnitude
+	xs := []float64{offset + 1, offset + 2, offset + 3, offset + 4, offset + 5}
+	s := Summarize(xs)
+	want := math.Sqrt(2) // population std of {1..5}
+	if math.Abs(s.Std-want) > 1e-6 {
+		t.Fatalf("Std = %v, want %v (catastrophic cancellation)", s.Std, want)
+	}
+	if s.Mean != offset+3 || s.Min != offset+1 || s.Max != offset+5 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.Median != offset+3 {
+		t.Fatalf("median = %v, want %v", s.Median, offset+3)
+	}
+}
+
+// TestSummarizeOrderStatsMatchPercentile pins the sort-once refactor:
+// the three order statistics must agree with the (re-sorting) public
+// Percentile on an unsorted input, and the input must not be mutated.
+func TestSummarizeOrderStatsMatchPercentile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6, 0}
+	orig := append([]float64(nil), xs...)
+	s := Summarize(xs)
+	for _, c := range []struct {
+		name string
+		got  float64
+		p    float64
+	}{
+		{"median", s.Median, 50}, {"p05", s.P05, 5}, {"p95", s.P95, 95},
+	} {
+		if want := Percentile(xs, c.p); c.got != want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, want)
+		}
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Summarize mutated its input")
+		}
+	}
+}
+
+func TestPercentileSorted(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := PercentileSorted(sorted, 50); got != 25 {
+		t.Fatalf("P50 = %v, want 25", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on empty sample")
+		}
+	}()
+	PercentileSorted(nil, 50)
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{10, 20, 30, 40}
 	cases := []struct{ p, want float64 }{

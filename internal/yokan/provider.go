@@ -131,6 +131,9 @@ type Provider struct {
 	lists   atomic.Int64
 	erases  atomic.Int64
 	bulkOps atomic.Int64
+
+	// opAggs[db][op] — per-database service-time aggregates; see metrics.go.
+	opAggs map[string]map[string]*opAgg
 }
 
 // NewProvider opens the configured databases and registers the Yokan RPCs
@@ -152,6 +155,7 @@ func NewProvider(mi *margo.Instance, id margo.ProviderID, pool *argo.Pool, dbs [
 		}
 		p.dbs[cfg.Name] = b
 	}
+	p.opAggs = newOpAggs(p.Databases())
 	handlers := map[string]fabric.Handler{
 		"put":            p.handlePut,
 		"put_new":        p.handlePutNew,
@@ -241,7 +245,7 @@ func encodeResp(resp any) ([]byte, error) {
 	return out, nil
 }
 
-func (p *Provider) handlePut(_ context.Context, r *fabric.Request) ([]byte, error) {
+func (p *Provider) handlePut(ctx context.Context, r *fabric.Request) ([]byte, error) {
 	var req putReq
 	if err := decodeReq(r.Payload, &req); err != nil {
 		return nil, err
@@ -251,11 +255,14 @@ func (p *Provider) handlePut(_ context.Context, r *fabric.Request) ([]byte, erro
 		return nil, err
 	}
 	p.puts.Add(1)
-	return nil, db.Put(req.Key, req.Val)
+	done := p.track(ctx, req.DB, "put")
+	err = db.Put(req.Key, req.Val)
+	done(err)
+	return nil, err
 }
 
 // handlePutNew is the atomic get-or-put used for dataset-UUID agreement.
-func (p *Provider) handlePutNew(_ context.Context, r *fabric.Request) ([]byte, error) {
+func (p *Provider) handlePutNew(ctx context.Context, r *fabric.Request) ([]byte, error) {
 	var req putReq
 	if err := decodeReq(r.Payload, &req); err != nil {
 		return nil, err
@@ -265,14 +272,16 @@ func (p *Provider) handlePutNew(_ context.Context, r *fabric.Request) ([]byte, e
 		return nil, err
 	}
 	p.puts.Add(1)
+	done := p.track(ctx, req.DB, "put_new")
 	winner, inserted, err := db.GetOrPut(req.Key, req.Val)
+	done(err)
 	if err != nil {
 		return nil, err
 	}
 	return encodeResp(putNewResp{Inserted: inserted, Winner: winner})
 }
 
-func (p *Provider) applyPutMulti(req *putMultiReq) error {
+func (p *Provider) applyPutMulti(ctx context.Context, req *putMultiReq) error {
 	if len(req.Keys) != len(req.Vals) {
 		return fmt.Errorf("yokan: put_multi with %d keys but %d values", len(req.Keys), len(req.Vals))
 	}
@@ -280,21 +289,24 @@ func (p *Provider) applyPutMulti(req *putMultiReq) error {
 	if err != nil {
 		return err
 	}
+	done := p.track(ctx, req.DB, "put_multi")
 	for i := range req.Keys {
 		if err := db.Put(req.Keys[i], req.Vals[i]); err != nil {
+			done(err)
 			return fmt.Errorf("yokan: put_multi item %d: %w", i, err)
 		}
 	}
+	done(nil)
 	p.puts.Add(int64(len(req.Keys)))
 	return nil
 }
 
-func (p *Provider) handlePutMulti(_ context.Context, r *fabric.Request) ([]byte, error) {
+func (p *Provider) handlePutMulti(ctx context.Context, r *fabric.Request) ([]byte, error) {
 	var req putMultiReq
 	if err := decodeReq(r.Payload, &req); err != nil {
 		return nil, err
 	}
-	return nil, p.applyPutMulti(&req)
+	return nil, p.applyPutMulti(ctx, &req)
 }
 
 func (p *Provider) handlePutMultiBulk(ctx context.Context, r *fabric.Request) ([]byte, error) {
@@ -315,10 +327,10 @@ func (p *Provider) handlePutMultiBulk(ctx context.Context, r *fabric.Request) ([
 	if err := decodeReq(data, &req); err != nil {
 		return nil, err
 	}
-	return nil, p.applyPutMulti(&req)
+	return nil, p.applyPutMulti(ctx, &req)
 }
 
-func (p *Provider) handleGet(_ context.Context, r *fabric.Request) ([]byte, error) {
+func (p *Provider) handleGet(ctx context.Context, r *fabric.Request) ([]byte, error) {
 	var req getReq
 	if err := decodeReq(r.Payload, &req); err != nil {
 		return nil, err
@@ -328,18 +340,23 @@ func (p *Provider) handleGet(_ context.Context, r *fabric.Request) ([]byte, erro
 		return nil, err
 	}
 	p.gets.Add(1)
+	done := p.track(ctx, req.DB, "get")
 	val, err := db.Get(req.Key)
 	switch err {
 	case nil:
+		done(nil)
 		return encodeResp(getResp{Found: true, Val: val})
 	case ErrKeyNotFound:
+		// A miss is a successful operation, not a service error.
+		done(nil)
 		return encodeResp(getResp{Found: false})
 	default:
+		done(err)
 		return nil, err
 	}
 }
 
-func (p *Provider) handleGetMulti(_ context.Context, r *fabric.Request) ([]byte, error) {
+func (p *Provider) handleGetMulti(ctx context.Context, r *fabric.Request) ([]byte, error) {
 	var req getMultiReq
 	if err := decodeReq(r.Payload, &req); err != nil {
 		return nil, err
@@ -352,6 +369,7 @@ func (p *Provider) handleGetMulti(_ context.Context, r *fabric.Request) ([]byte,
 		Found: make([]bool, len(req.Keys)),
 		Vals:  make([][]byte, len(req.Keys)),
 	}
+	done := p.track(ctx, req.DB, "get_multi")
 	for i, k := range req.Keys {
 		val, err := db.Get(k)
 		switch err {
@@ -360,9 +378,11 @@ func (p *Provider) handleGetMulti(_ context.Context, r *fabric.Request) ([]byte,
 			resp.Vals[i] = val
 		case ErrKeyNotFound:
 		default:
+			done(err)
 			return nil, err
 		}
 	}
+	done(nil)
 	p.gets.Add(int64(len(req.Keys)))
 	if !req.Bulk {
 		return encodeResp(resp)
@@ -391,7 +411,7 @@ func (p *Provider) handleBulkFree(_ context.Context, r *fabric.Request) ([]byte,
 	return nil, nil
 }
 
-func (p *Provider) handleExists(_ context.Context, r *fabric.Request) ([]byte, error) {
+func (p *Provider) handleExists(ctx context.Context, r *fabric.Request) ([]byte, error) {
 	var req existsReq
 	if err := decodeReq(r.Payload, &req); err != nil {
 		return nil, err
@@ -401,17 +421,20 @@ func (p *Provider) handleExists(_ context.Context, r *fabric.Request) ([]byte, e
 		return nil, err
 	}
 	resp := existsResp{Found: make([]bool, len(req.Keys))}
+	done := p.track(ctx, req.DB, "exists")
 	for i, k := range req.Keys {
 		found, err := db.Exists(k)
 		if err != nil {
+			done(err)
 			return nil, err
 		}
 		resp.Found[i] = found
 	}
+	done(nil)
 	return encodeResp(resp)
 }
 
-func (p *Provider) handleErase(_ context.Context, r *fabric.Request) ([]byte, error) {
+func (p *Provider) handleErase(ctx context.Context, r *fabric.Request) ([]byte, error) {
 	var req eraseReq
 	if err := decodeReq(r.Payload, &req); err != nil {
 		return nil, err
@@ -421,20 +444,23 @@ func (p *Provider) handleErase(_ context.Context, r *fabric.Request) ([]byte, er
 		return nil, err
 	}
 	var erased uint64
+	done := p.track(ctx, req.DB, "erase")
 	for _, k := range req.Keys {
 		ok, err := db.Erase(k)
 		if err != nil {
+			done(err)
 			return nil, err
 		}
 		if ok {
 			erased++
 		}
 	}
+	done(nil)
 	p.erases.Add(int64(len(req.Keys)))
 	return encodeResp(eraseResp{Erased: erased})
 }
 
-func (p *Provider) handleList(_ context.Context, r *fabric.Request) ([]byte, error) {
+func (p *Provider) handleList(ctx context.Context, r *fabric.Request) ([]byte, error) {
 	var req listReq
 	if err := decodeReq(r.Payload, &req); err != nil {
 		return nil, err
@@ -444,8 +470,10 @@ func (p *Provider) handleList(_ context.Context, r *fabric.Request) ([]byte, err
 		return nil, err
 	}
 	p.lists.Add(1)
+	done := p.track(ctx, req.DB, "list_keys")
 	if req.Vals {
 		kvs, err := db.ListKeyVals(req.From, req.Prefix, int(req.Max))
+		done(err)
 		if err != nil {
 			return nil, err
 		}
@@ -457,13 +485,14 @@ func (p *Provider) handleList(_ context.Context, r *fabric.Request) ([]byte, err
 		return encodeResp(resp)
 	}
 	ks, err := db.ListKeys(req.From, req.Prefix, int(req.Max))
+	done(err)
 	if err != nil {
 		return nil, err
 	}
 	return encodeResp(listResp{Keys: ks})
 }
 
-func (p *Provider) handleCount(_ context.Context, r *fabric.Request) ([]byte, error) {
+func (p *Provider) handleCount(ctx context.Context, r *fabric.Request) ([]byte, error) {
 	var req countReq
 	if err := decodeReq(r.Payload, &req); err != nil {
 		return nil, err
@@ -472,7 +501,9 @@ func (p *Provider) handleCount(_ context.Context, r *fabric.Request) ([]byte, er
 	if err != nil {
 		return nil, err
 	}
+	done := p.track(ctx, req.DB, "count")
 	n, err := db.Count()
+	done(err)
 	if err != nil {
 		return nil, err
 	}

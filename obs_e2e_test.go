@@ -1,0 +1,270 @@
+// Observability end-to-end suite: boots a live multi-server deployment,
+// runs the paper's ingest + CAFAna-style selection workloads with tracing
+// on, scrapes every server through the admin monitoring RPCs (the path
+// cmd/hepnos-metrics drives), and checks the cross-tier contract: client
+// and server spans link up through the RPC envelope, per-database
+// service-time aggregates exist, the async pools report saturation, and
+// breadcrumb metrics agree with the span stream even under fault
+// injection.
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/chaos"
+	"github.com/hep-on-hpc/hepnos-go/internal/core"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
+	"github.com/hep-on-hpc/hepnos-go/internal/workflow"
+)
+
+// scrapeAll pulls every server's metrics and spans plus the client's own,
+// exactly what cmd/hepnos-metrics assembles.
+func scrapeAll(ctx context.Context, t *testing.T, ds *core.DataStore, group bedrock.GroupFile, scraperAddr string) []obs.Source {
+	t.Helper()
+	mi, err := margo.Init(margo.Config{Address: fabric.Address(scraperAddr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mi.Finalize()
+	sources, err := bedrock.ScrapeGroup(ctx, mi, group)
+	if err != nil {
+		t.Fatalf("scrape deployment: %v", err)
+	}
+	return append(sources, obs.Source{
+		Name:     "client",
+		Families: ds.Registry().Snapshot(),
+		Spans:    ds.Tracer().Snapshot(),
+	})
+}
+
+// TestObservabilityEndToEnd is the acceptance demo: ingest + selection on
+// a live deployment, then a scrape must show linked client/server spans
+// for the yokan Get/Put family, per-database service-time aggregates,
+// async pool high-water marks and per-target breaker state.
+func TestObservabilityEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	files := chaosSample(t)
+	dep := chaosDeploy(t, "obs-e2e")
+
+	tracer := obs.NewTracer(1 << 16)
+	ds, err := core.Connect(ctx, core.ClientConfig{
+		Group:      dep.Group,
+		Resilience: resilience.Default(),
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	st := chaosIngest(ctx, t, ds, files)
+	if st.Events == 0 {
+		t.Fatal("ingest stored no events")
+	}
+	// The CAFAna-style selection: ParallelEventProcessor over the dataset.
+	if _, err := workflow.Run(ctx, ds, workflow.Config{Dataset: "fermilab/nova", Ranks: 4}); err != nil {
+		t.Fatalf("selection workflow: %v", err)
+	}
+
+	sources := scrapeAll(ctx, t, ds, dep.Group, "inproc://obs-e2e-scraper")
+
+	// 1. Linked spans: server spans on the yokan put/get families whose
+	// Parent is a client span ID from the client source.
+	clientIDs := map[uint64]bool{}
+	for _, sp := range sources[len(sources)-1].Spans {
+		if sp.Kind == obs.KindClient {
+			clientIDs[sp.ID] = true
+		}
+	}
+	linkedPut, linkedGet := 0, 0
+	for _, src := range sources[:len(sources)-1] {
+		for _, sp := range src.Spans {
+			if sp.Kind != obs.KindServer || !clientIDs[sp.Parent] {
+				continue
+			}
+			switch {
+			case strings.Contains(sp.Name, "#put"):
+				linkedPut++
+			case strings.Contains(sp.Name, "#get"), strings.Contains(sp.Name, "#list_keys"):
+				linkedGet++
+			}
+		}
+	}
+	if linkedPut == 0 || linkedGet == 0 {
+		t.Errorf("linked client→server spans: put-family=%d get-family=%d, want both > 0", linkedPut, linkedGet)
+	}
+
+	// 2. Per-database service time on the servers.
+	dbs := map[string]bool{}
+	var opsTotal, secsTotal float64
+	for _, src := range sources[:len(sources)-1] {
+		for _, f := range src.Families {
+			switch f.Name {
+			case obs.MetricYokanOps:
+				for _, s := range f.Samples {
+					dbs[s.Labels["db"]] = true
+					opsTotal += s.Value
+				}
+			case obs.MetricYokanOpSeconds:
+				for _, s := range f.Samples {
+					secsTotal += s.Value
+				}
+			}
+		}
+	}
+	if len(dbs) < 2 || opsTotal == 0 || secsTotal <= 0 {
+		t.Errorf("per-database aggregates: dbs=%v ops=%.0f seconds=%g", dbs, opsTotal, secsTotal)
+	}
+
+	// 3. Async pool saturation on the client: the engine ran work, so the
+	// high-water mark is positive and the quiesced depth is back to zero.
+	var maxDepth, depth float64
+	depthSeen := false
+	for _, f := range sources[len(sources)-1].Families {
+		switch f.Name {
+		case obs.MetricAsyncMaxDepth:
+			for _, s := range f.Samples {
+				maxDepth += s.Value
+			}
+		case obs.MetricAsyncDepth:
+			depthSeen = true
+			for _, s := range f.Samples {
+				depth += s.Value
+			}
+		}
+	}
+	if maxDepth == 0 || !depthSeen || depth != 0 {
+		t.Errorf("async pools: high-water=%.0f depth=%.0f (seen=%v), want high-water > 0 and depth 0", maxDepth, depth, depthSeen)
+	}
+
+	// 4. Breaker state per server target (closed — nothing failed).
+	targets := map[string]float64{}
+	for _, f := range sources[len(sources)-1].Families {
+		if f.Name == obs.MetricBreakerState {
+			for _, s := range f.Samples {
+				targets[s.Labels["target"]] = s.Value
+			}
+		}
+	}
+	if len(targets) != len(dep.Group.Servers) {
+		t.Errorf("breaker targets %v, want one per server (%d)", targets, len(dep.Group.Servers))
+	}
+	for tgt, state := range targets {
+		if state != 0 {
+			t.Errorf("breaker for %s in state %g, want closed (0)", tgt, state)
+		}
+	}
+
+	// 5. The rendered report carries every section.
+	report := obs.RenderReport(sources)
+	for _, want := range []string{
+		"hottest RPCs", "per-database service time", "async pool saturation",
+		"resilience:", "linked client→server pairs=",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full report:\n%s", report)
+	}
+}
+
+// TestChaosSpanMetricConsistency runs a write workload under seeded Flaky
+// injection and checks that the two measurement systems agree: every
+// origin-side call attempt (successful or failed, including retries)
+// produced exactly one client span, so per-RPC span counts equal the
+// breadcrumb profile's calls+errors and error spans equal its errors.
+// Replay any failure with CHAOS_SEED=<seed>.
+func TestChaosSpanMetricConsistency(t *testing.T) {
+	ctx := context.Background()
+	files := chaosSample(t)
+	dep := chaosDeploy(t, "obs-chaos")
+
+	seed := chaos.SeedFromEnv(5)
+	in := chaos.New(seed, &chaos.Flaky{P: 0.05})
+	chaos.Report(t, in)
+
+	tracer := obs.NewTracer(1 << 17)
+	ds, err := core.Connect(ctx, core.ClientConfig{
+		Group:      dep.Group,
+		NetSim:     &fabric.NetSim{Fault: in.ClientFault()},
+		Resilience: resilience.Default(),
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	st := chaosIngest(ctx, t, ds, files)
+	if st.Events == 0 {
+		t.Fatal("ingest stored no events")
+	}
+	if in.Drops() == 0 {
+		t.Fatalf("flaky injector dropped nothing over %d observations; seed %d too tame", in.Observed(), seed)
+	}
+
+	if _, dropped := tracer.Recorded(); dropped != 0 {
+		t.Fatalf("tracer overwrote %d spans; grow the test buffer to keep the census exact", dropped)
+	}
+
+	// Census of client spans by RPC name.
+	spanCalls := map[string]int64{}
+	spanErrs := map[string]int64{}
+	for _, sp := range tracer.Snapshot() {
+		if sp.Kind != obs.KindClient {
+			continue
+		}
+		spanCalls[sp.Name]++
+		if sp.Err {
+			spanErrs[sp.Name]++
+		}
+	}
+
+	// The breadcrumb profile, scraped the same way cmd/hepnos-metrics
+	// sees it: per-RPC calls and errors from the client registry.
+	profCalls := map[string]float64{}
+	profErrs := map[string]float64{}
+	for _, f := range ds.Registry().Snapshot() {
+		switch f.Name {
+		case obs.MetricRPCCalls:
+			for _, s := range f.Samples {
+				profCalls[s.Labels["rpc"]] += s.Value
+			}
+		case obs.MetricRPCErrors:
+			for _, s := range f.Samples {
+				profErrs[s.Labels["rpc"]] += s.Value
+			}
+		}
+	}
+
+	for rpc := range profCalls {
+		attempts := int64(profCalls[rpc] + profErrs[rpc])
+		if spanCalls[rpc] != attempts {
+			t.Errorf("rpc %s: %d client spans vs %d profiled attempts", rpc, spanCalls[rpc], attempts)
+		}
+		if spanErrs[rpc] != int64(profErrs[rpc]) {
+			t.Errorf("rpc %s: %d error spans vs %d profiled errors", rpc, spanErrs[rpc], int64(profErrs[rpc]))
+		}
+	}
+	for rpc := range spanCalls {
+		if _, ok := profCalls[rpc]; !ok {
+			t.Errorf("rpc %s has client spans but no breadcrumb profile", rpc)
+		}
+	}
+
+	var totalErrs int64
+	for _, n := range spanErrs {
+		totalErrs += n
+	}
+	if totalErrs == 0 {
+		t.Error("injected drops produced no error spans")
+	}
+}
