@@ -26,7 +26,9 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/filebased"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/simexp"
+	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 	"github.com/hep-on-hpc/hepnos-go/internal/workflow"
 )
 
@@ -572,6 +574,82 @@ func BenchmarkServerRatioAblation(b *testing.B) {
 				thr += r.Throughput
 			}
 			b.ReportMetric(thr/float64(b.N), "slices/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire path: the pooled encode→frame→deliver→decode round-trip.
+// ---------------------------------------------------------------------------
+
+// BenchmarkWirePath measures one full client/server round-trip on the
+// pooled wire path: MarshalAppend of a representative NOvA event into a
+// pooled buffer, frame write through the fabric, borrowed server-side
+// decode, response frame back, borrowed client-side decode, explicit
+// release. allocs/op here is the number the tentpole refactor exists to
+// hold down — it is reported for both transports.
+func BenchmarkWirePath(b *testing.B) {
+	ev := nova.Event{Run: 15150, SubRun: 3, Event: 77}
+	for i := 0; i < 4; i++ {
+		ev.Slices = append(ev.Slices, nova.Slice{
+			SliceIdx: uint32(i), NHit: 120 + int32(i), CalE: 1.9,
+			RemID: 0.6, CVNe: 0.84, VtxZ: 890.0, NPlanes: 42,
+		})
+	}
+	for _, scheme := range []string{"inproc", "tcp"} {
+		b.Run(scheme, func(b *testing.B) {
+			srvAddr := fabric.Address(scheme + "://127.0.0.1:0")
+			cliAddr := fabric.Address(scheme + "://127.0.0.1:0")
+			if scheme == "inproc" {
+				srvAddr, cliAddr = "inproc://wp-srv", "inproc://wp-cli"
+			}
+			srv, err := fabric.Listen(srvAddr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			srv.Register("wire_echo", func(_ context.Context, req *fabric.Request) ([]byte, error) {
+				// Borrowed decode straight out of the request frame; the
+				// response is re-encoded so the reply exercises the encode
+				// half on the server side too.
+				var in nova.Event
+				if err := serde.UnmarshalBorrow(req.Payload, &in); err != nil {
+					return nil, err
+				}
+				return serde.Marshal(in)
+			})
+			cli, err := fabric.Listen(cliAddr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cli.Close()
+
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf := wire.Acquire(256)
+				payload, err := serde.MarshalAppend(buf.B, ev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf.B = payload
+				resp, done, err := cli.CallBorrow(ctx, srv.Addr(), "wire_echo", payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var out nova.Event
+				if err := serde.UnmarshalBorrow(resp, &out); err != nil {
+					b.Fatal(err)
+				}
+				if out.Event != ev.Event || len(out.Slices) != len(ev.Slices) {
+					b.Fatalf("round-trip mismatch: %+v", out)
+				}
+				if done != nil {
+					done()
+				}
+				buf.Release()
+			}
 		})
 	}
 }

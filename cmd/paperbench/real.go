@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -82,17 +83,27 @@ func runReal(files int, rankList string, trials int, sliceWork time.Duration) er
 		return err
 	}
 
-	fmt.Printf("%-8s %16s %16s  %s\n", "ranks", "hepnos slices/s", "file slices/s", "agree")
+	fmt.Printf("%-8s %16s %16s %14s  %s\n", "ranks", "hepnos slices/s", "file slices/s", "allocs/slice", "agree")
+	var ms runtime.MemStats
 	for _, r := range ranks {
 		var hepThr, fileThr float64
+		var hepAllocs, hepSlices uint64
 		agree := true
 		for trial := 0; trial < trials; trial++ {
+			// Heap-allocation count across the whole HEPnOS workflow run
+			// (RPCs, deserialization, selection) — the wire path's pooled
+			// buffers are what keeps this per-slice figure flat.
+			runtime.ReadMemStats(&ms)
+			before := ms.Mallocs
 			hres, err := workflow.Run(ctx, ds, workflow.Config{
 				Dataset: "real/nova", Label: "slices", Ranks: r, SliceWork: sliceWork,
 			})
 			if err != nil {
 				return err
 			}
+			runtime.ReadMemStats(&ms)
+			hepAllocs += ms.Mallocs - before
+			hepSlices += uint64(hres.TotalSlices)
 			hepThr += hres.Throughput
 			if len(hres.Selected) != len(fileRef.Selected) {
 				agree = false
@@ -103,8 +114,12 @@ func runReal(files int, rankList string, trials int, sliceWork time.Duration) er
 			}
 			fileThr += fres.Throughput
 		}
-		fmt.Printf("%-8d %16.0f %16.0f  %v\n",
-			r, hepThr/float64(trials), fileThr/float64(trials), agree)
+		allocsPerSlice := float64(0)
+		if hepSlices > 0 {
+			allocsPerSlice = float64(hepAllocs) / float64(hepSlices)
+		}
+		fmt.Printf("%-8d %16.0f %16.0f %14.1f  %v\n",
+			r, hepThr/float64(trials), fileThr/float64(trials), allocsPerSlice, agree)
 	}
 	return nil
 }

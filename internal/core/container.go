@@ -8,6 +8,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/uuid"
+	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
@@ -50,12 +51,20 @@ func (c *container) Store(ctx context.Context, label string, value any) error {
 	if err != nil {
 		return err
 	}
-	data, err := serde.Marshal(value)
+	// Key and serialized value share one pooled scratch buffer; the yokan
+	// client copies both into its own request encoding, so the scratch is
+	// recycled as soon as the Put returns.
+	scratch := wire.Acquire(256)
+	defer scratch.Release()
+	kb := id.AppendEncode(scratch.B)
+	buf, err := serde.MarshalAppend(kb, value)
 	if err != nil {
 		return fmt.Errorf("hepnos: serialize product %s: %w", id, err)
 	}
+	scratch.B = buf
+	keyLen := len(kb)
 	db := c.ds.productDBForContainer(c.key)
-	return c.ds.yc.Put(ctx, db, id.Encode(), data)
+	return c.ds.yc.Put(ctx, db, buf[:keyLen:keyLen], buf[keyLen:])
 }
 
 // Load fetches the product with the given label into ptr (which determines

@@ -6,6 +6,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
@@ -56,6 +57,15 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 	defer sp.End(nil)
 	byDB := make(map[yokan.DBHandle]*prefetchGroup)
 	var groups []*prefetchGroup
+	// All product keys of the fan-out are packed into one segment arena
+	// (scratch re-encodes each key, the segment keeps the stable copy)
+	// instead of one allocation per key. The segment is recycled after
+	// every group has resolved — unless the wait was cut short by ctx, in
+	// which case a still-running task may be reading the keys, so the
+	// segment is left to the GC (releasing is optional, never required).
+	var seg wire.Segment
+	scratch := wire.Acquire(256)
+	defer scratch.Release()
 	for i, raw := range evKeys {
 		ck, err := keys.ParseContainerKey(raw)
 		if err != nil {
@@ -70,7 +80,9 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 		}
 		for _, s := range p.sel {
 			id := keys.ProductID{Container: ck, Label: s.Label, Type: s.Type}
-			g.keys = append(g.keys, id.Encode())
+			kb := id.AppendEncode(scratch.B[:0])
+			scratch.B = kb
+			g.keys = append(g.keys, seg.Append(kb))
 			g.slots = append(g.slots, prefetchSlot{eventIdx: i, labelType: s.key()})
 		}
 	}
@@ -86,10 +98,16 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 	}
 	var out []pepPrefEntry
 	degraded := 0
+	releasable := true
 	for i, g := range groups {
 		p.ds.prefetchLoads.Add(int64(len(g.keys)))
 		res, err := evs[i].Wait(ctx)
 		if err != nil {
+			if ctx != nil && ctx.Err() != nil {
+				// The task may still be running and reading the packed
+				// keys; the segment must not be recycled under it.
+				releasable = false
+			}
 			degraded += len(g.keys)
 			continue
 		}
@@ -97,12 +115,18 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 			if !res.Found[j] {
 				continue
 			}
+			// res.Vals[j] is a borrowed view into the group's single
+			// GetMulti response buffer (GC-owned): the prefetched products
+			// of one group share one contiguous allocation.
 			out = append(out, pepPrefEntry{
 				EventIdx:  uint32(g.slots[j].eventIdx),
 				LabelType: g.slots[j].labelType,
 				Data:      res.Vals[j],
 			})
 		}
+	}
+	if releasable {
+		seg.Release()
 	}
 	p.ds.prefetchDegraded.Add(int64(degraded))
 	return out, degraded

@@ -10,6 +10,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
@@ -52,9 +53,25 @@ type WriteBatch struct {
 	MaxPending int
 }
 
+// dbBatch is one database's queued updates. Keys and values are packed
+// contiguously into the group's segment arena — one pooled chunk per ~64KiB
+// of updates instead of two allocations per update — mirroring the paper's
+// write-batch packing (§II-C). The segment is recycled once the group's
+// flush lands (or its contents are re-queued into a fresh segment).
 type dbBatch struct {
-	keys [][]byte
-	vals [][]byte
+	seg  wire.Segment
+	keys [][]byte // views into seg
+	vals [][]byte // views into seg (nil entries stay nil)
+}
+
+// add copies key and val into the batch's segment and queues the views.
+func (b *dbBatch) add(key, val []byte) {
+	b.keys = append(b.keys, b.seg.Append(key))
+	if val == nil {
+		b.vals = append(b.vals, nil)
+	} else {
+		b.vals = append(b.vals, b.seg.Append(val))
+	}
 }
 
 // inflightFlush pairs an asynchronous flush with the group it carries, so
@@ -111,8 +128,7 @@ func (w *WriteBatch) addLocked(db yokan.DBHandle, key, val []byte) {
 		b = &dbBatch{}
 		w.pending[db] = b
 	}
-	b.keys = append(b.keys, key)
-	b.vals = append(b.vals, val)
+	b.add(key, val)
 	w.queued++
 }
 
@@ -129,11 +145,16 @@ func (w *WriteBatch) reapLocked() error {
 			continue
 		}
 		if _, err := f.ev.Wait(nil); err != nil {
+			// Re-queue copies the group into the live pending segment, so
+			// the failed group's own segment can be recycled below.
 			for i := range f.b.keys {
 				w.addLocked(f.db, f.b.keys[i], f.b.vals[i])
 			}
 			errs = append(errs, fmt.Errorf("async flush to %s: %w", f.db, err))
 		}
+		// The flush is resolved either way: its segment's bytes are dead
+		// (sent, or copied back into pending), so recycle the chunks.
+		f.b.seg.Release()
 	}
 	// Drop reaped entries so their groups can be collected.
 	for i := len(kept); i < len(w.inflight); i++ {
@@ -205,11 +226,19 @@ func (w *WriteBatch) storeOn(ctx context.Context, ck keys.ContainerKey, label st
 	if err != nil {
 		return err
 	}
-	data, err := serde.Marshal(value)
+	// Product key and serialized value are built back-to-back in one
+	// pooled scratch buffer; queue packs both into the target group's
+	// segment, so neither gets its own allocation.
+	scratch := wire.Acquire(256)
+	defer scratch.Release()
+	kb := id.AppendEncode(scratch.B)
+	buf, err := serde.MarshalAppend(kb, value)
 	if err != nil {
 		return fmt.Errorf("hepnos: serialize product %s: %w", id, err)
 	}
-	return w.queue(ctx, w.ds.productDBForContainer(ck), id.Encode(), data)
+	scratch.B = buf
+	keyLen := len(kb)
+	return w.queue(ctx, w.ds.productDBForContainer(ck), buf[:keyLen:keyLen], buf[keyLen:])
 }
 
 // Flush sends all queued updates, one multi-put per target database.
@@ -275,6 +304,7 @@ func (w *WriteBatch) flushSync(ctx context.Context) error {
 		}
 		w.queued -= len(b.keys)
 		delete(w.pending, db)
+		b.seg.Release()
 	}
 	return errors.Join(errs...)
 }

@@ -148,8 +148,11 @@ func (e *Endpoint) pullBulk(ctx context.Context, from Address, h BulkHandle) ([]
 		}
 	}
 	// Bulk pulls propagate the active span so the transfer's server-side
-	// span links into the trace that initiated it.
-	data, err := e.trans.call(ctx, from, bulkPullRPC, h.Encode(nil), obs.SpanFromContext(ctx))
+	// span links into the trace that initiated it. The pulled data is
+	// returned GC-owned (the transport's done is deliberately unused):
+	// bulk payloads are large, long-lived by nature — decoded values alias
+	// them — so recycling their frames would be unsafe.
+	data, _, err := e.trans.call(ctx, from, bulkPullRPC, h.Encode(nil), obs.SpanFromContext(ctx))
 	if err != nil {
 		return nil, err
 	}

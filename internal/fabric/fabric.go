@@ -297,22 +297,51 @@ func (e *Endpoint) SetServeFault(h FaultHook) {
 // resilience policy attached (WithResilience), transport-level failures
 // are retried under that policy — each attempt is a fresh send paying
 // the NetSim cost model again.
+//
+// The response is treated as GC-owned: the transport's receive buffer is
+// never recycled, so the caller may retain the bytes freely. Hot paths
+// that can bound the response's lifetime should use CallBorrow, which
+// returns the buffer to the transport's pool.
 func (e *Endpoint) Call(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error) {
+	resp, _, err := e.CallBorrow(ctx, target, rpc, payload)
+	return resp, err
+}
+
+// CallBorrow is Call with explicit response-buffer ownership: the returned
+// response may be a borrowed view into a pooled transport buffer, and done
+// (when non-nil) releases it. The contract (DESIGN.md §12):
+//
+//   - After calling done, the response and every view into it are dead.
+//   - done may be called at most once; calling it is optional — skipping it
+//     leaks nothing, the buffer just falls to the GC and the pool misses a
+//     reuse. Callers that retain views of the response (borrowed decode)
+//     must NOT call done.
+//   - The request payload is never retained by the fabric: once CallBorrow
+//     returns, the caller may recycle the payload's buffer.
+func (e *Endpoint) CallBorrow(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, func(), error) {
 	if e.res == nil {
 		return e.callOnce(ctx, target, rpc, payload)
 	}
-	return resilience.Do(ctx, e.res, string(target), func(ctx context.Context) ([]byte, error) {
-		return e.callOnce(ctx, target, rpc, payload)
+	var done func()
+	resp, err := resilience.Do(ctx, e.res, string(target), func(ctx context.Context) ([]byte, error) {
+		r, d, err := e.callOnce(ctx, target, rpc, payload)
+		done = d
+		return r, err
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, done, nil
 }
 
-// callOnce is a single unretried send attempt.
-func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, error) {
+// callOnce is a single unretried send attempt. done is nil on error and on
+// transports whose responses are GC-owned (inproc).
+func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, payload []byte) ([]byte, func(), error) {
 	e.mu.RLock()
 	closed := e.closed
 	e.mu.RUnlock()
 	if closed {
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	// Each attempt is its own client span: under a retrying policy the
 	// trace shows every send, not just the one that succeeded. The span and
@@ -320,11 +349,11 @@ func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, pay
 	// message loss is still a visible failed attempt.
 	parent := obs.SpanFromContext(ctx)
 	sp := e.tracer.Start(rpc, obs.KindClient, parent, string(target))
-	wire := sp.Context()
-	if !wire.Valid() {
+	envSC := sp.Context()
+	if !envSC.Valid() {
 		// No local tracer: still forward the caller's context so traces
 		// survive an uninstrumented hop.
-		wire = parent
+		envSC = parent
 	}
 	start := time.Now()
 	if e.sim != nil {
@@ -332,20 +361,20 @@ func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, pay
 			e.stats.errors.Add(1)
 			e.prof.record(rpc, time.Since(start), true)
 			sp.End(err)
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	e.stats.callsSent.Add(1)
 	e.stats.bytesSent.Add(int64(len(payload)))
-	resp, err := e.trans.call(ctx, target, rpc, payload, wire)
+	resp, done, err := e.trans.call(ctx, target, rpc, payload, envSC)
 	e.prof.record(rpc, time.Since(start), err != nil)
 	sp.End(err)
 	if err != nil {
 		e.stats.errors.Add(1)
-		return nil, err
+		return nil, nil, err
 	}
 	e.stats.bytesReceived.Add(int64(len(resp)))
-	return resp, nil
+	return resp, done, nil
 }
 
 // Close shuts the endpoint down. In-flight calls may fail with ErrClosed.
@@ -416,7 +445,13 @@ func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload 
 
 // transport is the wire-level half of an endpoint. sc travels in the
 // request envelope so the target can link its server span to the caller.
+//
+// call must not retain payload after returning. The returned response may
+// be a borrowed view into a transport-owned buffer; done (which may be
+// nil) releases that buffer back to the transport's pool, after which the
+// response bytes are dead. done is nil whenever the response is plain
+// GC-owned memory.
 type transport interface {
-	call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, error)
+	call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) (resp []byte, done func(), err error)
 	close() error
 }

@@ -36,15 +36,18 @@ func listenInproc(e *Endpoint, addr Address) (transport, Address, error) {
 	return &inprocTransport{self: e, addr: addr}, addr, nil
 }
 
-func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, error) {
+func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, func(), error) {
 	inprocRegistry.RLock()
 	dst, ok := inprocRegistry.eps[target]
 	inprocRegistry.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnreachable, target)
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnreachable, target)
 	}
 	// Copy the payload so caller and handler never alias memory, the same
-	// isolation a real wire provides.
+	// isolation a real wire provides. This copy is load-bearing: serve can
+	// return early on ctx cancellation while the dispatched handler is
+	// still reading the payload, so the caller must stay free to recycle
+	// its own buffer the moment call returns.
 	var in []byte
 	if payload != nil {
 		in = append([]byte(nil), payload...)
@@ -55,19 +58,20 @@ func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, 
 		// transport failures, since the handler never executed.
 		var inj *InjectedFault
 		if errors.As(err, &inj) {
-			return nil, err
+			return nil, nil, err
 		}
 		// Application errors cross the "wire" as RemoteError, like a
 		// serialized Mercury response with an error code.
 		if _, isRemote := err.(*RemoteError); !isRemote && ctx.Err() == nil {
 			err = &RemoteError{RPC: rpc, Msg: err.Error()}
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	if resp == nil {
-		return nil, nil
-	}
-	return append([]byte(nil), resp...), nil
+	// The response crosses without a copy: handlers build fresh GC-owned
+	// responses and never touch them after returning (on the early-return
+	// race the abandoned response is simply dropped), so aliasing is safe.
+	// done is nil — there is no pooled receive buffer to give back.
+	return resp, nil, nil
 }
 
 func (t *inprocTransport) close() error {

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 )
 
 // Wire format (all integers little-endian):
@@ -98,81 +99,97 @@ func (t *tcpTransport) serveConn(nc net.Conn) {
 func (t *tcpTransport) connLoop(c *tcpConn) {
 	defer c.nc.Close()
 	for {
-		body, err := readFrame(c.nc)
+		buf, err := readFrame(c.nc)
 		if err != nil {
 			c.failAll(err)
 			return
 		}
+		body := buf.B
 		if len(body) == 0 {
+			buf.Release()
 			c.failAll(fmt.Errorf("fabric: empty frame"))
 			return
 		}
 		switch body[0] {
 		case frameRequest:
+			// The payload is a borrowed view into the pooled frame buffer —
+			// no clone. The goroutine owns the frame: serve (and therefore
+			// the handler) completes before the reply is written, after
+			// which the frame is recycled. serve is given a background
+			// context precisely so it cannot return while the handler is
+			// still reading the borrowed payload.
 			reqID, rpc, from, sc, payload, err := parseRequest(body)
 			if err != nil {
+				buf.Release()
 				c.failAll(err)
 				return
 			}
 			t.wg.Add(1)
 			go func() {
 				defer t.wg.Done()
+				defer buf.Release()
 				resp, herr := t.self.serve(context.Background(), from, rpc, payload, sc)
-				var frame []byte
 				if herr != nil {
 					status := byte(statusErr)
 					var inj *InjectedFault
 					if errors.As(herr, &inj) {
 						status = statusFault
 					}
-					frame = buildReply(reqID, status, []byte(herr.Error()))
+					c.writeFrame(frameReply, reqID, status, []byte(herr.Error()))
 				} else {
-					frame = buildReply(reqID, statusOK, resp)
+					c.writeFrame(frameReply, reqID, statusOK, resp)
 				}
-				c.write(frame)
 			}()
 		case frameReply:
 			if len(body) < 10 {
+				buf.Release()
 				c.failAll(fmt.Errorf("fabric: short reply frame"))
 				return
 			}
 			reqID := binary.LittleEndian.Uint64(body[1:9])
 			status := body[9]
-			c.deliver(reqID, tcpReply{status: status, payload: append([]byte(nil), body[10:]...)})
+			// Ownership of the frame transfers to the waiting caller: the
+			// payload is a borrowed view and done recycles the buffer. If
+			// no caller is waiting (canceled), deliver releases it.
+			c.deliver(reqID, tcpReply{status: status, payload: body[10:], done: buf.Release})
 		default:
+			buf.Release()
 			c.failAll(fmt.Errorf("fabric: unknown frame kind %q", body[0]))
 			return
 		}
 	}
 }
 
-func (t *tcpTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, error) {
+func (t *tcpTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, func(), error) {
 	c, err := t.getConn(target)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	reqID, ch := c.newPending()
-	frame := buildRequest(reqID, rpc, t.addr, sc, payload)
-	if err := c.write(frame); err != nil {
+	if err := c.writeRequest(reqID, rpc, t.addr, sc, payload); err != nil {
 		c.cancelPending(reqID)
 		t.dropConn(target, c)
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, target, err)
+		return nil, nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, target, err)
 	}
 	select {
 	case r, ok := <-ch:
 		if !ok {
-			return nil, fmt.Errorf("%w: %s: connection lost", ErrUnreachable, target)
+			return nil, nil, fmt.Errorf("%w: %s: connection lost", ErrUnreachable, target)
 		}
 		if r.status == statusFault {
-			return nil, &InjectedFault{Err: fmt.Errorf("%w: %s dropped %s: %s", ErrUnreachable, target, rpc, r.payload)}
+			err := &InjectedFault{Err: fmt.Errorf("%w: %s dropped %s: %s", ErrUnreachable, target, rpc, r.payload)}
+			r.release()
+			return nil, nil, err
 		}
 		if r.status == statusErr {
-			return nil, &RemoteError{RPC: rpc, Msg: string(r.payload)}
+			err := &RemoteError{RPC: rpc, Msg: string(r.payload)}
+			r.release()
+			return nil, nil, err
 		}
-		return r.payload, nil
+		return r.payload, r.done, nil
 	case <-ctx.Done():
 		c.cancelPending(reqID)
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	}
 }
 
@@ -235,7 +252,14 @@ func (t *tcpTransport) close() error {
 
 type tcpReply struct {
 	status  byte
-	payload []byte
+	payload []byte // borrowed view into a pooled frame buffer
+	done    func() // recycles the frame; nil-safe via release
+}
+
+func (r tcpReply) release() {
+	if r.done != nil {
+		r.done()
+	}
 }
 
 // tcpConn wraps one socket with request/reply correlation state.
@@ -272,6 +296,10 @@ func (c *tcpConn) deliver(id uint64, r tcpReply) {
 	c.pmu.Unlock()
 	if ok {
 		ch <- r
+	} else {
+		// The caller gave up (canceled): nobody will ever read this reply,
+		// so the frame goes straight back to the pool.
+		r.release()
 	}
 }
 
@@ -291,14 +319,62 @@ func (c *tcpConn) failAll(error) {
 	c.pmu.Unlock()
 }
 
-func (c *tcpConn) write(frame []byte) error {
+// writeRequest sends a request frame scatter-gather style: the header is
+// built in a small pooled buffer and the payload is handed to the kernel as
+// a second iovec (net.Buffers → writev), so the payload bytes are never
+// copied into an intermediate frame allocation.
+func (c *tcpConn) writeRequest(reqID uint64, rpc string, from Address, sc obs.SpanContext, payload []byte) error {
+	hdr := wire.Acquire(4 + 1 + 8 + 2 + len(rpc) + 2 + len(from) + 16)
+	defer hdr.Release()
+	body := 1 + 8 + 2 + len(rpc) + 2 + len(from) + 16 + len(payload)
+	b := hdr.B[:4+body-len(payload)]
+	binary.LittleEndian.PutUint32(b[0:], uint32(body))
+	b[4] = frameRequest
+	binary.LittleEndian.PutUint64(b[5:], reqID)
+	binary.LittleEndian.PutUint16(b[13:], uint16(len(rpc)))
+	copy(b[15:], rpc)
+	off := 15 + len(rpc)
+	binary.LittleEndian.PutUint16(b[off:], uint16(len(from)))
+	copy(b[off+2:], from)
+	off += 2 + len(from)
+	binary.LittleEndian.PutUint64(b[off:], sc.Trace)
+	binary.LittleEndian.PutUint64(b[off+8:], sc.Span)
+	hdr.B = b
+	return c.writev(b, payload)
+}
+
+// writeFrame sends a reply frame, likewise header-pooled + writev.
+func (c *tcpConn) writeFrame(kind byte, reqID uint64, status byte, payload []byte) error {
+	hdr := wire.Acquire(4 + 1 + 8 + 1)
+	defer hdr.Release()
+	body := 1 + 8 + 1 + len(payload)
+	b := hdr.B[:14]
+	binary.LittleEndian.PutUint32(b[0:], uint32(body))
+	b[4] = kind
+	binary.LittleEndian.PutUint64(b[5:], reqID)
+	b[13] = status
+	hdr.B = b
+	return c.writev(b, payload)
+}
+
+// writev writes header and payload as one atomic frame under the write
+// lock, using vectored I/O so neither part is re-copied.
+func (c *tcpConn) writev(hdr, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	_, err := c.nc.Write(frame)
+	if len(payload) == 0 {
+		_, err := c.nc.Write(hdr)
+		return err
+	}
+	bufs := net.Buffers{hdr, payload}
+	_, err := bufs.WriteTo(c.nc)
 	return err
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrame reads one length-prefixed frame into a pooled buffer. The
+// caller owns the returned Buf and must Release it when the frame (and
+// every borrowed view into it) is dead.
+func readFrame(r io.Reader) (*wire.Buf, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
@@ -307,30 +383,14 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
+	buf := wire.Acquire(int(n))
+	body := buf.B[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
+		buf.Release()
 		return nil, err
 	}
-	return body, nil
-}
-
-func buildRequest(reqID uint64, rpc string, from Address, sc obs.SpanContext, payload []byte) []byte {
-	body := 1 + 8 + 2 + len(rpc) + 2 + len(from) + 16 + len(payload)
-	frame := make([]byte, 4+body)
-	binary.LittleEndian.PutUint32(frame[0:], uint32(body))
-	b := frame[4:]
-	b[0] = frameRequest
-	binary.LittleEndian.PutUint64(b[1:], reqID)
-	binary.LittleEndian.PutUint16(b[9:], uint16(len(rpc)))
-	copy(b[11:], rpc)
-	off := 11 + len(rpc)
-	binary.LittleEndian.PutUint16(b[off:], uint16(len(from)))
-	copy(b[off+2:], from)
-	off += 2 + len(from)
-	binary.LittleEndian.PutUint64(b[off:], sc.Trace)
-	binary.LittleEndian.PutUint64(b[off+8:], sc.Span)
-	copy(b[off+16:], payload)
-	return frame
+	buf.B = body
+	return buf, nil
 }
 
 func parseRequest(body []byte) (reqID uint64, rpc string, from Address, sc obs.SpanContext, payload []byte, err error) {
@@ -355,18 +415,8 @@ func parseRequest(body []byte) (reqID uint64, rpc string, from Address, sc obs.S
 	off += 2 + fromLen
 	sc.Trace = binary.LittleEndian.Uint64(body[off : off+8])
 	sc.Span = binary.LittleEndian.Uint64(body[off+8 : off+16])
-	payload = append([]byte(nil), body[off+16:]...)
+	// The payload is a borrowed view into the frame body, not a clone; the
+	// frame's owner keeps it alive until the handler has replied.
+	payload = body[off+16:]
 	return reqID, rpc, from, sc, payload, nil
-}
-
-func buildReply(reqID uint64, status byte, payload []byte) []byte {
-	body := 1 + 8 + 1 + len(payload)
-	frame := make([]byte, 4+body)
-	binary.LittleEndian.PutUint32(frame[0:], uint32(body))
-	b := frame[4:]
-	b[0] = frameReply
-	binary.LittleEndian.PutUint64(b[1:], reqID)
-	b[9] = status
-	copy(b[10:], payload)
-	return frame
 }

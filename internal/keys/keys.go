@@ -200,12 +200,18 @@ func (p ProductID) Validate() error {
 // Encode builds the product key: container bytes, then label, '#', type.
 func (p ProductID) Encode() []byte {
 	ck := p.Container.Bytes()
-	out := make([]byte, 0, len(ck)+len(p.Label)+1+len(p.Type))
-	out = append(out, ck...)
-	out = append(out, p.Label...)
-	out = append(out, productSep)
-	out = append(out, p.Type...)
-	return out
+	return p.AppendEncode(make([]byte, 0, len(ck)+len(p.Label)+1+len(p.Type)))
+}
+
+// AppendEncode appends the product key to dst and returns the extended
+// slice — the allocation-free encode for callers packing keys into a
+// shared buffer (e.g. a write batch's segment arena).
+func (p ProductID) AppendEncode(dst []byte) []byte {
+	dst = append(dst, p.Container.Bytes()...)
+	dst = append(dst, p.Label...)
+	dst = append(dst, productSep)
+	dst = append(dst, p.Type...)
+	return dst
 }
 
 // String renders the product key for diagnostics.

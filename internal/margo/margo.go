@@ -196,9 +196,18 @@ func (m *Instance) Providers() []*Provider {
 }
 
 // Forward calls a provider-scoped RPC on a remote instance, the analog of
-// margo_provider_forward.
+// margo_provider_forward. The response is GC-owned and safe to retain.
 func (m *Instance) Forward(ctx context.Context, target fabric.Address, service string, id ProviderID, rpc string, payload []byte) ([]byte, error) {
 	return m.ep.Call(ctx, target, rpcName(service, id, rpc), payload)
+}
+
+// ForwardBorrow is Forward with explicit response-buffer ownership: the
+// response may be a borrowed view into a pooled transport buffer and done
+// (when non-nil) recycles it. See fabric.Endpoint.CallBorrow for the
+// contract; callers that decode-and-copy should release, callers that keep
+// borrowed views must not.
+func (m *Instance) ForwardBorrow(ctx context.Context, target fabric.Address, service string, id ProviderID, rpc string, payload []byte) ([]byte, func(), error) {
+	return m.ep.CallBorrow(ctx, target, rpcName(service, id, rpc), payload)
 }
 
 // Finalize shuts the instance down: endpoint first (no new RPCs), then the

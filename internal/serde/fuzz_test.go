@@ -87,3 +87,83 @@ func TestMutatedBytesNeverPanic(t *testing.T) {
 		}
 	}
 }
+
+// FuzzUnmarshal is the native fuzz target guarding the decode refactor:
+// arbitrary bytes are decoded into a spread of target shapes via both the
+// copying and the borrowing decoder. Any input may error, but none may
+// panic, and a successful borrow-decode must agree with the copy-decode.
+// The seed corpus is built from golden encodings of the same shapes, so
+// the fuzzer starts on the valid-prefix/corrupt-tail frontier where the
+// truncated-varint, oversized-length and pointer-flag paths live.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []any{
+		int64(-123456789),
+		"seed string",
+		[]byte{0xde, 0xad, 0xbe, 0xef},
+		[]particle{{X: 1, Y: 2, Z: 3}, {X: -4.5}},
+		map[string]int32{"hits": 120, "planes": 42},
+		everything{
+			B: true, I8: -8, I16: -16, I32: -32, I64: -64,
+			U8: 8, U16: 16, U32: 32, U64: 64, F32: 0.5, F64: 2.25,
+			S: "golden", Raw: []byte{9, 8, 7}, Ints: []int{1, 2, 3},
+			Arr: [3]uint16{10, 20, 30}, M: map[string]int32{"m": -1},
+			Ptr: &particle{Z: 9}, Nest: particle{X: 3},
+		},
+		&particle{X: 7}, // exercises the pointer-flag byte
+	}
+	for _, s := range seeds {
+		data, err := Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Hand-made corrupt seeds: truncated varint, absurd length prefix.
+	f.Add([]byte{0x80})                               // varint with no terminator
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge length
+	f.Add([]byte{0x02, 0x41})                         // length 2, one byte of data
+
+	type nested struct {
+		A []int32
+		B map[string][]float64
+		C *nested
+		D string
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		targets := []func() any{
+			func() any { return new(int64) },
+			func() any { return new(string) },
+			func() any { return new([]byte) },
+			func() any { return new([]particle) },
+			func() any { return new(map[string]int32) },
+			func() any { return new(everything) },
+			func() any { return new(nested) },
+			func() any { return new(*particle) },
+		}
+		for _, mk := range targets {
+			cp := mk()
+			errCopy := Unmarshal(data, cp)
+			br := mk()
+			errBorrow := UnmarshalBorrow(data, br)
+			if (errCopy == nil) != (errBorrow == nil) {
+				t.Fatalf("decode disagreement into %T: copy err=%v, borrow err=%v", cp, errCopy, errBorrow)
+			}
+			if errCopy != nil {
+				continue
+			}
+			// Both succeeded: they must have produced identical values
+			// (the borrow views alias data, but the bytes are the bytes).
+			c, err := Marshal(cp)
+			if err != nil {
+				t.Fatalf("re-marshal of copy-decoded %T failed: %v", cp, err)
+			}
+			b, err := Marshal(br)
+			if err != nil {
+				t.Fatalf("re-marshal of borrow-decoded %T failed: %v", br, err)
+			}
+			if string(c) != string(b) {
+				t.Fatalf("copy and borrow decode of %T disagree", cp)
+			}
+		}
+	})
+}

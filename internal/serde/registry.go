@@ -16,7 +16,24 @@ func TypeName(v any) string {
 	return typeNameOf(reflect.TypeOf(v))
 }
 
+// typeNames caches computed names so the hot store path (which derives the
+// type name for every product key) doesn't rebuild composite names like
+// "vector<Particle>" on each call.
+var typeNames sync.Map // reflect.Type -> string
+
 func typeNameOf(t reflect.Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	if n, ok := typeNames.Load(t); ok {
+		return n.(string)
+	}
+	n := buildTypeName(t)
+	typeNames.Store(t, n)
+	return n
+}
+
+func buildTypeName(t reflect.Type) string {
 	if t == nil {
 		return "<nil>"
 	}

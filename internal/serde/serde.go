@@ -20,6 +20,9 @@ import (
 	"math"
 	"reflect"
 	"sort"
+	"sync"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 )
 
 // Custom is implemented by types that want full control over their wire
@@ -36,29 +39,87 @@ var ErrCorrupt = errors.New("serde: corrupt input")
 // ErrUnsupported reports a Go type the archive cannot represent.
 var ErrUnsupported = errors.New("serde: unsupported type")
 
-// Marshal encodes v into a fresh byte slice.
+// archives pools the Archive structs themselves so Marshal/Unmarshal calls
+// don't heap-allocate one per operation.
+var archives = sync.Pool{New: func() any { return new(Archive) }}
+
+func getArchive() *Archive { return archives.Get().(*Archive) }
+
+func putArchive(ar *Archive) {
+	*ar = Archive{}
+	archives.Put(ar)
+}
+
+// Marshal encodes v into a fresh, exactly-sized byte slice. Internally it
+// encodes into a pooled scratch buffer (so buffer growth is amortized across
+// calls) and copies out only the final bytes; the result is GC-owned and
+// safe to retain. Hot paths that can manage buffer lifetime should prefer
+// MarshalAppend into a wire.Buf instead.
 func Marshal(v any) ([]byte, error) {
-	ar := &Archive{Saving: true}
-	if err := ar.value(reflect.ValueOf(v)); err != nil {
+	scratch := wire.Acquire(256)
+	out, err := MarshalAppend(scratch.B, v)
+	if err != nil {
+		scratch.Release()
 		return nil, err
 	}
-	return ar.buf, nil
+	exact := make([]byte, len(out))
+	copy(exact, out)
+	scratch.B = out[:0] // keep any growth for the pool
+	scratch.Release()
+	return exact, nil
+}
+
+// MarshalAppend encodes v, appending to dst, and returns the extended
+// slice (like append, dst may be reallocated). This is the zero-extra-copy
+// encode path: callers owning a pooled wire.Buf pass buf.B and store the
+// result back, so repeated encodes reuse one buffer.
+func MarshalAppend(dst []byte, v any) ([]byte, error) {
+	ar := getArchive()
+	ar.Saving = true
+	ar.buf = dst
+	err := ar.value(reflect.ValueOf(v))
+	out := ar.buf
+	putArchive(ar)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Unmarshal decodes data into the value pointed to by ptr. ptr must be a
 // non-nil pointer. Unmarshal returns ErrCorrupt if data is truncated or has
-// trailing garbage.
+// trailing garbage. Decoded byte slices are copies: the result does not
+// alias data.
 func Unmarshal(data []byte, ptr any) error {
+	return unmarshal(data, ptr, false)
+}
+
+// UnmarshalBorrow decodes like Unmarshal, but every []byte field in the
+// result is a borrowed view into data instead of a copy — the zero-copy
+// decode mode. The caller must ensure data outlives every such view and is
+// not recycled (wire.Buf.Release) or mutated while views are live; see
+// DESIGN.md §12 for the ownership rules. Strings and all other field kinds
+// are still copies, so only []byte fields pin data.
+func UnmarshalBorrow(data []byte, ptr any) error {
+	return unmarshal(data, ptr, true)
+}
+
+func unmarshal(data []byte, ptr any, borrow bool) error {
 	rv := reflect.ValueOf(ptr)
 	if rv.Kind() != reflect.Pointer || rv.IsNil() {
 		return fmt.Errorf("serde: Unmarshal target must be a non-nil pointer, got %T", ptr)
 	}
-	ar := &Archive{buf: data}
-	if err := ar.value(rv.Elem()); err != nil {
+	ar := getArchive()
+	ar.buf = data
+	ar.borrow = borrow
+	err := ar.value(rv.Elem())
+	off := ar.off
+	putArchive(ar)
+	if err != nil {
 		return err
 	}
-	if ar.off != len(data) {
-		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-ar.off)
+	if off != len(data) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
 	}
 	return nil
 }
@@ -69,11 +130,14 @@ type Archive struct {
 	// Saving is true while encoding, false while decoding.
 	Saving bool
 
-	buf []byte // output when saving, input when loading
-	off int    // read offset when loading
+	buf    []byte // output when saving, input when loading
+	off    int    // read offset when loading
+	borrow bool   // loading only: []byte fields alias buf instead of copying
 }
 
 // Bytes serializes a byte slice (fast path, no per-element reflection).
+// When decoding under UnmarshalBorrow, *p is set to a view into the input
+// rather than a copy — this applies inside Custom.Serialize too.
 func (ar *Archive) Bytes(p *[]byte) error {
 	if ar.Saving {
 		ar.putUvarint(uint64(len(*p)))
@@ -87,7 +151,11 @@ func (ar *Archive) Bytes(p *[]byte) error {
 	if uint64(len(ar.buf)-ar.off) < n {
 		return fmt.Errorf("%w: byte slice of %d exceeds input", ErrCorrupt, n)
 	}
-	*p = append((*p)[:0], ar.buf[ar.off:ar.off+int(n)]...)
+	if ar.borrow {
+		*p = ar.buf[ar.off : ar.off+int(n) : ar.off+int(n)]
+	} else {
+		*p = append((*p)[:0], ar.buf[ar.off:ar.off+int(n)]...)
+	}
 	ar.off += int(n)
 	return nil
 }
@@ -436,8 +504,22 @@ func (ar *Archive) pointerValue(v reflect.Value) error {
 	}
 }
 
-func (ar *Archive) structValue(v reflect.Value) error {
-	t := v.Type()
+// structPlan caches, per struct type, the indexes of the fields the archive
+// walks (exported, not tagged `serde:"-"`). Reflection inspects each type
+// once; every later encode/decode of that type skips the NumField walk, the
+// exported check and the tag lookup.
+type structPlan struct {
+	fields []int
+	names  []string // for error messages, parallel to fields
+}
+
+var structPlans sync.Map // reflect.Type -> *structPlan
+
+func planFor(t reflect.Type) *structPlan {
+	if p, ok := structPlans.Load(t); ok {
+		return p.(*structPlan)
+	}
+	p := &structPlan{}
 	for i := 0; i < t.NumField(); i++ {
 		f := t.Field(i)
 		if !f.IsExported() {
@@ -446,8 +528,19 @@ func (ar *Archive) structValue(v reflect.Value) error {
 		if f.Tag.Get("serde") == "-" {
 			continue
 		}
-		if err := ar.value(v.Field(i)); err != nil {
-			return fmt.Errorf("field %s.%s: %w", t.Name(), f.Name, err)
+		p.fields = append(p.fields, i)
+		p.names = append(p.names, f.Name)
+	}
+	actual, _ := structPlans.LoadOrStore(t, p)
+	return actual.(*structPlan)
+}
+
+func (ar *Archive) structValue(v reflect.Value) error {
+	t := v.Type()
+	plan := planFor(t)
+	for i, fi := range plan.fields {
+		if err := ar.value(v.Field(fi)); err != nil {
+			return fmt.Errorf("field %s.%s: %w", t.Name(), plan.names[i], err)
 		}
 	}
 	return nil

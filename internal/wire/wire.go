@@ -1,0 +1,167 @@
+// Package wire is the buffer-lifecycle layer of the data path: pooled byte
+// buffers for encoding RPC payloads and transport frames, and append-only
+// segment arenas for packing many small byte strings contiguously.
+//
+// HEPnOS's performance rests on a lean wire path — Boost-serialized products
+// move through Mercury with RDMA exposing user buffers directly (§II-A,
+// §III of the paper), so the C++ stack does essentially zero transient
+// allocation per operation. Go cannot expose user memory to a NIC, but it
+// can stop re-allocating and re-copying at every tier. This package is the
+// shared discipline: serde encodes into pooled buffers (MarshalAppend), the
+// fabric builds frames in them and delivers received payloads as borrowed
+// views into them, and core packs write batches into Segment arenas.
+//
+// # Ownership rules
+//
+// Release returns a Buf's memory to its size-class pool for reuse. The
+// rules (documented in DESIGN.md §12) are:
+//
+//   - Whoever acquires a Buf owns it and is responsible for its Release,
+//     unless ownership is explicitly handed off (e.g. a transport handing a
+//     received frame to the reply waiter along with its release func).
+//   - Release is an optimization, not a requirement: an unreleased Buf is
+//     simply reclaimed by the GC and the pool misses a reuse. It is always
+//     safe to *not* release.
+//   - After Release, neither the Buf nor ANY view (sub-slice) of its bytes
+//     may be touched. A borrowed decode (serde.UnmarshalBorrow) or a
+//     borrowed frame payload pins the whole buffer: release only after the
+//     last view is dead, or never release and let the GC own it.
+//   - A Buf must be released at most once.
+package wire
+
+import "sync"
+
+// classSizes are the pooled buffer capacities. Acquire rounds up to the
+// smallest class that fits; requests beyond the largest class get a plain
+// GC-owned allocation (not pooled — rare, huge buffers would pin memory).
+var classSizes = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+var pools [len(classSizes)]sync.Pool
+
+// Buf is a pooled byte buffer. B has length zero (or whatever the owner set
+// it to) and at least the capacity requested from Acquire; append into it
+// and, when the bytes are dead, call Release.
+type Buf struct {
+	B []byte
+
+	released bool
+}
+
+// Acquire returns a buffer with len(B) == 0 and cap(B) >= n from the
+// size-class pools.
+func Acquire(n int) *Buf {
+	for i, size := range classSizes {
+		if n <= size {
+			if b, _ := pools[i].Get().(*Buf); b != nil {
+				b.B = b.B[:0]
+				b.released = false
+				return b
+			}
+			return &Buf{B: make([]byte, 0, size)}
+		}
+	}
+	return &Buf{B: make([]byte, 0, n)}
+}
+
+// Release returns the buffer to its size-class pool. The buffer — and every
+// view into its bytes — must not be used afterwards. Safe on nil. Releasing
+// twice panics: a double release would hand the same memory to two owners.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	if b.released {
+		panic("wire: Buf released twice")
+	}
+	b.released = true
+	// Appends may have grown B past its original class; re-class by the
+	// current capacity so the pool invariant (everything in class i has
+	// cap >= classSizes[i]) holds. Buffers smaller than the smallest class
+	// or larger than the largest are dropped for the GC.
+	c := cap(b.B)
+	for i := len(classSizes) - 1; i >= 0; i-- {
+		if c >= classSizes[i] {
+			if c <= classSizes[len(classSizes)-1] {
+				pools[i].Put(b)
+			}
+			return
+		}
+	}
+}
+
+// segChunkSize is the default Segment chunk; values larger than this get a
+// dedicated right-sized chunk.
+const segChunkSize = 64 << 10
+
+// Segment is an append-only arena packing many small byte strings into a
+// few contiguous pooled chunks — the paper's write-batch packing (§II-C):
+// instead of one allocation per key and per serialized product, a flush's
+// worth of updates shares chunk-sized buffers that are recycled after the
+// flush lands.
+//
+// Views returned by Alloc and Append stay valid until Release: growth adds
+// chunks, it never moves existing ones. The zero value is ready to use.
+// A Segment is not safe for concurrent use; callers lock around it.
+type Segment struct {
+	chunks []*Buf
+}
+
+// Alloc reserves n contiguous bytes in the arena and returns the view; the
+// caller fills it. The view remains valid (and stable) until Release.
+func (s *Segment) Alloc(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	var cur *Buf
+	if len(s.chunks) > 0 {
+		cur = s.chunks[len(s.chunks)-1]
+	}
+	if cur == nil || cap(cur.B)-len(cur.B) < n {
+		size := segChunkSize
+		if n > size {
+			size = n
+		}
+		cur = Acquire(size)
+		s.chunks = append(s.chunks, cur)
+	}
+	off := len(cur.B)
+	cur.B = cur.B[:off+n]
+	return cur.B[off : off+n : off+n]
+}
+
+// Append copies parts contiguously into the arena and returns the combined
+// stable view.
+func (s *Segment) Append(parts ...[]byte) []byte {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := s.Alloc(n)
+	off := 0
+	for _, p := range parts {
+		off += copy(out[off:], p)
+	}
+	return out
+}
+
+// Len returns the total bytes packed so far.
+func (s *Segment) Len() int {
+	n := 0
+	for _, c := range s.chunks {
+		n += len(c.B)
+	}
+	return n
+}
+
+// Release returns every chunk to the pools and resets the segment for
+// reuse. All views handed out by Alloc/Append die with it.
+func (s *Segment) Release() {
+	for i, c := range s.chunks {
+		c.Release()
+		s.chunks[i] = nil
+	}
+	s.chunks = s.chunks[:0]
+}

@@ -1,0 +1,122 @@
+package yokan
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// Pre-refactor baselines, measured on this test's exact workload (64 pairs,
+// 8-byte keys, 100-byte values, single provider) immediately before the
+// pooled wire-path refactor: per-call serde.Marshal buffers, frame copies
+// on both TCP sides, per-value clones in GetMulti decode.
+const (
+	baselineInprocPutMulti = 295
+	baselineInprocGetMulti = 247
+	baselineTCPPutMulti    = 306
+	baselineTCPGetMulti    = 258
+)
+
+// Locked budgets: measured post-refactor values (150/103 inproc, 159/116
+// tcp) plus headroom. All sit far below the acceptance gate of a ≥40%
+// reduction, which is asserted explicitly against the baselines above.
+const (
+	budgetInprocPutMulti = 180
+	budgetInprocGetMulti = 130
+	budgetTCPPutMulti    = 195
+	budgetTCPGetMulti    = 145
+)
+
+func measurePutGet(t *testing.T, scheme string) (putAllocs, getAllocs float64) {
+	t.Helper()
+	cli, db, _ := newService(t, scheme, []DBConfig{{Name: "events"}})
+	ctx := context.Background()
+	const n = 64
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+		vals[i] = make([]byte, 100)
+	}
+	putAllocs = testing.AllocsPerRun(50, func() {
+		if err := cli.PutMulti(ctx, db, keys, vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	getAllocs = testing.AllocsPerRun(50, func() {
+		if _, _, err := cli.GetMulti(ctx, db, keys, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return putAllocs, getAllocs
+}
+
+func checkBudget(t *testing.T, name string, got float64, budget, baseline int) {
+	t.Helper()
+	t.Logf("%s: %.1f allocs/op (budget %d, pre-refactor baseline %d)", name, got, budget, baseline)
+	if got > float64(budget) {
+		t.Errorf("%s allocs/op = %.1f exceeds locked budget %d", name, got, budget)
+	}
+	if limit := 0.6 * float64(baseline); got > limit {
+		t.Errorf("%s allocs/op = %.1f is not a >=40%% reduction from baseline %d (limit %.1f)",
+			name, got, baseline, limit)
+	}
+}
+
+// TestAllocBudgetYokan gates the tentpole's headline claim: the pooled
+// wire path cuts allocations on the PutMulti/GetMulti round-trip by at
+// least 40% versus the pre-refactor path, on both transports.
+func TestAllocBudgetYokan(t *testing.T) {
+	if testing.Short() {
+		// Keep it in short mode too — it is fast; just note the intent.
+		t.Log("alloc budgets run in short mode: they are the regression gate")
+	}
+	put, get := measurePutGet(t, "inproc")
+	checkBudget(t, "inproc PutMulti(64x100B)", put, budgetInprocPutMulti, baselineInprocPutMulti)
+	checkBudget(t, "inproc GetMulti(64)", get, budgetInprocGetMulti, baselineInprocGetMulti)
+	rt := put + get
+	if limit := 0.6 * float64(baselineInprocPutMulti+baselineInprocGetMulti); rt > limit {
+		t.Errorf("inproc round-trip = %.1f allocs/op, needs >=40%% reduction (limit %.1f)", rt, limit)
+	}
+
+	putT, getT := measurePutGet(t, "tcp")
+	checkBudget(t, "tcp PutMulti(64x100B)", putT, budgetTCPPutMulti, baselineTCPPutMulti)
+	checkBudget(t, "tcp GetMulti(64)", getT, budgetTCPGetMulti, baselineTCPGetMulti)
+	rtT := putT + getT
+	if limit := 0.6 * float64(baselineTCPPutMulti+baselineTCPGetMulti); rtT > limit {
+		t.Errorf("tcp round-trip = %.1f allocs/op, needs >=40%% reduction (limit %.1f)", rtT, limit)
+	}
+}
+
+// TestGetMultiBorrowedValuesStable pins the client-side borrow contract:
+// GetMulti's returned values are views into one response buffer that stays
+// valid (GC-owned, never recycled) across later operations on the same
+// client and database.
+func TestGetMultiBorrowedValuesStable(t *testing.T) {
+	cli, db, _ := newService(t, "tcp", []DBConfig{{Name: "events"}})
+	ctx := context.Background()
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	vals := [][]byte{[]byte("val-a"), []byte("val-b"), []byte("val-c")}
+	if err := cli.PutMulti(ctx, db, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := cli.GetMulti(ctx, db, keys, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the wire path so any erroneous recycling of the response
+	// frame would overwrite the borrowed views.
+	for i := 0; i < 100; i++ {
+		if _, _, err := cli.GetMulti(ctx, db, keys, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range keys {
+		if !found[i] {
+			t.Fatalf("key %q not found", keys[i])
+		}
+		if string(got[i]) != string(vals[i]) {
+			t.Fatalf("borrowed value %d corrupted after traffic: %q, want %q", i, got[i], vals[i])
+		}
+	}
+}

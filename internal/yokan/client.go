@@ -10,6 +10,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 )
 
 // DefaultEagerLimit is the payload size above which batch operations switch
@@ -96,19 +97,71 @@ func (c *Client) call(ctx context.Context, db DBHandle, rpc string, payload []by
 	})
 }
 
+// callBorrow is call with explicit response-buffer ownership (see
+// fabric.Endpoint.CallBorrow): the response may be a borrowed view into a
+// pooled transport buffer and done, when non-nil, recycles it.
+func (c *Client) callBorrow(ctx context.Context, db DBHandle, rpc string, payload []byte) ([]byte, func(), error) {
+	var done func()
+	out, err := resilience.Do(ctx, c.policy(), string(db.Addr), func(ctx context.Context) ([]byte, error) {
+		r, d, err := c.mi.ForwardBorrow(ctx, db.Addr, ServiceName, db.Provider, rpc, payload)
+		done = d
+		return r, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, done, nil
+}
+
+// forward runs one request/response RPC on the pooled wire path: the
+// request is encoded into a pooled buffer (recycled when the call returns,
+// since the fabric never retains payloads), and the response — decoded
+// with copying Unmarshal, so nothing aliases it — is released back to the
+// transport's pool before returning.
 func (c *Client) forward(ctx context.Context, db DBHandle, rpc string, req any, resp any) error {
-	payload, err := serde.Marshal(req)
+	buf := wire.Acquire(256)
+	defer buf.Release()
+	payload, err := serde.MarshalAppend(buf.B, req)
 	if err != nil {
 		return fmt.Errorf("yokan: encode %s: %w", rpc, err)
 	}
-	out, err := c.call(ctx, db, rpc, payload)
+	buf.B = payload
+	out, done, err := c.callBorrow(ctx, db, rpc, payload)
 	if err != nil {
 		return err
 	}
 	if resp == nil {
+		if done != nil {
+			done()
+		}
 		return nil
 	}
-	if err := serde.Unmarshal(out, resp); err != nil {
+	derr := serde.Unmarshal(out, resp)
+	if done != nil {
+		done()
+	}
+	if derr != nil {
+		return fmt.Errorf("yokan: decode %s response: %w", rpc, derr)
+	}
+	return nil
+}
+
+// forwardBorrow is forward with a zero-copy response decode: []byte fields
+// of resp become views into the response buffer, which is deliberately left
+// GC-owned (never recycled) because those views escape to the caller.
+func (c *Client) forwardBorrow(ctx context.Context, db DBHandle, rpc string, req any, resp any) error {
+	buf := wire.Acquire(256)
+	defer buf.Release()
+	payload, err := serde.MarshalAppend(buf.B, req)
+	if err != nil {
+		return fmt.Errorf("yokan: encode %s: %w", rpc, err)
+	}
+	buf.B = payload
+	out, err := c.call(ctx, db, rpc, payload)
+	if err != nil {
+		return err
+	}
+	if err := serde.UnmarshalBorrow(out, resp); err != nil {
 		return fmt.Errorf("yokan: decode %s response: %w", rpc, err)
 	}
 	return nil
@@ -129,16 +182,26 @@ func (c *Client) PutMulti(ctx context.Context, db DBHandle, keys, vals [][]byte)
 		return nil
 	}
 	req := putMultiReq{DB: db.Name, Keys: keys, Vals: vals}
-	payload, err := serde.Marshal(req)
+	buf := wire.Acquire(c.EagerLimit)
+	defer buf.Release()
+	payload, err := serde.MarshalAppend(buf.B, req)
 	if err != nil {
 		return fmt.Errorf("yokan: encode put_multi: %w", err)
 	}
+	buf.B = payload
 	if len(payload) <= c.EagerLimit {
-		_, err := c.call(ctx, db, "put_multi", payload)
+		_, done, err := c.callBorrow(ctx, db, "put_multi", payload)
+		if done != nil {
+			done()
+		}
 		return err
 	}
-	// Bulk path: expose the encoded batch, send only the handle.
-	h := c.mi.Endpoint().ExposeBulk(payload)
+	// Bulk path: the exposed region must be GC-owned, not pooled — if the
+	// RPC fails mid-pull (cancellation, injected drop), the server's pull
+	// handler can still be streaming from the region after we return, so
+	// recycling the encode buffer here would corrupt a live transfer.
+	exposed := append([]byte(nil), payload...)
+	h := c.mi.Endpoint().ExposeBulk(exposed)
 	defer c.mi.Endpoint().FreeBulk(h)
 	breq, err := serde.Marshal(putMultiBulkReq{Handle: h.Encode(nil)})
 	if err != nil {
@@ -179,8 +242,11 @@ func (c *Client) GetMulti(ctx context.Context, db DBHandle, keys [][]byte, bulk 
 	}
 	req := getMultiReq{DB: db.Name, Keys: keys, Bulk: bulk}
 	if !bulk {
+		// Borrowed decode: every returned value is a view into the one
+		// response buffer instead of a per-value clone — the response
+		// stays GC-owned for as long as the caller holds any value.
 		var resp getMultiResp
-		if err := c.forward(ctx, db, "get_multi", req, &resp); err != nil {
+		if err := c.forwardBorrow(ctx, db, "get_multi", req, &resp); err != nil {
 			return nil, nil, err
 		}
 		return resp.Vals, resp.Found, nil
@@ -197,13 +263,18 @@ func (c *Client) GetMulti(ctx context.Context, db DBHandle, keys [][]byte, bulk 
 	if err != nil {
 		return nil, nil, err
 	}
-	// Release the server-side region regardless of decode success.
-	freq, _ := serde.Marshal(bulkFreeReq{Handle: bresp.Handle})
-	if _, ferr := c.call(ctx, db, "bulk_free", freq); ferr != nil && err == nil {
+	// Release the server-side region regardless of decode success. A
+	// failure here must be visible — a swallowed error would silently leak
+	// the exposed region on the server.
+	freq, merr := serde.Marshal(bulkFreeReq{Handle: bresp.Handle})
+	if merr != nil {
+		err = fmt.Errorf("yokan: encode bulk_free: %w", merr)
+	} else if _, ferr := c.call(ctx, db, "bulk_free", freq); ferr != nil {
 		err = ferr
 	}
+	// The pulled data is GC-owned, so the borrowed views alias it safely.
 	var resp getMultiResp
-	if derr := serde.Unmarshal(data, &resp); derr != nil {
+	if derr := serde.UnmarshalBorrow(data, &resp); derr != nil {
 		return nil, nil, fmt.Errorf("yokan: decode bulk get_multi: %w", derr)
 	}
 	return resp.Vals, resp.Found, err

@@ -230,8 +230,16 @@ func (p *Provider) lookup(name string) (Backend, error) {
 	return b, nil
 }
 
+// decodeReq decodes a request with zero-copy semantics: []byte fields of
+// req (keys, values, bulk handles) are borrowed views into payload, which
+// on the TCP transport is a pooled frame recycled right after the handler
+// returns. This is safe because handlers only use those views within the
+// request's lifetime: every backend clones keys and values it stores
+// (Put/GetOrPut), and lookups (Get/Exists/Erase/List) read keys
+// transiently. A handler must never let a request view escape into its
+// response or into retained state.
 func decodeReq[T any](payload []byte, req *T) error {
-	if err := serde.Unmarshal(payload, req); err != nil {
+	if err := serde.UnmarshalBorrow(payload, req); err != nil {
 		return fmt.Errorf("yokan: bad request: %w", err)
 	}
 	return nil
