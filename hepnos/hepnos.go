@@ -23,10 +23,13 @@
 package hepnos
 
 import (
+	"time"
+
 	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
 	"github.com/hep-on-hpc/hepnos-go/internal/core"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/health"
 	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
@@ -196,15 +199,22 @@ func ClientConfigFrom(cpc ClientProcessConfig) (ClientConfig, error) {
 	if err != nil {
 		return ClientConfig{}, err
 	}
-	return ClientConfig{
-		Group:      group,
-		Address:    fabric.Address(cpc.Address),
-		EagerLimit: cpc.EagerLimit,
-		Placement:  Placement(cpc.Placement),
-		Resilience: cpc.Resilience.Policy(),
-		Async:      cpc.Async,
-		Tracer:     cpc.Obs.NewTracer(),
-	}, nil
+	cfg := ClientConfig{
+		Group:         group,
+		Address:       fabric.Address(cpc.Address),
+		EagerLimit:    cpc.EagerLimit,
+		Placement:     Placement(cpc.Placement),
+		Resilience:    cpc.Resilience.Policy(),
+		Async:         cpc.Async,
+		Tracer:        cpc.Obs.NewTracer(),
+		MinGroupEpoch: cpc.MinGroupEpoch,
+	}
+	if hc := cpc.Health; hc != nil {
+		cfg.DisableHeartbeat = hc.Disabled
+		cfg.HeartbeatInterval = time.Duration(hc.ProbeIntervalMS) * time.Millisecond
+		cfg.Health = HealthThresholds{SuspectAfter: hc.SuspectAfter, DeadAfter: hc.DeadAfter}
+	}
+	return cfg, nil
 }
 
 // SelectorFor builds a ProductSelector from a label and an example value.
@@ -214,6 +224,39 @@ var SelectorFor = core.SelectorFor
 // database sets differ — the storage-rescaling extension the paper cites
 // as future work (§V, Pufferscale). Requires write quiescence.
 var Rescale = core.Rescale
+
+// Replication and failover types (surviving server death): with a
+// replication factor ≥ 2 — set at deployment via DeploySpec.RF or per
+// client via ClientConfig.RF — every key is written to copies on distinct
+// servers, reads route around unhealthy primaries via the client's health
+// tracker (DataStore.Health), and DataStore.ResyncServer replays missed
+// writes onto a restarted server from the surviving replicas.
+type (
+	// ResyncStats reports an anti-entropy pass, per role.
+	ResyncStats = core.ResyncStats
+	// HealthTracker is the client's per-server liveness state machine.
+	HealthTracker = health.Tracker
+	// HealthState is one liveness state (alive/suspect/dead/rejoined).
+	HealthState = health.State
+	// HealthStatus is one server's externally visible health.
+	HealthStatus = health.TargetStatus
+	// HealthThresholds tunes the failure detector (ClientConfig.Health).
+	HealthThresholds = health.Config
+	// HealthReport is the admin health RPC's response (ScrapeHealth).
+	HealthReport = bedrock.HealthReport
+)
+
+// Liveness states of the health state machine.
+const (
+	HealthAlive    = health.Alive
+	HealthSuspect  = health.Suspect
+	HealthDead     = health.Dead
+	HealthRejoined = health.Rejoined
+)
+
+// ScrapeHealth fetches a server's membership epoch and, when a health view
+// is attached, its liveness snapshot — the operator's failover dashboard.
+var ScrapeHealth = bedrock.ScrapeHealth
 
 // Deploy boots a full service in this process (servers as goroutines).
 var Deploy = bedrock.Deploy

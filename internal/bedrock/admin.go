@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/health"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 )
@@ -21,8 +22,18 @@ const (
 	adminMetricsJSONRPC  = "metrics_json"
 	adminMetricsPromRPC  = "metrics_prom"
 	adminSpansRPC        = "spans"
+	adminHealthRPC       = "health"
 	adminShutdownTimeout = "bye"
 )
+
+// HealthReport is the admin health RPC's payload: which membership epoch
+// the server believes it is part of, plus the liveness view attached to the
+// process (empty when no tracker is wired in).
+type HealthReport struct {
+	Address string                `json:"address"`
+	Epoch   uint64                `json:"epoch"`
+	Targets []health.TargetStatus `json:"targets,omitempty"`
+}
 
 // registerAdmin installs the admin RPCs on a booted server.
 func (s *Server) registerAdmin() error {
@@ -50,6 +61,13 @@ func (s *Server) registerAdmin() error {
 		},
 		adminSpansRPC: func(context.Context, *fabric.Request) ([]byte, error) {
 			return json.Marshal(s.tracer.Snapshot())
+		},
+		adminHealthRPC: func(context.Context, *fabric.Request) ([]byte, error) {
+			rep := HealthReport{Address: string(s.mi.Addr()), Epoch: s.Epoch()}
+			if fn, ok := s.healthView.Load().(func() []health.TargetStatus); ok && fn != nil {
+				rep.Targets = fn()
+			}
+			return json.Marshal(rep)
 		},
 	}
 	_, err := s.mi.RegisterProvider(adminService, adminProviderID, nil, handlers)

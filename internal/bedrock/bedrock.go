@@ -13,10 +13,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/argo"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/health"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
@@ -173,6 +175,26 @@ type Server struct {
 	tracer     *obs.Tracer
 	shutdownCh chan struct{}
 	janitorCh  chan struct{}
+
+	// epoch is the membership-view version the server believes it belongs
+	// to (set by Deployment, reported by the admin health RPC).
+	epoch atomic.Uint64
+	// healthView, when attached, supplies the liveness snapshot the admin
+	// health RPC publishes (see AttachHealthView).
+	healthView atomic.Value // func() []health.TargetStatus
+}
+
+// setEpoch records the membership epoch the server is part of.
+func (s *Server) setEpoch(e uint64) { s.epoch.Store(e) }
+
+// Epoch reports the membership epoch last pushed to the server.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// AttachHealthView wires a liveness snapshot source (typically a
+// health.Tracker's Snapshot method) into the server's admin health RPC, so
+// operators can scrape the fault-domain view a process has built.
+func (s *Server) AttachHealthView(snapshot func() []health.TargetStatus) {
+	s.healthView.Store(snapshot)
 }
 
 // Boot starts a server from the configuration.

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/health"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
@@ -338,5 +339,116 @@ func TestPinProvidersMapsPoolsOneToOne(t *testing.T) {
 	}
 	if got := rt.Pool("pool_0").Stats().Popped; got != 0 {
 		t.Fatalf("pool_0 ran %d tasks, want 0", got)
+	}
+}
+
+func TestDeployEpochAndRF(t *testing.T) {
+	d, err := Deploy(DeploySpec{
+		Servers: 2, ProvidersPerServer: 2,
+		EventDBsPerServer: 2, ProductDBsPerServer: 2,
+		RF:         2,
+		NamePrefix: uniq("epoch"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	if d.Group.Epoch != 1 {
+		t.Fatalf("fresh deploy epoch = %d, want 1", d.Group.Epoch)
+	}
+	if d.Group.RF != 2 || d.Group.ReplicationFactor() != 2 {
+		t.Fatalf("group RF = %d", d.Group.RF)
+	}
+	for i, s := range d.Servers {
+		if s.Epoch() != 1 {
+			t.Fatalf("server %d epoch = %d, want 1", i, s.Epoch())
+		}
+	}
+	// Bumps are monotone and propagate to every server.
+	if got := d.BumpEpoch(); got != 2 {
+		t.Fatalf("BumpEpoch = %d, want 2", got)
+	}
+	for i, s := range d.Servers {
+		if s.Epoch() != 2 {
+			t.Fatalf("server %d epoch after bump = %d, want 2", i, s.Epoch())
+		}
+	}
+	// A pre-replication group file reads back as RF=1, epoch 0.
+	var legacy GroupFile
+	if legacy.ReplicationFactor() != 1 {
+		t.Fatalf("legacy RF = %d, want 1", legacy.ReplicationFactor())
+	}
+	// RF larger than the server count is rejected.
+	if _, err := Deploy(DeploySpec{Servers: 1, RF: 2, NamePrefix: uniq("epoch-bad")}); err == nil {
+		t.Fatal("RF > Servers should fail deploy")
+	}
+}
+
+func TestGroupFileEpochRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "group.json")
+	g := GroupFile{
+		Protocol: "inproc",
+		Servers:  []ServerDescriptor{{Address: "inproc://a"}},
+		Epoch:    7,
+		RF:       2,
+	}
+	if err := WriteGroupFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGroupFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 7 || got.RF != 2 {
+		t.Fatalf("round trip epoch/rf = %d/%d", got.Epoch, got.RF)
+	}
+}
+
+func TestScrapeHealth(t *testing.T) {
+	d, err := Deploy(DeploySpec{
+		Servers: 1, ProvidersPerServer: 2,
+		EventDBsPerServer: 2, ProductDBsPerServer: 2,
+		NamePrefix: uniq("health"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	cli, err := margo.Init(margo.Config{Address: fabric.Address("inproc://" + uniq("health-cli"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Finalize()
+	ctx := context.Background()
+	addr := d.Servers[0].Addr()
+
+	rep, err := ScrapeHealth(ctx, cli, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 1 || rep.Address != string(addr) {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Targets) != 0 {
+		t.Fatalf("no tracker attached, yet targets = %v", rep.Targets)
+	}
+
+	// Attach a liveness view and scrape it back.
+	tr := health.NewTracker(health.Config{})
+	tr.Watch("inproc://peer-a")
+	tr.ReportFailure("inproc://peer-b")
+	d.Servers[0].AttachHealthView(tr.Snapshot)
+	rep, err = ScrapeHealth(ctx, cli, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("targets = %+v", rep.Targets)
+	}
+	if rep.Targets[0].Target != "inproc://peer-a" || rep.Targets[0].State != "alive" {
+		t.Fatalf("targets[0] = %+v", rep.Targets[0])
+	}
+	if rep.Targets[1].Target != "inproc://peer-b" || rep.Targets[1].State != "suspect" {
+		t.Fatalf("targets[1] = %+v", rep.Targets[1])
 	}
 }

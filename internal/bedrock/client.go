@@ -42,6 +42,26 @@ type ClientProcessConfig struct {
 	// Obs tunes the client's observability layer; nil keeps the defaults
 	// (tracing on, default span buffer).
 	Obs *ObsConfig `json:"obs,omitempty"`
+	// MinGroupEpoch rejects group files older than this membership epoch —
+	// the guard against connecting through a stale view after a rescale or
+	// rejoin changed the deployment.
+	MinGroupEpoch uint64 `json:"min_group_epoch,omitempty"`
+	// Health tunes the client's failure detector; nil keeps the defaults
+	// (heartbeats on when RF > 1).
+	Health *HealthConfig `json:"health,omitempty"`
+}
+
+// HealthConfig is the JSON form of the client failure-detector knobs.
+type HealthConfig struct {
+	// Disabled turns the heartbeat prober off (health then learns about
+	// dead servers only from circuit-breaker trips).
+	Disabled bool `json:"disabled,omitempty"`
+	// ProbeIntervalMS is the heartbeat period in milliseconds (default 500).
+	ProbeIntervalMS int `json:"probe_interval_ms,omitempty"`
+	// SuspectAfter / DeadAfter are the consecutive-failure thresholds of
+	// the health state machine (defaults 1 and 3).
+	SuspectAfter int `json:"suspect_after,omitempty"`
+	DeadAfter    int `json:"dead_after,omitempty"`
 }
 
 // ParseClientConfig decodes a client JSON document, rejecting unknown

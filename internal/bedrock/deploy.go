@@ -34,6 +34,23 @@ type ServerDescriptor struct {
 type GroupFile struct {
 	Protocol string             `json:"protocol"`
 	Servers  []ServerDescriptor `json:"servers"`
+	// Epoch is a monotonically increasing membership-view version. It is
+	// bumped whenever the deployment changes shape (deploy, rescale, a
+	// server rejoining after death), letting clients detect and reject a
+	// stale group file instead of silently connecting to an old view.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// RF is the replication factor: every event/product key is written to
+	// its primary database plus RF-1 replicas on distinct servers. 0 or 1
+	// means no replication (pre-replication group files read as RF=1).
+	RF int `json:"rf,omitempty"`
+}
+
+// ReplicationFactor returns the group's effective RF (at least 1).
+func (g GroupFile) ReplicationFactor() int {
+	if g.RF < 1 {
+		return 1
+	}
+	return g.RF
 }
 
 // WriteGroupFile serializes the group to a JSON file.
@@ -87,6 +104,9 @@ type DeploySpec struct {
 	PathBase string
 	// RPCXStreams per server (paper: 16; default: ProvidersPerServer).
 	RPCXStreams int
+	// RF is the replication factor recorded in the group file (see
+	// GroupFile.RF). Default 1: no replication. RF > Servers is an error.
+	RF int
 	// PinProviders gives every provider its own Argobots pool and
 	// execution stream, the paper's §IV-D mapping ("each mapped to its
 	// execution stream to avoid competing for access by multiple
@@ -113,7 +133,14 @@ func (s *DeploySpec) applyDefaults() {
 		s.ProductDBsPerServer = 8
 	}
 	if s.DatasetDBs <= 0 {
+		// A replicated deployment needs at least RF dataset databases:
+		// they are spread round-robin over distinct servers, and with
+		// fewer than RF of them the dataset directory would keep a
+		// single point of failure no replica walk can route around.
 		s.DatasetDBs = 1
+		if s.RF > 1 {
+			s.DatasetDBs = s.RF
+		}
 	}
 	if s.RunDBs <= 0 {
 		s.RunDBs = s.Servers
@@ -152,11 +179,18 @@ func Deploy(spec DeploySpec) (*Deployment, error) {
 	if spec.Backend == "lsm" && spec.PathBase == "" {
 		return nil, fmt.Errorf("bedrock: lsm deployment needs PathBase")
 	}
+	if spec.RF > spec.Servers {
+		return nil, fmt.Errorf("bedrock: RF %d exceeds server count %d", spec.RF, spec.Servers)
+	}
 	configs, err := BuildConfigs(spec)
 	if err != nil {
 		return nil, err
 	}
-	d := &Deployment{Group: GroupFile{Protocol: spec.Scheme}}
+	rf := spec.RF
+	if rf < 1 {
+		rf = 1
+	}
+	d := &Deployment{Group: GroupFile{Protocol: spec.Scheme, Epoch: 1, RF: rf}}
 	for _, cfg := range configs {
 		srv, err := Boot(cfg)
 		if err != nil {
@@ -166,7 +200,24 @@ func Deploy(spec DeploySpec) (*Deployment, error) {
 		d.Servers = append(d.Servers, srv)
 		d.Group.Servers = append(d.Group.Servers, srv.Descriptor())
 	}
+	d.syncEpoch()
 	return d, nil
+}
+
+// BumpEpoch advances the deployment's membership epoch — called when the
+// view changes after the initial deploy (rescale, a dead server rejoining)
+// — and pushes the new value to every server so their admin health RPC
+// reports it. Returns the new epoch.
+func (d *Deployment) BumpEpoch() uint64 {
+	d.Group.Epoch++
+	d.syncEpoch()
+	return d.Group.Epoch
+}
+
+func (d *Deployment) syncEpoch() {
+	for _, s := range d.Servers {
+		s.setEpoch(d.Group.Epoch)
+	}
 }
 
 // BuildConfigs produces the per-process Bedrock configurations for a spec

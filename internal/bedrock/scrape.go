@@ -51,6 +51,20 @@ func ScrapeSpans(ctx context.Context, mi *margo.Instance, addr fabric.Address) (
 	return spans, nil
 }
 
+// ScrapeHealth fetches a server's health report: the membership epoch it
+// believes it belongs to and its attached liveness view (if any).
+func ScrapeHealth(ctx context.Context, mi *margo.Instance, addr fabric.Address) (HealthReport, error) {
+	resp, err := mi.Forward(ctx, addr, adminService, adminProviderID, adminHealthRPC, nil)
+	if err != nil {
+		return HealthReport{}, fmt.Errorf("bedrock: scrape health from %s: %w", addr, err)
+	}
+	var rep HealthReport
+	if err := json.Unmarshal(resp, &rep); err != nil {
+		return HealthReport{}, fmt.Errorf("bedrock: decode health from %s: %w", addr, err)
+	}
+	return rep, nil
+}
+
 // ScrapeSource fetches one server's metrics and spans as a report source.
 func ScrapeSource(ctx context.Context, mi *margo.Instance, addr fabric.Address) (obs.Source, error) {
 	fams, err := ScrapeMetrics(ctx, mi, addr)

@@ -116,6 +116,52 @@ func TestPartitionWindow(t *testing.T) {
 	}
 }
 
+func TestKillServerIsOneSidedAndTerminal(t *testing.T) {
+	victim := fabric.Address("inproc://victim")
+	in := New(1, &KillServer{Addr: victim, From: 2})
+	fault := in.ClientFault()
+	if err := fault(victim, "put", 1); err != nil {
+		t.Fatalf("message before From dropped: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := fault(victim, "get", 1); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("message %d to dead server: want ErrCrashed, got %v", i, err)
+		}
+		if err := fault("inproc://survivor", "get", 1); err != nil {
+			t.Fatalf("survivor %d affected by the kill: %v", i, err)
+		}
+	}
+	in.Heal()
+	if err := fault(victim, "get", 1); err != nil {
+		t.Fatalf("reboot (Heal) did not restore the server: %v", err)
+	}
+}
+
+func TestRestartServerOutageWindow(t *testing.T) {
+	victim := fabric.Address("inproc://victim")
+	in := New(1, &RestartServer{Addr: victim, From: 2, Down: 3})
+	fault := in.ClientFault()
+	var got []bool
+	for i := 0; i < 7; i++ {
+		got = append(got, fault(victim, "get", 1) != nil)
+	}
+	want := []bool{false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outage pattern %v, want %v", got, want)
+		}
+	}
+	// The outage must not leak onto other peers even mid-window.
+	in2 := New(1, &RestartServer{Addr: victim, From: 1, Down: 0})
+	fault2 := in2.ClientFault()
+	if err := fault2(victim, "get", 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Down=0 should kill until Heal, got %v", err)
+	}
+	if err := fault2("inproc://other", "get", 1); err != nil {
+		t.Fatalf("other peer caught the crash: %v", err)
+	}
+}
+
 func TestOverloadStormInjectsOverloadErrors(t *testing.T) {
 	in := New(7, &OverloadStorm{Period: 10, Len: 5, P: 1})
 	fault := in.ClientFault()

@@ -190,6 +190,56 @@ func (s *CrashAfterWrites) Decide(_ *rand.Rand, m Msg) Verdict {
 	return Verdict{}
 }
 
+// KillServer simulates the death of one server (ISSUE 5): from observation
+// From (1-based; 0 means immediately) every message to or from Addr fails
+// with ErrCrashed, permanently — the process is gone until the test reboots
+// it out of band (or calls Heal). Unlike Partition this is one-sided and
+// terminal, matching what a client of a dead daemon actually observes: the
+// rest of the deployment keeps answering while one address goes dark.
+type KillServer struct {
+	Addr fabric.Address
+	From int
+}
+
+// Name implements Scenario.
+func (s *KillServer) Name() string { return fmt.Sprintf("kill-server-%s", s.Addr) }
+
+// Decide implements Scenario.
+func (s *KillServer) Decide(_ *rand.Rand, m Msg) Verdict {
+	if m.N < s.From || m.Peer != s.Addr {
+		return Verdict{}
+	}
+	return Verdict{Drop: fmt.Errorf("%w: %s", ErrCrashed, s.Addr)}
+}
+
+// RestartServer extends KillServer with a recovery: the server at Addr is
+// dead for Down observations starting at From, then answers again — a crash
+// followed by a restart. The scenario only models reachability; the
+// restarted server's *store* is whatever the test gives it (typically an
+// empty reboot via bedrock.Boot, which is exactly the state the anti-entropy
+// pass must repair). Down <= 0 means the outage lasts until Heal.
+type RestartServer struct {
+	Addr fabric.Address
+	From int
+	Down int
+}
+
+// Name implements Scenario.
+func (s *RestartServer) Name() string {
+	return fmt.Sprintf("restart-server-%s-after-%d", s.Addr, s.Down)
+}
+
+// Decide implements Scenario.
+func (s *RestartServer) Decide(_ *rand.Rand, m Msg) Verdict {
+	if m.N < s.From || m.Peer != s.Addr {
+		return Verdict{}
+	}
+	if s.Down > 0 && m.N >= s.From+s.Down {
+		return Verdict{}
+	}
+	return Verdict{Drop: fmt.Errorf("%w: %s", ErrCrashed, s.Addr)}
+}
+
 // Compose chains scenarios: the first non-pass verdict wins, and delays
 // accumulate across members.
 type Compose struct {

@@ -103,6 +103,7 @@ type Ring struct {
 	points  []ringPoint
 	members []string
 	index   map[string]int
+	vnodes  int
 }
 
 type ringPoint struct {
@@ -124,6 +125,7 @@ func NewRing(members []string, vnodes int) (*Ring, error) {
 		members: append([]string(nil), members...),
 		index:   make(map[string]int, len(members)),
 		points:  make([]ringPoint, 0, len(members)*vnodes),
+		vnodes:  vnodes,
 	}
 	for i, m := range r.members {
 		if _, dup := r.index[m]; dup {
@@ -159,6 +161,68 @@ func (r *Ring) LookupIndex(key []byte) int {
 		i = 0
 	}
 	return r.points[i].member
+}
+
+// Successors returns up to rf distinct members encountered walking the ring
+// clockwise from the key's position. The first element is always Lookup(key);
+// the remainder are the key's natural failover targets (successor-walk
+// replica placement, as in Dynamo-style stores). If rf exceeds the member
+// count, every member is returned once.
+func (r *Ring) Successors(key []byte, rf int) []string {
+	idx := r.SuccessorIndexes(key, rf)
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]string, len(idx))
+	for i, m := range idx {
+		out[i] = r.members[m]
+	}
+	return out
+}
+
+// SuccessorIndexes is Successors returning member indices (into the
+// construction member list) instead of names.
+func (r *Ring) SuccessorIndexes(key []byte, rf int) []int {
+	if rf < 1 {
+		return nil
+	}
+	if rf > len(r.members) {
+		rf = len(r.members)
+	}
+	h := Hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, rf)
+	seen := make(map[int]bool, rf)
+	for step := 0; step < len(r.points) && len(out) < rf; step++ {
+		m := r.points[(start+step)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Remove returns a new ring without the named member. Lookups for keys not
+// owned by the removed member are unchanged (its vnode positions simply
+// disappear and its arcs fall to their successors); keys it owned move to
+// the member that Successors would have named next. Member indices in the
+// new ring follow the surviving construction order. Removing the last member
+// or an unknown member is an error.
+func (r *Ring) Remove(member string) (*Ring, error) {
+	if _, ok := r.index[member]; !ok {
+		return nil, fmt.Errorf("chash: ring has no member %q", member)
+	}
+	if len(r.members) == 1 {
+		return nil, fmt.Errorf("chash: cannot remove last ring member %q", member)
+	}
+	rest := make([]string, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != member {
+			rest = append(rest, m)
+		}
+	}
+	return NewRing(rest, r.vnodes)
 }
 
 // Members returns the ring's member names in construction order.

@@ -203,6 +203,109 @@ func TestPlacerTargets(t *testing.T) {
 	}
 }
 
+func TestRingSuccessors(t *testing.T) {
+	r, err := NewRing([]string{"s0", "s1", "s2", "s3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		succ := r.Successors(k, 2)
+		if len(succ) != 2 {
+			t.Fatalf("Successors(%s, 2) = %v", k, succ)
+		}
+		if succ[0] != r.Lookup(k) {
+			t.Fatalf("Successors[0] = %s, Lookup = %s", succ[0], r.Lookup(k))
+		}
+		if succ[0] == succ[1] {
+			t.Fatalf("Successors not distinct: %v", succ)
+		}
+	}
+	// rf beyond the member count returns each member exactly once.
+	all := r.Successors([]byte("x"), 99)
+	if len(all) != 4 {
+		t.Fatalf("Successors(rf=99) = %v", all)
+	}
+	seen := map[string]bool{}
+	for _, m := range all {
+		if seen[m] {
+			t.Fatalf("duplicate member in %v", all)
+		}
+		seen[m] = true
+	}
+	if r.Successors([]byte("x"), 0) != nil {
+		t.Fatal("rf=0 should return nil")
+	}
+	// Successor indices agree with names.
+	idx := r.SuccessorIndexes([]byte("x"), 3)
+	names := r.Successors([]byte("x"), 3)
+	for i := range idx {
+		if r.Members()[idx[i]] != names[i] {
+			t.Fatalf("index/name mismatch at %d: %v vs %v", i, idx, names)
+		}
+	}
+}
+
+func TestRingRemoveStability(t *testing.T) {
+	members := []string{"s0", "s1", "s2", "s3", "s4"}
+	r1, err := NewRing(members, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := r1.Remove("s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Members()) != 4 {
+		t.Fatalf("Members after Remove = %v", r2.Members())
+	}
+	const keys = 20000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		before, after := r1.Lookup(k), r2.Lookup(k)
+		if before == "s2" {
+			// Keys owned by the removed member must move to the member the
+			// original ring would have failed over to.
+			succ := r1.Successors(k, 2)
+			if after != succ[1] {
+				t.Fatalf("key %s moved to %s, want successor %s", k, after, succ[1])
+			}
+			moved++
+			continue
+		}
+		// Every other key must be unaffected by the removal.
+		if after != before {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys at all")
+	}
+	frac := float64(moved) / keys
+	if frac > 0.45 {
+		t.Fatalf("removal moved %.0f%% of keys, want ~20%%", frac*100)
+	}
+}
+
+func TestRingRemoveErrors(t *testing.T) {
+	r, _ := NewRing([]string{"a", "b"}, 8)
+	if _, err := r.Remove("zzz"); err == nil {
+		t.Error("removing unknown member should error")
+	}
+	r2, err := r.Remove("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Remove("b"); err == nil {
+		t.Error("removing last member should error")
+	}
+	// The source ring is untouched (immutability).
+	if len(r.Members()) != 2 {
+		t.Fatalf("Remove mutated source ring: %v", r.Members())
+	}
+}
+
 func TestPlacePanicsOnEmpty(t *testing.T) {
 	for _, f := range []func(){
 		func() { Modulo{}.Place([]byte("k")) },

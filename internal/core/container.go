@@ -52,8 +52,9 @@ func (c *container) Store(ctx context.Context, label string, value any) error {
 		return err
 	}
 	// Key and serialized value share one pooled scratch buffer; the yokan
-	// client copies both into its own request encoding, so the scratch is
-	// recycled as soon as the Put returns.
+	// client copies both into its own request encoding, and replicatedPut
+	// waits for every copy before returning, so the scratch is recycled
+	// only once no in-flight put can still read it.
 	scratch := wire.Acquire(256)
 	defer scratch.Release()
 	kb := id.AppendEncode(scratch.B)
@@ -63,8 +64,7 @@ func (c *container) Store(ctx context.Context, label string, value any) error {
 	}
 	scratch.B = buf
 	keyLen := len(kb)
-	db := c.ds.productDBForContainer(c.key)
-	return c.ds.yc.Put(ctx, db, buf[:keyLen:keyLen], buf[keyLen:])
+	return c.ds.replicatedPut(ctx, c.ds.productReplicas(c.key), buf[:keyLen:keyLen], buf[keyLen:])
 }
 
 // Load fetches the product with the given label into ptr (which determines
@@ -82,8 +82,7 @@ func (c *container) Load(ctx context.Context, label string, ptr any) error {
 			return decodeProduct(data, ptr)
 		}
 	}
-	db := c.ds.productDBForContainer(c.key)
-	data, err := c.ds.yc.Get(ctx, db, id.Encode())
+	data, err := c.ds.getFO(ctx, c.ds.productReplicas(c.key), id.Encode())
 	if errors.Is(err, yokan.ErrKeyNotFound) {
 		return fmt.Errorf("%w: %s", ErrNoSuchProduct, id)
 	}
@@ -103,8 +102,7 @@ func (c *container) HasProduct(ctx context.Context, label string, example any) (
 	if err != nil {
 		return false, err
 	}
-	db := c.ds.productDBForContainer(c.key)
-	found, err := c.ds.yc.Exists(ctx, db, [][]byte{id.Encode()})
+	found, err := c.ds.existsFO(ctx, c.ds.productReplicas(c.key), [][]byte{id.Encode()})
 	if err != nil {
 		return false, err
 	}
@@ -118,12 +116,12 @@ func (c *container) ListProducts(ctx context.Context) ([]string, error) {
 	if c.ds.closed.Load() {
 		return nil, ErrClosed
 	}
-	db := c.ds.productDBForContainer(c.key)
+	replicas := c.ds.productReplicas(c.key)
 	var out []string
 	var from []byte
 	prefix := c.key.Bytes()
 	for {
-		page, err := c.ds.yc.ListKeys(ctx, db, from, prefix, listPageSize)
+		page, err := c.ds.listKeysFO(ctx, replicas, from, prefix, listPageSize)
 		if err != nil {
 			return nil, err
 		}
@@ -172,9 +170,8 @@ func (d *DataSet) CreateRun(ctx context.Context, n uint64) (*Run, error) {
 		return nil, ErrClosed
 	}
 	runKey := d.key.Child(n)
-	db := d.ds.runDBForDataset(d.key)
 	// Container keys have no value; presence is existence (§II-C1).
-	if err := d.ds.yc.Put(ctx, db, runKey.Bytes(), nil); err != nil {
+	if err := d.ds.replicatedPut(ctx, d.ds.runReplicas(d.key), runKey.Bytes(), nil); err != nil {
 		return nil, err
 	}
 	return &Run{container: container{ds: d.ds, key: runKey}, dataset: d}, nil
@@ -186,8 +183,7 @@ func (d *DataSet) Run(ctx context.Context, n uint64) (*Run, error) {
 		return nil, ErrClosed
 	}
 	runKey := d.key.Child(n)
-	db := d.ds.runDBForDataset(d.key)
-	found, err := d.ds.yc.Exists(ctx, db, [][]byte{runKey.Bytes()})
+	found, err := d.ds.existsFO(ctx, d.ds.runReplicas(d.key), [][]byte{runKey.Bytes()})
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +196,7 @@ func (d *DataSet) Run(ctx context.Context, n uint64) (*Run, error) {
 // Runs returns the run numbers in the dataset, ascending — the iterator of
 // Listing 1's range-for over a dataset.
 func (d *DataSet) Runs(ctx context.Context) ([]uint64, error) {
-	return listChildNumbers(ctx, d.ds, d.ds.runDBForDataset(d.key), d.key)
+	return listChildNumbers(ctx, d.ds, d.ds.runReplicas(d.key), d.key)
 }
 
 // Run handles a numbered run.
@@ -221,8 +217,7 @@ func (r *Run) CreateSubRun(ctx context.Context, n uint64) (*SubRun, error) {
 		return nil, ErrClosed
 	}
 	srKey := r.key.Child(n)
-	db := r.ds.subrunDBForRun(r.key)
-	if err := r.ds.yc.Put(ctx, db, srKey.Bytes(), nil); err != nil {
+	if err := r.ds.replicatedPut(ctx, r.ds.subrunReplicas(r.key), srKey.Bytes(), nil); err != nil {
 		return nil, err
 	}
 	return &SubRun{container: container{ds: r.ds, key: srKey}, run: r}, nil
@@ -234,8 +229,7 @@ func (r *Run) SubRun(ctx context.Context, n uint64) (*SubRun, error) {
 		return nil, ErrClosed
 	}
 	srKey := r.key.Child(n)
-	db := r.ds.subrunDBForRun(r.key)
-	found, err := r.ds.yc.Exists(ctx, db, [][]byte{srKey.Bytes()})
+	found, err := r.ds.existsFO(ctx, r.ds.subrunReplicas(r.key), [][]byte{srKey.Bytes()})
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +241,7 @@ func (r *Run) SubRun(ctx context.Context, n uint64) (*SubRun, error) {
 
 // SubRuns returns the subrun numbers in the run, ascending.
 func (r *Run) SubRuns(ctx context.Context) ([]uint64, error) {
-	return listChildNumbers(ctx, r.ds, r.ds.subrunDBForRun(r.key), r.key)
+	return listChildNumbers(ctx, r.ds, r.ds.subrunReplicas(r.key), r.key)
 }
 
 // SubRun handles a numbered subrun.
@@ -268,8 +262,7 @@ func (s *SubRun) CreateEvent(ctx context.Context, n uint64) (*Event, error) {
 		return nil, ErrClosed
 	}
 	evKey := s.key.Child(n)
-	db := s.ds.eventDBForSubRun(s.key)
-	if err := s.ds.yc.Put(ctx, db, evKey.Bytes(), nil); err != nil {
+	if err := s.ds.replicatedPut(ctx, s.ds.eventReplicas(s.key), evKey.Bytes(), nil); err != nil {
 		return nil, err
 	}
 	return &Event{container: container{ds: s.ds, key: evKey}, subrun: s}, nil
@@ -281,8 +274,7 @@ func (s *SubRun) Event(ctx context.Context, n uint64) (*Event, error) {
 		return nil, ErrClosed
 	}
 	evKey := s.key.Child(n)
-	db := s.ds.eventDBForSubRun(s.key)
-	found, err := s.ds.yc.Exists(ctx, db, [][]byte{evKey.Bytes()})
+	found, err := s.ds.existsFO(ctx, s.ds.eventReplicas(s.key), [][]byte{evKey.Bytes()})
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +286,7 @@ func (s *SubRun) Event(ctx context.Context, n uint64) (*Event, error) {
 
 // Events returns the event numbers in the subrun, ascending.
 func (s *SubRun) Events(ctx context.Context) ([]uint64, error) {
-	return listChildNumbers(ctx, s.ds, s.ds.eventDBForSubRun(s.key), s.key)
+	return listChildNumbers(ctx, s.ds, s.ds.eventReplicas(s.key), s.key)
 }
 
 // Event handles a numbered event — the natural atomic unit of HEP data.
@@ -334,10 +326,11 @@ func (id EventID) String() string {
 	return fmt.Sprintf("%d/%d/%d", id.Run, id.SubRun, id.Event)
 }
 
-// listChildNumbers pages through the numbered children of parentKey in db.
+// listChildNumbers pages through the numbered children of parentKey in its
+// replica set (failing over per page when a copy's server is unhealthy).
 // Thanks to big-endian encoding and per-parent placement, the keys come
 // back sorted from a single database.
-func listChildNumbers(ctx context.Context, ds *DataStore, db yokan.DBHandle, parentKey keys.ContainerKey) ([]uint64, error) {
+func listChildNumbers(ctx context.Context, ds *DataStore, replicas []yokan.DBHandle, parentKey keys.ContainerKey) ([]uint64, error) {
 	if ds.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -345,7 +338,7 @@ func listChildNumbers(ctx context.Context, ds *DataStore, db yokan.DBHandle, par
 	prefix := parentKey.Bytes()
 	var from []byte
 	for {
-		page, err := ds.yc.ListKeys(ctx, db, from, prefix, listPageSize)
+		page, err := ds.listKeysFO(ctx, replicas, from, prefix, listPageSize)
 		if err != nil {
 			return nil, err
 		}

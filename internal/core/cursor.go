@@ -43,11 +43,13 @@ type pageData struct {
 	degraded int
 }
 
-// numberCursor pages numbered child keys out of one database.
+// numberCursor pages numbered child keys out of one replica set (the
+// placement home plus its copies; pages fail over per fetch when the
+// preferred server is unhealthy).
 type numberCursor struct {
 	ctx      context.Context
 	ds       *DataStore
-	db       yokan.DBHandle
+	replicas []yokan.DBHandle
 	parent   keys.ContainerKey
 	pageSize int
 
@@ -72,11 +74,11 @@ type numberCursor struct {
 	degraded int // total loads degraded to on-demand so far
 }
 
-func newNumberCursor(ctx context.Context, ds *DataStore, db yokan.DBHandle, parent keys.ContainerKey, pageSize int) *numberCursor {
+func newNumberCursor(ctx context.Context, ds *DataStore, replicas []yokan.DBHandle, parent keys.ContainerKey, pageSize int) *numberCursor {
 	if pageSize <= 0 {
 		pageSize = listPageSize
 	}
-	return &numberCursor{ctx: ctx, ds: ds, db: db, parent: parent, pageSize: pageSize}
+	return &numberCursor{ctx: ctx, ds: ds, replicas: replicas, parent: parent, pageSize: pageSize}
 }
 
 // fetchPage lists child keys starting after from, skipping over raw pages
@@ -90,7 +92,7 @@ func (c *numberCursor) fetchPage(ctx context.Context, from []byte) pageData {
 			pd.err = ErrClosed
 			return pd
 		}
-		raw, err := c.ds.yc.ListKeys(ctx, c.db, pd.from, c.parent.Bytes(), c.pageSize)
+		raw, err := c.ds.listKeysFO(ctx, c.replicas, pd.from, c.parent.Bytes(), c.pageSize)
 		if err != nil {
 			pd.err = err
 			return pd
@@ -190,7 +192,7 @@ type RunCursor struct {
 // size (0 uses the default).
 func (d *DataSet) RunCursor(ctx context.Context, pageSize int) *RunCursor {
 	return &RunCursor{
-		nc: newNumberCursor(ctx, d.ds, d.ds.runDBForDataset(d.key), d.key, pageSize),
+		nc: newNumberCursor(ctx, d.ds, d.ds.runReplicas(d.key), d.key, pageSize),
 		d:  d,
 	}
 }
@@ -215,7 +217,7 @@ type SubRunCursor struct {
 // SubRunCursor creates a cursor over the run's subruns.
 func (r *Run) SubRunCursor(ctx context.Context, pageSize int) *SubRunCursor {
 	return &SubRunCursor{
-		nc: newNumberCursor(ctx, r.ds, r.ds.subrunDBForRun(r.key), r.key, pageSize),
+		nc: newNumberCursor(ctx, r.ds, r.ds.subrunReplicas(r.key), r.key, pageSize),
 		r:  r,
 	}
 }
@@ -249,13 +251,18 @@ type EventCursor struct {
 // locally.
 func (s *SubRun) EventCursor(ctx context.Context, pageSize int, selectors ...ProductSelector) *EventCursor {
 	c := &EventCursor{
-		nc:       newNumberCursor(ctx, s.ds, s.ds.eventDBForSubRun(s.key), s.key, pageSize),
+		nc:       newNumberCursor(ctx, s.ds, s.ds.eventReplicas(s.key), s.key, pageSize),
 		s:        s,
 		selector: selectors,
 	}
 	if len(selectors) > 0 {
 		pf := s.ds.NewPrefetcher(selectors...)
-		c.nc.prefetch = pf.Fetch
+		// The cursor's Degraded() lumps replica-served loads in with
+		// on-demand fallbacks: both are off the fast path.
+		c.nc.prefetch = func(pctx context.Context, evKeys [][]byte) ([]pepPrefEntry, int) {
+			pref, degraded, failover := pf.Fetch(pctx, evKeys)
+			return pref, degraded + failover
+		}
 	}
 	return c
 }

@@ -20,11 +20,13 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
 	"github.com/hep-on-hpc/hepnos-go/internal/chash"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/health"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
@@ -96,6 +98,27 @@ type ClientConfig struct {
 	// PEP runs). The span context crosses the wire, so a traced client
 	// against a traced service yields linked client/server span pairs.
 	Tracer *obs.Tracer
+	// RF overrides the deployment's replication factor (0 uses the group
+	// file's; both defaulting leaves replication off). With RF ≥ 2 every
+	// key is written to its placement primary plus RF−1 successor
+	// databases on distinct servers, and reads fail over to replicas when
+	// the primary is unhealthy. All clients of one service must agree.
+	RF int
+	// Health tunes the failure-detector thresholds (zero values use the
+	// package defaults).
+	Health health.Config
+	// HeartbeatInterval is the background liveness probe period (default
+	// 500ms). Probes run only when RF ≥ 2, the async engine is enabled and
+	// DisableHeartbeat is false; circuit-breaker trips feed the tracker
+	// either way.
+	HeartbeatInterval time.Duration
+	// DisableHeartbeat turns the background prober loop off; tests drive
+	// ProbeOnce deterministically instead.
+	DisableHeartbeat bool
+	// MinGroupEpoch rejects group files whose membership epoch is older —
+	// the guard against connecting through a stale view after a rescale or
+	// rejoin changed the deployment.
+	MinGroupEpoch uint64
 }
 
 var clientSeq atomic.Int64
@@ -118,6 +141,13 @@ type DataStore struct {
 	group     bedrock.GroupFile
 	closed    atomic.Bool
 
+	// Replication and failover state (ISSUE 5): rf copies per key, a
+	// health tracker fed by the heartbeat prober and breaker trips, and
+	// the prober itself (nil when rf == 1).
+	rf     int
+	health *health.Tracker
+	prober *health.Prober
+
 	// Client-side observability: one registry covering the endpoint's
 	// breadcrumbs, the resilience policy, the async pools and the core
 	// counters below; tracer is the (optional) span recorder shared with
@@ -129,6 +159,10 @@ type DataStore struct {
 	pepBatches       atomic.Int64 // work batches processed by PEP workers
 	prefetchLoads    atomic.Int64 // product loads requested by the Prefetcher
 	prefetchDegraded atomic.Int64 // loads degraded to on-demand by failed groups
+	failoverReads    atomic.Int64 // reads served by a replica instead of the primary
+	replicaWrites    atomic.Int64 // extra copies written beyond the first per key
+	replicaDrops     atomic.Int64 // replica copies dropped because their server was down
+	resyncReplayed   atomic.Int64 // keys replayed onto rejoined servers by anti-entropy
 }
 
 // Connect discovers the service's databases and returns a ready DataStore,
@@ -136,6 +170,26 @@ type DataStore struct {
 func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 	if len(cfg.Group.Servers) == 0 {
 		return nil, fmt.Errorf("hepnos: connect: group lists no servers")
+	}
+	if cfg.Group.Epoch < cfg.MinGroupEpoch {
+		return nil, fmt.Errorf("hepnos: connect: group file epoch %d is older than required epoch %d (stale membership view)",
+			cfg.Group.Epoch, cfg.MinGroupEpoch)
+	}
+	rf := cfg.RF
+	if rf <= 0 {
+		rf = cfg.Group.ReplicationFactor()
+	}
+	if rf > len(cfg.Group.Servers) {
+		return nil, fmt.Errorf("hepnos: connect: replication factor %d exceeds %d servers", rf, len(cfg.Group.Servers))
+	}
+	// The health tracker exists before any RPC leaves the process, and the
+	// resilience policy's breaker-open hook feeds it from the data plane.
+	// The hook is captured when a target's breaker is first created, so it
+	// must be installed before any traffic. (The policy should not be
+	// shared across concurrently-connecting clients.)
+	tracker := health.NewTracker(cfg.Health)
+	if cfg.Resilience != nil && cfg.Resilience.OnBreakerOpen == nil {
+		cfg.Resilience.OnBreakerOpen = tracker.ReportBreakerOpen
 	}
 	addr := cfg.Address
 	if addr == "" {
@@ -153,7 +207,7 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 	if placement == "" {
 		placement = PlacementModulo
 	}
-	ds := &DataStore{mi: mi, yc: yokan.NewClient(mi), placement: placement, group: cfg.Group}
+	ds := &DataStore{mi: mi, yc: yokan.NewClient(mi), placement: placement, group: cfg.Group, rf: rf, health: tracker}
 	if cfg.EagerLimit > 0 {
 		ds.yc.EagerLimit = cfg.EagerLimit
 	}
@@ -245,7 +299,28 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 	if cfg.Tracer != nil {
 		obs.RegisterTracerMetrics(ds.registry, cfg.Tracer)
 	}
+	ds.health.RegisterMetrics(ds.registry)
 	ds.registerCoreMetrics()
+
+	// Heartbeat prober: a tiny control-plane ping per server on an
+	// interval, registered on the fabric endpoint directly so a saturated
+	// provider pool does not read as a dead server. The loop rides a
+	// tracked engine goroutine (shut down with the engine); with async
+	// disabled, or heartbeats off, tests drive ProbeOnce explicitly and
+	// breaker trips remain the only passive feed.
+	if rf > 1 {
+		targets := make([]string, len(cfg.Group.Servers))
+		for i, srv := range cfg.Group.Servers {
+			targets[i] = srv.Address
+		}
+		probe := func(pctx context.Context, target string) error {
+			return mi.Ping(pctx, fabric.Address(target))
+		}
+		ds.prober = health.NewProber(tracker, probe, targets, health.ProberConfig{Interval: cfg.HeartbeatInterval})
+		if eng != nil && !cfg.DisableHeartbeat {
+			eng.Go(context.Background(), ds.prober.Run)
+		}
+	}
 	return ds, nil
 }
 
@@ -379,9 +454,10 @@ func (ds *DataStore) createOneDataSet(ctx context.Context, path string) (*DataSe
 	// Atomic get-or-put: concurrent creators race on the server, and
 	// everyone proceeds with the single winning UUID. (A plain get/put
 	// pair would let a loser build its hierarchy under an orphaned UUID.)
-	db := ds.datasetDBForPath(path)
+	// With replication the race is arbitrated on one replica and the
+	// winning UUID is copied to the rest.
 	candidate := uuid.New()
-	winner, _, err := ds.yc.PutIfAbsent(ctx, db, []byte(path), candidate[:])
+	winner, _, err := ds.replicatedPutIfAbsent(ctx, ds.datasetReplicas(path), []byte(path), candidate[:])
 	if err != nil {
 		return nil, err
 	}
@@ -402,7 +478,7 @@ func (ds *DataStore) OpenDataSet(ctx context.Context, path string) (*DataSet, er
 	if err != nil {
 		return nil, err
 	}
-	raw, err := ds.yc.Get(ctx, ds.datasetDBForPath(norm), []byte(norm))
+	raw, err := ds.getFO(ctx, ds.datasetReplicas(norm), []byte(norm))
 	if errors.Is(err, yokan.ErrKeyNotFound) {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchDataSet, norm)
 	}
@@ -440,11 +516,11 @@ func (ds *DataStore) ListDataSets(ctx context.Context, parent string) ([]string,
 	}
 	// All children of one parent live in one database (placement is by
 	// parent path), so one paginated scan suffices.
-	db := ds.dbFor(ds.datasetDBs, []byte(norm))
+	replicas := ds.replicasFor(ds.datasetDBs, []byte(norm))
 	var names []string
 	var from []byte
 	for {
-		page, err := ds.yc.ListKeys(ctx, db, from, []byte(prefix), listPageSize)
+		page, err := ds.listKeysFO(ctx, replicas, from, []byte(prefix), listPageSize)
 		if err != nil {
 			return nil, err
 		}
@@ -484,6 +560,23 @@ func (ds *DataStore) EventDatabases() []yokan.DBHandle {
 // Yokan returns the underlying key-value client. Exposed for tooling and
 // ablation benchmarks; normal applications never need it.
 func (ds *DataStore) Yokan() *yokan.Client { return ds.yc }
+
+// RF returns the effective replication factor (1 when replication is off).
+func (ds *DataStore) RF() int { return ds.rf }
+
+// Health returns the client's liveness tracker. Never nil after Connect;
+// with RF 1 it simply never drives routing decisions.
+func (ds *DataStore) Health() *health.Tracker { return ds.health }
+
+// ProbeOnce runs one synchronous heartbeat round over every server, feeding
+// the health tracker. Deterministic tests (and recovery tooling) call it
+// instead of waiting on the background prober's interval. No-op when the
+// datastore has no prober (RF 1).
+func (ds *DataStore) ProbeOnce(ctx context.Context) {
+	if ds.prober != nil {
+		ds.prober.Tick(ctx)
+	}
+}
 
 // ServiceStats aggregates operation counters and per-database key counts
 // across every provider of the service — the client side of the

@@ -33,4 +33,24 @@ func (ds *DataStore) registerCoreMetrics() {
 		obs.TypeCounter, func() []obs.Sample {
 			return obs.GaugeSample(float64(ds.prefetchDegraded.Load()))
 		})
+	ds.registry.MustRegister(obs.MetricFailoverReads,
+		"Reads served by a replica because the placement primary was unhealthy.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.failoverReads.Load()))
+		})
+	ds.registry.MustRegister(obs.MetricReplicaWrites,
+		"Extra copies written beyond the first for replicated keys.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.replicaWrites.Load()))
+		})
+	ds.registry.MustRegister(obs.MetricReplicaDrops,
+		"Replica copies dropped because their server was down (replayed by resync).",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.replicaDrops.Load()))
+		})
+	ds.registry.MustRegister(obs.MetricResyncReplayed,
+		"Keys replayed onto rejoined servers by the anti-entropy pass.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.resyncReplayed.Load()))
+		})
 }

@@ -71,15 +71,23 @@ func (o *PEPOptions) applyDefaults(ds *DataStore, commSize int) {
 // on every rank (computed with allreduce); Local fields are per rank.
 type PEPStats struct {
 	LocalEvents int
-	// LocalDegraded counts product loads in this rank's work batches that
-	// fell back to on-demand RPCs because a prefetch group failed.
+	// LocalDegraded counts reads in this rank's work batches that left the
+	// fast path: prefetch loads that fell back to on-demand RPCs because
+	// every replica of their group failed, plus the replica-served reads
+	// counted in LocalFailover.
 	LocalDegraded int
+	// LocalFailover counts reads (event keys and prefetched products)
+	// served from a replica because the placement primary was unhealthy.
+	LocalFailover int
 	LocalStart    float64 // MPI Wtime at first processed batch
 	LocalEnd      float64 // MPI Wtime after last processed batch
 	TotalEvents   int64
 	// TotalDegraded sums LocalDegraded across ranks: how much of the
 	// prefetch batching was lost service-wide.
 	TotalDegraded int64
+	// TotalFailover sums LocalFailover across ranks: how much of the pass
+	// was served by replicas instead of primaries.
+	TotalFailover int64
 	// Makespan is (max end − min start) across ranks — the paper's
 	// throughput denominator.
 	Makespan   float64
@@ -94,6 +102,9 @@ type pepWorkMsg struct {
 	// Degraded is how many of this batch's prefetch loads failed over to
 	// on-demand (the reader counts them; workers aggregate into stats).
 	Degraded uint32
+	// Failover is how many of this batch's reads (event keys owned via a
+	// replica scan plus replica-served prefetch loads) left the primary.
+	Failover uint32
 }
 
 type pepPrefEntry struct {
@@ -137,6 +148,7 @@ func (ds *DataStore) ProcessEvents(ctx context.Context, comm *mpi.Comm, dataset 
 	// Aggregate: every rank learns the totals.
 	stats.TotalEvents = comm.AllreduceInt64(int64(stats.LocalEvents), mpi.OpSum)
 	stats.TotalDegraded = comm.AllreduceInt64(int64(stats.LocalDegraded), mpi.OpSum)
+	stats.TotalFailover = comm.AllreduceInt64(int64(stats.LocalFailover), mpi.OpSum)
 	start := comm.AllreduceFloat64(stats.LocalStart, mpi.OpMin)
 	end := comm.AllreduceFloat64(stats.LocalEnd, mpi.OpMax)
 	stats.Makespan = end - start
@@ -167,6 +179,11 @@ func (ds *DataStore) pepReader(ctx context.Context, comm *mpi.Comm, dataset *Dat
 		prefix := dataset.key.Bytes()
 		for dbi := rank; dbi < len(ds.eventDBs); dbi += opts.Readers {
 			db := ds.eventDBs[dbi]
+			if ds.rf > 1 && !ds.health.Usable(string(db.Addr)) {
+				// A dead database's keys are read-owned by their surviving
+				// replicas, whose scans pick them up below.
+				continue
+			}
 			var from []byte
 			for {
 				page, err := ds.yc.ListKeys(tctx, db, from, prefix, opts.LoadBatchSize)
@@ -174,13 +191,35 @@ func (ds *DataStore) pepReader(ctx context.Context, comm *mpi.Comm, dataset *Dat
 					break // a failed database simply contributes no events
 				}
 				from = page[len(page)-1]
-				// Keep only event-level keys of this dataset.
+				// Keep only event-level keys of this dataset. With
+				// replication every event key appears in rf databases, so
+				// a scan keeps only the keys it read-owns: the first
+				// usable replica in placement order. Exactly one scan
+				// claims each key (given a settled health view), which
+				// preserves the PEP's exactly-once contract.
 				var evKeys [][]byte
+				foEvents := 0
 				for _, k := range page {
 					ck, err := keys.ParseContainerKey(k)
-					if err == nil && ck.Level() == keys.LevelEvent {
-						evKeys = append(evKeys, k)
+					if err != nil || ck.Level() != keys.LevelEvent {
+						continue
 					}
+					if ds.rf > 1 {
+						parent, ok := ck.Parent()
+						if !ok {
+							continue
+						}
+						replicas := ds.eventReplicas(parent)
+						if owner := ds.readOrder(replicas)[0]; owner != db {
+							continue // another database's scan claims this key
+						} else if owner != replicas[0] {
+							foEvents++ // claimed here only because the primary is down
+						}
+					}
+					evKeys = append(evKeys, k)
+				}
+				if foEvents > 0 {
+					ds.failoverReads.Add(int64(foEvents))
 				}
 				for off := 0; off < len(evKeys); off += opts.WorkBatchSize {
 					hi := off + opts.WorkBatchSize
@@ -188,10 +227,16 @@ func (ds *DataStore) pepReader(ctx context.Context, comm *mpi.Comm, dataset *Dat
 						hi = len(evKeys)
 					}
 					msg := pepWorkMsg{Keys: evKeys[off:hi]}
+					if off == 0 {
+						// Page-level failover counts ride the first batch;
+						// only the cross-rank totals are meaningful.
+						msg.Failover = uint32(foEvents)
+					}
 					if len(opts.Prefetch) > 0 {
-						pref, degraded := pf.Fetch(tctx, msg.Keys)
+						pref, degraded, failover := pf.Fetch(tctx, msg.Keys)
 						msg.Pref = pref
 						msg.Degraded = uint32(degraded)
+						msg.Failover += uint32(failover)
 					}
 					batches <- msg
 				}
@@ -258,7 +303,8 @@ func (ds *DataStore) pepWorker(ctx context.Context, comm *mpi.Comm, opts PEPOpti
 			stats.LocalStart = comm.Wtime()
 			started = true
 		}
-		stats.LocalDegraded += int(msg.Degraded)
+		stats.LocalDegraded += int(msg.Degraded) + int(msg.Failover)
+		stats.LocalFailover += int(msg.Failover)
 		ds.pepBatches.Add(1)
 		// Rebuild per-event prefetch maps.
 		var pref map[int]map[string][]byte

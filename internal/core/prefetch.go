@@ -31,11 +31,17 @@ func (ds *DataStore) NewPrefetcher(sel ...ProductSelector) *Prefetcher {
 	return &Prefetcher{ds: ds, sel: sel}
 }
 
-// prefetchGroup is one per-database GetMulti batch.
+// prefetchGroup is one per-database GetMulti batch. The group targets the
+// health-preferred replica of its containers; fallback lists the remaining
+// copies to retry against when the target's RPC fails, and fo counts the
+// loads whose target already differs from the placement primary (reads the
+// failover layer rerouted).
 type prefetchGroup struct {
-	db    yokan.DBHandle
-	keys  [][]byte
-	slots []prefetchSlot
+	db       yokan.DBHandle
+	fallback []yokan.DBHandle
+	keys     [][]byte
+	slots    []prefetchSlot
+	fo       int
 }
 
 type prefetchSlot struct {
@@ -44,11 +50,12 @@ type prefetchSlot struct {
 }
 
 // Fetch bulk-loads the selected products for evKeys (raw event container
-// keys). It returns the entries found and the number of product loads that
-// degraded to on-demand because their group's RPC failed.
-func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry, int) {
+// keys). It returns the entries found, the number of product loads that
+// degraded to on-demand because every replica of their group failed, and
+// the number served from a replica instead of the placement primary.
+func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry, int, int) {
 	if len(p.sel) == 0 || len(evKeys) == 0 {
-		return nil, 0
+		return nil, 0, 0
 	}
 	// One span covers the whole fan-out; the per-group GetMulti client
 	// spans become its children through ctx.
@@ -71,12 +78,17 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 		if err != nil {
 			continue
 		}
-		db := p.ds.productDBForContainer(ck)
+		replicas := p.ds.productReplicas(ck)
+		order := p.ds.readOrder(replicas)
+		db := order[0]
 		g := byDB[db]
 		if g == nil {
-			g = &prefetchGroup{db: db}
+			g = &prefetchGroup{db: db, fallback: order[1:]}
 			byDB[db] = g
 			groups = append(groups, g)
+		}
+		if db != replicas[0] {
+			g.fo += len(p.sel)
 		}
 		for _, s := range p.sel {
 			id := keys.ProductID{Container: ck, Label: s.Label, Type: s.Type}
@@ -97,7 +109,7 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 		evs[i] = p.ds.yc.GetMultiAsync(ctx, p.ds.engine, g.db, g.keys, bulk)
 	}
 	var out []pepPrefEntry
-	degraded := 0
+	degraded, failover := 0, 0
 	releasable := true
 	for i, g := range groups {
 		p.ds.prefetchLoads.Add(int64(len(g.keys)))
@@ -107,9 +119,31 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 				// The task may still be running and reading the packed
 				// keys; the segment must not be recycled under it.
 				releasable = false
+				degraded += len(g.keys)
+				continue
 			}
-			degraded += len(g.keys)
-			continue
+			p.ds.noteReadFailure(g.db, err)
+			// Retry the whole group against the remaining replicas before
+			// degrading. Keys whose replica set does not include the
+			// fallback database simply come back not-found and load
+			// on-demand later — a miss, never a wrong answer.
+			recovered := false
+			for _, fdb := range g.fallback {
+				vals, found, rerr := p.ds.yc.GetMulti(ctx, fdb, g.keys, len(g.keys) >= 32)
+				if rerr == nil {
+					res = yokan.GetMultiResult{Vals: vals, Found: found}
+					recovered = true
+					failover += len(g.keys)
+					break
+				}
+				p.ds.noteReadFailure(fdb, rerr)
+			}
+			if !recovered {
+				degraded += len(g.keys)
+				continue
+			}
+		} else {
+			failover += g.fo
 		}
 		for j := range g.keys {
 			if !res.Found[j] {
@@ -129,5 +163,6 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 		seg.Release()
 	}
 	p.ds.prefetchDegraded.Add(int64(degraded))
-	return out, degraded
+	p.ds.failoverReads.Add(int64(failover))
+	return out, degraded, failover
 }

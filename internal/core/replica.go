@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/health"
+	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// This file is the replication and failover layer (ISSUE 5): every key is
+// written to its placement primary plus rf−1 successor databases on
+// *distinct servers*, and reads consult the health tracker to route around
+// suspect/dead primaries. The successor walk mirrors chash.Ring.Successors:
+// starting from the placement index, take the next databases in index order,
+// skipping databases co-located with an already-chosen server — BuildConfigs
+// lays each server's databases out contiguously, so a naive +1 walk would
+// put both copies on the same host.
+
+// replicasFor returns the databases holding copies of keys placed by
+// parentKey within one role set: the placement primary first, then up to
+// rf−1 successors on distinct servers. With rf=1 (or a single database) it
+// degenerates to the classic single-home placement.
+func (ds *DataStore) replicasFor(dbs []yokan.DBHandle, parentKey []byte) []yokan.DBHandle {
+	primary := ds.placement.placer(len(dbs)).Place(parentKey)
+	if ds.rf <= 1 || len(dbs) == 1 {
+		return []yokan.DBHandle{dbs[primary]}
+	}
+	out := make([]yokan.DBHandle, 0, ds.rf)
+	out = append(out, dbs[primary])
+	used := map[fabric.Address]bool{dbs[primary].Addr: true}
+	for step := 1; step < len(dbs) && len(out) < ds.rf; step++ {
+		db := dbs[(primary+step)%len(dbs)]
+		if used[db.Addr] {
+			continue
+		}
+		used[db.Addr] = true
+		out = append(out, db)
+	}
+	return out
+}
+
+// Per-role replica sets, mirroring the single-database helpers in
+// datastore.go (same parent-key placement rule, §II-C).
+
+func (ds *DataStore) datasetReplicas(path string) []yokan.DBHandle {
+	return ds.replicasFor(ds.datasetDBs, []byte(parentPath(path)))
+}
+
+func (ds *DataStore) runReplicas(dsKey keys.ContainerKey) []yokan.DBHandle {
+	return ds.replicasFor(ds.runDBs, dsKey.Bytes())
+}
+
+func (ds *DataStore) subrunReplicas(runKey keys.ContainerKey) []yokan.DBHandle {
+	return ds.replicasFor(ds.subrunDBs, runKey.Bytes())
+}
+
+func (ds *DataStore) eventReplicas(srKey keys.ContainerKey) []yokan.DBHandle {
+	return ds.replicasFor(ds.eventDBs, srKey.Bytes())
+}
+
+func (ds *DataStore) productReplicas(ck keys.ContainerKey) []yokan.DBHandle {
+	return ds.replicasFor(ds.productDBs, ck.Bytes())
+}
+
+// readOrder reorders a replica set for reading: Alive servers first, then
+// Rejoined (reachable but possibly missing writes until anti-entropy
+// finishes), then whatever is left as a last resort — asking a Suspect
+// server beats returning an error. Placement order is preserved within each
+// class, so all clients with a converged health view agree on the first
+// element (the read owner, which the PEP scan dedup relies on).
+func (ds *DataStore) readOrder(replicas []yokan.DBHandle) []yokan.DBHandle {
+	if len(replicas) <= 1 || ds.health.StateOf(string(replicas[0].Addr)) == health.Alive {
+		return replicas
+	}
+	out := make([]yokan.DBHandle, 0, len(replicas))
+	for _, want := range []health.State{health.Alive, health.Rejoined} {
+		for _, db := range replicas {
+			if ds.health.StateOf(string(db.Addr)) == want {
+				out = append(out, db)
+			}
+		}
+	}
+	for _, db := range replicas {
+		if ds.health.Usable(string(db.Addr)) {
+			continue
+		}
+		out = append(out, db)
+	}
+	return out
+}
+
+// transportClass reports whether err is a server/transport-level failure —
+// the kind failover can route around — rather than an application-level
+// answer. An open circuit counts: the breaker has already condemned the
+// target. Context cancellation does not: the caller is leaving.
+func transportClass(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, resilience.ErrCircuitOpen) {
+		return true
+	}
+	return fabric.RetryableError(err)
+}
+
+// noteReadFailure feeds a failed replica read into the health tracker.
+func (ds *DataStore) noteReadFailure(db yokan.DBHandle, err error) {
+	if transportClass(err) {
+		ds.health.ReportFailure(string(db.Addr))
+	}
+}
+
+// countFailover bumps the failover counter when a read was served by a
+// database other than its placement primary.
+func (ds *DataStore) countFailover(primary, used yokan.DBHandle) {
+	if used != primary {
+		ds.failoverReads.Add(1)
+	}
+}
+
+// getFO is Get with health-gated failover: replicas are tried in read
+// order; transport-class failures move on to the next copy, while an
+// application-level answer (value or yokan.ErrKeyNotFound) is authoritative
+// and returned immediately.
+func (ds *DataStore) getFO(ctx context.Context, replicas []yokan.DBHandle, key []byte) ([]byte, error) {
+	var lastErr error
+	for _, db := range ds.readOrder(replicas) {
+		data, err := ds.yc.Get(ctx, db, key)
+		if err == nil || errors.Is(err, yokan.ErrKeyNotFound) {
+			ds.countFailover(replicas[0], db)
+			return data, err
+		}
+		if !transportClass(err) {
+			return nil, err
+		}
+		ds.noteReadFailure(db, err)
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// existsFO is Exists with health-gated failover.
+func (ds *DataStore) existsFO(ctx context.Context, replicas []yokan.DBHandle, ks [][]byte) ([]bool, error) {
+	var lastErr error
+	for _, db := range ds.readOrder(replicas) {
+		found, err := ds.yc.Exists(ctx, db, ks)
+		if err == nil {
+			ds.countFailover(replicas[0], db)
+			return found, nil
+		}
+		if !transportClass(err) {
+			return nil, err
+		}
+		ds.noteReadFailure(db, err)
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// listKeysFO is one ListKeys page with health-gated failover. Pages are
+// addressed by the resume cursor, so an iteration that switches replicas
+// mid-listing still sees every key exactly once — every usable replica
+// holds the same key set.
+func (ds *DataStore) listKeysFO(ctx context.Context, replicas []yokan.DBHandle, from, prefix []byte, max int) ([][]byte, error) {
+	var lastErr error
+	for _, db := range ds.readOrder(replicas) {
+		page, err := ds.yc.ListKeys(ctx, db, from, prefix, max)
+		if err == nil {
+			ds.countFailover(replicas[0], db)
+			return page, nil
+		}
+		if !transportClass(err) {
+			return nil, err
+		}
+		ds.noteReadFailure(db, err)
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// writeTolerable decides whether a failed replica write may be dropped
+// rather than surfaced. Four conditions: replication must be on; the
+// failure must be transport-class; the target server must be unusable once
+// the failure itself is counted (so a breaker-opened or probed-dead server
+// qualifies immediately); and fewer servers must be unusable than the
+// replication factor — past that point some keys may have lost every copy,
+// so losses must surface as errors instead. Dropped copies are replayed by
+// ResyncServer when the server rejoins.
+func (ds *DataStore) writeTolerable(db yokan.DBHandle, err error) bool {
+	if ds.rf <= 1 || !transportClass(err) {
+		return false
+	}
+	target := string(db.Addr)
+	ds.health.ReportFailure(target)
+	if ds.health.Usable(target) {
+		return false
+	}
+	return ds.health.UnusableCount() < ds.rf
+}
+
+// replicatedPut writes one key to every database of its replica set, the
+// copies riding the async engine's RPC pool in parallel (§II-D — replica
+// writes must not halve ingest throughput). It succeeds when the update is
+// durable: at least one copy landed and every failed copy was tolerable per
+// writeTolerable.
+func (ds *DataStore) replicatedPut(ctx context.Context, replicas []yokan.DBHandle, key, val []byte) error {
+	if len(replicas) == 1 {
+		return ds.yc.Put(ctx, replicas[0], key, val)
+	}
+	evs := make([]*asyncengine.Eventual[asyncengine.Void], len(replicas))
+	for i, db := range replicas {
+		evs[i] = ds.yc.PutAsync(ctx, ds.engine, db, key, val)
+	}
+	landed := 0
+	var errs []error
+	for i, ev := range evs {
+		if _, err := ev.Wait(nil); err != nil {
+			if ds.writeTolerable(replicas[i], err) {
+				ds.replicaDrops.Add(1)
+				continue
+			}
+			errs = append(errs, fmt.Errorf("replica %s: %w", replicas[i], err))
+			continue
+		}
+		landed++
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	if landed == 0 {
+		return fmt.Errorf("hepnos: replicated put: all %d copies dropped", len(replicas))
+	}
+	ds.replicaWrites.Add(int64(landed - 1))
+	return nil
+}
+
+// replicatedPutIfAbsent arbitrates an atomic get-or-put on the first usable
+// replica — clients with a converged health view pick the same arbiter —
+// then copies the winning value to the remaining replicas. Replica-copy
+// failures follow the writeTolerable rule.
+func (ds *DataStore) replicatedPutIfAbsent(ctx context.Context, replicas []yokan.DBHandle, key, val []byte) ([]byte, bool, error) {
+	order := ds.readOrder(replicas)
+	arbiter := order[0]
+	winner, inserted, err := ds.yc.PutIfAbsent(ctx, arbiter, key, val)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, db := range replicas {
+		if db == arbiter {
+			continue
+		}
+		if perr := ds.yc.Put(ctx, db, key, winner); perr != nil {
+			if !ds.writeTolerable(db, perr) {
+				return nil, false, perr
+			}
+			ds.replicaDrops.Add(1)
+			continue
+		}
+		ds.replicaWrites.Add(1)
+	}
+	return winner, inserted, nil
+}

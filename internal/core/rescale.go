@@ -58,6 +58,12 @@ func Rescale(ctx context.Context, old, new *DataStore) (RescaleStats, error) {
 		return st, fmt.Errorf("hepnos: rescale: placement strategies differ (%q vs %q)",
 			old.placement, new.placement)
 	}
+	// Membership epochs only grow: migrating onto a view older than the
+	// source would resurrect a superseded deployment.
+	if new.group.Epoch < old.group.Epoch {
+		return st, fmt.Errorf("hepnos: rescale: target view epoch %d is behind source epoch %d (stale membership view)",
+			new.group.Epoch, old.group.Epoch)
+	}
 	type role struct {
 		name string
 		from []yokan.DBHandle

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// Anti-entropy re-sync (ISSUE 5): when a dead server restarts it is
+// Rejoined — reachable, but missing every write that was tolerantly dropped
+// while it was down. ResyncServer walks the surviving replicas with the same
+// key-walk machinery Rescale uses, recomputes each key's replica set, and
+// replays onto the rejoined server the keys it should hold. Once the replay
+// completes the tracker promotes the server back to Alive and reads prefer
+// it again.
+
+// ResyncStats reports an anti-entropy pass, per role.
+type ResyncStats struct {
+	// Scanned counts keys examined on surviving replicas; Replayed counts
+	// keys copied onto the rejoined server.
+	Scanned  map[string]int
+	Replayed map[string]int
+}
+
+// TotalScanned returns all keys examined.
+func (s ResyncStats) TotalScanned() int { return total(s.Scanned) }
+
+// TotalReplayed returns all keys replayed.
+func (s ResyncStats) TotalReplayed() int { return total(s.Replayed) }
+
+// ResyncServer replays onto the server at addr every key it should hold a
+// replica of, reading from the surviving copies. It requires quiescence (no
+// concurrent writers, like Rescale) and a replication factor of at least 2 —
+// with rf 1 a dead server's keys have no surviving copy to replay from.
+// Replays are idempotent puts, so rerunning a partially-failed pass is safe.
+// On success the health tracker marks the server resynced (Rejoined → Alive).
+func (ds *DataStore) ResyncServer(ctx context.Context, addr fabric.Address) (ResyncStats, error) {
+	st := ResyncStats{Scanned: map[string]int{}, Replayed: map[string]int{}}
+	if ds.closed.Load() {
+		return st, ErrClosed
+	}
+	if ds.rf <= 1 {
+		return st, fmt.Errorf("hepnos: resync %s: replication factor is 1, nothing to replay from", addr)
+	}
+
+	type role struct {
+		name string
+		dbs  []yokan.DBHandle
+		// replicaSets returns the replica set(s) a raw stored key belongs
+		// to (products can have several candidate sets, see below).
+		replicaSets func(key []byte) [][]yokan.DBHandle
+	}
+	containerSets := func(dbs []yokan.DBHandle) func(key []byte) [][]yokan.DBHandle {
+		return func(key []byte) [][]yokan.DBHandle {
+			ck, err := keys.ParseContainerKey(key)
+			if err != nil {
+				return nil
+			}
+			parent, ok := ck.Parent()
+			if !ok {
+				return nil
+			}
+			return [][]yokan.DBHandle{ds.replicasFor(dbs, parent.Bytes())}
+		}
+	}
+	roles := []role{
+		{"datasets", ds.datasetDBs, func(key []byte) [][]yokan.DBHandle {
+			return [][]yokan.DBHandle{ds.replicasFor(ds.datasetDBs, []byte(parentPath(string(key))))}
+		}},
+		{"runs", ds.runDBs, containerSets(ds.runDBs)},
+		{"subruns", ds.subrunDBs, containerSets(ds.subrunDBs)},
+		{"events", ds.eventDBs, containerSets(ds.eventDBs)},
+		// Product keys do not self-describe their container length, so —
+		// exactly like Rescale's productHomes — every plausible container
+		// prefix yields a candidate set; false positives produce harmless
+		// idempotent copies.
+		{"products", ds.productDBs, func(key []byte) [][]yokan.DBHandle {
+			var out [][]yokan.DBHandle
+			for _, l := range []int{
+				keys.UUIDLen,
+				keys.UUIDLen + 1*keys.NumLen,
+				keys.UUIDLen + 2*keys.NumLen,
+				keys.UUIDLen + 3*keys.NumLen,
+			} {
+				if len(key) > l {
+					out = append(out, ds.replicasFor(ds.productDBs, key[:l]))
+				}
+			}
+			return out
+		}},
+	}
+
+	type replay struct {
+		keys, vals [][]byte
+	}
+	for _, r := range roles {
+		for _, src := range r.dbs {
+			if src.Addr == addr {
+				continue // the rejoined server is the target, not a source
+			}
+			if !ds.health.Usable(string(src.Addr)) {
+				continue // skip peers that are themselves down
+			}
+			var from []byte
+			for {
+				kvs, err := ds.yc.ListKeyVals(ctx, src, from, nil, rescaleBatch)
+				if err != nil {
+					return st, fmt.Errorf("hepnos: resync scan %s: %w", src, err)
+				}
+				if len(kvs) == 0 {
+					break
+				}
+				byTarget := map[yokan.DBHandle]*replay{}
+				for _, kv := range kvs {
+					st.Scanned[r.name]++
+					for _, set := range r.replicaSets(kv.Key) {
+						// Only replay keys this source authoritatively
+						// holds a replica of; anything else is leftover
+						// garbage (e.g. a superseded rescale copy).
+						if !containsDB(set, src) {
+							continue
+						}
+						for _, t := range set {
+							if t.Addr != addr {
+								continue
+							}
+							rp := byTarget[t]
+							if rp == nil {
+								rp = &replay{}
+								byTarget[t] = rp
+							}
+							rp.keys = append(rp.keys, kv.Key)
+							rp.vals = append(rp.vals, kv.Val)
+						}
+					}
+				}
+				for t, rp := range byTarget {
+					if err := ds.yc.PutMulti(ctx, t, rp.keys, rp.vals); err != nil {
+						return st, fmt.Errorf("hepnos: resync replay to %s: %w", t, err)
+					}
+					st.Replayed[r.name] += len(rp.keys)
+					ds.resyncReplayed.Add(int64(len(rp.keys)))
+				}
+				from = kvs[len(kvs)-1].Key
+			}
+		}
+	}
+	ds.health.MarkResynced(string(addr))
+	return st, nil
+}
+
+// containsDB reports whether the replica set includes db.
+func containsDB(set []yokan.DBHandle, db yokan.DBHandle) bool {
+	for _, d := range set {
+		if d == db {
+			return true
+		}
+	}
+	return false
+}

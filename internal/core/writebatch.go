@@ -62,6 +62,12 @@ type dbBatch struct {
 	seg  wire.Segment
 	keys [][]byte // views into seg
 	vals [][]byte // views into seg (nil entries stay nil)
+
+	// sole marks a group holding at least one key with no other replica
+	// (replication off, or a role set confined to one server). Such a
+	// group is never tolerantly dropped on flush failure — there is no
+	// surviving copy to resync from.
+	sole bool
 }
 
 // add copies key and val into the batch's segment and queues the views.
@@ -122,11 +128,14 @@ func (w *WriteBatch) InFlight() int {
 	return n
 }
 
-func (w *WriteBatch) addLocked(db yokan.DBHandle, key, val []byte) {
+func (w *WriteBatch) addLocked(db yokan.DBHandle, key, val []byte, sole bool) {
 	b := w.pending[db]
 	if b == nil {
 		b = &dbBatch{}
 		w.pending[db] = b
+	}
+	if sole {
+		b.sole = true
 	}
 	b.add(key, val)
 	w.queued++
@@ -145,12 +154,19 @@ func (w *WriteBatch) reapLocked() error {
 			continue
 		}
 		if _, err := f.ev.Wait(nil); err != nil {
-			// Re-queue copies the group into the live pending segment, so
-			// the failed group's own segment can be recycled below.
-			for i := range f.b.keys {
-				w.addLocked(f.db, f.b.keys[i], f.b.vals[i])
+			if !f.b.sole && w.ds.writeTolerable(f.db, err) {
+				// The target server is down and every key in this group
+				// has a copy on another server: drop the group and let
+				// anti-entropy replay it when the server rejoins.
+				w.ds.replicaDrops.Add(int64(len(f.b.keys)))
+			} else {
+				// Re-queue copies the group into the live pending segment,
+				// so the failed group's own segment can be recycled below.
+				for i := range f.b.keys {
+					w.addLocked(f.db, f.b.keys[i], f.b.vals[i], f.b.sole)
+				}
+				errs = append(errs, fmt.Errorf("async flush to %s: %w", f.db, err))
 			}
-			errs = append(errs, fmt.Errorf("async flush to %s: %w", f.db, err))
 		}
 		// The flush is resolved either way: its segment's bytes are dead
 		// (sent, or copied back into pending), so recycle the chunks.
@@ -165,16 +181,20 @@ func (w *WriteBatch) reapLocked() error {
 }
 
 // queue is the shared path of every mutating operation: it fails after
-// Close, surfaces any pending asynchronous flush error, queues the update,
-// and honors MaxPending.
-func (w *WriteBatch) queue(ctx context.Context, db yokan.DBHandle, key, val []byte) error {
+// Close, surfaces any pending asynchronous flush error, queues the update
+// to every database of its replica set, and honors MaxPending (which
+// counts copies, so replicated batches flush proportionally earlier).
+func (w *WriteBatch) queue(ctx context.Context, replicas []yokan.DBHandle, key, val []byte) error {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
 		return ErrBatchClosed
 	}
 	err := w.reapLocked()
-	w.addLocked(db, key, val)
+	sole := len(replicas) == 1
+	for _, db := range replicas {
+		w.addLocked(db, key, val, sole)
+	}
 	doFlush := w.MaxPending > 0 && w.queued >= w.MaxPending
 	w.mu.Unlock()
 	if err != nil {
@@ -191,7 +211,7 @@ func (w *WriteBatch) queue(ctx context.Context, db yokan.DBHandle, key, val []by
 // CreateRun queues creation of a run and returns its handle immediately.
 func (w *WriteBatch) CreateRun(ctx context.Context, d *DataSet, n uint64) (*Run, error) {
 	runKey := d.key.Child(n)
-	if err := w.queue(ctx, w.ds.runDBForDataset(d.key), runKey.Bytes(), nil); err != nil {
+	if err := w.queue(ctx, w.ds.runReplicas(d.key), runKey.Bytes(), nil); err != nil {
 		return nil, err
 	}
 	return &Run{container: container{ds: w.ds, key: runKey}, dataset: d}, nil
@@ -200,7 +220,7 @@ func (w *WriteBatch) CreateRun(ctx context.Context, d *DataSet, n uint64) (*Run,
 // CreateSubRun queues creation of a subrun.
 func (w *WriteBatch) CreateSubRun(ctx context.Context, r *Run, n uint64) (*SubRun, error) {
 	srKey := r.key.Child(n)
-	if err := w.queue(ctx, w.ds.subrunDBForRun(r.key), srKey.Bytes(), nil); err != nil {
+	if err := w.queue(ctx, w.ds.subrunReplicas(r.key), srKey.Bytes(), nil); err != nil {
 		return nil, err
 	}
 	return &SubRun{container: container{ds: w.ds, key: srKey}, run: r}, nil
@@ -209,7 +229,7 @@ func (w *WriteBatch) CreateSubRun(ctx context.Context, r *Run, n uint64) (*SubRu
 // CreateEvent queues creation of an event.
 func (w *WriteBatch) CreateEvent(ctx context.Context, s *SubRun, n uint64) (*Event, error) {
 	evKey := s.key.Child(n)
-	if err := w.queue(ctx, w.ds.eventDBForSubRun(s.key), evKey.Bytes(), nil); err != nil {
+	if err := w.queue(ctx, w.ds.eventReplicas(s.key), evKey.Bytes(), nil); err != nil {
 		return nil, err
 	}
 	return &Event{container: container{ds: w.ds, key: evKey}, subrun: s}, nil
@@ -238,7 +258,7 @@ func (w *WriteBatch) storeOn(ctx context.Context, ck keys.ContainerKey, label st
 	}
 	scratch.B = buf
 	keyLen := len(kb)
-	return w.queue(ctx, w.ds.productDBForContainer(ck), buf[:keyLen:keyLen], buf[keyLen:])
+	return w.queue(ctx, w.ds.productReplicas(ck), buf[:keyLen:keyLen], buf[keyLen:])
 }
 
 // Flush sends all queued updates, one multi-put per target database.
@@ -299,8 +319,13 @@ func (w *WriteBatch) flushSync(ctx context.Context) error {
 	var errs []error
 	for db, b := range w.pending {
 		if err := w.ds.yc.PutMulti(ctx, db, b.keys, b.vals); err != nil {
-			errs = append(errs, fmt.Errorf("flush to %s: %w", db, err))
-			continue
+			if b.sole || !w.ds.writeTolerable(db, err) {
+				errs = append(errs, fmt.Errorf("flush to %s: %w", db, err))
+				continue
+			}
+			// Tolerated drop: the server is down, the keys have living
+			// replicas, anti-entropy replays them on rejoin.
+			w.ds.replicaDrops.Add(int64(len(b.keys)))
 		}
 		w.queued -= len(b.keys)
 		delete(w.pending, db)

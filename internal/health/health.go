@@ -1,0 +1,340 @@
+// Package health maintains the client-side view of server liveness that the
+// replication layer routes around (ISSUE 5; the paper's deployments in §IV
+// run hundreds of daemons, where individual node deaths are routine).
+//
+// Each target (a server address) moves through a small state machine:
+//
+//	Alive ──failure──▶ Suspect ──more failures──▶ Dead
+//	  ▲                   │                        │
+//	  └────success────────┘                     success
+//	  ▲                                            ▼
+//	  └──────MarkResynced────────────────────── Rejoined
+//
+// Evidence comes from two independent feeds: the heartbeat Prober (a small
+// control-plane ping on an interval) and the resilience layer's circuit
+// breakers (a breaker opening for a target is a strong liveness signal from
+// the data plane, reported via Tracker.ReportBreakerOpen). Either feed can
+// move a target towards Dead; only successful contact moves it back.
+//
+// A Dead target that answers again becomes Rejoined — reachable, but its
+// store may be missing writes that happened while it was down, so reads
+// may use it while the anti-entropy pass (core.ResyncServer) has not yet
+// declared it whole. MarkResynced promotes Rejoined back to Alive.
+//
+// Unknown targets are Alive: health is advisory, and a datastore must work
+// before the first probe tick completes.
+package health
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
+
+// State is one liveness state of the per-target machine.
+type State int
+
+// States, ordered by increasing distrust (except Rejoined, which is a
+// recovering variant of Alive).
+const (
+	Alive State = iota
+	Suspect
+	Dead
+	Rejoined
+)
+
+// String renders the state for logs and metrics labels.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Rejoined:
+		return "rejoined"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the state machine thresholds.
+type Config struct {
+	// SuspectAfter consecutive failures move Alive → Suspect. Default 1.
+	SuspectAfter int
+	// DeadAfter consecutive failures move Suspect → Dead. Default 3.
+	DeadAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	return c
+}
+
+// TargetStatus is one target's externally visible health.
+type TargetStatus struct {
+	Target   string `json:"target"`
+	State    string `json:"state"`
+	Failures int    `json:"failures"`
+}
+
+type entry struct {
+	state    State
+	failures int // consecutive failures since the last success
+}
+
+// Tracker is the per-target state machine. All methods are safe for
+// concurrent use; a nil *Tracker is valid and reports every target Alive,
+// so replication code can consult it unconditionally.
+type Tracker struct {
+	cfg Config
+
+	mu      sync.Mutex
+	targets map[string]*entry
+
+	transitions atomic.Int64
+	probes      atomic.Int64
+	probeFails  atomic.Int64
+
+	// OnTransition, if set before the tracker is shared, observes every
+	// state change (target, from, to). Called without the tracker lock.
+	OnTransition func(target string, from, to State)
+}
+
+// NewTracker creates a tracker with the given thresholds.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), targets: make(map[string]*entry)}
+}
+
+// Watch registers targets so they appear in Snapshot before any evidence
+// arrives. Registration is optional — evidence for an unknown target
+// creates it on the fly.
+func (t *Tracker) Watch(targets ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, target := range targets {
+		if _, ok := t.targets[target]; !ok {
+			t.targets[target] = &entry{state: Alive}
+		}
+	}
+}
+
+// StateOf returns the target's current state. Unknown targets are Alive.
+func (t *Tracker) StateOf(target string) State {
+	if t == nil {
+		return Alive
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.targets[target]; ok {
+		return e.state
+	}
+	return Alive
+}
+
+// Usable reports whether the target should be offered reads and writes:
+// Alive or Rejoined. Suspect and Dead targets are routed around.
+func (t *Tracker) Usable(target string) bool {
+	s := t.StateOf(target)
+	return s == Alive || s == Rejoined
+}
+
+// ReportSuccess records successful contact with the target. A Suspect
+// target returns to Alive; a Dead target becomes Rejoined (reachable but
+// possibly missing writes until MarkResynced).
+func (t *Tracker) ReportSuccess(target string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e := t.ensureLocked(target)
+	e.failures = 0
+	from := e.state
+	var to State
+	switch from {
+	case Suspect:
+		to = Alive
+	case Dead:
+		to = Rejoined
+	default:
+		t.mu.Unlock()
+		return
+	}
+	e.state = to
+	t.mu.Unlock()
+	t.noteTransition(target, from, to)
+}
+
+// ReportFailure records failed contact with the target and returns its
+// state after the evidence is applied.
+func (t *Tracker) ReportFailure(target string) State {
+	if t == nil {
+		return Alive
+	}
+	t.mu.Lock()
+	e := t.ensureLocked(target)
+	e.failures++
+	from := e.state
+	to := from
+	switch from {
+	case Alive, Rejoined:
+		if e.failures >= t.cfg.SuspectAfter {
+			to = Suspect
+		}
+	case Suspect:
+		if e.failures >= t.cfg.SuspectAfter+t.cfg.DeadAfter {
+			to = Dead
+		}
+	}
+	e.state = to
+	t.mu.Unlock()
+	if to != from {
+		t.noteTransition(target, from, to)
+	}
+	return to
+}
+
+// ReportBreakerOpen is the resilience feed: the per-target circuit breaker
+// opened, meaning the data plane has already seen enough consecutive
+// failures to give up on the target. The target is demoted to at least
+// Suspect immediately, regardless of probe cadence.
+func (t *Tracker) ReportBreakerOpen(target string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e := t.ensureLocked(target)
+	from := e.state
+	if from != Alive && from != Rejoined {
+		t.mu.Unlock()
+		return
+	}
+	if e.failures < t.cfg.SuspectAfter {
+		e.failures = t.cfg.SuspectAfter
+	}
+	e.state = Suspect
+	t.mu.Unlock()
+	t.noteTransition(target, from, Suspect)
+}
+
+// MarkResynced records that anti-entropy finished replaying missed keys to
+// a Rejoined target, promoting it back to Alive.
+func (t *Tracker) MarkResynced(target string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e := t.ensureLocked(target)
+	if e.state != Rejoined {
+		t.mu.Unlock()
+		return
+	}
+	e.state = Alive
+	e.failures = 0
+	t.mu.Unlock()
+	t.noteTransition(target, Rejoined, Alive)
+}
+
+func (t *Tracker) ensureLocked(target string) *entry {
+	e := t.targets[target]
+	if e == nil {
+		e = &entry{state: Alive}
+		t.targets[target] = e
+	}
+	return e
+}
+
+func (t *Tracker) noteTransition(target string, from, to State) {
+	t.transitions.Add(1)
+	if cb := t.OnTransition; cb != nil {
+		cb(target, from, to)
+	}
+}
+
+// UnusableCount returns how many known targets are currently Suspect or
+// Dead. The replication layer uses it as a loss guard: a replica write may
+// be dropped only while fewer servers are unusable than the replication
+// factor, because past that point some keys may have no surviving copy.
+func (t *Tracker) UnusableCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.targets {
+		if e.state == Suspect || e.state == Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns every known target's status, sorted by target name for
+// deterministic rendering (admin RPC, tests).
+func (t *Tracker) Snapshot() []TargetStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TargetStatus, 0, len(t.targets))
+	for target, e := range t.targets {
+		out = append(out, TargetStatus{Target: target, State: e.state.String(), Failures: e.failures})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Target < out[b].Target })
+	return out
+}
+
+// Transitions returns the number of state changes observed so far.
+func (t *Tracker) Transitions() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.transitions.Load()
+}
+
+// RegisterMetrics publishes the tracker through the obs registry: a gauge
+// with one labelled sample per target (numeric state) plus transition and
+// probe counters.
+func (t *Tracker) RegisterMetrics(reg *obs.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.MustRegister(obs.MetricHealthState,
+		"Per-target liveness state: 0 alive, 1 suspect, 2 dead, 3 rejoined.",
+		obs.TypeGauge, func() []obs.Sample {
+			t.mu.Lock()
+			out := make([]obs.Sample, 0, len(t.targets))
+			for target, e := range t.targets {
+				out = append(out, obs.OneSample(float64(e.state), "target", target))
+			}
+			t.mu.Unlock()
+			return out
+		})
+	reg.MustRegister(obs.MetricHealthTransitions,
+		"Health state transitions observed by this process.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(t.transitions.Load()))
+		})
+	reg.MustRegister(obs.MetricHealthProbes,
+		"Heartbeat probes sent, labelled by outcome.",
+		obs.TypeCounter, func() []obs.Sample {
+			ok := t.probes.Load() - t.probeFails.Load()
+			return []obs.Sample{
+				obs.OneSample(float64(ok), "outcome", "ok"),
+				obs.OneSample(float64(t.probeFails.Load()), "outcome", "error"),
+			}
+		})
+}

@@ -1,0 +1,255 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
+
+func TestStateMachineLifecycle(t *testing.T) {
+	tr := NewTracker(Config{SuspectAfter: 1, DeadAfter: 3})
+	const s = "srv1"
+
+	if got := tr.StateOf(s); got != Alive {
+		t.Fatalf("unknown target state = %v, want Alive", got)
+	}
+	if !tr.Usable(s) {
+		t.Fatal("unknown target should be usable")
+	}
+
+	// One failure: Alive -> Suspect.
+	if got := tr.ReportFailure(s); got != Suspect {
+		t.Fatalf("after 1 failure: %v, want Suspect", got)
+	}
+	if tr.Usable(s) {
+		t.Fatal("suspect target should not be usable")
+	}
+
+	// Success from Suspect returns to Alive.
+	tr.ReportSuccess(s)
+	if got := tr.StateOf(s); got != Alive {
+		t.Fatalf("after recovery: %v, want Alive", got)
+	}
+
+	// SuspectAfter + DeadAfter consecutive failures: -> Dead.
+	for i := 0; i < 4; i++ {
+		tr.ReportFailure(s)
+	}
+	if got := tr.StateOf(s); got != Dead {
+		t.Fatalf("after 4 failures: %v, want Dead", got)
+	}
+
+	// Contact again: Dead -> Rejoined (usable, pending resync).
+	tr.ReportSuccess(s)
+	if got := tr.StateOf(s); got != Rejoined {
+		t.Fatalf("after rejoin: %v, want Rejoined", got)
+	}
+	if !tr.Usable(s) {
+		t.Fatal("rejoined target should be usable")
+	}
+
+	// Anti-entropy completes: Rejoined -> Alive.
+	tr.MarkResynced(s)
+	if got := tr.StateOf(s); got != Alive {
+		t.Fatalf("after resync: %v, want Alive", got)
+	}
+}
+
+func TestMarkResyncedOnlyFromRejoined(t *testing.T) {
+	tr := NewTracker(Config{})
+	tr.ReportFailure("x")
+	tr.MarkResynced("x") // no-op: x is Suspect, not Rejoined
+	if got := tr.StateOf("x"); got != Suspect {
+		t.Fatalf("MarkResynced changed a Suspect target: %v", got)
+	}
+}
+
+func TestBreakerOpenFeed(t *testing.T) {
+	tr := NewTracker(Config{SuspectAfter: 2, DeadAfter: 3})
+	tr.ReportBreakerOpen("srv")
+	if got := tr.StateOf("srv"); got != Suspect {
+		t.Fatalf("breaker open: %v, want Suspect", got)
+	}
+	// The breaker feed skips the SuspectAfter threshold entirely; further
+	// probe failures then walk Suspect toward Dead.
+	for i := 0; i < 3; i++ {
+		tr.ReportFailure("srv")
+	}
+	if got := tr.StateOf("srv"); got != Dead {
+		t.Fatalf("after breaker + 3 failures: %v, want Dead", got)
+	}
+	// Breaker open on a Dead target is a no-op (does not resurrect or
+	// double-count).
+	n := tr.Transitions()
+	tr.ReportBreakerOpen("srv")
+	if tr.Transitions() != n {
+		t.Fatal("breaker open on Dead target recorded a transition")
+	}
+}
+
+func TestTransitionCallbackAndCount(t *testing.T) {
+	tr := NewTracker(Config{SuspectAfter: 1, DeadAfter: 1})
+	var mu sync.Mutex
+	var seen []string
+	tr.OnTransition = func(target string, from, to State) {
+		mu.Lock()
+		seen = append(seen, fmt.Sprintf("%s:%v->%v", target, from, to))
+		mu.Unlock()
+	}
+	tr.ReportFailure("a") // alive->suspect
+	tr.ReportFailure("a") // suspect->dead
+	tr.ReportSuccess("a") // dead->rejoined
+	tr.MarkResynced("a")  // rejoined->alive
+	want := []string{"a:alive->suspect", "a:suspect->dead", "a:dead->rejoined", "a:rejoined->alive"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, seen[i], want[i])
+		}
+	}
+	if tr.Transitions() != 4 {
+		t.Fatalf("Transitions = %d, want 4", tr.Transitions())
+	}
+}
+
+func TestNilTrackerIsAlive(t *testing.T) {
+	var tr *Tracker
+	if !tr.Usable("anything") {
+		t.Fatal("nil tracker should report usable")
+	}
+	tr.ReportSuccess("x")
+	tr.ReportFailure("x")
+	tr.ReportBreakerOpen("x")
+	tr.MarkResynced("x")
+	tr.Watch("x")
+	if tr.Snapshot() != nil || tr.Transitions() != 0 {
+		t.Fatal("nil tracker methods should be no-ops")
+	}
+}
+
+func TestSnapshotSortedAndWatched(t *testing.T) {
+	tr := NewTracker(Config{})
+	tr.Watch("srv-b", "srv-a", "srv-c")
+	tr.ReportFailure("srv-c")
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d targets, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Target >= snap[i].Target {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+	}
+	for _, s := range snap {
+		want := "alive"
+		if s.Target == "srv-c" {
+			want = "suspect"
+		}
+		if s.State != want {
+			t.Fatalf("%s state = %s, want %s", s.Target, s.State, want)
+		}
+	}
+}
+
+func TestProberTickFeedsTracker(t *testing.T) {
+	tr := NewTracker(Config{SuspectAfter: 1, DeadAfter: 2})
+	down := map[string]bool{"s1": true}
+	var mu sync.Mutex
+	probe := func(ctx context.Context, target string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if down[target] {
+			return errors.New("unreachable")
+		}
+		return nil
+	}
+	p := NewProber(tr, probe, []string{"s0", "s1"}, ProberConfig{})
+
+	ctx := context.Background()
+	p.Tick(ctx)
+	if got := tr.StateOf("s0"); got != Alive {
+		t.Fatalf("s0 = %v, want Alive", got)
+	}
+	if got := tr.StateOf("s1"); got != Suspect {
+		t.Fatalf("s1 = %v, want Suspect", got)
+	}
+	p.Tick(ctx)
+	p.Tick(ctx)
+	if got := tr.StateOf("s1"); got != Dead {
+		t.Fatalf("s1 after 3 failed rounds = %v, want Dead", got)
+	}
+
+	// Server comes back: next round rejoins it.
+	mu.Lock()
+	down["s1"] = false
+	mu.Unlock()
+	p.Tick(ctx)
+	if got := tr.StateOf("s1"); got != Rejoined {
+		t.Fatalf("s1 after recovery = %v, want Rejoined", got)
+	}
+}
+
+func TestProberHonorsContext(t *testing.T) {
+	tr := NewTracker(Config{})
+	calls := 0
+	probe := func(ctx context.Context, target string) error { calls++; return nil }
+	p := NewProber(tr, probe, []string{"a", "b", "c"}, ProberConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Tick(ctx)
+	if calls != 0 {
+		t.Fatalf("cancelled tick probed %d targets, want 0", calls)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	tr := NewTracker(Config{})
+	tr.Watch("s0", "s1")
+	tr.ReportFailure("s1")
+	reg := obs.NewRegistry()
+	tr.RegisterMetrics(reg)
+	p := NewProber(tr, func(ctx context.Context, target string) error {
+		if target == "s1" {
+			return errors.New("down")
+		}
+		return nil
+	}, []string{"s0", "s1"}, ProberConfig{})
+	p.Tick(context.Background())
+
+	fams := reg.Snapshot()
+	byName := map[string]obs.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	st, ok := byName[obs.MetricHealthState]
+	if !ok || len(st.Samples) != 2 {
+		t.Fatalf("health state family missing or wrong: %+v", st)
+	}
+	if tf := byName[obs.MetricHealthTransitions]; len(tf.Samples) != 1 || tf.Samples[0].Value < 1 {
+		t.Fatalf("transitions family: %+v", tf)
+	}
+	pf, ok := byName[obs.MetricHealthProbes]
+	if !ok {
+		t.Fatal("probes family missing")
+	}
+	var okCount, errCount float64
+	for _, s := range pf.Samples {
+		switch s.Labels["outcome"] {
+		case "ok":
+			okCount = s.Value
+		case "error":
+			errCount = s.Value
+		}
+	}
+	if okCount != 1 || errCount != 1 {
+		t.Fatalf("probe outcomes ok=%v err=%v, want 1/1", okCount, errCount)
+	}
+}

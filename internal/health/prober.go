@@ -1,0 +1,95 @@
+package health
+
+import (
+	"context"
+	"time"
+)
+
+// ProbeFunc performs one heartbeat probe of a target and returns nil if the
+// target answered. The production implementation is margo's control-plane
+// ping (margo.Instance.Ping); tests inject their own.
+type ProbeFunc func(ctx context.Context, target string) error
+
+// Prober drives periodic heartbeat probes of a fixed target set and feeds
+// the outcomes into a Tracker. The loop itself is scheduled by the caller
+// (core runs it on the AsyncEngine's tracked goroutines, the argo analog);
+// Tick is exposed separately so tests can advance the prober
+// deterministically without real time.
+type Prober struct {
+	tracker  *Tracker
+	probe    ProbeFunc
+	targets  []string
+	interval time.Duration
+	timeout  time.Duration
+}
+
+// ProberConfig configures a Prober.
+type ProberConfig struct {
+	// Interval between probe rounds. Default 500ms.
+	Interval time.Duration
+	// Timeout bounds each individual probe. Default half the interval.
+	Timeout time.Duration
+}
+
+// NewProber creates a prober over the given targets. The targets are also
+// registered with the tracker so they appear in snapshots immediately.
+func NewProber(t *Tracker, probe ProbeFunc, targets []string, cfg ProberConfig) *Prober {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = cfg.Interval / 2
+	}
+	t.Watch(targets...)
+	return &Prober{
+		tracker:  t,
+		probe:    probe,
+		targets:  append([]string(nil), targets...),
+		interval: cfg.Interval,
+		timeout:  cfg.Timeout,
+	}
+}
+
+// Tick runs one probe round synchronously: every target is probed once and
+// the result reported to the tracker. Probes run serially — the round is a
+// control-plane trickle, not a data-plane fan-out — which also keeps test
+// runs deterministic.
+func (p *Prober) Tick(ctx context.Context) {
+	for _, target := range p.targets {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
+		pctx, cancel := context.WithTimeout(orBackground(ctx), p.timeout)
+		err := p.probe(pctx, target)
+		cancel()
+		p.tracker.probes.Add(1)
+		if err != nil {
+			p.tracker.probeFails.Add(1)
+			p.tracker.ReportFailure(target)
+		} else {
+			p.tracker.ReportSuccess(target)
+		}
+	}
+}
+
+// Run ticks until ctx is cancelled. Meant to be launched on a tracked
+// goroutine (asyncengine.Engine.Go) so shutdown waits for the loop.
+func (p *Prober) Run(ctx context.Context) {
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			p.Tick(ctx)
+		}
+	}
+}
+
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}

@@ -96,7 +96,28 @@ func Init(cfg Config) (*Instance, error) {
 		rt.Shutdown()
 		return nil, err
 	}
-	return &Instance{ep: ep, rt: rt, sim: cfg.NetSim, tracer: cfg.Tracer, providers: make(map[string]*Provider)}, nil
+	m := &Instance{ep: ep, rt: rt, sim: cfg.NetSim, tracer: cfg.Tracer, providers: make(map[string]*Provider)}
+	// Every instance answers the built-in heartbeat directly on the fabric
+	// goroutine — no provider pool involved, so a saturated RPC pool cannot
+	// make a healthy server look dead to the prober (liveness, not load).
+	m.ep.Register(heartbeatRPC, func(ctx context.Context, req *fabric.Request) ([]byte, error) {
+		return nil, nil
+	})
+	return m, nil
+}
+
+// heartbeatRPC is the built-in liveness probe every margo instance answers;
+// registered under the reserved "margo" service so it can never collide
+// with application providers.
+var heartbeatRPC = rpcName("margo", 0, "ping")
+
+// Ping issues the built-in heartbeat RPC to a remote instance. It is the
+// probe the health layer's prober uses: cheap (empty payload, handled off
+// the target's RPC pools) and subject to the instance's fault hooks, so
+// chaos-injected server death is visible to it like any other call.
+func (m *Instance) Ping(ctx context.Context, target fabric.Address) error {
+	_, err := m.ep.Call(ctx, target, heartbeatRPC, nil)
+	return err
 }
 
 // Addr returns the instance's reachable address.

@@ -205,3 +205,22 @@ func TestTCPInstance(t *testing.T) {
 		t.Fatalf("resp = %q", resp)
 	}
 }
+
+func TestBuiltinPing(t *testing.T) {
+	server := newInstance(t, Config{})
+	client := newInstance(t, Config{})
+	if err := client.Ping(context.Background(), server.Addr()); err != nil {
+		t.Fatalf("ping live server: %v", err)
+	}
+	// A finalized server no longer answers.
+	dead := newInstance(t, Config{})
+	addr := dead.Addr()
+	dead.Finalize()
+	if err := client.Ping(context.Background(), addr); err == nil {
+		t.Fatal("ping to finalized server should fail")
+	}
+	// Self-ping works too (a server can probe itself).
+	if err := server.Ping(context.Background(), server.Addr()); err != nil {
+		t.Fatalf("self ping: %v", err)
+	}
+}

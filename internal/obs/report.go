@@ -47,6 +47,14 @@ const (
 
 	MetricSpansRecorded = "hepnos_obs_spans_total"
 	MetricSpansDropped  = "hepnos_obs_spans_dropped_total"
+
+	MetricHealthState       = "hepnos_health_state"
+	MetricHealthTransitions = "hepnos_health_transitions_total"
+	MetricHealthProbes      = "hepnos_health_probes_total"
+	MetricFailoverReads     = "hepnos_failover_reads_total"
+	MetricReplicaWrites     = "hepnos_replica_writes_total"
+	MetricReplicaDrops      = "hepnos_replica_drops_total"
+	MetricResyncReplayed    = "hepnos_resync_replayed_total"
 )
 
 // RenderReport turns scraped sources into the hot-path text report: the

@@ -68,6 +68,11 @@ func (c *BreakerConfig) applyDefaults() {
 type Breaker struct {
 	cfg BreakerConfig
 
+	// onTrip, set at construction (Policy.BreakerFor), observes every
+	// Closed/HalfOpen → Open transition. Invoked after the breaker lock is
+	// released, so the observer may consult breaker or policy state freely.
+	onTrip func()
+
 	mu        sync.Mutex
 	state     BreakerState
 	failures  int // consecutive failures while closed
@@ -143,19 +148,25 @@ func (b *Breaker) RecordSuccess() {
 // RecordFailure notes a transport-level failure.
 func (b *Breaker) RecordFailure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	tripped := false
 	switch b.state {
 	case Closed:
 		b.failures++
 		if b.failures >= b.cfg.FailureThreshold {
 			b.trip()
+			tripped = true
 		}
 	case HalfOpen:
 		// The probe failed: straight back to open for a fresh cooldown.
 		b.probing = false
 		b.trip()
+		tripped = true
 	case Open:
 		// A call admitted just before the trip finished late; stay open.
+	}
+	b.mu.Unlock()
+	if tripped && b.onTrip != nil {
+		b.onTrip()
 	}
 }
 

@@ -85,6 +85,13 @@ type Policy struct {
 	// Sleep is the backoff waiter, injectable for deterministic tests.
 	// Nil uses a real timer honouring ctx cancellation.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// OnBreakerOpen, when non-nil, observes every breaker trip with the
+	// target it belongs to — the feed that lets the health layer learn
+	// about dead servers from the data plane instead of waiting for the
+	// next heartbeat. Set it before the policy serves traffic: it is
+	// captured when a target's breaker is first created. Called outside
+	// breaker locks.
+	OnBreakerOpen func(target string)
 
 	initOnce sync.Once
 	rng      *rand.Rand
@@ -155,7 +162,11 @@ func (p *Policy) BreakerFor(target string) *Breaker {
 	if b, ok := p.breakers.Load(target); ok {
 		return b.(*Breaker)
 	}
-	b, _ := p.breakers.LoadOrStore(target, newBreaker(*p.Breaker))
+	nb := newBreaker(*p.Breaker)
+	if cb := p.OnBreakerOpen; cb != nil {
+		nb.onTrip = func() { cb(target) }
+	}
+	b, _ := p.breakers.LoadOrStore(target, nb)
 	return b.(*Breaker)
 }
 

@@ -324,3 +324,42 @@ func TestRunConcurrentSafety(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestOnBreakerOpenCallback(t *testing.T) {
+	var mu sync.Mutex
+	var opened []string
+	p := &Policy{
+		MaxRetries: 0,
+		Breaker:    &BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour},
+	}
+	p.OnBreakerOpen = func(target string) {
+		mu.Lock()
+		opened = append(opened, target)
+		mu.Unlock()
+		// The callback runs outside breaker locks: consulting the policy's
+		// breaker state from inside it must not deadlock.
+		_ = p.BreakerFor(target).State()
+	}
+	op := func(context.Context) (int, error) { return 0, errBoom }
+	for i := 0; i < 2; i++ {
+		if _, err := Do(context.Background(), p, "srv-a", op); !errors.Is(err, errBoom) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	got := append([]string(nil), opened...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] != "srv-a" {
+		t.Fatalf("opened = %v, want [srv-a]", got)
+	}
+	// Further calls hit the open breaker without re-firing the callback.
+	if _, err := Do(context.Background(), p, "srv-a", op); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want circuit open, got %v", err)
+	}
+	mu.Lock()
+	n := len(opened)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("callback fired %d times, want 1", n)
+	}
+}

@@ -24,6 +24,16 @@ type GetMultiResult struct {
 	Found []bool
 }
 
+// PutAsync submits a single-key Put to the engine's RPC pool. Key and val
+// are owned by the operation until the eventual resolves. Replicated stores
+// use it to land the primary and replica copies of one product in parallel
+// instead of serializing one RPC per replica.
+func (c *Client) PutAsync(ctx context.Context, eng *asyncengine.Engine, db DBHandle, key, val []byte) *asyncengine.Eventual[asyncengine.Void] {
+	return asyncengine.Run(eng, ctx, asyncengine.PoolRPC, func(tctx context.Context) (asyncengine.Void, error) {
+		return asyncengine.Void{}, c.Put(tctx, db, key, val)
+	})
+}
+
 // PutMultiAsync submits PutMulti to the engine's RPC pool. The keys and
 // vals slices are owned by the operation until the eventual resolves; the
 // caller must not mutate them in the meantime.

@@ -56,6 +56,12 @@ type lsmDB struct {
 	// FlushCount and CompactCount are exposed for tests and benchmarks.
 	flushCount   int
 	compactCount int
+
+	// Recovery stats from the last open (ISSUE 5): how much local state a
+	// restarted server rebuilt on its own. Everything recovered here is
+	// state the anti-entropy pass does not need to replay from replicas.
+	recoveredRecords int // intact WAL records replayed into the memtable
+	recoveredTables  int // SSTables found on disk
 }
 
 func openLSM(name, dir string, opts LSMOptions) (*lsmDB, error) {
@@ -100,6 +106,8 @@ func openLSM(name, dir string, opts LSMOptions) (*lsmDB, error) {
 		}
 	}
 
+	db.recoveredTables = len(db.tables)
+
 	// Replay the WAL into the memtable.
 	walPath := filepath.Join(dir, "wal.log")
 	err = replayWAL(walPath, func(op byte, key, val []byte) error {
@@ -108,6 +116,7 @@ func openLSM(name, dir string, opts LSMOptions) (*lsmDB, error) {
 		} else {
 			db.mem.set(clone(key), clone(val), false)
 		}
+		db.recoveredRecords++
 		return nil
 	})
 	if err != nil {
@@ -481,6 +490,16 @@ func (db *lsmDB) Counters() (int, int) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.flushCount, db.compactCount
+}
+
+// RecoveryStats returns what the last open rebuilt from disk: intact WAL
+// records replayed into the memtable and SSTables reattached. A restarted
+// server reports these as the local half of its rejoin — only writes
+// missing from both is anti-entropy traffic.
+func (db *lsmDB) RecoveryStats() (records, tables int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.recoveredRecords, db.recoveredTables
 }
 
 func (db *lsmDB) Close() error {
