@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
 	"github.com/hep-on-hpc/hepnos-go/internal/chaos"
 	"github.com/hep-on-hpc/hepnos-go/internal/core"
@@ -23,6 +24,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/filebased"
 	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 	"github.com/hep-on-hpc/hepnos-go/internal/workflow"
 )
@@ -421,4 +423,135 @@ func TestChaosCrashOnKthWrite(t *testing.T) {
 	}
 	t.Logf("crash-on-%dth-write: %d messages observed, %d lost to the crash, all 20 events intact",
 		12, in.Observed(), in.Drops())
+}
+
+// TestChaosStormShedsTyped: the QoS front door under an injection-overload
+// storm. A rate-limited batch tenant hammers a QoS-gated service while the
+// per-tenant storm kills a share of its messages on the wire; the gate's
+// rejections must surface as *typed* ShedErrors — fast, explicit refusals
+// — never as timeouts, and the exempt interactive tenant must complete
+// untouched. The fault schedule is a pure function of CHAOS_SEED.
+func TestChaosStormShedsTyped(t *testing.T) {
+	ctx := context.Background()
+
+	dep, err := bedrock.Deploy(bedrock.DeploySpec{
+		Servers:             1,
+		ProvidersPerServer:  2,
+		EventDBsPerServer:   2,
+		ProductDBsPerServer: 2,
+		NamePrefix:          "chaos-shed",
+		QoS: &bedrock.QoSConfig{
+			Enabled: true,
+			Tenants: map[string]qos.TenantConfig{
+				// Tight bucket: the greedy tenant's batch flushes run dry
+				// after the burst and shed until the clock refills them.
+				"greedy": {Weight: 1, RatePerSec: 10, Burst: 4},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Shutdown()
+
+	seed := chaos.SeedFromEnv(5)
+	in := chaos.New(seed, &chaos.OverloadStorm{
+		Period: 10, Len: 4,
+		// Per-tenant offered load: only the greedy tenant storms; the
+		// interactive tenant's wire stays clean.
+		TenantP: map[string]float64{"greedy": 0.5, "quiet": 0},
+	})
+	chaos.Report(t, in)
+
+	pol := resilience.Default()
+	pol.MaxRetries = 6
+	pol.InitialBackoff = 100 * time.Microsecond
+	pol.MaxBackoff = 2 * time.Millisecond
+
+	greedy, err := core.Connect(ctx, core.ClientConfig{
+		Group:      dep.Group,
+		Tenant:     "greedy",
+		NetSim:     &fabric.NetSim{Fault: in.ClientFault()},
+		Resilience: pol,
+		Async:      &asyncengine.Config{Disabled: true}, // sync flushes: errors surface per call
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer greedy.Close()
+
+	dataset, err := greedy.CreateDataSet(ctx, "fermilab/nova")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential batch flushes past the bucket rate. Every failure must be
+	// a typed shed and must return promptly — a shed is a refusal, not a
+	// deadline blown on a queued request.
+	var sheds, ok int
+	var slowest time.Duration
+	for i := 0; i < 40; i++ {
+		// One-update batch: its flush is a single put RPC tagged
+		// ClassBatch on the wire.
+		wb := greedy.NewWriteBatch()
+		if _, err := wb.CreateRun(ctx, dataset, uint64(i)); err != nil {
+			t.Fatalf("queue run %d: %v", i, err)
+		}
+		start := time.Now()
+		flushErr := wb.Flush(ctx)
+		if d := time.Since(start); d > slowest {
+			slowest = d
+		}
+		switch {
+		case flushErr == nil:
+			ok++
+		case qos.IsShed(flushErr):
+			sheds++
+		default:
+			t.Fatalf("flush %d failed with an untyped error: %v", i, flushErr)
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("rate-limited tenant saw no typed sheds; the gate never engaged")
+	}
+	if ok == 0 {
+		t.Fatal("every flush shed; the bucket never admitted within its rate")
+	}
+	if slowest > 5*time.Second {
+		t.Fatalf("slowest flush took %v; sheds must reject fast, not time out", slowest)
+	}
+
+	// The quiet tenant — exempt from the storm, interactive class — reads
+	// through the same gated service without a single rejection.
+	quiet, err := core.Connect(ctx, core.ClientConfig{
+		Group:  dep.Group,
+		Tenant: "quiet",
+		NetSim: &fabric.NetSim{Fault: in.ClientFault()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quiet.Close()
+	if _, err := quiet.OpenDataSet(ctx, "fermilab/nova"); err != nil {
+		t.Fatalf("interactive tenant read failed under the storm: %v", err)
+	}
+
+	// The gate's accounting saw both tenants: greedy shed at least what the
+	// client observed, quiet shed nothing.
+	cells := map[string]int64{}
+	for _, c := range dep.Servers[0].Margo().Gate().Snapshot() {
+		cells[c.Tenant+"/"+c.Class+"/shed"] += c.Shed
+		cells[c.Tenant+"/"+c.Class+"/adm"] += c.Admitted
+	}
+	if cells["greedy/batch/shed"] == 0 {
+		t.Fatalf("server accounting shows no greedy batch sheds: %v", cells)
+	}
+	if cells["quiet/interactive/shed"] != 0 {
+		t.Fatalf("quiet tenant was shed: %v", cells)
+	}
+	if in.Drops() == 0 {
+		t.Fatal("storm injected nothing; per-tenant scenario did not run")
+	}
+	t.Logf("storm+gate: %d observed, %d injected drops, client sheds=%d ok=%d, server cells=%v",
+		in.Observed(), in.Drops(), sheds, ok, cells)
 }

@@ -32,6 +32,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/health"
 	"github.com/hep-on-hpc/hepnos-go/internal/mpi"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
 
@@ -118,6 +119,25 @@ type (
 
 // Comm is the MPI-like communicator used by parallel client applications.
 type Comm = mpi.Comm
+
+// QoS types: the multi-tenant front door. A server deployed with a
+// QoSConfig (DeploySpec.QoS) meters, fair-queues and sheds requests per
+// tenant; a client names its tenant via ClientConfig.Tenant and its
+// traffic classes are tagged automatically (batched ingest = batch,
+// cursor/prefetch reads = interactive). Overload surfaces to batch
+// writers as a typed ShedError — test with IsShed — never as a timeout.
+type (
+	// QoSConfig is the server-side admission/fairness policy (JSON).
+	QoSConfig = bedrock.QoSConfig
+	// QoSTenantConfig is one tenant's weight and ingest rate limit.
+	QoSTenantConfig = qos.TenantConfig
+	// ShedError is the typed rejection a QoS gate returns when it sheds
+	// a request instead of queueing it.
+	ShedError = qos.ShedError
+)
+
+// IsShed reports whether err is (or wraps) a QoS shed rejection.
+var IsShed = qos.IsShed
 
 // Resilience types: the shared failure-handling policy attachable to a
 // client via ClientConfig.Resilience (retry budget, exponential backoff
@@ -208,6 +228,7 @@ func ClientConfigFrom(cpc ClientProcessConfig) (ClientConfig, error) {
 		Async:         cpc.Async,
 		Tracer:        cpc.Obs.NewTracer(),
 		MinGroupEpoch: cpc.MinGroupEpoch,
+		Tenant:        cpc.Tenant,
 	}
 	if hc := cpc.Health; hc != nil {
 		cfg.DisableHeartbeat = hc.Disabled

@@ -145,6 +145,16 @@ type pool struct {
 	ap       *argo.Pool
 	slots    chan struct{}
 	counters *stats.OpCounters
+
+	// Server-push backpressure state: reserveWant is how many of the
+	// pool's slots should be held back from submitters, reserveHeld how
+	// many the reconciler currently holds. Reservations are ordinary slot
+	// tokens, so the invariant "channel length = in-flight + held" makes
+	// submitters and the throttle share one backpressure mechanism.
+	reserveWant atomic.Int32
+	reserveHeld atomic.Int32
+	reserveKick chan struct{}
+	reserveOnce sync.Once
 }
 
 // Engine owns the client's argo runtime and its bounded pools. A nil
@@ -339,6 +349,87 @@ func (e *Engine) Shutdown() {
 		e.rt.Shutdown()
 		e.wg.Wait()
 	})
+}
+
+// SetPressure applies a server-push backpressure level (0 relaxed .. 255
+// saturated) to the named pool: a share of the pool's slot semaphore is
+// reserved — held out of reach of submitters — in proportion to the
+// level, shrinking the effective in-flight bound. Level 0 releases every
+// reservation. At least one slot always remains usable, so progress (and
+// the pressure feedback loop itself) never stalls completely. Safe for
+// concurrent use; a nil engine ignores the signal.
+func (e *Engine) SetPressure(poolName string, level uint8) {
+	if e == nil {
+		return
+	}
+	p := e.pools[poolName]
+	if p == nil {
+		return
+	}
+	capacity := cap(p.slots)
+	want := capacity * int(level) / 256
+	if want > capacity-1 {
+		want = capacity - 1
+	}
+	p.reserveWant.Store(int32(want))
+	p.reserveOnce.Do(func() {
+		p.reserveKick = make(chan struct{}, 1)
+		e.wg.Add(1)
+		go e.reconcileReservations(p)
+	})
+	select {
+	case p.reserveKick <- struct{}{}:
+	default:
+	}
+}
+
+// PressureReserved reports how many of the pool's slots the throttle
+// currently holds — the test- and metrics-visible effect of SetPressure.
+func (e *Engine) PressureReserved(poolName string) int {
+	if e == nil {
+		return 0
+	}
+	p := e.pools[poolName]
+	if p == nil {
+		return 0
+	}
+	return int(p.reserveHeld.Load())
+}
+
+// reconcileReservations converges the held reservation count toward the
+// wanted one: acquiring competes with real submitters on the same slot
+// channel (so an in-flight burst drains before the throttle bites), and
+// releasing hands slots straight back to blocked submitters.
+func (e *Engine) reconcileReservations(p *pool) {
+	defer e.wg.Done()
+	held := 0
+	for {
+		want := int(p.reserveWant.Load())
+		switch {
+		case held < want:
+			select {
+			case p.slots <- struct{}{}:
+				held++
+				p.reserveHeld.Store(int32(held))
+			case <-p.reserveKick:
+				// Target moved while waiting for a slot; re-evaluate.
+			case <-e.base.Done():
+				return
+			}
+		case held > want:
+			// The channel always holds at least `held` reservation tokens,
+			// so this receive cannot steal a completion's token or block.
+			<-p.slots
+			held--
+			p.reserveHeld.Store(int32(held))
+		default:
+			select {
+			case <-p.reserveKick:
+			case <-e.base.Done():
+				return
+			}
+		}
+	}
 }
 
 // Metrics returns a per-pool snapshot of submission/completion/error

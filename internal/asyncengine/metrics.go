@@ -41,4 +41,7 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 	reg.MustRegister(obs.MetricAsyncMaxDepth,
 		"High-water mark of in-flight operations per pool.", obs.TypeGauge,
 		perPool(func(n string) float64 { return float64(snap(n).MaxDepth) }))
+	reg.MustRegister(obs.MetricQoSThrottle,
+		"Pool slots held back by server-push backpressure, per pool.", obs.TypeGauge,
+		perPool(func(n string) float64 { return float64(e.PressureReserved(n)) }))
 }

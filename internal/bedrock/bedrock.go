@@ -21,6 +21,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/health"
 	"github.com/hep-on-hpc/hepnos-go/internal/margo"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
@@ -50,6 +51,46 @@ type MargoConfig struct {
 	// Obs tunes the observability layer (§V monitoring). Nil keeps the
 	// defaults: tracing on with the default span buffer, metrics on.
 	Obs *ObsConfig `json:"obs,omitempty"`
+	// QoS configures the multi-tenant front door: per-tenant WFQ weights
+	// and admission rates, queue bound, and class-aware shed thresholds.
+	// Nil (or Enabled false) serves every request ungated, as before.
+	QoS *QoSConfig `json:"qos,omitempty"`
+}
+
+// QoSConfig is the JSON form of a qos.Config — the server's multi-tenant
+// admission, fairness and backpressure policy.
+type QoSConfig struct {
+	// Enabled turns the QoS gate on for all non-reserved providers.
+	Enabled bool `json:"enabled"`
+	// Default applies to tenants without an explicit entry in Tenants.
+	Default qos.TenantConfig `json:"default,omitempty"`
+	// Tenants holds per-tenant weight/rate overrides, keyed by tenant.
+	Tenants map[string]qos.TenantConfig `json:"tenants,omitempty"`
+	// MaxQueue bounds the gate's WFQ backlog (0: qos default of 256).
+	MaxQueue int `json:"max_queue,omitempty"`
+	// ShedBatchAt / ShedInteractiveAt are the queue-fill fractions where
+	// batch and interactive traffic start shedding (defaults 0.5 / 0.9).
+	ShedBatchAt       float64 `json:"shed_batch_at,omitempty"`
+	ShedInteractiveAt float64 `json:"shed_interactive_at,omitempty"`
+	// PressureAt is the fill fraction where pushed backpressure starts
+	// rising (default 0.25).
+	PressureAt float64 `json:"pressure_at,omitempty"`
+}
+
+// Gate materializes the config into a live qos.Config for margo.
+func (qc *QoSConfig) Gate() qos.Config {
+	if qc == nil {
+		return qos.Config{}
+	}
+	return qos.Config{
+		Enabled:           qc.Enabled,
+		Default:           qc.Default,
+		Tenants:           qc.Tenants,
+		MaxQueue:          qc.MaxQueue,
+		ShedBatchAt:       qc.ShedBatchAt,
+		ShedInteractiveAt: qc.ShedInteractiveAt,
+		PressureAt:        qc.PressureAt,
+	}
 }
 
 // ObsConfig is the JSON form of the process's observability setup. The
@@ -220,6 +261,7 @@ func Boot(cfg ProcessConfig) (*Server, error) {
 		NetSim:      sim,
 		Resilience:  policy,
 		Tracer:      tracer,
+		QoS:         cfg.Margo.QoS.Gate(),
 	})
 	if err != nil {
 		return nil, err
@@ -233,6 +275,7 @@ func Boot(cfg ProcessConfig) (*Server, error) {
 		janitorCh:  make(chan struct{}),
 	}
 	mi.Endpoint().RegisterMetrics(srv.registry)
+	mi.Gate().RegisterMetrics(srv.registry)
 	if policy != nil {
 		policy.RegisterMetrics(srv.registry)
 	}

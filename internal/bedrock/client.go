@@ -49,6 +49,9 @@ type ClientProcessConfig struct {
 	// Health tunes the client's failure detector; nil keeps the defaults
 	// (heartbeats on when RF > 1).
 	Health *HealthConfig `json:"health,omitempty"`
+	// Tenant is the QoS identity this client's traffic is attributed to
+	// on QoS-enabled servers (empty: the shared default tenant).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // HealthConfig is the JSON form of the client failure-detector knobs.

@@ -114,6 +114,9 @@ type DeploySpec struct {
 	PinProviders bool
 	// NamePrefix distinguishes concurrent inproc deployments.
 	NamePrefix string
+	// QoS, when non-nil, is copied into every server's process config:
+	// each server runs the same multi-tenant front-door policy.
+	QoS *QoSConfig
 }
 
 func (s *DeploySpec) applyDefaults() {
@@ -237,7 +240,7 @@ func BuildConfigs(spec DeploySpec) ([]ProcessConfig, error) {
 			return nil, fmt.Errorf("bedrock: unknown scheme %q", spec.Scheme)
 		}
 		cfg := ProcessConfig{
-			Margo: MargoConfig{Address: addr, RPCXStreams: spec.RPCXStreams},
+			Margo: MargoConfig{Address: addr, RPCXStreams: spec.RPCXStreams, QoS: spec.QoS},
 		}
 		if spec.PinProviders {
 			// One pool + one xstream per provider, exactly the paper's

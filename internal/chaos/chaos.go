@@ -52,6 +52,9 @@ type Msg struct {
 	N int
 	// ServerSide is true for messages observed by the serve-side hook.
 	ServerSide bool
+	// Tenant is the QoS tenant the message is attributed to (empty for
+	// untagged traffic), letting scenarios target tenants selectively.
+	Tenant string
 }
 
 // Scenario decides the fate of each observed message. Decide runs under
@@ -131,17 +134,17 @@ func (in *Injector) decide(m Msg) error {
 // ClientFault adapts the injector to the fabric.NetSim.Fault hook:
 //
 //	sim := &fabric.NetSim{Fault: injector.ClientFault()}
-func (in *Injector) ClientFault() func(target fabric.Address, rpc string, size int) error {
-	return func(target fabric.Address, rpc string, size int) error {
-		return in.decide(Msg{Peer: target, RPC: rpc, Size: size})
+func (in *Injector) ClientFault() func(target fabric.Address, rpc string, size int, tenant string) error {
+	return func(target fabric.Address, rpc string, size int, tenant string) error {
+		return in.decide(Msg{Peer: target, RPC: rpc, Size: size, Tenant: tenant})
 	}
 }
 
 // ServeFault adapts the injector to fabric.Endpoint.SetServeFault, the
 // server-side injection point.
 func (in *Injector) ServeFault() fabric.FaultHook {
-	return func(peer fabric.Address, rpc string, size int) error {
-		return in.decide(Msg{Peer: peer, RPC: rpc, Size: size, ServerSide: true})
+	return func(peer fabric.Address, rpc string, size int, tenant string) error {
+		return in.decide(Msg{Peer: peer, RPC: rpc, Size: size, ServerSide: true, Tenant: tenant})
 	}
 }
 
@@ -173,6 +176,9 @@ func renderEvent(m Msg, v Verdict) string {
 		side = "serve"
 	}
 	s := fmt.Sprintf("#%d %s %s %s %dB", m.N, side, m.RPC, m.Peer, m.Size)
+	if m.Tenant != "" {
+		s += " tenant=" + m.Tenant
+	}
 	if v.Delay > 0 {
 		s += fmt.Sprintf(" delay=%s", v.Delay)
 	}

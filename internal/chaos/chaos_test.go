@@ -15,12 +15,12 @@ func TestDropNThenHeal(t *testing.T) {
 	in := New(1, &DropN{N: 3})
 	fault := in.ClientFault()
 	for i := 0; i < 3; i++ {
-		if err := fault("inproc://a", "put", 10); !errors.Is(err, ErrInjectedDrop) {
+		if err := fault("inproc://a", "put", 10, ""); !errors.Is(err, ErrInjectedDrop) {
 			t.Fatalf("message %d should drop, got %v", i, err)
 		}
 	}
 	for i := 0; i < 5; i++ {
-		if err := fault("inproc://a", "put", 10); err != nil {
+		if err := fault("inproc://a", "put", 10, ""); err != nil {
 			t.Fatalf("message %d after heal: %v", i, err)
 		}
 	}
@@ -34,7 +34,7 @@ func TestDropWindowOffsets(t *testing.T) {
 	fault := in.ClientFault()
 	var got []bool
 	for i := 0; i < 6; i++ {
-		got = append(got, fault("inproc://a", "put", 1) != nil)
+		got = append(got, fault("inproc://a", "put", 1, "") != nil)
 	}
 	want := []bool{false, false, true, true, false, false}
 	for i := range want {
@@ -53,9 +53,9 @@ func TestSameSeedSameTrace(t *testing.T) {
 		fault := in.ClientFault()
 		serve := in.ServeFault()
 		for i := 0; i < 100; i++ {
-			fault(fabric.Address(fmt.Sprintf("inproc://s%d", i%3)), "get", i)
+			fault(fabric.Address(fmt.Sprintf("inproc://s%d", i%3)), "get", i, "")
 			if i%4 == 0 {
-				serve("inproc://cli", "yokan:0#put_multi", i)
+				serve("inproc://cli", "yokan:0#put_multi", i, "")
 			}
 		}
 		return in.Trace()
@@ -88,14 +88,14 @@ func TestPartitionByTarget(t *testing.T) {
 	bad := fabric.Address("inproc://victim")
 	in := New(1, &Partition{Peers: []fabric.Address{bad}})
 	fault := in.ClientFault()
-	if err := fault("inproc://healthy", "get", 1); err != nil {
+	if err := fault("inproc://healthy", "get", 1, ""); err != nil {
 		t.Fatalf("healthy peer dropped: %v", err)
 	}
-	if err := fault(bad, "get", 1); !errors.Is(err, ErrPartitioned) {
+	if err := fault(bad, "get", 1, ""); !errors.Is(err, ErrPartitioned) {
 		t.Fatalf("victim not partitioned: %v", err)
 	}
 	in.Heal()
-	if err := fault(bad, "get", 1); err != nil {
+	if err := fault(bad, "get", 1, ""); err != nil {
 		t.Fatalf("heal did not lift the partition: %v", err)
 	}
 }
@@ -106,7 +106,7 @@ func TestPartitionWindow(t *testing.T) {
 	fault := in.ClientFault()
 	var got []bool
 	for i := 0; i < 6; i++ {
-		got = append(got, fault(bad, "get", 1) != nil)
+		got = append(got, fault(bad, "get", 1, "") != nil)
 	}
 	want := []bool{false, false, true, true, false, false}
 	for i := range want {
@@ -120,19 +120,19 @@ func TestKillServerIsOneSidedAndTerminal(t *testing.T) {
 	victim := fabric.Address("inproc://victim")
 	in := New(1, &KillServer{Addr: victim, From: 2})
 	fault := in.ClientFault()
-	if err := fault(victim, "put", 1); err != nil {
+	if err := fault(victim, "put", 1, ""); err != nil {
 		t.Fatalf("message before From dropped: %v", err)
 	}
 	for i := 0; i < 4; i++ {
-		if err := fault(victim, "get", 1); !errors.Is(err, ErrCrashed) {
+		if err := fault(victim, "get", 1, ""); !errors.Is(err, ErrCrashed) {
 			t.Fatalf("message %d to dead server: want ErrCrashed, got %v", i, err)
 		}
-		if err := fault("inproc://survivor", "get", 1); err != nil {
+		if err := fault("inproc://survivor", "get", 1, ""); err != nil {
 			t.Fatalf("survivor %d affected by the kill: %v", i, err)
 		}
 	}
 	in.Heal()
-	if err := fault(victim, "get", 1); err != nil {
+	if err := fault(victim, "get", 1, ""); err != nil {
 		t.Fatalf("reboot (Heal) did not restore the server: %v", err)
 	}
 }
@@ -143,7 +143,7 @@ func TestRestartServerOutageWindow(t *testing.T) {
 	fault := in.ClientFault()
 	var got []bool
 	for i := 0; i < 7; i++ {
-		got = append(got, fault(victim, "get", 1) != nil)
+		got = append(got, fault(victim, "get", 1, "") != nil)
 	}
 	want := []bool{false, true, true, true, false, false, false}
 	for i := range want {
@@ -154,10 +154,10 @@ func TestRestartServerOutageWindow(t *testing.T) {
 	// The outage must not leak onto other peers even mid-window.
 	in2 := New(1, &RestartServer{Addr: victim, From: 1, Down: 0})
 	fault2 := in2.ClientFault()
-	if err := fault2(victim, "get", 1); !errors.Is(err, ErrCrashed) {
+	if err := fault2(victim, "get", 1, ""); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("Down=0 should kill until Heal, got %v", err)
 	}
-	if err := fault2("inproc://other", "get", 1); err != nil {
+	if err := fault2("inproc://other", "get", 1, ""); err != nil {
 		t.Fatalf("other peer caught the crash: %v", err)
 	}
 }
@@ -166,7 +166,7 @@ func TestOverloadStormInjectsOverloadErrors(t *testing.T) {
 	in := New(7, &OverloadStorm{Period: 10, Len: 5, P: 1})
 	fault := in.ClientFault()
 	for i := 0; i < 30; i++ {
-		err := fault("inproc://s", "put", 100)
+		err := fault("inproc://s", "put", 100, "")
 		inStorm := i%10 < 5
 		if inStorm && !errors.Is(err, fabric.ErrInjectionOverload) {
 			t.Fatalf("message %d: want overload, got %v", i, err)
@@ -182,22 +182,22 @@ func TestCrashAfterWritesIgnoresReadsThenKillsAll(t *testing.T) {
 	serve := in.ServeFault()
 	// Reads never advance the crash counter.
 	for i := 0; i < 5; i++ {
-		if err := serve("inproc://cli", "yokan:0#get", 1); err != nil {
+		if err := serve("inproc://cli", "yokan:0#get", 1, ""); err != nil {
 			t.Fatalf("read %d dropped: %v", i, err)
 		}
 	}
-	if err := serve("inproc://cli", "yokan:0#put", 1); err != nil {
+	if err := serve("inproc://cli", "yokan:0#put", 1, ""); err != nil {
 		t.Fatalf("first write should land: %v", err)
 	}
 	// The Kth write crashes the server; everything after is lost.
-	if err := serve("inproc://cli", "yokan:0#put_multi", 1); !errors.Is(err, ErrCrashed) {
+	if err := serve("inproc://cli", "yokan:0#put_multi", 1, ""); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("second write should crash: %v", err)
 	}
-	if err := serve("inproc://cli", "yokan:0#get", 1); !errors.Is(err, ErrCrashed) {
+	if err := serve("inproc://cli", "yokan:0#get", 1, ""); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("read after crash should fail: %v", err)
 	}
 	in.Heal()
-	if err := serve("inproc://cli", "yokan:0#get", 1); err != nil {
+	if err := serve("inproc://cli", "yokan:0#get", 1, ""); err != nil {
 		t.Fatalf("restarted server still failing: %v", err)
 	}
 }
@@ -290,5 +290,50 @@ func TestInjectorOnLiveEndpoints(t *testing.T) {
 	srv.SetServeFault(nil)
 	if _, err := cli.Call(ctx, srv.Addr(), "echo", []byte("z")); err != nil {
 		t.Fatalf("after removing serve fault: %v", err)
+	}
+}
+
+func TestOverloadStormTenantP(t *testing.T) {
+	// Per-tenant offered-load parameterization: the greedy tenant storms
+	// at full probability, the exempt tenant never drops, and untagged
+	// traffic falls back to the scenario-wide P.
+	in := New(7, &OverloadStorm{Period: 10, Len: 5, P: 0.5,
+		TenantP: map[string]float64{"greedy": 1, "exempt": 0}})
+	fault := in.ClientFault()
+	for i := 0; i < 40; i++ {
+		// Observations interleave greedy/exempt, so the greedy message of
+		// iteration i is observation 2i+1 (1-based) and the storm window
+		// test is on that number, not on i.
+		inStorm := (2*i)%10 < 5
+		if err := fault("inproc://s", "put", 100, "greedy"); inStorm && !errors.Is(err, fabric.ErrInjectionOverload) {
+			t.Fatalf("greedy message %d: want overload, got %v", i, err)
+		}
+		if err := fault("inproc://s", "put", 100, "exempt"); err != nil {
+			t.Fatalf("exempt message %d dropped: %v", i, err)
+		}
+	}
+}
+
+func TestOverloadStormTenantPDeterministicReplay(t *testing.T) {
+	// One CHAOS_SEED must replay the identical verdict sequence even with
+	// mixed-tenant traffic: the PRNG is drawn once per in-storm message
+	// regardless of which tenant probability applies.
+	run := func() []bool {
+		in := New(21, &OverloadStorm{Period: 8, Len: 4, P: 0.4,
+			TenantP: map[string]float64{"greedy": 0.9, "exempt": 0}})
+		fault := in.ClientFault()
+		tenants := []string{"greedy", "exempt", "", "greedy"}
+		var verdicts []bool
+		for i := 0; i < 200; i++ {
+			err := fault("inproc://s", "put", i, tenants[i%len(tenants)])
+			verdicts = append(verdicts, err != nil)
+		}
+		return verdicts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d diverged across replays with one seed", i)
+		}
 	}
 }

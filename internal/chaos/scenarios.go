@@ -131,10 +131,20 @@ func (s *LatencySpike) Decide(_ *rand.Rand, m Msg) Verdict {
 // messages fail with fabric.ErrInjectionOverload (the NIC injection-
 // bandwidth budget error) with probability P. Out of every Period
 // observations the first Len are the storm.
+//
+// TenantP parameterizes the storm per tenant: a message whose envelope
+// names a tenant listed there storms with that probability instead of P
+// (0 exempts the tenant entirely). This models asymmetric offered load —
+// a greedy batch campaign saturating the fabric while an interactive
+// tenant's traffic rides the same windows — without needing two
+// injectors. Determinism is preserved: the PRNG is drawn exactly once
+// per in-storm observation regardless of which probability applies, so
+// one CHAOS_SEED replays the identical per-message verdict sequence.
 type OverloadStorm struct {
-	Period int     // window length in observations (default 100)
-	Len    int     // storm prefix of each window (default Period/2)
-	P      float64 // drop probability inside the storm (default 1)
+	Period  int                // window length in observations (default 100)
+	Len     int                // storm prefix of each window (default Period/2)
+	P       float64            // drop probability inside the storm (default 1)
+	TenantP map[string]float64 // per-tenant override of P (0 = exempt)
 }
 
 // Name implements Scenario.
@@ -153,6 +163,9 @@ func (s *OverloadStorm) Decide(rng *rand.Rand, m Msg) Verdict {
 	p := s.P
 	if p <= 0 {
 		p = 1
+	}
+	if tp, ok := s.TenantP[m.Tenant]; ok {
+		p = tp
 	}
 	if (m.N-1)%period < length && rng.Float64() < p {
 		return Verdict{Drop: fabric.ErrInjectionOverload}

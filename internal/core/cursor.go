@@ -5,6 +5,7 @@ import (
 
 	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
@@ -86,6 +87,9 @@ func newNumberCursor(ctx context.Context, ds *DataStore, replicas []yokan.DBHand
 // result. It only reads immutable cursor fields, so a lookahead task can
 // run it concurrently with iteration of the previous page.
 func (c *numberCursor) fetchPage(ctx context.Context, from []byte) pageData {
+	// Cursor paging feeds a caller-driven read loop: interactive class,
+	// whether the fetch runs inline or on the lookahead pool.
+	ctx = qos.WithClass(ctx, qos.ClassInteractive)
 	pd := pageData{from: from}
 	for {
 		if c.ds.closed.Load() {

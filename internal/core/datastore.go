@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -119,6 +120,11 @@ type ClientConfig struct {
 	// the guard against connecting through a stale view after a rescale or
 	// rejoin changed the deployment.
 	MinGroupEpoch uint64
+	// Tenant names the QoS identity this client's traffic runs under.
+	// QoS-enabled servers meter, queue and shed per tenant; empty means
+	// the shared default tenant. The tenant rides every RPC envelope, so
+	// no per-call tagging is needed.
+	Tenant string
 }
 
 var clientSeq atomic.Int64
@@ -140,6 +146,9 @@ type DataStore struct {
 	placement Placement
 	group     bedrock.GroupFile
 	closed    atomic.Bool
+
+	// pressure mirrors server-push backpressure onto the ingest pool.
+	pressure *pressureController
 
 	// Replication and failover state (ISSUE 5): rf copies per key, a
 	// health tracker fed by the heartbeat prober and breaker trips, and
@@ -199,7 +208,17 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 			addr = fabric.Address(fmt.Sprintf("inproc://hepnos-client-%d", clientSeq.Add(1)))
 		}
 	}
-	mi, err := margo.Init(margo.Config{Address: addr, NetSim: cfg.NetSim, Resilience: cfg.Resilience, Tracer: cfg.Tracer})
+	// Server-push backpressure lands here: every reply carries the server
+	// gate's pressure level, and the controller mirrors the worst level
+	// seen across servers onto the ingest pool (shrinking WriteBatch's
+	// flush concurrency) until the pressure subsides. The controller is
+	// bound to the engine after it exists; levels observed before that
+	// are kept and applied at bind time.
+	pc := &pressureController{levels: map[fabric.Address]uint8{}}
+	mi, err := margo.Init(margo.Config{
+		Address: addr, NetSim: cfg.NetSim, Resilience: cfg.Resilience,
+		Tracer: cfg.Tracer, Tenant: cfg.Tenant, OnPressure: pc.observe,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -286,6 +305,8 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 		return nil, fmt.Errorf("hepnos: connect: async engine: %w", err)
 	}
 	ds.engine = eng
+	ds.pressure = pc
+	pc.bind(eng)
 
 	// One registry for everything this client measures. Collectors close
 	// over live counters, so building it here costs nothing per operation.
@@ -322,6 +343,72 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 		}
 	}
 	return ds, nil
+}
+
+// pressureController turns per-server backpressure levels (pushed in every
+// RPC reply by a QoS-gated server) into one client-side throttle: the
+// maximum level across servers is applied to the ingest pool, holding back
+// flush slots in proportion. The max — not the mean — because a batch
+// writer spreads every flush over all servers, so the most loaded one
+// bounds useful ingest throughput anyway.
+type pressureController struct {
+	mu      sync.Mutex
+	levels  map[fabric.Address]uint8
+	engine  *asyncengine.Engine // nil until bind
+	current uint8
+}
+
+// observe records one server's pushed level; it is the margo OnPressure
+// hook, called from RPC completion paths, so it must stay cheap.
+func (pc *pressureController) observe(target fabric.Address, level uint8) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if level == 0 {
+		delete(pc.levels, target)
+	} else {
+		pc.levels[target] = level
+	}
+	var max uint8
+	for _, l := range pc.levels {
+		if l > max {
+			max = l
+		}
+	}
+	if max == pc.current {
+		return
+	}
+	pc.current = max
+	if pc.engine != nil {
+		pc.engine.SetPressure(asyncengine.PoolIngest, max)
+	}
+}
+
+// bind attaches the engine once it exists, replaying any level already
+// observed during connect-time discovery RPCs.
+func (pc *pressureController) bind(eng *asyncengine.Engine) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.engine = eng
+	if eng != nil && pc.current != 0 {
+		eng.SetPressure(asyncengine.PoolIngest, pc.current)
+	}
+}
+
+// level returns the throttle currently applied (0–255, 0 = none).
+func (pc *pressureController) level() uint8 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.current
+}
+
+// PressureLevel reports the server-push backpressure level currently
+// applied to the client's ingest pool (0 = none, 255 = full stop). It is
+// the max across servers; tests and operators use it to see throttling.
+func (ds *DataStore) PressureLevel() uint8 {
+	if ds.pressure == nil {
+		return 0
+	}
+	return ds.pressure.level()
 }
 
 // parseDBName splits "<role>_<index>".

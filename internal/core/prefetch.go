@@ -6,6 +6,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
@@ -57,6 +58,9 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 	if len(p.sel) == 0 || len(evKeys) == 0 {
 		return nil, 0, 0
 	}
+	// Prefetch serves an analysis loop that is about to block on these
+	// products: interactive class, kept admitted while ingest sheds.
+	ctx = qos.WithClass(ctx, qos.ClassInteractive)
 	// One span covers the whole fan-out; the per-group GetMulti client
 	// spans become its children through ctx.
 	sp := p.ds.tracer.Start("core:prefetch", obs.KindInternal, obs.SpanFromContext(ctx), "")

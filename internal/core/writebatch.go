@@ -9,6 +9,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/asyncengine"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
@@ -285,6 +286,9 @@ func (w *WriteBatch) Flush(ctx context.Context) error {
 // flush runs regardless of the closed flag (Close uses it for the final
 // drain).
 func (w *WriteBatch) flush(ctx context.Context) error {
+	// Batched ingest is the QoS class servers shed first under overload;
+	// tagging here covers both the async and sync paths.
+	ctx = qos.WithClass(ctx, qos.ClassBatch)
 	// The flush span covers group submission (async) or the whole send
 	// (sync); the per-database put_multi client spans parent under it.
 	sp := w.ds.tracer.Start("core:flush", obs.KindInternal, obs.SpanFromContext(ctx), "")

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 )
 
 // BulkHandle describes a region of memory exposed by an endpoint for remote
@@ -140,10 +141,16 @@ func (e *Endpoint) PullBulkFrom(ctx context.Context, from Address, h BulkHandle)
 
 // pullBulk fetches the bytes behind a handle exposed at the remote address.
 func (e *Endpoint) pullBulk(ctx context.Context, from Address, h BulkHandle) ([]byte, error) {
+	// Bulk pulls keep the initiating request's tenant: the transfer is
+	// part of that request's work and bills against the same identity.
+	ti := qos.IdentityFromContext(ctx)
+	if ti.Tenant == "" {
+		ti.Tenant = e.tenant
+	}
 	if e.sim != nil {
 		// Bulk transfers pay bandwidth on the puller's model too; this is
 		// the RDMA read path.
-		if err := e.sim.beforeSend(ctx, from, bulkPullRPC, int(h.Size)); err != nil {
+		if err := e.sim.beforeSend(ctx, from, bulkPullRPC, int(h.Size), ti.Tenant); err != nil {
 			return nil, err
 		}
 	}
@@ -152,7 +159,7 @@ func (e *Endpoint) pullBulk(ctx context.Context, from Address, h BulkHandle) ([]
 	// returned GC-owned (the transport's done is deliberately unused):
 	// bulk payloads are large, long-lived by nature — decoded values alias
 	// them — so recycling their frames would be unsafe.
-	data, _, err := e.trans.call(ctx, from, bulkPullRPC, h.Encode(nil), obs.SpanFromContext(ctx))
+	data, _, _, err := e.trans.call(ctx, from, bulkPullRPC, h.Encode(nil), obs.SpanFromContext(ctx), ti)
 	if err != nil {
 		return nil, err
 	}

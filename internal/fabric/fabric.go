@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
 
@@ -92,19 +93,30 @@ func RetryableError(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
+	// A typed shed is the server explicitly telling the client to back
+	// off; an immediate re-send would only deepen the overload, so
+	// resilience budgets are never burned on it.
+	if qos.IsShed(err) {
+		return false
+	}
 	return true
 }
 
 // FaultHook is a server-side fault injection point: it observes each
 // incoming request before dispatch and may return an error to drop it.
-// peer is the caller's address, size the payload length.
-type FaultHook func(peer Address, rpc string, size int) error
+// peer is the caller's address, size the payload length, tenant the QoS
+// tenant from the request envelope (empty for untagged traffic) — so
+// chaos scenarios can storm one tenant while sparing another.
+type FaultHook func(peer Address, rpc string, size int, tenant string) error
 
 // Request is what a handler receives.
 type Request struct {
 	RPC     string
 	Payload []byte
 	From    Address // the caller's address (reply path for bulk pulls)
+	// Identity is the QoS identity from the request envelope (zero when
+	// the caller is pre-QoS or untagged).
+	Identity qos.Identity
 
 	ep *Endpoint
 }
@@ -178,6 +190,10 @@ type Endpoint struct {
 	stats  statsCollector
 	prof   profiler
 	tracer *obs.Tracer // nil disables span recording
+
+	tenant       string                              // default tenant stamped on outgoing calls
+	pressureSrc  atomic.Pointer[func() uint8]        // server side: gate's pressure, pushed in replies
+	pressureHook atomic.Pointer[func(Address, uint8)] // client side: observes pushed pressure
 }
 
 // Option configures an endpoint at Listen time.
@@ -206,6 +222,25 @@ func WithResilience(p *resilience.Policy) Option {
 			p.Retryable = RetryableError
 		}
 		e.res = p
+	}
+}
+
+// WithTenant sets the default QoS tenant stamped on every outgoing call
+// whose context carries no explicit identity. An empty tenant leaves
+// calls untagged (the server accounts them under qos.DefaultTenant).
+func WithTenant(tenant string) Option {
+	return func(e *Endpoint) { e.tenant = tenant }
+}
+
+// WithPressureHook installs a client-side observer of the server-push
+// backpressure signal: after each reply, hook is invoked with the
+// target's address and its current pressure level (0 = relaxed, 255 =
+// saturated). The asyncengine uses it to shrink its ingest slots.
+func WithPressureHook(hook func(target Address, level uint8)) Option {
+	return func(e *Endpoint) {
+		if hook != nil {
+			e.pressureHook.Store(&hook)
+		}
 	}
 }
 
@@ -293,6 +328,31 @@ func (e *Endpoint) SetServeFault(h FaultHook) {
 	e.mu.Unlock()
 }
 
+// SetPressureSource installs the server-side backpressure source; its
+// level rides every reply envelope. Margo points it at the QoS gate.
+func (e *Endpoint) SetPressureSource(src func() uint8) {
+	if src != nil {
+		e.pressureSrc.Store(&src)
+	}
+}
+
+// SetPressureHook installs (or replaces) the client-side pressure
+// observer after Listen — how core wires the asyncengine throttle to an
+// endpoint margo already created.
+func (e *Endpoint) SetPressureHook(hook func(target Address, level uint8)) {
+	if hook != nil {
+		e.pressureHook.Store(&hook)
+	}
+}
+
+// pressure reads the server-side pressure source (0 when none is set).
+func (e *Endpoint) pressure() uint8 {
+	if p := e.pressureSrc.Load(); p != nil {
+		return (*p)()
+	}
+	return 0
+}
+
 // Call sends an RPC to the target and waits for its response. With a
 // resilience policy attached (WithResilience), transport-level failures
 // are retried under that policy — each attempt is a fresh send paying
@@ -355,9 +415,17 @@ func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, pay
 		// survive an uninstrumented hop.
 		envSC = parent
 	}
+	// The QoS identity travels next to the span context: an explicit
+	// identity on the context wins; otherwise the endpoint's configured
+	// tenant is stamped so every call from this client is attributable.
+	ti := qos.IdentityFromContext(ctx)
+	if ti.Tenant == "" {
+		ti.Tenant = e.tenant
+	}
+	sp.SetTenant(ti.Tenant)
 	start := time.Now()
 	if e.sim != nil {
-		if err := e.sim.beforeSend(ctx, target, rpc, len(payload)); err != nil {
+		if err := e.sim.beforeSend(ctx, target, rpc, len(payload), ti.Tenant); err != nil {
 			e.stats.errors.Add(1)
 			e.prof.record(rpc, time.Since(start), true)
 			sp.End(err)
@@ -366,11 +434,21 @@ func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, pay
 	}
 	e.stats.callsSent.Add(1)
 	e.stats.bytesSent.Add(int64(len(payload)))
-	resp, done, err := e.trans.call(ctx, target, rpc, payload, envSC)
+	resp, pressure, done, err := e.trans.call(ctx, target, rpc, payload, envSC, ti)
 	e.prof.record(rpc, time.Since(start), err != nil)
 	sp.End(err)
 	if err != nil {
 		e.stats.errors.Add(1)
+		// A typed shed still carried the server's pressure level — the
+		// strongest possible back-off signal reaches the hook below.
+		if !qos.IsShed(err) {
+			return nil, nil, err
+		}
+	}
+	if hook := e.pressureHook.Load(); hook != nil {
+		(*hook)(target, pressure)
+	}
+	if err != nil {
 		return nil, nil, err
 	}
 	e.stats.bytesReceived.Add(int64(len(resp)))
@@ -390,10 +468,11 @@ func (e *Endpoint) Close() error {
 }
 
 // serve runs the handler for an incoming request and returns the response
-// payload or an error to be sent back. It is invoked by transports; sc is
-// the caller's span context from the envelope (zero when the caller did
-// not trace).
-func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, error) {
+// payload or an error to be sent back, plus the endpoint's current
+// backpressure level for the reply envelope. It is invoked by transports;
+// sc is the caller's span context from the envelope (zero when the caller
+// did not trace), ti the caller's QoS identity (zero for pre-QoS frames).
+func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload []byte, sc obs.SpanContext, ti qos.Identity) ([]byte, uint8, error) {
 	e.mu.RLock()
 	h, ok := e.handlers[rpc]
 	closed := e.closed
@@ -401,16 +480,16 @@ func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload 
 	fault := e.serveFault
 	e.mu.RUnlock()
 	if closed {
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	if fault != nil {
-		if err := fault(from, rpc, len(payload)); err != nil {
+		if err := fault(from, rpc, len(payload), ti.Tenant); err != nil {
 			e.stats.errors.Add(1)
-			return nil, &InjectedFault{Err: err}
+			return nil, e.pressure(), &InjectedFault{Err: err}
 		}
 	}
 	if !ok {
-		return nil, fmt.Errorf("%w: %q at %s", ErrNoSuchRPC, rpc, e.addr)
+		return nil, e.pressure(), fmt.Errorf("%w: %q at %s", ErrNoSuchRPC, rpc, e.addr)
 	}
 	e.stats.callsServed.Add(1)
 
@@ -418,11 +497,17 @@ func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload 
 	// plus execution — the difference against the handler's own internal
 	// span (opened after the pool picks the work up) is pure queue wait.
 	srv := e.tracer.Start(rpc, obs.KindServer, sc, string(from))
+	srv.SetTenant(ti.Tenant)
 	active := srv.Context()
 	if !active.Valid() {
 		active = sc // untraced hop: keep forwarding the caller's context
 	}
 	hctx := obs.ContextWithSpan(ctx, active)
+	if ti.Tenant != "" || ti.Class != qos.ClassUnknown {
+		// The identity flows into the handler context, so downstream calls
+		// the handler makes (replication, resync) stay attributed.
+		hctx = qos.ContextWithIdentity(hctx, ti)
+	}
 
 	type result struct {
 		resp []byte
@@ -430,21 +515,23 @@ func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload 
 	}
 	done := make(chan result, 1)
 	dispatch(func() {
-		resp, err := h(hctx, &Request{RPC: rpc, Payload: payload, From: from, ep: e})
+		resp, err := h(hctx, &Request{RPC: rpc, Payload: payload, From: from, Identity: ti, ep: e})
 		done <- result{resp, err}
 	})
 	select {
 	case r := <-done:
 		srv.End(r.err)
-		return r.resp, r.err
+		return r.resp, e.pressure(), r.err
 	case <-ctx.Done():
 		srv.End(ctx.Err())
-		return nil, ctx.Err()
+		return nil, e.pressure(), ctx.Err()
 	}
 }
 
-// transport is the wire-level half of an endpoint. sc travels in the
-// request envelope so the target can link its server span to the caller.
+// transport is the wire-level half of an endpoint. sc and ti travel in
+// the request envelope so the target can link its server span to the
+// caller and attribute the request to a tenant; pressure comes back in
+// the reply envelope (0 when the server runs no gate).
 //
 // call must not retain payload after returning. The returned response may
 // be a borrowed view into a transport-owned buffer; done (which may be
@@ -452,6 +539,6 @@ func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload 
 // response bytes are dead. done is nil whenever the response is plain
 // GC-owned memory.
 type transport interface {
-	call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) (resp []byte, done func(), err error)
+	call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext, ti qos.Identity) (resp []byte, pressure uint8, done func(), err error)
 	close() error
 }

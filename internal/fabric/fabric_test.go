@@ -283,7 +283,7 @@ func TestNetSimLatency(t *testing.T) {
 func TestNetSimFaultInjection(t *testing.T) {
 	boom := errors.New("injected fault")
 	calls := 0
-	sim := &NetSim{Fault: func(Address, string, int) error {
+	sim := &NetSim{Fault: func(Address, string, int, string) error {
 		calls++
 		if calls <= 2 {
 			return boom

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 )
 
 // inprocRegistry maps inproc addresses to live endpoints within the
@@ -36,12 +37,12 @@ func listenInproc(e *Endpoint, addr Address) (transport, Address, error) {
 	return &inprocTransport{self: e, addr: addr}, addr, nil
 }
 
-func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, func(), error) {
+func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext, ti qos.Identity) ([]byte, uint8, func(), error) {
 	inprocRegistry.RLock()
 	dst, ok := inprocRegistry.eps[target]
 	inprocRegistry.RUnlock()
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: %s", ErrUnreachable, target)
+		return nil, 0, nil, fmt.Errorf("%w: %s", ErrUnreachable, target)
 	}
 	// Copy the payload so caller and handler never alias memory, the same
 	// isolation a real wire provides. This copy is load-bearing: serve can
@@ -52,26 +53,33 @@ func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, 
 	if payload != nil {
 		in = append([]byte(nil), payload...)
 	}
-	resp, err := dst.serve(ctx, t.addr, rpc, in, sc)
+	resp, pressure, err := dst.serve(ctx, t.addr, rpc, in, sc, ti)
 	if err != nil {
 		// Injected server-side faults are message losses: they cross as
 		// transport failures, since the handler never executed.
 		var inj *InjectedFault
 		if errors.As(err, &inj) {
-			return nil, nil, err
+			return nil, pressure, nil, err
+		}
+		// Typed sheds cross typed — on a real wire they travel as their
+		// own status code, and callers must see *qos.ShedError, never a
+		// timeout or a generic remote failure.
+		var shed *qos.ShedError
+		if errors.As(err, &shed) {
+			return nil, pressure, nil, shed
 		}
 		// Application errors cross the "wire" as RemoteError, like a
 		// serialized Mercury response with an error code.
 		if _, isRemote := err.(*RemoteError); !isRemote && ctx.Err() == nil {
 			err = &RemoteError{RPC: rpc, Msg: err.Error()}
 		}
-		return nil, nil, err
+		return nil, pressure, nil, err
 	}
 	// The response crosses without a copy: handlers build fresh GC-owned
 	// responses and never touch them after returning (on the early-return
 	// race the abandoned response is simply dropped), so aliasing is safe.
 	// done is nil — there is no pooled receive buffer to give back.
-	return resp, nil, nil
+	return resp, pressure, nil, nil
 }
 
 func (t *inprocTransport) close() error {

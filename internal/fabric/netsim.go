@@ -32,8 +32,10 @@ type NetSim struct {
 	// reproducing the Aries NIC crash mode.
 	InjectionHardFail bool
 	// Fault, when non-nil, is consulted before each send and may return an
-	// error to inject a failure (drop) for that message.
-	Fault func(target Address, rpc string, size int) error
+	// error to inject a failure (drop) for that message. tenant is the QoS
+	// tenant the message is attributed to (empty for untagged traffic), so
+	// chaos scenarios can storm tenants selectively.
+	Fault func(target Address, rpc string, size int, tenant string) error
 	// Now supplies the token bucket's clock; nil means time.Now. Chaos
 	// tests inject a fake clock here so injection-budget behaviour is
 	// deterministic instead of sleep-calibrated.
@@ -58,12 +60,12 @@ var ErrInjectionOverload = errors.New("fabric: NIC injection bandwidth exceeded"
 
 // beforeSend applies the cost model; it blocks for simulated transfer time
 // and returns an error for injected faults.
-func (s *NetSim) beforeSend(ctx context.Context, target Address, rpc string, size int) error {
+func (s *NetSim) beforeSend(ctx context.Context, target Address, rpc string, size int, tenant string) error {
 	if s == nil {
 		return nil
 	}
 	if s.Fault != nil {
-		if err := s.Fault(target, rpc, size); err != nil {
+		if err := s.Fault(target, rpc, size, tenant); err != nil {
 			return err
 		}
 	}

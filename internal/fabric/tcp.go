@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/wire"
 )
 
@@ -18,22 +19,33 @@ import (
 //
 //	frame   = u32 length, body
 //	request = 'Q', u64 reqID, u16 rpcLen, rpc, u16 fromLen, from,
-//	          u64 trace, u64 span, payload
-//	reply   = 'R', u64 reqID, u8 status, payload-or-error-message
+//	          u64 trace, u64 span, payload                      (legacy)
+//	        | 'T', u64 reqID, u16 rpcLen, rpc, u16 fromLen, from,
+//	          u64 trace, u64 span, u8 class, u16 tenantLen, tenant,
+//	          payload                                            (QoS)
+//	reply   = 'R', u64 reqID, u8 status, payload                 (legacy)
+//	        | 'S', u64 reqID, u8 status, u8 pressure, payload    (QoS)
 //
-// trace/span carry the caller's span context (zero when untraced), the
-// 16-byte envelope cost of cross-tier trace linkage.
+// trace/span carry the caller's span context (zero when untraced);
+// class/tenant carry the caller's QoS identity, and pressure carries the
+// server's backpressure level (0 relaxed .. 255 saturated) back on every
+// reply. Current endpoints always emit 'T'/'S'; 'Q'/'R' stay parseable so
+// pre-QoS peers interoperate (zero identity, zero pressure).
 //
 // status 0 is success; 1 is an application error whose message follows;
 // 2 is an injected server-side fault (chaos testing) that the caller
-// must treat as a transport-level loss, not an application error.
+// must treat as a transport-level loss, not an application error; 3 is a
+// typed QoS shed whose payload is the encoded qos.ShedError.
 const (
-	frameRequest = 'Q'
-	frameReply   = 'R'
+	frameRequest    = 'Q'
+	frameReply      = 'R'
+	frameRequestQoS = 'T'
+	frameReplyQoS   = 'S'
 
 	statusOK    = 0
 	statusErr   = 1
 	statusFault = 2
+	statusShed  = 3
 
 	maxFrame = 1 << 30 // sanity cap: 1 GiB per message
 )
@@ -111,14 +123,14 @@ func (t *tcpTransport) connLoop(c *tcpConn) {
 			return
 		}
 		switch body[0] {
-		case frameRequest:
+		case frameRequest, frameRequestQoS:
 			// The payload is a borrowed view into the pooled frame buffer —
 			// no clone. The goroutine owns the frame: serve (and therefore
 			// the handler) completes before the reply is written, after
 			// which the frame is recycled. serve is given a background
 			// context precisely so it cannot return while the handler is
 			// still reading the borrowed payload.
-			reqID, rpc, from, sc, payload, err := parseRequest(body)
+			reqID, rpc, from, sc, ti, payload, err := parseRequest(body)
 			if err != nil {
 				buf.Release()
 				c.failAll(err)
@@ -128,16 +140,22 @@ func (t *tcpTransport) connLoop(c *tcpConn) {
 			go func() {
 				defer t.wg.Done()
 				defer buf.Release()
-				resp, herr := t.self.serve(context.Background(), from, rpc, payload, sc)
+				resp, pressure, herr := t.self.serve(context.Background(), from, rpc, payload, sc, ti)
 				if herr != nil {
 					status := byte(statusErr)
+					msg := []byte(herr.Error())
 					var inj *InjectedFault
-					if errors.As(herr, &inj) {
+					var shed *qos.ShedError
+					switch {
+					case errors.As(herr, &inj):
 						status = statusFault
+					case errors.As(herr, &shed):
+						status = statusShed
+						msg = shed.AppendWire(msg[:0])
 					}
-					c.writeFrame(frameReply, reqID, status, []byte(herr.Error()))
+					c.writeReply(reqID, status, pressure, msg)
 				} else {
-					c.writeFrame(frameReply, reqID, statusOK, resp)
+					c.writeReply(reqID, statusOK, pressure, resp)
 				}
 			}()
 		case frameReply:
@@ -152,6 +170,14 @@ func (t *tcpTransport) connLoop(c *tcpConn) {
 			// payload is a borrowed view and done recycles the buffer. If
 			// no caller is waiting (canceled), deliver releases it.
 			c.deliver(reqID, tcpReply{status: status, payload: body[10:], done: buf.Release})
+		case frameReplyQoS:
+			if len(body) < 11 {
+				buf.Release()
+				c.failAll(fmt.Errorf("fabric: short reply frame"))
+				return
+			}
+			reqID := binary.LittleEndian.Uint64(body[1:9])
+			c.deliver(reqID, tcpReply{status: body[9], pressure: body[10], payload: body[11:], done: buf.Release})
 		default:
 			buf.Release()
 			c.failAll(fmt.Errorf("fabric: unknown frame kind %q", body[0]))
@@ -160,36 +186,41 @@ func (t *tcpTransport) connLoop(c *tcpConn) {
 	}
 }
 
-func (t *tcpTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext) ([]byte, func(), error) {
+func (t *tcpTransport) call(ctx context.Context, target Address, rpc string, payload []byte, sc obs.SpanContext, ti qos.Identity) ([]byte, uint8, func(), error) {
 	c, err := t.getConn(target)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
 	reqID, ch := c.newPending()
-	if err := c.writeRequest(reqID, rpc, t.addr, sc, payload); err != nil {
+	if err := c.writeRequest(reqID, rpc, t.addr, sc, ti, payload); err != nil {
 		c.cancelPending(reqID)
 		t.dropConn(target, c)
-		return nil, nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, target, err)
+		return nil, 0, nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, target, err)
 	}
 	select {
 	case r, ok := <-ch:
 		if !ok {
-			return nil, nil, fmt.Errorf("%w: %s: connection lost", ErrUnreachable, target)
+			return nil, 0, nil, fmt.Errorf("%w: %s: connection lost", ErrUnreachable, target)
 		}
 		if r.status == statusFault {
 			err := &InjectedFault{Err: fmt.Errorf("%w: %s dropped %s: %s", ErrUnreachable, target, rpc, r.payload)}
 			r.release()
-			return nil, nil, err
+			return nil, r.pressure, nil, err
+		}
+		if r.status == statusShed {
+			shed := qos.ParseShedWire(r.payload)
+			r.release()
+			return nil, r.pressure, nil, shed
 		}
 		if r.status == statusErr {
 			err := &RemoteError{RPC: rpc, Msg: string(r.payload)}
 			r.release()
-			return nil, nil, err
+			return nil, r.pressure, nil, err
 		}
-		return r.payload, r.done, nil
+		return r.payload, r.pressure, r.done, nil
 	case <-ctx.Done():
 		c.cancelPending(reqID)
-		return nil, nil, ctx.Err()
+		return nil, 0, nil, ctx.Err()
 	}
 }
 
@@ -251,9 +282,10 @@ func (t *tcpTransport) close() error {
 }
 
 type tcpReply struct {
-	status  byte
-	payload []byte // borrowed view into a pooled frame buffer
-	done    func() // recycles the frame; nil-safe via release
+	status   byte
+	pressure byte   // server-push backpressure from the 'S' envelope
+	payload  []byte // borrowed view into a pooled frame buffer
+	done     func() // recycles the frame; nil-safe via release
 }
 
 func (r tcpReply) release() {
@@ -319,40 +351,63 @@ func (c *tcpConn) failAll(error) {
 	c.pmu.Unlock()
 }
 
+// appendRequestHeader appends the 'T' request body header — everything
+// before the payload — to b. Pure (no I/O, no pooling), so the fuzz suite
+// round-trips it directly against parseRequest.
+func appendRequestHeader(b []byte, reqID uint64, rpc string, from Address, sc obs.SpanContext, ti qos.Identity) []byte {
+	var u8 [8]byte
+	b = append(b, frameRequestQoS)
+	binary.LittleEndian.PutUint64(u8[:], reqID)
+	b = append(b, u8[:]...)
+	binary.LittleEndian.PutUint16(u8[:2], uint16(len(rpc)))
+	b = append(b, u8[:2]...)
+	b = append(b, rpc...)
+	binary.LittleEndian.PutUint16(u8[:2], uint16(len(from)))
+	b = append(b, u8[:2]...)
+	b = append(b, from...)
+	binary.LittleEndian.PutUint64(u8[:], sc.Trace)
+	b = append(b, u8[:]...)
+	binary.LittleEndian.PutUint64(u8[:], sc.Span)
+	b = append(b, u8[:]...)
+	b = append(b, byte(ti.Class))
+	binary.LittleEndian.PutUint16(u8[:2], uint16(len(ti.Tenant)))
+	b = append(b, u8[:2]...)
+	b = append(b, ti.Tenant...)
+	return b
+}
+
+// requestHeaderLen is the byte length appendRequestHeader will produce.
+func requestHeaderLen(rpc string, from Address, ti qos.Identity) int {
+	return 1 + 8 + 2 + len(rpc) + 2 + len(from) + 16 + 1 + 2 + len(ti.Tenant)
+}
+
 // writeRequest sends a request frame scatter-gather style: the header is
 // built in a small pooled buffer and the payload is handed to the kernel as
 // a second iovec (net.Buffers → writev), so the payload bytes are never
 // copied into an intermediate frame allocation.
-func (c *tcpConn) writeRequest(reqID uint64, rpc string, from Address, sc obs.SpanContext, payload []byte) error {
-	hdr := wire.Acquire(4 + 1 + 8 + 2 + len(rpc) + 2 + len(from) + 16)
+func (c *tcpConn) writeRequest(reqID uint64, rpc string, from Address, sc obs.SpanContext, ti qos.Identity, payload []byte) error {
+	hdrLen := requestHeaderLen(rpc, from, ti)
+	hdr := wire.Acquire(4 + hdrLen)
 	defer hdr.Release()
-	body := 1 + 8 + 2 + len(rpc) + 2 + len(from) + 16 + len(payload)
-	b := hdr.B[:4+body-len(payload)]
-	binary.LittleEndian.PutUint32(b[0:], uint32(body))
-	b[4] = frameRequest
-	binary.LittleEndian.PutUint64(b[5:], reqID)
-	binary.LittleEndian.PutUint16(b[13:], uint16(len(rpc)))
-	copy(b[15:], rpc)
-	off := 15 + len(rpc)
-	binary.LittleEndian.PutUint16(b[off:], uint16(len(from)))
-	copy(b[off+2:], from)
-	off += 2 + len(from)
-	binary.LittleEndian.PutUint64(b[off:], sc.Trace)
-	binary.LittleEndian.PutUint64(b[off+8:], sc.Span)
+	b := hdr.B[:4]
+	binary.LittleEndian.PutUint32(b, uint32(hdrLen+len(payload)))
+	b = appendRequestHeader(b, reqID, rpc, from, sc, ti)
 	hdr.B = b
 	return c.writev(b, payload)
 }
 
-// writeFrame sends a reply frame, likewise header-pooled + writev.
-func (c *tcpConn) writeFrame(kind byte, reqID uint64, status byte, payload []byte) error {
-	hdr := wire.Acquire(4 + 1 + 8 + 1)
+// writeReply sends an 'S' reply frame — status plus the server's pushed
+// pressure level — likewise header-pooled + writev.
+func (c *tcpConn) writeReply(reqID uint64, status, pressure byte, payload []byte) error {
+	hdr := wire.Acquire(4 + 1 + 8 + 1 + 1)
 	defer hdr.Release()
-	body := 1 + 8 + 1 + len(payload)
-	b := hdr.B[:14]
+	body := 1 + 8 + 1 + 1 + len(payload)
+	b := hdr.B[:15]
 	binary.LittleEndian.PutUint32(b[0:], uint32(body))
-	b[4] = kind
+	b[4] = frameReplyQoS
 	binary.LittleEndian.PutUint64(b[5:], reqID)
 	b[13] = status
+	b[14] = pressure
 	hdr.B = b
 	return c.writev(b, payload)
 }
@@ -393,12 +448,16 @@ func readFrame(r io.Reader) (*wire.Buf, error) {
 	return buf, nil
 }
 
-func parseRequest(body []byte) (reqID uint64, rpc string, from Address, sc obs.SpanContext, payload []byte, err error) {
-	fail := func(msg string) (uint64, string, Address, obs.SpanContext, []byte, error) {
-		return 0, "", "", obs.SpanContext{}, nil, errors.New("fabric: " + msg)
+func parseRequest(body []byte) (reqID uint64, rpc string, from Address, sc obs.SpanContext, ti qos.Identity, payload []byte, err error) {
+	fail := func(msg string) (uint64, string, Address, obs.SpanContext, qos.Identity, []byte, error) {
+		return 0, "", "", obs.SpanContext{}, qos.Identity{}, nil, errors.New("fabric: " + msg)
 	}
 	if len(body) < 11 {
 		return fail("short request frame")
+	}
+	kind := body[0]
+	if kind != frameRequest && kind != frameRequestQoS {
+		return fail("not a request frame")
 	}
 	reqID = binary.LittleEndian.Uint64(body[1:9])
 	rpcLen := int(binary.LittleEndian.Uint16(body[9:11]))
@@ -415,8 +474,23 @@ func parseRequest(body []byte) (reqID uint64, rpc string, from Address, sc obs.S
 	off += 2 + fromLen
 	sc.Trace = binary.LittleEndian.Uint64(body[off : off+8])
 	sc.Span = binary.LittleEndian.Uint64(body[off+8 : off+16])
+	off += 16
+	if kind == frameRequestQoS {
+		// The QoS identity sits between the span context and the payload;
+		// legacy 'Q' frames simply lack it (zero identity).
+		if len(body) < off+3 {
+			return fail("truncated qos identity")
+		}
+		ti.Class = qos.Class(body[off])
+		tenantLen := int(binary.LittleEndian.Uint16(body[off+1 : off+3]))
+		if len(body) < off+3+tenantLen {
+			return fail("truncated tenant name")
+		}
+		ti.Tenant = string(body[off+3 : off+3+tenantLen])
+		off += 3 + tenantLen
+	}
 	// The payload is a borrowed view into the frame body, not a clone; the
 	// frame's owner keeps it alive until the handler has replied.
-	payload = body[off+16:]
-	return reqID, rpc, from, sc, payload, nil
+	payload = body[off:]
+	return reqID, rpc, from, sc, ti, payload, nil
 }

@@ -19,6 +19,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/argo"
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 )
 
@@ -37,6 +38,7 @@ type Instance struct {
 	rt     *argo.Runtime
 	sim    *fabric.NetSim
 	tracer *obs.Tracer
+	gate   *qos.Gate // nil when QoS is disabled
 
 	mu        sync.Mutex
 	providers map[string]*Provider
@@ -65,6 +67,19 @@ type Config struct {
 	// Argobots pool, so queue wait (server span minus exec span) becomes
 	// visible per RPC.
 	Tracer *obs.Tracer
+	// Tenant, when set, is stamped on every outgoing call whose context
+	// carries no explicit QoS identity — the client side of multi-tenancy.
+	Tenant string
+	// QoS, when Enabled, puts a qos.Gate in front of provider dispatch:
+	// admission control, class-aware shedding, weighted fair queueing
+	// across tenants, and a pressure level pushed in every reply — the
+	// server side of multi-tenancy. Reserved services ("margo" heartbeats,
+	// "admin" control plane) bypass the gate.
+	QoS qos.Config
+	// OnPressure, when non-nil, observes the pressure level each reply
+	// envelope carries back from a server. Core wires it to the
+	// asyncengine's ingest throttle.
+	OnPressure func(target fabric.Address, level uint8)
 }
 
 // Init starts a margo instance.
@@ -91,12 +106,22 @@ func Init(cfg Config) (*Instance, error) {
 	if cfg.Tracer != nil {
 		opts = append(opts, fabric.WithTracer(cfg.Tracer))
 	}
+	if cfg.Tenant != "" {
+		opts = append(opts, fabric.WithTenant(cfg.Tenant))
+	}
+	if cfg.OnPressure != nil {
+		opts = append(opts, fabric.WithPressureHook(cfg.OnPressure))
+	}
 	ep, err := fabric.Listen(cfg.Address, opts...)
 	if err != nil {
 		rt.Shutdown()
 		return nil, err
 	}
 	m := &Instance{ep: ep, rt: rt, sim: cfg.NetSim, tracer: cfg.Tracer, providers: make(map[string]*Provider)}
+	if gate := qos.NewGate(cfg.QoS); gate != nil {
+		m.gate = gate
+		ep.SetPressureSource(gate.Pressure)
+	}
 	// Every instance answers the built-in heartbeat directly on the fabric
 	// goroutine — no provider pool involved, so a saturated RPC pool cannot
 	// make a healthy server look dead to the prober (liveness, not load).
@@ -131,6 +156,17 @@ func (m *Instance) Runtime() *argo.Runtime { return m.rt }
 
 // Tracer returns the instance's span tracer (nil when tracing is off).
 func (m *Instance) Tracer() *obs.Tracer { return m.tracer }
+
+// Gate returns the instance's QoS gate (nil when QoS is disabled) — for
+// metrics registration and test assertions.
+func (m *Instance) Gate() *qos.Gate { return m.gate }
+
+// gateExempt reports whether a service bypasses the QoS gate: the margo
+// heartbeat must stay load-independent (liveness, not load) and the admin
+// control plane must stay reachable precisely when the gate is shedding.
+func gateExempt(service string) bool {
+	return service == "margo" || service == "admin"
+}
 
 // Provider is a registered service instance.
 type Provider struct {
@@ -172,6 +208,10 @@ func (m *Instance) RegisterProvider(service string, id ProviderID, pool *argo.Po
 		return nil, fmt.Errorf("margo: provider %s already registered", key)
 	}
 	p := &Provider{Service: service, ID: id, Pool: pool}
+	gate := m.gate
+	if gateExempt(service) {
+		gate = nil
+	}
 	for name, h := range handlers {
 		h := h
 		p.rpcs = append(p.rpcs, name)
@@ -181,15 +221,30 @@ func (m *Instance) RegisterProvider(service string, id ProviderID, pool *argo.Po
 			// goroutine blocks on the eventual, which is exactly a
 			// Margo handler blocking on an ABT_eventual.
 			ev := argo.NewEventual[[]byte]()
-			if err := pool.Push(func() {
+			run := func() {
 				// The exec span opens once the pool picks the work up;
 				// the enclosing server span opened before the push, so
 				// server minus exec is the RPC's queue wait.
 				exec := m.tracer.Start("exec:"+wire, obs.KindInternal, obs.SpanFromContext(ctx), "")
+				exec.SetTenant(req.Identity.Tenant)
 				resp, err := h(obs.ContextWithSpan(ctx, exec.Context()), req)
 				exec.End(err)
 				ev.Set(resp, err)
-			}); err != nil {
+			}
+			if gate != nil {
+				// The gate owns admission and ordering; the pool owns
+				// execution. Submit either sheds (typed error, handler
+				// never queued) or enqueues, and exactly one RunNext is
+				// pushed per admitted request, so the pool's item count
+				// matches the WFQ backlog while the *order* items run in
+				// is re-decided by tenant fairness at drain time.
+				if err := gate.Submit(req.Identity, len(req.Payload), run); err != nil {
+					return nil, err
+				}
+				if err := pool.Push(gate.RunNext); err != nil {
+					return nil, err
+				}
+			} else if err := pool.Push(run); err != nil {
 				return nil, err
 			}
 			return ev.Wait()

@@ -48,6 +48,13 @@ const (
 	MetricSpansRecorded = "hepnos_obs_spans_total"
 	MetricSpansDropped  = "hepnos_obs_spans_dropped_total"
 
+	MetricQoSAdmitted   = "hepnos_qos_admitted_total"
+	MetricQoSShed       = "hepnos_qos_shed_total"
+	MetricQoSQueuedNs   = "hepnos_qos_queued_ns_total"
+	MetricQoSQueueDepth = "hepnos_qos_queue_depth"
+	MetricQoSPressure   = "hepnos_qos_pressure"
+	MetricQoSThrottle   = "hepnos_qos_throttle_reserved_slots"
+
 	MetricHealthState       = "hepnos_health_state"
 	MetricHealthTransitions = "hepnos_health_transitions_total"
 	MetricHealthProbes      = "hepnos_health_probes_total"

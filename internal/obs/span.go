@@ -68,6 +68,9 @@ type Span struct {
 	Start time.Time     `json:"start"`
 	Dur   time.Duration `json:"dur"`
 	Err   bool          `json:"err,omitempty"`
+	// Tenant is the QoS tenant the operation belonged to; empty when the
+	// request carried no identity.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // idState generates process-unique span and trace IDs: a SplitMix64 walk
@@ -150,6 +153,15 @@ func (a *ActiveSpan) Context() SpanContext {
 		return SpanContext{}
 	}
 	return SpanContext{Trace: a.span.Trace, Span: a.span.ID}
+}
+
+// SetTenant annotates the span with the QoS tenant it served. No-op on a
+// nil span.
+func (a *ActiveSpan) SetTenant(tenant string) {
+	if a == nil || tenant == "" {
+		return
+	}
+	a.span.Tenant = tenant
 }
 
 // End finishes the span, marking it failed when err is non-nil, and

@@ -1,0 +1,71 @@
+package qos
+
+import "time"
+
+// TokenBucket meters one tenant's offered load: Rate tokens accrue per
+// second up to Burst, and each admitted request spends its cost. The
+// clock is injectable so the property suite and the chaos harness drive
+// it deterministically — no sleeps, no wall-clock flakiness.
+//
+// The bucket is not safe for concurrent use; the Gate serializes access
+// under its own lock.
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket builds a bucket that starts full. rate and burst are
+// clamped to be positive; now defaults to time.Now.
+func NewTokenBucket(rate, burst float64, now func() time.Time) *TokenBucket {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// refill accrues tokens for the time elapsed since the last observation.
+// A clock that stands still or steps backwards accrues nothing — refill
+// is monotone in observed time.
+func (b *TokenBucket) refill() {
+	t := b.now()
+	el := t.Sub(b.last).Seconds()
+	if el <= 0 {
+		return
+	}
+	b.last = t
+	b.tokens += el * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Take admits a request of the given cost if the bucket holds enough
+// tokens, spending them; otherwise it admits nothing and spends nothing.
+// A cost at or below zero is treated as one token.
+func (b *TokenBucket) Take(cost float64) bool {
+	if cost <= 0 {
+		cost = 1
+	}
+	b.refill()
+	if b.tokens < cost {
+		return false
+	}
+	b.tokens -= cost
+	return true
+}
+
+// Tokens reports the current level after refill — for tests and the
+// pressure computation.
+func (b *TokenBucket) Tokens() float64 {
+	b.refill()
+	return b.tokens
+}

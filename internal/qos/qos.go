@@ -1,0 +1,160 @@
+// Package qos is the multi-tenant front door of the stack: per-tenant
+// identity riding the fabric RPC envelope (next to the obs span context),
+// token-bucket admission with class-aware load shedding, weighted fair
+// queueing across tenants in front of the server's Argobots pools, and a
+// server-push backpressure signal carried in the RPC reply envelope.
+//
+// The paper's §IV-E saturation results show the service is throughput-bound
+// exactly when many concurrent clients pile on; nothing in the Mochi stack
+// protects the service from its *clients* — one greedy bulk ingest can
+// starve every interactive analysis read. This package adds the serving
+// tier that ServiceX-style delivery services put in front of HEP storage:
+//
+//   - Identity: every RPC carries a tenant name and a traffic class
+//     (interactive read vs batched ingest). The client endpoint stamps a
+//     default tenant; core-layer paths override the class per operation
+//     (WriteBatch flushes are batch, prefetch/cursor/load are interactive).
+//   - Admission: a per-tenant token bucket meters offered load. When the
+//     bucket is dry or queue thresholds trip, requests are shed with a
+//     *typed* rejection (ShedError) — never a timeout — and batch traffic
+//     is always shed before interactive traffic.
+//   - Scheduling: admitted requests enter a weighted-fair queue; the
+//     provider's Argobots streams drain tenants in proportion to their
+//     configured weights, so a backlog from one tenant cannot monopolize
+//     execution.
+//   - Backpressure: the gate derives a pressure level (0..255) from its
+//     queue depth; the server pushes it in every reply envelope and the
+//     client's asyncengine honors it by shrinking its ingest slot
+//     semaphore, slowing the producer at the source.
+//
+// The package sits below fabric (it imports only the standard library and
+// obs), mirroring how obs.SpanContext crosses the wire.
+package qos
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Class is the traffic class of one request — the unit of the shedding
+// order: under pressure, batch is rejected before interactive.
+type Class uint8
+
+// Traffic classes. The zero value means "untagged" and is treated as
+// interactive (the safe default: untagged traffic is never shed first).
+const (
+	ClassUnknown     Class = 0
+	ClassInteractive Class = 1
+	ClassBatch       Class = 2
+)
+
+// String renders the class for metrics labels and error messages.
+func (c Class) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassBatch:
+		return "batch"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultTenant is the identity assigned to traffic from clients that
+// configured no tenant — pre-QoS clients keep working, grouped under one
+// shared identity.
+const DefaultTenant = "default"
+
+// Identity is who a request belongs to and what kind of traffic it is.
+// It crosses the wire in the fabric request envelope.
+type Identity struct {
+	Tenant string
+	Class  Class
+}
+
+// ctxKey carries an Identity through a context.
+type ctxKey struct{}
+
+// ContextWithIdentity returns a context carrying id, so the fabric layer
+// stamps it into every outgoing RPC envelope.
+func ContextWithIdentity(ctx context.Context, id Identity) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// IdentityFromContext returns the identity carried by ctx, or the zero
+// identity when none is set.
+func IdentityFromContext(ctx context.Context) Identity {
+	if ctx == nil {
+		return Identity{}
+	}
+	id, _ := ctx.Value(ctxKey{}).(Identity)
+	return id
+}
+
+// WithClass tags ctx's identity with a traffic class, preserving any
+// tenant already present. Core-layer paths use it to mark their RPCs:
+// WriteBatch flushes and bulk ingest are ClassBatch, prefetch/cursor/load
+// fan-outs are ClassInteractive.
+func WithClass(ctx context.Context, c Class) context.Context {
+	id := IdentityFromContext(ctx)
+	if id.Class == c {
+		return ctx
+	}
+	id.Class = c
+	return ContextWithIdentity(ctx, id)
+}
+
+// ShedError is the typed rejection of admission control: the server
+// explicitly refused the request before running it. It is not a transport
+// failure (re-sending immediately is pointless — the server is telling
+// the client to back off) and not an application error (the handler never
+// ran); resilience policies must not burn retries on it.
+type ShedError struct {
+	Tenant string
+	Class  Class
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("qos: request shed (tenant=%s class=%s): %s", e.Tenant, e.Class, e.Reason)
+}
+
+// IsShed reports whether err is (or wraps) a typed admission rejection.
+func IsShed(err error) bool {
+	var shed *ShedError
+	return errors.As(err, &shed)
+}
+
+// AppendWire encodes the shed error for the fabric reply envelope:
+// u8 class, u16 tenant length, tenant bytes, reason bytes.
+func (e *ShedError) AppendWire(b []byte) []byte {
+	b = append(b, byte(e.Class))
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(e.Tenant)))
+	b = append(b, l[:]...)
+	b = append(b, e.Tenant...)
+	b = append(b, e.Reason...)
+	return b
+}
+
+// ParseShedWire decodes a shed-error payload produced by AppendWire. A
+// malformed payload yields a ShedError with the raw bytes as reason, so a
+// shed never degrades into an untyped failure.
+func ParseShedWire(b []byte) *ShedError {
+	if len(b) < 3 {
+		return &ShedError{Tenant: DefaultTenant, Reason: string(b)}
+	}
+	cls := Class(b[0])
+	tl := int(binary.LittleEndian.Uint16(b[1:3]))
+	if len(b) < 3+tl {
+		return &ShedError{Tenant: DefaultTenant, Class: cls, Reason: string(b[3:])}
+	}
+	return &ShedError{
+		Tenant: string(b[3 : 3+tl]),
+		Class:  cls,
+		Reason: string(b[3+tl:]),
+	}
+}

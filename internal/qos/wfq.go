@@ -1,0 +1,110 @@
+package qos
+
+import "container/heap"
+
+// wfq is a start-time fair queueing scheduler: each tenant has a FIFO of
+// pending items; the scheduler pops from the tenant whose head item has
+// the smallest virtual finish time, F = max(V, lastFinish[tenant]) +
+// cost/weight. Over a backlog window each tenant's dequeued byte-share
+// converges to its weight share regardless of arrival order — the
+// property the fairness suite asserts.
+//
+// Not safe for concurrent use; the Gate serializes access.
+type wfq struct {
+	vtime   float64
+	queues  map[string]*tenantQueue
+	active  tenantHeap
+	weights func(tenant string) float64
+	length  int
+}
+
+type wfqItem struct {
+	cost   float64
+	run    func()
+	finish float64
+}
+
+type tenantQueue struct {
+	tenant     string
+	items      []wfqItem
+	lastFinish float64
+	idx        int // heap index, -1 when inactive
+}
+
+// headFinish is the virtual finish time of the queue's head item.
+func (q *tenantQueue) headFinish() float64 { return q.items[0].finish }
+
+type tenantHeap []*tenantQueue
+
+func (h tenantHeap) Len() int            { return len(h) }
+func (h tenantHeap) Less(i, j int) bool  { return h[i].headFinish() < h[j].headFinish() }
+func (h tenantHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *tenantHeap) Push(x interface{}) { q := x.(*tenantQueue); q.idx = len(*h); *h = append(*h, q) }
+func (h *tenantHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	old[n-1] = nil
+	q.idx = -1
+	*h = old[:n-1]
+	return q
+}
+
+func newWFQ(weights func(tenant string) float64) *wfq {
+	return &wfq{queues: make(map[string]*tenantQueue), weights: weights}
+}
+
+// push enqueues one item for tenant, stamping its virtual finish time.
+func (w *wfq) push(tenant string, cost float64, run func()) {
+	if cost <= 0 {
+		cost = 1
+	}
+	wt := w.weights(tenant)
+	if wt <= 0 {
+		wt = 1
+	}
+	q := w.queues[tenant]
+	if q == nil {
+		q = &tenantQueue{tenant: tenant, idx: -1}
+		w.queues[tenant] = q
+	}
+	start := w.vtime
+	if len(q.items) > 0 {
+		// Items behind a backlog chain off the backlog's finish time.
+		start = q.items[len(q.items)-1].finish
+	} else if q.lastFinish > start {
+		start = q.lastFinish
+	}
+	q.items = append(q.items, wfqItem{cost: cost, run: run, finish: start + cost/wt})
+	w.length++
+	if q.idx == -1 {
+		heap.Push(&w.active, q)
+	}
+}
+
+// pop dequeues the item with the smallest virtual finish time, advancing
+// virtual time to it. Returns nil when the scheduler is empty.
+func (w *wfq) pop() func() {
+	if len(w.active) == 0 {
+		return nil
+	}
+	q := w.active[0]
+	it := q.items[0]
+	q.items = q.items[1:]
+	w.length--
+	q.lastFinish = it.finish
+	if it.finish > w.vtime {
+		w.vtime = it.finish
+	}
+	if len(q.items) == 0 {
+		// Idle tenants stay in the map so lastFinish survives the gap;
+		// tenant cardinality is small (a handful of users per service).
+		heap.Pop(&w.active)
+	} else {
+		heap.Fix(&w.active, 0)
+	}
+	return it.run
+}
+
+// len reports the number of queued items across all tenants.
+func (w *wfq) len() int { return w.length }

@@ -30,7 +30,7 @@ func TestFlakyNetworkFailsCleanly(t *testing.T) {
 
 	boom := errors.New("injected drop")
 	var failing atomic.Bool
-	sim := &fabric.NetSim{Fault: func(fabric.Address, string, int) error {
+	sim := &fabric.NetSim{Fault: func(fabric.Address, string, int, string) error {
 		if failing.Load() {
 			return boom
 		}
@@ -151,7 +151,7 @@ func TestRetryPolicyHealsTransientFaults(t *testing.T) {
 	var drops atomic.Int32
 	drops.Store(2)
 	boom := errors.New("transient drop")
-	sim := &fabric.NetSim{Fault: func(fabric.Address, string, int) error {
+	sim := &fabric.NetSim{Fault: func(fabric.Address, string, int, string) error {
 		if drops.Add(-1) >= 0 {
 			return boom
 		}
@@ -195,7 +195,7 @@ func TestRetryPolicyHealsTransientFaults(t *testing.T) {
 // TestRetryExhaustionReturnsLastError verifies the policy gives up.
 func TestRetryExhaustionReturnsLastError(t *testing.T) {
 	boom := errors.New("permanent drop")
-	sim := &fabric.NetSim{Fault: func(fabric.Address, string, int) error { return boom }}
+	sim := &fabric.NetSim{Fault: func(fabric.Address, string, int, string) error { return boom }}
 	cliMI, err := margo.Init(margo.Config{
 		Address: fabric.Address(fmt.Sprintf("inproc://retryx-cli-%d", svcSeq.Add(1))),
 		NetSim:  sim,
