@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can archive benchmark runs as machine-readable artifacts
+// (BENCH_*.json) instead of scraping logs. It reads the bench output on
+// stdin and writes one JSON object to -o:
+//
+//	go test -run '^$' -bench Real -benchtime 1x -benchmem . | benchjson -o BENCH_smoke.json
+//
+// Non-benchmark lines (test chatter, b.Log output) are ignored, so the
+// tool can consume a raw `go test` stream. goos/goarch/pkg header lines
+// are captured into the document when present.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs,omitempty"` // the -N suffix (GOMAXPROCS)
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerSec   float64 `json:"mb_per_s,omitempty"`
+	BPerOp     int64   `json:"b_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units ("events/s": 1234).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// parseBenchLine parses one "BenchmarkX-8  10  123 ns/op  ..." line.
+// Returns false for anything that is not a benchmark result.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	if i := strings.LastIndexByte(r.Name, '-'); i > 0 {
+		if procs, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], procs
+		}
+	}
+	// The remainder is value/unit pairs.
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "MB/s":
+			r.MBPerSec = val
+		case "B/op":
+			r.BPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsOp = int64(val)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = val
+		}
+		seen = true
+	}
+	return r, seen
+}
+
+// parse consumes a go test -bench stream.
+func parse(in io.Reader) (Doc, error) {
+	var doc Doc
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if r, ok := parseBenchLine(line); ok {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "BENCH_RESULTS.json", "output JSON path")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/hep-on-hpc/hepnos-go
+BenchmarkRealIngest-8   	       1	 52034211 ns/op	  61234.2 events/s	 4521344 B/op	    9123 allocs/op
+BenchmarkRealHEPnOSSelection-8 	       3	  1203400 ns/op
+BenchmarkWirePath      	 1000000	      1042 ns/op	 614.21 MB/s	      48 B/op	       2 allocs/op
+--- BENCH: BenchmarkRealIngest-8
+    bench_test.go:250: ingested 50000 events
+PASS
+ok  	github.com/hep-on-hpc/hepnos-go	3.21s
+`
+
+func TestParseBenchStream(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "github.com/hep-on-hpc/hepnos-go" {
+		t.Fatalf("header mangled: %+v", doc)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("results = %d, want 3: %+v", len(doc.Results), doc.Results)
+	}
+
+	ingest := doc.Results[0]
+	if ingest.Name != "BenchmarkRealIngest" || ingest.Procs != 8 || ingest.Iterations != 1 {
+		t.Fatalf("ingest envelope: %+v", ingest)
+	}
+	if ingest.NsPerOp != 52034211 || ingest.BPerOp != 4521344 || ingest.AllocsOp != 9123 {
+		t.Fatalf("ingest standard units: %+v", ingest)
+	}
+	if ingest.Extra["events/s"] != 61234.2 {
+		t.Fatalf("custom ReportMetric unit lost: %+v", ingest.Extra)
+	}
+
+	sel := doc.Results[1]
+	if sel.Name != "BenchmarkRealHEPnOSSelection" || sel.Iterations != 3 || sel.NsPerOp != 1203400 {
+		t.Fatalf("selection: %+v", sel)
+	}
+
+	wire := doc.Results[2]
+	if wire.Name != "BenchmarkWirePath" || wire.Procs != 0 {
+		t.Fatalf("no-procs name: %+v", wire)
+	}
+	if wire.MBPerSec != 614.21 {
+		t.Fatalf("MB/s lost: %+v", wire)
+	}
+}
+
+func TestParseIgnoresChatter(t *testing.T) {
+	doc, err := parse(strings.NewReader("=== RUN TestX\n--- PASS: TestX\nPASS\nok  pkg 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Fatalf("chatter parsed as results: %+v", doc.Results)
+	}
+}
+
+func TestParseBenchLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",                    // no fields
+		"BenchmarkX notanumber 5 ns/op", // bad iteration count
+		"NotABench 1 5 ns/op",           // wrong prefix
+		"BenchmarkX 1 bogus ns/op",      // bad value
+	} {
+		if r, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted %q: %+v", line, r)
+		}
+	}
+}

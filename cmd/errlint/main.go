@@ -1,0 +1,152 @@
+// Command errlint enforces the typed-error contract (DESIGN.md §15): no
+// code outside internal/xerr may branch on error message *text*. Matching
+// on err.Error() — equality, strings.Contains and friends, or a switch on
+// the message — launders a typed error into a string and breaks the moment
+// a message is reworded; classification must go through errors.Is /
+// errors.As / xerr.ClassOf instead.
+//
+// The check is syntactic: any argument-less .Error() call whose result is
+// compared against a string, fed to a strings predicate, or switched on is
+// flagged. Rendering a message (logging, fmt, wrapping) is fine and not
+// matched. Test files are exempt — asserting a human-facing message is a
+// legitimate test concern — as is internal/xerr itself, which defines the
+// message format.
+//
+// Usage: errlint [dir ...]   (default ".")
+// Exits 1 if any violation is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// stringsMatchers are the strings-package predicates that turn a message
+// into a branch condition.
+var stringsMatchers = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"EqualFold": true,
+	"Index":     true,
+	"LastIndex": true,
+	"Count":     true,
+}
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+// isErrorCall reports whether e is an argument-less call to a method named
+// Error — syntactically, err.Error().
+func isErrorCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Error"
+}
+
+// lintFile walks one parsed file and returns every message-matching site.
+func lintFile(fset *token.FileSet, f *ast.File) []finding {
+	var out []finding
+	report := func(pos token.Pos, msg string) {
+		out = append(out, finding{pos: fset.Position(pos), msg: msg})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BinaryExpr:
+			if node.Op != token.EQL && node.Op != token.NEQ {
+				return true
+			}
+			if isErrorCall(node.X) || isErrorCall(node.Y) {
+				report(node.Pos(), "comparing err.Error() text; use errors.Is or xerr.ClassOf")
+			}
+		case *ast.CallExpr:
+			sel, ok := node.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "strings" || !stringsMatchers[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range node.Args {
+				if isErrorCall(arg) {
+					report(node.Pos(), "strings."+sel.Sel.Name+" over err.Error(); use errors.Is or xerr.ClassOf")
+				}
+			}
+		case *ast.SwitchStmt:
+			if node.Tag != nil && isErrorCall(node.Tag) {
+				report(node.Pos(), "switch on err.Error() text; use errors.Is or xerr.ClassOf")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// skipDir reports whether a directory is outside the lint scope.
+func skipDir(path string) bool {
+	base := filepath.Base(path)
+	if base == "vendor" || base == "testdata" || strings.HasPrefix(base, ".") && base != "." {
+		return true
+	}
+	return strings.Contains(filepath.ToSlash(path), "internal/xerr")
+}
+
+func lintTree(root string) ([]finding, error) {
+	var all []finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDir(path) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return perr
+		}
+		all = append(all, lintFile(fset, f)...)
+		return nil
+	})
+	return all, err
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := false
+	for _, root := range roots {
+		findings, err := lintTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "errlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			bad = true
+			fmt.Printf("%s: %s\n", f.pos, f.msg)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

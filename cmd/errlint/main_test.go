@@ -1,0 +1,108 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, f)
+}
+
+func TestFlagsMessageMatching(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"equality", `package p
+func f(err error) bool { return err.Error() == "boom" }`},
+		{"inequality", `package p
+func f(err error) bool { return "boom" != err.Error() }`},
+		{"contains", `package p
+import "strings"
+func f(err error) bool { return strings.Contains(err.Error(), "not found") }`},
+		{"has-prefix", `package p
+import "strings"
+func f(err error) bool { return strings.HasPrefix(err.Error(), "yokan:") }`},
+		{"switch", `package p
+func f(err error) int { switch err.Error() { case "boom": return 1 }; return 0 }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := lintSource(t, tc.src); len(got) != 1 {
+				t.Fatalf("findings = %d, want 1: %v", len(got), got)
+			}
+		})
+	}
+}
+
+func TestAllowsLegitimateUses(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"render-into-message", `package p
+import "fmt"
+func f(err error) string { return fmt.Sprintf("failed: %s", err.Error()) }`},
+		{"errors-is", `package p
+import "errors"
+var sentinel = errors.New("x")
+func f(err error) bool { return errors.Is(err, sentinel) }`},
+		{"serialize", `package p
+func f(err error) []byte { return []byte(err.Error()) }`},
+		{"strings-on-non-error", `package p
+import "strings"
+func f(s string) bool { return strings.Contains(s, "x") }`},
+		{"error-method-with-args", `package p
+type logger struct{}
+func (logger) Error(msg string) string { return msg }
+func f(l logger) bool { return l.Error("x") == "x" }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := lintSource(t, tc.src); len(got) != 0 {
+				t.Fatalf("false positives: %v", got)
+			}
+		})
+	}
+}
+
+func TestLintTreeSkipsTestsAndXerr(t *testing.T) {
+	dir := t.TempDir()
+	bad := `package p
+func f(err error) bool { return err.Error() == "boom" }
+`
+	write := func(rel string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("pkg/a.go")                // counted
+	write("pkg/a_test.go")           // exempt: test file
+	write("internal/xerr/fmtgen.go") // exempt: the message-format package
+	write("vendor/dep/d.go")         // exempt: vendored
+
+	findings, err := lintTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want exactly the one in pkg/a.go: %v", len(findings), findings)
+	}
+	if filepath.Base(findings[0].pos.Filename) != "a.go" {
+		t.Fatalf("wrong file flagged: %v", findings[0])
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
 // Client-side types.
@@ -194,6 +195,37 @@ var (
 	ErrClosed          = core.ErrClosed
 	// ErrBatchClosed is returned by WriteBatch operations after Close.
 	ErrBatchClosed = core.ErrBatchClosed
+)
+
+// ErrorClass is the stable machine-readable classification every error in
+// the stack carries (not_found, unavailable, shed, timeout, ...). Classes
+// survive the wire: a remote miss classifies the same as a local one, and
+// the hepnos_errors_total metric is labelled with these values.
+type ErrorClass = xerr.Class
+
+// Error classes.
+const (
+	ClassNotFound    = xerr.ClassNotFound
+	ClassConflict    = xerr.ClassConflict
+	ClassInvalid     = xerr.ClassInvalid
+	ClassUnavailable = xerr.ClassUnavailable
+	ClassShed        = xerr.ClassShed
+	ClassTimeout     = xerr.ClassTimeout
+	ClassCanceled    = xerr.ClassCanceled
+	ClassClosed      = xerr.ClassClosed
+	ClassInternal    = xerr.ClassInternal
+)
+
+// Error-classification helpers. ClassOf extracts an error's class (empty
+// for nil or unclassified errors); IsNotFound and IsUnavailable test the
+// two classes applications branch on most; IsRemoteError reports whether
+// the error was answered by a remote handler (as opposed to a local
+// transport failure where the request may never have been delivered).
+var (
+	ClassOf       = xerr.ClassOf
+	IsNotFound    = xerr.IsNotFound
+	IsUnavailable = xerr.IsUnavailable
+	IsRemoteError = xerr.IsRemote
 )
 
 // Connect discovers a service's databases and returns a client handle —

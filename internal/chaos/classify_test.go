@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
+)
+
+// Every error the built-in scenarios can inject — bare or wrapped the way
+// Partition/KillServer wrap it — must classify unavailable and locally
+// retryable: an injected loss means the message never reached a handler.
+func TestScenarioErrorsClassifyUnavailable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"drop", ErrInjectedDrop},
+		{"crashed", ErrCrashed},
+		{"partitioned", ErrPartitioned},
+		{"wrapped-partition", fmt.Errorf("%w: %s", ErrPartitioned, "inproc://victim")},
+		{"wrapped-crash", fmt.Errorf("%w: %s", ErrCrashed, "inproc://dead")},
+		{"overload", fabric.ErrInjectionOverload},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := xerr.ClassOf(tc.err); got != xerr.ClassUnavailable {
+				t.Fatalf("ClassOf = %q, want unavailable", got)
+			}
+			if !xerr.Retryable(tc.err) {
+				t.Fatal("injected fault must be locally retryable")
+			}
+			if xerr.IsRemote(tc.err) {
+				t.Fatal("injected fault must not carry the remote mark")
+			}
+		})
+	}
+}
+
+var classifyAddrN atomic.Int64
+
+func classifyAddr() fabric.Address {
+	return fabric.Address(fmt.Sprintf("inproc://chaos-classify-%d", classifyAddrN.Add(1)))
+}
+
+// Chaos replay through a live endpoint: faults injected by a seeded
+// scenario surface from Endpoint.Call still classified unavailable, still
+// matching the scenario sentinel, and still retryable — the property the
+// class-driven retry/failover rule rests on. The same seed is replayed to
+// pin the exact fault positions.
+func TestInjectedFaultsClassifyThroughFabric(t *testing.T) {
+	replay := func(seed int64) []int {
+		in := New(seed, &Flaky{P: 0.4})
+		sim := &fabric.NetSim{Fault: in.ClientFault()}
+		client, err := fabric.Listen(classifyAddr(), fabric.WithNetSim(sim))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		server, err := fabric.Listen(classifyAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer server.Close()
+		server.Register("noop", func(context.Context, *fabric.Request) ([]byte, error) { return nil, nil })
+
+		var failed []int
+		for i := 0; i < 50; i++ {
+			_, err := client.Call(context.Background(), server.Addr(), "noop", nil)
+			if err == nil {
+				continue
+			}
+			failed = append(failed, i)
+			if !errors.Is(err, ErrInjectedDrop) {
+				t.Fatalf("call %d: lost scenario identity: %v", i, err)
+			}
+			if xerr.ClassOf(err) != xerr.ClassUnavailable {
+				t.Fatalf("call %d: ClassOf = %q, want unavailable (%v)", i, xerr.ClassOf(err), err)
+			}
+			if !xerr.Retryable(err) || !fabric.RetryableError(err) {
+				t.Fatalf("call %d: injected fault not retryable: %v", i, err)
+			}
+			if xerr.IsRemote(err) {
+				t.Fatalf("call %d: injected fault marked remote: %v", i, err)
+			}
+		}
+		if len(failed) == 0 {
+			t.Fatal("flaky scenario injected no faults in 50 calls")
+		}
+		return failed
+	}
+	a, b := replay(7), replay(7)
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at fault %d: call %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,23 +1,26 @@
 package chaos
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"time"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
-// Errors injected by the built-in scenarios when none is supplied.
+// Errors injected by the built-in scenarios when none is supplied. All
+// three classify as unavailable: an injected loss means the message never
+// reached a handler, so retry and failover machinery must treat it like
+// any real transport fault.
 var (
 	// ErrInjectedDrop is the default message-loss error.
-	ErrInjectedDrop = errors.New("chaos: injected drop")
+	ErrInjectedDrop = xerr.Sentinel("chaos/injected_drop", xerr.ClassUnavailable, "chaos: injected drop")
 	// ErrCrashed simulates a dead server: every message to it is lost.
-	ErrCrashed = errors.New("chaos: server crashed")
+	ErrCrashed = xerr.Sentinel("chaos/server_crashed", xerr.ClassUnavailable, "chaos: server crashed")
 	// ErrPartitioned simulates a network partition between two peers.
-	ErrPartitioned = errors.New("chaos: network partition")
+	ErrPartitioned = xerr.Sentinel("chaos/network_partition", xerr.ClassUnavailable, "chaos: network partition")
 )
 
 // DropN fails the first N observed messages, then heals — the classic

@@ -34,16 +34,20 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/uuid"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
-// Errors returned by datastore operations.
+// Errors returned by datastore operations. Each carries its own stable code
+// so wire transit and errors.Is keep them distinct even where classes
+// coincide (every "no such X" is not_found, but a missing dataset is never
+// mistaken for a missing product).
 var (
-	ErrNoSuchDataSet   = errors.New("hepnos: no such dataset")
-	ErrNoSuchContainer = errors.New("hepnos: no such container")
-	ErrNoSuchProduct   = errors.New("hepnos: no such product")
-	ErrBadPath         = errors.New("hepnos: invalid dataset path")
-	ErrClosed          = errors.New("hepnos: datastore is closed")
+	ErrNoSuchDataSet   = xerr.Sentinel("hepnos/no_such_dataset", xerr.ClassNotFound, "hepnos: no such dataset")
+	ErrNoSuchContainer = xerr.Sentinel("hepnos/no_such_container", xerr.ClassNotFound, "hepnos: no such container")
+	ErrNoSuchProduct   = xerr.Sentinel("hepnos/no_such_product", xerr.ClassNotFound, "hepnos: no such product")
+	ErrBadPath         = xerr.Sentinel("hepnos/bad_path", xerr.ClassInvalid, "hepnos: invalid dataset path")
+	ErrClosed          = xerr.Sentinel("hepnos/datastore_closed", xerr.ClassClosed, "hepnos: datastore is closed")
 )
 
 // Placement selects the key-to-database mapping strategy.

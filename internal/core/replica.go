@@ -9,7 +9,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
 	"github.com/hep-on-hpc/hepnos-go/internal/health"
 	"github.com/hep-on-hpc/hepnos-go/internal/keys"
-	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
@@ -95,23 +95,29 @@ func (ds *DataStore) readOrder(replicas []yokan.DBHandle) []yokan.DBHandle {
 	return out
 }
 
-// transportClass reports whether err is a server/transport-level failure —
-// the kind failover can route around — rather than an application-level
-// answer. An open circuit counts: the breaker has already condemned the
-// target. Context cancellation does not: the caller is leaving.
-func transportClass(err error) bool {
-	if err == nil {
-		return false
-	}
-	if errors.Is(err, resilience.ErrCircuitOpen) {
-		return true
-	}
-	return fabric.RetryableError(err)
+// routable reports whether err is a failure failover may route around:
+// anything classified unavailable — a local transport fault (drop,
+// unreachable, open breaker) or a remote per-replica condition such as a
+// closed database. Definitive answers (not_found, conflict, invalid) and
+// the caller's own cancellation are not routable: another replica would
+// say the same thing.
+func routable(err error) bool {
+	return xerr.IsUnavailable(err)
+}
+
+// localTransport reports whether err means the target server never
+// answered — unavailable with no remote mark. Only these condemn the
+// server in the health tracker and qualify for tolerated write drops: a
+// remote-marked unavailable (say, ErrDBClosed from a live provider) proves
+// the server is up, so counting it against health would trigger failover
+// storms against healthy hosts.
+func localTransport(err error) bool {
+	return xerr.IsUnavailable(err) && !xerr.IsRemote(err)
 }
 
 // noteReadFailure feeds a failed replica read into the health tracker.
 func (ds *DataStore) noteReadFailure(db yokan.DBHandle, err error) {
-	if transportClass(err) {
+	if localTransport(err) {
 		ds.health.ReportFailure(string(db.Addr))
 	}
 }
@@ -136,7 +142,7 @@ func (ds *DataStore) getFO(ctx context.Context, replicas []yokan.DBHandle, key [
 			ds.countFailover(replicas[0], db)
 			return data, err
 		}
-		if !transportClass(err) {
+		if !routable(err) {
 			return nil, err
 		}
 		ds.noteReadFailure(db, err)
@@ -154,7 +160,7 @@ func (ds *DataStore) existsFO(ctx context.Context, replicas []yokan.DBHandle, ks
 			ds.countFailover(replicas[0], db)
 			return found, nil
 		}
-		if !transportClass(err) {
+		if !routable(err) {
 			return nil, err
 		}
 		ds.noteReadFailure(db, err)
@@ -175,7 +181,7 @@ func (ds *DataStore) listKeysFO(ctx context.Context, replicas []yokan.DBHandle, 
 			ds.countFailover(replicas[0], db)
 			return page, nil
 		}
-		if !transportClass(err) {
+		if !routable(err) {
 			return nil, err
 		}
 		ds.noteReadFailure(db, err)
@@ -193,7 +199,7 @@ func (ds *DataStore) listKeysFO(ctx context.Context, replicas []yokan.DBHandle, 
 // so losses must surface as errors instead. Dropped copies are replayed by
 // ResyncServer when the server rejoins.
 func (ds *DataStore) writeTolerable(db yokan.DBHandle, err error) bool {
-	if ds.rf <= 1 || !transportClass(err) {
+	if ds.rf <= 1 || !localTransport(err) {
 		return false
 	}
 	target := string(db.Addr)
@@ -242,14 +248,29 @@ func (ds *DataStore) replicatedPut(ctx context.Context, replicas []yokan.DBHandl
 
 // replicatedPutIfAbsent arbitrates an atomic get-or-put on the first usable
 // replica — clients with a converged health view pick the same arbiter —
-// then copies the winning value to the remaining replicas. Replica-copy
-// failures follow the writeTolerable rule.
+// then copies the winning value to the remaining replicas. If the preferred
+// arbiter fails with a routable error the next replica in read order takes
+// over, so a dead or closed primary no longer sinks dataset creation.
+// Replica-copy failures follow the writeTolerable rule.
 func (ds *DataStore) replicatedPutIfAbsent(ctx context.Context, replicas []yokan.DBHandle, key, val []byte) ([]byte, bool, error) {
+	var (
+		arbiter  yokan.DBHandle
+		winner   []byte
+		inserted bool
+		err      error
+	)
 	order := ds.readOrder(replicas)
-	arbiter := order[0]
-	winner, inserted, err := ds.yc.PutIfAbsent(ctx, arbiter, key, val)
-	if err != nil {
-		return nil, false, err
+	for i, db := range order {
+		winner, inserted, err = ds.yc.PutIfAbsent(ctx, db, key, val)
+		if err == nil {
+			arbiter = db
+			ds.countFailover(order[0], db)
+			break
+		}
+		if !routable(err) || i == len(order)-1 {
+			return nil, false, err
+		}
+		ds.noteReadFailure(db, err)
 	}
 	for _, db := range replicas {
 		if db == arbiter {

@@ -12,12 +12,13 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/wire"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
 )
 
 // ErrBatchClosed is returned by every mutating WriteBatch operation after
 // Close, and by a second Close.
-var ErrBatchClosed = errors.New("hepnos: write batch is closed")
+var ErrBatchClosed = xerr.Sentinel("hepnos/batch_closed", xerr.ClassClosed, "hepnos: write batch is closed")
 
 // WriteBatch accumulates container creations and product stores in a local
 // buffer, groups them by target database (since not all updates target the

@@ -28,6 +28,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
 // Address identifies an endpoint, e.g. "inproc://server0" or
@@ -42,15 +43,20 @@ func (a Address) Scheme() string {
 	return ""
 }
 
-// Errors returned by fabric operations.
+// Errors returned by fabric operations, as classed sentinels on the xerr
+// taxonomy: unreachable is the canonical (retryable, local) unavailable;
+// an unknown RPC is an invalid request that no re-send can fix; a closed
+// endpoint is a terminal local state.
 var (
-	ErrUnreachable = errors.New("fabric: address unreachable")
-	ErrNoSuchRPC   = errors.New("fabric: no such RPC registered")
-	ErrClosed      = errors.New("fabric: endpoint closed")
+	ErrUnreachable = xerr.Sentinel("fabric/unreachable", xerr.ClassUnavailable, "fabric: address unreachable")
+	ErrNoSuchRPC   = xerr.Sentinel("fabric/no_such_rpc", xerr.ClassInvalid, "fabric: no such RPC registered")
+	ErrClosed      = xerr.Sentinel("fabric/closed", xerr.ClassClosed, "fabric: endpoint closed")
 )
 
-// RemoteError wraps an error string produced by a remote handler so callers
-// can distinguish transport failures from application failures.
+// RemoteError wraps an error string produced by a remote handler that
+// carried no classification — the legacy path for handlers whose errors
+// are not on the xerr taxonomy. Classified handler errors cross the wire
+// as typed frames instead (statusTyped) and never become RemoteError.
 type RemoteError struct {
 	RPC string
 	Msg string
@@ -60,6 +66,10 @@ type RemoteError struct {
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("fabric: remote %s failed: %s", e.RPC, e.Msg)
 }
+
+// ErrRemote marks the error as produced across an RPC boundary: the
+// handler ran, so blind re-send is not safe (xerr.Retryable refuses it).
+func (e *RemoteError) ErrRemote() bool { return true }
 
 // InjectedFault marks an error produced by a fault hook (NetSim.Fault or
 // a serve-side hook). Transports propagate it as a message *loss* — a
@@ -74,32 +84,19 @@ func (f *InjectedFault) Error() string { return "fabric: injected fault: " + f.E
 // Unwrap exposes the injected cause.
 func (f *InjectedFault) Unwrap() error { return f.Err }
 
+// ErrClass classifies every injected loss as unavailable: the handler
+// never ran, so the fault is retryable by the one retry rule regardless
+// of what error the chaos scenario chose to inject.
+func (f *InjectedFault) ErrClass() xerr.Class { return xerr.ClassUnavailable }
+
 // RetryableError is the fabric's retry classifier for resilience
-// policies: it reports whether err is a transport-level failure — the
-// request cannot have been executed by a remote handler, so re-sending
-// is safe. Application errors (RemoteError) and local terminal states
-// are never retryable.
+// policies — now one line of classification instead of a pattern-match:
+// only a *local* unavailable (unreachable target, injected drop, open
+// circuit) can be re-sent, because the request cannot have been executed
+// by a remote handler. Remote answers of any class, sheds, interrupts
+// and application failures are never retryable.
 func RetryableError(err error) bool {
-	if err == nil {
-		return false
-	}
-	var remote *RemoteError
-	if errors.As(err, &remote) {
-		return false
-	}
-	if errors.Is(err, ErrClosed) || errors.Is(err, ErrNoSuchRPC) {
-		return false
-	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
-	}
-	// A typed shed is the server explicitly telling the client to back
-	// off; an immediate re-send would only deepen the overload, so
-	// resilience budgets are never burned on it.
-	if qos.IsShed(err) {
-		return false
-	}
-	return true
+	return xerr.Retryable(err)
 }
 
 // FaultHook is a server-side fault injection point: it observes each
@@ -191,8 +188,13 @@ type Endpoint struct {
 	prof   profiler
 	tracer *obs.Tracer // nil disables span recording
 
-	tenant       string                              // default tenant stamped on outgoing calls
-	pressureSrc  atomic.Pointer[func() uint8]        // server side: gate's pressure, pushed in replies
+	// errClasses counts every error this endpoint observed (calls it sent,
+	// requests it served), keyed by xerr class — the feed behind
+	// hepnos_errors_total{class=...}.
+	errClasses sync.Map // string class -> *atomic.Int64
+
+	tenant       string                               // default tenant stamped on outgoing calls
+	pressureSrc  atomic.Pointer[func() uint8]         // server side: gate's pressure, pushed in replies
 	pressureHook atomic.Pointer[func(Address, uint8)] // client side: observes pushed pressure
 }
 
@@ -426,7 +428,19 @@ func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, pay
 	start := time.Now()
 	if e.sim != nil {
 		if err := e.sim.beforeSend(ctx, target, rpc, len(payload), ti.Tenant); err != nil {
+			// A NetSim fault is a simulated message loss: wrap it as an
+			// InjectedFault so it classifies as (local) unavailable and the
+			// class-driven retry rule re-sends it, whatever error value the
+			// chaos scenario injected. Cancellation passes through — the
+			// caller leaving is not a transport failure.
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				var inj *InjectedFault
+				if !errors.As(err, &inj) {
+					err = &InjectedFault{Err: err}
+				}
+			}
 			e.stats.errors.Add(1)
+			e.countErrClass(err)
 			e.prof.record(rpc, time.Since(start), true)
 			sp.End(err)
 			return nil, nil, err
@@ -439,6 +453,7 @@ func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, pay
 	sp.End(err)
 	if err != nil {
 		e.stats.errors.Add(1)
+		e.countErrClass(err)
 		// A typed shed still carried the server's pressure level — the
 		// strongest possible back-off signal reaches the hook below.
 		if !qos.IsShed(err) {
@@ -453,6 +468,30 @@ func (e *Endpoint) callOnce(ctx context.Context, target Address, rpc string, pay
 	}
 	e.stats.bytesReceived.Add(int64(len(resp)))
 	return resp, done, nil
+}
+
+// countErrClass bumps the per-class error counter for err.
+func (e *Endpoint) countErrClass(err error) {
+	cls := string(xerr.ClassOf(err))
+	if cls == "" {
+		cls = string(xerr.ClassInternal)
+	}
+	if c, ok := e.errClasses.Load(cls); ok {
+		c.(*atomic.Int64).Add(1)
+		return
+	}
+	c, _ := e.errClasses.LoadOrStore(cls, new(atomic.Int64))
+	c.(*atomic.Int64).Add(1)
+}
+
+// ErrorClasses snapshots the endpoint's per-class error counts.
+func (e *Endpoint) ErrorClasses() map[string]int64 {
+	out := make(map[string]int64)
+	e.errClasses.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
 }
 
 // Close shuts the endpoint down. In-flight calls may fail with ErrClosed.
@@ -485,11 +524,15 @@ func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload 
 	if fault != nil {
 		if err := fault(from, rpc, len(payload), ti.Tenant); err != nil {
 			e.stats.errors.Add(1)
-			return nil, e.pressure(), &InjectedFault{Err: err}
+			inj := &InjectedFault{Err: err}
+			e.countErrClass(inj)
+			return nil, e.pressure(), inj
 		}
 	}
 	if !ok {
-		return nil, e.pressure(), fmt.Errorf("%w: %q at %s", ErrNoSuchRPC, rpc, e.addr)
+		err := fmt.Errorf("%w: %q at %s", ErrNoSuchRPC, rpc, e.addr)
+		e.countErrClass(err)
+		return nil, e.pressure(), err
 	}
 	e.stats.callsServed.Add(1)
 
@@ -521,9 +564,13 @@ func (e *Endpoint) serve(ctx context.Context, from Address, rpc string, payload 
 	select {
 	case r := <-done:
 		srv.End(r.err)
+		if r.err != nil {
+			e.countErrClass(r.err)
+		}
 		return r.resp, e.pressure(), r.err
 	case <-ctx.Done():
 		srv.End(ctx.Err())
+		e.countErrClass(ctx.Err())
 		return nil, e.pressure(), ctx.Err()
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/qos"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
 // inprocRegistry maps inproc addresses to live endpoints within the
@@ -68,9 +69,21 @@ func (t *inprocTransport) call(ctx context.Context, target Address, rpc string, 
 		if errors.As(err, &shed) {
 			return nil, pressure, nil, shed
 		}
-		// Application errors cross the "wire" as RemoteError, like a
-		// serialized Mercury response with an error code.
-		if _, isRemote := err.(*RemoteError); !isRemote && ctx.Err() == nil {
+		// The caller's own cancellation is not a remote answer; it passes
+		// through untouched.
+		if ctx.Err() != nil {
+			return nil, pressure, nil, err
+		}
+		// Classified errors cross as remote-marked typed errors — the
+		// inproc analog of the tcp transport's statusTyped frame. Class,
+		// sentinel identity and unwrap chain survive; the remote mark
+		// records that a handler answered.
+		if xerr.Wireable(err) {
+			return nil, pressure, nil, xerr.AsRemote(err)
+		}
+		// Unclassified application errors cross the "wire" as RemoteError,
+		// like a serialized Mercury response with an error code.
+		if _, isRemote := err.(*RemoteError); !isRemote {
 			err = &RemoteError{RPC: rpc, Msg: err.Error()}
 		}
 		return nil, pressure, nil, err

@@ -1,6 +1,10 @@
 package fabric
 
-import "github.com/hep-on-hpc/hepnos-go/internal/obs"
+import (
+	"sort"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
 
 // RegisterMetrics exposes the endpoint's breadcrumb profiles and byte
 // counters as instruments in reg. Collectors snapshot the live profiler
@@ -38,4 +42,21 @@ func (e *Endpoint) RegisterMetrics(reg *obs.Registry) {
 	reg.MustRegister("hepnos_fabric_calls_served_total",
 		"Requests dispatched to handlers by this endpoint.", obs.TypeCounter,
 		func() []obs.Sample { return obs.GaugeSample(float64(e.Stats().CallsServed)) })
+
+	reg.MustRegister(obs.MetricErrors,
+		"Errors observed by this endpoint (calls sent and requests served), by xerr class.",
+		obs.TypeCounter,
+		func() []obs.Sample {
+			classes := e.ErrorClasses()
+			names := make([]string, 0, len(classes))
+			for cls := range classes {
+				names = append(names, cls)
+			}
+			sort.Strings(names) // deterministic snapshots
+			out := make([]obs.Sample, 0, len(names))
+			for _, cls := range names {
+				out = append(out, obs.OneSample(float64(classes[cls]), "class", cls))
+			}
+			return out
+		})
 }

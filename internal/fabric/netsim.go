@@ -2,9 +2,10 @@ package fabric
 
 import (
 	"context"
-	"errors"
 	"sync"
 	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
 // NetSim is an optional cost and fault model applied to an endpoint's
@@ -55,8 +56,9 @@ func (s *NetSim) now() time.Time {
 }
 
 // ErrInjectionOverload reports that the injection bandwidth budget was
-// exhausted in hard-fail mode.
-var ErrInjectionOverload = errors.New("fabric: NIC injection bandwidth exceeded")
+// exhausted in hard-fail mode. It classifies as unavailable: the message
+// never left the NIC, so backing off and re-sending is safe.
+var ErrInjectionOverload = xerr.Sentinel("fabric/injection_overload", xerr.ClassUnavailable, "fabric: NIC injection bandwidth exceeded")
 
 // beforeSend applies the cost model; it blocks for simulated transfer time
 // and returns an error for injected faults.

@@ -13,6 +13,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/wire"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
 // Wire format (all integers little-endian):
@@ -32,10 +33,14 @@ import (
 // reply. Current endpoints always emit 'T'/'S'; 'Q'/'R' stay parseable so
 // pre-QoS peers interoperate (zero identity, zero pressure).
 //
-// status 0 is success; 1 is an application error whose message follows;
-// 2 is an injected server-side fault (chaos testing) that the caller
-// must treat as a transport-level loss, not an application error; 3 is a
-// typed QoS shed whose payload is the encoded qos.ShedError.
+// status 0 is success; 1 is an application error whose message follows
+// as a flat string (the legacy path, kept for handlers whose errors carry
+// no classification); 2 is an injected server-side fault (chaos testing)
+// that the caller must treat as a transport-level loss, not an
+// application error; 3 is a typed QoS shed whose payload is the encoded
+// qos.ShedError; 4 is a typed error whose payload is an xerr wire frame —
+// class, sentinel code, message and fields — so a server-side not_found
+// arrives at the client as the same typed error it left as.
 const (
 	frameRequest    = 'Q'
 	frameReply      = 'R'
@@ -46,6 +51,7 @@ const (
 	statusErr   = 1
 	statusFault = 2
 	statusShed  = 3
+	statusTyped = 4
 
 	maxFrame = 1 << 30 // sanity cap: 1 GiB per message
 )
@@ -152,32 +158,29 @@ func (t *tcpTransport) connLoop(c *tcpConn) {
 					case errors.As(herr, &shed):
 						status = statusShed
 						msg = shed.AppendWire(msg[:0])
+					case xerr.Wireable(herr):
+						// Classified errors cross typed: the client decodes
+						// the same class/sentinel identity instead of a
+						// string-laundered RemoteError.
+						status = statusTyped
+						msg = xerr.AppendWire(msg[:0], herr)
 					}
 					c.writeReply(reqID, status, pressure, msg)
 				} else {
 					c.writeReply(reqID, statusOK, pressure, resp)
 				}
 			}()
-		case frameReply:
-			if len(body) < 10 {
+		case frameReply, frameReplyQoS:
+			reqID, status, pressure, payload, perr := parseReply(body)
+			if perr != nil {
 				buf.Release()
-				c.failAll(fmt.Errorf("fabric: short reply frame"))
+				c.failAll(perr)
 				return
 			}
-			reqID := binary.LittleEndian.Uint64(body[1:9])
-			status := body[9]
 			// Ownership of the frame transfers to the waiting caller: the
 			// payload is a borrowed view and done recycles the buffer. If
 			// no caller is waiting (canceled), deliver releases it.
-			c.deliver(reqID, tcpReply{status: status, payload: body[10:], done: buf.Release})
-		case frameReplyQoS:
-			if len(body) < 11 {
-				buf.Release()
-				c.failAll(fmt.Errorf("fabric: short reply frame"))
-				return
-			}
-			reqID := binary.LittleEndian.Uint64(body[1:9])
-			c.deliver(reqID, tcpReply{status: body[9], pressure: body[10], payload: body[11:], done: buf.Release})
+			c.deliver(reqID, tcpReply{status: status, pressure: pressure, payload: payload, done: buf.Release})
 		default:
 			buf.Release()
 			c.failAll(fmt.Errorf("fabric: unknown frame kind %q", body[0]))
@@ -211,6 +214,13 @@ func (t *tcpTransport) call(ctx context.Context, target Address, rpc string, pay
 			shed := qos.ParseShedWire(r.payload)
 			r.release()
 			return nil, r.pressure, nil, shed
+		}
+		if r.status == statusTyped {
+			// ParseWire copies everything it needs out of the payload, so
+			// the frame can be recycled before the error escapes.
+			err := xerr.ParseWire(r.payload)
+			r.release()
+			return nil, r.pressure, nil, err
 		}
 		if r.status == statusErr {
 			err := &RemoteError{RPC: rpc, Msg: string(r.payload)}
@@ -446,6 +456,32 @@ func readFrame(r io.Reader) (*wire.Buf, error) {
 	}
 	buf.B = body
 	return buf, nil
+}
+
+// parseReply decodes a reply frame body — legacy 'R' (no pressure byte)
+// or QoS 'S'. Pure (no I/O, no pooling), so the golden/fuzz suite pins
+// both formats directly; the returned payload is a view into body.
+func parseReply(body []byte) (reqID uint64, status, pressure byte, payload []byte, err error) {
+	fail := func(msg string) (uint64, byte, byte, []byte, error) {
+		return 0, 0, 0, nil, errors.New("fabric: " + msg)
+	}
+	if len(body) == 0 {
+		return fail("empty reply frame")
+	}
+	switch body[0] {
+	case frameReply:
+		if len(body) < 10 {
+			return fail("short reply frame")
+		}
+		return binary.LittleEndian.Uint64(body[1:9]), body[9], 0, body[10:], nil
+	case frameReplyQoS:
+		if len(body) < 11 {
+			return fail("short reply frame")
+		}
+		return binary.LittleEndian.Uint64(body[1:9]), body[9], body[10], body[11:], nil
+	default:
+		return fail("not a reply frame")
+	}
 }
 
 func parseRequest(body []byte) (reqID uint64, rpc string, from Address, sc obs.SpanContext, ti qos.Identity, payload []byte, err error) {

@@ -48,6 +48,11 @@ const (
 	MetricSpansRecorded = "hepnos_obs_spans_total"
 	MetricSpansDropped  = "hepnos_obs_spans_dropped_total"
 
+	// MetricErrors counts every error an endpoint observed (sent or
+	// served), labeled by its xerr class — the error-aware half of the
+	// observability story.
+	MetricErrors = "hepnos_errors_total"
+
 	MetricQoSAdmitted   = "hepnos_qos_admitted_total"
 	MetricQoSShed       = "hepnos_qos_shed_total"
 	MetricQoSQueuedNs   = "hepnos_qos_queued_ns_total"

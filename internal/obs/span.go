@@ -19,14 +19,17 @@
 //     Prometheus text exposition.
 //
 // The package sits below every other layer (it imports only the standard
-// library), so fabric, margo, yokan, resilience, asyncengine, core and
-// bedrock can all register into one registry and one tracer.
+// library and xerr, the shared error taxonomy), so fabric, margo, yokan,
+// resilience, asyncengine, core and bedrock can all register into one
+// registry and one tracer.
 package obs
 
 import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
 // SpanContext identifies one span within one trace. It is the only part
@@ -68,6 +71,11 @@ type Span struct {
 	Start time.Time     `json:"start"`
 	Dur   time.Duration `json:"dur"`
 	Err   bool          `json:"err,omitempty"`
+	// ErrClass is the xerr classification of the failure ("not_found",
+	// "unavailable", "shed", ...; "internal" for unclassifiable errors).
+	// Empty on success — the span census can group failures by cause
+	// without parsing messages.
+	ErrClass string `json:"err_class,omitempty"`
 	// Tenant is the QoS tenant the operation belonged to; empty when the
 	// request carried no identity.
 	Tenant string `json:"tenant,omitempty"`
@@ -172,6 +180,13 @@ func (a *ActiveSpan) End(err error) {
 	}
 	a.span.Dur = time.Since(a.span.Start)
 	a.span.Err = err != nil
+	if err != nil {
+		if cls := xerr.ClassOf(err); cls != "" {
+			a.span.ErrClass = string(cls)
+		} else {
+			a.span.ErrClass = string(xerr.ClassInternal)
+		}
+	}
 	a.tr.record(a.span)
 }
 

@@ -36,6 +36,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
 // Class is the traffic class of one request — the unit of the shedding
@@ -121,6 +123,12 @@ type ShedError struct {
 func (e *ShedError) Error() string {
 	return fmt.Sprintf("qos: request shed (tenant=%s class=%s): %s", e.Tenant, e.Class, e.Reason)
 }
+
+// ErrClass places ShedError on the xerr taxonomy: class "shed". Retry and
+// failover policies key off the class (a shed is never retried — the
+// server is explicitly telling the client to back off), and the
+// hepnos_errors_total metric counts it under its own label.
+func (e *ShedError) ErrClass() xerr.Class { return xerr.ClassShed }
 
 // IsShed reports whether err is (or wraps) a typed admission rejection.
 func IsShed(err error) bool {

@@ -28,17 +28,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
 // Errors reported by the executor itself (as opposed to errors returned
-// by the attempted operation, which are passed through or wrapped).
+// by the attempted operation, which are passed through or wrapped). Both
+// classify as unavailable on the xerr taxonomy: the target could not be
+// served *locally* (no handler ran), so an outer policy or a failover
+// read may route around them.
 var (
 	// ErrCircuitOpen means the target's circuit breaker is open and the
 	// call was refused without touching the wire.
-	ErrCircuitOpen = errors.New("resilience: circuit open")
+	ErrCircuitOpen = xerr.Sentinel("resilience/circuit_open", xerr.ClassUnavailable, "resilience: circuit open")
 	// ErrBudgetExhausted means a retry was warranted but the shared retry
 	// budget had no tokens left (retry-storm protection).
-	ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+	ErrBudgetExhausted = xerr.Sentinel("resilience/budget_exhausted", xerr.ClassUnavailable, "resilience: retry budget exhausted")
 )
 
 // Defaults used when the corresponding Policy field is zero.
@@ -210,6 +215,14 @@ func (p *Policy) retryable(err error) bool {
 		return false
 	}
 	if p.Retryable == nil {
+		// Class-driven default: an error that places itself on the xerr
+		// taxonomy follows the one retry rule (local unavailable only), so
+		// sheds, not_found and remote answers never burn retries even under
+		// a bare policy. Unclassifiable errors keep the legacy
+		// retry-everything behaviour.
+		if xerr.ClassOf(err) != "" {
+			return xerr.Retryable(err)
+		}
 		return true
 	}
 	return p.Retryable(err)

@@ -1,0 +1,171 @@
+package xerr
+
+import "encoding/binary"
+
+// Wire format of one typed error frame, carried in the fabric reply
+// envelope under its own status byte (all integers little-endian):
+//
+//	u8 version (1)
+//	u8 kind
+//	u8 classLen, class bytes
+//	u8 codeLen, code bytes
+//	u16 msgLen, msg bytes
+//	u8 nfields, then per field: u8 keyLen, key, u16 valLen, val
+//
+// The frame is deliberately lossy about the cause *chain* — chains don't
+// serialize — but lossless about identity: the class drives policy on the
+// receiving side, and the code re-binds the decoded error to the local
+// sentinel of the same name, so errors.Is survives the wire.
+const wireVersion = 1
+
+// Encode limits: lengths are bounded by their integer widths; longer
+// values are truncated on encode rather than failing the reply.
+const (
+	maxWireStr   = 255
+	maxWireMsg   = 65535
+	maxWireField = 255
+)
+
+func truncN(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// AppendWire encodes err as a typed error frame appended to b. The
+// encoded identity comes from the first *E in err's chain (class, kind,
+// code, fields); the message is the full chain text, so nothing a flat
+// string carried is lost. Callers should gate on Wireable(err).
+func AppendWire(b []byte, err error) []byte {
+	var e *E
+	if err != nil {
+		e = firstE(err)
+	}
+	if e == nil {
+		e = &E{kind: KindFailure, class: ClassOf(err)}
+		if e.class == "" {
+			e.class = ClassInternal
+		}
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	class := truncN(string(e.class), maxWireStr)
+	code := truncN(e.code, maxWireStr)
+	msg = truncN(msg, maxWireMsg)
+
+	b = append(b, wireVersion, byte(e.kind))
+	b = append(b, byte(len(class)))
+	b = append(b, class...)
+	b = append(b, byte(len(code)))
+	b = append(b, code...)
+	var u2 [2]byte
+	binary.LittleEndian.PutUint16(u2[:], uint16(len(msg)))
+	b = append(b, u2[:]...)
+	b = append(b, msg...)
+	nf := len(e.fields)
+	if nf > maxWireField {
+		nf = maxWireField
+	}
+	b = append(b, byte(nf))
+	for _, f := range e.fields[:nf] {
+		k := truncN(f.Key, maxWireStr)
+		v := truncN(f.Value, maxWireMsg)
+		b = append(b, byte(len(k)))
+		b = append(b, k...)
+		binary.LittleEndian.PutUint16(u2[:], uint16(len(v)))
+		b = append(b, u2[:]...)
+		b = append(b, v...)
+	}
+	return b
+}
+
+// ParseWire decodes a typed error frame. The result is always non-nil
+// and always remote-marked; a malformed or future-version frame degrades
+// to an internal-class error carrying the raw bytes as message, so a
+// typed reply never turns into a silent success or a panic. When the
+// frame names a sentinel code registered in this process, the decoded
+// error wraps that sentinel, so errors.Is holds by pointer too. All
+// strings are copied out of b; the caller may recycle it.
+func ParseWire(b []byte) *E {
+	malformed := func() *E {
+		return &E{kind: KindFailure, class: ClassInternal, msg: string(b), remote: true}
+	}
+	if len(b) < 2 || b[0] != wireVersion {
+		return malformed()
+	}
+	e := &E{kind: Kind(b[1]), remote: true}
+	if e.kind > KindInterrupt {
+		e.kind = KindFailure
+	}
+	off := 2
+	readStr8 := func() (string, bool) {
+		if off >= len(b) {
+			return "", false
+		}
+		n := int(b[off])
+		off++
+		if off+n > len(b) {
+			return "", false
+		}
+		s := string(b[off : off+n])
+		off += n
+		return s, true
+	}
+	readStr16 := func() (string, bool) {
+		if off+2 > len(b) {
+			return "", false
+		}
+		n := int(binary.LittleEndian.Uint16(b[off : off+2]))
+		off += 2
+		if off+n > len(b) {
+			return "", false
+		}
+		s := string(b[off : off+n])
+		off += n
+		return s, true
+	}
+	class, ok := readStr8()
+	if !ok {
+		return malformed()
+	}
+	e.class = Class(class)
+	if e.class == "" {
+		e.class = ClassInternal
+	}
+	code, ok := readStr8()
+	if !ok {
+		return malformed()
+	}
+	e.code = code
+	msg, ok := readStr16()
+	if !ok {
+		return malformed()
+	}
+	e.msg = msg
+	if off >= len(b) {
+		return malformed()
+	}
+	nf := int(b[off])
+	off++
+	for i := 0; i < nf; i++ {
+		k, ok := readStr8()
+		if !ok {
+			return malformed()
+		}
+		v, ok := readStr16()
+		if !ok {
+			return malformed()
+		}
+		e.fields = append(e.fields, Field{Key: k, Value: v})
+	}
+	// Re-bind to the local sentinel of the same code: pointer-level
+	// errors.Is across the wire. The sentinel's message is already inside
+	// msg (the encoder serialized the full chain), so Error() stays msg.
+	if s := lookupSentinel(e.code); s != nil {
+		e.cause = s
+	}
+	return e
+}

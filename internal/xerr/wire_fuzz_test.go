@@ -1,0 +1,121 @@
+package xerr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzWireRoundTrip: any error identity that goes through AppendWire must
+// come back from ParseWire with the same kind, class, code, message and
+// fields, remote-marked.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(byte(KindFailure), "not_found", "yokan/key_not_found", "yokan: key not found", "db", "events0")
+	f.Add(byte(KindDefect), "internal", "", "invariant broken", "", "")
+	f.Add(byte(KindInterrupt), "canceled", "", "", "k", "v")
+	f.Add(byte(KindFailure), "unavailable", "fabric/unreachable", "boom", "tenant", "nova")
+	f.Fuzz(func(t *testing.T, kind byte, class, code, msg, fk, fv string) {
+		if len(class) > maxWireStr || len(code) > maxWireStr || len(msg) > maxWireMsg ||
+			len(fk) > maxWireStr || len(fv) > maxWireMsg {
+			t.Skip("length fields are bounded by contract")
+		}
+		if class == "" {
+			class = "internal" // the encoder never emits an empty class
+		}
+		src := &E{kind: Kind(kind % 3), class: Class(class), code: code, msg: msg}
+		if fk != "" {
+			src = src.WithField(fk, fv)
+		}
+		frame := AppendWire(nil, src)
+		got := ParseWire(frame)
+		if got.Kind() != src.kind || got.Class() != src.class || got.Code() != src.code {
+			t.Fatalf("identity mismatch: got %v/%s/%s want %v/%s/%s",
+				got.Kind(), got.Class(), got.Code(), src.kind, src.class, src.code)
+		}
+		if got.Error() != src.Error() {
+			t.Fatalf("message mismatch: %q != %q", got.Error(), src.Error())
+		}
+		if !got.ErrRemote() {
+			t.Fatal("decoded errors must be remote-marked")
+		}
+		gf, sf := got.Fields(), src.Fields()
+		if len(gf) != len(sf) {
+			t.Fatalf("field count %d != %d", len(gf), len(sf))
+		}
+		for i := range gf {
+			if gf[i] != sf[i] {
+				t.Fatalf("field %d: %+v != %+v", i, gf[i], sf[i])
+			}
+		}
+	})
+}
+
+// FuzzParseWireNoPanic: arbitrary bytes must decode to *some* non-nil
+// remote error — never panic, never out-of-bounds, never nil.
+func FuzzParseWireNoPanic(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{wireVersion})
+	f.Add([]byte{2, 0, 0}) // future version
+	full := AppendWire(nil, testNotFound.WithField("db", "events0"))
+	f.Add(full)
+	for _, cut := range []int{1, 2, 3, 5, len(full) / 2, len(full) - 1} {
+		if cut > 0 && cut < len(full) {
+			f.Add(full[:cut])
+		}
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		e := ParseWire(b)
+		if e == nil {
+			t.Fatal("ParseWire returned nil")
+		}
+		if !e.ErrRemote() {
+			t.Fatal("decoded error lost its remote mark")
+		}
+		if e.Class() == "" {
+			t.Fatal("decoded error has no class")
+		}
+	})
+}
+
+// Golden frames: the typed-error wire format is pinned byte-for-byte so a
+// drifting encoder cannot silently break mixed-version deployments.
+func TestWireGolden(t *testing.T) {
+	e := &E{kind: KindFailure, class: ClassNotFound, code: "g/nf", msg: "gone"}
+	want := []byte{
+		1, 0, // version, kind
+		9, 'n', 'o', 't', '_', 'f', 'o', 'u', 'n', 'd',
+		4, 'g', '/', 'n', 'f',
+		4, 0, 'g', 'o', 'n', 'e',
+		0, // no fields
+	}
+	got := AppendWire(nil, e)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("frame drifted:\n got %v\nwant %v", got, want)
+	}
+	back := ParseWire(want)
+	if back.Class() != ClassNotFound || back.Code() != "g/nf" || back.Error() != "gone" {
+		t.Fatalf("golden decode mismatch: %+v", back)
+	}
+}
+
+// A decoded frame naming a registered sentinel code re-binds to that
+// sentinel: errors.Is holds across the wire by pointer, not just by code.
+func TestParseWireRebindsSentinel(t *testing.T) {
+	wrapped := AppendWire(nil, testNotFound)
+	got := ParseWire(wrapped)
+	if !errors.Is(got, testNotFound) {
+		t.Fatal("decoded error does not match its sentinel")
+	}
+	if got.Error() != testNotFound.Error() {
+		t.Fatalf("message drifted: %q != %q", got.Error(), testNotFound.Error())
+	}
+	// An unknown code (version skew: the peer has a newer sentinel) keeps
+	// class-level behaviour without pointer identity.
+	unknown := ParseWire(AppendWire(nil, &E{kind: KindFailure, class: ClassNotFound, code: "future/code", msg: "x"}))
+	if unknown.Class() != ClassNotFound {
+		t.Fatal("unknown code lost its class")
+	}
+	if errors.Is(unknown, testNotFound) {
+		t.Fatal("unknown code must not match an unrelated sentinel")
+	}
+}

@@ -1,0 +1,428 @@
+// Package xerr is the one typed error model shared by every tier of the
+// stack. It exists because retry, failover, shedding and observability
+// decisions were each pattern-matching errors their own way — sentinel
+// equality here, strings through fabric.RemoteError there — and a
+// production service cannot debug "millions of users" traffic on flat
+// strings.
+//
+// The model is a three-way taxonomy (following the xgx-error design):
+//
+//   - Failure: an expected operational error — a key that is not there, a
+//     server that is unreachable, a request the admission gate shed. Every
+//     Failure carries a stable machine Class ("not_found", "unavailable",
+//     "shed", ...) that decision sites switch on instead of matching
+//     strings. Failures are cheap: no stack capture.
+//   - Defect: a bug — an invariant that cannot break broke. Defects
+//     capture a stack at construction so %+v shows where.
+//   - Interrupt: cancellation/deadline. Never retried, never a server
+//     fault.
+//
+// Errors are immutable: WithField and friends return copies. errors.Is /
+// errors.As interop is strict — an *E wrapping yokan.ErrKeyNotFound still
+// satisfies errors.Is(err, yokan.ErrKeyNotFound), and an Interrupt
+// satisfies errors.Is(err, context.Canceled).
+//
+// The model is wire-codable (wire.go): a compact frame rides the fabric
+// reply envelope, so a server-side not_found arrives at the client as a
+// typed error with the same class, the same sentinel identity (via a
+// registered sentinel code), and a remote mark. The remote mark matters:
+// a *local* unavailable means the request may never have reached a
+// handler (safe to re-send); a *remote* one means a handler answered
+// (blind re-send is not generally safe) — Retryable encodes exactly that.
+//
+// The package imports only the standard library, so obs, qos, resilience,
+// fabric and everything above them can all sit on it.
+package xerr
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Kind is the taxonomy's top level.
+type Kind uint8
+
+// The three kinds. The zero value is Failure — the common case.
+const (
+	KindFailure Kind = iota
+	KindDefect
+	KindInterrupt
+)
+
+// String renders the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindDefect:
+		return "defect"
+	case KindInterrupt:
+		return "interrupt"
+	default:
+		return "failure"
+	}
+}
+
+// Class is the stable machine-readable classification of a Failure. It is
+// what crosses the wire, what retry/failover policies switch on, and what
+// the hepnos_errors_total metric is labeled with. Values are short
+// snake_case strings so they are directly usable as metric label values.
+type Class string
+
+// The classes every tier agrees on. DESIGN.md §15 has the tier-by-tier
+// classification rules.
+const (
+	// ClassNotFound: the named thing does not exist (key, database,
+	// dataset, product). Authoritative — never retried, never failed over.
+	ClassNotFound Class = "not_found"
+	// ClassConflict: the operation lost a first-writer-wins race.
+	ClassConflict Class = "conflict"
+	// ClassInvalid: the request itself is malformed (bad path, unknown
+	// RPC). Re-sending the same request cannot succeed.
+	ClassInvalid Class = "invalid"
+	// ClassUnavailable: the service could not be reached or could not
+	// serve (unreachable address, injected drop, open circuit, closed
+	// database). Local unavailable is the only retryable class.
+	ClassUnavailable Class = "unavailable"
+	// ClassShed: admission control explicitly rejected the request — back
+	// off, do not retry into the overload.
+	ClassShed Class = "shed"
+	// ClassTimeout: a deadline expired.
+	ClassTimeout Class = "timeout"
+	// ClassCanceled: the caller gave up.
+	ClassCanceled Class = "canceled"
+	// ClassClosed: a local handle was used after Close. Terminal.
+	ClassClosed Class = "closed"
+	// ClassInternal: a bug or an unclassifiable error.
+	ClassInternal Class = "internal"
+)
+
+// Field is one key/value of structured error context.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// E is the typed error. Immutable after construction: the With* methods
+// return copies, so an E (in particular a package-level sentinel) can be
+// shared freely.
+type E struct {
+	kind   Kind
+	class  Class
+	code   string // stable sentinel identity; "" for anonymous errors
+	msg    string
+	fields []Field // append-only; copied on write
+	cause  error   // unwrap chain
+	remote bool    // true when the error crossed an RPC boundary
+	stack  []uintptr
+}
+
+// sentinelRegistry maps stable codes to their process-local sentinel, so
+// a wire-decoded error can be re-bound to the exact sentinel value and
+// errors.Is(decoded, sentinel) holds by pointer, not just by code.
+var sentinelRegistry = struct {
+	sync.RWMutex
+	m map[string]*E
+}{m: make(map[string]*E)}
+
+// Sentinel creates and registers a package-level sentinel Failure with a
+// stable wire code. Codes are global ("yokan/key_not_found"); registering
+// the same code twice keeps the last value.
+func Sentinel(code string, class Class, msg string) *E {
+	e := &E{kind: KindFailure, class: class, code: code, msg: msg}
+	sentinelRegistry.Lock()
+	sentinelRegistry.m[code] = e
+	sentinelRegistry.Unlock()
+	return e
+}
+
+// lookupSentinel returns the registered sentinel for code, or nil.
+func lookupSentinel(code string) *E {
+	if code == "" {
+		return nil
+	}
+	sentinelRegistry.RLock()
+	e := sentinelRegistry.m[code]
+	sentinelRegistry.RUnlock()
+	return e
+}
+
+// New creates an anonymous Failure of the given class.
+func New(class Class, msg string) *E {
+	return &E{kind: KindFailure, class: class, msg: msg}
+}
+
+// Newf is New with formatting. %w verbs stay in the unwrap chain, so
+// sentinel identity survives: Newf(ClassNotFound, "%w: run %d",
+// ErrNoSuchContainer, 7) still satisfies errors.Is against the sentinel.
+func Newf(class Class, format string, args ...any) *E {
+	return &E{kind: KindFailure, class: class, cause: fmt.Errorf(format, args...)}
+}
+
+// Defect creates a bug-class error with a captured stack: use it where an
+// invariant that cannot break broke. %+v prints the stack.
+func Defect(msg string) *E {
+	return &E{kind: KindDefect, class: ClassInternal, msg: msg, stack: callers(3)}
+}
+
+// Interrupt wraps a cancellation cause (context.Canceled or
+// context.DeadlineExceeded) onto the taxonomy; other causes classify as
+// canceled.
+func Interrupt(cause error) *E {
+	class := ClassCanceled
+	if cause == context.DeadlineExceeded {
+		class = ClassTimeout
+	}
+	return &E{kind: KindInterrupt, class: class, cause: cause}
+}
+
+// Wrap layers msg over err, inheriting err's kind, class and code (from
+// the first *E in its chain; unclassifiable causes become internal
+// Failures). Wrap(nil, ...) returns nil.
+func Wrap(err error, msg string) *E {
+	if err == nil {
+		return nil
+	}
+	e := &E{kind: KindFailure, class: ClassInternal, msg: msg, cause: err}
+	if inner := firstE(err); inner != nil {
+		e.kind, e.class, e.code = inner.kind, inner.class, inner.code
+	} else if cls := ClassOf(err); cls != "" {
+		e.class = cls
+	}
+	return e
+}
+
+// WithField returns a copy of e carrying one more context field.
+func (e *E) WithField(key, value string) *E {
+	c := *e
+	c.fields = append(append([]Field(nil), e.fields...), Field{Key: key, Value: value})
+	return &c
+}
+
+// WithStack returns a copy of e with a stack captured here (Failures skip
+// stack capture by default; use this when one cheap class of failure is
+// worth locating).
+func (e *E) WithStack() *E {
+	c := *e
+	c.stack = callers(3)
+	return &c
+}
+
+// Kind returns the taxonomy kind.
+func (e *E) Kind() Kind { return e.kind }
+
+// Class returns the machine classification.
+func (e *E) Class() Class { return e.class }
+
+// Code returns the stable sentinel code ("" for anonymous errors).
+func (e *E) Code() string { return e.code }
+
+// Fields returns a copy of the context fields.
+func (e *E) Fields() []Field { return append([]Field(nil), e.fields...) }
+
+// ErrClass implements the self-classification interface ClassOf walks.
+func (e *E) ErrClass() Class { return e.class }
+
+// ErrRemote implements the remote-mark interface IsRemote walks.
+func (e *E) ErrRemote() bool { return e.remote }
+
+// Error implements the error interface. A remote error's message is
+// already the full chain text serialized by the sender (its cause, if
+// any, is only the re-bound local sentinel), so it is never re-joined.
+func (e *E) Error() string {
+	switch {
+	case e.msg == "" && e.cause != nil:
+		return e.cause.Error()
+	case e.msg == "":
+		return string(e.class)
+	case e.remote || e.cause == nil || e.msg == e.cause.Error():
+		return e.msg
+	default:
+		return e.msg + ": " + e.cause.Error()
+	}
+}
+
+// Unwrap exposes the cause chain to errors.Is/As.
+func (e *E) Unwrap() error { return e.cause }
+
+// Is implements the errors.Is target protocol:
+//
+//   - against another *E: same value, or same non-empty sentinel code —
+//     how a wire-decoded not_found matches yokan.ErrKeyNotFound even when
+//     the pointer chain was severed by serialization;
+//   - against context.Canceled / context.DeadlineExceeded: by class, so
+//     Interrupts interoperate with the stdlib sentinels.
+func (e *E) Is(target error) bool {
+	if te, ok := target.(*E); ok {
+		if e == te {
+			return true
+		}
+		return e.code != "" && e.code == te.code
+	}
+	switch target {
+	case context.Canceled:
+		return e.class == ClassCanceled
+	case context.DeadlineExceeded:
+		return e.class == ClassTimeout
+	}
+	return false
+}
+
+// Format implements fmt.Formatter: %v/%s are Error(); %+v adds the kind,
+// class, code, fields and (when captured) the stack — the diagnostic view.
+func (e *E) Format(f fmt.State, verb rune) {
+	if verb != 'v' || !f.Flag('+') {
+		fmt.Fprint(f, e.Error())
+		return
+	}
+	fmt.Fprintf(f, "%s [%s/%s", e.Error(), e.kind, e.class)
+	if e.code != "" {
+		fmt.Fprintf(f, " code=%s", e.code)
+	}
+	if e.remote {
+		fmt.Fprint(f, " remote")
+	}
+	fmt.Fprint(f, "]")
+	for _, fd := range e.fields {
+		fmt.Fprintf(f, " %s=%s", fd.Key, fd.Value)
+	}
+	if len(e.stack) > 0 {
+		frames := runtime.CallersFrames(e.stack)
+		for {
+			fr, more := frames.Next()
+			fmt.Fprintf(f, "\n    %s\n        %s:%d", fr.Function, fr.File, fr.Line)
+			if !more {
+				break
+			}
+		}
+	}
+}
+
+func callers(skip int) []uintptr {
+	pcs := make([]uintptr, 32)
+	n := runtime.Callers(skip, pcs)
+	return pcs[:n]
+}
+
+// classer is how foreign error types place themselves on the taxonomy
+// without depending on this package's E (qos.ShedError, fabric's
+// InjectedFault).
+type classer interface{ ErrClass() Class }
+
+// remoter marks errors that crossed an RPC boundary (fabric.RemoteError
+// and wire-decoded *E).
+type remoter interface{ ErrRemote() bool }
+
+// walk visits err and its unwrap graph (single and multi unwrap) until fn
+// returns true.
+func walk(err error, fn func(error) bool) bool {
+	for err != nil {
+		if fn(err) {
+			return true
+		}
+		switch u := err.(type) {
+		case interface{ Unwrap() error }:
+			err = u.Unwrap()
+		case interface{ Unwrap() []error }:
+			for _, sub := range u.Unwrap() {
+				if walk(sub, fn) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// firstE returns the first *E in err's unwrap graph, or nil.
+func firstE(err error) *E {
+	var out *E
+	walk(err, func(e error) bool {
+		if te, ok := e.(*E); ok {
+			out = te
+			return true
+		}
+		return false
+	})
+	return out
+}
+
+// ClassOf returns the classification of err: the first self-classifying
+// error in its unwrap graph, with the stdlib context sentinels mapping to
+// canceled/timeout. "" means unclassifiable (treat as internal).
+func ClassOf(err error) Class {
+	var out Class
+	walk(err, func(e error) bool {
+		if c, ok := e.(classer); ok {
+			if cls := c.ErrClass(); cls != "" {
+				out = cls
+				return true
+			}
+		}
+		switch e {
+		case context.Canceled:
+			out = ClassCanceled
+			return true
+		case context.DeadlineExceeded:
+			out = ClassTimeout
+			return true
+		}
+		return false
+	})
+	return out
+}
+
+// IsRemote reports whether err (or anything in its unwrap graph) is
+// marked as having crossed an RPC boundary — i.e. a remote handler
+// produced it, so the request *was* delivered.
+func IsRemote(err error) bool {
+	return walk(err, func(e error) bool {
+		r, ok := e.(remoter)
+		return ok && r.ErrRemote()
+	})
+}
+
+// IsUnavailable reports whether err classifies as unavailable — the
+// failover gate: reads may route around it regardless of where it arose.
+func IsUnavailable(err error) bool { return ClassOf(err) == ClassUnavailable }
+
+// IsNotFound reports whether err classifies as not_found.
+func IsNotFound(err error) bool { return ClassOf(err) == ClassNotFound }
+
+// Retryable is the stack's one retry rule: only a *local* unavailable —
+// the request cannot have been executed by a remote handler — is safe to
+// re-send blindly. Remote answers of any class, sheds, interrupts and
+// application failures never burn retry budget.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	return ClassOf(err) == ClassUnavailable && !IsRemote(err)
+}
+
+// Wireable reports whether err carries enough classification to cross the
+// fabric as a typed frame instead of a flat string.
+func Wireable(err error) bool { return err != nil && ClassOf(err) != "" }
+
+// AsRemote wraps err with a remote mark, preserving its class, kind,
+// code and unwrap chain — how the inproc transport models the boundary a
+// real wire imposes. Returns err's *E unchanged if it is already remote.
+func AsRemote(err error) error {
+	if err == nil {
+		return nil
+	}
+	e := &E{kind: KindFailure, class: ClassOf(err), cause: err, remote: true}
+	if e.class == "" {
+		e.class = ClassInternal
+	}
+	if inner := firstE(err); inner != nil {
+		if inner.remote {
+			return err
+		}
+		e.kind, e.code = inner.kind, inner.code
+	}
+	return e
+}

@@ -1,0 +1,163 @@
+package xerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+var (
+	testNotFound    = Sentinel("xerrtest/not_found", ClassNotFound, "xerrtest: thing not found")
+	testUnavailable = Sentinel("xerrtest/unavailable", ClassUnavailable, "xerrtest: backend down")
+)
+
+func TestSentinelIdentity(t *testing.T) {
+	if !errors.Is(testNotFound, testNotFound) {
+		t.Fatal("sentinel does not match itself")
+	}
+	wrapped := fmt.Errorf("loading run 7: %w", testNotFound)
+	if !errors.Is(wrapped, testNotFound) {
+		t.Fatal("fmt.Errorf %w chain lost sentinel identity")
+	}
+	if ClassOf(wrapped) != ClassNotFound {
+		t.Fatalf("ClassOf(wrapped) = %q", ClassOf(wrapped))
+	}
+	if errors.Is(testNotFound, testUnavailable) {
+		t.Fatal("distinct sentinels must not match (class is not identity)")
+	}
+}
+
+func TestNewfKeepsWrapChain(t *testing.T) {
+	err := Newf(ClassNotFound, "%w: run %d", testNotFound, 7)
+	if !errors.Is(err, testNotFound) {
+		t.Fatal("Newf %w chain lost sentinel identity")
+	}
+	if got := err.Error(); !strings.Contains(got, "run 7") {
+		t.Fatalf("Newf message lost formatting: %q", got)
+	}
+}
+
+func TestContextInterop(t *testing.T) {
+	in := Interrupt(context.Canceled)
+	if !errors.Is(in, context.Canceled) {
+		t.Fatal("Interrupt(Canceled) must satisfy errors.Is(context.Canceled)")
+	}
+	if errors.Is(in, context.DeadlineExceeded) {
+		t.Fatal("canceled is not a deadline")
+	}
+	to := Interrupt(context.DeadlineExceeded)
+	if !errors.Is(to, context.DeadlineExceeded) {
+		t.Fatal("Interrupt(DeadlineExceeded) must satisfy errors.Is(DeadlineExceeded)")
+	}
+	if ClassOf(context.Canceled) != ClassCanceled {
+		t.Fatal("raw context.Canceled must classify as canceled")
+	}
+	if ClassOf(fmt.Errorf("call: %w", context.DeadlineExceeded)) != ClassTimeout {
+		t.Fatal("wrapped DeadlineExceeded must classify as timeout")
+	}
+}
+
+func TestClassOfJoinedErrors(t *testing.T) {
+	joined := errors.Join(errors.New("opaque"), fmt.Errorf("replica: %w", testUnavailable))
+	if ClassOf(joined) != ClassUnavailable {
+		t.Fatalf("ClassOf(joined) = %q, want unavailable", ClassOf(joined))
+	}
+	if ClassOf(errors.New("opaque")) != "" {
+		t.Fatal("unclassifiable errors must yield the empty class")
+	}
+}
+
+func TestRetryableRemoteGate(t *testing.T) {
+	if !Retryable(testUnavailable) {
+		t.Fatal("local unavailable must be retryable")
+	}
+	remote := AsRemote(testUnavailable)
+	if Retryable(remote) {
+		t.Fatal("remote unavailable must NOT be retryable: a handler answered")
+	}
+	if !IsUnavailable(remote) {
+		t.Fatal("remote mark must not erase the class (failover still wants it)")
+	}
+	if !errors.Is(remote, testUnavailable) {
+		t.Fatal("AsRemote must preserve sentinel identity")
+	}
+	if Retryable(testNotFound) || Retryable(Interrupt(context.Canceled)) {
+		t.Fatal("not_found and interrupts are never retryable")
+	}
+	if Retryable(nil) {
+		t.Fatal("nil is not retryable")
+	}
+}
+
+func TestAsRemoteIdempotent(t *testing.T) {
+	r1 := AsRemote(testUnavailable)
+	r2 := AsRemote(r1)
+	if r1 != r2 {
+		t.Fatal("AsRemote of an already-remote error must be a no-op")
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	base := New(ClassInvalid, "bad path")
+	withF := base.WithField("path", "/x/y")
+	if len(base.Fields()) != 0 {
+		t.Fatal("WithField mutated the receiver")
+	}
+	if got := withF.Fields(); len(got) != 1 || got[0] != (Field{"path", "/x/y"}) {
+		t.Fatalf("fields = %+v", got)
+	}
+	// Sentinels must survive being wrapped with fields by many goroutines;
+	// spot-check the copy semantics instead.
+	f2 := withF.WithField("op", "open")
+	if len(withF.Fields()) != 1 {
+		t.Fatal("second WithField mutated the first copy")
+	}
+	if len(f2.Fields()) != 2 {
+		t.Fatal("field append lost a field")
+	}
+}
+
+func TestDefectCarriesStack(t *testing.T) {
+	d := Defect("impossible state")
+	if d.Kind() != KindDefect {
+		t.Fatalf("kind = %v", d.Kind())
+	}
+	diag := fmt.Sprintf("%+v", d)
+	if !strings.Contains(diag, "xerr.TestDefectCarriesStack") {
+		t.Fatalf("%%+v of a defect must show the construction site, got:\n%s", diag)
+	}
+	f := New(ClassNotFound, "miss")
+	if strings.Contains(fmt.Sprintf("%+v", f), ".go:") {
+		t.Fatal("plain failures must not capture stacks")
+	}
+}
+
+func TestWrapInherits(t *testing.T) {
+	w := Wrap(fmt.Errorf("ctx: %w", testNotFound), "opening dataset")
+	if w.Class() != ClassNotFound || w.Code() != "xerrtest/not_found" {
+		t.Fatalf("Wrap lost identity: class=%q code=%q", w.Class(), w.Code())
+	}
+	if !errors.Is(w, testNotFound) {
+		t.Fatal("Wrap broke the unwrap chain")
+	}
+	if Wrap(nil, "x") != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+}
+
+type selfClassed struct{ msg string }
+
+func (e *selfClassed) Error() string   { return e.msg }
+func (e *selfClassed) ErrClass() Class { return ClassShed }
+
+func TestForeignClasser(t *testing.T) {
+	err := fmt.Errorf("gate: %w", &selfClassed{msg: "shed"})
+	if ClassOf(err) != ClassShed {
+		t.Fatalf("ClassOf through foreign classer = %q", ClassOf(err))
+	}
+	if Retryable(err) {
+		t.Fatal("shed must not be retryable")
+	}
+}

@@ -17,15 +17,21 @@
 package yokan
 
 import (
-	"errors"
 	"fmt"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
-// Errors shared by backends and clients.
+// Errors shared by backends and clients. They are xerr sentinels, so they
+// survive the fabric's typed reply frames: a client-side
+// errors.Is(err, ErrKeyNotFound) is true whether the miss happened in-process
+// or on a remote provider. ErrDBClosed classifies as unavailable — a closed
+// database is a per-replica condition that failover may route around —
+// while the two not_found errors are definitive answers.
 var (
-	ErrKeyNotFound = errors.New("yokan: key not found")
-	ErrDBClosed    = errors.New("yokan: database is closed")
-	ErrNoSuchDB    = errors.New("yokan: no such database")
+	ErrKeyNotFound = xerr.Sentinel("yokan/key_not_found", xerr.ClassNotFound, "yokan: key not found")
+	ErrDBClosed    = xerr.Sentinel("yokan/db_closed", xerr.ClassUnavailable, "yokan: database is closed")
+	ErrNoSuchDB    = xerr.Sentinel("yokan/no_such_db", xerr.ClassNotFound, "yokan: no such database")
 )
 
 // KV is one key-value pair.

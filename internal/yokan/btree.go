@@ -2,6 +2,7 @@ package yokan
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -176,10 +177,10 @@ func (b *btreeDB) Get(key []byte) ([]byte, error) {
 
 func (b *btreeDB) Exists(key []byte) (bool, error) {
 	_, err := b.Get(key)
-	switch err {
-	case nil:
+	switch {
+	case err == nil:
 		return true, nil
-	case ErrKeyNotFound:
+	case errors.Is(err, ErrKeyNotFound):
 		return false, nil
 	default:
 		return false, err

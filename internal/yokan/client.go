@@ -221,14 +221,13 @@ func (c *Client) PutIfAbsent(ctx context.Context, db DBHandle, key, val []byte) 
 	return resp.Winner, resp.Inserted, nil
 }
 
-// Get fetches one value; ErrKeyNotFound if absent.
+// Get fetches one value; ErrKeyNotFound if absent. The miss arrives as the
+// typed sentinel from the provider — errors.Is(err, ErrKeyNotFound) holds
+// across the wire — so there is no in-band Found flag to decode.
 func (c *Client) Get(ctx context.Context, db DBHandle, key []byte) ([]byte, error) {
 	var resp getResp
 	if err := c.forward(ctx, db, "get", getReq{DB: db.Name, Key: key}, &resp); err != nil {
 		return nil, err
-	}
-	if !resp.Found {
-		return nil, ErrKeyNotFound
 	}
 	return resp.Val, nil
 }

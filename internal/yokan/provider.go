@@ -2,6 +2,7 @@ package yokan
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -41,8 +42,7 @@ type (
 		Winner   []byte
 	}
 	getResp struct {
-		Found bool
-		Val   []byte
+		Val []byte
 	}
 	getMultiReq struct {
 		DB   string
@@ -350,14 +350,17 @@ func (p *Provider) handleGet(ctx context.Context, r *fabric.Request) ([]byte, er
 	p.gets.Add(1)
 	done := p.track(ctx, req.DB, "get")
 	val, err := db.Get(req.Key)
-	switch err {
-	case nil:
+	switch {
+	case err == nil:
 		done(nil)
-		return encodeResp(getResp{Found: true, Val: val})
-	case ErrKeyNotFound:
-		// A miss is a successful operation, not a service error.
+		return encodeResp(getResp{Val: val})
+	case errors.Is(err, ErrKeyNotFound):
+		// A miss is a successful operation from the service-time
+		// perspective, but it crosses the wire as the typed sentinel so
+		// the client observes errors.Is(err, ErrKeyNotFound) directly
+		// instead of decoding a Found flag.
 		done(nil)
-		return encodeResp(getResp{Found: false})
+		return nil, err
 	default:
 		done(err)
 		return nil, err
@@ -380,11 +383,13 @@ func (p *Provider) handleGetMulti(ctx context.Context, r *fabric.Request) ([]byt
 	done := p.track(ctx, req.DB, "get_multi")
 	for i, k := range req.Keys {
 		val, err := db.Get(k)
-		switch err {
-		case nil:
+		switch {
+		case err == nil:
 			resp.Found[i] = true
 			resp.Vals[i] = val
-		case ErrKeyNotFound:
+		case errors.Is(err, ErrKeyNotFound):
+			// Partial misses stay in-band: a multi-get is one operation
+			// whose answer legitimately mixes hits and misses.
 		default:
 			done(err)
 			return nil, err
