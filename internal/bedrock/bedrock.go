@@ -31,6 +31,64 @@ import (
 type ProcessConfig struct {
 	Margo     MargoConfig      `json:"margo"`
 	Providers []ProviderConfig `json:"providers"`
+	// Storage tunes the process-wide LSM storage tier (block cache size,
+	// compaction mode, WAL durability). Nil keeps the defaults; it only
+	// matters when some provider serves an "lsm" database.
+	Storage *StorageConfig `json:"storage,omitempty"`
+}
+
+// StorageConfig is the JSON form of the server's storage-tier setup. One
+// block cache and one background-compaction pool are shared by every LSM
+// database the process serves.
+type StorageConfig struct {
+	// BlockCacheMB sizes the shared block cache in MiB (0: 32 MiB).
+	BlockCacheMB int `json:"block_cache_mb,omitempty"`
+	// DisableBlockCache turns block caching off entirely.
+	DisableBlockCache bool `json:"disable_block_cache,omitempty"`
+	// MemtableMB is the per-database flush threshold in MiB (0: 4 MiB).
+	MemtableMB int `json:"memtable_mb,omitempty"`
+	// CompactAt triggers a merge at this table count (0: 6).
+	CompactAt int `json:"compact_at,omitempty"`
+	// SyncWrites makes writes durable before they are acknowledged.
+	SyncWrites bool `json:"sync_writes,omitempty"`
+	// DisableGroupCommit forces one fsync per write under SyncWrites
+	// instead of batching fsyncs across concurrent writers.
+	DisableGroupCommit bool `json:"disable_group_commit,omitempty"`
+	// GroupCommitWindowUS is the commit leader's rider-collection window
+	// in microseconds (0: the yokan default).
+	GroupCommitWindowUS int64 `json:"group_commit_window_us,omitempty"`
+	// ForegroundCompaction runs flushes and merges inline on the write
+	// path (the pre-storage-tier behaviour; mostly for A/B experiments).
+	ForegroundCompaction bool `json:"foreground_compaction,omitempty"`
+	// CompactionStreams is the number of execution streams in the storage
+	// pool draining flush/compaction jobs (0: 2).
+	CompactionStreams int `json:"compaction_streams,omitempty"`
+}
+
+// storagePoolName is the dedicated pool for LSM background jobs, kept out
+// of the RPC pools so storage I/O never steals request execution streams.
+const storagePoolName = "__storage__"
+
+// options materializes the LSM options this config describes.
+func (sc *StorageConfig) options() yokan.LSMOptions {
+	opts := yokan.DefaultLSMOptions()
+	if sc == nil {
+		return opts
+	}
+	if sc.MemtableMB > 0 {
+		opts.MemtableBytes = int64(sc.MemtableMB) << 20
+	}
+	if sc.CompactAt > 1 {
+		opts.CompactAt = sc.CompactAt
+	}
+	opts.SyncWrites = sc.SyncWrites
+	opts.GroupCommit = !sc.DisableGroupCommit
+	if sc.GroupCommitWindowUS > 0 {
+		opts.GroupCommitWindow = time.Duration(sc.GroupCommitWindowUS) * time.Microsecond
+	}
+	opts.BackgroundCompaction = !sc.ForegroundCompaction
+	opts.DisableBlockCache = sc.DisableBlockCache
+	return opts
 }
 
 // MargoConfig configures the communication and threading layers.
@@ -217,6 +275,12 @@ type Server struct {
 	shutdownCh chan struct{}
 	janitorCh  chan struct{}
 
+	// Storage tier shared by the process's LSM databases: a block cache
+	// and a dedicated background runtime for flush/compaction jobs. Nil
+	// when no provider serves an lsm database.
+	storageRT    *argo.Runtime
+	storageCache *yokan.BlockCache
+
 	// epoch is the membership-view version the server believes it belongs
 	// to (set by Deployment, reported by the admin health RPC).
 	epoch atomic.Uint64
@@ -286,6 +350,49 @@ func Boot(cfg ProcessConfig) (*Server, error) {
 		srv.Shutdown()
 		return nil, err
 	}
+
+	// Stand up the shared storage tier if any provider serves an LSM
+	// database: one block cache across all DBs, plus a dedicated argo
+	// runtime whose pool drains background flush/compaction jobs (margo's
+	// runtime has its pools fixed at init, and storage I/O should not sit
+	// in RPC queues anyway).
+	var env *yokan.StorageEnv
+	if processHasLSM(cfg) {
+		sc := cfg.Storage
+		opts := sc.options()
+		streams := 2
+		if sc != nil && sc.CompactionStreams > 0 {
+			streams = sc.CompactionStreams
+		}
+		var acfg argo.Config
+		acfg.Pools = []argo.PoolConfig{{Name: storagePoolName, Kind: argo.SchedFIFO}}
+		for i := 0; i < streams; i++ {
+			acfg.XStreams = append(acfg.XStreams, argo.XStreamConfig{
+				Name:  fmt.Sprintf("storage-%d", i),
+				Pools: []string{storagePoolName},
+			})
+		}
+		rt, err := argo.NewRuntime(acfg)
+		if err != nil {
+			srv.Shutdown()
+			return nil, fmt.Errorf("bedrock: storage runtime: %w", err)
+		}
+		srv.storageRT = rt
+		if !opts.DisableBlockCache {
+			cacheBytes := int64(0)
+			if sc != nil {
+				cacheBytes = int64(sc.BlockCacheMB) << 20
+			}
+			srv.storageCache = yokan.NewBlockCache(cacheBytes)
+			srv.storageCache.RegisterMetrics(srv.registry)
+		}
+		env = &yokan.StorageEnv{
+			Cache:     srv.storageCache,
+			Compactor: yokan.NewCompactor(rt.Pool(storagePoolName)),
+			Options:   opts,
+		}
+	}
+
 	for _, pc := range cfg.Providers {
 		var pool *argo.Pool
 		if pc.Pool != "" {
@@ -295,7 +402,7 @@ func Boot(cfg ProcessConfig) (*Server, error) {
 				return nil, fmt.Errorf("bedrock: provider %q references unknown pool %q", pc.Name, pc.Pool)
 			}
 		}
-		p, err := yokan.NewProvider(mi, margo.ProviderID(pc.ProviderID), pool, pc.Config.Databases)
+		p, err := yokan.NewProviderStorage(mi, margo.ProviderID(pc.ProviderID), pool, pc.Config.Databases, env)
 		if err != nil {
 			srv.Shutdown()
 			return nil, fmt.Errorf("bedrock: provider %q: %w", pc.Name, err)
@@ -385,5 +492,23 @@ func (s *Server) Shutdown() {
 	for _, p := range s.providers {
 		p.Close()
 	}
+	// Databases are closed (each Close waits out its background jobs), so
+	// the storage runtime can go down after them.
+	if s.storageRT != nil {
+		s.storageRT.Shutdown()
+	}
 	s.mi.Finalize()
+}
+
+// processHasLSM reports whether any provider in cfg serves an LSM-backed
+// database.
+func processHasLSM(cfg ProcessConfig) bool {
+	for _, pc := range cfg.Providers {
+		for _, db := range pc.Config.Databases {
+			if db.Type == "lsm" {
+				return true
+			}
+		}
+	}
+	return false
 }

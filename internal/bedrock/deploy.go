@@ -117,6 +117,10 @@ type DeploySpec struct {
 	// QoS, when non-nil, is copied into every server's process config:
 	// each server runs the same multi-tenant front-door policy.
 	QoS *QoSConfig
+	// Storage, when non-nil, is copied into every server's process config:
+	// each server runs the same storage-tier tuning (block cache size,
+	// compaction mode, WAL durability). Only meaningful with Backend "lsm".
+	Storage *StorageConfig
 }
 
 func (s *DeploySpec) applyDefaults() {
@@ -240,7 +244,8 @@ func BuildConfigs(spec DeploySpec) ([]ProcessConfig, error) {
 			return nil, fmt.Errorf("bedrock: unknown scheme %q", spec.Scheme)
 		}
 		cfg := ProcessConfig{
-			Margo: MargoConfig{Address: addr, RPCXStreams: spec.RPCXStreams, QoS: spec.QoS},
+			Margo:   MargoConfig{Address: addr, RPCXStreams: spec.RPCXStreams, QoS: spec.QoS},
+			Storage: spec.Storage,
 		}
 		if spec.PinProviders {
 			// One pool + one xstream per provider, exactly the paper's

@@ -60,6 +60,21 @@ const (
 	MetricQoSPressure   = "hepnos_qos_pressure"
 	MetricQoSThrottle   = "hepnos_qos_throttle_reserved_slots"
 
+	// Storage-tier (LSM) families: block-cache effectiveness for the read
+	// hot path, background flush/compaction activity, and WAL fsync
+	// amortization under group commit.
+	MetricLSMCacheHits      = "hepnos_lsm_cache_hits_total"
+	MetricLSMCacheMisses    = "hepnos_lsm_cache_misses_total"
+	MetricLSMCacheEvictions = "hepnos_lsm_cache_evictions_total"
+	MetricLSMCacheRejects   = "hepnos_lsm_cache_admission_rejects_total"
+	MetricLSMCacheBytes     = "hepnos_lsm_cache_bytes"
+	MetricLSMFlushes        = "hepnos_lsm_flushes_total"
+	MetricLSMCompactions    = "hepnos_lsm_compactions_total"
+	MetricLSMTables         = "hepnos_lsm_tables"
+	MetricLSMWALAppends     = "hepnos_lsm_wal_appends_total"
+	MetricLSMWALSyncs       = "hepnos_lsm_wal_syncs_total"
+	MetricLSMQuarantined    = "hepnos_lsm_quarantined_tables_total"
+
 	MetricHealthState       = "hepnos_health_state"
 	MetricHealthTransitions = "hepnos_health_transitions_total"
 	MetricHealthProbes      = "hepnos_health_probes_total"

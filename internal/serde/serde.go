@@ -50,7 +50,9 @@ func putArchive(ar *Archive) {
 	archives.Put(ar)
 }
 
-// Marshal encodes v into a fresh, exactly-sized byte slice. Internally it
+// Marshal encodes v into a fresh, exactly-sized byte slice. v may be the
+// value or a (chain of) pointer(s) to it; both encode identically, so
+// Marshal(&v) round-trips through Unmarshal(data, &v). Internally it
 // encodes into a pooled scratch buffer (so buffer growth is amortized across
 // calls) and copies out only the final bytes; the result is GC-owned and
 // safe to retain. Hot paths that can manage buffer lifetime should prefer
@@ -74,10 +76,21 @@ func Marshal(v any) ([]byte, error) {
 // encode path: callers owning a pooled wire.Buf pass buf.B and store the
 // result back, so repeated encodes reuse one buffer.
 func MarshalAppend(dst []byte, v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	// A top-level pointer is the caller's way of handing over the value,
+	// not part of the encoded type: Marshal(&v) and Marshal(v) produce
+	// identical bytes, matching what Unmarshal(data, &v) expects on the
+	// way back. Pointers *inside* the value keep their nil-marker byte.
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nil, fmt.Errorf("serde: Marshal of nil %s", rv.Type())
+		}
+		rv = rv.Elem()
+	}
 	ar := getArchive()
 	ar.Saving = true
 	ar.buf = dst
-	err := ar.value(reflect.ValueOf(v))
+	err := ar.value(rv)
 	out := ar.buf
 	putArchive(ar)
 	if err != nil {

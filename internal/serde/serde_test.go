@@ -1,6 +1,7 @@
 package serde
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
@@ -348,5 +349,49 @@ func BenchmarkUnmarshalParticleVector(b *testing.B) {
 		if err := Unmarshal(data, &out); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestMarshalPointerSymmetry pins the Store/Load contract: users hand
+// products to Store as &v, and Load fills them through Unmarshal(data, &v).
+// The top-level pointer must therefore be transparent — Marshal(&v) and
+// Marshal(v) produce identical bytes. (Before this was pinned, Marshal(&v)
+// prepended a pointer-flag byte that Unmarshal never consumed, so any
+// product stored by pointer read back as corrupt input with trailing
+// garbage.)
+func TestMarshalPointerSymmetry(t *testing.T) {
+	type blob struct {
+		N       int
+		Payload []byte
+	}
+	in := blob{N: 7, Payload: []byte{1, 2, 3, 4}}
+	byVal, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPtr, err := Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(byVal, byPtr) {
+		t.Fatalf("Marshal(v) = % x, Marshal(&v) = % x", byVal, byPtr)
+	}
+	pp := &in
+	byPtrPtr, err := Marshal(&pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(byVal, byPtrPtr) {
+		t.Fatalf("Marshal(&&v) = % x, want % x", byPtrPtr, byVal)
+	}
+	var out blob
+	if err := Unmarshal(byPtr, &out); err != nil {
+		t.Fatalf("Unmarshal of pointer-marshaled bytes: %v", err)
+	}
+	if out.N != in.N || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip got %+v, want %+v", out, in)
+	}
+	if _, err := Marshal((*blob)(nil)); err == nil {
+		t.Fatal("Marshal of a nil pointer should fail, not encode a marker")
 	}
 }

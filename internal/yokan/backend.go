@@ -83,8 +83,25 @@ type DBConfig struct {
 	Path string `json:"path"`
 }
 
-// OpenBackend constructs the backend described by cfg.
+// StorageEnv is the shared storage infrastructure a server process hands
+// to every LSM database it opens: one block cache (so hot databases can
+// use the whole budget), one background executor, and the tuned options.
+// A nil StorageEnv (or one with zero fields) falls back to per-database
+// defaults, so standalone opens keep working.
+type StorageEnv struct {
+	Cache     *BlockCache
+	Compactor *Compactor
+	Options   LSMOptions
+}
+
+// OpenBackend constructs the backend described by cfg with defaults.
 func OpenBackend(cfg DBConfig) (Backend, error) {
+	return OpenBackendEnv(cfg, nil)
+}
+
+// OpenBackendEnv constructs the backend described by cfg, wiring LSM
+// databases into the shared storage environment when one is provided.
+func OpenBackendEnv(cfg DBConfig, env *StorageEnv) (Backend, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("yokan: database with empty name")
 	}
@@ -97,7 +114,18 @@ func OpenBackend(cfg DBConfig) (Backend, error) {
 		if cfg.Path == "" {
 			return nil, fmt.Errorf("yokan: lsm database %q needs a path", cfg.Name)
 		}
-		return openLSM(cfg.Name, cfg.Path, DefaultLSMOptions())
+		opts := DefaultLSMOptions()
+		if env != nil {
+			opts = env.Options
+			if opts.MemtableBytes <= 0 && opts.CompactAt == 0 && opts.IndexEvery == 0 {
+				// Zero-valued options block: keep defaults, inherit only
+				// the shared infrastructure.
+				opts = DefaultLSMOptions()
+			}
+			opts.Cache = env.Cache
+			opts.Compactor = env.Compactor
+		}
+		return openLSM(cfg.Name, cfg.Path, opts)
 	default:
 		return nil, fmt.Errorf("yokan: unknown backend type %q", cfg.Type)
 	}

@@ -1,0 +1,222 @@
+package yokan
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
+
+// BlockCache caches decoded SSTable blocks (the entry run between two
+// sparse-index points) so repeated point lookups stop re-reading and
+// re-decoding table regions from disk. One cache is shared across all LSM
+// databases of a server process (bedrock sizes it from the storage config),
+// so hot databases can use the whole budget.
+//
+// The cache is scan-resistant by construction — only point lookups
+// (get/GetMulti) insert blocks, range scans and compactions read the files
+// directly — and admission is bloom-guarded: once the cache is full, a
+// block must have been requested at least twice (its key is in the
+// doorkeeper filter) before it may evict a resident block. One-touch
+// traffic therefore cannot flush the working set.
+type BlockCache struct {
+	capBytes int64
+
+	mu        sync.Mutex
+	ll        *list.List // front = most recently used
+	items     map[blockKey]*list.Element
+	used      int64
+	door      *bloom // doorkeeper: first-touch filter for admission
+	doorAdds  int
+	doorReset int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	rejects   atomic.Int64
+}
+
+// blockKey identifies one block of one table generation. Table ids are
+// process-unique and never reused, so stale entries of a deleted table can
+// never alias a new one.
+type blockKey struct {
+	table uint64
+	block uint32
+}
+
+func (k blockKey) bytes() []byte {
+	var b [12]byte
+	binary.LittleEndian.PutUint64(b[0:], k.table)
+	binary.LittleEndian.PutUint32(b[8:], k.block)
+	return b[:]
+}
+
+// cachedBlock is a decoded, immutable run of entries in ascending key
+// order. Entries alias one backing buffer read from disk; holders must
+// treat keys and values as read-only.
+type cachedBlock struct {
+	entries []entry
+	bytes   int
+}
+
+type lruItem struct {
+	key blockKey
+	b   *cachedBlock
+}
+
+// DefaultBlockCacheBytes sizes the per-database private cache used when no
+// shared cache is configured.
+const DefaultBlockCacheBytes = 32 << 20
+
+// NewBlockCache creates a cache bounded at capBytes of decoded block data
+// (<=0 selects DefaultBlockCacheBytes).
+func NewBlockCache(capBytes int64) *BlockCache {
+	if capBytes <= 0 {
+		capBytes = DefaultBlockCacheBytes
+	}
+	// Doorkeeper sized for roughly 4x the resident block count at 4KiB
+	// blocks; reset when it saturates so stale history ages out.
+	doorCap := int(capBytes / 1024)
+	if doorCap < 1024 {
+		doorCap = 1024
+	}
+	return &BlockCache{
+		capBytes:  capBytes,
+		ll:        list.New(),
+		items:     make(map[blockKey]*list.Element),
+		door:      newBloom(doorCap, 8),
+		doorReset: doorCap,
+	}
+}
+
+// get returns the cached block and promotes it to MRU.
+func (c *BlockCache) get(k blockKey) (*cachedBlock, bool) {
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return el.Value.(*lruItem).b, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// admit offers a freshly decoded block. While the cache has free room the
+// block is admitted directly; once admission would force an eviction, the
+// doorkeeper requires a second touch before a newcomer may displace a
+// resident block (scan resistance).
+func (c *BlockCache) admit(k blockKey, b *cachedBlock) {
+	sz := int64(b.bytes)
+	if sz <= 0 || sz > c.capBytes/4 {
+		c.rejects.Add(1)
+		return // degenerate or oversized block: never worth a quarter of the cache
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.items[k]; dup {
+		return
+	}
+	if c.used+sz > c.capBytes {
+		kb := k.bytes()
+		if !c.door.mayContain(kb) {
+			c.door.add(kb)
+			c.doorAdds++
+			if c.doorAdds >= c.doorReset {
+				c.door = newBloom(c.doorReset, 8)
+				c.doorAdds = 0
+			}
+			c.rejects.Add(1)
+			return
+		}
+		for c.used+sz > c.capBytes {
+			back := c.ll.Back()
+			if back == nil {
+				break
+			}
+			it := back.Value.(*lruItem)
+			c.ll.Remove(back)
+			delete(c.items, it.key)
+			c.used -= int64(it.b.bytes)
+			c.evictions.Add(1)
+		}
+	}
+	c.items[k] = c.ll.PushFront(&lruItem{key: k, b: b})
+	c.used += sz
+}
+
+// dropTable evicts every block of a closed table. Tables close only at
+// compaction install or database close, so the linear walk is off every
+// hot path.
+func (c *BlockCache) dropTable(table uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		it := el.Value.(*lruItem)
+		if it.key.table == table {
+			c.ll.Remove(el)
+			delete(c.items, it.key)
+			c.used -= int64(it.b.bytes)
+		}
+		el = next
+	}
+}
+
+// BlockCacheStats is a point-in-time snapshot of the cache counters.
+type BlockCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Rejects   int64
+	Bytes     int64
+	Blocks    int
+}
+
+// Stats snapshots the cache counters.
+func (c *BlockCache) Stats() BlockCacheStats {
+	c.mu.Lock()
+	bytes, blocks := c.used, c.ll.Len()
+	c.mu.Unlock()
+	return BlockCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Rejects:   c.rejects.Load(),
+		Bytes:     bytes,
+		Blocks:    blocks,
+	}
+}
+
+// RegisterMetrics exposes the cache counters in reg. A server registers its
+// shared cache once; hit rate is hits / (hits + misses).
+func (c *BlockCache) RegisterMetrics(reg *obs.Registry) {
+	counter := func(v *atomic.Int64) obs.Collector {
+		return func() []obs.Sample { return []obs.Sample{obs.OneSample(float64(v.Load()))} }
+	}
+	reg.MustRegister(obs.MetricLSMCacheHits,
+		"Block-cache hits (point lookups served without touching the SSTable file).",
+		obs.TypeCounter, counter(&c.hits))
+	reg.MustRegister(obs.MetricLSMCacheMisses,
+		"Block-cache misses (block read and decoded from disk).",
+		obs.TypeCounter, counter(&c.misses))
+	reg.MustRegister(obs.MetricLSMCacheEvictions,
+		"Resident blocks evicted to make room for admitted newcomers.",
+		obs.TypeCounter, counter(&c.evictions))
+	reg.MustRegister(obs.MetricLSMCacheRejects,
+		"Blocks denied admission by the doorkeeper (scan resistance).",
+		obs.TypeCounter, counter(&c.rejects))
+	reg.MustRegister(obs.MetricLSMCacheBytes,
+		"Decoded block bytes currently resident in the cache.",
+		obs.TypeGauge, func() []obs.Sample {
+			c.mu.Lock()
+			used := c.used
+			c.mu.Unlock()
+			return []obs.Sample{obs.OneSample(float64(used))}
+		})
+}

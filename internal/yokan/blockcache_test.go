@@ -1,0 +1,183 @@
+package yokan
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
+
+func testBlock(bytes int) *cachedBlock {
+	return &cachedBlock{entries: []entry{{key: []byte("k"), val: make([]byte, bytes)}}, bytes: bytes}
+}
+
+func TestBlockCacheHitMissAccounting(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	k := blockKey{table: 1, block: 0}
+	if _, ok := c.get(k); ok {
+		t.Fatal("empty cache returned a block")
+	}
+	c.admit(k, testBlock(100))
+	if b, ok := c.get(k); !ok || b.bytes != 100 {
+		t.Fatal("admitted block not served back")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", s.Hits, s.Misses)
+	}
+	if s.Blocks != 1 || s.Bytes != 100 {
+		t.Fatalf("blocks=%d bytes=%d, want 1/100", s.Blocks, s.Bytes)
+	}
+}
+
+// TestBlockCacheDoorkeeperAdmission pins the scan-resistance contract:
+// while there is free room newcomers are admitted directly, but once
+// admission would evict a resident block, a newcomer needs a second touch
+// (doorkeeper bloom) before it may displace anything.
+func TestBlockCacheDoorkeeperAdmission(t *testing.T) {
+	c := NewBlockCache(1000)
+	// Fill the cache with direct admissions.
+	for i := 0; i < 4; i++ {
+		c.admit(blockKey{table: 1, block: uint32(i)}, testBlock(250))
+	}
+	if s := c.Stats(); s.Blocks != 4 || s.Rejects != 0 {
+		t.Fatalf("warm fill: blocks=%d rejects=%d, want 4/0", s.Blocks, s.Rejects)
+	}
+	// First touch of a newcomer while full: rejected, nothing evicted.
+	nk := blockKey{table: 2, block: 0}
+	c.admit(nk, testBlock(250))
+	s := c.Stats()
+	if s.Blocks != 4 || s.Evictions != 0 || s.Rejects != 1 {
+		t.Fatalf("one-touch newcomer displaced residents: %+v", s)
+	}
+	// Second touch: the doorkeeper remembers it, eviction is allowed.
+	c.admit(nk, testBlock(250))
+	s = c.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("two-touch newcomer not admitted: %+v", s)
+	}
+	if _, ok := c.get(nk); !ok {
+		t.Fatal("admitted newcomer not resident")
+	}
+}
+
+func TestBlockCacheOversizedReject(t *testing.T) {
+	c := NewBlockCache(1000)
+	c.admit(blockKey{table: 1, block: 0}, testBlock(251)) // > cap/4
+	s := c.Stats()
+	if s.Blocks != 0 || s.Rejects != 1 {
+		t.Fatalf("oversized block admitted: %+v", s)
+	}
+}
+
+func TestBlockCacheLRUEviction(t *testing.T) {
+	c := NewBlockCache(1000)
+	keys := make([]blockKey, 4)
+	for i := range keys {
+		keys[i] = blockKey{table: 1, block: uint32(i)}
+		c.admit(keys[i], testBlock(250))
+	}
+	// Touch block 0 so block 1 is the LRU victim.
+	c.get(keys[0])
+	nk := blockKey{table: 2, block: 0}
+	c.admit(nk, testBlock(250)) // doorkeeper first touch
+	c.admit(nk, testBlock(250)) // admitted, evicts LRU
+	if _, ok := c.get(keys[0]); !ok {
+		t.Fatal("recently used block evicted")
+	}
+	if _, ok := c.get(keys[1]); ok {
+		t.Fatal("LRU block survived eviction")
+	}
+}
+
+func TestBlockCacheDropTable(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	for i := 0; i < 3; i++ {
+		c.admit(blockKey{table: 7, block: uint32(i)}, testBlock(100))
+	}
+	c.admit(blockKey{table: 8, block: 0}, testBlock(100))
+	c.dropTable(7)
+	s := c.Stats()
+	if s.Blocks != 1 || s.Bytes != 100 {
+		t.Fatalf("dropTable left %d blocks / %d bytes, want 1/100", s.Blocks, s.Bytes)
+	}
+	if _, ok := c.get(blockKey{table: 8, block: 0}); !ok {
+		t.Fatal("dropTable evicted another table's block")
+	}
+}
+
+func TestBlockCacheMetricsRegistered(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	c.admit(blockKey{table: 1, block: 0}, testBlock(64))
+	c.get(blockKey{table: 1, block: 0})
+	c.get(blockKey{table: 1, block: 9}) // miss
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+	got := map[string]float64{}
+	for _, mf := range reg.Snapshot() {
+		for _, s := range mf.Samples {
+			got[mf.Name] = s.Value
+		}
+	}
+	if got[obs.MetricLSMCacheHits] != 1 {
+		t.Fatalf("%s = %v, want 1", obs.MetricLSMCacheHits, got[obs.MetricLSMCacheHits])
+	}
+	if got[obs.MetricLSMCacheMisses] != 1 {
+		t.Fatalf("%s = %v, want 1", obs.MetricLSMCacheMisses, got[obs.MetricLSMCacheMisses])
+	}
+	if got[obs.MetricLSMCacheBytes] != 64 {
+		t.Fatalf("%s = %v, want 64", obs.MetricLSMCacheBytes, got[obs.MetricLSMCacheBytes])
+	}
+}
+
+// TestLSMBlockCacheServesRepeatReads exercises the cache through the real
+// read path: the first pass over a flushed table misses and populates, the
+// second pass hits, and a full scan (Count) bypasses the cache entirely.
+func TestLSMBlockCacheServesRepeatReads(t *testing.T) {
+	dir := t.TempDir()
+	db, err := openLSM("t", dir, LSMOptions{MemtableBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte(fmt.Sprintf("val-%06d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func() {
+		for i := 0; i < n; i += 7 {
+			k := fmt.Sprintf("key-%06d", i)
+			got, err := db.Get([]byte(k))
+			if err != nil || string(got) != "val-"+k[4:] {
+				t.Fatalf("key %s: got %q %v", k, got, err)
+			}
+		}
+	}
+	read()
+	s1 := db.CacheStats()
+	if s1.Misses == 0 || s1.Blocks == 0 {
+		t.Fatalf("first pass populated nothing: %+v", s1)
+	}
+	read()
+	s2 := db.CacheStats()
+	if s2.Hits <= s1.Hits {
+		t.Fatalf("second pass did not hit the cache: %+v -> %+v", s1, s2)
+	}
+	if s2.Misses != s1.Misses {
+		t.Fatalf("second pass missed (%d -> %d): working set should be resident", s1.Misses, s2.Misses)
+	}
+
+	// Scans read the file directly — a table-wide Count must not disturb
+	// the cache counters (scan resistance).
+	if _, err := db.Count(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := db.CacheStats()
+	if s3.Hits != s2.Hits || s3.Misses != s2.Misses {
+		t.Fatalf("scan went through the cache: %+v -> %+v", s2, s3)
+	}
+}

@@ -2,6 +2,8 @@ package yokan
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // LSMOptions tunes the lsm backend.
@@ -21,109 +24,315 @@ type LSMOptions struct {
 	IndexEvery int
 	// BloomBitsPerKey sizes the per-table bloom filters.
 	BloomBitsPerKey int
-	// SyncWrites fsyncs the WAL on every write.
+	// SyncWrites makes every write durable before it is acknowledged.
 	SyncWrites bool
+	// GroupCommit batches the SyncWrites fsyncs across concurrent writers:
+	// a commit leader waits GroupCommitWindow for riders and issues one
+	// fsync for the whole group. Without SyncWrites it has no effect.
+	GroupCommit bool
+	// GroupCommitWindow is the leader's rider-collection wait (0 selects
+	// the default, currently 200µs).
+	GroupCommitWindow time.Duration
+	// BackgroundCompaction moves memtable flushes and table merges off the
+	// write path: a full memtable is swapped to an immutable queue and
+	// flushed by a background job, and merges run outside the write lock,
+	// installing their result under a short critical section. When false,
+	// flush and compaction run inline on the triggering write, which keeps
+	// flush/compaction counters deterministic for tests.
+	BackgroundCompaction bool
+	// Cache serves decoded SSTable blocks for point lookups. Nil creates a
+	// private cache of BlockCacheBytes (bedrock injects one shared cache
+	// per server instead). DisableBlockCache turns caching off entirely.
+	Cache             *BlockCache
+	BlockCacheBytes   int64
+	DisableBlockCache bool
+	// Compactor schedules background jobs; nil falls back to goroutines.
+	Compactor *Compactor
 }
 
 // DefaultLSMOptions returns production-ish defaults scaled for tests and
 // single-node benchmarks.
 func DefaultLSMOptions() LSMOptions {
 	return LSMOptions{
-		MemtableBytes:   4 << 20,
-		CompactAt:       6,
-		IndexEvery:      16,
-		BloomBitsPerKey: 10,
-		SyncWrites:      false,
+		MemtableBytes:        4 << 20,
+		CompactAt:            6,
+		IndexEvery:           16,
+		BloomBitsPerKey:      10,
+		SyncWrites:           false,
+		GroupCommit:          true,
+		BackgroundCompaction: true,
 	}
 }
 
+// lsmManifest is the on-disk source of truth for which tables exist. It is
+// replaced atomically (tmp + rename + dir fsync); the crash protocol is
+// always "new table durable → manifest update → old WAL/table removal", so
+// at every instant the manifest names a complete, consistent table set:
+//
+//   - an SSTable not in the manifest is an orphan from an interrupted
+//     flush/compaction and is removed at open (its data still lives in WAL
+//     segments or in the pre-compaction tables the manifest still lists);
+//   - tombstones may be dropped during a merge precisely because the merge
+//     output replaces *all* tables it covers in one manifest swap — the
+//     pre-merge table holding the deleted key can never be adopted without
+//     the tombstone that shadows it.
+type lsmManifest struct {
+	Seq    int      `json:"seq"`
+	Tables []string `json:"tables"` // base names, oldest first
+}
+
+const manifestName = "MANIFEST"
+
+func readManifest(dir string) (*lsmManifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m lsmManifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("yokan: corrupt manifest: %w", err)
+	}
+	return &m, nil
+}
+
+func writeManifest(dir string, m lsmManifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// RecoveryInfo reports what the last open rebuilt from disk. A restarted
+// server reports these as the local half of its rejoin — only writes
+// missing from both WAL and tables are anti-entropy traffic.
+type RecoveryInfo struct {
+	Records     int // intact WAL records replayed into the memtable
+	Tables      int // SSTables reattached from the manifest
+	Quarantined int // tables failing CRC verification, set aside as .bad
+	Orphans     int // tables from interrupted flush/compaction, removed
+}
+
 // lsmDB is the persistent backend standing in for RocksDB: writes go to a
-// WAL and a skip-list memtable; full memtables flush to immutable sorted
-// tables; reads consult memtable then tables newest-first; a size-tiered
-// full merge bounds the table count and drops tombstones.
+// segmented WAL and a skip-list memtable; full memtables move to an
+// immutable queue and are flushed to sorted tables by background jobs;
+// reads consult memtable → immutable queue → tables newest-first through a
+// shared block cache; a size-tiered full merge bounds the table count and
+// drops tombstones, installing its result under a short critical section.
 type lsmDB struct {
 	name string
 	dir  string
 	opts LSMOptions
 
-	mu     sync.RWMutex
-	mem    *skipList
-	wal    *wal
-	tables []*sstable // newest first
-	seq    int        // next sstable sequence number
-	closed bool
+	cache     *BlockCache
+	compactor *Compactor
+	walMode   walSyncMode
 
-	// FlushCount and CompactCount are exposed for tests and benchmarks.
+	mu          sync.RWMutex
+	mem         *skipList
+	imm         []*flushTask // oldest first, awaiting flush
+	wal         *wal
+	pendingSegs []string   // replayed segments backing the current memtable
+	tables      []*sstable // newest first
+	seq         int        // next sstable sequence number
+	walSeq      int        // next wal segment number
+	closed      bool
+	bgErr       error
+
+	// bgMu serializes flush/compaction execution and manifest writes; it
+	// is never held while blocking a foreground read or write.
+	bgMu          sync.Mutex
+	jobs          sync.WaitGroup
+	compactQueued bool
+
 	flushCount   int
 	compactCount int
+	// walAppends/walSyncs accumulate stats of rotated-out segments.
+	walAppends int64
+	walSyncs   int64
 
-	// Recovery stats from the last open (ISSUE 5): how much local state a
-	// restarted server rebuilt on its own. Everything recovered here is
-	// state the anti-entropy pass does not need to replay from replicas.
-	recoveredRecords int // intact WAL records replayed into the memtable
-	recoveredTables  int // SSTables found on disk
+	recovered RecoveryInfo
+
+	// Test hooks (set before use; nil in production). The after* hooks run
+	// once the new table is durable at its final name but before the
+	// manifest commit — returning an error simulates a crash inside the
+	// two crash windows the manifest protocol must cover. duringCompact is
+	// called periodically inside the merge loop.
+	afterFlushTable   func() error
+	afterCompactTable func() error
+	duringCompact     func()
 }
 
 func openLSM(name, dir string, opts LSMOptions) (*lsmDB, error) {
+	def := DefaultLSMOptions()
 	if opts.MemtableBytes <= 0 {
-		opts.MemtableBytes = DefaultLSMOptions().MemtableBytes
+		opts.MemtableBytes = def.MemtableBytes
 	}
 	if opts.CompactAt < 2 {
-		opts.CompactAt = DefaultLSMOptions().CompactAt
+		opts.CompactAt = def.CompactAt
 	}
 	if opts.IndexEvery < 1 {
-		opts.IndexEvery = DefaultLSMOptions().IndexEvery
+		opts.IndexEvery = def.IndexEvery
 	}
 	if opts.BloomBitsPerKey < 1 {
-		opts.BloomBitsPerKey = DefaultLSMOptions().BloomBitsPerKey
+		opts.BloomBitsPerKey = def.BloomBitsPerKey
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("yokan: create lsm dir: %w", err)
 	}
+
 	db := &lsmDB{
-		name: name,
-		dir:  dir,
-		opts: opts,
-		mem:  newSkipList(0x15a1),
+		name:      name,
+		dir:       dir,
+		opts:      opts,
+		compactor: opts.Compactor,
+		mem:       newSkipList(0x15a1),
+	}
+	if !opts.DisableBlockCache {
+		if opts.Cache != nil {
+			db.cache = opts.Cache
+		} else {
+			db.cache = NewBlockCache(opts.BlockCacheBytes)
+		}
+	}
+	switch {
+	case opts.SyncWrites && opts.GroupCommit:
+		db.walMode = walSyncGroup
+	case opts.SyncWrites:
+		db.walMode = walSyncEach
+	default:
+		db.walMode = walNoSync
 	}
 
-	// Recover existing tables (ascending sequence = oldest first on disk;
-	// we keep newest first in memory).
-	names, err := filepath.Glob(filepath.Join(dir, "sst-*.sst"))
+	// Interrupted writers leave *.tmp files; none were ever visible.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, p := range tmps {
+			os.Remove(p)
+		}
+	}
+
+	man, err := readManifest(dir)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(names)
-	for _, p := range names {
-		t, err := openSSTable(p)
+	onDisk, err := filepath.Glob(filepath.Join(dir, "sst-*.sst"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(onDisk) // ascending sequence = oldest first
+
+	adopt := func(p string) {
+		t, err := openSSTable(p, db.cache, true)
 		if err != nil {
-			return nil, fmt.Errorf("yokan: recover %s: %w", p, err)
+			// Torn or corrupt table: set it aside instead of refusing to
+			// open the database. Its data is either replayed from WAL
+			// segments (interrupted flush) or still in the pre-merge
+			// tables (interrupted compaction).
+			os.Rename(p, p+".bad")
+			db.recovered.Quarantined++
+			return
 		}
 		db.tables = append([]*sstable{t}, db.tables...)
-		base := strings.TrimSuffix(filepath.Base(p), ".sst")
+	}
+
+	if man != nil {
+		inManifest := make(map[string]bool, len(man.Tables))
+		for _, nm := range man.Tables {
+			inManifest[nm] = true
+		}
+		for _, p := range onDisk {
+			if !inManifest[filepath.Base(p)] {
+				os.Remove(p)
+				db.recovered.Orphans++
+			}
+		}
+		for _, nm := range man.Tables {
+			p := filepath.Join(dir, nm)
+			if _, err := os.Stat(p); err != nil {
+				db.recovered.Quarantined++
+				continue
+			}
+			adopt(p)
+		}
+		db.seq = man.Seq
+	} else {
+		// Legacy (pre-manifest) directory: every table on disk is live.
+		for _, p := range onDisk {
+			adopt(p)
+		}
+	}
+	for _, t := range db.tables {
+		base := strings.TrimSuffix(filepath.Base(t.path), ".sst")
 		if n, err := strconv.Atoi(strings.TrimPrefix(base, "sst-")); err == nil && n >= db.seq {
 			db.seq = n + 1
 		}
 	}
+	db.recovered.Tables = len(db.tables)
 
-	db.recoveredTables = len(db.tables)
-
-	// Replay the WAL into the memtable.
-	walPath := filepath.Join(dir, "wal.log")
-	err = replayWAL(walPath, func(op byte, key, val []byte) error {
-		if op == walOpDel {
-			db.mem.set(clone(key), nil, true)
-		} else {
-			db.mem.set(clone(key), clone(val), false)
-		}
-		db.recoveredRecords++
-		return nil
-	})
+	// Replay WAL segments (oldest first) into the memtable. The replayed
+	// segments back the current memtable and are deleted only once it is
+	// durably flushed.
+	segs, err := walSegments(dir)
 	if err != nil {
 		return nil, err
 	}
-	db.wal, err = openWAL(walPath, opts.SyncWrites)
+	for _, sp := range segs {
+		err := replayWAL(sp, func(op byte, key, val []byte) error {
+			if op == walOpDel {
+				db.mem.set(clone(key), nil, true)
+			} else {
+				db.mem.set(clone(key), clone(val), false)
+			}
+			db.recovered.Records++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(sp)
+		var n int
+		if _, err := fmt.Sscanf(base, "wal-%08d.log", &n); err == nil && n >= db.walSeq {
+			db.walSeq = n + 1
+		}
+	}
+	db.pendingSegs = segs
+
+	active := filepath.Join(dir, walSegmentName(db.walSeq))
+	db.walSeq++
+	db.wal, err = openWAL(active, db.walMode, opts.GroupCommitWindow)
 	if err != nil {
+		return nil, err
+	}
+
+	// Re-anchor the manifest to what was actually adopted (also converts
+	// legacy directories to the manifest protocol).
+	if err := writeManifest(dir, lsmManifest{Seq: db.seq, Tables: db.tableNamesLocked()}); err != nil {
 		return nil, err
 	}
 	return db, nil
@@ -132,45 +341,148 @@ func openLSM(name, dir string, opts LSMOptions) (*lsmDB, error) {
 func (db *lsmDB) Name() string { return db.name }
 func (db *lsmDB) Type() string { return "lsm" }
 
+// tableNamesLocked returns table base names oldest-first (manifest order).
+func (db *lsmDB) tableNamesLocked() []string {
+	names := make([]string, len(db.tables))
+	for i, t := range db.tables {
+		names[len(db.tables)-1-i] = filepath.Base(t.path)
+	}
+	return names
+}
+
+func (db *lsmDB) noteBackgroundError(err error) {
+	db.mu.Lock()
+	if db.bgErr == nil {
+		db.bgErr = err
+	}
+	db.mu.Unlock()
+}
+
+// BackgroundErr returns the first error hit by a background flush or
+// compaction job, if any.
+func (db *lsmDB) BackgroundErr() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.bgErr
+}
+
+// swapMemtableLocked moves the current memtable (and the WAL segments that
+// back it) onto the immutable flush queue and starts a fresh memtable on a
+// new WAL segment. The outgoing segment is fsynced first, so everything in
+// the queue always has a durable home. Caller holds db.mu.
+func (db *lsmDB) swapMemtableLocked() error {
+	if db.mem.approxBytes() == 0 {
+		return nil
+	}
+	if err := db.wal.flush(); err != nil {
+		return err
+	}
+	a, s := db.wal.stats()
+	db.walAppends += a
+	db.walSyncs += s
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	task := &flushTask{mem: db.mem, walPaths: append(db.pendingSegs, db.wal.path)}
+	db.pendingSegs = nil
+	db.imm = append(db.imm, task)
+	db.mem = newSkipList(0x15a1 + uint64(db.walSeq))
+
+	path := filepath.Join(db.dir, walSegmentName(db.walSeq))
+	db.walSeq++
+	w, err := openWAL(path, db.walMode, db.opts.GroupCommitWindow)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	return nil
+}
+
+// maybeSwapLocked rotates the memtable once it crosses the threshold and,
+// in background mode, reserves a flush job slot (the Add must happen in
+// the same critical section that observed closed=false, so Close's
+// jobs.Wait can never race with it). The caller submits the job after
+// releasing db.mu.
+func (db *lsmDB) maybeSwapLocked() (swapped bool, err error) {
+	if db.mem.approxBytes() < db.opts.MemtableBytes {
+		return false, nil
+	}
+	if err := db.swapMemtableLocked(); err != nil {
+		return false, err
+	}
+	if db.opts.BackgroundCompaction {
+		db.jobs.Add(1)
+	}
+	return true, nil
+}
+
+// afterWrite completes a write after db.mu is released: wait for group
+// commit durability, then run or schedule the flush decided under the lock.
+func (db *lsmDB) afterWrite(w *wal, off int64, swapped bool) error {
+	if err := w.waitDurable(off); err != nil {
+		return err
+	}
+	if !swapped {
+		return nil
+	}
+	if db.opts.BackgroundCompaction {
+		db.compactor.submit(db.flushJob)
+		return nil
+	}
+	if err := db.flushOldest(); err != nil {
+		return err
+	}
+	if db.TableCount() >= db.opts.CompactAt {
+		return db.compactOnce()
+	}
+	return nil
+}
+
 func (db *lsmDB) Put(key, val []byte) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrDBClosed
 	}
-	if err := db.wal.append(walOpPut, key, val); err != nil {
+	w := db.wal
+	off, err := w.append(walOpPut, key, val)
+	if err != nil {
+		db.mu.Unlock()
 		return err
 	}
 	db.mem.set(clone(key), clone(val), false)
-	return db.maybeFlushLocked()
+	swapped, err := db.maybeSwapLocked()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.afterWrite(w, off, swapped)
 }
 
 func (db *lsmDB) GetOrPut(key, val []byte) ([]byte, bool, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil, false, ErrDBClosed
 	}
-	if v, live, present := db.mem.get(key); present {
-		if live {
-			return clone(v), false, nil
-		}
-		// tombstoned: fall through to insert
-	} else {
-		for _, t := range db.tables {
-			if e, present := t.get(key); present {
-				if !e.tomb {
-					return e.val, false, nil
-				}
-				break
-			}
-		}
+	if v, live, present := db.lookupLocked(key); present && live {
+		out := clone(v)
+		db.mu.Unlock()
+		return out, false, nil
 	}
-	if err := db.wal.append(walOpPut, key, val); err != nil {
+	w := db.wal
+	off, err := w.append(walOpPut, key, val)
+	if err != nil {
+		db.mu.Unlock()
 		return nil, false, err
 	}
 	db.mem.set(clone(key), clone(val), false)
-	if err := db.maybeFlushLocked(); err != nil {
+	swapped, err := db.maybeSwapLocked()
+	db.mu.Unlock()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := db.afterWrite(w, off, swapped); err != nil {
 		return nil, false, err
 	}
 	return clone(val), true, nil
@@ -178,22 +490,48 @@ func (db *lsmDB) GetOrPut(key, val []byte) ([]byte, bool, error) {
 
 func (db *lsmDB) Erase(key []byte) (bool, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return false, ErrDBClosed
 	}
-	existed, err := db.existsLocked(key)
+	_, live, present := db.lookupLocked(key)
+	existed := present && live
+	w := db.wal
+	off, err := w.append(walOpDel, key, nil)
 	if err != nil {
-		return false, err
-	}
-	if err := db.wal.append(walOpDel, key, nil); err != nil {
+		db.mu.Unlock()
 		return false, err
 	}
 	db.mem.set(clone(key), nil, true)
-	if err := db.maybeFlushLocked(); err != nil {
+	swapped, err := db.maybeSwapLocked()
+	db.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	if err := db.afterWrite(w, off, swapped); err != nil {
 		return false, err
 	}
 	return existed, nil
+}
+
+// lookupLocked resolves a key across memtable → immutable queue (newest
+// first) → tables (newest first). The returned value may alias a shared
+// cache block; callers clone before releasing db.mu.
+func (db *lsmDB) lookupLocked(key []byte) (val []byte, live, present bool) {
+	if v, lv, ok := db.mem.get(key); ok {
+		return v, lv, true
+	}
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		if v, lv, ok := db.imm[i].mem.get(key); ok {
+			return v, lv, true
+		}
+	}
+	for _, t := range db.tables {
+		if e, ok := t.get(key); ok {
+			return e.val, !e.tomb, true
+		}
+	}
+	return nil, false, false
 }
 
 func (db *lsmDB) Get(key []byte) ([]byte, error) {
@@ -202,21 +540,11 @@ func (db *lsmDB) Get(key []byte) ([]byte, error) {
 	if db.closed {
 		return nil, ErrDBClosed
 	}
-	if val, live, present := db.mem.get(key); present {
-		if !live {
-			return nil, ErrKeyNotFound
-		}
-		return clone(val), nil
+	v, live, present := db.lookupLocked(key)
+	if !present || !live {
+		return nil, ErrKeyNotFound
 	}
-	for _, t := range db.tables {
-		if e, present := t.get(key); present {
-			if e.tomb {
-				return nil, ErrKeyNotFound
-			}
-			return e.val, nil
-		}
-	}
-	return nil, ErrKeyNotFound
+	return clone(v), nil
 }
 
 func (db *lsmDB) Exists(key []byte) (bool, error) {
@@ -225,90 +553,88 @@ func (db *lsmDB) Exists(key []byte) (bool, error) {
 	if db.closed {
 		return false, ErrDBClosed
 	}
-	return db.existsLocked(key)
+	_, live, present := db.lookupLocked(key)
+	return present && live, nil
 }
 
-func (db *lsmDB) existsLocked(key []byte) (bool, error) {
-	if _, live, present := db.mem.get(key); present {
-		return live, nil
+// mergeScan is the common engine behind ListKeys/ListKeyVals/Count: a
+// streaming k-way merge of the memtable, immutable queue and all tables,
+// newest source wins per key, tombstones suppress older entries. Nothing
+// is materialized up front: each source is a pull iterator bounded to the
+// requested range, so a scan stopping after max results reads only what it
+// returned (plus one lookahead per source). With keysOnly set, table
+// values are skipped on disk, not decoded — Count and ListKeys allocate
+// nothing per value. Yielded slices are borrowed; callers clone what they
+// keep. Caller holds db.mu (read side suffices).
+func (db *lsmDB) mergeScan(from, prefix []byte, keysOnly bool, fn func(key, val []byte) bool) {
+	var start []byte
+	if len(from) > 0 {
+		start = from
+	} else if len(prefix) > 0 {
+		start = prefix
 	}
-	for _, t := range db.tables {
-		if e, present := t.get(key); present {
-			return !e.tomb, nil
+	upper := prefixUpper(prefix)
+
+	bound := func(next func() (entry, bool)) func() (entry, bool) {
+		return func() (entry, bool) {
+			for {
+				e, ok := next()
+				if !ok {
+					return entry{}, false
+				}
+				if len(from) > 0 && bytes.Compare(e.key, from) <= 0 {
+					continue
+				}
+				if len(prefix) > 0 && !bytes.HasPrefix(e.key, prefix) {
+					if bytes.Compare(e.key, prefix) < 0 {
+						continue
+					}
+					if upper == nil || bytes.Compare(e.key, upper) >= 0 {
+						return entry{}, false // past the prefix range
+					}
+					continue
+				}
+				if upper != nil && bytes.Compare(e.key, upper) >= 0 {
+					return entry{}, false
+				}
+				return e, true
+			}
 		}
 	}
-	return false, nil
-}
 
-// mergeScan is the common engine behind ListKeys/ListKeyVals/Count: a k-way
-// merge of the memtable and all tables, newest source wins per key, with
-// tombstones suppressing older entries.
-func (db *lsmDB) mergeScan(from, prefix []byte, fn func(key, val []byte) bool) {
-	type source struct {
-		entries []entry
-		pos     int
+	// Sources in recency order: memtable, immutable queue newest→oldest,
+	// tables newest→oldest. Ties go to the lowest source index.
+	var srcs []func() (entry, bool)
+	srcs = append(srcs, bound(db.mem.iterFrom(start)))
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		srcs = append(srcs, bound(db.imm[i].mem.iterFrom(start)))
 	}
-	// Materialize per-source ordered slices over the requested range. The
-	// range is bounded by the prefix, keeping memory proportional to the
-	// result for prefix scans (HEPnOS's only scan pattern).
-	var sources []*source
-	collect := func(scan func(fn func(e entry) bool)) {
-		s := &source{}
-		scan(func(e entry) bool {
-			s.entries = append(s.entries, entry{key: clone(e.key), val: clone(e.val), tomb: e.tomb})
-			return true
-		})
-		sources = append(sources, s)
-	}
-	collect(func(f func(e entry) bool) {
-		db.mem.scan(from, false, prefix, f)
-	})
-	upper := prefixUpper(prefix)
 	for _, t := range db.tables {
-		t := t
-		collect(func(f func(e entry) bool) {
-			var start []byte
-			if len(from) > 0 {
-				start = from
-			} else if len(prefix) > 0 {
-				start = prefix
-			}
-			t.scanFrom(start, func(e entry) bool {
-				if len(from) > 0 && bytes.Compare(e.key, from) <= 0 {
-					return true
-				}
-				if len(prefix) > 0 {
-					if !bytes.HasPrefix(e.key, prefix) {
-						if upper != nil && bytes.Compare(e.key, upper) >= 0 {
-							return false
-						}
-						return true
-					}
-				}
-				return f(e)
-			})
-		})
+		srcs = append(srcs, bound(t.scanIter(start, keysOnly)))
 	}
 
-	// K-way merge, newest source (lowest index) wins on ties.
+	cur := make([]entry, len(srcs))
+	ok := make([]bool, len(srcs))
+	for i, s := range srcs {
+		cur[i], ok[i] = s()
+	}
 	for {
 		best := -1
-		for i, s := range sources {
-			if s.pos >= len(s.entries) {
+		for i := range srcs {
+			if !ok[i] {
 				continue
 			}
-			if best == -1 || bytes.Compare(s.entries[s.pos].key, sources[best].entries[sources[best].pos].key) < 0 {
+			if best == -1 || bytes.Compare(cur[i].key, cur[best].key) < 0 {
 				best = i
 			}
 		}
 		if best == -1 {
 			return
 		}
-		winner := sources[best].entries[sources[best].pos]
-		// Advance every source past this key.
-		for _, s := range sources {
-			for s.pos < len(s.entries) && bytes.Equal(s.entries[s.pos].key, winner.key) {
-				s.pos++
+		winner := cur[best]
+		for i := range srcs {
+			if ok[i] && bytes.Equal(cur[i].key, winner.key) {
+				cur[i], ok[i] = srcs[i]()
 			}
 		}
 		if winner.tomb {
@@ -339,8 +665,8 @@ func (db *lsmDB) ListKeys(from, prefix []byte, max int) ([][]byte, error) {
 		return nil, ErrDBClosed
 	}
 	var out [][]byte
-	db.mergeScan(from, prefix, func(key, _ []byte) bool {
-		out = append(out, key)
+	db.mergeScan(from, prefix, true, func(key, _ []byte) bool {
+		out = append(out, clone(key))
 		return max <= 0 || len(out) < max
 	})
 	return out, nil
@@ -353,8 +679,8 @@ func (db *lsmDB) ListKeyVals(from, prefix []byte, max int) ([]KV, error) {
 		return nil, ErrDBClosed
 	}
 	var out []KV
-	db.mergeScan(from, prefix, func(key, val []byte) bool {
-		out = append(out, KV{Key: key, Val: val})
+	db.mergeScan(from, prefix, false, func(key, val []byte) bool {
+		out = append(out, KV{Key: clone(key), Val: clone(val)})
 		return max <= 0 || len(out) < max
 	})
 	return out, nil
@@ -367,115 +693,312 @@ func (db *lsmDB) Count() (int, error) {
 		return 0, ErrDBClosed
 	}
 	n := 0
-	db.mergeScan(nil, nil, func(_, _ []byte) bool {
+	db.mergeScan(nil, nil, true, func(_, _ []byte) bool {
 		n++
 		return true
 	})
 	return n, nil
 }
 
-// maybeFlushLocked flushes the memtable once it exceeds the threshold and
-// compacts when too many tables accumulate. Caller holds the write lock.
-func (db *lsmDB) maybeFlushLocked() error {
-	if db.mem.approxBytes() < db.opts.MemtableBytes {
+// writeMemTable streams one (immutable) memtable into a new SSTable and
+// returns the number of entries written (tombstones included).
+func writeMemTable(path string, mem *skipList, indexEvery, bloomBits int) (int, error) {
+	n := 0
+	it := mem.iterFrom(nil)
+	for {
+		if _, ok := it(); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	w, err := newSSTWriter(path, n, indexEvery, bloomBits)
+	if err != nil {
+		return 0, err
+	}
+	it = mem.iterFrom(nil)
+	for {
+		e, ok := it()
+		if !ok {
+			break
+		}
+		if err := w.add(e); err != nil {
+			w.abort()
+			return 0, err
+		}
+	}
+	return n, w.finish()
+}
+
+// flushOldest drains the oldest pending immutable memtable: write its
+// table (atomic: tmp + fsync + rename), install it under a short critical
+// section, commit the manifest, and only then delete the WAL segments that
+// backed it. Serialized with compaction by bgMu; foreground reads and
+// writes only wait during the install window.
+func (db *lsmDB) flushOldest() error {
+	db.bgMu.Lock()
+
+	db.mu.Lock()
+	if len(db.imm) == 0 {
+		db.mu.Unlock()
+		db.bgMu.Unlock()
 		return nil
 	}
-	if err := db.flushLocked(); err != nil {
+	task := db.imm[0]
+	seq := db.seq
+	db.seq++
+	db.mu.Unlock()
+
+	path := filepath.Join(db.dir, fmt.Sprintf("sst-%08d.sst", seq))
+	n, err := writeMemTable(path, task.mem, db.opts.IndexEvery, db.opts.BloomBitsPerKey)
+	if err != nil {
+		db.bgMu.Unlock()
 		return err
 	}
-	if len(db.tables) >= db.opts.CompactAt {
-		return db.compactLocked()
+	if n == 0 {
+		// Nothing in the memtable (cannot normally happen: empty memtables
+		// are never swapped). Drop the queue entry and its segments.
+		db.mu.Lock()
+		db.imm = db.imm[1:]
+		db.mu.Unlock()
+		for _, p := range task.walPaths {
+			os.Remove(p)
+		}
+		db.bgMu.Unlock()
+		return nil
+	}
+	if hook := db.afterFlushTable; hook != nil {
+		if err := hook(); err != nil {
+			db.bgMu.Unlock()
+			return err
+		}
+	}
+	t, err := openSSTable(path, db.cache, false)
+	if err != nil {
+		db.bgMu.Unlock()
+		return err
+	}
+
+	db.mu.Lock()
+	if db.closed {
+		// Too late to install: leave the WAL segments in place — the
+		// table is an orphan the next open will discard and re-replay.
+		db.mu.Unlock()
+		db.bgMu.Unlock()
+		t.close()
+		return nil
+	}
+	db.imm = db.imm[1:]
+	db.tables = append([]*sstable{t}, db.tables...)
+	db.flushCount++
+	names := db.tableNamesLocked()
+	seqNow := db.seq
+	needCompact := db.opts.BackgroundCompaction &&
+		len(db.tables) >= db.opts.CompactAt && !db.compactQueued
+	if needCompact {
+		db.compactQueued = true
+		db.jobs.Add(1)
+	}
+	db.mu.Unlock()
+
+	if err := writeManifest(db.dir, lsmManifest{Seq: seqNow, Tables: names}); err != nil {
+		db.bgMu.Unlock()
+		return err
+	}
+	// Manifest committed: the flushed data's durable home is the table now.
+	for _, p := range task.walPaths {
+		os.Remove(p)
+	}
+	db.bgMu.Unlock()
+
+	if needCompact {
+		db.compactor.submit(db.compactJob)
 	}
 	return nil
 }
 
-// Flush forces the memtable to disk (exposed for tests/benchmarks).
-func (db *lsmDB) Flush() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrDBClosed
-	}
-	return db.flushLocked()
-}
+// compactOnce merges a snapshot of all current tables into one, dropping
+// tombstones and shadowed versions. The merge streams outside any database
+// lock — reads and writes keep flowing — and the result is installed under
+// a short critical section followed by an atomic manifest swap.
+func (db *lsmDB) compactOnce() error {
+	db.bgMu.Lock()
 
-func (db *lsmDB) flushLocked() error {
-	var ents []entry
-	db.mem.scan(nil, true, nil, func(e entry) bool {
-		ents = append(ents, e)
-		return true
-	})
-	if len(ents) == 0 {
+	db.mu.Lock()
+	if db.closed || len(db.tables) <= 1 {
+		db.compactQueued = false
+		db.mu.Unlock()
+		db.bgMu.Unlock()
 		return nil
 	}
-	path := filepath.Join(db.dir, fmt.Sprintf("sst-%08d.sst", db.seq))
-	if err := writeSSTable(path, ents, db.opts.IndexEvery, db.opts.BloomBitsPerKey); err != nil {
-		return err
+	snap := append([]*sstable(nil), db.tables...) // newest first
+	seq := db.seq
+	db.seq++
+	db.mu.Unlock()
+
+	total := 0
+	for _, t := range snap {
+		total += int(t.entries)
 	}
-	t, err := openSSTable(path)
+	path := filepath.Join(db.dir, fmt.Sprintf("sst-%08d.sst", seq))
+	w, err := newSSTWriter(path, total, db.opts.IndexEvery, db.opts.BloomBitsPerKey)
 	if err != nil {
+		db.bgMu.Unlock()
 		return err
 	}
-	db.seq++
-	db.tables = append([]*sstable{t}, db.tables...)
-	db.mem = newSkipList(0x15a1 + uint64(db.seq))
-	db.flushCount++
-	return db.wal.reset()
-}
 
-// Compact merges all tables into one, dropping tombstones and shadowed
-// versions (exposed for tests/benchmarks).
-func (db *lsmDB) Compact() error {
+	iters := make([]func() (entry, bool), len(snap))
+	cur := make([]entry, len(snap))
+	ok := make([]bool, len(snap))
+	for i, t := range snap {
+		iters[i] = t.scanIter(nil, false)
+		cur[i], ok[i] = iters[i]()
+	}
+	written, steps := 0, 0
+	for {
+		best := -1
+		for i := range iters {
+			if !ok[i] {
+				continue
+			}
+			if best == -1 || bytes.Compare(cur[i].key, cur[best].key) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		winner := cur[best]
+		for i := range iters {
+			if ok[i] && bytes.Equal(cur[i].key, winner.key) {
+				cur[i], ok[i] = iters[i]()
+			}
+		}
+		if hook := db.duringCompact; hook != nil {
+			steps++
+			if steps%64 == 0 {
+				hook()
+			}
+		}
+		if winner.tomb {
+			continue // safe: this merge covers every table older than it
+		}
+		if err := w.add(winner); err != nil {
+			w.abort()
+			db.bgMu.Unlock()
+			return err
+		}
+		written++
+	}
+
+	var merged *sstable
+	if written == 0 {
+		w.abort()
+	} else {
+		if err := w.finish(); err != nil {
+			db.bgMu.Unlock()
+			return err
+		}
+	}
+	if hook := db.afterCompactTable; hook != nil {
+		if err := hook(); err != nil {
+			db.bgMu.Unlock()
+			return err
+		}
+	}
+	if written > 0 {
+		merged, err = openSSTable(path, db.cache, false)
+		if err != nil {
+			db.bgMu.Unlock()
+			return err
+		}
+	}
+
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
-		return ErrDBClosed
-	}
-	if err := db.flushLocked(); err != nil {
-		return err
-	}
-	return db.compactLocked()
-}
-
-func (db *lsmDB) compactLocked() error {
-	if len(db.tables) <= 1 {
+		db.compactQueued = false
+		db.mu.Unlock()
+		db.bgMu.Unlock()
+		if merged != nil {
+			merged.close()
+			os.Remove(path)
+		}
 		return nil
 	}
-	// The merge scan over tables only (memtable is empty right after a
-	// flush; if not, its entries are newest and must participate).
-	var merged []entry
-	db.mergeScan(nil, nil, func(key, val []byte) bool {
-		merged = append(merged, entry{key: key, val: val})
-		return true
-	})
-	path := filepath.Join(db.dir, fmt.Sprintf("sst-%08d.sst", db.seq))
-	if len(merged) > 0 {
-		if err := writeSSTable(path, merged, db.opts.IndexEvery, db.opts.BloomBitsPerKey); err != nil {
-			return err
-		}
+	// Tables flushed during the merge are newer than the snapshot and stay
+	// in front of the merged result.
+	newer := db.tables[:len(db.tables)-len(snap)]
+	db.tables = append([]*sstable(nil), newer...)
+	if merged != nil {
+		db.tables = append(db.tables, merged)
 	}
-	old := db.tables
-	db.tables = nil
-	if len(merged) > 0 {
-		t, err := openSSTable(path)
-		if err != nil {
-			return err
-		}
-		db.tables = []*sstable{t}
+	db.compactCount++
+	db.compactQueued = false
+	names := db.tableNamesLocked()
+	seqNow := db.seq
+	again := db.opts.BackgroundCompaction &&
+		len(db.tables) >= db.opts.CompactAt
+	if again {
+		db.compactQueued = true
+		db.jobs.Add(1)
 	}
-	db.seq++
-	for _, t := range old {
+	db.mu.Unlock()
+
+	if err := writeManifest(db.dir, lsmManifest{Seq: seqNow, Tables: names}); err != nil {
+		db.bgMu.Unlock()
+		return err
+	}
+	// Manifest no longer references the inputs: now they can go.
+	for _, t := range snap {
 		t.close()
 		os.Remove(t.path)
 	}
-	// The memtable may have contributed entries; it is now fully
-	// represented in the merged table.
-	db.mem = newSkipList(0xc0de + uint64(db.seq))
-	if err := db.wal.reset(); err != nil {
+	db.bgMu.Unlock()
+
+	if again {
+		db.compactor.submit(db.compactJob)
+	}
+	return nil
+}
+
+// Flush forces the memtable to disk (exposed for tests/benchmarks). It is
+// synchronous in both modes: on return every pre-existing write is in an
+// installed table.
+func (db *lsmDB) Flush() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrDBClosed
+	}
+	if err := db.swapMemtableLocked(); err != nil {
+		db.mu.Unlock()
 		return err
 	}
-	db.compactCount++
+	n := len(db.imm)
+	db.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if err := db.flushOldest(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// Compact merges all tables into one, dropping tombstones and shadowed
+// versions (exposed for tests/benchmarks). Synchronous.
+func (db *lsmDB) Compact() error {
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return ErrDBClosed
+	}
+	return db.compactOnce()
 }
 
 // TableCount returns the number of on-disk tables (for tests).
@@ -492,23 +1015,46 @@ func (db *lsmDB) Counters() (int, int) {
 	return db.flushCount, db.compactCount
 }
 
-// RecoveryStats returns what the last open rebuilt from disk: intact WAL
-// records replayed into the memtable and SSTables reattached. A restarted
-// server reports these as the local half of its rejoin — only writes
-// missing from both is anti-entropy traffic.
-func (db *lsmDB) RecoveryStats() (records, tables int) {
+// WALStats returns cumulative WAL (appends, fsyncs) across all segments.
+// Group commit's whole point is syncs << appends under SyncWrites.
+func (db *lsmDB) WALStats() (appends, syncs int64) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.recoveredRecords, db.recoveredTables
+	a, s := db.wal.stats()
+	return db.walAppends + a, db.walSyncs + s
+}
+
+// CacheStats snapshots this database's block cache (shared across the
+// server's DBs when bedrock injected one; zero-valued when caching is off).
+func (db *lsmDB) CacheStats() BlockCacheStats {
+	if db.cache == nil {
+		return BlockCacheStats{}
+	}
+	return db.cache.Stats()
+}
+
+// RecoveryStats reports what the last open rebuilt from disk.
+func (db *lsmDB) RecoveryStats() RecoveryInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.recovered
 }
 
 func (db *lsmDB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
 	db.closed = true
+	db.mu.Unlock()
+
+	// In-flight background jobs abort at their install point once they see
+	// closed; wait them out before closing files they may still read.
+	db.jobs.Wait()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	err := db.wal.close()
 	for _, t := range db.tables {
 		t.close()

@@ -106,9 +106,13 @@ func TestLSMTornWALTail(t *testing.T) {
 	}
 	db.Close()
 
-	// Corrupt the WAL by appending garbage (a torn final record).
-	walPath := filepath.Join(dir, "wal.log")
-	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	// Corrupt the WAL by appending garbage (a torn final record) to the
+	// newest segment.
+	segs, err := walSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +247,7 @@ func TestSSTableRoundTrip(t *testing.T) {
 	if err := writeSSTable(path, ents, 16, 10); err != nil {
 		t.Fatal(err)
 	}
-	tab, err := openSSTable(path)
+	tab, err := openSSTable(path, nil, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,14 +310,14 @@ func TestSSTableCorruptionDetection(t *testing.T) {
 	raw, _ := os.ReadFile(path)
 	// Truncated file.
 	os.WriteFile(filepath.Join(dir, "short.sst"), raw[:8], 0o644)
-	if _, err := openSSTable(filepath.Join(dir, "short.sst")); err == nil {
+	if _, err := openSSTable(filepath.Join(dir, "short.sst"), nil, true); err == nil {
 		t.Fatal("truncated table should fail to open")
 	}
 	// Smashed footer magic.
 	bad := append([]byte(nil), raw...)
 	copy(bad[len(bad)-4:], "XXXX")
 	os.WriteFile(filepath.Join(dir, "badmagic.sst"), bad, 0o644)
-	if _, err := openSSTable(filepath.Join(dir, "badmagic.sst")); err == nil {
+	if _, err := openSSTable(filepath.Join(dir, "badmagic.sst"), nil, true); err == nil {
 		t.Fatal("bad footer magic should fail to open")
 	}
 }

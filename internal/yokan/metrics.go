@@ -107,4 +107,61 @@ func (p *Provider) RegisterMetrics(reg *obs.Registry) {
 			}
 			return out
 		})
+
+	// Storage-tier families, present only when this provider serves LSM
+	// databases: background flush/compaction activity, table counts, and
+	// WAL append/fsync totals (group commit shows up as syncs << appends).
+	var lsmNames []string
+	for _, db := range p.Databases() {
+		if _, ok := p.dbs[db].(*lsmDB); ok {
+			lsmNames = append(lsmNames, db)
+		}
+	}
+	if len(lsmNames) == 0 {
+		return
+	}
+	perLSM := func(value func(*lsmDB) float64) obs.Collector {
+		return func() []obs.Sample {
+			var out []obs.Sample
+			for _, db := range lsmNames {
+				l := p.dbs[db].(*lsmDB)
+				out = append(out, obs.OneSample(value(l), "provider", provider, "db", db))
+			}
+			return out
+		}
+	}
+	reg.MustRegister(obs.MetricLSMFlushes,
+		"Memtable flushes completed, by provider and database.",
+		obs.TypeCounter, perLSM(func(l *lsmDB) float64 {
+			f, _ := l.Counters()
+			return float64(f)
+		}))
+	reg.MustRegister(obs.MetricLSMCompactions,
+		"Table merges completed, by provider and database.",
+		obs.TypeCounter, perLSM(func(l *lsmDB) float64 {
+			_, c := l.Counters()
+			return float64(c)
+		}))
+	reg.MustRegister(obs.MetricLSMTables,
+		"SSTables currently installed, by provider and database.",
+		obs.TypeGauge, perLSM(func(l *lsmDB) float64 {
+			return float64(l.TableCount())
+		}))
+	reg.MustRegister(obs.MetricLSMWALAppends,
+		"WAL records appended, by provider and database.",
+		obs.TypeCounter, perLSM(func(l *lsmDB) float64 {
+			a, _ := l.WALStats()
+			return float64(a)
+		}))
+	reg.MustRegister(obs.MetricLSMWALSyncs,
+		"WAL fsyncs issued, by provider and database.",
+		obs.TypeCounter, perLSM(func(l *lsmDB) float64 {
+			_, s := l.WALStats()
+			return float64(s)
+		}))
+	reg.MustRegister(obs.MetricLSMQuarantined,
+		"Corrupt SSTables quarantined at the last open, by provider and database.",
+		obs.TypeCounter, perLSM(func(l *lsmDB) float64 {
+			return float64(l.RecoveryStats().Quarantined)
+		}))
 }

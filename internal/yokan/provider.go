@@ -139,6 +139,13 @@ type Provider struct {
 // NewProvider opens the configured databases and registers the Yokan RPCs
 // on the margo instance under the given provider id, executing in pool.
 func NewProvider(mi *margo.Instance, id margo.ProviderID, pool *argo.Pool, dbs []DBConfig) (*Provider, error) {
+	return NewProviderStorage(mi, id, pool, dbs, nil)
+}
+
+// NewProviderStorage is NewProvider with a shared storage environment for
+// the provider's LSM databases (block cache, background compaction pool,
+// tuned options). Bedrock builds one StorageEnv per server process.
+func NewProviderStorage(mi *margo.Instance, id margo.ProviderID, pool *argo.Pool, dbs []DBConfig, env *StorageEnv) (*Provider, error) {
 	if len(dbs) == 0 {
 		return nil, fmt.Errorf("yokan: provider %d has no databases", id)
 	}
@@ -148,7 +155,7 @@ func NewProvider(mi *margo.Instance, id margo.ProviderID, pool *argo.Pool, dbs [
 			p.closeAll()
 			return nil, fmt.Errorf("yokan: duplicate database %q", cfg.Name)
 		}
-		b, err := OpenBackend(cfg)
+		b, err := OpenBackendEnv(cfg, env)
 		if err != nil {
 			p.closeAll()
 			return nil, err

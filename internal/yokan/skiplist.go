@@ -223,6 +223,25 @@ func (s *skipList) scan(from []byte, inclusive bool, prefix []byte, fn func(e en
 	}
 }
 
+// iterFrom returns a pull iterator over entries with key >= start (nil
+// means from the beginning), tombstones included. The seek happens under
+// the read lock; the walk along level 0 is lock-free, which is safe only
+// while no writer can run concurrently — LSM scans hold the database lock
+// (excluding writers) or iterate immutable memtables.
+func (s *skipList) iterFrom(start []byte) func() (entry, bool) {
+	s.mu.RLock()
+	n := s.findGreaterOrEqual(start, nil)
+	s.mu.RUnlock()
+	return func() (entry, bool) {
+		if n == nil {
+			return entry{}, false
+		}
+		e := entry{key: n.key, val: n.val, tomb: n.tomb}
+		n = n.next[0]
+		return e, true
+	}
+}
+
 // len returns the number of live entries.
 func (s *skipList) len() int {
 	s.mu.RLock()

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/chash"
 )
@@ -23,7 +24,14 @@ import (
 //	  u64 indexOff | u64 bloomOff | u64 entryCount | u32 crc(entries region) | magic "YKF1"
 //
 // The sparse index and bloom filter are loaded into memory at open; lookups
-// are bloom check → index binary search → short forward scan.
+// are bloom check → index binary search → block fetch (cache or one ReadAt)
+// → binary search inside the decoded block.
+//
+// Tables are written to "<name>.tmp", fsynced, renamed into place and the
+// directory fsynced, so a final-name .sst file is always internally
+// complete on a journaling filesystem; openSSTable can additionally verify
+// the entries-region CRC to catch torn or bit-rotted tables, which the LSM
+// recovery path quarantines instead of failing the whole open.
 const (
 	sstMagic       = "YKSST1\n"
 	sstFooterMagic = "YKF1"
@@ -82,10 +90,15 @@ type sstIndexEntry struct {
 	offset uint64
 }
 
+// tableIDs hands out process-unique table identities for block-cache keys.
+var tableIDs atomic.Uint64
+
 // sstable is an immutable sorted table on disk.
 type sstable struct {
+	id      uint64
 	path    string
 	f       *os.File
+	cache   *BlockCache // nil: uncached
 	index   []sstIndexEntry
 	filter  *bloom
 	entries uint64
@@ -95,105 +108,199 @@ type sstable struct {
 	size    int64
 }
 
-// writeSSTable writes sorted entries (including tombstones) to path. The
-// iterator must yield entries in strictly ascending key order.
-func writeSSTable(path string, ents []entry, indexEvery int, bloomBitsPerKey int) error {
-	if indexEvery < 1 {
-		indexEvery = 16
-	}
-	f, err := os.Create(path)
+// syncDir fsyncs a directory so a rename or unlink inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriterSize(f, 1<<16)
-	crc := crc32.NewIEEE()
-	out := io.MultiWriter(w, crc)
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
-	if _, err := out.Write([]byte(sstMagic)); err != nil {
-		f.Close()
+// sstWriter streams sorted entries into a new table file. The file is
+// created under a temporary name and atomically renamed by finish, so a
+// crash mid-write can never leave a torn table at its final name.
+type sstWriter struct {
+	path    string
+	tmpPath string
+	f       *os.File
+	w       *bufio.Writer
+	crc     *crc32Writer
+	off     uint64
+	index   []sstIndexEntry
+	filter  *bloom
+	count   int
+	stride  int
+	prev    []byte
+	buf     []byte
+}
+
+// crc32Writer accumulates the entries-region CRC alongside the buffered
+// writes.
+type crc32Writer struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crc32Writer) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// newSSTWriter starts a table at path. expectedEntries sizes the bloom
+// filter; an upper bound (e.g. the summed counts of compaction inputs) is
+// fine — overestimating only lowers the false-positive rate.
+func newSSTWriter(path string, expectedEntries, indexEvery, bloomBitsPerKey int) (*sstWriter, error) {
+	if indexEvery < 1 {
+		indexEvery = 16
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w := &sstWriter{
+		path:    path,
+		tmpPath: tmp,
+		f:       f,
+		w:       bufio.NewWriterSize(f, 1<<16),
+		filter:  newBloom(expectedEntries, bloomBitsPerKey),
+		stride:  indexEvery,
+	}
+	w.crc = &crc32Writer{w: w.w}
+	if _, err := w.crc.Write([]byte(sstMagic)); err != nil {
+		w.abort()
+		return nil, err
+	}
+	w.off = uint64(len(sstMagic))
+	return w, nil
+}
+
+// add appends one entry; keys must arrive in strictly ascending order.
+func (w *sstWriter) add(e entry) error {
+	if w.prev != nil && bytes.Compare(w.prev, e.key) >= 0 {
+		return fmt.Errorf("yokan: sstable entries out of order at %d", w.count)
+	}
+	w.prev = append(w.prev[:0], e.key...)
+	w.filter.add(e.key)
+	if w.count%w.stride == 0 {
+		w.index = append(w.index, sstIndexEntry{key: append([]byte(nil), e.key...), offset: w.off})
+	}
+	w.buf = w.buf[:0]
+	if e.tomb {
+		w.buf = append(w.buf, walOpDel)
+	} else {
+		w.buf = append(w.buf, walOpPut)
+	}
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(e.key)))
+	w.buf = append(w.buf, e.key...)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(e.val)))
+	w.buf = append(w.buf, e.val...)
+	if _, err := w.crc.Write(w.buf); err != nil {
 		return err
 	}
-	off := uint64(len(sstMagic))
-	filter := newBloom(len(ents), bloomBitsPerKey)
-	var index []sstIndexEntry
-	var prev []byte
-	var buf []byte
-	for i, e := range ents {
-		if prev != nil && bytes.Compare(prev, e.key) >= 0 {
-			f.Close()
-			os.Remove(path)
-			return fmt.Errorf("yokan: sstable entries out of order at %d", i)
-		}
-		prev = e.key
-		filter.add(e.key)
-		if i%indexEvery == 0 {
-			index = append(index, sstIndexEntry{key: append([]byte(nil), e.key...), offset: off})
-		}
-		buf = buf[:0]
-		if e.tomb {
-			buf = append(buf, walOpDel)
-		} else {
-			buf = append(buf, walOpPut)
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
-		buf = append(buf, e.key...)
-		buf = binary.AppendUvarint(buf, uint64(len(e.val)))
-		buf = append(buf, e.val...)
-		if _, err := out.Write(buf); err != nil {
-			f.Close()
-			return err
-		}
-		off += uint64(len(buf))
-	}
-	dataCRC := crc.Sum32()
-	indexOff := off
+	w.off += uint64(len(w.buf))
+	w.count++
+	return nil
+}
 
-	// Index section (not part of the data CRC).
+// finish writes index, bloom and footer, fsyncs, renames the table into
+// place and fsyncs the directory. On error the temp file is removed.
+func (w *sstWriter) finish() (err error) {
+	defer func() {
+		if err != nil {
+			w.abort()
+		}
+	}()
+	dataCRC := w.crc.crc
+	indexOff := w.off
+	off := w.off
+
 	var ibuf []byte
-	for _, ie := range index {
+	for _, ie := range w.index {
 		ibuf = ibuf[:0]
 		ibuf = binary.AppendUvarint(ibuf, uint64(len(ie.key)))
 		ibuf = append(ibuf, ie.key...)
 		ibuf = binary.AppendUvarint(ibuf, ie.offset)
-		if _, err := w.Write(ibuf); err != nil {
-			f.Close()
+		if _, err = w.w.Write(ibuf); err != nil {
 			return err
 		}
 		off += uint64(len(ibuf))
 	}
 	bloomOff := off
 	ibuf = ibuf[:0]
-	ibuf = binary.AppendUvarint(ibuf, filter.nbits)
-	ibuf = append(ibuf, byte(filter.k))
-	ibuf = append(ibuf, filter.bits...)
-	if _, err := w.Write(ibuf); err != nil {
-		f.Close()
+	ibuf = binary.AppendUvarint(ibuf, w.filter.nbits)
+	ibuf = append(ibuf, byte(w.filter.k))
+	ibuf = append(ibuf, w.filter.bits...)
+	if _, err = w.w.Write(ibuf); err != nil {
 		return err
 	}
 
 	var footer [sstFooterSize]byte
 	binary.LittleEndian.PutUint64(footer[0:], indexOff)
 	binary.LittleEndian.PutUint64(footer[8:], bloomOff)
-	binary.LittleEndian.PutUint64(footer[16:], uint64(len(ents)))
+	binary.LittleEndian.PutUint64(footer[16:], uint64(w.count))
 	binary.LittleEndian.PutUint32(footer[24:], dataCRC)
 	copy(footer[28:], sstFooterMagic)
-	if _, err := w.Write(footer[:]); err != nil {
-		f.Close()
+	if _, err = w.w.Write(footer[:]); err != nil {
 		return err
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
+	if err = w.w.Flush(); err != nil {
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
+	if err = w.f.Sync(); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = w.f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(w.tmpPath, w.path); err != nil {
+		return err
+	}
+	return syncDir(sstDir(w.path))
+}
+
+func sstDir(path string) string {
+	if i := bytes.LastIndexByte([]byte(path), os.PathSeparator); i >= 0 {
+		return path[:i]
+	}
+	return "."
+}
+
+// abort discards the partially written table.
+func (w *sstWriter) abort() {
+	w.f.Close()
+	os.Remove(w.tmpPath)
+}
+
+// writeSSTable writes sorted entries (including tombstones) to path via a
+// temp file + atomic rename. The entries must be in strictly ascending key
+// order.
+func writeSSTable(path string, ents []entry, indexEvery, bloomBitsPerKey int) error {
+	w, err := newSSTWriter(path, len(ents), indexEvery, bloomBitsPerKey)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if err := w.add(e); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	return w.finish()
 }
 
 // openSSTable maps the table for reading and loads index + bloom filter.
-func openSSTable(path string) (*sstable, error) {
+// When verify is set, the entries-region CRC is checked against the footer
+// (one sequential read) — used on recovery, where the file's history is
+// unknown; tables the process just wrote and fsynced skip it. cache, when
+// non-nil, serves this table's point lookups.
+func openSSTable(path string, cache *BlockCache, verify bool) (*sstable, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -218,8 +325,10 @@ func openSSTable(path string) (*sstable, error) {
 		return nil, fmt.Errorf("yokan: sstable %s has bad footer", path)
 	}
 	t := &sstable{
+		id:      tableIDs.Add(1),
 		path:    path,
 		f:       f,
+		cache:   cache,
 		entries: binary.LittleEndian.Uint64(footer[16:]),
 		dataEnd: binary.LittleEndian.Uint64(footer[0:]),
 		size:    size,
@@ -230,12 +339,31 @@ func openSSTable(path string) (*sstable, error) {
 		f.Close()
 		return nil, fmt.Errorf("yokan: sstable %s has corrupt section offsets", path)
 	}
+	if indexOff < int64(len(sstMagic)) {
+		f.Close()
+		return nil, fmt.Errorf("yokan: sstable %s has corrupt data end", path)
+	}
 
 	// Verify magic.
 	magic := make([]byte, len(sstMagic))
 	if _, err := f.ReadAt(magic, 0); err != nil || string(magic) != sstMagic {
 		f.Close()
 		return nil, fmt.Errorf("yokan: sstable %s has bad magic", path)
+	}
+
+	if verify {
+		// Stream the entries region and compare its CRC to the footer: a
+		// torn flush (crash between data write and fsync completing) or
+		// silent corruption fails here instead of poisoning reads later.
+		crc := crc32.NewIEEE()
+		if _, err := io.Copy(crc, io.NewSectionReader(f, 0, indexOff)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("yokan: sstable %s: verify read: %w", path, err)
+		}
+		if crc.Sum32() != binary.LittleEndian.Uint32(footer[24:]) {
+			f.Close()
+			return nil, fmt.Errorf("yokan: sstable %s has corrupt entries (data CRC mismatch)", path)
+		}
 	}
 
 	// Load index.
@@ -282,12 +410,12 @@ func openSSTable(path string) (*sstable, error) {
 
 	// Record min/max keys for scan pruning.
 	if t.entries > 0 {
-		it := t.iterAt(uint64(len(sstMagic)))
+		it := t.iterAt(uint64(len(sstMagic)), false)
 		if e, ok := it.next(); ok {
 			t.minKey = e.key
 		}
 		if len(t.index) > 0 {
-			it = t.iterAt(t.index[len(t.index)-1].offset)
+			it = t.iterAt(t.index[len(t.index)-1].offset, true)
 			for {
 				e, ok := it.next()
 				if !ok {
@@ -300,18 +428,26 @@ func openSSTable(path string) (*sstable, error) {
 	return t, nil
 }
 
-func (t *sstable) close() error { return t.f.Close() }
-
-// sstIter streams entries from a file offset.
-type sstIter struct {
-	t   *sstable
-	r   *bufio.Reader
-	off uint64
+func (t *sstable) close() error {
+	if t.cache != nil {
+		t.cache.dropTable(t.id)
+	}
+	return t.f.Close()
 }
 
-func (t *sstable) iterAt(off uint64) *sstIter {
+// sstIter streams entries from a file offset. With keysOnly set, values
+// are skipped on disk instead of decoded — Count and key-only listings pay
+// no per-value allocation.
+type sstIter struct {
+	t        *sstable
+	r        *bufio.Reader
+	off      uint64
+	keysOnly bool
+}
+
+func (t *sstable) iterAt(off uint64, keysOnly bool) *sstIter {
 	sr := io.NewSectionReader(t.f, int64(off), int64(t.dataEnd-off))
-	return &sstIter{t: t, r: bufio.NewReaderSize(sr, 1<<15), off: off}
+	return &sstIter{t: t, r: bufio.NewReaderSize(sr, 1<<15), off: off, keysOnly: keysOnly}
 }
 
 // next returns the next entry, or ok=false at the end of the data section.
@@ -335,9 +471,16 @@ func (it *sstIter) next() (entry, bool) {
 	if err != nil {
 		return entry{}, false
 	}
-	val := make([]byte, vlen)
-	if _, err := io.ReadFull(it.r, val); err != nil {
-		return entry{}, false
+	var val []byte
+	if it.keysOnly {
+		if _, err := it.r.Discard(int(vlen)); err != nil {
+			return entry{}, false
+		}
+	} else {
+		val = make([]byte, vlen)
+		if _, err := io.ReadFull(it.r, val); err != nil {
+			return entry{}, false
+		}
 	}
 	it.off += 1 + uint64(uvarintLen(klen)) + klen + uint64(uvarintLen(vlen)) + vlen
 	return entry{key: key, val: val, tomb: flag == walOpDel}, true
@@ -364,10 +507,61 @@ func (t *sstable) seekOffset(target []byte) uint64 {
 	return t.index[i-1].offset
 }
 
+// blockBounds returns the entry-region byte range of block i (the run
+// between sparse-index points i and i+1).
+func (t *sstable) blockBounds(i int) (start, end uint64) {
+	start = t.index[i].offset
+	if i+1 < len(t.index) {
+		return start, t.index[i+1].offset
+	}
+	return start, t.dataEnd
+}
+
+// block returns block i decoded, consulting the cache first. Cache-served
+// blocks are shared and strictly read-only.
+func (t *sstable) block(i int) (*cachedBlock, error) {
+	key := blockKey{table: t.id, block: uint32(i)}
+	if t.cache != nil {
+		if b, ok := t.cache.get(key); ok {
+			return b, nil
+		}
+	}
+	start, end := t.blockBounds(i)
+	raw := make([]byte, end-start)
+	if _, err := t.f.ReadAt(raw, int64(start)); err != nil {
+		return nil, err
+	}
+	b := &cachedBlock{bytes: len(raw)}
+	// Decode entries as views into raw — one allocation per block, not per
+	// entry; raw stays alive through the entry slices.
+	for len(raw) > 0 {
+		flag := raw[0]
+		rest := raw[1:]
+		klen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < klen {
+			return nil, fmt.Errorf("yokan: sstable %s: corrupt block %d", t.path, i)
+		}
+		k := rest[n : n+int(klen) : n+int(klen)]
+		rest = rest[n+int(klen):]
+		vlen, n2 := binary.Uvarint(rest)
+		if n2 <= 0 || uint64(len(rest)-n2) < vlen {
+			return nil, fmt.Errorf("yokan: sstable %s: corrupt block %d", t.path, i)
+		}
+		v := rest[n2 : n2+int(vlen) : n2+int(vlen)]
+		raw = rest[n2+int(vlen):]
+		b.entries = append(b.entries, entry{key: k, val: v, tomb: flag == walOpDel})
+	}
+	if t.cache != nil {
+		t.cache.admit(key, b)
+	}
+	return b, nil
+}
+
 // get looks up a key; present reports whether the table holds the key at
-// all (live or tombstone).
+// all (live or tombstone). The returned entry may alias a shared cache
+// block: callers must not mutate it and must clone anything they retain.
 func (t *sstable) get(key []byte) (e entry, present bool) {
-	if t.entries == 0 || !t.filter.mayContain(key) {
+	if t.entries == 0 || len(t.index) == 0 || !t.filter.mayContain(key) {
 		return entry{}, false
 	}
 	if t.minKey != nil && bytes.Compare(key, t.minKey) < 0 {
@@ -376,40 +570,65 @@ func (t *sstable) get(key []byte) (e entry, present bool) {
 	if t.maxKey != nil && bytes.Compare(key, t.maxKey) > 0 {
 		return entry{}, false
 	}
-	it := t.iterAt(t.seekOffset(key))
+	// Greatest index point with key <= target.
+	bi := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, key) > 0
+	}) - 1
+	if bi < 0 {
+		return entry{}, false
+	}
+	blk, err := t.block(bi)
+	if err != nil {
+		return entry{}, false
+	}
+	ents := blk.entries
+	j := sort.Search(len(ents), func(i int) bool {
+		return bytes.Compare(ents[i].key, key) >= 0
+	})
+	if j < len(ents) && bytes.Equal(ents[j].key, key) {
+		return ents[j], true
+	}
+	return entry{}, false
+}
+
+// scanFrom iterates entries with key >= start (nil means from the
+// beginning), calling fn until it returns false. Scans stream from the
+// file directly and never populate the cache (scan resistance).
+func (t *sstable) scanFrom(start []byte, fn func(e entry) bool) {
+	it := t.scanIter(start, false)
 	for {
-		cur, ok := it.next()
+		e, ok := it()
 		if !ok {
-			return entry{}, false
+			return
 		}
-		switch bytes.Compare(cur.key, key) {
-		case 0:
-			return cur, true
-		case 1:
-			return entry{}, false
+		if !fn(e) {
+			return
 		}
 	}
 }
 
-// scanFrom iterates entries with key >= start (nil means from the
-// beginning), calling fn until it returns false.
-func (t *sstable) scanFrom(start []byte, fn func(e entry) bool) {
+// scanIter returns a pull iterator over entries with key >= start.
+func (t *sstable) scanIter(start []byte, keysOnly bool) func() (entry, bool) {
 	var it *sstIter
 	if start == nil {
-		it = t.iterAt(uint64(len(sstMagic)))
+		it = t.iterAt(uint64(len(sstMagic)), keysOnly)
 	} else {
-		it = t.iterAt(t.seekOffset(start))
+		it = t.iterAt(t.seekOffset(start), keysOnly)
 	}
-	for {
-		e, ok := it.next()
-		if !ok {
-			return
-		}
-		if start != nil && bytes.Compare(e.key, start) < 0 {
-			continue
-		}
-		if !fn(e) {
-			return
+	skipping := start != nil
+	return func() (entry, bool) {
+		for {
+			e, ok := it.next()
+			if !ok {
+				return entry{}, false
+			}
+			if skipping {
+				if bytes.Compare(e.key, start) < 0 {
+					continue
+				}
+				skipping = false
+			}
+			return e, true
 		}
 	}
 }

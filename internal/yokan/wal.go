@@ -8,6 +8,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
 )
 
 // Write-ahead log for the LSM backend. Each record is:
@@ -18,21 +22,64 @@ import (
 // Deletes carry no value. Replay stops cleanly at the first torn record,
 // which is the correct crash-recovery behaviour: everything before it was
 // acknowledged only if the sync policy says so.
+//
+// The log is segmented: each active memtable has its own wal-NNNNNNNN.log
+// segment, rotated when the memtable is swapped to the immutable flush
+// queue. A segment is deleted only after the memtable it backs is durably
+// flushed to an SSTable and committed to the manifest, so no acknowledged
+// write ever has zero durable homes. (The pre-segmentation single "wal.log"
+// is still replayed on open for old directories.)
 const (
 	walOpPut = 'P'
 	walOpDel = 'D'
 )
 
+// walSyncMode selects the durability discipline of append.
+type walSyncMode int
+
+const (
+	// walNoSync buffers records in userspace; durability comes from the
+	// next flush/rotation. This is the paper's ingest-once default.
+	walNoSync walSyncMode = iota
+	// walSyncEach fsyncs inside every append (one fsync per write).
+	walSyncEach
+	// walSyncGroup batches fsyncs across concurrent appenders: append
+	// only buffers, and waitDurable elects a leader that syncs once for
+	// every record written before it (group commit).
+	walSyncGroup
+)
+
+// defaultGroupWindow is how long a group-commit leader waits for riders
+// before issuing the shared fsync.
+const defaultGroupWindow = 200 * time.Microsecond
+
 type wal struct {
-	f   *os.File
-	w   *bufio.Writer
-	len int64
-	// sync forces an fsync after every append (durable but slow); the
-	// paper's workloads are ingest-once read-many, so default is false.
-	sync bool
+	path string
+	mode walSyncMode
+	// window is the leader's rider-collection wait in group mode.
+	window time.Duration
+
+	// mu guards the writer state (file, buffer, len).
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	len    int64
+	closed bool
+
+	// Group-commit state: synced is the byte offset durably on disk,
+	// leader marks that some waiter is currently collecting the group.
+	gcMu   sync.Mutex
+	gcCond *sync.Cond
+	synced int64
+	leader bool
+
+	// appends / syncs are cumulative counters for the storage metrics:
+	// group commit's whole point is syncs << appends under SyncWrites.
+	appends int64
+	syncs   int64
 }
 
-func openWAL(path string, sync bool) (*wal, error) {
+func openWAL(path string, mode walSyncMode, window time.Duration) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("yokan: open wal: %w", err)
@@ -42,10 +89,26 @@ func openWAL(path string, sync bool) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), len: st.Size(), sync: sync}, nil
+	if window <= 0 {
+		window = defaultGroupWindow
+	}
+	w := &wal{
+		path:   path,
+		mode:   mode,
+		window: window,
+		f:      f,
+		w:      bufio.NewWriterSize(f, 1<<16),
+		len:    st.Size(),
+		synced: st.Size(),
+	}
+	w.gcCond = sync.NewCond(&w.gcMu)
+	return w, nil
 }
 
-func (w *wal) append(op byte, key, val []byte) error {
+// append writes one record and returns the log offset its durability
+// covers. In group mode the caller must invoke waitDurable(off) after
+// releasing the database lock; in the other modes waitDurable is a no-op.
+func (w *wal) append(op byte, key, val []byte) (int64, error) {
 	body := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(val))
 	body = append(body, op)
 	body = binary.AppendUvarint(body, uint64(len(key)))
@@ -57,51 +120,166 @@ func (w *wal) append(op byte, key, val []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(body))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)))
+
+	w.mu.Lock()
 	if _, err := w.w.Write(hdr[:]); err != nil {
-		return err
+		w.mu.Unlock()
+		return 0, err
 	}
 	if _, err := w.w.Write(body); err != nil {
-		return err
+		w.mu.Unlock()
+		return 0, err
 	}
 	w.len += int64(len(hdr) + len(body))
-	if w.sync {
+	off := w.len
+	w.appends++
+	if w.mode == walSyncEach {
 		if err := w.w.Flush(); err != nil {
-			return err
+			w.mu.Unlock()
+			return 0, err
 		}
-		return w.f.Sync()
+		if err := w.f.Sync(); err != nil {
+			w.mu.Unlock()
+			return 0, err
+		}
+		w.syncs++
 	}
+	w.mu.Unlock()
+	return off, nil
+}
+
+// waitDurable blocks until the record ending at off is on disk. Only group
+// mode ever waits: a leader is elected among the waiters, sleeps a short
+// window so concurrent appenders can pile on, then issues one fsync that
+// acknowledges the whole group.
+func (w *wal) waitDurable(off int64) error {
+	if w.mode != walSyncGroup {
+		return nil
+	}
+	w.gcMu.Lock()
+	for w.synced < off {
+		if !w.leader {
+			w.leader = true
+			w.gcMu.Unlock()
+
+			if w.window > 0 {
+				time.Sleep(w.window)
+			}
+			w.mu.Lock()
+			var err error
+			if w.closed {
+				// Rotation closed this segment under the database lock;
+				// its flush already fsynced everything we would cover.
+			} else {
+				err = w.w.Flush()
+				if err == nil {
+					err = w.f.Sync()
+				}
+				if err == nil {
+					w.syncs++
+				}
+			}
+			target := w.len
+			w.mu.Unlock()
+
+			w.gcMu.Lock()
+			w.leader = false
+			if err == nil {
+				w.synced = target
+			}
+			w.gcCond.Broadcast()
+			if err != nil {
+				w.gcMu.Unlock()
+				return err
+			}
+		} else {
+			w.gcCond.Wait()
+		}
+	}
+	w.gcMu.Unlock()
 	return nil
 }
 
+// flush pushes buffered records to disk and fsyncs. Used at rotation: a
+// swapped-out memtable's segment must be durable before the memtable is
+// handed to the background flusher.
 func (w *wal) flush() error {
-	if err := w.w.Flush(); err != nil {
+	w.mu.Lock()
+	var err error
+	if !w.closed {
+		err = w.w.Flush()
+		if err == nil {
+			err = w.f.Sync()
+		}
+		if err == nil {
+			w.syncs++
+		}
+	}
+	target := w.len
+	w.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return w.f.Sync()
+	w.gcMu.Lock()
+	if target > w.synced {
+		w.synced = target
+	}
+	w.gcCond.Broadcast()
+	w.gcMu.Unlock()
+	return nil
 }
 
-// reset truncates the log after a successful memtable flush.
-func (w *wal) reset() error {
-	if err := w.w.Flush(); err != nil {
-		return err
-	}
-	if err := w.f.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	w.len = 0
-	w.w.Reset(w.f)
-	return nil
+// stats returns cumulative (appends, fsyncs).
+func (w *wal) stats() (appends, syncs int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends, w.syncs
 }
 
 func (w *wal) close() error {
-	if err := w.w.Flush(); err != nil {
-		w.f.Close()
-		return err
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
 	}
-	return w.f.Close()
+	w.closed = true
+	err := w.w.Flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	target := w.len
+	w.mu.Unlock()
+	// Release any group-commit waiters; the buffer reached the OS.
+	w.gcMu.Lock()
+	if target > w.synced {
+		w.synced = target
+	}
+	w.gcCond.Broadcast()
+	w.gcMu.Unlock()
+	return err
+}
+
+// legacyWALName is the pre-segmentation log file.
+const legacyWALName = "wal.log"
+
+// walSegmentName formats the n-th segment file name.
+func walSegmentName(n int) string {
+	return fmt.Sprintf("wal-%08d.log", n)
+}
+
+// walSegments lists the WAL files of dir in replay order: the legacy
+// wal.log (oldest, if present) followed by segments by ascending number.
+func walSegments(dir string) ([]string, error) {
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(segs)
+	legacy := filepath.Join(dir, legacyWALName)
+	if _, err := os.Stat(legacy); err == nil {
+		segs = append([]string{legacy}, segs...)
+	}
+	return segs, nil
 }
 
 // replayWAL feeds every intact record to fn. It tolerates a truncated or
