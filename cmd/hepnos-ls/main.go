@@ -6,6 +6,7 @@
 //	hepnos-ls -group g.json fermilab/nova              # runs of a dataset
 //	hepnos-ls -group g.json -r fermilab/nova           # full recursive tree
 //	hepnos-ls -group g.json -max 5 fermilab/nova       # truncate listings
+//	hepnos-ls -group g.json -products                  # product census
 package main
 
 import (
@@ -24,6 +25,7 @@ func main() {
 		recursive = flag.Bool("r", false, "recurse into runs/subruns/events")
 		maxItems  = flag.Int("max", 10, "items to print per level (0 = all)")
 		stats     = flag.Bool("stats", false, "print service-wide provider statistics and exit")
+		products  = flag.Bool("products", false, "print the per-database product census (keys only, no value decoding) and exit")
 	)
 	flag.Parse()
 
@@ -54,6 +56,22 @@ func main() {
 		for _, name := range names {
 			fmt.Printf("  %-16s %d keys\n", name, st.DBCounts[name])
 		}
+		return
+	}
+
+	if *products {
+		counts, err := ds.ProductCounts(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-32s %12s %12s\n", "database", "row products", "column pages")
+		var rows, pages uint64
+		for _, pc := range counts {
+			fmt.Printf("%-32s %12d %12d\n", pc.DB.String(), pc.Rows, pc.Pages)
+			rows += pc.Rows
+			pages += pc.Pages
+		}
+		fmt.Printf("%-32s %12d %12d\n", "total", rows, pages)
 		return
 	}
 

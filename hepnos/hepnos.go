@@ -34,6 +34,7 @@ import (
 	"github.com/hep-on-hpc/hepnos-go/internal/obs"
 	"github.com/hep-on-hpc/hepnos-go/internal/qos"
 	"github.com/hep-on-hpc/hepnos-go/internal/resilience"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
 	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
 )
 
@@ -272,6 +273,54 @@ func ClientConfigFrom(cpc ClientProcessConfig) (ClientConfig, error) {
 
 // SelectorFor builds a ProductSelector from a label and an example value.
 var SelectorFor = core.SelectorFor
+
+// Columnar products and pushdown scans (DESIGN.md §17): a slice-of-struct
+// product type registered with RegisterColumnar is stored as column pages,
+// and DataSet.Scan evaluates a Predicate server-side, returning only the
+// requested columns of the surviving rows:
+//
+//	hepnos.RegisterColumnar([]RecoSlice{})
+//	pred := hepnos.And(hepnos.GE("CVNe", 0.5), hepnos.LT("CalE", 4))
+//	cur := dset.Scan(ctx, "reco", []RecoSlice{}, pred, "CVNe", "CalE")
+//	for cur.Next() {
+//		var rows []RecoSlice
+//		_ = cur.Rows(&rows) // only CVNe/CalE populated; view is borrowed
+//	}
+type (
+	// Predicate is a server-evaluated row filter over numeric columns.
+	// The zero value selects every row.
+	Predicate = serde.Predicate
+	// ColumnSchema describes a registered columnar product type.
+	ColumnSchema = serde.ColumnSchema
+	// ScanCursor streams a pushdown scan's surviving event groups.
+	ScanCursor = core.ScanCursor
+	// ScanStats accounts one cursor's traffic (rows, pages, wire bytes).
+	ScanStats = core.ScanStats
+	// ProductDBCount is one product database's keys-only census entry.
+	ProductDBCount = core.ProductDBCount
+)
+
+// Predicate builders. Comparisons name a struct field and a constant;
+// F32 widens a float32 constant exactly for comparisons against float32
+// columns. And/Or compose.
+var (
+	LT  = serde.LT
+	LE  = serde.LE
+	GT  = serde.GT
+	GE  = serde.GE
+	EQ  = serde.EQ
+	NE  = serde.NE
+	And = serde.And
+	Or  = serde.Or
+	F32 = serde.F32
+)
+
+// RegisterColumnar opts a slice-of-struct product type into columnar page
+// storage; ColumnSchemaOf derives a schema without registering.
+var (
+	RegisterColumnar = serde.RegisterColumnar
+	ColumnSchemaOf   = serde.ColumnSchemaOf
+)
 
 // Rescale migrates all data from one datastore view to another whose
 // database sets differ — the storage-rescaling extension the paper cites

@@ -51,6 +51,13 @@ func (c *container) Store(ctx context.Context, label string, value any) error {
 	if err != nil {
 		return err
 	}
+	// Registered columnar types stored on events become a one-event page
+	// (batch ingest via WriteBatch grows much larger pages); zero-row
+	// values stay on the row path so presence survives.
+	if schema := serde.ColumnarOf(value); schema != nil &&
+		c.key.Level() == keys.LevelEvent && columnarRows(value) > 0 {
+		return c.storeColumnar(ctx, schema, label, value)
+	}
 	// Key and serialized value share one pooled scratch buffer; the yokan
 	// client copies both into its own request encoding, and replicatedPut
 	// waits for every copy before returning, so the scratch is recycled
@@ -67,6 +74,24 @@ func (c *container) Store(ctx context.Context, label string, value any) error {
 	return c.ds.replicatedPut(ctx, c.ds.productReplicas(c.key), buf[:keyLen:keyLen], buf[keyLen:])
 }
 
+// storeColumnar writes one event's rows as a single-event page, each page
+// KV replicated to the subrun's product replica set.
+func (c *container) storeColumnar(ctx context.Context, schema *serde.ColumnSchema, label string, value any) error {
+	srKey, _ := c.key.Parent()
+	page := newOpenPage(schema, pageGroupKey(srKey, label, schema.TypeName()), srKey)
+	if err := page.appendEvent(c.key.Number(), value); err != nil {
+		return err
+	}
+	replicas := c.ds.productReplicas(srKey)
+	ks, vs := page.pageKVs()
+	for i := range ks {
+		if err := c.ds.replicatedPut(ctx, replicas, ks[i], vs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Load fetches the product with the given label into ptr (which determines
 // the type part of the key). Prefetched products are served locally.
 func (c *container) Load(ctx context.Context, label string, ptr any) error {
@@ -80,6 +105,14 @@ func (c *container) Load(ctx context.Context, label string, ptr any) error {
 	if c.prefetched != nil {
 		if data, ok := c.prefetched[label+"#"+id.Type]; ok {
 			return decodeProduct(data, ptr)
+		}
+	}
+	// Registered columnar event products live in pages; an event absent
+	// from the pages falls through to the row path, which still serves
+	// zero-row values and anything stored before registration.
+	if schema := serde.ColumnarOf(ptr); schema != nil && c.key.Level() == keys.LevelEvent {
+		if found, err := c.loadColumnar(ctx, schema, label, ptr); found {
+			return err
 		}
 	}
 	data, err := c.ds.getFO(ctx, c.ds.productReplicas(c.key), id.Encode())
@@ -101,6 +134,11 @@ func (c *container) HasProduct(ctx context.Context, label string, example any) (
 	id, err := c.productKey(label, example)
 	if err != nil {
 		return false, err
+	}
+	if schema := serde.ColumnarOf(example); schema != nil && c.key.Level() == keys.LevelEvent {
+		if found, err := c.hasColumnar(ctx, schema, label); found || err != nil {
+			return found, err
+		}
 	}
 	found, err := c.ds.existsFO(ctx, c.ds.productReplicas(c.key), [][]byte{id.Encode()})
 	if err != nil {

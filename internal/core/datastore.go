@@ -176,6 +176,15 @@ type DataStore struct {
 	replicaWrites    atomic.Int64 // extra copies written beyond the first per key
 	replicaDrops     atomic.Int64 // replica copies dropped because their server was down
 	resyncReplayed   atomic.Int64 // keys replayed onto rejoined servers by anti-entropy
+
+	// Pushdown-scan accounting, summed over every scan RPC this client
+	// issued (Load/HasProduct single-event scans and ScanCursor sweeps).
+	scanRequests      atomic.Int64
+	scanPagesScanned  atomic.Int64
+	scanRowsScanned   atomic.Int64
+	scanRowsMatched   atomic.Int64
+	scanBytesReturned atomic.Int64
+	scanBytesSaved    atomic.Int64
 }
 
 // Connect discovers the service's databases and returns a ready DataStore,

@@ -1,6 +1,10 @@
 package core
 
-import "github.com/hep-on-hpc/hepnos-go/internal/obs"
+import (
+	"sync/atomic"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
 
 // Registry returns the client's metrics registry: fabric breadcrumbs,
 // resilience activity, async pool counters and the core-layer counters,
@@ -53,4 +57,23 @@ func (ds *DataStore) registerCoreMetrics() {
 		obs.TypeCounter, func() []obs.Sample {
 			return obs.GaugeSample(float64(ds.resyncReplayed.Load()))
 		})
+	// Client-side pushdown-scan accounting; the server-side counterparts
+	// (same family names, provider label) live in the yokan providers.
+	scanCounter := func(name, help string, ctr *atomic.Int64) {
+		ds.registry.MustRegister(name, help, obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ctr.Load()))
+		})
+	}
+	scanCounter(obs.MetricScans,
+		"Pushdown scan RPCs issued by this client.", &ds.scanRequests)
+	scanCounter(obs.MetricScanPages,
+		"Columnar pages examined by this client's pushdown scans.", &ds.scanPagesScanned)
+	scanCounter(obs.MetricScanRowsScanned,
+		"Rows examined by this client's pushdown scans.", &ds.scanRowsScanned)
+	scanCounter(obs.MetricScanRowsMatched,
+		"Rows surviving this client's pushdown-scan predicates.", &ds.scanRowsMatched)
+	scanCounter(obs.MetricScanBytesReturned,
+		"Bytes returned to this client by pushdown scans.", &ds.scanBytesReturned)
+	scanCounter(obs.MetricScanBytesSaved,
+		"Wire bytes pushdown scans saved this client versus full row-path decode.", &ds.scanBytesSaved)
 }

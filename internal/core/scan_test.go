@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+)
+
+// scanTrack is the columnar product type of the core scan tests. It is
+// registered only here, so the row-path behaviour of every other test
+// type (particle, nova.Slice in other files) is untouched by ordering.
+type scanTrack struct {
+	ID  uint32
+	Pt  float32
+	Eta float32
+	Q   int32
+	Tag string
+}
+
+func registerScanTrack(t *testing.T) *serde.ColumnSchema {
+	t.Helper()
+	schema, err := serde.RegisterColumnar([]scanTrack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+// trackRows builds a deterministic payload for an event; e%5 == 0 events
+// are empty (they exercise the row-path fallback).
+func trackRows(sr, e uint64) []scanTrack {
+	n := int(e % 5)
+	rows := make([]scanTrack, 0, n)
+	for r := 0; r < n; r++ {
+		rows = append(rows, scanTrack{
+			ID:  uint32(sr*1000 + e*10 + uint64(r)),
+			Pt:  float32(e) + float32(r)/8,
+			Eta: float32(sr) - 1.5,
+			Q:   int32(r%2*2 - 1),
+			Tag: fmt.Sprintf("t%d", r),
+		})
+	}
+	return rows
+}
+
+func TestColumnarStoreLoadScan(t *testing.T) {
+	registerScanTrack(t)
+	ds, _, _ := newTestCluster(t, bedrock.DeploySpec{Servers: 2})
+	ctx := context.Background()
+	dset, err := ds.CreateDataSet(ctx, "scan/unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const subruns, events = 3, 40
+	want := map[EventID][]scanTrack{}
+	wb := ds.NewAsyncWriteBatch(64)
+	run, err := wb.CreateRun(ctx, dset, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(0); s < subruns; s++ {
+		sr, err := wb.CreateSubRun(ctx, run, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := uint64(0); e < events; e++ {
+			ev, err := wb.CreateEvent(ctx, sr, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := trackRows(s, e)
+			if err := wb.Store(ctx, ev, "trk", rows); err != nil {
+				t.Fatal(err)
+			}
+			want[EventID{Run: 1, SubRun: s, Event: e}] = rows
+		}
+	}
+	if err := wb.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every event loads back byte-identically through the page path (or
+	// the row path for empty payloads).
+	r, err := dset.Run(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(0); s < subruns; s++ {
+		sr, err := r.SubRun(ctx, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := uint64(0); e < events; e++ {
+			ev, err := sr.Event(ctx, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []scanTrack
+			if err := ev.Load(ctx, "trk", &got); err != nil {
+				t.Fatalf("load %d/%d: %v", s, e, err)
+			}
+			if !sameTracks(got, want[ev.ID()]) {
+				t.Fatalf("load %d/%d = %+v, want %+v", s, e, got, want[ev.ID()])
+			}
+			has, err := ev.HasProduct(ctx, "trk", []scanTrack{})
+			if err != nil || !has {
+				t.Fatalf("HasProduct(%d/%d) = %v, %v", s, e, has, err)
+			}
+			if has, _ := ev.HasProduct(ctx, "other", []scanTrack{}); has {
+				t.Fatalf("HasProduct with wrong label is true")
+			}
+		}
+	}
+
+	// Pushdown scan with predicate and projection agrees with the
+	// client-side filter.
+	pred := serde.And(serde.GE("Pt", 20), serde.EQ("Q", 1))
+	cur := dset.Scan(ctx, "trk", []scanTrack{}, pred, "Pt", "Tag")
+	got := map[EventID][]scanTrack{}
+	for cur.Next() {
+		var rows []scanTrack
+		if err := cur.Rows(&rows); err != nil {
+			t.Fatal(err)
+		}
+		got[cur.EventID()] = append([]scanTrack(nil), rows...)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	expected := map[EventID][]scanTrack{}
+	var totalRows, matchedRows int
+	for id, rows := range want {
+		totalRows += len(rows)
+		for _, tr := range rows {
+			if tr.Pt >= 20 && tr.Q == 1 {
+				// Only the projected columns come back.
+				expected[id] = append(expected[id], scanTrack{Pt: tr.Pt, Tag: tr.Tag})
+				matchedRows++
+			}
+		}
+	}
+	if len(expected) == 0 || matchedRows == 0 {
+		t.Fatal("fixture selects nothing")
+	}
+	if len(got) != len(expected) {
+		t.Fatalf("scan found %d events, want %d", len(got), len(expected))
+	}
+	for id, rows := range expected {
+		if !sameTracks(got[id], rows) {
+			t.Fatalf("scan %v = %+v, want %+v", id, got[id], rows)
+		}
+	}
+	st := cur.Stats()
+	if st.RowsScanned != uint64(totalRows) || st.RowsMatched != uint64(matchedRows) {
+		t.Fatalf("stats = %+v, want scanned=%d matched=%d", st, totalRows, matchedRows)
+	}
+	if st.ReturnedBytes >= st.FullBytes {
+		t.Fatalf("projection saved nothing: %+v", st)
+	}
+
+	// An unknown column and an unregistered type fail fast.
+	if bad := dset.Scan(ctx, "trk", []scanTrack{}, serde.Predicate{}, "Nope"); bad.Next() || bad.Err() == nil {
+		t.Fatal("scan with unknown column did not fail")
+	}
+	if bad := dset.Scan(ctx, "trk", []particle{}, serde.Predicate{}); bad.Next() || bad.Err() == nil {
+		t.Fatal("scan of unregistered type did not fail")
+	}
+
+	// The product census sees both pages and row-path keys (the empty
+	// payloads ride the row path).
+	counts, err := ds.ProductCounts(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages, rowKeys uint64
+	for _, pc := range counts {
+		pages += pc.Pages
+		rowKeys += pc.Rows
+	}
+	if pages == 0 || rowKeys == 0 {
+		t.Fatalf("product census: pages=%d rows=%d, want both nonzero", pages, rowKeys)
+	}
+}
+
+// TestColumnarOneShotAndOutOfOrder covers the container.Store single-event
+// page path and out-of-order stores sealing pages mid-group.
+func TestColumnarOneShotAndOutOfOrder(t *testing.T) {
+	registerScanTrack(t)
+	ds, _, _ := newTestCluster(t, bedrock.DeploySpec{Servers: 2})
+	ctx := context.Background()
+	dset, err := ds.CreateDataSet(ctx, "scan/oneshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := dset.CreateRun(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := run.CreateSubRun(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct Store: one-event page.
+	ev5, err := sr.CreateEvent(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows5 := []scanTrack{{ID: 5, Pt: 50, Q: 1, Tag: "five"}}
+	if err := ev5.Store(ctx, "trk", rows5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch store out of order: event 9 then event 3 seals the open page.
+	wb := ds.NewWriteBatch()
+	ev9, err := wb.CreateEvent(ctx, sr, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows9 := []scanTrack{{ID: 9, Pt: 90, Q: -1, Tag: "nine"}}
+	if err := wb.Store(ctx, ev9, "trk", rows9); err != nil {
+		t.Fatal(err)
+	}
+	ev3, err := wb.CreateEvent(ctx, sr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows3 := []scanTrack{{ID: 3, Pt: 30, Q: 1, Tag: "three"}, {ID: 31, Pt: 31, Q: -1, Tag: "three-b"}}
+	if err := wb.Store(ctx, ev3, "trk", rows3); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		ev   uint64
+		want []scanTrack
+	}{{5, rows5}, {9, rows9}, {3, rows3}} {
+		e, err := sr.Event(ctx, tc.ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []scanTrack
+		if err := e.Load(ctx, "trk", &got); err != nil {
+			t.Fatalf("load event %d: %v", tc.ev, err)
+		}
+		if !sameTracks(got, tc.want) {
+			t.Fatalf("event %d = %+v, want %+v", tc.ev, got, tc.want)
+		}
+	}
+
+	// A full-column, no-predicate scan sees every row exactly once in
+	// ascending event order (pages sorted by first event).
+	cur := dset.Scan(ctx, "trk", []scanTrack{}, serde.Predicate{})
+	var order []uint64
+	rowsSeen := 0
+	for cur.Next() {
+		order = append(order, cur.EventID().Event)
+		rowsSeen += cur.NumRows()
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []uint64{3, 5, 9}
+	if len(order) != len(wantOrder) || rowsSeen != 4 {
+		t.Fatalf("scan visited %v (%d rows), want %v (4 rows)", order, rowsSeen, wantOrder)
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("scan order %v, want %v", order, wantOrder)
+		}
+	}
+}
+
+// sameTracks compares two payloads byte-identically via re-marshal.
+func sameTracks(a, b []scanTrack) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	ab, err1 := serde.Marshal(a)
+	bb, err2 := serde.Marshal(b)
+	return err1 == nil && err2 == nil && bytes.Equal(ab, bb)
+}

@@ -45,6 +45,12 @@ type WriteBatch struct {
 	queued  int
 	closed  bool
 
+	// colPages holds the open columnar page per page group (DESIGN.md
+	// §17): event-level products of registered columnar types accumulate
+	// here until a page seals (size/row threshold, or out-of-order event)
+	// and its KV pairs join the pending buffer like any other update.
+	colPages map[string]*openPage
+
 	// flushWG covers the submission window between extracting groups and
 	// registering their eventuals, so Wait cannot miss a flush in flight.
 	flushWG  sync.WaitGroup
@@ -94,7 +100,11 @@ type inflightFlush struct {
 // NewWriteBatch creates an empty batch bound to the datastore, flushing
 // synchronously.
 func (ds *DataStore) NewWriteBatch() *WriteBatch {
-	return &WriteBatch{ds: ds, pending: make(map[yokan.DBHandle]*dbBatch)}
+	return &WriteBatch{
+		ds:       ds,
+		pending:  make(map[yokan.DBHandle]*dbBatch),
+		colPages: make(map[string]*openPage),
+	}
 }
 
 // NewAsyncWriteBatch creates a batch whose flushes run on the datastore's
@@ -248,6 +258,13 @@ func (w *WriteBatch) storeOn(ctx context.Context, ck keys.ContainerKey, label st
 	if err != nil {
 		return err
 	}
+	// Registered columnar types stored on events take the page path;
+	// zero-row values fall through to the row path so presence survives
+	// (pages never carry empty events — see pages.go).
+	if schema := serde.ColumnarOf(value); schema != nil &&
+		ck.Level() == keys.LevelEvent && columnarRows(value) > 0 {
+		return w.storeColumnar(ctx, schema, ck, label, value)
+	}
 	// Product key and serialized value are built back-to-back in one
 	// pooled scratch buffer; queue packs both into the target group's
 	// segment, so neither gets its own allocation.
@@ -261,6 +278,86 @@ func (w *WriteBatch) storeOn(ctx context.Context, ck keys.ContainerKey, label st
 	scratch.B = buf
 	keyLen := len(kb)
 	return w.queue(ctx, w.ds.productReplicas(ck), buf[:keyLen:keyLen], buf[keyLen:])
+}
+
+// storeColumnar appends one event's rows to its group's open page,
+// sealing pages as they fill. A sealed page's KV pairs ride queue() like
+// row products — packed into per-database segments, replicated, and
+// flushed by the same machinery — except they are placed by the *subrun*
+// key, clustering a group's pages onto one database for the scan path.
+func (w *WriteBatch) storeColumnar(ctx context.Context, schema *serde.ColumnSchema, ck keys.ContainerKey, label string, value any) error {
+	ev := ck.Number()
+	srKey, _ := ck.Parent()
+	group := pageGroupKey(srKey, label, schema.TypeName())
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrBatchClosed
+	}
+	var toEmit []*openPage
+	page := w.colPages[string(group)]
+	// An event at or below the page's last one would break the ascending
+	// invariant: seal what is open and start fresh.
+	if page != nil && page.covers(ev) {
+		toEmit = append(toEmit, page)
+		page = nil
+	}
+	if page == nil {
+		page = newOpenPage(schema, group, srKey)
+		w.colPages[string(group)] = page
+	}
+	if err := page.appendEvent(ev, value); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if page.full() {
+		toEmit = append(toEmit, page)
+		delete(w.colPages, string(group))
+	}
+	w.mu.Unlock()
+
+	for _, p := range toEmit {
+		if err := w.emitPage(ctx, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitPage queues a sealed page's KV pairs to the subrun's product
+// replica set.
+func (w *WriteBatch) emitPage(ctx context.Context, p *openPage) error {
+	replicas := w.ds.productReplicas(p.srKey)
+	ks, vs := p.pageKVs()
+	for i := range ks {
+		if err := w.queue(ctx, replicas, ks[i], vs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sealPages moves every open columnar page into the pending buffer.
+// Explicit Flush and Close run it so neither leaves a half-built page
+// behind; the MaxPending auto-flush deliberately does not, so steady
+// ingest grows pages to their sealing thresholds instead of fragmenting
+// them at every flush boundary. addLocked is used directly to keep
+// sealing from re-triggering the auto-flush threshold.
+func (w *WriteBatch) sealPages() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for g, p := range w.colPages {
+		replicas := w.ds.productReplicas(p.srKey)
+		sole := len(replicas) == 1
+		ks, vs := p.pageKVs()
+		for i := range ks {
+			for _, db := range replicas {
+				w.addLocked(db, ks[i], vs[i], sole)
+			}
+		}
+		delete(w.colPages, g)
+	}
 }
 
 // Flush sends all queued updates, one multi-put per target database.
@@ -281,6 +378,7 @@ func (w *WriteBatch) Flush(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	w.sealPages()
 	return w.flush(ctx)
 }
 
@@ -371,6 +469,7 @@ func (w *WriteBatch) Close(ctx context.Context) error {
 	}
 	w.closed = true
 	w.mu.Unlock()
+	w.sealPages()
 	errFlush := w.flush(ctx)
 	errWait := w.Wait(ctx)
 	return errors.Join(errFlush, errWait)

@@ -1,6 +1,10 @@
 package nova
 
-import "math"
+import (
+	"math"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+)
 
 // mathLog is the single math dependency of the generator.
 func mathLog(x float64) float64 { return math.Log(x) }
@@ -53,6 +57,49 @@ func SelectCandidate(s *Slice) bool {
 	}
 	return true
 }
+
+// SelectionPredicate is SelectCandidate expressed in the serde predicate
+// language, for pushing the selection into the yokan page scan. Constants
+// compared against float32 fields are pre-rounded through float32
+// (serde.F32) so the server's float64-widened comparison selects exactly
+// the rows SelectCandidate would: float32→float64 widening is exact and
+// monotone, so v > 0.08f in client code and float64(v) > float64(0.08f) on
+// the server agree on every float32 value. TestSelectionPredicateAgrees
+// pins this equivalence over generated slices.
+func SelectionPredicate() serde.Predicate {
+	return serde.And(
+		// Data quality.
+		serde.GE("NHit", 30),
+		serde.GE("NPlanes", 8),
+		serde.GT("EPerHit", 0),
+		serde.LE("EPerHit", serde.F32(0.08)),
+		// Fiducial containment (|VtxX| <= 700 as a two-sided cut).
+		serde.GE("VtxX", -700),
+		serde.LE("VtxX", 700),
+		serde.GE("VtxY", -700),
+		serde.LE("VtxY", 700),
+		serde.GE("VtxZ", 50),
+		serde.LE("VtxZ", 5800),
+		// Beam timing.
+		serde.GE("TimeMean", 217),
+		serde.LE("TimeMean", 232),
+		// Cosmic rejection.
+		serde.LE("CosmicScore", 0.5),
+		serde.GE("DirZ", serde.F32(0.2)),
+		// Energy window.
+		serde.GE("CalE", 1.0),
+		serde.LE("CalE", 4.0),
+		// Classifiers.
+		serde.GE("CVNe", serde.F32(0.84)),
+		serde.LE("CVNm", 0.5),
+		serde.LE("RemID", serde.F32(0.6)),
+	)
+}
+
+// SelectionColumns are the payload fields the pushed-down NOvA selection
+// actually analyzes downstream — the "2 of 40 fields" read pattern the
+// columnar layout exists for.
+func SelectionColumns() []string { return []string{"CVNe", "CalE"} }
 
 // SelectEvent applies SelectCandidate to every slice of an event and
 // returns the accepted slice references. This mirrors the per-event lambda

@@ -1,0 +1,120 @@
+package nova
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+	"github.com/hep-on-hpc/hepnos-go/internal/wire"
+)
+
+// evalPredicate runs the pushdown pipeline exactly as the server does —
+// split into columns, decode the predicate's columns numerically, evaluate
+// vectorized — and returns the per-row mask.
+func evalPredicate(t *testing.T, slices []Slice) []bool {
+	t.Helper()
+	schema, err := serde.ColumnSchemaOf([]Slice{})
+	if err != nil {
+		t.Fatalf("ColumnSchemaOf: %v", err)
+	}
+	pred, err := SelectionPredicate().Bind(schema)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	seg := new(wire.Segment)
+	defer seg.Release()
+	cols, rows, err := schema.MarshalColumns(seg, slices, nil)
+	if err != nil {
+		t.Fatalf("MarshalColumns: %v", err)
+	}
+	mark := make([]bool, schema.NumFields())
+	pred.MarkColumns(mark)
+	vecs := make([][]float64, schema.NumFields())
+	for f, m := range mark {
+		if !m {
+			continue
+		}
+		vecs[f], err = serde.DecodeNumericColumn(schema.Field(f).Kind, cols[f], rows, nil)
+		if err != nil {
+			t.Fatalf("DecodeNumericColumn(%s): %v", schema.Field(f).Name, err)
+		}
+	}
+	out := make([]bool, rows)
+	if err := pred.Eval(vecs, rows, out); err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	return out
+}
+
+// TestSelectionPredicateAgrees pins that the server-side predicate selects
+// exactly the slices SelectCandidate selects — over a generated sample and
+// over slices pinned to every cut boundary, where float32-vs-float64
+// constant rounding would first diverge.
+func TestSelectionPredicateAgrees(t *testing.T) {
+	// A slice passing every cut; each boundary case perturbs one field.
+	pass := Slice{
+		NHit: 40, NPlanes: 12, CalE: 2.0, RemID: 0.3, CVNe: 0.95, CVNm: 0.1,
+		CosmicScore: 0.2, VtxX: 10, VtxY: -10, VtxZ: 300, DirZ: 0.8,
+		TimeMean: 224, EPerHit: 0.05, ProngLen: 250,
+	}
+	var slices []Slice
+	slices = append(slices, pass)
+	perturb := []func(s *Slice){
+		func(s *Slice) { s.NHit = 30 },
+		func(s *Slice) { s.NHit = 29 },
+		func(s *Slice) { s.NPlanes = 8 },
+		func(s *Slice) { s.NPlanes = 7 },
+		func(s *Slice) { s.EPerHit = 0 },
+		func(s *Slice) { s.EPerHit = 0.08 },
+		func(s *Slice) { s.EPerHit = nextAfter32(0.08, 1) },
+		func(s *Slice) { s.VtxX = 700 },
+		func(s *Slice) { s.VtxX = -700 },
+		func(s *Slice) { s.VtxX = nextAfter32(700, 1000) },
+		func(s *Slice) { s.VtxY = nextAfter32(-700, -1000) },
+		func(s *Slice) { s.VtxZ = 50 },
+		func(s *Slice) { s.VtxZ = nextAfter32(50, 0) },
+		func(s *Slice) { s.VtxZ = 5800 },
+		func(s *Slice) { s.TimeMean = 217 },
+		func(s *Slice) { s.TimeMean = 232 },
+		func(s *Slice) { s.TimeMean = nextAfter32(232, 300) },
+		func(s *Slice) { s.CosmicScore = 0.5 },
+		func(s *Slice) { s.CosmicScore = nextAfter32(0.5, 1) },
+		func(s *Slice) { s.DirZ = 0.2 },
+		func(s *Slice) { s.DirZ = nextAfter32(0.2, 0) },
+		func(s *Slice) { s.CalE = 1.0 },
+		func(s *Slice) { s.CalE = 4.0 },
+		func(s *Slice) { s.CalE = nextAfter32(4.0, 5) },
+		func(s *Slice) { s.CVNe = 0.84 },
+		func(s *Slice) { s.CVNe = nextAfter32(0.84, 0) },
+		func(s *Slice) { s.CVNm = 0.5 },
+		func(s *Slice) { s.CVNm = nextAfter32(0.5, 1) },
+		func(s *Slice) { s.RemID = 0.6 },
+		func(s *Slice) { s.RemID = nextAfter32(0.6, 1) },
+	}
+	for _, f := range perturb {
+		s := pass
+		f(&s)
+		slices = append(slices, s)
+	}
+
+	// A generated sample for bulk agreement (the signal rate is tiny, so
+	// this mostly checks agreement on rejections).
+	g := NewGenerator(GenParams{Seed: 7, MeanEventsPerFile: 50})
+	for i := 0; i < 4; i++ {
+		fd := g.File(i)
+		for e := range fd.Events {
+			slices = append(slices, fd.Events[e].Slices...)
+		}
+	}
+
+	got := evalPredicate(t, slices)
+	for i := range slices {
+		want := SelectCandidate(&slices[i])
+		if got[i] != want {
+			t.Errorf("slice %d: predicate=%v SelectCandidate=%v (%+v)", i, got[i], want, slices[i])
+		}
+	}
+}
+
+// nextAfter32 steps one float32 ulp from a toward b.
+func nextAfter32(a, b float32) float32 { return math.Nextafter32(a, b) }

@@ -75,6 +75,16 @@ const (
 	MetricLSMWALSyncs       = "hepnos_lsm_wal_syncs_total"
 	MetricLSMQuarantined    = "hepnos_lsm_quarantined_tables_total"
 
+	// Pushdown-scan families (columnar pages, DESIGN.md §17): registered
+	// server-side by the yokan provider and client-side by core, whose
+	// samples aggregate the per-reply accounting.
+	MetricScanPages         = "hepnos_scan_pages_total"
+	MetricScanRowsScanned   = "hepnos_scan_rows_scanned_total"
+	MetricScanRowsMatched   = "hepnos_scan_rows_matched_total"
+	MetricScanBytesReturned = "hepnos_scan_bytes_returned_total"
+	MetricScanBytesSaved    = "hepnos_scan_bytes_saved_total"
+	MetricScans             = "hepnos_scan_requests_total"
+
 	MetricHealthState       = "hepnos_health_state"
 	MetricHealthTransitions = "hepnos_health_transitions_total"
 	MetricHealthProbes      = "hepnos_health_probes_total"

@@ -1,0 +1,122 @@
+package serde_test
+
+import (
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+	"github.com/hep-on-hpc/hepnos-go/internal/wire"
+)
+
+// Locked allocation budgets for the pushdown-scan inner loop: these paths
+// run once per page per scan RPC with every working buffer reused across
+// pages, so the steady state must not allocate per call. Values are the
+// measurements at the time the scan path landed plus small headroom; a
+// change pushing past one is a regression or a conscious re-lock.
+const (
+	budgetNumericDecode = 1 // measured 0: reused dst
+	budgetPredicateEval = 2 // measured 1: composite eval scratch mask
+	budgetFilterColumn  = 1 // measured 0: reused dst
+	budgetColumnView    = 1 // measured 0: reused out slice, borrowed views
+)
+
+// pageOfSlices builds one sealed page worth of NOvA slices (the 256-row
+// seal threshold of the core page builder).
+func pageOfSlices(rows int) []nova.Slice {
+	out := make([]nova.Slice, rows)
+	for i := range out {
+		out[i] = nova.Slice{
+			SliceIdx: uint32(i), NHit: 120 + int32(i%40), CalE: 1.9 + float32(i%7)/8,
+			RemID: 0.6, CVNe: float32(i%100) / 100, CVNm: 0.12, CosmicScore: 0.31,
+			VtxX: 120.5, VtxY: -310.2, VtxZ: 890.0, DirZ: 0.97,
+			NPlanes: 42, TimeMean: 218.4, EPerHit: 0.016, ProngLen: 312.0,
+		}
+	}
+	return out
+}
+
+// TestAllocBudgetScan locks the borrowed column-view read path of a
+// pushdown scan: numeric column decode, predicate evaluation, survivor
+// filtering, and column reassembly into a reused slice — the per-page work
+// of a provider's scan handler and of the client cursor.
+func TestAllocBudgetScan(t *testing.T) {
+	schema, err := serde.ColumnSchemaOf([]nova.Slice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 256
+	page := pageOfSlices(rows)
+	seg := new(wire.Segment)
+	defer seg.Release()
+	cols, n, err := schema.MarshalColumns(seg, page, nil)
+	if err != nil || n != rows {
+		t.Fatalf("MarshalColumns: rows=%d err=%v", n, err)
+	}
+
+	pred, err := nova.SelectionPredicate().Bind(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := make([]bool, schema.NumFields())
+	pred.MarkColumns(marked)
+
+	check := func(name string, budget int, fn func()) {
+		t.Helper()
+		got := testing.AllocsPerRun(100, fn)
+		t.Logf("%s: %.1f allocs/op (budget %d)", name, got, budget)
+		if got > float64(budget) {
+			t.Errorf("%s allocs/op = %.1f, budget %d", name, got, budget)
+		}
+	}
+
+	// Provider side: decode the predicate's columns into reused float64
+	// buffers, evaluate the predicate into a reused mask, and filter one
+	// column's survivors into a reused chunk.
+	vals := make([][]float64, schema.NumFields())
+	for f := range marked {
+		if marked[f] {
+			vals[f] = make([]float64, 0, rows)
+		}
+	}
+	check("DecodeNumericColumn", budgetNumericDecode, func() {
+		for f := range marked {
+			if !marked[f] {
+				continue
+			}
+			out, err := serde.DecodeNumericColumn(schema.Field(f).Kind, cols[f], rows, vals[f])
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[f] = out
+		}
+	})
+
+	mask := make([]bool, rows)
+	check("Predicate.Eval", budgetPredicateEval, func() {
+		if err := pred.Eval(vals, rows, mask); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	calE := schema.FieldIndex("CalE")
+	filtered := make([]byte, 0, len(cols[calE]))
+	check("FilterColumn", budgetFilterColumn, func() {
+		out, err := serde.FilterColumn(schema.Field(calE).Kind, cols[calE], rows, mask, filtered[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered = out
+	})
+
+	// Client side: reassemble a two-column projection into a reused slice
+	// (the cursor's decode buffer).
+	proj := make([][]byte, schema.NumFields())
+	proj[calE] = cols[calE]
+	proj[schema.FieldIndex("CVNe")] = cols[schema.FieldIndex("CVNe")]
+	out := make([]nova.Slice, rows)
+	check("UnmarshalColumns(view)", budgetColumnView, func() {
+		if err := schema.UnmarshalColumns(proj, rows, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

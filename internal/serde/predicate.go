@@ -1,0 +1,322 @@
+package serde
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Predicate is the small selection language a scan ships to the server:
+// leaf comparisons of one numeric column against a constant, composed with
+// AND/OR. The struct is deliberately flat and pointer-free so it crosses
+// the wire through the ordinary serde codec with no custom encoding.
+//
+// Grammar (DESIGN.md §17):
+//
+//	pred := field OP const | AND(pred...) | OR(pred...)
+//	OP   := < <= > >= == !=
+//
+// Constants are float64. Integer and bool columns widen exactly into
+// float64 for evaluation (ints up to 2^53); float32 columns widen exactly
+// by construction. A predicate over float32 fields reproduces the client's
+// own float32 comparisons exactly when its constants are pre-rounded
+// through float32 (see F32 below).
+type Predicate struct {
+	Op    uint8
+	Field string      // leaf: column name (resolved by Bind)
+	Col   uint32      // leaf: column index, valid after Bind
+	Const float64     // leaf: comparison constant
+	Sub   []Predicate // AND/OR children
+}
+
+// Predicate ops. The zero Op is invalid so an all-zero Predicate — the
+// natural "no predicate" wire value — never evaluates.
+const (
+	OpNone uint8 = iota
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpEQ
+	OpNE
+	OpAnd
+	OpOr
+)
+
+// Structural limits, enforced by Validate on both ends of the wire so a
+// hostile request cannot make the server recurse or scan unboundedly.
+const (
+	MaxPredicateNodes = 64
+	MaxPredicateDepth = 8
+)
+
+func opString(op uint8) string {
+	switch op {
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpEQ:
+		return "=="
+	case OpNE:
+		return "!="
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	default:
+		return "op(" + strconv.Itoa(int(op)) + ")"
+	}
+}
+
+// Cmp builds a leaf comparison: field OP c.
+func Cmp(field string, op uint8, c float64) Predicate {
+	return Predicate{Op: op, Field: field, Const: c}
+}
+
+// LT, LE, GT, GE, EQ, NE are comparison leaf builders.
+func LT(field string, c float64) Predicate { return Cmp(field, OpLT, c) }
+func LE(field string, c float64) Predicate { return Cmp(field, OpLE, c) }
+func GT(field string, c float64) Predicate { return Cmp(field, OpGT, c) }
+func GE(field string, c float64) Predicate { return Cmp(field, OpGE, c) }
+func EQ(field string, c float64) Predicate { return Cmp(field, OpEQ, c) }
+func NE(field string, c float64) Predicate { return Cmp(field, OpNE, c) }
+
+// And is the conjunction of its children; Or the disjunction. Both require
+// at least one child (Validate rejects empty composites).
+func And(sub ...Predicate) Predicate { return Predicate{Op: OpAnd, Sub: sub} }
+func Or(sub ...Predicate) Predicate  { return Predicate{Op: OpOr, Sub: sub} }
+
+// F32 rounds a constant through float32, so that a predicate over a
+// float32 column compares against exactly the value the client's own
+// float32 code would have used (0.08 as a float32 is not 0.08 as a
+// float64).
+func F32(c float64) float64 { return float64(float32(c)) }
+
+// Validate checks structure: known ops, non-empty composites, and the node
+// and depth limits. It does not require Bind to have run.
+func (p Predicate) Validate() error {
+	n, err := p.validate(1)
+	if err != nil {
+		return err
+	}
+	if n > MaxPredicateNodes {
+		return fmt.Errorf("serde: predicate has %d nodes (max %d)", n, MaxPredicateNodes)
+	}
+	return nil
+}
+
+func (p Predicate) validate(depth int) (int, error) {
+	if depth > MaxPredicateDepth {
+		return 0, fmt.Errorf("serde: predicate deeper than %d", MaxPredicateDepth)
+	}
+	switch p.Op {
+	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE:
+		if len(p.Sub) != 0 {
+			return 0, fmt.Errorf("serde: comparison %s has children", opString(p.Op))
+		}
+		return 1, nil
+	case OpAnd, OpOr:
+		if len(p.Sub) == 0 {
+			return 0, fmt.Errorf("serde: empty %s", opString(p.Op))
+		}
+		n := 1
+		for i := range p.Sub {
+			c, err := p.Sub[i].validate(depth + 1)
+			if err != nil {
+				return 0, err
+			}
+			n += c
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("serde: invalid predicate op %s", opString(p.Op))
+	}
+}
+
+// Bind resolves every leaf's Field name to its column index in the schema,
+// checks the column kind is numeric, and returns a deep copy ready for
+// Eval. The receiver is not modified. Bind validates structure first, so a
+// bound predicate needs no separate Validate.
+func (p Predicate) Bind(s *ColumnSchema) (Predicate, error) {
+	if err := p.Validate(); err != nil {
+		return Predicate{}, err
+	}
+	return p.bind(s)
+}
+
+func (p Predicate) bind(s *ColumnSchema) (Predicate, error) {
+	out := p
+	if p.Op == OpAnd || p.Op == OpOr {
+		out.Sub = make([]Predicate, len(p.Sub))
+		for i := range p.Sub {
+			b, err := p.Sub[i].bind(s)
+			if err != nil {
+				return Predicate{}, err
+			}
+			out.Sub[i] = b
+		}
+		return out, nil
+	}
+	ci := s.FieldIndex(p.Field)
+	if ci < 0 {
+		return Predicate{}, fmt.Errorf("serde: predicate field %q not in %s", p.Field, s.TypeName())
+	}
+	if k := s.Field(ci).Kind; !k.Numeric() {
+		return Predicate{}, fmt.Errorf("%w: predicate on %s field %q", ErrUnsupported, k, p.Field)
+	}
+	out.Col = uint32(ci)
+	return out, nil
+}
+
+// CheckBound verifies a predicate that arrived over the wire already
+// carries valid column indices for the schema — the server-side mirror of
+// Bind that trusts Field names less than Col indices.
+func (p Predicate) CheckBound(s *ColumnSchema) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return p.checkBound(s)
+}
+
+func (p Predicate) checkBound(s *ColumnSchema) error {
+	if p.Op == OpAnd || p.Op == OpOr {
+		for i := range p.Sub {
+			if err := p.Sub[i].checkBound(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if p.Col >= uint32(s.NumFields()) {
+		return fmt.Errorf("serde: predicate column %d out of range for %s", p.Col, s.TypeName())
+	}
+	if k := s.Field(int(p.Col)).Kind; !k.Numeric() {
+		return fmt.Errorf("%w: predicate on %s column %d", ErrUnsupported, k, p.Col)
+	}
+	return nil
+}
+
+// MarkColumns sets mark[Col] for every leaf of a bound predicate — the
+// column set the server must decode to evaluate it.
+func (p Predicate) MarkColumns(mark []bool) {
+	if p.Op == OpAnd || p.Op == OpOr {
+		for i := range p.Sub {
+			p.Sub[i].MarkColumns(mark)
+		}
+		return
+	}
+	if int(p.Col) < len(mark) {
+		mark[p.Col] = true
+	}
+}
+
+// Eval evaluates a bound predicate vectorized over decoded columns: cols
+// is indexed by column id (only the columns MarkColumns names need be
+// non-nil, each rows long) and out[i] is set to the verdict for row i.
+func (p Predicate) Eval(cols [][]float64, rows int, out []bool) error {
+	if len(out) < rows {
+		return fmt.Errorf("serde: predicate out mask has %d of %d rows", len(out), rows)
+	}
+	switch p.Op {
+	case OpAnd, OpOr:
+		if err := p.Sub[0].Eval(cols, rows, out); err != nil {
+			return err
+		}
+		if len(p.Sub) == 1 {
+			return nil
+		}
+		tmp := make([]bool, rows)
+		for i := 1; i < len(p.Sub); i++ {
+			if err := p.Sub[i].Eval(cols, rows, tmp); err != nil {
+				return err
+			}
+			if p.Op == OpAnd {
+				for r := 0; r < rows; r++ {
+					out[r] = out[r] && tmp[r]
+				}
+			} else {
+				for r := 0; r < rows; r++ {
+					out[r] = out[r] || tmp[r]
+				}
+			}
+		}
+		return nil
+	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE:
+		if int(p.Col) >= len(cols) || cols[p.Col] == nil {
+			return fmt.Errorf("serde: predicate column %d not decoded", p.Col)
+		}
+		vec := cols[p.Col]
+		if len(vec) < rows {
+			return fmt.Errorf("serde: predicate column %d has %d of %d rows", p.Col, len(vec), rows)
+		}
+		c := p.Const
+		switch p.Op {
+		case OpLT:
+			for r := 0; r < rows; r++ {
+				out[r] = vec[r] < c
+			}
+		case OpLE:
+			for r := 0; r < rows; r++ {
+				out[r] = vec[r] <= c
+			}
+		case OpGT:
+			for r := 0; r < rows; r++ {
+				out[r] = vec[r] > c
+			}
+		case OpGE:
+			for r := 0; r < rows; r++ {
+				out[r] = vec[r] >= c
+			}
+		case OpEQ:
+			for r := 0; r < rows; r++ {
+				out[r] = vec[r] == c
+			}
+		case OpNE:
+			for r := 0; r < rows; r++ {
+				out[r] = vec[r] != c
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("serde: eval of invalid op %s", opString(p.Op))
+	}
+}
+
+// String renders the predicate for spans and error messages.
+func (p Predicate) String() string {
+	var b strings.Builder
+	p.format(&b)
+	return b.String()
+}
+
+func (p Predicate) format(b *strings.Builder) {
+	switch p.Op {
+	case OpAnd, OpOr:
+		b.WriteString(opString(p.Op))
+		b.WriteByte('(')
+		for i := range p.Sub {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			p.Sub[i].format(b)
+		}
+		b.WriteByte(')')
+	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE:
+		if p.Field != "" {
+			b.WriteString(p.Field)
+		} else {
+			fmt.Fprintf(b, "col%d", p.Col)
+		}
+		b.WriteByte(' ')
+		b.WriteString(opString(p.Op))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(p.Const, 'g', -1, 64))
+	default:
+		b.WriteString(opString(p.Op))
+	}
+}

@@ -26,7 +26,7 @@ type opAgg struct {
 // per-database and are visible through the fabric breadcrumbs instead.
 var trackedOps = []string{
 	"put", "put_new", "put_multi", "get", "get_multi",
-	"exists", "erase", "list_keys", "count",
+	"exists", "erase", "list_keys", "scan", "count",
 }
 
 func newOpAggs(dbs []string) map[string]map[string]*opAgg {
@@ -107,6 +107,30 @@ func (p *Provider) RegisterMetrics(reg *obs.Registry) {
 			}
 			return out
 		})
+
+	// Pushdown-scan families: how much page data the provider examined,
+	// how many rows survived predicates, and the wire bytes the columnar
+	// path saved versus shipping the row-oriented encodings.
+	scanCounter := func(v *atomic.Int64) obs.Collector {
+		return func() []obs.Sample {
+			return []obs.Sample{obs.OneSample(float64(v.Load()), "provider", provider)}
+		}
+	}
+	reg.MustRegister(obs.MetricScanPages,
+		"Columnar pages examined by pushdown scans, by provider.",
+		obs.TypeCounter, scanCounter(&p.scanPagesTotal))
+	reg.MustRegister(obs.MetricScanRowsScanned,
+		"Rows examined by pushdown scans, by provider.",
+		obs.TypeCounter, scanCounter(&p.scanRowsScanned))
+	reg.MustRegister(obs.MetricScanRowsMatched,
+		"Rows surviving pushdown-scan predicates, by provider.",
+		obs.TypeCounter, scanCounter(&p.scanRowsMatched))
+	reg.MustRegister(obs.MetricScanBytesReturned,
+		"Bytes returned by pushdown scans (filtered columns + event ids), by provider.",
+		obs.TypeCounter, scanCounter(&p.scanBytesReturned))
+	reg.MustRegister(obs.MetricScanBytesSaved,
+		"Wire bytes saved by pushdown scans versus full row-path decode, by provider.",
+		obs.TypeCounter, scanCounter(&p.scanBytesSaved))
 
 	// Storage-tier families, present only when this provider serves LSM
 	// databases: background flush/compaction activity, table counts, and

@@ -132,6 +132,14 @@ type Provider struct {
 	erases  atomic.Int64
 	bulkOps atomic.Int64
 
+	// Pushdown-scan accounting (hepnos_scan_* families; see metrics.go).
+	scans             atomic.Int64
+	scanPagesTotal    atomic.Int64
+	scanRowsScanned   atomic.Int64
+	scanRowsMatched   atomic.Int64
+	scanBytesReturned atomic.Int64
+	scanBytesSaved    atomic.Int64
+
 	// opAggs[db][op] — per-database service-time aggregates; see metrics.go.
 	opAggs map[string]map[string]*opAgg
 }
@@ -173,6 +181,7 @@ func NewProviderStorage(mi *margo.Instance, id margo.ProviderID, pool *argo.Pool
 		"exists":         p.handleExists,
 		"erase":          p.handleErase,
 		"list_keys":      p.handleList,
+		"scan":           p.handleScan,
 		"count":          p.handleCount,
 		"db_list":        p.handleDBList,
 		"bulk_free":      p.handleBulkFree,

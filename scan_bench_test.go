@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/core"
+	"github.com/hep-on-hpc/hepnos-go/internal/nova"
+	"github.com/hep-on-hpc/hepnos-go/internal/serde"
+)
+
+// scanSample deploys a service and ingests NOvA slices through the
+// columnar page path (nova.Slice registered columnar), returning the
+// client and the total slice count.
+func scanSample(b *testing.B, files int) (*core.DataStore, int) {
+	b.Helper()
+	if _, err := serde.RegisterColumnar([]nova.Slice{}); err != nil {
+		b.Fatal(err)
+	}
+	dep, err := bedrock.Deploy(bedrock.DeploySpec{
+		Servers:             2,
+		ProvidersPerServer:  4,
+		EventDBsPerServer:   4,
+		ProductDBsPerServer: 4,
+		NamePrefix:          fmt.Sprintf("bench-scan-%d", benchSeq.Add(1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(dep.Shutdown)
+	ctx := context.Background()
+	ds, err := core.Connect(ctx, core.ClientConfig{Group: dep.Group})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ds.Close)
+	dataset, err := ds.CreateDataSet(ctx, "bench/scan")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	gen := nova.NewGenerator(nova.GenParams{Seed: 2026, MeanEventsPerFile: 120, SubRunsPerRun: 4})
+	wb := ds.NewAsyncWriteBatch(256)
+	runs := map[uint64]*core.Run{}
+	slices := 0
+	for i := 0; i < files; i++ {
+		fd := gen.File(i)
+		run := runs[fd.Run]
+		if run == nil {
+			if run, err = wb.CreateRun(ctx, dataset, fd.Run); err != nil {
+				b.Fatal(err)
+			}
+			runs[fd.Run] = run
+		}
+		sr, err := wb.CreateSubRun(ctx, run, fd.SubRun)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e := range fd.Events {
+			ev, err := wb.CreateEvent(ctx, sr, fd.Events[e].Event)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := wb.Store(ctx, ev, "slices", fd.Events[e].Slices); err != nil {
+				b.Fatal(err)
+			}
+			slices += len(fd.Events[e].Slices)
+		}
+	}
+	if err := wb.Close(ctx); err != nil {
+		b.Fatal(err)
+	}
+	return ds, slices
+}
+
+// benchPredicate is the 2-of-N-field NOvA selection of the scan
+// experiment: an electron-score cut plus a contained-energy window, the
+// kind of cut CAFAna applies first (the full selection needs the same two
+// columns; see nova.SelectionColumns).
+func benchPredicate() serde.Predicate {
+	return serde.And(
+		serde.GE("CVNe", 0.5),
+		serde.GE("CalE", 1.0),
+		serde.LE("CalE", 4.0),
+	)
+}
+
+// BenchmarkScanPushdown runs the selection server-side: the predicate and
+// the two-column projection travel with the scan RPC, only surviving rows'
+// CVNe/CalE come back.
+func BenchmarkScanPushdown(b *testing.B) {
+	ds, slices := scanSample(b, 8)
+	ctx := context.Background()
+	dataset, err := ds.OpenDataSet(ctx, "bench/scan")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var st core.ScanStats
+	matched := 0
+	for i := 0; i < b.N; i++ {
+		cur := dataset.Scan(ctx, "slices", []nova.Slice{}, benchPredicate(), "CVNe", "CalE")
+		matched = 0
+		for cur.Next() {
+			matched += cur.NumRows()
+		}
+		if err := cur.Err(); err != nil {
+			b.Fatal(err)
+		}
+		st = cur.Stats()
+	}
+	b.ReportMetric(float64(slices), "rows")
+	b.ReportMetric(float64(matched), "matched")
+	b.ReportMetric(float64(st.ReturnedBytes), "wire_B")
+	if st.ReturnedBytes > 0 {
+		b.ReportMetric(float64(st.FullBytes)/float64(st.ReturnedBytes), "reduction_x")
+	}
+}
+
+// BenchmarkScanFullDecode is the row-oriented baseline: every column of
+// every row crosses the wire and the filter runs client-side.
+func BenchmarkScanFullDecode(b *testing.B) {
+	ds, slices := scanSample(b, 8)
+	ctx := context.Background()
+	dataset, err := ds.OpenDataSet(ctx, "bench/scan")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var st core.ScanStats
+	matched := 0
+	for i := 0; i < b.N; i++ {
+		cur := dataset.Scan(ctx, "slices", []nova.Slice{}, serde.Predicate{})
+		matched = 0
+		var rows []nova.Slice
+		for cur.Next() {
+			if err := cur.Rows(&rows); err != nil {
+				b.Fatal(err)
+			}
+			for j := range rows {
+				if rows[j].CVNe >= 0.5 && rows[j].CalE >= 1.0 && rows[j].CalE <= 4.0 {
+					matched++
+				}
+			}
+		}
+		if err := cur.Err(); err != nil {
+			b.Fatal(err)
+		}
+		st = cur.Stats()
+	}
+	b.ReportMetric(float64(slices), "rows")
+	b.ReportMetric(float64(matched), "matched")
+	b.ReportMetric(float64(st.ReturnedBytes), "wire_B")
+}
