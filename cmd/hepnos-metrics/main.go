@@ -2,9 +2,10 @@
 // hot-path observability report — the collection role §V of the paper
 // assigns to Symbiomon, over the same fabric the data path uses. For each
 // server in the group file it pulls the metric families and the span ring
-// through the admin provider, then prints the hottest RPCs, per-database
-// service time, async pool saturation, resilience activity and the
-// client→server span linkage summary.
+// through the admin provider, then prints the cluster state (membership
+// epoch, per-server health, live migration progress), the hottest RPCs,
+// per-database service time, async pool saturation, resilience activity and
+// the client→server span linkage summary.
 //
 //	hepnos-metrics -group hepnos-group.json
 //	hepnos-metrics -group hepnos-group.json -prom   # raw Prometheus text
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync/atomic"
 
 	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
@@ -58,11 +60,11 @@ func main() {
 		}
 		return
 	}
-	sources, err := bedrock.ScrapeGroup(ctx, mi, group)
-	if err != nil {
-		fatal(err)
-	}
 	if *asJSON {
+		sources, err := bedrock.ScrapeGroup(ctx, mi, group)
+		if err != nil {
+			fatal(err)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(sources); err != nil {
@@ -70,7 +72,61 @@ func main() {
 		}
 		return
 	}
+	fmt.Print(renderCluster(ctx, mi, group))
+	// Scrape per server so a dead one costs its row, not the report — an
+	// operator watching a drain needs the survivors' numbers most.
+	var sources []obs.Source
+	for _, srv := range group.Servers {
+		src, err := bedrock.ScrapeSource(ctx, mi, fabric.Address(srv.Address))
+		if err != nil {
+			continue // already reported UNREACHABLE in the cluster section
+		}
+		sources = append(sources, src)
+	}
+	if len(sources) == 0 {
+		fatal(fmt.Errorf("no server in %s answered a scrape", *groupPath))
+	}
 	fmt.Print(obs.RenderReport(sources))
+}
+
+// renderCluster summarizes the autopilot-facing state of every server: the
+// membership epoch it is committed to, its liveness view, and where a live
+// migration stands. A server that cannot be scraped is reported, not
+// skipped — an operator watching a drain needs to see the dead, too.
+func renderCluster(ctx context.Context, mi *margo.Instance, group bedrock.GroupFile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== cluster (%d servers, group epoch %d) ===\n", len(group.Servers), group.Epoch)
+	for _, srv := range group.Servers {
+		addr := fabric.Address(srv.Address)
+		rep, err := bedrock.ScrapeHealth(ctx, mi, addr)
+		if err != nil {
+			fmt.Fprintf(&b, "%-40s UNREACHABLE (%v)\n", srv.Address, err)
+			continue
+		}
+		healthy, total := 0, len(rep.Targets)
+		for _, tgt := range rep.Targets {
+			if tgt.State == "alive" || tgt.State == "rejoined" {
+				healthy++
+			}
+		}
+		fmt.Fprintf(&b, "%-40s epoch %d", srv.Address, rep.Epoch)
+		if total > 0 {
+			fmt.Fprintf(&b, "  sees %d/%d targets alive", healthy, total)
+		}
+		st, err := bedrock.ScrapeRebalance(ctx, mi, addr)
+		if err == nil && st.Phase != "" && st.Phase != "idle" {
+			fmt.Fprintf(&b, "  rebalance %s", st.Phase)
+			if st.RangesTotal > 0 {
+				fmt.Fprintf(&b, " %d/%d ranges, %d keys", st.RangesMoved, st.RangesTotal, st.KeysCopied)
+			}
+			if st.LastError != "" {
+				fmt.Fprintf(&b, " last_error=%q", st.LastError)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	return b.String()
 }
 
 func fatal(err error) {

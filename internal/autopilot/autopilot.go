@@ -1,0 +1,83 @@
+package autopilot
+
+import (
+	"context"
+	"time"
+)
+
+// Autopilot is the closed loop: scrape → decide → act. Deterministic tests
+// call Tick directly; a production operator runs Loop in a goroutine.
+type Autopilot struct {
+	Cluster    *Cluster
+	Thresholds Thresholds
+	// Observer defaults to one over the datastore's own fabric endpoint.
+	Observer *Observer
+	// Cooldown suppresses a new action for this long after the previous
+	// one (default 30s): a fresh migration shifts load, and deciding on
+	// mid-migration samples would oscillate.
+	Cooldown time.Duration
+	// OnAction, when non-nil, observes every non-hold decision before it
+	// executes.
+	OnAction func(Action)
+
+	lastAction time.Time
+}
+
+// observer returns the configured observer, wiring the default lazily.
+func (a *Autopilot) observer() *Observer {
+	if a.Observer == nil {
+		a.Observer = NewObserver(a.Cluster.DS.Margo())
+	}
+	return a.Observer
+}
+
+// Tick runs one loop iteration: scrape the current membership, decide, and
+// execute the action (if any). It returns the decision taken; the error is
+// non-nil when the scrape or the executed action failed.
+func (a *Autopilot) Tick(ctx context.Context) (Action, error) {
+	loads, err := a.observer().Observe(ctx, a.Cluster.Dep.Group)
+	if err != nil {
+		return Action{Kind: ActHold, Reason: "scrape failed"}, err
+	}
+	act := Decide(loads, a.Thresholds)
+	if act.Kind == ActHold {
+		return act, nil
+	}
+	cooldown := a.Cooldown
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	if !a.lastAction.IsZero() && time.Since(a.lastAction) < cooldown {
+		return Action{Kind: ActHold, Reason: "cooling down after " + act.Kind.String()}, nil
+	}
+	if a.OnAction != nil {
+		a.OnAction(act)
+	}
+	a.lastAction = time.Now()
+	switch act.Kind {
+	case ActGrow:
+		err = a.Cluster.Grow(ctx, act.Servers)
+	case ActDrain:
+		err = a.Cluster.Drain(ctx, act.Servers)
+	}
+	return act, err
+}
+
+// Loop runs Tick every interval until ctx is cancelled. Action errors do
+// not stop the loop — a failed grow rolls itself back and the next tick
+// re-evaluates from live metrics.
+func (a *Autopilot) Loop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_, _ = a.Tick(ctx)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package autopilot
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/core"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
+)
+
+// Cluster is the topology controller: it owns the deployment's shape and
+// executes grow/drain decisions as live migrations. The layout rules that
+// make an elastic resize safe are encoded here, not left to callers:
+//
+//   - DatasetDBs is pinned across every resize, so dataset placement (and
+//     the directory's round-robin homes for indices below the original
+//     server count) never changes;
+//   - RunDBs and SubrunDBs always equal the server count, so run_i lives
+//     on server i under both the old modulus and the new one — a resize
+//     never needs to re-home a run database that already exists, only to
+//     create (grow) or evacuate (drain) the ones at the edge;
+//   - event and product databases are per-server blocks, so growing boots
+//     whole new blocks and draining evacuates whole trailing blocks.
+type Cluster struct {
+	mu sync.Mutex
+
+	// Spec is the deployment's current shape, with defaults applied (so
+	// DatasetDBs is explicit and stays pinned across resizes).
+	Spec bedrock.DeploySpec
+	// Dep is the live deployment; Grow and Drain mutate its server list
+	// and group file.
+	Dep *bedrock.Deployment
+	// DS is the serving datastore the migrations run through.
+	DS *core.DataStore
+	// Mig drives each resize's migration. NewCluster wires it and attaches
+	// its status view to every server.
+	Mig *Migrator
+}
+
+// NewCluster wires a controller over an existing deployment and datastore.
+// spec must be the DeploySpec the deployment was built from.
+func NewCluster(spec bedrock.DeploySpec, dep *bedrock.Deployment, ds *core.DataStore) *Cluster {
+	spec = defaultedSpec(spec)
+	c := &Cluster{Spec: spec, Dep: dep, DS: ds, Mig: &Migrator{DS: ds}}
+	c.Mig.Attach(dep)
+	return c
+}
+
+// defaultedSpec mirrors bedrock's spec defaulting for the fields whose
+// implicit values depend on Servers — they must be frozen before a resize
+// changes it.
+func defaultedSpec(spec bedrock.DeploySpec) bedrock.DeploySpec {
+	if spec.Servers <= 0 {
+		spec.Servers = 1
+	}
+	if spec.DatasetDBs <= 0 {
+		spec.DatasetDBs = 1
+		if spec.RF > 1 {
+			spec.DatasetDBs = spec.RF
+		}
+	}
+	if spec.RunDBs <= 0 {
+		spec.RunDBs = spec.Servers
+	}
+	if spec.SubrunDBs <= 0 {
+		spec.SubrunDBs = spec.Servers
+	}
+	return spec
+}
+
+// Servers returns the current server count.
+func (c *Cluster) Servers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.Dep.Servers)
+}
+
+// Grow adds n servers and live-migrates the keyspace onto the enlarged
+// layout. On any pre-commit failure the new servers are shut down and the
+// membership rolls back — the cluster keeps serving on the old view and a
+// later Grow retries from scratch (copies already landed on rebooted
+// destinations are simply rewritten).
+func (c *Cluster) Grow(ctx context.Context, n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		return xerr.New(xerr.ClassInvalid, "autopilot: grow needs a positive server count")
+	}
+	old := len(c.Dep.Servers)
+	newSpec := c.Spec
+	newSpec.Servers = old + n
+	newSpec.RunDBs = newSpec.Servers
+	newSpec.SubrunDBs = newSpec.Servers
+
+	configs, err := bedrock.BuildConfigs(newSpec)
+	if err != nil {
+		return fmt.Errorf("autopilot: grow: %w", err)
+	}
+	var added []*bedrock.Server
+	rollback := func() {
+		for _, s := range added {
+			s.Shutdown()
+		}
+		c.Dep.Servers = c.Dep.Servers[:old]
+		c.Dep.Group.Servers = c.Dep.Group.Servers[:old]
+	}
+	for _, cfg := range configs[old:] {
+		srv, berr := bedrock.Boot(cfg)
+		if berr != nil {
+			rollback()
+			return fmt.Errorf("autopilot: grow boot: %w", berr)
+		}
+		added = append(added, srv)
+		c.Dep.Servers = append(c.Dep.Servers, srv)
+		c.Dep.Group.Servers = append(c.Dep.Group.Servers, srv.Descriptor())
+	}
+	c.Mig.Attach(c.Dep)
+	c.Dep.BumpEpoch()
+
+	target, err := c.DS.DiscoverView(ctx, c.Dep.Group)
+	if err != nil {
+		rollback()
+		return fmt.Errorf("autopilot: grow discover: %w", err)
+	}
+	if err := c.Mig.Run(ctx, target); err != nil {
+		rollback()
+		return fmt.Errorf("autopilot: grow: %w", err)
+	}
+	c.Spec = newSpec
+	return nil
+}
+
+// Drain evacuates the k trailing servers: their keys are live-migrated onto
+// the shrunken layout, the epoch bumps, and only then are the victims shut
+// down and dropped from the membership. A pre-commit failure leaves the
+// cluster exactly as it was — every victim still serving.
+func (c *Cluster) Drain(ctx context.Context, k int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k <= 0 {
+		return xerr.New(xerr.ClassInvalid, "autopilot: drain needs a positive server count")
+	}
+	old := len(c.Dep.Servers)
+	remaining := old - k
+	if remaining < 1 {
+		return xerr.Newf(xerr.ClassInvalid, "autopilot: cannot drain %d of %d servers", k, old)
+	}
+	if remaining < c.Dep.Group.ReplicationFactor() {
+		return xerr.Newf(xerr.ClassInvalid,
+			"autopilot: draining to %d servers would break replication factor %d",
+			remaining, c.Dep.Group.ReplicationFactor())
+	}
+	newSpec := c.Spec
+	newSpec.Servers = remaining
+	newSpec.RunDBs = remaining
+	newSpec.SubrunDBs = remaining
+
+	epoch := c.Dep.BumpEpoch()
+	targetGroup := bedrock.GroupFile{
+		Protocol: c.Dep.Group.Protocol,
+		Servers:  append([]bedrock.ServerDescriptor(nil), c.Dep.Group.Servers[:remaining]...),
+		Epoch:    epoch,
+		RF:       c.Dep.Group.RF,
+	}
+	target, err := c.DS.DiscoverView(ctx, targetGroup)
+	if err != nil {
+		return fmt.Errorf("autopilot: drain discover: %w", err)
+	}
+	if err := c.Mig.Run(ctx, target); err != nil {
+		return fmt.Errorf("autopilot: drain: %w", err)
+	}
+
+	for _, s := range c.Dep.Servers[remaining:] {
+		s.Shutdown()
+	}
+	c.Dep.Servers = c.Dep.Servers[:remaining]
+	c.Dep.Group.Servers = c.Dep.Group.Servers[:remaining]
+	c.Spec = newSpec
+	return nil
+}

@@ -1,0 +1,235 @@
+package autopilot
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+	"github.com/hep-on-hpc/hepnos-go/internal/margo"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+)
+
+// ServerLoad is one server's load signal over a scrape interval: how many
+// yokan operations it completed, how much provider time they consumed, and
+// how deep its async pools sat when sampled.
+type ServerLoad struct {
+	Addr string
+	// Ops and BusySeconds are interval deltas of the cumulative
+	// hepnos_yokan_ops_total / hepnos_yokan_op_seconds_total counters.
+	Ops         float64
+	BusySeconds float64
+	// PoolDepth and PoolMaxDepth are point-in-time gauges of the server's
+	// async pools (current backlog and configured ceiling).
+	PoolDepth    float64
+	PoolMaxDepth float64
+}
+
+// ServiceTime returns the mean per-operation service time in seconds (0
+// when the server was idle).
+func (l ServerLoad) ServiceTime() float64 {
+	if l.Ops <= 0 {
+		return 0
+	}
+	return l.BusySeconds / l.Ops
+}
+
+// Saturation returns the pool backlog as a fraction of its ceiling (0 when
+// the ceiling is unknown).
+func (l ServerLoad) Saturation() float64 {
+	if l.PoolMaxDepth <= 0 {
+		return 0
+	}
+	return l.PoolDepth / l.PoolMaxDepth
+}
+
+// Thresholds tune Decide. Zero values pick the defaults.
+type Thresholds struct {
+	// GrowServiceTime grows the cluster when any server's mean service
+	// time exceeds it (default 5ms — an order above the paper's
+	// microsecond-scale in-memory operation cost).
+	GrowServiceTime float64
+	// GrowSaturation grows when any server's pool backlog exceeds this
+	// fraction of its ceiling (default 0.8).
+	GrowSaturation float64
+	// DrainIdleOps drains when every server completed fewer than this many
+	// operations over the interval (default 1 — only effectively-idle
+	// clusters shrink on their own).
+	DrainIdleOps float64
+	// MinServers / MaxServers clamp the autopilot's range (defaults 1 and
+	// no ceiling). RF is enforced by Drain itself.
+	MinServers int
+	MaxServers int
+	// GrowStep / DrainStep size each action (default 1).
+	GrowStep  int
+	DrainStep int
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.GrowServiceTime <= 0 {
+		t.GrowServiceTime = 0.005
+	}
+	if t.GrowSaturation <= 0 {
+		t.GrowSaturation = 0.8
+	}
+	if t.DrainIdleOps <= 0 {
+		t.DrainIdleOps = 1
+	}
+	if t.MinServers <= 0 {
+		t.MinServers = 1
+	}
+	if t.GrowStep <= 0 {
+		t.GrowStep = 1
+	}
+	if t.DrainStep <= 0 {
+		t.DrainStep = 1
+	}
+	return t
+}
+
+// ActionKind is what the autopilot decided to do.
+type ActionKind int
+
+const (
+	// ActHold keeps the current shape.
+	ActHold ActionKind = iota
+	// ActGrow adds Action.Servers servers.
+	ActGrow
+	// ActDrain evacuates Action.Servers trailing servers.
+	ActDrain
+)
+
+// String names the action for logs and tests.
+func (k ActionKind) String() string {
+	switch k {
+	case ActGrow:
+		return "grow"
+	case ActDrain:
+		return "drain"
+	default:
+		return "hold"
+	}
+}
+
+// Action is one autopilot decision with its evidence.
+type Action struct {
+	Kind    ActionKind
+	Servers int
+	Reason  string
+}
+
+// Decide is the pure policy: given one interval's per-server loads, pick
+// grow, drain or hold. Growth triggers on the worst server (hotspots are
+// what rebalancing fixes); draining only on a cluster that is idle
+// everywhere, because shrinking a busy cluster trades a real latency SLO
+// for a speculative saving.
+func Decide(loads []ServerLoad, th Thresholds) Action {
+	th = th.withDefaults()
+	if len(loads) == 0 {
+		return Action{Kind: ActHold, Reason: "no load samples"}
+	}
+	slowest, deepest := loads[0], loads[0]
+	idle := true
+	for _, l := range loads {
+		if l.ServiceTime() > slowest.ServiceTime() {
+			slowest = l
+		}
+		if l.Saturation() > deepest.Saturation() {
+			deepest = l
+		}
+		if l.Ops >= th.DrainIdleOps {
+			idle = false
+		}
+	}
+	worst := slowest
+	if deepest.Saturation() >= th.GrowSaturation {
+		worst = deepest
+	}
+	n := len(loads)
+	if slowest.ServiceTime() >= th.GrowServiceTime || deepest.Saturation() >= th.GrowSaturation {
+		step := th.GrowStep
+		if th.MaxServers > 0 && n+step > th.MaxServers {
+			step = th.MaxServers - n
+		}
+		if step <= 0 {
+			return Action{Kind: ActHold, Reason: fmt.Sprintf("hot server %s but at MaxServers %d", worst.Addr, th.MaxServers)}
+		}
+		return Action{Kind: ActGrow, Servers: step, Reason: fmt.Sprintf(
+			"server %s: service time %.2fms, pool saturation %.0f%%",
+			worst.Addr, worst.ServiceTime()*1e3, worst.Saturation()*100)}
+	}
+	if idle && n > th.MinServers {
+		step := th.DrainStep
+		if n-step < th.MinServers {
+			step = n - th.MinServers
+		}
+		return Action{Kind: ActDrain, Servers: step, Reason: "cluster idle across the interval"}
+	}
+	return Action{Kind: ActHold, Reason: "within thresholds"}
+}
+
+// Observer scrapes per-server load over the admin fabric and converts the
+// cumulative counters into interval deltas.
+type Observer struct {
+	mi   *margo.Instance
+	prev map[string]counterSnapshot
+}
+
+type counterSnapshot struct {
+	ops, busySeconds float64
+}
+
+// NewObserver wires an observer over an existing fabric endpoint (typically
+// the datastore's own: ds.Margo()).
+func NewObserver(mi *margo.Instance) *Observer {
+	return &Observer{mi: mi, prev: map[string]counterSnapshot{}}
+}
+
+// Observe scrapes every server of the group and returns per-server loads
+// for the interval since the previous call (first call: since boot).
+// Servers appear sorted by address so downstream decisions are
+// deterministic.
+func (o *Observer) Observe(ctx context.Context, group bedrock.GroupFile) ([]ServerLoad, error) {
+	loads := make([]ServerLoad, 0, len(group.Servers))
+	for _, srv := range group.Servers {
+		fams, err := bedrock.ScrapeMetrics(ctx, o.mi, fabric.Address(srv.Address))
+		if err != nil {
+			return nil, fmt.Errorf("autopilot: observe %s: %w", srv.Address, err)
+		}
+		var cur counterSnapshot
+		load := ServerLoad{Addr: srv.Address}
+		for _, fam := range fams {
+			switch fam.Name {
+			case obs.MetricYokanOps:
+				cur.ops += sumSamples(fam)
+			case obs.MetricYokanOpSeconds:
+				cur.busySeconds += sumSamples(fam)
+			case obs.MetricAsyncDepth:
+				load.PoolDepth += sumSamples(fam)
+			case obs.MetricAsyncMaxDepth:
+				load.PoolMaxDepth += sumSamples(fam)
+			}
+		}
+		prev := o.prev[srv.Address]
+		o.prev[srv.Address] = cur
+		load.Ops = cur.ops - prev.ops
+		load.BusySeconds = cur.busySeconds - prev.busySeconds
+		if load.Ops < 0 || load.BusySeconds < 0 {
+			// The server restarted since the last scrape; its counters
+			// reset, so this interval starts over from zero.
+			load.Ops, load.BusySeconds = cur.ops, cur.busySeconds
+		}
+		loads = append(loads, load)
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Addr < loads[j].Addr })
+	return loads, nil
+}
+
+func sumSamples(fam obs.Family) float64 {
+	var total float64
+	for _, s := range fam.Samples {
+		total += s.Value
+	}
+	return total
+}

@@ -1,0 +1,119 @@
+package autopilot
+
+import (
+	"context"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+)
+
+func TestDecideGrowOnHotServer(t *testing.T) {
+	loads := []ServerLoad{
+		{Addr: "a", Ops: 1000, BusySeconds: 0.1},  // 100µs/op
+		{Addr: "b", Ops: 1000, BusySeconds: 20.0}, // 20ms/op: hot
+	}
+	act := Decide(loads, Thresholds{GrowServiceTime: 0.005})
+	if act.Kind != ActGrow || act.Servers != 1 {
+		t.Fatalf("want grow 1, got %+v", act)
+	}
+}
+
+func TestDecideGrowOnPoolSaturation(t *testing.T) {
+	loads := []ServerLoad{
+		{Addr: "a", Ops: 10, BusySeconds: 0.0001, PoolDepth: 95, PoolMaxDepth: 100},
+		{Addr: "b", Ops: 10, BusySeconds: 0.0001, PoolDepth: 1, PoolMaxDepth: 100},
+	}
+	act := Decide(loads, Thresholds{GrowSaturation: 0.8, GrowStep: 2})
+	if act.Kind != ActGrow || act.Servers != 2 {
+		t.Fatalf("want grow 2, got %+v", act)
+	}
+}
+
+func TestDecideGrowClampedByMaxServers(t *testing.T) {
+	loads := []ServerLoad{{Addr: "a", Ops: 100, BusySeconds: 10}}
+	act := Decide(loads, Thresholds{MaxServers: 1})
+	if act.Kind != ActHold {
+		t.Fatalf("at MaxServers: want hold, got %+v", act)
+	}
+}
+
+func TestDecideDrainOnlyWhenIdleEverywhere(t *testing.T) {
+	busy := []ServerLoad{{Addr: "a", Ops: 50, BusySeconds: 0.0001}, {Addr: "b"}}
+	if act := Decide(busy, Thresholds{}); act.Kind != ActHold {
+		t.Fatalf("one busy server: want hold, got %+v", act)
+	}
+	idle := []ServerLoad{{Addr: "a"}, {Addr: "b"}, {Addr: "c"}}
+	act := Decide(idle, Thresholds{MinServers: 2})
+	if act.Kind != ActDrain || act.Servers != 1 {
+		t.Fatalf("idle cluster: want drain 1, got %+v", act)
+	}
+	// DrainStep never shrinks below MinServers.
+	act = Decide(idle, Thresholds{MinServers: 2, DrainStep: 5})
+	if act.Kind != ActDrain || act.Servers != 1 {
+		t.Fatalf("drain step clamp: want drain 1, got %+v", act)
+	}
+	if act := Decide(idle[:2], Thresholds{MinServers: 2}); act.Kind != ActHold {
+		t.Fatalf("at MinServers: want hold, got %+v", act)
+	}
+}
+
+func TestObserverIntervalDeltas(t *testing.T) {
+	ds, d, _ := newAutopilotCluster(t, bedrock.DeploySpec{Servers: 1})
+	ctx := context.Background()
+
+	if _, err := ds.CreateDataSet(ctx, "obs/load"); err != nil {
+		t.Fatal(err)
+	}
+	o := NewObserver(ds.Margo())
+	first, err := o.Observe(ctx, d.Group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 || first[0].Ops <= 0 {
+		t.Fatalf("first observation saw no operations: %+v", first)
+	}
+	// A quiet interval reads as (near-)zero deltas, not cumulative totals.
+	second, err := o.Observe(ctx, d.Group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].Ops >= first[0].Ops && first[0].Ops > 1 {
+		t.Fatalf("deltas not taken: first=%v second=%v", first[0].Ops, second[0].Ops)
+	}
+	if second[0].Ops < 0 || second[0].BusySeconds < 0 {
+		t.Fatalf("negative delta: %+v", second[0])
+	}
+}
+
+func TestMigratorRejectsEpochRegression(t *testing.T) {
+	ds, d, _ := newAutopilotCluster(t, bedrock.DeploySpec{Servers: 2})
+	ctx := context.Background()
+
+	// A target view at the committed epoch must fail in the plan phase and
+	// leave no migration window behind.
+	stale, err := ds.DiscoverView(ctx, d.Group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Migrator{DS: ds}
+	if err := m.Run(ctx, stale); err == nil {
+		t.Fatal("migrating to the committed epoch succeeded")
+	}
+	if st := m.Status(); st.Phase != PhaseAborted || st.LastError == "" {
+		t.Fatalf("status after plan failure: %+v", st)
+	}
+	if ds.AltView() != nil {
+		t.Fatal("failed plan left a migration window open")
+	}
+}
+
+func TestClusterDrainRefusesToBreakRF(t *testing.T) {
+	ds, d, spec := newAutopilotCluster(t, bedrock.DeploySpec{Servers: 2, RF: 2})
+	c := NewCluster(spec, d, ds)
+	if err := c.Drain(context.Background(), 1); err == nil {
+		t.Fatal("draining below the replication factor succeeded")
+	}
+	if got := c.Servers(); got != 2 {
+		t.Fatalf("refused drain changed the cluster: %d servers", got)
+	}
+}

@@ -23,8 +23,30 @@ const (
 	adminMetricsPromRPC  = "metrics_prom"
 	adminSpansRPC        = "spans"
 	adminHealthRPC       = "health"
+	adminRebalanceRPC    = "rebalance"
 	adminShutdownTimeout = "bye"
 )
+
+// RebalanceStatus is the admin rebalance RPC's payload: where a live
+// topology change currently stands. Servers report the zero value until an
+// autopilot attaches its progress view.
+type RebalanceStatus struct {
+	// Active is true while a migration window is open.
+	Active bool `json:"active"`
+	// Phase names the state-machine step ("idle", "plan", "copy",
+	// "verify", "commit", "retire", "aborted", "done").
+	Phase string `json:"phase"`
+	// Epoch is the membership epoch the reporting view is committed to.
+	Epoch uint64 `json:"epoch"`
+	// RangesTotal and RangesMoved count (role, database) source ranges
+	// walked by the copy pass — the operator-facing progress fraction.
+	RangesTotal int64 `json:"ranges_total"`
+	RangesMoved int64 `json:"ranges_moved"`
+	// KeysCopied counts key copies landed on target databases so far.
+	KeysCopied int64 `json:"keys_copied"`
+	// LastError carries the most recent step failure ("" when clean).
+	LastError string `json:"last_error,omitempty"`
+}
 
 // HealthReport is the admin health RPC's payload: which membership epoch
 // the server believes it is part of, plus the liveness view attached to the
@@ -68,6 +90,13 @@ func (s *Server) registerAdmin() error {
 				rep.Targets = fn()
 			}
 			return json.Marshal(rep)
+		},
+		adminRebalanceRPC: func(context.Context, *fabric.Request) ([]byte, error) {
+			st := RebalanceStatus{Phase: "idle", Epoch: s.Epoch()}
+			if fn, ok := s.rebalanceView.Load().(func() RebalanceStatus); ok && fn != nil {
+				st = fn()
+			}
+			return json.Marshal(st)
 		},
 	}
 	_, err := s.mi.RegisterProvider(adminService, adminProviderID, nil, handlers)

@@ -287,6 +287,9 @@ type Server struct {
 	// healthView, when attached, supplies the liveness snapshot the admin
 	// health RPC publishes (see AttachHealthView).
 	healthView atomic.Value // func() []health.TargetStatus
+	// rebalanceView, when attached, supplies the live-migration progress
+	// the admin rebalance RPC publishes (see AttachRebalanceView).
+	rebalanceView atomic.Value // func() RebalanceStatus
 }
 
 // setEpoch records the membership epoch the server is part of.
@@ -300,6 +303,14 @@ func (s *Server) Epoch() uint64 { return s.epoch.Load() }
 // operators can scrape the fault-domain view a process has built.
 func (s *Server) AttachHealthView(snapshot func() []health.TargetStatus) {
 	s.healthView.Store(snapshot)
+}
+
+// AttachRebalanceView wires a live-migration progress source (typically an
+// autopilot Migrator's Status method) into the server's admin rebalance
+// RPC, so operators can watch a topology change move key ranges without
+// access to the process driving it.
+func (s *Server) AttachRebalanceView(status func() RebalanceStatus) {
+	s.rebalanceView.Store(status)
 }
 
 // Boot starts a server from the configuration.

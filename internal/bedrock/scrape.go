@@ -92,3 +92,16 @@ func ScrapeGroup(ctx context.Context, mi *margo.Instance, group GroupFile) ([]ob
 	}
 	return out, nil
 }
+
+// ScrapeRebalance fetches one server's live-migration progress view.
+func ScrapeRebalance(ctx context.Context, mi *margo.Instance, addr fabric.Address) (RebalanceStatus, error) {
+	resp, err := mi.Forward(ctx, addr, adminService, adminProviderID, adminRebalanceRPC, nil)
+	if err != nil {
+		return RebalanceStatus{}, fmt.Errorf("bedrock: scrape rebalance from %s: %w", addr, err)
+	}
+	var st RebalanceStatus
+	if err := json.Unmarshal(resp, &st); err != nil {
+		return RebalanceStatus{}, fmt.Errorf("bedrock: decode rebalance from %s: %w", addr, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+)
+
+// Rebalancing scenarios: the fault schedules the live-migration autopilot
+// must survive (DESIGN.md §18). Unlike the workload scenarios, two of them
+// are *armed* by the test at an exact lifecycle point (via the Migrator's
+// OnPhase hook) rather than at a fixed observation offset — a migration's
+// message count depends on how ingest interleaves with the copy pass, so
+// pinning the fault to a phase transition is what makes the schedule
+// reproducible. Arm/Disarm use atomics and may be called from any
+// goroutine; Decide still runs under the injector's lock.
+
+// KillDestinationMidCopy kills a migration destination partway through the
+// copy pass: once K write RPCs have been observed landing on Dest, every
+// further message to or from Dest fails with ErrCrashed — permanently,
+// until Heal or an out-of-band reboot. The autopilot must abort the
+// migration, roll back to the committed view, and retry after healing.
+type KillDestinationMidCopy struct {
+	Dest fabric.Address
+	K    int
+
+	writes int
+	dead   bool
+}
+
+// Name implements Scenario.
+func (s *KillDestinationMidCopy) Name() string {
+	return fmt.Sprintf("kill-destination-%s-after-%d-writes", s.Dest, s.K)
+}
+
+// Decide implements Scenario.
+func (s *KillDestinationMidCopy) Decide(_ *rand.Rand, m Msg) Verdict {
+	if m.Peer != s.Dest {
+		return Verdict{}
+	}
+	if s.dead {
+		return Verdict{Drop: fmt.Errorf("%w: %s", ErrCrashed, s.Dest)}
+	}
+	if IsWriteRPC(m.RPC) {
+		s.writes++
+		if s.writes >= s.K {
+			s.dead = true
+			return Verdict{Drop: fmt.Errorf("%w: %s", ErrCrashed, s.Dest)}
+		}
+	}
+	return Verdict{}
+}
+
+// PartitionDuringHandoff cuts the client off from Peers exactly at the
+// epoch handoff: arm it when the migration enters its commit phase and
+// every message to the peers fails with ErrPartitioned for the next For
+// observations (For <= 0: until Disarm or Heal). The dual-read window must
+// carry reads through the partition with zero loss.
+type PartitionDuringHandoff struct {
+	Peers []fabric.Address
+	For   int
+
+	armed atomic.Bool
+	until int // observation index where the partition lifts; set on first armed Decide
+}
+
+// Arm starts the partition at the next observed message.
+func (s *PartitionDuringHandoff) Arm() { s.armed.Store(true) }
+
+// Disarm lifts the partition.
+func (s *PartitionDuringHandoff) Disarm() {
+	s.armed.Store(false)
+	s.until = 0
+}
+
+// Name implements Scenario.
+func (s *PartitionDuringHandoff) Name() string {
+	return fmt.Sprintf("partition-%d-peers-during-handoff", len(s.Peers))
+}
+
+// Decide implements Scenario.
+func (s *PartitionDuringHandoff) Decide(_ *rand.Rand, m Msg) Verdict {
+	if !s.armed.Load() {
+		return Verdict{}
+	}
+	if s.until == 0 && s.For > 0 {
+		s.until = m.N + s.For
+	}
+	if s.until > 0 && m.N >= s.until {
+		return Verdict{}
+	}
+	for _, p := range s.Peers {
+		if p == m.Peer {
+			return Verdict{Drop: fmt.Errorf("%w: %s", ErrPartitioned, p)}
+		}
+	}
+	return Verdict{}
+}
+
+// StormDuringDrain rages an injection-bandwidth overload storm (§IV-E)
+// only while armed — the drain test arms it for the evacuation window, so
+// the batch-class migration traffic and the storm's failures hit the same
+// servers the victims' keys are landing on.
+type StormDuringDrain struct {
+	Storm OverloadStorm
+
+	armed atomic.Bool
+}
+
+// Arm starts the storm; Disarm calms it.
+func (s *StormDuringDrain) Arm() { s.armed.Store(true) }
+
+// Disarm stops the storm.
+func (s *StormDuringDrain) Disarm() { s.armed.Store(false) }
+
+// Name implements Scenario.
+func (s *StormDuringDrain) Name() string { return "overload-storm-during-drain" }
+
+// Decide implements Scenario.
+func (s *StormDuringDrain) Decide(rng *rand.Rand, m Msg) Verdict {
+	if !s.armed.Load() {
+		return Verdict{}
+	}
+	return s.Storm.Decide(rng, m)
+}

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+)
+
+func TestKillDestinationMidCopy(t *testing.T) {
+	dest := fabric.Address("inproc://dest")
+	in := New(1, &KillDestinationMidCopy{Dest: dest, K: 3})
+	fault := in.ClientFault()
+
+	// Reads to the destination and any traffic to other peers never count.
+	for i := 0; i < 5; i++ {
+		if err := fault(dest, "yokan:0#get", 1, ""); err != nil {
+			t.Fatalf("read %d to destination dropped before the kill: %v", i, err)
+		}
+		if err := fault("inproc://src", "yokan:0#put_multi", 1, ""); err != nil {
+			t.Fatalf("write %d to another peer dropped: %v", i, err)
+		}
+	}
+	// The first K-1 copy writes land; the K-th kills the destination.
+	for i := 0; i < 2; i++ {
+		if err := fault(dest, "yokan:0#put_multi", 1, ""); err != nil {
+			t.Fatalf("copy write %d dropped early: %v", i, err)
+		}
+	}
+	if err := fault(dest, "yokan:0#put_multi", 1, ""); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("killing write: want ErrCrashed, got %v", err)
+	}
+	// Dead means dead for every RPC family, but one-sided.
+	if err := fault(dest, "yokan:0#get", 1, ""); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after kill: want ErrCrashed, got %v", err)
+	}
+	if err := fault("inproc://src", "yokan:0#get", 1, ""); err != nil {
+		t.Fatalf("surviving peer affected: %v", err)
+	}
+	in.Heal()
+	if err := fault(dest, "yokan:0#put_multi", 1, ""); err != nil {
+		t.Fatalf("reboot (Heal) did not restore the destination: %v", err)
+	}
+}
+
+func TestPartitionDuringHandoffArming(t *testing.T) {
+	peer := fabric.Address("inproc://old-primary")
+	// For counts every observed message; the loop below interleaves one
+	// unlisted-peer probe per partitioned probe, so 6 observations cover 3
+	// partitioned sends.
+	sc := &PartitionDuringHandoff{Peers: []fabric.Address{peer}, For: 6}
+	in := New(1, sc)
+	fault := in.ClientFault()
+
+	// Disarmed: everything passes, however long the workload runs.
+	for i := 0; i < 10; i++ {
+		if err := fault(peer, "yokan:0#get", 1, ""); err != nil {
+			t.Fatalf("disarmed message %d dropped: %v", i, err)
+		}
+	}
+	sc.Arm()
+	for i := 0; i < 3; i++ {
+		if err := fault(peer, "yokan:0#get", 1, ""); !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("armed message %d: want ErrPartitioned, got %v", i, err)
+		}
+		if err := fault("inproc://other", "yokan:0#get", 1, ""); err != nil {
+			t.Fatalf("unlisted peer partitioned: %v", err)
+		}
+	}
+	// The window is For observations wide (counting every observed message),
+	// so after it elapses the peer answers again without Disarm.
+	if err := fault(peer, "yokan:0#get", 1, ""); err != nil {
+		t.Fatalf("partition outlived its For window: %v", err)
+	}
+
+	sc.Disarm()
+	sc.Arm()
+	if err := fault(peer, "yokan:0#get", 1, ""); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("re-armed partition inert: %v", err)
+	}
+}
+
+func TestStormDuringDrainOnlyWhileArmed(t *testing.T) {
+	sc := &StormDuringDrain{Storm: OverloadStorm{Period: 4, Len: 4, P: 1}}
+	in := New(1, sc)
+	fault := in.ClientFault()
+
+	for i := 0; i < 8; i++ {
+		if err := fault("inproc://a", "yokan:0#put_multi", 1, ""); err != nil {
+			t.Fatalf("disarmed storm dropped message %d: %v", i, err)
+		}
+	}
+	sc.Arm()
+	dropped := 0
+	for i := 0; i < 8; i++ {
+		if err := fault("inproc://a", "yokan:0#put_multi", 1, ""); errors.Is(err, fabric.ErrInjectionOverload) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("armed storm with P=1 dropped nothing")
+	}
+	sc.Disarm()
+	for i := 0; i < 8; i++ {
+		if err := fault("inproc://a", "yokan:0#put_multi", 1, ""); err != nil {
+			t.Fatalf("disarmed storm still dropping: %v", err)
+		}
+	}
+}

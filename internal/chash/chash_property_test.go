@@ -1,0 +1,112 @@
+package chash
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingRemoveMigrationMinimality is the property behind live draining: a
+// consistent-hash ring must move ONLY the keys the removed member held.
+// For a random ring and random keys, after Remove(m):
+//
+//   - RF=1: a key not owned by m keeps its owner; a key owned by m lands on
+//     exactly the member the old ring's successor walk named next.
+//   - RF=2: a key's replica set is the old RF+1 successor walk with m
+//     filtered out — members that never touched m keep both replicas, and a
+//     set that contained m replaces only m, with the old third-in-line.
+//
+// A placer without this property (Modulo is the counterexample, asserted
+// below) would turn every drain into a full-cluster reshuffle.
+func TestRingRemoveMigrationMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	const keysPerRing = 400
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)   // 2..9 members
+		vn := 1 + rng.Intn(64) // 1..64 vnodes
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("srv%d/db%d", trial, i)
+		}
+		ring, err := NewRing(members, vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := members[rng.Intn(n)]
+		shrunk, err := ring.Remove(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(shrunk.Members()); got != n-1 {
+			t.Fatalf("trial %d: shrunk ring has %d members, want %d", trial, got, n-1)
+		}
+
+		moved := 0
+		for k := 0; k < keysPerRing; k++ {
+			key := []byte(fmt.Sprintf("run_%d/subrun_%d", rng.Uint64(), rng.Uint64()))
+
+			// RF=1: only the victim's keys migrate, each to its old
+			// next-in-line.
+			oldOwner := ring.Lookup(key)
+			newOwner := shrunk.Lookup(key)
+			if oldOwner != victim {
+				if newOwner != oldOwner {
+					t.Fatalf("trial %d: key not owned by victim moved %s -> %s", trial, oldOwner, newOwner)
+				}
+			} else {
+				moved++
+				if heir := ring.Successors(key, 2); len(heir) != 2 || newOwner != heir[1] {
+					t.Fatalf("trial %d: victim's key went to %s, want successor %v", trial, newOwner, heir)
+				}
+			}
+
+			// RF=2 (and the victim-free prefix at any rf): the new walk is
+			// the old rf+1 walk with the victim deleted.
+			for _, rf := range []int{1, 2} {
+				want := make([]string, 0, rf)
+				for _, m := range ring.Successors(key, rf+1) {
+					if m != victim && len(want) < rf {
+						want = append(want, m)
+					}
+				}
+				got := shrunk.Successors(key, rf)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d rf=%d: successors %v, want %v", trial, rf, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d rf=%d: successors %v, want %v", trial, rf, got, want)
+					}
+				}
+			}
+		}
+		// The victim owns ~1/n of the space; a drain that moved half the
+		// keyspace would be a reshuffle, not a migration. 3x the fair share
+		// leaves room for small-vnode variance without letting a broken
+		// ring pass.
+		if limit := 3 * keysPerRing / n; moved > limit {
+			t.Fatalf("trial %d: drain moved %d/%d keys (limit %d for n=%d, vnodes=%d)",
+				trial, moved, keysPerRing, limit, n, vn)
+		}
+	}
+}
+
+// TestModuloRemapsOnResize documents why the migrator cannot use Modulo
+// placement for per-key ownership across a resize: dropping one target
+// remaps roughly (n-1)/n of all keys, so the ring (or the layout rules in
+// bedrock.BuildConfigs that pin whole databases) must be used instead.
+func TestModuloRemapsOnResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, keys = 8, 2000
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := []byte(fmt.Sprintf("ev_%d", rng.Uint64()))
+		if (Modulo{N: n}).Place(key) != (Modulo{N: n - 1}).Place(key) {
+			moved++
+		}
+	}
+	// Expect ~ (n-1)/n = 87.5% moved; assert well above the ring's bound.
+	if moved < keys/2 {
+		t.Fatalf("modulo moved only %d/%d keys on resize; expected a near-total remap", moved, keys)
+	}
+}

@@ -115,7 +115,7 @@ func (c *container) Load(ctx context.Context, label string, ptr any) error {
 			return err
 		}
 	}
-	data, err := c.ds.getFO(ctx, c.ds.productReplicas(c.key), id.Encode())
+	data, err := c.ds.getFO(ctx, func() []yokan.DBHandle { return c.ds.productReplicas(c.key) }, id.Encode())
 	if errors.Is(err, yokan.ErrKeyNotFound) {
 		return fmt.Errorf("%w: %s", ErrNoSuchProduct, id)
 	}
@@ -140,7 +140,7 @@ func (c *container) HasProduct(ctx context.Context, label string, example any) (
 			return found, err
 		}
 	}
-	found, err := c.ds.existsFO(ctx, c.ds.productReplicas(c.key), [][]byte{id.Encode()})
+	found, err := c.ds.existsFO(ctx, func() []yokan.DBHandle { return c.ds.productReplicas(c.key) }, [][]byte{id.Encode()})
 	if err != nil {
 		return false, err
 	}
@@ -221,7 +221,7 @@ func (d *DataSet) Run(ctx context.Context, n uint64) (*Run, error) {
 		return nil, ErrClosed
 	}
 	runKey := d.key.Child(n)
-	found, err := d.ds.existsFO(ctx, d.ds.runReplicas(d.key), [][]byte{runKey.Bytes()})
+	found, err := d.ds.existsFO(ctx, func() []yokan.DBHandle { return d.ds.runReplicas(d.key) }, [][]byte{runKey.Bytes()})
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +267,7 @@ func (r *Run) SubRun(ctx context.Context, n uint64) (*SubRun, error) {
 		return nil, ErrClosed
 	}
 	srKey := r.key.Child(n)
-	found, err := r.ds.existsFO(ctx, r.ds.subrunReplicas(r.key), [][]byte{srKey.Bytes()})
+	found, err := r.ds.existsFO(ctx, func() []yokan.DBHandle { return r.ds.subrunReplicas(r.key) }, [][]byte{srKey.Bytes()})
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +312,7 @@ func (s *SubRun) Event(ctx context.Context, n uint64) (*Event, error) {
 		return nil, ErrClosed
 	}
 	evKey := s.key.Child(n)
-	found, err := s.ds.existsFO(ctx, s.ds.eventReplicas(s.key), [][]byte{evKey.Bytes()})
+	found, err := s.ds.existsFO(ctx, func() []yokan.DBHandle { return s.ds.eventReplicas(s.key) }, [][]byte{evKey.Bytes()})
 	if err != nil {
 		return nil, err
 	}

@@ -133,6 +133,23 @@ type ClientConfig struct {
 
 var clientSeq atomic.Int64
 
+// View is one immutable snapshot of a service's databases by role, in
+// deterministic placement order, plus the membership the snapshot was
+// discovered from. A DataStore serves from exactly one committed view at a
+// time; live rebalancing (internal/autopilot) installs a second, alternate
+// view for the duration of a migration so writes land in both and reads can
+// fall back across the epoch bump.
+type View struct {
+	DatasetDBs []yokan.DBHandle
+	RunDBs     []yokan.DBHandle
+	SubrunDBs  []yokan.DBHandle
+	EventDBs   []yokan.DBHandle
+	ProductDBs []yokan.DBHandle
+	// Group is the membership document the view was discovered from; its
+	// Epoch orders views (commits only move forward).
+	Group bedrock.GroupFile
+}
+
 // DataStore is a client handle to a deployed HEPnOS service. It is safe for
 // concurrent use by multiple goroutines.
 type DataStore struct {
@@ -140,15 +157,24 @@ type DataStore struct {
 	yc     *yokan.Client
 	engine *asyncengine.Engine // nil when async is disabled
 
-	// Databases by role, in deterministic (server, provider, name) order.
-	datasetDBs []yokan.DBHandle
-	runDBs     []yokan.DBHandle
-	subrunDBs  []yokan.DBHandle
-	eventDBs   []yokan.DBHandle
-	productDBs []yokan.DBHandle
+	// view is the committed database view every operation routes by; alt,
+	// when non-nil, is the migration-window alternate (the target view
+	// between BeginMigration and CommitMigration, the outgoing view between
+	// CommitMigration and RetireView). Replica sets union the two so the
+	// copy window dual-writes and dual-reads.
+	view atomic.Pointer[View]
+	alt  atomic.Pointer[View]
+	// migMu serializes migration lifecycle transitions (begin/commit/
+	// abort/retire); data-plane readers stay lock-free on the atomics.
+	migMu sync.Mutex
+	// viewGen counts view transitions that can invalidate an in-flight
+	// read's replica set (commit and retire). Readers snapshot it before
+	// resolving replicas; a key miss observed across a generation change
+	// may have come from a retired copy and is re-resolved instead of
+	// trusted (see getFO/existsFO).
+	viewGen atomic.Uint64
 
 	placement Placement
-	group     bedrock.GroupFile
 	closed    atomic.Bool
 
 	// pressure mirrors server-push backpressure onto the ingest pool.
@@ -172,10 +198,16 @@ type DataStore struct {
 	pepBatches       atomic.Int64 // work batches processed by PEP workers
 	prefetchLoads    atomic.Int64 // product loads requested by the Prefetcher
 	prefetchDegraded atomic.Int64 // loads degraded to on-demand by failed groups
+	prefetchDrained  atomic.Int64 // cancelled-fetch segments recycled by the background drain
 	failoverReads    atomic.Int64 // reads served by a replica instead of the primary
 	replicaWrites    atomic.Int64 // extra copies written beyond the first per key
 	replicaDrops     atomic.Int64 // replica copies dropped because their server was down
 	resyncReplayed   atomic.Int64 // keys replayed onto rejoined servers by anti-entropy
+
+	// Live-rebalancing accounting (DESIGN.md §18).
+	migrationCopied   atomic.Int64 // key copies written to migration targets
+	migrationRepaired atomic.Int64 // missing copies healed by the verify pass
+	migrationErased   atomic.Int64 // stale keys erased from outgoing databases
 
 	// Pushdown-scan accounting, summed over every scan RPC this client
 	// issued (Load/HasProduct single-event scans and ScanCursor sweeps).
@@ -239,75 +271,17 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 	if placement == "" {
 		placement = PlacementModulo
 	}
-	ds := &DataStore{mi: mi, yc: yokan.NewClient(mi), placement: placement, group: cfg.Group, rf: rf, health: tracker}
+	ds := &DataStore{mi: mi, yc: yokan.NewClient(mi), placement: placement, rf: rf, health: tracker}
 	if cfg.EagerLimit > 0 {
 		ds.yc.EagerLimit = cfg.EagerLimit
 	}
 
-	type dbEntry struct {
-		handle yokan.DBHandle
-		index  int
-	}
-	byRole := map[string][]dbEntry{}
-	for _, srv := range cfg.Group.Servers {
-		for _, pid := range srv.Providers {
-			names, _, err := ds.yc.ListDatabases(ctx, fabric.Address(srv.Address), margo.ProviderID(pid))
-			if err != nil {
-				mi.Finalize()
-				return nil, fmt.Errorf("hepnos: connect: query %s provider %d: %w", srv.Address, pid, err)
-			}
-			for _, name := range names {
-				role, idx, ok := parseDBName(name)
-				if !ok {
-					continue // not a HEPnOS database; ignore
-				}
-				byRole[role] = append(byRole[role], dbEntry{
-					handle: yokan.DBHandle{
-						Addr:     fabric.Address(srv.Address),
-						Provider: margo.ProviderID(pid),
-						Name:     name,
-					},
-					index: idx,
-				})
-			}
-		}
-	}
-	// Order each role set by the database index embedded in its name, so
-	// every client agrees on placement regardless of discovery order.
-	var dupErr error
-	assign := func(role string) []yokan.DBHandle {
-		entries := byRole[role]
-		sort.Slice(entries, func(i, j int) bool { return entries[i].index < entries[j].index })
-		out := make([]yokan.DBHandle, len(entries))
-		for i, e := range entries {
-			// Two databases with the same name (e.g. two deployments
-			// accidentally merged into one group) would make placement
-			// ambiguous; refuse to connect.
-			if i > 0 && entries[i-1].index == e.index && dupErr == nil {
-				dupErr = fmt.Errorf("hepnos: connect: duplicate database %q in group", e.handle.Name)
-			}
-			out[i] = e.handle
-		}
-		return out
-	}
-	ds.datasetDBs = assign(bedrock.RoleDatasets)
-	ds.runDBs = assign(bedrock.RoleRuns)
-	ds.subrunDBs = assign(bedrock.RoleSubruns)
-	ds.eventDBs = assign(bedrock.RoleEvents)
-	ds.productDBs = assign(bedrock.RoleProducts)
-	if dupErr != nil {
+	view, err := discoverView(ctx, ds.yc, cfg.Group)
+	if err != nil {
 		mi.Finalize()
-		return nil, dupErr
+		return nil, err
 	}
-	for role, dbs := range map[string][]yokan.DBHandle{
-		"dataset": ds.datasetDBs, "run": ds.runDBs, "subrun": ds.subrunDBs,
-		"event": ds.eventDBs, "product": ds.productDBs,
-	} {
-		if len(dbs) == 0 {
-			mi.Finalize()
-			return nil, fmt.Errorf("hepnos: connect: service has no %s databases", role)
-		}
-	}
+	ds.view.Store(view)
 	acfg := asyncengine.DefaultConfig()
 	if cfg.Async != nil {
 		acfg = *cfg.Async
@@ -357,6 +331,91 @@ func Connect(ctx context.Context, cfg ClientConfig) (*DataStore, error) {
 	}
 	return ds, nil
 }
+
+// discoverView queries every server of group for its databases and builds
+// the placement-ordered View — the client side of service discovery, shared
+// by Connect and by live rebalancing (which re-discovers after growing or
+// before draining the deployment).
+func discoverView(ctx context.Context, yc *yokan.Client, group bedrock.GroupFile) (*View, error) {
+	type dbEntry struct {
+		handle yokan.DBHandle
+		index  int
+	}
+	byRole := map[string][]dbEntry{}
+	for _, srv := range group.Servers {
+		for _, pid := range srv.Providers {
+			names, _, err := yc.ListDatabases(ctx, fabric.Address(srv.Address), margo.ProviderID(pid))
+			if err != nil {
+				return nil, fmt.Errorf("hepnos: connect: query %s provider %d: %w", srv.Address, pid, err)
+			}
+			for _, name := range names {
+				role, idx, ok := parseDBName(name)
+				if !ok {
+					continue // not a HEPnOS database; ignore
+				}
+				byRole[role] = append(byRole[role], dbEntry{
+					handle: yokan.DBHandle{
+						Addr:     fabric.Address(srv.Address),
+						Provider: margo.ProviderID(pid),
+						Name:     name,
+					},
+					index: idx,
+				})
+			}
+		}
+	}
+	// Order each role set by the database index embedded in its name, so
+	// every client agrees on placement regardless of discovery order.
+	var dupErr error
+	assign := func(role string) []yokan.DBHandle {
+		entries := byRole[role]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].index < entries[j].index })
+		out := make([]yokan.DBHandle, len(entries))
+		for i, e := range entries {
+			// Two databases with the same name (e.g. two deployments
+			// accidentally merged into one group) would make placement
+			// ambiguous; refuse to connect.
+			if i > 0 && entries[i-1].index == e.index && dupErr == nil {
+				dupErr = fmt.Errorf("hepnos: connect: duplicate database %q in group", e.handle.Name)
+			}
+			out[i] = e.handle
+		}
+		return out
+	}
+	v := &View{
+		DatasetDBs: assign(bedrock.RoleDatasets),
+		RunDBs:     assign(bedrock.RoleRuns),
+		SubrunDBs:  assign(bedrock.RoleSubruns),
+		EventDBs:   assign(bedrock.RoleEvents),
+		ProductDBs: assign(bedrock.RoleProducts),
+		Group:      group,
+	}
+	if dupErr != nil {
+		return nil, dupErr
+	}
+	for role, dbs := range map[string][]yokan.DBHandle{
+		"dataset": v.DatasetDBs, "run": v.RunDBs, "subrun": v.SubrunDBs,
+		"event": v.EventDBs, "product": v.ProductDBs,
+	} {
+		if len(dbs) == 0 {
+			return nil, fmt.Errorf("hepnos: connect: service has no %s databases", role)
+		}
+	}
+	return v, nil
+}
+
+// DiscoverView rediscovers the database view described by group, using this
+// client's endpoint. Rebalancing uses it to build the target view after the
+// deployment changed shape.
+func (ds *DataStore) DiscoverView(ctx context.Context, group bedrock.GroupFile) (*View, error) {
+	if ds.closed.Load() {
+		return nil, ErrClosed
+	}
+	return discoverView(ctx, ds.yc, group)
+}
+
+// v returns the committed view. It is never nil after Connect.
+func (ds *DataStore) v() *View { return ds.view.Load() }
 
 // pressureController turns per-server backpressure levels (pushed in every
 // RPC reply by a QoS-gated server) into one client-side throttle: the
@@ -460,10 +519,10 @@ func (ds *DataStore) Engine() *asyncengine.Engine { return ds.engine }
 
 // NumEventDatabases returns how many event databases the service has; the
 // ParallelEventProcessor sizes its reader set from this (§II-D).
-func (ds *DataStore) NumEventDatabases() int { return len(ds.eventDBs) }
+func (ds *DataStore) NumEventDatabases() int { return len(ds.v().EventDBs) }
 
 // NumProductDatabases returns how many product databases the service has.
-func (ds *DataStore) NumProductDatabases() int { return len(ds.productDBs) }
+func (ds *DataStore) NumProductDatabases() int { return len(ds.v().ProductDBs) }
 
 // dbFor picks the database holding keys whose *parent* is parentKey among
 // the role's databases, per the paper's placement rule.
@@ -473,28 +532,28 @@ func (ds *DataStore) dbFor(dbs []yokan.DBHandle, parentKey []byte) yokan.DBHandl
 
 // datasetDBForPath places a dataset path entry by its parent path.
 func (ds *DataStore) datasetDBForPath(path string) yokan.DBHandle {
-	return ds.dbFor(ds.datasetDBs, []byte(parentPath(path)))
+	return ds.dbFor(ds.v().DatasetDBs, []byte(parentPath(path)))
 }
 
 // runDBForDataset places a dataset's runs.
 func (ds *DataStore) runDBForDataset(dsKey keys.ContainerKey) yokan.DBHandle {
-	return ds.dbFor(ds.runDBs, dsKey.Bytes())
+	return ds.dbFor(ds.v().RunDBs, dsKey.Bytes())
 }
 
 // subrunDBForRun places a run's subruns.
 func (ds *DataStore) subrunDBForRun(runKey keys.ContainerKey) yokan.DBHandle {
-	return ds.dbFor(ds.subrunDBs, runKey.Bytes())
+	return ds.dbFor(ds.v().SubrunDBs, runKey.Bytes())
 }
 
 // eventDBForSubRun places a subrun's events.
 func (ds *DataStore) eventDBForSubRun(srKey keys.ContainerKey) yokan.DBHandle {
-	return ds.dbFor(ds.eventDBs, srKey.Bytes())
+	return ds.dbFor(ds.v().EventDBs, srKey.Bytes())
 }
 
 // productDBForContainer places a container's products by the container's
 // own key (batched product reads hit one database, §II-C3).
 func (ds *DataStore) productDBForContainer(ck keys.ContainerKey) yokan.DBHandle {
-	return ds.dbFor(ds.productDBs, ck.Bytes())
+	return ds.dbFor(ds.v().ProductDBs, ck.Bytes())
 }
 
 // pathSep separates dataset path components.
@@ -578,7 +637,7 @@ func (ds *DataStore) OpenDataSet(ctx context.Context, path string) (*DataSet, er
 	if err != nil {
 		return nil, err
 	}
-	raw, err := ds.getFO(ctx, ds.datasetReplicas(norm), []byte(norm))
+	raw, err := ds.getFO(ctx, func() []yokan.DBHandle { return ds.datasetReplicas(norm) }, []byte(norm))
 	if errors.Is(err, yokan.ErrKeyNotFound) {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchDataSet, norm)
 	}
@@ -616,7 +675,7 @@ func (ds *DataStore) ListDataSets(ctx context.Context, parent string) ([]string,
 	}
 	// All children of one parent live in one database (placement is by
 	// parent path), so one paginated scan suffices.
-	replicas := ds.replicasFor(ds.datasetDBs, []byte(norm))
+	replicas := ds.unionReplicas(func(v *View) []yokan.DBHandle { return v.DatasetDBs }, []byte(norm))
 	var names []string
 	var from []byte
 	for {
@@ -654,12 +713,17 @@ func decodeProduct(data []byte, ptr any) error {
 // placement order. Exposed for tooling and ablation benchmarks; normal
 // applications never need it.
 func (ds *DataStore) EventDatabases() []yokan.DBHandle {
-	return append([]yokan.DBHandle(nil), ds.eventDBs...)
+	return append([]yokan.DBHandle(nil), ds.v().EventDBs...)
 }
 
 // Yokan returns the underlying key-value client. Exposed for tooling and
 // ablation benchmarks; normal applications never need it.
 func (ds *DataStore) Yokan() *yokan.Client { return ds.yc }
+
+// Margo returns the client's fabric endpoint. The autopilot scrapes server
+// metrics over it — the same instance the data path uses, so monitoring
+// traffic shares the client's QoS envelope.
+func (ds *DataStore) Margo() *margo.Instance { return ds.mi }
 
 // RF returns the effective replication factor (1 when replication is off).
 func (ds *DataStore) RF() int { return ds.rf }
@@ -698,7 +762,7 @@ func (ds *DataStore) ServiceStats(ctx context.Context) (ServiceStats, error) {
 		return ServiceStats{}, ErrClosed
 	}
 	agg := ServiceStats{DBCounts: map[string]uint64{}}
-	for _, srv := range ds.group.Servers {
+	for _, srv := range ds.v().Group.Servers {
 		for _, pid := range srv.Providers {
 			rs, err := ds.yc.Stats(ctx, fabric.Address(srv.Address), margo.ProviderID(pid))
 			if err != nil {

@@ -1,0 +1,502 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/keys"
+	"github.com/hep-on-hpc/hepnos-go/internal/obs"
+	"github.com/hep-on-hpc/hepnos-go/internal/qos"
+	"github.com/hep-on-hpc/hepnos-go/internal/xerr"
+	"github.com/hep-on-hpc/hepnos-go/internal/yokan"
+)
+
+// Live key-range migration (DESIGN.md §18): the data-plane half of the
+// autopilot's plan → copy → verify → epoch-bump → retire state machine.
+// Unlike Rescale (quiescent, single-view, RF-blind), these primitives run
+// against a serving datastore:
+//
+//   - BeginMigration installs the target view as the alternate, turning on
+//     dual-write (every write lands in both views' replica sets) and
+//     dual-read (the other view's copies are last-resort read fallbacks);
+//   - CopyToView walks the committed view and copies every key to its
+//     replica set under the target view, respecting the replication factor;
+//   - VerifyView re-walks and repairs any copy the target is missing
+//     (writes that raced the copy are already there via dual-write);
+//   - CommitMigration atomically swaps the committed view — the epoch bump
+//     — and keeps the outgoing view as the alternate so in-flight readers
+//     retain their fallbacks until RetireView;
+//   - RetireView erases keys from outgoing databases that hold no replica
+//     claim under the committed view, then closes the migration window;
+//   - AbortMigration rolls back before commit: the alternate view is
+//     dropped, the committed view stays authoritative, and any copies
+//     already landed on the target are inert (rediscovered idempotently by
+//     a retry, or destroyed with the abandoned servers).
+//
+// Every step is idempotent, so the crash-safe retry loop lives one layer
+// up, in internal/autopilot. The copy path assumes the HEPnOS data model's
+// write-once keys: a key rewritten with a *different* value during the
+// copy window may finish with either value on the target.
+
+// Migration lifecycle errors, classified for the autopilot's retry logic.
+var (
+	// ErrMigrationActive rejects a second BeginMigration while a window is
+	// open (conflict: not retryable, the caller must abort or finish first).
+	ErrMigrationActive = xerr.Sentinel("hepnos/migration_active", xerr.ClassConflict, "hepnos: a migration is already active")
+	// ErrNoMigration rejects commit/retire/abort outside a window.
+	ErrNoMigration = xerr.Sentinel("hepnos/no_migration", xerr.ClassInvalid, "hepnos: no migration is active")
+	// ErrEpochRegression rejects a target view whose membership epoch is
+	// not ahead of the committed view's — committing it would resurrect a
+	// superseded deployment.
+	ErrEpochRegression = xerr.Sentinel("hepnos/epoch_regression", xerr.ClassInvalid, "hepnos: target view epoch must exceed the committed epoch")
+)
+
+// productKeyPrefixLens are the plausible container-key lengths embedded in
+// a product key (dataset, run, subrun, event). Product keys do not
+// self-describe their container length, so placement probes all of them;
+// shared by Rescale, ResyncServer and the migration walks.
+var productKeyPrefixLens = []int{
+	keys.UUIDLen,
+	keys.UUIDLen + 1*keys.NumLen,
+	keys.UUIDLen + 2*keys.NumLen,
+	keys.UUIDLen + 3*keys.NumLen,
+}
+
+// CopyStats reports a migration copy or verify pass.
+type CopyStats struct {
+	// Scanned counts keys examined per role; Copied counts copies written
+	// to target databases.
+	Scanned map[string]int
+	Copied  map[string]int
+	// Ranges is the number of (role, database) source ranges walked.
+	Ranges int
+}
+
+// TotalScanned returns all keys examined.
+func (s CopyStats) TotalScanned() int { return total(s.Scanned) }
+
+// TotalCopied returns all copies written.
+func (s CopyStats) TotalCopied() int { return total(s.Copied) }
+
+// migrationRole pairs one role's source and target database sets with the
+// rule recovering the parent keys that place a stored key.
+type migrationRole struct {
+	name string
+	src  []yokan.DBHandle
+	dst  []yokan.DBHandle
+	// parents returns the candidate parent keys placing key (several for
+	// products, whose container length is not self-describing).
+	parents func(key []byte) [][]byte
+}
+
+func migrationRoles(src, dst *View) []migrationRole {
+	containerParent := func(key []byte) [][]byte {
+		ck, err := keys.ParseContainerKey(key)
+		if err != nil {
+			return nil
+		}
+		parent, ok := ck.Parent()
+		if !ok {
+			return nil
+		}
+		return [][]byte{parent.Bytes()}
+	}
+	productParents := func(key []byte) [][]byte {
+		var out [][]byte
+		for _, l := range productKeyPrefixLens {
+			if len(key) > l {
+				out = append(out, key[:l])
+			}
+		}
+		return out
+	}
+	return []migrationRole{
+		{"datasets", src.DatasetDBs, dst.DatasetDBs, func(key []byte) [][]byte {
+			return [][]byte{[]byte(parentPath(string(key)))}
+		}},
+		{"runs", src.RunDBs, dst.RunDBs, containerParent},
+		{"subruns", src.SubrunDBs, dst.SubrunDBs, containerParent},
+		{"events", src.EventDBs, dst.EventDBs, containerParent},
+		{"products", src.ProductDBs, dst.ProductDBs, productParents},
+	}
+}
+
+// MigrationRangeCount returns how many (role, database) source ranges a
+// copy pass over the committed view walks — the denominator for progress
+// reporting.
+func (ds *DataStore) MigrationRangeCount() int {
+	v := ds.v()
+	return len(v.DatasetDBs) + len(v.RunDBs) + len(v.SubrunDBs) + len(v.EventDBs) + len(v.ProductDBs)
+}
+
+// BeginMigration opens a migration window toward target: dual-write and
+// dual-read turn on immediately. The target view must carry a strictly
+// newer membership epoch than the committed view (the epoch the commit
+// will adopt) and use compatible role sets. Fails with ErrMigrationActive
+// if a window is already open.
+func (ds *DataStore) BeginMigration(target *View) error {
+	if ds.closed.Load() {
+		return ErrClosed
+	}
+	if target == nil {
+		return xerr.New(xerr.ClassInvalid, "hepnos: migration target view is nil")
+	}
+	for role, dbs := range map[string][]yokan.DBHandle{
+		"dataset": target.DatasetDBs, "run": target.RunDBs, "subrun": target.SubrunDBs,
+		"event": target.EventDBs, "product": target.ProductDBs,
+	} {
+		if len(dbs) == 0 {
+			return xerr.Newf(xerr.ClassInvalid, "hepnos: migration target has no %s databases", role)
+		}
+	}
+	ds.migMu.Lock()
+	defer ds.migMu.Unlock()
+	if ds.alt.Load() != nil {
+		return ErrMigrationActive
+	}
+	if target.Group.Epoch <= ds.v().Group.Epoch {
+		return xerr.Wrap(ErrEpochRegression,
+			fmt.Sprintf("target epoch %d, committed epoch %d", target.Group.Epoch, ds.v().Group.Epoch))
+	}
+	ds.alt.Store(target)
+	return nil
+}
+
+// AltView returns the migration window's alternate view (nil outside a
+// window): the target before commit, the outgoing view after.
+func (ds *DataStore) AltView() *View { return ds.alt.Load() }
+
+// AbortMigration rolls a not-yet-committed migration back: the alternate
+// view is dropped, restoring single-view operation on the committed view.
+// Copies already landed on the target are inert — unreachable through the
+// committed view, rewritten idempotently by a retry, or destroyed with the
+// abandoned destination servers.
+func (ds *DataStore) AbortMigration() error {
+	ds.migMu.Lock()
+	defer ds.migMu.Unlock()
+	alt := ds.alt.Load()
+	if alt == nil {
+		return ErrNoMigration
+	}
+	if alt.Group.Epoch <= ds.v().Group.Epoch {
+		// The alternate is the *outgoing* view: the migration already
+		// committed, rollback is no longer possible, only retire.
+		return xerr.New(xerr.ClassConflict, "hepnos: migration already committed; retire instead of abort")
+	}
+	ds.alt.Store(nil)
+	return nil
+}
+
+// CopyToView copies every key reachable through the committed view to its
+// replica set under target. Copies ride the batch QoS class so interactive
+// reads keep their latency SLO. onRange, when non-nil, observes progress
+// after each (role, database) source range completes. Idempotent: a
+// partial pass rerun re-copies the same byte-identical values.
+//
+// Under RF ≥ 2 the first *usable* replica of each key performs the copy
+// (the others skip it), so a source death mid-copy shifts its share of the
+// work to the surviving replicas on the retry instead of losing it.
+func (ds *DataStore) CopyToView(ctx context.Context, target *View, onRange func(role string, done, total int)) (CopyStats, error) {
+	st := CopyStats{Scanned: map[string]int{}, Copied: map[string]int{}}
+	if ds.closed.Load() {
+		return st, ErrClosed
+	}
+	ctx = qos.WithClass(ctx, qos.ClassBatch)
+	sp := ds.tracer.Start("core:migrate_copy", obs.KindInternal, obs.SpanFromContext(ctx), "")
+	ctx = obs.ContextWithSpan(ctx, sp.Context())
+	var err error
+	defer func() { sp.End(err) }()
+
+	src := ds.v()
+	roles := migrationRoles(src, target)
+	rangesTotal := 0
+	for _, r := range roles {
+		rangesTotal += len(r.src)
+	}
+	for _, r := range roles {
+		for _, db := range r.src {
+			if err = ds.copyRange(ctx, r, db, &st); err != nil {
+				return st, err
+			}
+			st.Ranges++
+			if onRange != nil {
+				onRange(r.name, st.Ranges, rangesTotal)
+			}
+		}
+	}
+	return st, nil
+}
+
+// copyRange copies one source database's keys to their target-view homes.
+func (ds *DataStore) copyRange(ctx context.Context, r migrationRole, db yokan.DBHandle, st *CopyStats) error {
+	var from []byte
+	for {
+		kvs, err := ds.yc.ListKeyVals(ctx, db, from, nil, rescaleBatch)
+		if err != nil {
+			return fmt.Errorf("hepnos: migrate scan %s: %w", db, err)
+		}
+		if len(kvs) == 0 {
+			return nil
+		}
+		type batch struct{ keys, vals [][]byte }
+		byTarget := map[yokan.DBHandle]*batch{}
+		for _, kv := range kvs {
+			st.Scanned[r.name]++
+			for _, parent := range r.parents(kv.Key) {
+				srcSet := ds.replicasFor(r.src, parent)
+				if !containsDB(srcSet, db) {
+					continue // this interpretation does not claim this db
+				}
+				if ds.readOrder(srcSet)[0] != db {
+					continue // a healthier or earlier replica owns the copy
+				}
+				for _, t := range ds.replicasFor(r.dst, parent) {
+					if t == db || containsDB(srcSet, t) {
+						continue // the target already holds this key
+					}
+					b := byTarget[t]
+					if b == nil {
+						b = &batch{}
+						byTarget[t] = b
+					}
+					b.keys = append(b.keys, kv.Key)
+					b.vals = append(b.vals, kv.Val)
+				}
+			}
+		}
+		for t, b := range byTarget {
+			if err := ds.yc.PutMulti(ctx, t, b.keys, b.vals); err != nil {
+				return fmt.Errorf("hepnos: migrate copy to %s: %w", t, err)
+			}
+			st.Copied[r.name] += len(b.keys)
+			ds.migrationCopied.Add(int64(len(b.keys)))
+		}
+		from = kvs[len(kvs)-1].Key
+	}
+}
+
+// VerifyView re-walks the committed view, checks that every key exists on
+// every member of its target-view replica set, and repairs the copies the
+// target is missing. It returns the number of key-copies checked and
+// repaired; repaired == 0 means the target holds a complete image.
+func (ds *DataStore) VerifyView(ctx context.Context, target *View) (checked, repaired int, err error) {
+	if ds.closed.Load() {
+		return 0, 0, ErrClosed
+	}
+	ctx = qos.WithClass(ctx, qos.ClassBatch)
+	sp := ds.tracer.Start("core:migrate_verify", obs.KindInternal, obs.SpanFromContext(ctx), "")
+	ctx = obs.ContextWithSpan(ctx, sp.Context())
+	defer func() { sp.End(err) }()
+
+	src := ds.v()
+	for _, r := range migrationRoles(src, target) {
+		for _, db := range r.src {
+			var from []byte
+			for {
+				kvs, lerr := ds.yc.ListKeyVals(ctx, db, from, nil, rescaleBatch)
+				if lerr != nil {
+					return checked, repaired, fmt.Errorf("hepnos: migrate verify scan %s: %w", db, lerr)
+				}
+				if len(kvs) == 0 {
+					break
+				}
+				type probe struct {
+					keys, vals [][]byte
+				}
+				byTarget := map[yokan.DBHandle]*probe{}
+				for _, kv := range kvs {
+					for _, parent := range r.parents(kv.Key) {
+						srcSet := ds.replicasFor(r.src, parent)
+						if !containsDB(srcSet, db) || ds.readOrder(srcSet)[0] != db {
+							continue
+						}
+						for _, t := range ds.replicasFor(r.dst, parent) {
+							if t == db || containsDB(srcSet, t) {
+								continue
+							}
+							p := byTarget[t]
+							if p == nil {
+								p = &probe{}
+								byTarget[t] = p
+							}
+							p.keys = append(p.keys, kv.Key)
+							p.vals = append(p.vals, kv.Val)
+						}
+					}
+				}
+				for t, p := range byTarget {
+					found, eerr := ds.yc.Exists(ctx, t, p.keys)
+					if eerr != nil {
+						return checked, repaired, fmt.Errorf("hepnos: migrate verify %s: %w", t, eerr)
+					}
+					checked += len(p.keys)
+					var mk, mv [][]byte
+					for i, ok := range found {
+						if !ok {
+							mk = append(mk, p.keys[i])
+							mv = append(mv, p.vals[i])
+						}
+					}
+					if len(mk) > 0 {
+						if perr := ds.yc.PutMulti(ctx, t, mk, mv); perr != nil {
+							return checked, repaired, fmt.Errorf("hepnos: migrate repair to %s: %w", t, perr)
+						}
+						repaired += len(mk)
+						ds.migrationRepaired.Add(int64(len(mk)))
+					}
+				}
+				from = kvs[len(kvs)-1].Key
+			}
+		}
+	}
+	return checked, repaired, nil
+}
+
+// CommitMigration atomically swaps the committed view to target — the
+// client-side half of the epoch bump. The outgoing view stays installed as
+// the alternate (dual-read fallback for in-flight cursors) until RetireView
+// closes the window. The prober and health tracker are re-pointed at the
+// new membership.
+func (ds *DataStore) CommitMigration(target *View) error {
+	if ds.closed.Load() {
+		return ErrClosed
+	}
+	ds.migMu.Lock()
+	defer ds.migMu.Unlock()
+	if ds.alt.Load() != target {
+		return xerr.New(xerr.ClassInvalid, "hepnos: commit target is not the active migration's view")
+	}
+	if target.Group.Epoch <= ds.v().Group.Epoch {
+		return xerr.Wrap(ErrEpochRegression,
+			fmt.Sprintf("target epoch %d, committed epoch %d", target.Group.Epoch, ds.v().Group.Epoch))
+	}
+	outgoing := ds.v()
+	ds.view.Store(target)
+	ds.alt.Store(outgoing)
+	ds.viewGen.Add(1)
+	ds.refreshMembership(outgoing, target)
+	return nil
+}
+
+// refreshMembership re-points the prober and tracker at the committed
+// membership after a view swap. Called under migMu.
+func (ds *DataStore) refreshMembership(outgoing, committed *View) {
+	current := make([]string, len(committed.Group.Servers))
+	inNew := map[string]bool{}
+	for i, srv := range committed.Group.Servers {
+		current[i] = srv.Address
+		inNew[srv.Address] = true
+	}
+	if ds.prober != nil {
+		ds.prober.SetTargets(current)
+	} else {
+		ds.health.Watch(current...)
+	}
+	// Drained servers stop counting against the unusable budget the moment
+	// they leave the membership.
+	for _, srv := range outgoing.Group.Servers {
+		if !inNew[srv.Address] {
+			ds.health.Forget(srv.Address)
+		}
+	}
+}
+
+// RetireView closes a committed migration window: keys on outgoing-view
+// databases that hold no replica claim under the committed view are erased
+// (skipping databases on servers that already left the membership — they
+// are about to be shut down wholesale), and the alternate view is cleared,
+// ending dual-read. Returns the number of keys erased.
+func (ds *DataStore) RetireView(ctx context.Context) (int, error) {
+	if ds.closed.Load() {
+		return 0, ErrClosed
+	}
+	ds.migMu.Lock()
+	outgoing := ds.alt.Load()
+	committed := ds.v()
+	if outgoing == nil {
+		ds.migMu.Unlock()
+		return 0, ErrNoMigration
+	}
+	if outgoing.Group.Epoch >= committed.Group.Epoch {
+		ds.migMu.Unlock()
+		return 0, xerr.New(xerr.ClassConflict, "hepnos: migration not committed; abort instead of retire")
+	}
+	ds.migMu.Unlock()
+
+	ctx = qos.WithClass(ctx, qos.ClassBatch)
+	sp := ds.tracer.Start("core:migrate_retire", obs.KindInternal, obs.SpanFromContext(ctx), "")
+	ctx = obs.ContextWithSpan(ctx, sp.Context())
+	var err error
+	defer func() { sp.End(err) }()
+
+	inMembership := map[string]bool{}
+	for _, srv := range committed.Group.Servers {
+		inMembership[srv.Address] = true
+	}
+	erased := 0
+	for _, r := range migrationRoles(outgoing, committed) {
+		for _, db := range r.src {
+			if !inMembership[string(db.Addr)] {
+				continue // dies with its drained server
+			}
+			if containsDB(r.dst, db) {
+				// The database survives into the committed view; erase only
+				// keys whose committed replica sets exclude it.
+				if erased, err = ds.retireRange(ctx, r, db, erased); err != nil {
+					return erased, err
+				}
+			}
+		}
+	}
+	ds.migMu.Lock()
+	// Only clear if the window is still ours (a concurrent begin is
+	// impossible while alt is non-nil, but stay defensive).
+	if ds.alt.Load() == outgoing {
+		ds.alt.Store(nil)
+	}
+	ds.viewGen.Add(1)
+	ds.migMu.Unlock()
+	return erased, nil
+}
+
+// retireRange erases one outgoing database's unclaimed keys.
+func (ds *DataStore) retireRange(ctx context.Context, r migrationRole, db yokan.DBHandle, erased int) (int, error) {
+	var from []byte
+	for {
+		page, err := ds.yc.ListKeys(ctx, db, from, nil, rescaleBatch)
+		if err != nil {
+			return erased, fmt.Errorf("hepnos: migrate retire scan %s: %w", db, err)
+		}
+		if len(page) == 0 {
+			return erased, nil
+		}
+		var drop [][]byte
+		for _, key := range page {
+			claimed := false
+			for _, parent := range r.parents(key) {
+				if containsDB(ds.replicasFor(r.dst, parent), db) {
+					claimed = true
+					break
+				}
+			}
+			if !claimed {
+				drop = append(drop, key)
+			}
+		}
+		if len(drop) > 0 {
+			if _, err := ds.yc.Erase(ctx, db, drop); err != nil {
+				return erased, fmt.Errorf("hepnos: migrate retire erase from %s: %w", db, err)
+			}
+			erased += len(drop)
+			ds.migrationErased.Add(int64(len(drop)))
+		}
+		from = page[len(page)-1]
+	}
+}
+
+// GroupEpoch returns the committed view's membership epoch.
+func (ds *DataStore) GroupEpoch() uint64 { return ds.v().Group.Epoch }
+
+// Group returns the committed view's membership document.
+func (ds *DataStore) Group() bedrock.GroupFile { return ds.v().Group }

@@ -57,6 +57,26 @@ func (ds *DataStore) registerCoreMetrics() {
 		obs.TypeCounter, func() []obs.Sample {
 			return obs.GaugeSample(float64(ds.resyncReplayed.Load()))
 		})
+	ds.registry.MustRegister(obs.MetricRebalanceCopied,
+		"Key copies written to migration target databases by live rebalancing.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.migrationCopied.Load()))
+		})
+	ds.registry.MustRegister(obs.MetricRebalanceRepaired,
+		"Missing target copies healed by the migration verify pass.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.migrationRepaired.Load()))
+		})
+	ds.registry.MustRegister(obs.MetricRebalanceErased,
+		"Stale keys erased from outgoing databases by migration retire.",
+		obs.TypeCounter, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.migrationErased.Load()))
+		})
+	ds.registry.MustRegister(obs.MetricRebalanceEpoch,
+		"Membership epoch of this client's committed view.",
+		obs.TypeGauge, func() []obs.Sample {
+			return obs.GaugeSample(float64(ds.GroupEpoch()))
+		})
 	// Client-side pushdown-scan accounting; the server-side counterparts
 	// (same family names, provider label) live in the yokan providers.
 	scanCounter := func(name, help string, ctr *atomic.Int64) {

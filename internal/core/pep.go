@@ -177,8 +177,9 @@ func (ds *DataStore) pepReader(ctx context.Context, comm *mpi.Comm, dataset *Dat
 		defer loadWG.Done()
 		defer close(batches)
 		prefix := dataset.key.Bytes()
-		for dbi := rank; dbi < len(ds.eventDBs); dbi += opts.Readers {
-			db := ds.eventDBs[dbi]
+		eventDBs := ds.v().EventDBs
+		for dbi := rank; dbi < len(eventDBs); dbi += opts.Readers {
+			db := eventDBs[dbi]
 			if ds.rf > 1 && !ds.health.Usable(string(db.Addr)) {
 				// A dead database's keys are read-owned by their surviving
 				// replicas, whose scans pick them up below.

@@ -71,9 +71,10 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 	// All product keys of the fan-out are packed into one segment arena
 	// (scratch re-encodes each key, the segment keeps the stable copy)
 	// instead of one allocation per key. The segment is recycled after
-	// every group has resolved — unless the wait was cut short by ctx, in
-	// which case a still-running task may be reading the keys, so the
-	// segment is left to the GC (releasing is optional, never required).
+	// every group has resolved. When the wait is cut short by ctx, a
+	// still-running task may be reading the keys, so the segment is handed
+	// to a background drain that waits out the stragglers and only then
+	// returns the chunks to the pools — deterministic recycling either way.
 	var seg wire.Segment
 	scratch := wire.Acquire(256)
 	defer scratch.Release()
@@ -114,15 +115,17 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 	}
 	var out []pepPrefEntry
 	degraded, failover := 0, 0
-	releasable := true
+	var stragglers []*asyncengine.Eventual[yokan.GetMultiResult]
 	for i, g := range groups {
 		p.ds.prefetchLoads.Add(int64(len(g.keys)))
 		res, err := evs[i].Wait(ctx)
 		if err != nil {
 			if ctx != nil && ctx.Err() != nil {
 				// The task may still be running and reading the packed
-				// keys; the segment must not be recycled under it.
-				releasable = false
+				// keys; the segment must not be recycled under it yet.
+				if !evs[i].Ready() {
+					stragglers = append(stragglers, evs[i])
+				}
 				degraded += len(g.keys)
 				continue
 			}
@@ -163,8 +166,20 @@ func (p *Prefetcher) Fetch(ctx context.Context, evKeys [][]byte) ([]pepPrefEntry
 			})
 		}
 	}
-	if releasable {
+	if len(stragglers) == 0 {
 		seg.Release()
+	} else {
+		// A cancelled fetch left tasks in flight. Wait them out off the
+		// caller's path, then recycle: the chunks go back to the pools
+		// instead of leaking to the GC. With a nil engine every group ran
+		// inline, so this branch is unreachable there.
+		p.ds.engine.Go(context.Background(), func(context.Context) {
+			for _, ev := range stragglers {
+				_, _ = ev.Wait(context.Background())
+			}
+			seg.Release()
+			p.ds.prefetchDrained.Add(1)
+		})
 	}
 	p.ds.prefetchDegraded.Add(int64(degraded))
 	p.ds.failoverReads.Add(int64(failover))

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+	"github.com/hep-on-hpc/hepnos-go/internal/fabric"
+)
+
+// TestPrefetchCancelDrainsSegment pins the ctx-cancel path of
+// Prefetcher.Fetch: when the wait is cut short while a GetMulti task is
+// still in flight, the key segment must NOT be recycled under the running
+// task (the task reads the packed keys), but it must still be recycled
+// deterministically — by the background drain — once the stragglers
+// resolve, instead of being leaked to the GC as the old code did.
+//
+// The choreography is deterministic: a fault hook blocks the first bulk
+// GetMulti until the test releases it, the fetch context is cancelled while
+// that RPC is pinned in flight, and the drain counter is the observable
+// proof of recycling. Run under -race this also proves the drain never
+// releases early: the fetches after the cancel acquire pooled chunks and
+// overwrite them while the straggler still holds its views.
+func TestPrefetchCancelDrainsSegment(t *testing.T) {
+	gate := make(chan struct{})
+	inFlight := make(chan struct{}, 1)
+	var gated atomic.Bool
+	fault := func(target fabric.Address, rpc string, size int, tenant string) error {
+		if gated.Load() && strings.HasSuffix(rpc, "get_multi") {
+			select {
+			case inFlight <- struct{}{}:
+			default:
+			}
+			<-gate
+		}
+		return nil
+	}
+
+	dep, err := bedrock.Deploy(bedrock.DeploySpec{
+		Servers:             1,
+		ProvidersPerServer:  2,
+		EventDBsPerServer:   2,
+		ProductDBsPerServer: 2,
+		NamePrefix:          "prefetch-cancel",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dep.Shutdown)
+	ds, err := Connect(context.Background(), ClientConfig{
+		Group:  dep.Group,
+		NetSim: &fabric.NetSim{Fault: fault},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ds.Close)
+	ctx := context.Background()
+
+	// Enough products that the group takes the bulk path the hook gates.
+	const events = 40
+	dset, err := ds.CreateDataSet(ctx, "prefetch/cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := ds.NewWriteBatch()
+	run, err := wb.CreateRun(ctx, dset, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := wb.CreateSubRun(ctx, run, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evKeys := make([][]byte, 0, events)
+	for i := 0; i < events; i++ {
+		ev, err := wb.CreateEvent(ctx, sr, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wb.Store(ctx, ev, "parts", []particle{{X: float32(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		evKeys = append(evKeys, ev.key.Bytes())
+	}
+	if err := wb.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	p := ds.NewPrefetcher(SelectorFor("parts", []particle{}))
+
+	// Sanity: an ungated fetch finds everything and recycles inline.
+	if got, degraded, _ := p.Fetch(ctx, evKeys); len(got) != events || degraded != 0 {
+		t.Fatalf("ungated fetch: %d entries (%d degraded), want %d (0)", len(got), degraded, events)
+	}
+	if n := ds.prefetchDrained.Load(); n != 0 {
+		t.Fatalf("inline release path used the background drain %d times", n)
+	}
+
+	// Gate the RPC, cancel the fetch while it is pinned in flight.
+	gated.Store(true)
+	fctx, cancel := context.WithCancel(ctx)
+	go func() {
+		<-inFlight
+		cancel()
+	}()
+	got, degraded, _ := p.Fetch(fctx, evKeys)
+	if len(got) != 0 || degraded != events {
+		t.Fatalf("cancelled fetch: %d entries, %d degraded, want 0 and %d", len(got), degraded, events)
+	}
+	if n := ds.prefetchDrained.Load(); n != 0 {
+		t.Fatal("segment recycled while the straggler task was still in flight")
+	}
+
+	// Pressure the chunk pools while the straggler still holds its views:
+	// under -race, an early release would flag these writes against the
+	// straggler's reads.
+	gated.Store(false)
+	for i := 0; i < 4; i++ {
+		if got, degraded, _ := p.Fetch(ctx, evKeys); len(got) != events || degraded != 0 {
+			t.Fatalf("fetch %d during straggler window: %d entries (%d degraded)", i, len(got), degraded)
+		}
+	}
+
+	// Unblock the straggler: the background drain must recycle the segment.
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for ds.prefetchDrained.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled fetch never recycled its segment (leak)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Close must quiesce cleanly with the drain goroutine tracked by the
+	// engine (no goroutine left behind).
+	ds.Close()
+}

@@ -47,25 +47,50 @@ func (ds *DataStore) replicasFor(dbs []yokan.DBHandle, parentKey []byte) []yokan
 
 // Per-role replica sets, mirroring the single-database helpers in
 // datastore.go (same parent-key placement rule, §II-C).
+//
+// During a live migration (DESIGN.md §18) the sets are the *union* of the
+// committed view's replicas and the alternate view's: writes land in both
+// views (dual-write, so nothing ingested during the copy window is lost
+// across the epoch bump), and reads keep the committed view's replicas
+// first — the read owner never changes mid-migration, which the PEP
+// exactly-once dedup relies on — while gaining the other view's copies as
+// last-resort fallbacks.
+
+// unionReplicas builds the replica set for parentKey from the committed
+// view's role databases, appending the alternate view's replicas (deduped)
+// while a migration window is open.
+func (ds *DataStore) unionReplicas(role func(*View) []yokan.DBHandle, parentKey []byte) []yokan.DBHandle {
+	out := ds.replicasFor(role(ds.v()), parentKey)
+	alt := ds.alt.Load()
+	if alt == nil {
+		return out
+	}
+	for _, db := range ds.replicasFor(role(alt), parentKey) {
+		if !containsDB(out, db) {
+			out = append(out, db)
+		}
+	}
+	return out
+}
 
 func (ds *DataStore) datasetReplicas(path string) []yokan.DBHandle {
-	return ds.replicasFor(ds.datasetDBs, []byte(parentPath(path)))
+	return ds.unionReplicas(func(v *View) []yokan.DBHandle { return v.DatasetDBs }, []byte(parentPath(path)))
 }
 
 func (ds *DataStore) runReplicas(dsKey keys.ContainerKey) []yokan.DBHandle {
-	return ds.replicasFor(ds.runDBs, dsKey.Bytes())
+	return ds.unionReplicas(func(v *View) []yokan.DBHandle { return v.RunDBs }, dsKey.Bytes())
 }
 
 func (ds *DataStore) subrunReplicas(runKey keys.ContainerKey) []yokan.DBHandle {
-	return ds.replicasFor(ds.subrunDBs, runKey.Bytes())
+	return ds.unionReplicas(func(v *View) []yokan.DBHandle { return v.SubrunDBs }, runKey.Bytes())
 }
 
 func (ds *DataStore) eventReplicas(srKey keys.ContainerKey) []yokan.DBHandle {
-	return ds.replicasFor(ds.eventDBs, srKey.Bytes())
+	return ds.unionReplicas(func(v *View) []yokan.DBHandle { return v.EventDBs }, srKey.Bytes())
 }
 
 func (ds *DataStore) productReplicas(ck keys.ContainerKey) []yokan.DBHandle {
-	return ds.replicasFor(ds.productDBs, ck.Bytes())
+	return ds.unionReplicas(func(v *View) []yokan.DBHandle { return v.ProductDBs }, ck.Bytes())
 }
 
 // readOrder reorders a replica set for reading: Alive servers first, then
@@ -130,17 +155,84 @@ func (ds *DataStore) countFailover(primary, used yokan.DBHandle) {
 	}
 }
 
-// getFO is Get with health-gated failover: replicas are tried in read
-// order; transport-class failures move on to the next copy, while an
-// application-level answer (value or yokan.ErrKeyNotFound) is authoritative
-// and returned immediately.
-func (ds *DataStore) getFO(ctx context.Context, replicas []yokan.DBHandle, key []byte) ([]byte, error) {
-	var lastErr error
+// softMiss reports whether a not-found answer from a single replica may be
+// stale rather than authoritative. On a quiet cluster every usable replica
+// holds the same keys, so the first answer settles it. During a live
+// migration (DESIGN.md §18) that is no longer true: an outgoing database
+// may have been retired (its unclaimed keys erased) between the moment the
+// replica set was resolved and the read, and a target database may not have
+// received its copy yet. Both hazards are visible here — the window is open
+// (alt non-nil) or the resolved set is wider than rf, the fingerprint of a
+// union set resolved while the window was still open — and in either case
+// a miss only counts when every replica in the set agrees.
+func (ds *DataStore) softMiss(replicas []yokan.DBHandle) bool {
+	return len(replicas) > ds.rf || ds.alt.Load() != nil
+}
+
+// missRetries bounds the re-resolve loop in getFO/existsFO: a migration
+// commits at most once per window, so one retry usually settles it; the
+// bound only guards against back-to-back topology changes.
+const missRetries = 3
+
+// getFO is Get with resolve-retry and health-gated failover. The replica
+// set is resolved through the closure so that a miss observed across a view
+// transition (CommitMigration/RetireView bumped viewGen after we resolved —
+// the copy we asked may have been retired) is re-resolved against the new
+// committed view instead of trusted.
+func (ds *DataStore) getFO(ctx context.Context, resolve func() []yokan.DBHandle, key []byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		gen := ds.viewGen.Load()
+		data, err := ds.getFrom(ctx, resolve(), key)
+		if err == nil || !errors.Is(err, yokan.ErrKeyNotFound) ||
+			attempt >= missRetries || ds.viewGen.Load() == gen {
+			return data, err
+		}
+	}
+}
+
+// existsFO is Exists with the same resolve-retry contract as getFO: any
+// per-key false answer observed across a view transition is re-resolved.
+func (ds *DataStore) existsFO(ctx context.Context, resolve func() []yokan.DBHandle, ks [][]byte) ([]bool, error) {
+	for attempt := 0; ; attempt++ {
+		gen := ds.viewGen.Load()
+		found, err := ds.existsFrom(ctx, resolve(), ks)
+		if err != nil {
+			return nil, err
+		}
+		all := true
+		for _, f := range found {
+			if !f {
+				all = false
+				break
+			}
+		}
+		if all || attempt >= missRetries || ds.viewGen.Load() == gen {
+			return found, nil
+		}
+	}
+}
+
+// getFrom is one Get pass over a resolved replica set: replicas are tried
+// in read order; transport-class failures move on to the next copy, while
+// an application-level answer (value or yokan.ErrKeyNotFound) is
+// authoritative and returned immediately — except that during a migration
+// window a miss falls through to the remaining replicas (softMiss).
+func (ds *DataStore) getFrom(ctx context.Context, replicas []yokan.DBHandle, key []byte) ([]byte, error) {
+	soft := ds.softMiss(replicas)
+	var lastErr, notFound error
 	for _, db := range ds.readOrder(replicas) {
 		data, err := ds.yc.Get(ctx, db, key)
-		if err == nil || errors.Is(err, yokan.ErrKeyNotFound) {
+		if err == nil {
 			ds.countFailover(replicas[0], db)
-			return data, err
+			return data, nil
+		}
+		if errors.Is(err, yokan.ErrKeyNotFound) {
+			if !soft {
+				ds.countFailover(replicas[0], db)
+				return data, err
+			}
+			notFound = err
+			continue
 		}
 		if !routable(err) {
 			return nil, err
@@ -148,23 +240,56 @@ func (ds *DataStore) getFO(ctx context.Context, replicas []yokan.DBHandle, key [
 		ds.noteReadFailure(db, err)
 		lastErr = err
 	}
-	return nil, lastErr
+	// A miss is only trustworthy when no replica failed for other reasons:
+	// an unreachable copy might have held the key.
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, notFound
 }
 
-// existsFO is Exists with health-gated failover.
-func (ds *DataStore) existsFO(ctx context.Context, replicas []yokan.DBHandle, ks [][]byte) ([]bool, error) {
+// existsFrom is one Exists pass over a resolved replica set with
+// health-gated failover. During a migration window the per-key answers are
+// OR-ed across the replica set (softMiss): a key exists if any view's copy
+// holds it.
+func (ds *DataStore) existsFrom(ctx context.Context, replicas []yokan.DBHandle, ks [][]byte) ([]bool, error) {
+	soft := ds.softMiss(replicas)
 	var lastErr error
+	var acc []bool
 	for _, db := range ds.readOrder(replicas) {
 		found, err := ds.yc.Exists(ctx, db, ks)
-		if err == nil {
+		if err != nil {
+			if !routable(err) {
+				return nil, err
+			}
+			ds.noteReadFailure(db, err)
+			lastErr = err
+			continue
+		}
+		if acc == nil {
 			ds.countFailover(replicas[0], db)
-			return found, nil
+			if !soft {
+				return found, nil
+			}
+			acc = found
+		} else {
+			for i := range acc {
+				acc[i] = acc[i] || found[i]
+			}
 		}
-		if !routable(err) {
-			return nil, err
+		all := true
+		for _, f := range acc {
+			if !f {
+				all = false
+				break
+			}
 		}
-		ds.noteReadFailure(db, err)
-		lastErr = err
+		if all {
+			return acc, nil
+		}
+	}
+	if acc != nil {
+		return acc, nil
 	}
 	return nil, lastErr
 }

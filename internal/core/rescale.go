@@ -60,9 +60,9 @@ func Rescale(ctx context.Context, old, new *DataStore) (RescaleStats, error) {
 	}
 	// Membership epochs only grow: migrating onto a view older than the
 	// source would resurrect a superseded deployment.
-	if new.group.Epoch < old.group.Epoch {
+	if new.v().Group.Epoch < old.v().Group.Epoch {
 		return st, fmt.Errorf("hepnos: rescale: target view epoch %d is behind source epoch %d (stale membership view)",
-			new.group.Epoch, old.group.Epoch)
+			new.v().Group.Epoch, old.v().Group.Epoch)
 	}
 	type role struct {
 		name string
@@ -87,18 +87,19 @@ func Rescale(ctx context.Context, old, new *DataStore) (RescaleStats, error) {
 			return placeParent(dbs, parent.Bytes()), true
 		}
 	}
+	ov, nv := old.v(), new.v()
 	roles := []role{
 		{
-			name: "datasets", from: old.datasetDBs, to: new.datasetDBs,
+			name: "datasets", from: ov.DatasetDBs, to: nv.DatasetDBs,
 			home: func(key []byte) (int, bool) {
-				return placeParent(new.datasetDBs, []byte(parentPath(string(key)))), true
+				return placeParent(nv.DatasetDBs, []byte(parentPath(string(key)))), true
 			},
 		},
-		{name: "runs", from: old.runDBs, to: new.runDBs, home: containerHome(new.runDBs)},
-		{name: "subruns", from: old.subrunDBs, to: new.subrunDBs, home: containerHome(new.subrunDBs)},
-		{name: "events", from: old.eventDBs, to: new.eventDBs, home: containerHome(new.eventDBs)},
+		{name: "runs", from: ov.RunDBs, to: nv.RunDBs, home: containerHome(nv.RunDBs)},
+		{name: "subruns", from: ov.SubrunDBs, to: nv.SubrunDBs, home: containerHome(nv.SubrunDBs)},
+		{name: "events", from: ov.EventDBs, to: nv.EventDBs, home: containerHome(nv.EventDBs)},
 		{
-			name: "products", from: old.productDBs, to: new.productDBs,
+			name: "products", from: ov.ProductDBs, to: nv.ProductDBs,
 			home: nil, // products need the per-key container-length probe below
 		},
 	}
@@ -192,17 +193,11 @@ func Rescale(ctx context.Context, old, new *DataStore) (RescaleStats, error) {
 // garbage (bounded by the probe count) and are the price of keeping the
 // paper's key format unchanged.
 func productHomes(old, new *DataStore, currentIdx int, key []byte) []int {
-	oldPlacer := old.placement.placer(len(old.productDBs))
-	newPlacer := new.placement.placer(len(new.productDBs))
-	lengths := []int{
-		keys.UUIDLen,
-		keys.UUIDLen + 1*keys.NumLen,
-		keys.UUIDLen + 2*keys.NumLen,
-		keys.UUIDLen + 3*keys.NumLen,
-	}
+	oldPlacer := old.placement.placer(len(old.v().ProductDBs))
+	newPlacer := new.placement.placer(len(new.v().ProductDBs))
 	var out []int
 	seen := map[int]bool{}
-	for _, l := range lengths {
+	for _, l := range productKeyPrefixLens {
 		if len(key) <= l {
 			continue
 		}

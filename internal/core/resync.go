@@ -66,27 +66,23 @@ func (ds *DataStore) ResyncServer(ctx context.Context, addr fabric.Address) (Res
 			return [][]yokan.DBHandle{ds.replicasFor(dbs, parent.Bytes())}
 		}
 	}
+	v := ds.v()
 	roles := []role{
-		{"datasets", ds.datasetDBs, func(key []byte) [][]yokan.DBHandle {
-			return [][]yokan.DBHandle{ds.replicasFor(ds.datasetDBs, []byte(parentPath(string(key))))}
+		{"datasets", v.DatasetDBs, func(key []byte) [][]yokan.DBHandle {
+			return [][]yokan.DBHandle{ds.replicasFor(v.DatasetDBs, []byte(parentPath(string(key))))}
 		}},
-		{"runs", ds.runDBs, containerSets(ds.runDBs)},
-		{"subruns", ds.subrunDBs, containerSets(ds.subrunDBs)},
-		{"events", ds.eventDBs, containerSets(ds.eventDBs)},
+		{"runs", v.RunDBs, containerSets(v.RunDBs)},
+		{"subruns", v.SubrunDBs, containerSets(v.SubrunDBs)},
+		{"events", v.EventDBs, containerSets(v.EventDBs)},
 		// Product keys do not self-describe their container length, so —
 		// exactly like Rescale's productHomes — every plausible container
 		// prefix yields a candidate set; false positives produce harmless
 		// idempotent copies.
-		{"products", ds.productDBs, func(key []byte) [][]yokan.DBHandle {
+		{"products", v.ProductDBs, func(key []byte) [][]yokan.DBHandle {
 			var out [][]yokan.DBHandle
-			for _, l := range []int{
-				keys.UUIDLen,
-				keys.UUIDLen + 1*keys.NumLen,
-				keys.UUIDLen + 2*keys.NumLen,
-				keys.UUIDLen + 3*keys.NumLen,
-			} {
+			for _, l := range productKeyPrefixLens {
 				if len(key) > l {
-					out = append(out, ds.replicasFor(ds.productDBs, key[:l]))
+					out = append(out, ds.replicasFor(v.ProductDBs, key[:l]))
 				}
 			}
 			return out

@@ -372,8 +372,9 @@ func (ds *DataStore) ProductCounts(ctx context.Context) ([]ProductDBCount, error
 	if ds.closed.Load() {
 		return nil, ErrClosed
 	}
-	out := make([]ProductDBCount, 0, len(ds.productDBs))
-	for _, db := range ds.productDBs {
+	productDBs := ds.v().ProductDBs
+	out := make([]ProductDBCount, 0, len(productDBs))
+	for _, db := range productDBs {
 		pc := ProductDBCount{DB: db}
 		var from []byte
 		for {

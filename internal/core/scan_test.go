@@ -187,6 +187,102 @@ func TestColumnarStoreLoadScan(t *testing.T) {
 	}
 }
 
+// TestScanStringPredicate pins the string-equality pushdown end to end:
+// the server evaluates EqStr/NeStr vectorized on string column pages, and
+// the surviving rows agree with the client applying the same comparison
+// row by row.
+func TestScanStringPredicate(t *testing.T) {
+	registerScanTrack(t)
+	ds, _, _ := newTestCluster(t, bedrock.DeploySpec{Servers: 2})
+	ctx := context.Background()
+	dset, err := ds.CreateDataSet(ctx, "scan/strpred")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const subruns, events = 2, 30
+	want := map[EventID][]scanTrack{}
+	wb := ds.NewWriteBatch()
+	run, err := wb.CreateRun(ctx, dset, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(0); s < subruns; s++ {
+		sr, err := wb.CreateSubRun(ctx, run, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := uint64(0); e < events; e++ {
+			ev, err := wb.CreateEvent(ctx, sr, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := trackRows(s, e)
+			if err := wb.Store(ctx, ev, "trk", rows); err != nil {
+				t.Fatal(err)
+			}
+			want[EventID{Run: 1, SubRun: s, Event: e}] = rows
+		}
+	}
+	if err := wb.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		pred  serde.Predicate
+		match func(tr scanTrack) bool
+	}{
+		{
+			// Mixed string + numeric conjunction.
+			serde.And(serde.EqStr("Tag", "t1"), serde.GE("Pt", 10)),
+			func(tr scanTrack) bool { return tr.Tag == "t1" && tr.Pt >= 10 },
+		},
+		{
+			serde.NeStr("Tag", "t0"),
+			func(tr scanTrack) bool { return tr.Tag != "t0" },
+		},
+	} {
+		cur := dset.Scan(ctx, "trk", []scanTrack{}, tc.pred, "ID", "Tag")
+		got := map[EventID][]scanTrack{}
+		for cur.Next() {
+			var rows []scanTrack
+			if err := cur.Rows(&rows); err != nil {
+				t.Fatal(err)
+			}
+			got[cur.EventID()] = append([]scanTrack(nil), rows...)
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatalf("%s: %v", tc.pred.String(), err)
+		}
+		expected := map[EventID][]scanTrack{}
+		matched := 0
+		for id, rows := range want {
+			for _, tr := range rows {
+				if tc.match(tr) {
+					expected[id] = append(expected[id], scanTrack{ID: tr.ID, Tag: tr.Tag})
+					matched++
+				}
+			}
+		}
+		if matched == 0 {
+			t.Fatalf("%s: fixture selects nothing", tc.pred.String())
+		}
+		if len(got) != len(expected) {
+			t.Fatalf("%s: scan found %d events, want %d", tc.pred.String(), len(got), len(expected))
+		}
+		for id, rows := range expected {
+			if !sameTracks(got[id], rows) {
+				t.Fatalf("%s: %v = %+v, want %+v", tc.pred.String(), id, got[id], rows)
+			}
+		}
+	}
+
+	// A string predicate on a numeric field fails at bind, before any RPC.
+	if bad := dset.Scan(ctx, "trk", []scanTrack{}, serde.EqStr("Pt", "x")); bad.Next() || bad.Err() == nil {
+		t.Fatal("EqStr on numeric field did not fail the cursor")
+	}
+}
+
 // TestColumnarOneShotAndOutOfOrder covers the container.Store single-event
 // page path and out-of-order stores sealing pages mid-group.
 func TestColumnarOneShotAndOutOfOrder(t *testing.T) {

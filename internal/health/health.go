@@ -130,6 +130,20 @@ func (t *Tracker) Watch(targets ...string) {
 	}
 }
 
+// Forget removes a target from the tracker — it was drained out of the
+// membership, so its terminal state must stop contributing to
+// UnusableCount and snapshots. Unknown targets are a no-op.
+func (t *Tracker) Forget(targets ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, target := range targets {
+		delete(t.targets, target)
+	}
+}
+
 // StateOf returns the target's current state. Unknown targets are Alive.
 func (t *Tracker) StateOf(target string) State {
 	if t == nil {

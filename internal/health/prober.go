@@ -2,6 +2,7 @@ package health
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -18,9 +19,14 @@ type ProbeFunc func(ctx context.Context, target string) error
 type Prober struct {
 	tracker  *Tracker
 	probe    ProbeFunc
-	targets  []string
 	interval time.Duration
 	timeout  time.Duration
+
+	// mu guards targets: the set is fixed at construction for static
+	// deployments, but live rebalancing (internal/autopilot) swaps it when
+	// the membership changes shape.
+	mu      sync.Mutex
+	targets []string
 }
 
 // ProberConfig configures a Prober.
@@ -50,12 +56,31 @@ func NewProber(t *Tracker, probe ProbeFunc, targets []string, cfg ProberConfig) 
 	}
 }
 
+// SetTargets replaces the probed target set — the membership changed shape
+// (servers added by a scale-out, removed by a drain). New targets are
+// registered with the tracker; targets no longer listed are simply not
+// probed again, so a drained server's last recorded state goes stale
+// harmlessly instead of decaying to Dead and skewing UnusableCount.
+func (p *Prober) SetTargets(targets []string) {
+	p.tracker.Watch(targets...)
+	p.mu.Lock()
+	p.targets = append([]string(nil), targets...)
+	p.mu.Unlock()
+}
+
+// Targets returns the currently probed target set.
+func (p *Prober) Targets() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.targets...)
+}
+
 // Tick runs one probe round synchronously: every target is probed once and
 // the result reported to the tracker. Probes run serially — the round is a
 // control-plane trickle, not a data-plane fan-out — which also keeps test
 // runs deterministic.
 func (p *Prober) Tick(ctx context.Context) {
-	for _, target := range p.targets {
+	for _, target := range p.Targets() {
 		if ctx != nil && ctx.Err() != nil {
 			return
 		}

@@ -85,6 +85,14 @@ const (
 	MetricScanBytesSaved    = "hepnos_scan_bytes_saved_total"
 	MetricScans             = "hepnos_scan_requests_total"
 
+	// Live-rebalancing families (DESIGN.md §18): client-side migration
+	// accounting plus the server-attached progress view the rebalance
+	// admin RPC exposes.
+	MetricRebalanceCopied   = "hepnos_rebalance_keys_copied_total"
+	MetricRebalanceRepaired = "hepnos_rebalance_keys_repaired_total"
+	MetricRebalanceErased   = "hepnos_rebalance_keys_erased_total"
+	MetricRebalanceEpoch    = "hepnos_rebalance_view_epoch"
+
 	MetricHealthState       = "hepnos_health_state"
 	MetricHealthTransitions = "hepnos_health_transitions_total"
 	MetricHealthProbes      = "hepnos_health_probes_total"

@@ -26,9 +26,10 @@ import (
 // ColKind is the wire kind of one column.
 type ColKind uint8
 
-// Column kinds. The numeric kinds (ColBool through ColFloat64) are the ones
-// the predicate language can compare; ColString and ColBytes columns can be
-// stored and fetched but not filtered on.
+// Column kinds. The numeric kinds (ColBool through ColFloat64) take the
+// ordered predicate comparisons; ColString columns take the string-equality
+// predicates (EqStr/NeStr); ColBytes columns can be stored and fetched but
+// not filtered on.
 const (
 	colInvalid ColKind = iota
 	ColBool
@@ -552,6 +553,35 @@ func DecodeNumericColumn(kind ColKind, data []byte, rows int, dst []float64) ([]
 	}
 	if off != len(data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes in %s column", ErrCorrupt, len(data)-off, kind)
+	}
+	return dst, nil
+}
+
+// DecodeStringColumn decodes a string column chunk into Go strings for
+// string-predicate evaluation. dst is reused: the result is dst[:0] grown
+// to rows, each element a copy (never a view into data). Non-string
+// columns return ErrUnsupported.
+func DecodeStringColumn(kind ColKind, data []byte, rows int, dst []string) ([]string, error) {
+	if kind != ColString {
+		return nil, fmt.Errorf("%w: %s column is not string", ErrUnsupported, kind)
+	}
+	dst = dst[:0]
+	off := 0
+	for i := 0; i < rows; i++ {
+		u, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad varint in string column", ErrCorrupt)
+		}
+		start := off + n
+		if u > uint64(len(data)-start) {
+			return nil, fmt.Errorf("%w: string length %d exceeds input", ErrCorrupt, u)
+		}
+		end := start + int(u)
+		dst = append(dst, string(data[start:end]))
+		off = end
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in string column", ErrCorrupt, len(data)-off)
 	}
 	return dst, nil
 }

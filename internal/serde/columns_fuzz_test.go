@@ -43,6 +43,8 @@ func FuzzUnmarshalColumns(f *testing.F) {
 				_ = schema.UnmarshalColumn(fi, data, rows, &out)
 				if k := schema.Field(fi).Kind; k.Numeric() {
 					_, _ = DecodeNumericColumn(k, data, rows, nil)
+				} else if k == ColString {
+					_, _ = DecodeStringColumn(k, data, rows, nil)
 				}
 			}
 		}
@@ -87,6 +89,36 @@ func FuzzUnmarshalColumns(f *testing.F) {
 		}
 		if !bytes.Equal(a, b) {
 			t.Fatalf("columnar cycle changed the value:\n in=%x\nout=%x", a, b)
+		}
+
+		// The vectorized string predicate must agree with the row path
+		// applying the same comparison row by row, on any decodable value.
+		if len(rows) > 0 {
+			tagCol := schema.FieldIndex("Tag")
+			strs := make([][]string, schema.NumFields())
+			strs[tagCol], err = DecodeStringColumn(ColString, cols[tagCol], n, nil)
+			if err != nil {
+				t.Fatalf("DecodeStringColumn of row-decoded value: %v", err)
+			}
+			for _, pred := range []Predicate{EqStr("Tag", rows[0].Tag), NeStr("Tag", rows[0].Tag)} {
+				bound, err := pred.Bind(schema)
+				if err != nil {
+					t.Fatalf("Bind(%s): %v", pred.String(), err)
+				}
+				mask := make([]bool, n)
+				if err := bound.EvalCols(nil, strs, n, mask); err != nil {
+					t.Fatalf("EvalCols(%s): %v", pred.String(), err)
+				}
+				for i, r := range rows {
+					want := r.Tag == rows[0].Tag
+					if pred.Op == OpNeStr {
+						want = !want
+					}
+					if mask[i] != want {
+						t.Fatalf("%s row %d = %v, want %v (Tag=%q)", pred.String(), i, mask[i], want, r.Tag)
+					}
+				}
+			}
 		}
 	})
 }

@@ -7,25 +7,30 @@ import (
 )
 
 // Predicate is the small selection language a scan ships to the server:
-// leaf comparisons of one numeric column against a constant, composed with
-// AND/OR. The struct is deliberately flat and pointer-free so it crosses
-// the wire through the ordinary serde codec with no custom encoding.
+// leaf comparisons of one numeric column against a constant, string
+// equality against a string column, composed with AND/OR. The struct is
+// deliberately flat and pointer-free so it crosses the wire through the
+// ordinary serde codec with no custom encoding.
 //
 // Grammar (DESIGN.md §17):
 //
-//	pred := field OP const | AND(pred...) | OR(pred...)
+//	pred := field OP const | field EQS str | AND(pred...) | OR(pred...)
 //	OP   := < <= > >= == !=
+//	EQS  := ==s !=s
 //
 // Constants are float64. Integer and bool columns widen exactly into
 // float64 for evaluation (ints up to 2^53); float32 columns widen exactly
 // by construction. A predicate over float32 fields reproduces the client's
 // own float32 comparisons exactly when its constants are pre-rounded
-// through float32 (see F32 below).
+// through float32 (see F32 below). String leaves compare for identity
+// only: HEP selections use strings as labels (trigger paths, detector
+// tags), where ordering has no physics meaning.
 type Predicate struct {
 	Op    uint8
 	Field string      // leaf: column name (resolved by Bind)
 	Col   uint32      // leaf: column index, valid after Bind
-	Const float64     // leaf: comparison constant
+	Const float64     // numeric leaf: comparison constant
+	Str   string      // string leaf: comparison constant
 	Sub   []Predicate // AND/OR children
 }
 
@@ -41,6 +46,8 @@ const (
 	OpNE
 	OpAnd
 	OpOr
+	OpEqStr
+	OpNeStr
 )
 
 // Structural limits, enforced by Validate on both ends of the wire so a
@@ -68,6 +75,10 @@ func opString(op uint8) string {
 		return "and"
 	case OpOr:
 		return "or"
+	case OpEqStr:
+		return "==s"
+	case OpNeStr:
+		return "!=s"
 	default:
 		return "op(" + strconv.Itoa(int(op)) + ")"
 	}
@@ -85,6 +96,12 @@ func GT(field string, c float64) Predicate { return Cmp(field, OpGT, c) }
 func GE(field string, c float64) Predicate { return Cmp(field, OpGE, c) }
 func EQ(field string, c float64) Predicate { return Cmp(field, OpEQ, c) }
 func NE(field string, c float64) Predicate { return Cmp(field, OpNE, c) }
+
+// EqStr and NeStr are string-equality leaf builders over a string column:
+// field == s and field != s. Ordered string comparisons are deliberately
+// not in the language (see the Predicate doc).
+func EqStr(field, s string) Predicate { return Predicate{Op: OpEqStr, Field: field, Str: s} }
+func NeStr(field, s string) Predicate { return Predicate{Op: OpNeStr, Field: field, Str: s} }
 
 // And is the conjunction of its children; Or the disjunction. Both require
 // at least one child (Validate rejects empty composites).
@@ -115,7 +132,7 @@ func (p Predicate) validate(depth int) (int, error) {
 		return 0, fmt.Errorf("serde: predicate deeper than %d", MaxPredicateDepth)
 	}
 	switch p.Op {
-	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE:
+	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE, OpEqStr, OpNeStr:
 		if len(p.Sub) != 0 {
 			return 0, fmt.Errorf("serde: comparison %s has children", opString(p.Op))
 		}
@@ -166,7 +183,12 @@ func (p Predicate) bind(s *ColumnSchema) (Predicate, error) {
 	if ci < 0 {
 		return Predicate{}, fmt.Errorf("serde: predicate field %q not in %s", p.Field, s.TypeName())
 	}
-	if k := s.Field(ci).Kind; !k.Numeric() {
+	k := s.Field(ci).Kind
+	if p.Op == OpEqStr || p.Op == OpNeStr {
+		if k != ColString {
+			return Predicate{}, fmt.Errorf("%w: string predicate on %s field %q", ErrUnsupported, k, p.Field)
+		}
+	} else if !k.Numeric() {
 		return Predicate{}, fmt.Errorf("%w: predicate on %s field %q", ErrUnsupported, k, p.Field)
 	}
 	out.Col = uint32(ci)
@@ -195,7 +217,12 @@ func (p Predicate) checkBound(s *ColumnSchema) error {
 	if p.Col >= uint32(s.NumFields()) {
 		return fmt.Errorf("serde: predicate column %d out of range for %s", p.Col, s.TypeName())
 	}
-	if k := s.Field(int(p.Col)).Kind; !k.Numeric() {
+	k := s.Field(int(p.Col)).Kind
+	if p.Op == OpEqStr || p.Op == OpNeStr {
+		if k != ColString {
+			return fmt.Errorf("%w: string predicate on %s column %d", ErrUnsupported, k, p.Col)
+		}
+	} else if !k.Numeric() {
 		return fmt.Errorf("%w: predicate on %s column %d", ErrUnsupported, k, p.Col)
 	}
 	return nil
@@ -215,16 +242,24 @@ func (p Predicate) MarkColumns(mark []bool) {
 	}
 }
 
-// Eval evaluates a bound predicate vectorized over decoded columns: cols
-// is indexed by column id (only the columns MarkColumns names need be
-// non-nil, each rows long) and out[i] is set to the verdict for row i.
+// Eval evaluates a bound predicate vectorized over decoded numeric
+// columns — EvalCols with no string columns, kept for predicates known to
+// be numeric-only.
 func (p Predicate) Eval(cols [][]float64, rows int, out []bool) error {
+	return p.EvalCols(cols, nil, rows, out)
+}
+
+// EvalCols evaluates a bound predicate vectorized over decoded columns:
+// cols and strs are indexed by column id (only the columns MarkColumns
+// names need be non-nil, each rows long — numeric leaves read cols, string
+// leaves read strs) and out[i] is set to the verdict for row i.
+func (p Predicate) EvalCols(cols [][]float64, strs [][]string, rows int, out []bool) error {
 	if len(out) < rows {
 		return fmt.Errorf("serde: predicate out mask has %d of %d rows", len(out), rows)
 	}
 	switch p.Op {
 	case OpAnd, OpOr:
-		if err := p.Sub[0].Eval(cols, rows, out); err != nil {
+		if err := p.Sub[0].EvalCols(cols, strs, rows, out); err != nil {
 			return err
 		}
 		if len(p.Sub) == 1 {
@@ -232,7 +267,7 @@ func (p Predicate) Eval(cols [][]float64, rows int, out []bool) error {
 		}
 		tmp := make([]bool, rows)
 		for i := 1; i < len(p.Sub); i++ {
-			if err := p.Sub[i].Eval(cols, rows, tmp); err != nil {
+			if err := p.Sub[i].EvalCols(cols, strs, rows, tmp); err != nil {
 				return err
 			}
 			if p.Op == OpAnd {
@@ -282,6 +317,25 @@ func (p Predicate) Eval(cols [][]float64, rows int, out []bool) error {
 			}
 		}
 		return nil
+	case OpEqStr, OpNeStr:
+		if int(p.Col) >= len(strs) || strs[p.Col] == nil {
+			return fmt.Errorf("serde: predicate string column %d not decoded", p.Col)
+		}
+		vec := strs[p.Col]
+		if len(vec) < rows {
+			return fmt.Errorf("serde: predicate string column %d has %d of %d rows", p.Col, len(vec), rows)
+		}
+		c := p.Str
+		if p.Op == OpEqStr {
+			for r := 0; r < rows; r++ {
+				out[r] = vec[r] == c
+			}
+		} else {
+			for r := 0; r < rows; r++ {
+				out[r] = vec[r] != c
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("serde: eval of invalid op %s", opString(p.Op))
 	}
@@ -306,7 +360,7 @@ func (p Predicate) format(b *strings.Builder) {
 			p.Sub[i].format(b)
 		}
 		b.WriteByte(')')
-	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE:
+	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE, OpEqStr, OpNeStr:
 		if p.Field != "" {
 			b.WriteString(p.Field)
 		} else {
@@ -315,7 +369,11 @@ func (p Predicate) format(b *strings.Builder) {
 		b.WriteByte(' ')
 		b.WriteString(opString(p.Op))
 		b.WriteByte(' ')
-		b.WriteString(strconv.FormatFloat(p.Const, 'g', -1, 64))
+		if p.Op == OpEqStr || p.Op == OpNeStr {
+			b.WriteString(strconv.Quote(p.Str))
+		} else {
+			b.WriteString(strconv.FormatFloat(p.Const, 'g', -1, 64))
+		}
 	default:
 		b.WriteString(opString(p.Op))
 	}

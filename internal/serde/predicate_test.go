@@ -118,6 +118,109 @@ func TestPredicateBindAndEval(t *testing.T) {
 	}
 }
 
+func TestPredicateStringEquality(t *testing.T) {
+	s, err := ColumnSchemaOf([]flatRec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []flatRec{
+		{N: 1, Tag: "numu"},
+		{N: 2, Tag: "nue"},
+		{N: 3, Tag: "numu"},
+		{N: 4, Tag: ""},
+	}
+	p := And(EqStr("Tag", "numu"), GE("N", 2))
+	bound, err := p.Bind(s)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if err := bound.CheckBound(s); err != nil {
+		t.Fatalf("CheckBound: %v", err)
+	}
+
+	seg := new(wire.Segment)
+	defer seg.Release()
+	cols, rows, err := s.MarshalColumns(seg, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mark := make([]bool, s.NumFields())
+	bound.MarkColumns(mark)
+	if !mark[s.FieldIndex("Tag")] || !mark[s.FieldIndex("N")] {
+		t.Fatalf("marked = %v", mark)
+	}
+	vecs := make([][]float64, s.NumFields())
+	strs := make([][]string, s.NumFields())
+	for f, m := range mark {
+		if !m {
+			continue
+		}
+		if k := s.Field(f).Kind; k == ColString {
+			strs[f], err = DecodeStringColumn(k, cols[f], rows, nil)
+		} else {
+			vecs[f], err = DecodeNumericColumn(k, cols[f], rows, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]bool, rows)
+	if err := bound.EvalCols(vecs, strs, rows, out); err != nil {
+		t.Fatalf("EvalCols: %v", err)
+	}
+	for i, r := range in {
+		if want := r.Tag == "numu" && r.N >= 2; out[i] != want {
+			t.Errorf("row %d = %v, want %v (%+v)", i, out[i], want, r)
+		}
+	}
+
+	// NeStr is the complement on the string side.
+	ne, err := NeStr("Tag", "numu").Bind(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ne.EvalCols(nil, strs, rows, out); err != nil {
+		t.Fatalf("EvalCols(NeStr): %v", err)
+	}
+	for i, r := range in {
+		if want := r.Tag != "numu"; out[i] != want {
+			t.Errorf("NeStr row %d = %v, want %v", i, out[i], want)
+		}
+	}
+
+	// The wire round trip preserves the string constant and stays bound.
+	data, err := Marshal(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Predicate
+	if err := Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CheckBound(s); err != nil {
+		t.Fatalf("CheckBound after wire trip: %v", err)
+	}
+	if back.String() != bound.String() || !strings.Contains(back.String(), `Tag ==s "numu"`) {
+		t.Errorf("wire trip String() = %q, want %q", back.String(), bound.String())
+	}
+
+	// Kind mismatches are rejected on both ends of the wire.
+	if _, err := EqStr("N", "x").Bind(s); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("EqStr on numeric field bind err = %v", err)
+	}
+	if _, err := EqStr("Blob", "x").Bind(s); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("EqStr on bytes field bind err = %v", err)
+	}
+	evil := Predicate{Op: OpEqStr, Col: uint32(s.FieldIndex("N")), Str: "x"}
+	if err := evil.CheckBound(s); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("string op on numeric column passed CheckBound: %v", err)
+	}
+	// Eval without the string column decoded fails cleanly.
+	if err := ne.EvalCols(vecs, make([][]string, s.NumFields()), rows, out); err == nil {
+		t.Error("eval without string column succeeded")
+	}
+}
+
 func TestPredicateWireRoundTrip(t *testing.T) {
 	s, err := ColumnSchemaOf([]flatRec{})
 	if err != nil {

@@ -135,6 +135,7 @@ func (p *Provider) scanPages(db Backend, req *scanReq, pred serde.Predicate, hav
 		keep     []bool
 		predMask []bool
 		vecs     [][]float64
+		svecs    [][]string
 		keyBuf   []byte
 		pages    map[byte]chunkMemo
 	)
@@ -208,6 +209,7 @@ func (p *Provider) scanPages(db Backend, req *scanReq, pred serde.Predicate, hav
 		if havePred {
 			if vecs == nil {
 				vecs = make([][]float64, maxColID)
+				svecs = make([][]string, maxColID)
 			}
 			mark := make([]bool, maxColID)
 			pred.MarkColumns(mark)
@@ -219,7 +221,14 @@ func (p *Provider) scanPages(db Backend, req *scanReq, pred serde.Predicate, hav
 				if err != nil {
 					return nil, err
 				}
-				vecs[id], err = serde.DecodeNumericColumn(kind, chunk, rows, vecs[id])
+				// The stored kind, not the predicate op, picks the decoder:
+				// a numeric leaf over a string column (or vice versa) leaves
+				// its vector nil and EvalCols rejects it as not decoded.
+				if kind == serde.ColString {
+					svecs[id], err = serde.DecodeStringColumn(kind, chunk, rows, svecs[id])
+				} else {
+					vecs[id], err = serde.DecodeNumericColumn(kind, chunk, rows, vecs[id])
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -228,7 +237,7 @@ func (p *Provider) scanPages(db Backend, req *scanReq, pred serde.Predicate, hav
 				predMask = make([]bool, rows)
 			}
 			predMask = predMask[:rows]
-			if err := pred.Eval(vecs, rows, predMask); err != nil {
+			if err := pred.EvalCols(vecs, svecs, rows, predMask); err != nil {
 				return nil, err
 			}
 			for i := 0; i < rows; i++ {
