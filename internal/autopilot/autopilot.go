@@ -31,10 +31,14 @@ func (a *Autopilot) observer() *Observer {
 	return a.Observer
 }
 
-// Tick runs one loop iteration: scrape the current membership, decide, and
-// execute the action (if any). It returns the decision taken; the error is
-// non-nil when the scrape or the executed action failed.
+// Tick runs one loop iteration: finish any retire left pending by a
+// post-commit failure, scrape the current membership, decide, and execute
+// the action (if any). It returns the decision taken; the error is non-nil
+// when the pending retire, the scrape, or the executed action failed.
 func (a *Autopilot) Tick(ctx context.Context) (Action, error) {
+	if err := a.Cluster.FinishRetire(ctx); err != nil {
+		return Action{Kind: ActHold, Reason: "retire pending"}, err
+	}
 	loads, err := a.observer().Observe(ctx, a.Cluster.Dep.Group)
 	if err != nil {
 		return Action{Kind: ActHold, Reason: "scrape failed"}, err

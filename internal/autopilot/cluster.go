@@ -81,12 +81,18 @@ func (c *Cluster) Servers() int {
 // layout. On any pre-commit failure the new servers are shut down and the
 // membership rolls back — the cluster keeps serving on the old view and a
 // later Grow retries from scratch (copies already landed on rebooted
-// destinations are simply rewritten).
+// destinations are simply rewritten). A failure *after* the epoch commit is
+// not rolled back: the new servers are primaries in the authoritative view
+// by then, so the enlarged shape is kept and only the retire cleanup stays
+// pending (FinishRetire, or the next action, completes it).
 func (c *Cluster) Grow(ctx context.Context, n int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if n <= 0 {
 		return xerr.New(xerr.ClassInvalid, "autopilot: grow needs a positive server count")
+	}
+	if err := c.finishRetire(ctx); err != nil {
+		return err
 	}
 	old := len(c.Dep.Servers)
 	newSpec := c.Spec
@@ -125,6 +131,14 @@ func (c *Cluster) Grow(ctx context.Context, n int) error {
 		return fmt.Errorf("autopilot: grow discover: %w", err)
 	}
 	if err := c.Mig.Run(ctx, target); err != nil {
+		if c.DS.GroupEpoch() >= target.Group.Epoch {
+			// The migration committed before failing: the new servers now
+			// hold primary copies under the authoritative view, so rolling
+			// them back would orphan those keys. Keep the enlarged shape;
+			// only the retire cleanup is pending.
+			c.Spec = newSpec
+			return fmt.Errorf("autopilot: grow committed, retire pending: %w", err)
+		}
 		rollback()
 		return fmt.Errorf("autopilot: grow: %w", err)
 	}
@@ -135,12 +149,19 @@ func (c *Cluster) Grow(ctx context.Context, n int) error {
 // Drain evacuates the k trailing servers: their keys are live-migrated onto
 // the shrunken layout, the epoch bumps, and only then are the victims shut
 // down and dropped from the membership. A pre-commit failure leaves the
-// cluster exactly as it was — every victim still serving.
+// cluster exactly as it was — every victim still serving. A failure after
+// the epoch commit keeps the victims up too: the shrunken view is already
+// authoritative, but the dual-read window is still open and may route
+// through them, so they are shut down only once FinishRetire (or the next
+// action) closes it.
 func (c *Cluster) Drain(ctx context.Context, k int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if k <= 0 {
 		return xerr.New(xerr.ClassInvalid, "autopilot: drain needs a positive server count")
+	}
+	if err := c.finishRetire(ctx); err != nil {
+		return err
 	}
 	old := len(c.Dep.Servers)
 	remaining := old - k
@@ -169,14 +190,62 @@ func (c *Cluster) Drain(ctx context.Context, k int) error {
 		return fmt.Errorf("autopilot: drain discover: %w", err)
 	}
 	if err := c.Mig.Run(ctx, target); err != nil {
+		if c.DS.GroupEpoch() >= target.Group.Epoch {
+			c.Spec = newSpec
+			return fmt.Errorf("autopilot: drain committed, retire pending: %w", err)
+		}
 		return fmt.Errorf("autopilot: drain: %w", err)
 	}
 
-	for _, s := range c.Dep.Servers[remaining:] {
-		s.Shutdown()
-	}
-	c.Dep.Servers = c.Dep.Servers[:remaining]
-	c.Dep.Group.Servers = c.Dep.Group.Servers[:remaining]
+	c.reconcileMembership()
 	c.Spec = newSpec
 	return nil
+}
+
+// FinishRetire completes a migration that committed but whose retire failed
+// (Grow/Drain returned a "retire pending" error): the dual-read window is
+// closed and any drain victims that were kept alive for it are shut down.
+// Idempotent and a no-op when no such window exists; Grow, Drain and the
+// autopilot Tick all call it before starting anything new, so a failed
+// retire can never wedge the controller.
+func (c *Cluster) FinishRetire(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.finishRetire(ctx)
+}
+
+// finishRetire is FinishRetire under c.mu. A pre-commit window (alternate
+// epoch above the committed epoch) belongs to a live Run and is left alone.
+func (c *Cluster) finishRetire(ctx context.Context) error {
+	alt := c.DS.AltView()
+	if alt == nil || alt.Group.Epoch >= c.DS.GroupEpoch() {
+		return nil
+	}
+	if err := c.Mig.Retire(ctx); err != nil {
+		return fmt.Errorf("autopilot: pending retire: %w", err)
+	}
+	c.reconcileMembership()
+	return nil
+}
+
+// reconcileMembership shuts down and drops every deployment server that is
+// no longer in the committed membership — drain victims whose dual-read
+// window has closed. Called under c.mu.
+func (c *Cluster) reconcileMembership() {
+	in := make(map[string]bool, len(c.DS.Group().Servers))
+	for _, srv := range c.DS.Group().Servers {
+		in[srv.Address] = true
+	}
+	servers := c.Dep.Servers[:0]
+	descs := c.Dep.Group.Servers[:0]
+	for i, s := range c.Dep.Servers {
+		if in[c.Dep.Group.Servers[i].Address] {
+			servers = append(servers, s)
+			descs = append(descs, c.Dep.Group.Servers[i])
+		} else {
+			s.Shutdown()
+		}
+	}
+	c.Dep.Servers = servers
+	c.Dep.Group.Servers = descs
 }

@@ -142,12 +142,14 @@ func Decide(loads []ServerLoad, th Thresholds) Action {
 			idle = false
 		}
 	}
-	worst := slowest
-	if deepest.Saturation() >= th.GrowSaturation {
-		worst = deepest
-	}
+	slowTrip := slowest.ServiceTime() >= th.GrowServiceTime
+	satTrip := deepest.Saturation() >= th.GrowSaturation
 	n := len(loads)
-	if slowest.ServiceTime() >= th.GrowServiceTime || deepest.Saturation() >= th.GrowSaturation {
+	if slowTrip || satTrip {
+		worst := slowest
+		if !slowTrip {
+			worst = deepest
+		}
 		step := th.GrowStep
 		if th.MaxServers > 0 && n+step > th.MaxServers {
 			step = th.MaxServers - n
@@ -155,9 +157,7 @@ func Decide(loads []ServerLoad, th Thresholds) Action {
 		if step <= 0 {
 			return Action{Kind: ActHold, Reason: fmt.Sprintf("hot server %s but at MaxServers %d", worst.Addr, th.MaxServers)}
 		}
-		return Action{Kind: ActGrow, Servers: step, Reason: fmt.Sprintf(
-			"server %s: service time %.2fms, pool saturation %.0f%%",
-			worst.Addr, worst.ServiceTime()*1e3, worst.Saturation()*100)}
+		return Action{Kind: ActGrow, Servers: step, Reason: growReason(slowest, deepest, slowTrip, satTrip)}
 	}
 	if idle && n > th.MinServers {
 		step := th.DrainStep
@@ -167,6 +167,25 @@ func Decide(loads []ServerLoad, th Thresholds) Action {
 		return Action{Kind: ActDrain, Servers: step, Reason: "cluster idle across the interval"}
 	}
 	return Action{Kind: ActHold, Reason: "within thresholds"}
+}
+
+// growReason cites the evidence that actually fired: the slowest server for
+// a service-time trip, the deepest-pooled server for a saturation trip, or
+// both (collapsed when they are the same server) when both thresholds trip.
+func growReason(slowest, deepest ServerLoad, slowTrip, satTrip bool) string {
+	st := fmt.Sprintf("server %s: service time %.2fms", slowest.Addr, slowest.ServiceTime()*1e3)
+	sat := fmt.Sprintf("server %s: pool saturation %.0f%%", deepest.Addr, deepest.Saturation()*100)
+	switch {
+	case slowTrip && satTrip && slowest.Addr == deepest.Addr:
+		return fmt.Sprintf("server %s: service time %.2fms, pool saturation %.0f%%",
+			slowest.Addr, slowest.ServiceTime()*1e3, deepest.Saturation()*100)
+	case slowTrip && satTrip:
+		return st + "; " + sat
+	case slowTrip:
+		return st
+	default:
+		return sat
+	}
 }
 
 // Observer scrapes per-server load over the admin fabric and converts the

@@ -131,7 +131,10 @@ func (m *Migrator) onRange(role string, done, total int) {
 // committed view stays authoritative, copies on the target are inert) and
 // returns the step's error. A failure after commit leaves the window open —
 // the outgoing view keeps serving as the dual-read fallback — and the
-// caller retries Retire.
+// caller retries Retire. A retried Run resumes by *epoch*, not pointer
+// identity: a re-discovered target view on the same membership epoch picks
+// an open pre-commit window back up at copy, and a target whose epoch is
+// already committed skips straight to the pending retire.
 func (m *Migrator) Run(ctx context.Context, target *core.View) error {
 	m.active.Store(true)
 	m.lastErr.Store("")
@@ -142,10 +145,20 @@ func (m *Migrator) Run(ctx context.Context, target *core.View) error {
 	m.setPhase(PhasePlan)
 	m.rangesTotal.Store(int64(m.DS.MigrationRangeCount()))
 	if err := m.DS.BeginMigration(target); err != nil {
-		// Resuming after a crash: the window is already open on this very
-		// target, so fall through to copy; anything else is a real plan
-		// failure.
-		if !(errors.Is(err, core.ErrMigrationActive) && m.DS.AltView() == target) {
+		alt := m.DS.AltView()
+		switch {
+		case errors.Is(err, core.ErrMigrationActive) && alt != nil &&
+			alt.Group.Epoch == target.Group.Epoch && target.Group.Epoch > m.DS.GroupEpoch():
+			// Resuming after a crash: a pre-commit window is already open on
+			// a target carrying this very epoch. Adopt the open window's view
+			// (a re-discovered target is a different pointer to the same
+			// view, and commit checks identity) and fall through to copy.
+			target = alt
+		case errors.Is(err, core.ErrMigrationActive) && m.DS.GroupEpoch() == target.Group.Epoch:
+			// The previous attempt failed between commit and retire: the
+			// target's epoch is already authoritative, only cleanup remains.
+			return m.runRetire(ctx)
+		default:
 			return m.fail(err, false)
 		}
 	}
@@ -187,10 +200,16 @@ func (m *Migrator) Run(ctx context.Context, target *core.View) error {
 		return m.fail(fmt.Errorf("autopilot: commit: %w", err), true)
 	}
 
+	return m.runRetire(ctx)
+}
+
+// runRetire is the post-commit tail of Run. Past the point of no return:
+// the new view is committed, only the cleanup is pending, so a failure is
+// reported without aborting — Retire is idempotent and the caller (or
+// Cluster.FinishRetire) retries it.
+func (m *Migrator) runRetire(ctx context.Context) error {
 	m.setPhase(PhaseRetire)
 	if err := m.Retire(ctx); err != nil {
-		// Past the point of no return: the new view is committed, only the
-		// cleanup is pending. Report without aborting; Retire is idempotent.
 		m.lastErr.Store(err.Error())
 		return fmt.Errorf("autopilot: retire: %w", err)
 	}

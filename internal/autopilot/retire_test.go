@@ -1,0 +1,183 @@
+package autopilot
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/hep-on-hpc/hepnos-go/internal/bedrock"
+)
+
+// cancelAtRetire returns a context that a migrator phase hook cancels the
+// moment the retire phase starts — the deterministic way to fail a
+// migration *after* its epoch commit.
+func cancelAtRetire(m *Migrator) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m.OnPhase = func(phase string) {
+		if phase == PhaseRetire {
+			cancel()
+		}
+	}
+	return ctx, cancel
+}
+
+// TestGrowKeepsCommittedServersOnRetireFailure pins the post-commit failure
+// contract: once the enlarged view is committed the new servers hold
+// primary copies, so a retire failure must NOT roll the membership back —
+// and the next action must finish the pending retire instead of wedging on
+// ErrMigrationActive.
+func TestGrowKeepsCommittedServersOnRetireFailure(t *testing.T) {
+	ds, d, spec := newAutopilotCluster(t, bedrock.DeploySpec{Servers: 2})
+	ctx := context.Background()
+	if _, err := ds.CreateDataSet(ctx, "grow/committed"); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCluster(spec, d, ds)
+	c.Mig.Policy = fastPolicy()
+	runCtx, cancel := cancelAtRetire(c.Mig)
+	defer cancel()
+	err := c.Grow(runCtx, 1)
+	c.Mig.OnPhase = nil
+	if err == nil {
+		t.Fatal("grow with a failing retire succeeded")
+	}
+	if ds.AltView() == nil {
+		t.Fatal("test did not produce a committed-but-unretired window")
+	}
+	if got := c.Servers(); got != 3 {
+		t.Fatalf("post-commit grow failure changed the membership: %d servers, want 3", got)
+	}
+	if c.Spec.Servers != 3 {
+		t.Fatalf("post-commit grow failure left Spec.Servers = %d, want 3", c.Spec.Servers)
+	}
+	// The committed view keeps serving through the open window.
+	if _, err := ds.OpenDataSet(ctx, "grow/committed"); err != nil {
+		t.Fatalf("read through the pending-retire window: %v", err)
+	}
+
+	// The next action first closes the pending window, then proceeds.
+	if err := c.Grow(ctx, 1); err != nil {
+		t.Fatalf("grow after a pending retire: %v", err)
+	}
+	if ds.AltView() != nil {
+		t.Fatal("pending retire window survived the next grow")
+	}
+	if got := c.Servers(); got != 4 {
+		t.Fatalf("after follow-up grow: %d servers, want 4", got)
+	}
+}
+
+// TestDrainRetireFailureHealsWithoutWedging pins the drain half: a retire
+// failure after the shrunken view committed keeps the victims alive (the
+// dual-read window may still route through them), and FinishRetire later
+// closes the window and only then shuts them down.
+func TestDrainRetireFailureHealsWithoutWedging(t *testing.T) {
+	ds, d, spec := newAutopilotCluster(t, bedrock.DeploySpec{Servers: 3})
+	ctx := context.Background()
+	if _, err := ds.CreateDataSet(ctx, "drain/pending"); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCluster(spec, d, ds)
+	c.Mig.Policy = fastPolicy()
+	runCtx, cancel := cancelAtRetire(c.Mig)
+	defer cancel()
+	err := c.Drain(runCtx, 1)
+	c.Mig.OnPhase = nil
+	if err == nil {
+		t.Fatal("drain with a failing retire succeeded")
+	}
+	if ds.AltView() == nil {
+		t.Fatal("test did not produce a committed-but-unretired window")
+	}
+	if got := c.Servers(); got != 3 {
+		t.Fatalf("victims shut down with the dual-read window open: %d servers", got)
+	}
+	epoch := ds.GroupEpoch()
+
+	if err := c.FinishRetire(ctx); err != nil {
+		t.Fatalf("finish pending retire: %v", err)
+	}
+	if ds.AltView() != nil {
+		t.Fatal("FinishRetire did not close the window")
+	}
+	if got := c.Servers(); got != 2 {
+		t.Fatalf("after FinishRetire: %d servers, want 2", got)
+	}
+	if ds.GroupEpoch() != epoch {
+		t.Fatalf("FinishRetire moved the epoch: %d, want %d", ds.GroupEpoch(), epoch)
+	}
+	// Idempotent: a second call is a no-op.
+	if err := c.FinishRetire(ctx); err != nil {
+		t.Fatalf("second FinishRetire: %v", err)
+	}
+}
+
+// TestMigratorResumesSameEpochWindow pins crash-resume semantics: a retried
+// Run whose target is a *re-discovered* view (a new pointer on the same
+// membership epoch) must adopt the already-open window and finish, not fail
+// with ErrMigrationActive.
+func TestMigratorResumesSameEpochWindow(t *testing.T) {
+	ds, d, _ := newAutopilotCluster(t, bedrock.DeploySpec{Servers: 2})
+	ctx := context.Background()
+	if _, err := ds.CreateDataSet(ctx, "resume/mig"); err != nil {
+		t.Fatal(err)
+	}
+
+	g := d.Group
+	g.Epoch++
+	first, err := ds.DiscoverView(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.BeginMigration(first); err != nil {
+		t.Fatal(err)
+	}
+	// A crash loses the first pointer; the retry re-discovers the same view.
+	retry, err := ds.DiscoverView(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry == first {
+		t.Fatal("test bug: DiscoverView returned a shared pointer")
+	}
+	m := &Migrator{DS: ds, Policy: fastPolicy()}
+	if err := m.Run(ctx, retry); err != nil {
+		t.Fatalf("resume with a re-discovered target: %v", err)
+	}
+	if ds.AltView() != nil {
+		t.Fatal("resumed migration left its window open")
+	}
+	if ds.GroupEpoch() != g.Epoch {
+		t.Fatalf("epoch after resume = %d, want %d", ds.GroupEpoch(), g.Epoch)
+	}
+}
+
+// TestDecideGrowReasonAttribution pins that the grow Reason cites the
+// condition that actually fired, per server.
+func TestDecideGrowReasonAttribution(t *testing.T) {
+	loads := []ServerLoad{
+		{Addr: "slowish", Ops: 1000, BusySeconds: 0.2}, // 200µs/op: below threshold, but slowest
+		{Addr: "deep", Ops: 1000, BusySeconds: 0.1, PoolDepth: 90, PoolMaxDepth: 100},
+	}
+	// Saturation fired alone: cite the saturated server's pool, not its
+	// (unremarkable) service time.
+	act := Decide(loads, Thresholds{})
+	if act.Kind != ActGrow {
+		t.Fatalf("want grow, got %+v", act)
+	}
+	if !strings.Contains(act.Reason, "deep") || !strings.Contains(act.Reason, "saturation") ||
+		strings.Contains(act.Reason, "service time") {
+		t.Fatalf("saturation-only reason cites the wrong evidence: %q", act.Reason)
+	}
+	// Both thresholds trip on different servers: both are cited.
+	loads[0].BusySeconds = 20 // 20ms/op: hot
+	act = Decide(loads, Thresholds{})
+	if act.Kind != ActGrow {
+		t.Fatalf("want grow, got %+v", act)
+	}
+	if !strings.Contains(act.Reason, "slowish") || !strings.Contains(act.Reason, "deep") {
+		t.Fatalf("dual-trip reason misses a server: %q", act.Reason)
+	}
+}

@@ -251,7 +251,9 @@ func (ds *DataStore) getFrom(ctx context.Context, replicas []yokan.DBHandle, key
 // existsFrom is one Exists pass over a resolved replica set with
 // health-gated failover. During a migration window the per-key answers are
 // OR-ed across the replica set (softMiss): a key exists if any view's copy
-// holds it.
+// holds it — but, mirroring getFrom, a per-key false is only trustworthy
+// when no replica failed, because an unreachable copy might have held the
+// key.
 func (ds *DataStore) existsFrom(ctx context.Context, replicas []yokan.DBHandle, ks [][]byte) ([]bool, error) {
 	soft := ds.softMiss(replicas)
 	var lastErr error
@@ -288,10 +290,14 @@ func (ds *DataStore) existsFrom(ctx context.Context, replicas []yokan.DBHandle, 
 			return acc, nil
 		}
 	}
-	if acc != nil {
-		return acc, nil
+	// Reaching here means some accumulated answer is still false (an all-true
+	// set returns inside the loop). If any replica failed, that false may
+	// merely mean the copy that held the key was unreachable — surface the
+	// failure instead of a stale miss.
+	if lastErr != nil {
+		return nil, lastErr
 	}
-	return nil, lastErr
+	return acc, nil
 }
 
 // listKeysFO is one ListKeys page with health-gated failover. Pages are

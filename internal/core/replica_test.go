@@ -449,3 +449,48 @@ func TestResyncServerRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestExistsFromRefusesPartialMissOnReplicaFailure pins the softMiss
+// contract against unreachable replicas: when the per-key answers are OR-ed
+// across a migration-widened set, a false accumulated while some replica
+// failed transport is not trustworthy — the copy that held the key may have
+// been the unreachable one — so existsFrom must surface the failure instead
+// of a stale miss (mirroring getFrom).
+func TestExistsFromRefusesPartialMissOnReplicaFailure(t *testing.T) {
+	ds, d, _ := newTestCluster(t, bedrock.DeploySpec{Servers: 2})
+	ctx := context.Background()
+
+	v := ds.v()
+	db0 := v.EventDBs[0]
+	var db1 yokan.DBHandle
+	for _, db := range v.EventDBs[1:] {
+		if db.Addr != db0.Addr {
+			db1 = db
+			break
+		}
+	}
+	if db1.Name == "" {
+		t.Fatal("test bug: no event database on a second server")
+	}
+	key := []byte("exists/partial-miss")
+	if err := ds.yc.Put(ctx, db0, key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A set wider than rf=1 turns softMiss on: the answers are OR-ed.
+	set := []yokan.DBHandle{db0, db1}
+	found, err := ds.existsFrom(ctx, set, [][]byte{key})
+	if err != nil || len(found) != 1 || !found[0] {
+		t.Fatalf("healthy OR pass: found=%v err=%v", found, err)
+	}
+
+	// Kill the server holding the only copy: the surviving replica answers
+	// false, but that miss must not be trusted.
+	for _, s := range d.Servers {
+		if s.Addr() == db0.Addr {
+			s.Shutdown()
+		}
+	}
+	if found, err = ds.existsFrom(ctx, set, [][]byte{key}); err == nil {
+		t.Fatalf("partial miss trusted despite an unreachable replica: %v", found)
+	}
+}
